@@ -1,0 +1,244 @@
+package lockinfer
+
+import (
+	"sync"
+	"testing"
+
+	"lockinfer/internal/bench"
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/progen"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/sim"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/stm"
+	"lockinfer/internal/workload"
+)
+
+// The four benches below regenerate the paper's tables and figures; run
+// them with -v to see the reproduced rows and series:
+//
+//	go test -bench 'Table|Figure' -benchtime 1x -v
+//
+// cmd/lockbench prints the same artifacts with full-size parameters.
+
+// BenchmarkTable1 regenerates Table 1 (analysis times over the corpus,
+// SPEC substitutes scaled down to keep iterations fast; use cmd/lockbench
+// for full size).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1(bench.Table1Options{SPECScale: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable1(rows))
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (lock distribution as k sweeps).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cols, err := bench.Figure7([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatFigure7(cols))
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (simulated 8-thread execution times
+// under Global, Coarse, Fine+Coarse and STM).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(bench.RunOptions{
+			Cores: 8, Threads: 8, OpsPerThread: 250, Seed: 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatTable2(rows))
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (time vs. threads for rbtree,
+// hashtable-2, TH, genome, kmeans).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Figure8(bench.RunOptions{
+			Cores: 8, Threads: 8, OpsPerThread: 250, Seed: 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatFigure8(series))
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the two ablation studies.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := bench.RunOptions{Cores: 8, Threads: 8, OpsPerThread: 250, Seed: 11}
+		ro, err := bench.AblateReadOnlyLocks(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parts, err := bench.AblatePartitions(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.FormatAblation("Σε removed:", ro) +
+				bench.FormatAblation("Σ≡ removed:", parts))
+		}
+	}
+}
+
+// Component micro-benchmarks.
+
+// BenchmarkInference measures the end-to-end analysis of the move example.
+func BenchmarkInference(b *testing.B) {
+	p, err := progs.Get("move")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ast, err := lang.Parse(p.Source())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := steens.Run(prog)
+		infer.New(prog, pts, infer.Options{K: 3}).AnalyzeAll()
+	}
+}
+
+// BenchmarkSteensgaard measures the points-to analysis on a 5 KLoC
+// program.
+func BenchmarkSteensgaard(b *testing.B) {
+	src := progen.Generate(progen.Spec{Name: "bench", KLoC: 5, Seed: 9})
+	ast, err := lang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steens.Run(prog)
+	}
+}
+
+// BenchmarkParser measures the front end on a 5 KLoC program.
+func BenchmarkParser(b *testing.B) {
+	src := progen.Generate(progen.Spec{Name: "bench", KLoC: 5, Seed: 9})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lang.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMGLAcquire measures one uncontended fine-grain acquire/release
+// cycle (three lock-tree nodes).
+func BenchmarkMGLAcquire(b *testing.B) {
+	m := mgl.NewManager()
+	s := m.NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ToAcquire(mgl.Req{Class: 1, Fine: true, Addr: 42, Write: true})
+		s.AcquireAll()
+		s.ReleaseAll()
+	}
+}
+
+// BenchmarkSTMCounter measures contended TL2 increments with the real
+// goroutine runtime.
+func BenchmarkSTMCounter(b *testing.B) {
+	rt := stm.New()
+	c := mem.NewCell(0)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rt.Atomic(func(tx *stm.Tx) {
+				tx.Store(c, tx.Load(c).(int)+1)
+			})
+		}
+	})
+}
+
+// BenchmarkWorkloadReal runs the hashtable-2 workload on the real
+// goroutine runtimes (wall-clock shapes depend on host core count; the
+// simulated Table 2 is the calibrated artifact).
+func BenchmarkWorkloadReal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := workload.NewHashtable2("hashtable-2", workload.HighMix, workload.GrainFine)
+		ex := workload.NewMGLExec("mgl-fine")
+		if _, err := workload.Run(w, ex, workload.RunConfig{
+			Threads: 4, OpsPerThread: 500, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures the discrete-event engine itself.
+func BenchmarkSimulator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := workload.NewList("list", workload.LowMix)
+		if _, err := sim.Run(w, sim.ModeMGL, sim.Config{
+			Cores: 8, Threads: 8, OpsPerThread: 200, Seed: 5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreter measures checked concurrent execution of the move
+// program.
+func BenchmarkInterpreter(b *testing.B) {
+	p, err := progs.Get("move")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Compile(p.Source(), WithK(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := c.NewMachine(Checked())
+		if err := m.Init(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Call(0, "setup", []Value{IntV(8)}); err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = m.Run([]ThreadSpec{
+				{Fn: "worker", Args: []Value{IntV(20), IntV(0)}},
+				{Fn: "worker", Args: []Value{IntV(20), IntV(1)}},
+			})
+		}()
+		wg.Wait()
+	}
+}

@@ -1,0 +1,93 @@
+// Command lockbench regenerates the paper's evaluation: Table 1 (analysis
+// times), Figure 7 (lock distribution over k), Table 2 (simulated 8-thread
+// execution times under the four runtimes) and Figure 8 (scalability
+// curves), plus the ablation studies.
+//
+// Usage:
+//
+//	lockbench [-table1] [-fig7] [-table2] [-fig8] [-ablate] [-all]
+//	          [-scale F] [-ops N] [-threads N] [-cores N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lockinfer/internal/bench"
+)
+
+func main() {
+	var (
+		t1    = flag.Bool("table1", false, "Table 1: program size and analysis time")
+		f7    = flag.Bool("fig7", false, "Figure 7: lock distribution as k sweeps 0..9")
+		t2    = flag.Bool("table2", false, "Table 2: simulated execution times, 8 threads")
+		f8    = flag.Bool("fig8", false, "Figure 8: execution time vs. thread count")
+		abl   = flag.Bool("ablate", false, "ablations: read-only locks and partitions")
+		all   = flag.Bool("all", false, "everything")
+		scale = flag.Float64("scale", 1.0, "SPEC-substitute size multiplier for Table 1")
+		ops   = flag.Int("ops", 400, "operations per thread")
+		thr   = flag.Int("threads", 8, "threads for Table 2")
+		cores = flag.Int("cores", 8, "simulated cores")
+		seed  = flag.Int64("seed", 11, "workload seed")
+	)
+	flag.Parse()
+	if !(*t1 || *f7 || *t2 || *f8 || *abl) {
+		*all = true
+	}
+	opt := bench.RunOptions{Cores: *cores, Threads: *thr, OpsPerThread: *ops, Seed: *seed}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "lockbench:", err)
+		os.Exit(1)
+	}
+	if *all || *t1 {
+		fmt.Println("=== Table 1: program size and analysis time ===")
+		rows, err := bench.Table1(bench.Table1Options{SPECScale: *scale})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatTable1(rows))
+		fmt.Println()
+	}
+	if *all || *f7 {
+		fmt.Println("=== Figure 7: lock distribution across k ===")
+		cols, err := bench.Figure7([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatFigure7(cols))
+		fmt.Println()
+	}
+	if *all || *t2 {
+		fmt.Printf("=== Table 2: simulated execution times (%d threads, %d cores) ===\n",
+			opt.Threads, opt.Cores)
+		rows, err := bench.Table2(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatTable2(rows))
+		fmt.Println()
+	}
+	if *all || *f8 {
+		fmt.Println("=== Figure 8: execution time vs. threads (fixed total work) ===")
+		series, err := bench.Figure8(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatFigure8(series))
+	}
+	if *all || *abl {
+		fmt.Println("=== Ablations ===")
+		ro, err := bench.AblateReadOnlyLocks(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatAblation("Σε removed (all locks exclusive):", ro))
+		parts, err := bench.AblatePartitions(opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(bench.FormatAblation("Σ≡ removed (all coarse locks global):", parts))
+	}
+}

@@ -1,0 +1,67 @@
+// Listmove runs the paper's Figure 1 example end to end: the move()
+// function that transfers all elements between two lists. It shows how the
+// lock choice changes with k (all-coarse at k=0 versus the fine+coarse mix
+// of Figure 1(c) at k=3), then executes the deadlock-prone concurrent
+// scenario — move(l1,l2) racing move(l2,l1) — under the inferred
+// multi-grain locks with the soundness checker enabled.
+//
+//	go run ./examples/listmove
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lockinfer"
+	"lockinfer/internal/progs"
+)
+
+func main() {
+	p, err := progs.Get("move")
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := p.Source()
+
+	for _, k := range []int{0, 3} {
+		c, err := lockinfer.Compile(src, lockinfer.WithK(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== Locks at k=%d ==\n%s\n", k, c.LockReport())
+	}
+
+	c, err := lockinfer.Compile(src, lockinfer.WithK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Transformed move() (Figure 1(c)) ==")
+	fmt.Println(c.TransformedSource())
+
+	// The concurrent scenario that deadlocks a naive fine-grain scheme:
+	// threads shuttling elements in opposite directions. The hierarchical
+	// protocol acquires everything at the section entry in one canonical
+	// order, so this cannot deadlock, and the checker verifies that every
+	// access is covered.
+	m := c.NewMachine(lockinfer.Checked())
+	if err := m.Init(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Call(0, "setup", []lockinfer.Value{lockinfer.IntV(16)}); err != nil {
+		log.Fatal(err)
+	}
+	specs := []lockinfer.ThreadSpec{
+		{Fn: "worker", Args: []lockinfer.Value{lockinfer.IntV(100), lockinfer.IntV(0)}},
+		{Fn: "worker", Args: []lockinfer.Value{lockinfer.IntV(100), lockinfer.IntV(1)}},
+		{Fn: "worker", Args: []lockinfer.Value{lockinfer.IntV(100), lockinfer.IntV(0)}},
+		{Fn: "worker", Args: []lockinfer.Value{lockinfer.IntV(100), lockinfer.IntV(1)}},
+	}
+	if err := m.Run(specs); err != nil {
+		log.Fatal(err)
+	}
+	total, err := m.Call(0, "total", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== Execution ==\n4 threads x 100 opposing moves done; elements = %s (want 16), no deadlock, no violation\n", total)
+}

@@ -1,0 +1,70 @@
+// Soundness demonstrates the operational semantics of §4.2: the checking
+// interpreter treats an atomic-section access with no covering lock as the
+// stuck state. Running a program under its inferred locks never trips the
+// checker (Theorem 1); deliberately weakening the lock plan does.
+//
+//	go run ./examples/soundness
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"lockinfer"
+	"lockinfer/internal/interp"
+)
+
+const src = `
+int counter;
+
+void bump(int n) {
+  int i = 0;
+  while (i < n) {
+    atomic {
+      counter = counter + 1;
+    }
+    i = i + 1;
+  }
+}
+`
+
+func main() {
+	c, err := lockinfer.Compile(src, lockinfer.WithK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Inferred locks:")
+	fmt.Println(c.LockReport())
+
+	specs := []lockinfer.ThreadSpec{
+		{Fn: "bump", Args: []lockinfer.Value{lockinfer.IntV(500)}},
+		{Fn: "bump", Args: []lockinfer.Value{lockinfer.IntV(500)}},
+		{Fn: "bump", Args: []lockinfer.Value{lockinfer.IntV(500)}},
+	}
+
+	// 1. The inferred plan: checked execution succeeds and the counter is
+	// exact.
+	m := c.NewMachine(lockinfer.Checked())
+	if err := m.Run(specs); err != nil {
+		log.Fatalf("unexpected: inferred locks tripped the checker: %v", err)
+	}
+	v, err := m.Global("counter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with inferred locks: no violation, counter = %s (want 1500)\n", v)
+
+	// 2. An empty plan: the checker reports the stuck state immediately.
+	empty := map[int]lockinfer.LockSet{}
+	m2 := c.NewMachine(lockinfer.Checked(), lockinfer.WithPlan(empty))
+	err = m2.Run(specs)
+	var violation *interp.Violation
+	if !errors.As(err, &violation) {
+		log.Fatalf("expected a soundness violation, got: %v", err)
+	}
+	fmt.Printf("with locks removed:  %v\n", err)
+	fmt.Println("\nThe checker is the executable form of the paper's Theorem 1: " +
+		"acquiring the analysis' locks at each section entry keeps every " +
+		"execution out of the stuck state.")
+}

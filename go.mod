@@ -1,0 +1,3 @@
+module lockinfer
+
+go 1.22

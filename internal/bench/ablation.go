@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/sim"
+	"lockinfer/internal/workload"
+)
+
+// This file implements ablation studies for the design choices DESIGN.md
+// calls out: the read/write effect dimension Σε (what is lost when every
+// lock is acquired exclusively) and the points-to partition dimension Σ≡
+// (what is lost when every coarse lock collapses to the single global
+// lock). Each isolates one factor of the Σk × Σ≡ × Σε product scheme.
+
+// descRewriter wraps a workload and rewrites every lock descriptor its
+// operations emit.
+type descRewriter struct {
+	workload.Workload
+	rewrite func(mgl.Req) mgl.Req
+}
+
+// Op implements workload.Workload.
+func (w descRewriter) Op(r *rand.Rand) workload.Op {
+	op := w.Workload.Op(r)
+	inner := op.Locks
+	if inner != nil {
+		op.Locks = func(add func(mgl.Req)) {
+			inner(func(q mgl.Req) { add(w.rewrite(q)) })
+		}
+	}
+	return op
+}
+
+// AblationRow reports one ablated configuration.
+type AblationRow struct {
+	Program  string
+	Baseline sim.Time // the full scheme
+	Ablated  sim.Time // one dimension removed
+	// Factor is Ablated / Baseline: above 1 means the dimension helps.
+	Factor float64
+}
+
+// AblateReadOnlyLocks measures read-heavy benchmarks with Σε disabled
+// (every lock exclusive). The paper credits read/write modes for the ~2x
+// win of coarse locks over the global lock in the low-contention settings.
+func AblateReadOnlyLocks(opt RunOptions) ([]AblationRow, error) {
+	forceX := func(q mgl.Req) mgl.Req { q.Write = true; return q }
+	cases := []Benchmark{
+		{Name: "rbtree-low", Coarse: func() workload.Workload {
+			return workload.NewRBTree("rbtree-low", workload.LowMix)
+		}},
+		{Name: "list-low", Coarse: func() workload.Workload {
+			return workload.NewList("list-low", workload.LowMix)
+		}},
+		{Name: "hashtable-low", Coarse: func() workload.Workload {
+			return workload.NewHashtable("hashtable-low", workload.LowMix)
+		}},
+	}
+	var rows []AblationRow
+	for _, bm := range cases {
+		base, err := sim.Run(bm.Coarse(), sim.ModeMGL, opt.config())
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation %s: %w", bm.Name, err)
+		}
+		abl, err := sim.Run(descRewriter{Workload: bm.Coarse(), rewrite: forceX},
+			sim.ModeMGL, opt.config())
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation %s: %w", bm.Name, err)
+		}
+		rows = append(rows, AblationRow{
+			Program:  bm.Name,
+			Baseline: base.SimTime,
+			Ablated:  abl.SimTime,
+			Factor:   float64(abl.SimTime) / float64(base.SimTime),
+		})
+	}
+	return rows, nil
+}
+
+// AblatePartitions measures TH with Σ≡ disabled (every coarse descriptor
+// collapsed to the global root). The paper credits disjoint partitions for
+// TH's win over the global lock.
+func AblatePartitions(opt RunOptions) ([]AblationRow, error) {
+	toGlobal := func(q mgl.Req) mgl.Req {
+		return mgl.Req{Global: true, Write: q.Write}
+	}
+	cases := []Benchmark{
+		{Name: "TH-low", Coarse: func() workload.Workload {
+			return workload.NewTH("TH-low", workload.LowMix)
+		}},
+		{Name: "TH-high", Coarse: func() workload.Workload {
+			return workload.NewTH("TH-high", workload.HighMix)
+		}},
+	}
+	var rows []AblationRow
+	for _, bm := range cases {
+		base, err := sim.Run(bm.Coarse(), sim.ModeMGL, opt.config())
+		if err != nil {
+			return nil, err
+		}
+		abl, err := sim.Run(descRewriter{Workload: bm.Coarse(), rewrite: toGlobal},
+			sim.ModeMGL, opt.config())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Program:  bm.Name,
+			Baseline: base.SimTime,
+			Ablated:  abl.SimTime,
+			Factor:   float64(abl.SimTime) / float64(base.SimTime),
+		})
+	}
+	return rows, nil
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(title string, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-18s %12s %12s %8s\n", title,
+		"Program", "full", "ablated", "factor")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %12d %12d %7.2fx\n",
+			r.Program, r.Baseline, r.Ablated, r.Factor)
+	}
+	return b.String()
+}

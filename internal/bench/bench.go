@@ -1,0 +1,405 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section 6):
+//
+//   - Table 1: program sizes, atomic-section counts and analysis times at
+//     k=0 and k=9, over the SPEC-substitute corpus, the STAMP-like kernels
+//     and the micro-benchmarks;
+//   - Figure 7: the combined lock distribution (fine/coarse × ro/rw) as k
+//     sweeps 0..9;
+//   - Table 2: simulated 8-thread execution times under Global, Coarse
+//     (k=0), Fine+Coarse (k=9) and the TL2-style STM;
+//   - Figure 8: execution time versus thread count (1,2,4,8) for rbtree,
+//     hashtable-2, TH, genome and kmeans.
+//
+// Absolute numbers differ from the paper's testbed (the runtime experiments
+// execute on the deterministic machine simulator of internal/sim); the
+// shapes — who wins, by roughly what factor, where the crossovers fall —
+// are the reproduction target, and EXPERIMENTS.md records both.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/progen"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/sim"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/workload"
+)
+
+// Table1Row is one line of Table 1.
+type Table1Row struct {
+	Program  string
+	KLoC     float64
+	Sections int
+	TimeK0   time.Duration
+	TimeK9   time.Duration
+}
+
+// Table1Options scales the experiment for tests.
+type Table1Options struct {
+	// SPECScale multiplies the SPEC-substitute sizes (1.0 = the paper's
+	// KLoC; tests use a small fraction). Zero means 1.0.
+	SPECScale float64
+	// SkipSPEC drops the SPEC-substitute rows entirely.
+	SkipSPEC bool
+}
+
+// Table1 measures analysis times over the full corpus.
+func Table1(opt Table1Options) ([]Table1Row, error) {
+	scale := opt.SPECScale
+	if scale == 0 {
+		scale = 1.0
+	}
+	var rows []Table1Row
+	if !opt.SkipSPEC {
+		for _, spec := range progen.SPECPrograms() {
+			spec.KLoC *= scale
+			src := progen.Generate(spec)
+			prog, err := compileSrc(src)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s: %w", spec.Name, err)
+			}
+			row := Table1Row{
+				Program:  spec.Name,
+				KLoC:     float64(progen.Lines(src)) / 1000,
+				Sections: len(prog.Sections),
+			}
+			row.TimeK0 = timeAnalysis(prog, 0)
+			row.TimeK9 = timeAnalysis(prog, 9)
+			rows = append(rows, row)
+		}
+	}
+	for _, p := range progs.All() {
+		if p.Name == "move" || p.Name == "fig2" {
+			continue
+		}
+		ast, err := lang.Parse(p.Source())
+		if err != nil {
+			return nil, err
+		}
+		prog, err := ir.Lower(ast)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Program:  p.Name,
+			KLoC:     float64(p.Lines()) / 1000,
+			Sections: len(prog.Sections),
+		}
+		row.TimeK0 = timeAnalysis(prog, 0)
+		row.TimeK9 = timeAnalysis(prog, 9)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func compileSrc(src string) (*ir.Program, error) {
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ir.Lower(ast)
+}
+
+// timeAnalysis runs the points-to analysis plus the lock inference, the two
+// phases the paper's Table 1 column covers.
+func timeAnalysis(prog *ir.Program, k int) time.Duration {
+	start := time.Now()
+	pts := steens.Run(prog)
+	infer.New(prog, pts, infer.Options{K: k}).AnalyzeAll()
+	return time.Since(start)
+}
+
+// FormatTable1 renders the rows like the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %12s %12s\n",
+		"Program", "KLoC", "Atomic", "k=0", "k=9")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8.1f %8d %12s %12s\n",
+			r.Program, r.KLoC, r.Sections,
+			r.TimeK0.Round(time.Microsecond), r.TimeK9.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Fig7Col is one bar of Figure 7: the combined lock counts over every
+// atomic section of every program at one k.
+type Fig7Col struct {
+	K        int
+	FineRO   int
+	FineRW   int
+	CoarseRO int
+	CoarseRW int
+}
+
+// Total returns the combined number of locks.
+func (c Fig7Col) Total() int { return c.FineRO + c.FineRW + c.CoarseRO + c.CoarseRW }
+
+// Figure7 computes the lock distribution for each k over the mini-C corpus
+// (the concurrent programs, as in the paper: SPEC programs contribute
+// nothing to lock-count trends they were not designed for).
+func Figure7(ks []int) ([]Fig7Col, error) {
+	var out []Fig7Col
+	for _, k := range ks {
+		col := Fig7Col{K: k}
+		for _, p := range progs.All() {
+			if p.Name == "fig2" {
+				continue
+			}
+			c, err := progs.Compile(p, k)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range c.Results {
+				fro, frw, cro, crw := r.Count()
+				col.FineRO += fro
+				col.FineRW += frw
+				col.CoarseRO += cro
+				col.CoarseRW += crw
+			}
+		}
+		out = append(out, col)
+	}
+	return out, nil
+}
+
+// FormatFigure7 renders the series as an ASCII table plus bars.
+func FormatFigure7(cols []Fig7Col) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %8s %8s %9s %9s %7s\n",
+		"k", "fine-ro", "fine-rw", "coarse-ro", "coarse-rw", "total")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%-4d %8d %8d %9d %9d %7d\n",
+			c.K, c.FineRO, c.FineRW, c.CoarseRO, c.CoarseRW, c.Total())
+	}
+	b.WriteString("\n")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "k=%d |%s%s%s%s\n", c.K,
+			strings.Repeat("F", c.FineRO), strings.Repeat("f", c.FineRW),
+			strings.Repeat("C", c.CoarseRO), strings.Repeat("c", c.CoarseRW))
+	}
+	b.WriteString("(F fine-ro, f fine-rw, C coarse-ro, c coarse-rw)\n")
+	return b.String()
+}
+
+// Benchmark names one Table 2 row: builders for the coarse (k=0) and fine
+// (k=9) lock-plan variants of the workload.
+type Benchmark struct {
+	Name   string
+	Coarse func() workload.Workload
+	Fine   func() workload.Workload
+}
+
+// Table2Benchmarks returns the fifteen rows of Table 2 in the paper's
+// order.
+func Table2Benchmarks() []Benchmark {
+	mk := func(name string, f func(workload.Grain) workload.Workload) Benchmark {
+		return Benchmark{
+			Name:   name,
+			Coarse: func() workload.Workload { return f(workload.GrainCoarse) },
+			Fine:   func() workload.Workload { return f(workload.GrainFine) },
+		}
+	}
+	return []Benchmark{
+		mk("genome", func(g workload.Grain) workload.Workload { return workload.NewGenome("genome", g) }),
+		mk("vacation", func(workload.Grain) workload.Workload { return workload.NewVacation("vacation") }),
+		mk("kmeans", func(g workload.Grain) workload.Workload { return workload.NewKmeans("kmeans", g) }),
+		mk("bayes", func(workload.Grain) workload.Workload { return workload.NewBayes("bayes") }),
+		mk("labyrinth", func(workload.Grain) workload.Workload { return workload.NewLabyrinth("labyrinth") }),
+		mk("hashtable-high", func(workload.Grain) workload.Workload {
+			return workload.NewHashtable("hashtable-high", workload.HighMix)
+		}),
+		mk("hashtable-low", func(workload.Grain) workload.Workload {
+			return workload.NewHashtable("hashtable-low", workload.LowMix)
+		}),
+		mk("rbtree-high", func(workload.Grain) workload.Workload {
+			return workload.NewRBTree("rbtree-high", workload.HighMix)
+		}),
+		mk("rbtree-low", func(workload.Grain) workload.Workload {
+			return workload.NewRBTree("rbtree-low", workload.LowMix)
+		}),
+		mk("list-high", func(workload.Grain) workload.Workload {
+			return workload.NewList("list-high", workload.HighMix)
+		}),
+		mk("list-low", func(workload.Grain) workload.Workload {
+			return workload.NewList("list-low", workload.LowMix)
+		}),
+		mk("hashtable-2-high", func(g workload.Grain) workload.Workload {
+			return workload.NewHashtable2("hashtable-2-high", workload.HighMix, g)
+		}),
+		mk("hashtable-2-low", func(g workload.Grain) workload.Workload {
+			return workload.NewHashtable2("hashtable-2-low", workload.LowMix, g)
+		}),
+		mk("TH-high", func(workload.Grain) workload.Workload {
+			return workload.NewTH("TH-high", workload.HighMix)
+		}),
+		mk("TH-low", func(workload.Grain) workload.Workload {
+			return workload.NewTH("TH-low", workload.LowMix)
+		}),
+	}
+}
+
+// Table2Row is one measured row.
+type Table2Row struct {
+	Program string
+	Global  sim.Time
+	Coarse  sim.Time
+	Fine    sim.Time
+	STM     sim.Time
+	// STM diagnostics, the paper's abort commentary.
+	Commits int64
+	Aborts  int64
+}
+
+// RunOptions parameterizes the simulated runtime experiments.
+type RunOptions struct {
+	Cores        int
+	Threads      int
+	OpsPerThread int
+	Seed         int64
+}
+
+// Defaults returns the paper's 8-thread configuration.
+func Defaults() RunOptions {
+	return RunOptions{Cores: 8, Threads: 8, OpsPerThread: 400, Seed: 11}
+}
+
+func (o RunOptions) config() sim.Config {
+	return sim.Config{
+		Cores: o.Cores, Threads: o.Threads,
+		OpsPerThread: o.OpsPerThread, Seed: o.Seed,
+	}
+}
+
+// Table2 measures every benchmark under the four runtimes.
+func Table2(opt RunOptions) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, bm := range Table2Benchmarks() {
+		row, err := measure(bm, opt)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func measure(bm Benchmark, opt RunOptions) (Table2Row, error) {
+	cfg := opt.config()
+	row := Table2Row{Program: bm.Name}
+	g, err := sim.Run(bm.Coarse(), sim.ModeGlobal, cfg)
+	if err != nil {
+		return row, fmt.Errorf("bench: %s/global: %w", bm.Name, err)
+	}
+	c, err := sim.Run(bm.Coarse(), sim.ModeMGL, cfg)
+	if err != nil {
+		return row, fmt.Errorf("bench: %s/coarse: %w", bm.Name, err)
+	}
+	f, err := sim.Run(bm.Fine(), sim.ModeMGL, cfg)
+	if err != nil {
+		return row, fmt.Errorf("bench: %s/fine: %w", bm.Name, err)
+	}
+	s, err := sim.Run(bm.Coarse(), sim.ModeSTM, cfg)
+	if err != nil {
+		return row, fmt.Errorf("bench: %s/stm: %w", bm.Name, err)
+	}
+	row.Global, row.Coarse, row.Fine, row.STM = g.SimTime, c.SimTime, f.SimTime, s.SimTime
+	row.Commits, row.Aborts = s.Commits, s.Aborts
+	return row, nil
+}
+
+// FormatTable2 renders the rows like the paper's Table 2 (simulated time
+// units).
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s %10s %10s\n",
+		"Program", "Global", "Coarse", "Fine+Crs", "STM", "aborts")
+	fmt.Fprintf(&b, "%-18s %10s %10s %10s %10s %10s\n",
+		"", "", "(k=0)", "(k=9)", "", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %10d %10d %10d %10d %10d\n",
+			r.Program, r.Global, r.Coarse, r.Fine, r.STM, r.Aborts)
+	}
+	return b.String()
+}
+
+// Fig8Series is one program's scalability curves.
+type Fig8Series struct {
+	Program string
+	Threads []int
+	// Times[runtime][i] is the simulated time at Threads[i]; runtimes are
+	// "global", "coarse", "fine", "stm".
+	Times map[string][]sim.Time
+}
+
+// Figure8Programs lists the five programs the paper plots.
+func Figure8Programs() []string {
+	return []string{"rbtree-high", "hashtable-2-high", "TH-high", "genome", "kmeans"}
+}
+
+// Figure8 measures the scalability curves at 1, 2, 4 and 8 threads.
+func Figure8(opt RunOptions) ([]Fig8Series, error) {
+	byName := map[string]Benchmark{}
+	for _, bm := range Table2Benchmarks() {
+		byName[bm.Name] = bm
+	}
+	threads := []int{1, 2, 4, 8}
+	var out []Fig8Series
+	for _, name := range Figure8Programs() {
+		bm, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown figure 8 program %q", name)
+		}
+		series := Fig8Series{
+			Program: name,
+			Threads: threads,
+			Times:   map[string][]sim.Time{},
+		}
+		for _, th := range threads {
+			// Fixed total work divided among threads, so the curves read as
+			// the paper's time-versus-threads plots.
+			o := opt
+			o.Threads = th
+			o.OpsPerThread = opt.OpsPerThread * 8 / th
+			row, err := measure(bm, o)
+			if err != nil {
+				return nil, err
+			}
+			series.Times["global"] = append(series.Times["global"], row.Global)
+			series.Times["coarse"] = append(series.Times["coarse"], row.Coarse)
+			series.Times["fine"] = append(series.Times["fine"], row.Fine)
+			series.Times["stm"] = append(series.Times["stm"], row.STM)
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// FormatFigure8 renders the curves as text.
+func FormatFigure8(series []Fig8Series) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s\n", s.Program)
+		fmt.Fprintf(&b, "  %-8s", "threads")
+		for _, th := range s.Threads {
+			fmt.Fprintf(&b, " %10d", th)
+		}
+		b.WriteString("\n")
+		for _, rt := range []string{"global", "coarse", "fine", "stm"} {
+			fmt.Fprintf(&b, "  %-8s", rt)
+			for _, v := range s.Times[rt] {
+				fmt.Fprintf(&b, " %10d", v)
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

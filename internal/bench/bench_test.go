@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"testing"
+
+	"lockinfer/internal/sim"
+)
+
+// small returns a fast configuration with the paper's 8-thread shape.
+func small() RunOptions {
+	return RunOptions{Cores: 8, Threads: 8, OpsPerThread: 250, Seed: 11}
+}
+
+func rowsByName(t *testing.T, opt RunOptions) map[string]Table2Row {
+	t.Helper()
+	rows, err := Table2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]Table2Row{}
+	for _, r := range rows {
+		out[r.Program] = r
+	}
+	return out
+}
+
+// TestTable2Shapes asserts the qualitative structure of Table 2: who wins
+// and loses in each row, per the paper's §6.3 analysis.
+func TestTable2Shapes(t *testing.T) {
+	rows := rowsByName(t, small())
+	gt := func(name string, a, b sim.Time, what string) {
+		if a <= b {
+			t.Errorf("%s: expected %s (%d > %d)", name, what, a, b)
+		}
+	}
+	// STM loses where rollbacks dominate.
+	for _, name := range []string{"genome", "vacation", "kmeans", "bayes", "hashtable-high"} {
+		r := rows[name]
+		gt(name, r.STM, r.Coarse, "STM slower than coarse locks")
+	}
+	// STM wins the low-contention micro-benchmarks and labyrinth.
+	for _, name := range []string{"labyrinth", "rbtree-low", "rbtree-high", "list-low",
+		"hashtable-low", "hashtable-2-low", "hashtable-2-high", "TH-low"} {
+		r := rows[name]
+		gt(name, r.Coarse, r.STM, "STM faster than coarse locks")
+	}
+	// Read/write coarse locks beat the global lock roughly 2x in the low
+	// settings (more gets -> shared mode).
+	for _, name := range []string{"rbtree-low", "list-low", "hashtable-low"} {
+		r := rows[name]
+		ratio := float64(r.Global) / float64(r.Coarse)
+		if ratio < 1.3 {
+			t.Errorf("%s: coarse only %.2fx better than global, want >1.3x", name, ratio)
+		}
+	}
+	// In the high settings coarse is roughly the global lock.
+	for _, name := range []string{"rbtree-high", "list-high", "hashtable-high", "genome", "bayes"} {
+		r := rows[name]
+		ratio := float64(r.Coarse) / float64(r.Global)
+		if ratio < 0.9 || ratio > 1.25 {
+			t.Errorf("%s: coarse/global = %.2f, want about 1", name, ratio)
+		}
+	}
+	// Fine-grain locks halve hashtable-2-high (the paper's headline win
+	// for expression locks).
+	{
+		r := rows["hashtable-2-high"]
+		ratio := float64(r.Coarse) / float64(r.Fine)
+		if ratio < 1.4 {
+			t.Errorf("hashtable-2-high: fine only %.2fx better than coarse, want >1.4x", ratio)
+		}
+	}
+	// Fine-grain locks only add overhead on genome and kmeans.
+	for _, name := range []string{"genome", "kmeans"} {
+		r := rows[name]
+		if r.Fine <= r.Coarse {
+			t.Errorf("%s: fine (%d) should cost more than coarse (%d)", name, r.Fine, r.Coarse)
+		}
+	}
+	// TH: disjoint structures let coarse locks beat the global lock in
+	// both settings.
+	for _, name := range []string{"TH-low", "TH-high"} {
+		r := rows[name]
+		ratio := float64(r.Global) / float64(r.Coarse)
+		if ratio < 1.5 {
+			t.Errorf("%s: coarse only %.2fx better than global, want >1.5x", name, ratio)
+		}
+	}
+	// Vacation's abort storm: far more aborts than commits.
+	{
+		r := rows["vacation"]
+		if r.Aborts < 2*r.Commits {
+			t.Errorf("vacation: aborts=%d commits=%d; expected an abort storm", r.Aborts, r.Commits)
+		}
+	}
+}
+
+// TestFigure8Shapes asserts the scalability trends of Figure 8.
+func TestFigure8Shapes(t *testing.T) {
+	series, err := Figure8(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig8Series{}
+	for _, s := range series {
+		byName[s.Program] = s
+	}
+	at := func(s Fig8Series, rt string, threads int) sim.Time {
+		for i, th := range s.Threads {
+			if th == threads {
+				return s.Times[rt][i]
+			}
+		}
+		t.Fatalf("no %d-thread point", threads)
+		return 0
+	}
+	// Total work is fixed, so a scaling runtime's curve decreases with
+	// threads. TH scales under coarse locks (disjoint partitions).
+	th := byName["TH-high"]
+	if v8, v1 := at(th, "coarse", 8), at(th, "coarse", 1); float64(v8) > 0.7*float64(v1) {
+		t.Errorf("TH-high coarse does not scale: 1thr=%d 8thr=%d", v1, v8)
+	}
+	// genome gets no benefit from threads under locks (fully serialized).
+	g := byName["genome"]
+	if v8, v1 := at(g, "coarse", 8), at(g, "coarse", 1); float64(v8) < 0.75*float64(v1) {
+		t.Errorf("genome coarse unexpectedly scales: 1thr=%d 8thr=%d", v1, v8)
+	}
+	// hashtable-2 under fine locks stops improving between 4 and 8 threads
+	// (put/get contention), per the paper's observation.
+	h2 := byName["hashtable-2-high"]
+	if v8, v4 := at(h2, "fine", 8), at(h2, "fine", 4); float64(v8) < 0.7*float64(v4) {
+		t.Errorf("hashtable-2-high fine improved 4->8 threads too much: %d -> %d", v4, v8)
+	}
+	// rbtree under the STM keeps scaling to 8 threads.
+	rb := byName["rbtree-high"]
+	if v8, v1 := at(rb, "stm", 8), at(rb, "stm", 1); float64(v8) > 0.6*float64(v1) {
+		t.Errorf("rbtree-high stm does not scale: 1thr=%d 8thr=%d", v1, v8)
+	}
+}
+
+// TestTable1Shape checks analysis-time trends on a scaled-down corpus.
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(Table1Options{SPECScale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var largest, smallest *Table1Row
+	for i := range rows {
+		r := &rows[i]
+		if r.TimeK9 < r.TimeK0/2 {
+			t.Errorf("%s: k=9 (%v) much faster than k=0 (%v)", r.Program, r.TimeK9, r.TimeK0)
+		}
+		switch r.Program {
+		case "gzip":
+			smallest = r
+		case "vortex":
+			largest = r
+		}
+	}
+	if smallest == nil || largest == nil {
+		t.Fatal("missing SPEC rows")
+	}
+	if largest.TimeK9 < smallest.TimeK9 {
+		t.Errorf("analysis time does not grow with size: vortex %v < gzip %v",
+			largest.TimeK9, smallest.TimeK9)
+	}
+}
+
+// TestFigure7Shape checks the lock-distribution trends.
+func TestFigure7Shape(t *testing.T) {
+	cols, err := Figure7([]int{0, 1, 3, 6, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byK := map[int]Fig7Col{}
+	for _, c := range cols {
+		byK[c.K] = c
+	}
+	if c := byK[0]; c.FineRO+c.FineRW != 0 {
+		t.Errorf("k=0 produced fine locks: %+v", c)
+	}
+	if c := byK[3]; c.FineRO+c.FineRW == 0 {
+		t.Errorf("k=3 produced no fine locks")
+	}
+	// Coarse locks are progressively replaced.
+	if byK[3].CoarseRO+byK[3].CoarseRW >= byK[0].CoarseRO+byK[0].CoarseRW {
+		t.Errorf("coarse count did not drop from k=0 (%d) to k=3 (%d)",
+			byK[0].CoarseRO+byK[0].CoarseRW, byK[3].CoarseRO+byK[3].CoarseRW)
+	}
+	// Plateau: k=6 to k=9 changes little.
+	if d := byK[9].Total() - byK[6].Total(); d < -3 || d > 3 {
+		t.Errorf("no plateau: total k=6 %d vs k=9 %d", byK[6].Total(), byK[9].Total())
+	}
+}
+
+// TestAblationShapes checks that both ablated dimensions matter.
+func TestAblationShapes(t *testing.T) {
+	ro, err := AblateReadOnlyLocks(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ro {
+		if r.Factor < 1.25 {
+			t.Errorf("read-only ablation on %s only %.2fx; Σε should matter", r.Program, r.Factor)
+		}
+	}
+	parts, err := AblatePartitions(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range parts {
+		if r.Factor < 1.3 {
+			t.Errorf("partition ablation on %s only %.2fx; Σ≡ should matter", r.Program, r.Factor)
+		}
+	}
+}
+
+// TestDeterminism: identical configurations yield identical simulated
+// times.
+func TestDeterminism(t *testing.T) {
+	opt := RunOptions{Cores: 8, Threads: 4, OpsPerThread: 100, Seed: 3}
+	a := rowsByName(t, opt)
+	b := rowsByName(t, opt)
+	for name, ra := range a {
+		if rb := b[name]; ra != rb {
+			t.Errorf("%s: non-deterministic results %+v vs %+v", name, ra, rb)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPrintAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	cols, err := Figure7([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatFigure7(cols))
+	rows, err := AblateReadOnlyLocks(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatAblation("read-only ablation", rows))
+	rows2, err := AblatePartitions(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Print(FormatAblation("partition ablation", rows2))
+}

@@ -1,0 +1,150 @@
+package infer
+
+import (
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+)
+
+// This file implements the framework of §4.1 for an arbitrary
+// flow-insensitive abstract lock scheme. A flow-insensitive lock protects
+// the same locations at every program point, so every transfer function of
+// Figure 4 maps it to itself and the fixed point collapses to the union of
+// the G sets over the section and its transitive callees — precisely the
+// observation the paper makes for points-to locks in §4.3. The instances of
+// §3.3.1 other than Σk (Σ≡, Σε, Σi, and their products) are all
+// flow-insensitive, so this engine runs the framework at any of them; the
+// flow-sensitive Σk component requires the substitution-based engine in
+// transfer.go. A differential test checks the two engines agree where their
+// domains overlap (Σ≡ × Σε versus the specialized engine's coarse locks).
+
+// FlowInsensitive analyzes one atomic section under a flow-insensitive
+// scheme, returning the minimized lock set for the section entry.
+func FlowInsensitive(prog *ir.Program, sec *ir.Section, sch locks.Scheme) []locks.Lock {
+	c := &genericCollector{
+		prog:    prog,
+		sch:     sch,
+		found:   map[string]locks.Lock{},
+		visited: map[*ir.Func]bool{},
+	}
+	for i := sec.Begin + 1; i < sec.End; i++ {
+		c.stmt(sec.Fn.Stmts[i])
+	}
+	return c.minimized()
+}
+
+type genericCollector struct {
+	prog    *ir.Program
+	sch     locks.Scheme
+	found   map[string]locks.Lock
+	visited map[*ir.Func]bool
+}
+
+func (c *genericCollector) add(l locks.Lock) { c.found[l.Key()] = l }
+
+// pathLock builds the ê lock for an access path (§3.3's inductive
+// construction) under the collector's scheme.
+func (c *genericCollector) pathLock(p locks.Path, eff locks.Eff) locks.Lock {
+	return locks.ExprLockFor(c.sch, p, eff)
+}
+
+// varAccess records an access to a variable's own cell when it is shared.
+func (c *genericCollector) varAccess(v *ir.Var, eff locks.Eff) {
+	if v == nil || !(v.Global || v.AddrTaken) {
+		return
+	}
+	c.add(c.sch.Var(v, eff))
+}
+
+// stmt contributes the statement's G locks (Figure 4, bottom).
+func (c *genericCollector) stmt(s *ir.Stmt) {
+	read := func(v *ir.Var) { c.varAccess(v, locks.RO) }
+	write := func(v *ir.Var) { c.varAccess(v, locks.RW) }
+	deref := func(v *ir.Var, eff locks.Eff) {
+		c.add(c.pathLock(locks.VarPath(v).Append(locks.PathOp{Kind: locks.OpDeref}), eff))
+	}
+	switch s.Op {
+	case ir.OpCopy:
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpAddrOf:
+		write(s.Dst)
+	case ir.OpLoad:
+		deref(s.Src, locks.RO)
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpStore:
+		deref(s.Dst, locks.RW)
+		read(s.Dst)
+		read(s.Src)
+	case ir.OpField, ir.OpIndex:
+		read(s.Src)
+		read(s.Src2)
+		write(s.Dst)
+	case ir.OpNew:
+		read(s.Src2)
+		write(s.Dst)
+	case ir.OpNull, ir.OpConst:
+		write(s.Dst)
+	case ir.OpArith, ir.OpUnary:
+		read(s.Src)
+		read(s.Src2)
+		write(s.Dst)
+	case ir.OpBranch:
+		read(s.Src)
+	case ir.OpCall:
+		for _, a := range s.Args {
+			read(a)
+		}
+		if s.Dst != nil {
+			write(s.Dst)
+		}
+		c.call(s.Callee)
+	}
+}
+
+// call folds a callee's accesses into the section. Flow-insensitive locks
+// need no re-rooting across the call boundary: a lock over the formal's
+// cell or targets covers the actual's, because the underlying scheme's
+// domain (points-to classes, effects, fields) is context-insensitive.
+func (c *genericCollector) call(name string) {
+	f := c.prog.Func(name)
+	if f == nil {
+		c.add(c.sch.Top())
+		return
+	}
+	if f.External {
+		// No specification channel in the generic engine: be conservative.
+		c.add(c.sch.Top())
+		return
+	}
+	if c.visited[f] {
+		return
+	}
+	c.visited[f] = true
+	for _, s := range f.Stmts {
+		c.stmt(s)
+	}
+}
+
+// minimized drops every lock strictly below another (the merge rule).
+func (c *genericCollector) minimized() []locks.Lock {
+	var out []locks.Lock
+	for _, l := range c.found {
+		redundant := false
+		for _, o := range c.found {
+			if l.Key() == o.Key() {
+				continue
+			}
+			// l is redundant if o is coarser (l ≤ o); break ties between
+			// mutually-leq locks by key so exactly one survives.
+			if c.sch.Leq(l, o) && (!c.sch.Leq(o, l) || l.Key() < o.Key()) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, l)
+		}
+	}
+	return out
+}

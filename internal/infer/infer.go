@@ -1,0 +1,339 @@
+// Package infer implements the lock inference analysis of Section 4 of
+// "Inferring Locks for Atomic Sections" (PLDI 2008): a backward
+// interprocedural dataflow analysis that computes, for every atomic section,
+// a set of locks that protects every shared location the section may access.
+//
+// The implemented instance is the paper's Σk × Σ≡ × Σε scheme (§4.3):
+// fine-grain locks are k-limited access paths paired with their Steensgaard
+// points-to class and an effect; paths that exceed the k limit (or otherwise
+// stop being expressible at the section entry) are coarsened to their
+// points-to-class lock, which is flow-insensitive and flows directly into
+// the section's solution. Transfer functions are implemented by recursive
+// substitution on paths (the closure operator of Figure 4 is never
+// materialized), stores consult the Steensgaard may-alias oracle, and calls
+// use function summaries with map/unmap and src provenance tracking exactly
+// as described in §4.3.
+package infer
+
+import (
+	"fmt"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+)
+
+// Options configures the engine.
+type Options struct {
+	// K bounds the length (operation count) of fine-grain lock expressions;
+	// longer paths coarsen to their points-to-class lock. The paper sweeps
+	// K from 0 to 9.
+	K int
+	// IndexMax bounds the node count of symbolic array-index expressions;
+	// larger indices coarsen. Zero means the default of 8.
+	IndexMax int
+	// Specs supplies function specifications for external (pre-compiled)
+	// functions, per §4.3. An external function without a spec is treated
+	// fully conservatively (the global lock). The same specs should be
+	// passed to steens.RunWithSpecs.
+	Specs map[string]steens.ExternSpec
+}
+
+func (o Options) indexMax() int {
+	if o.IndexMax <= 0 {
+		return 8
+	}
+	return o.IndexMax
+}
+
+// Result is the analysis outcome for one atomic section.
+type Result struct {
+	Section *ir.Section
+	// Locks is the minimized lock set to acquire at the section entry.
+	Locks locks.Set
+}
+
+// Count returns the number of locks in the four categories of Figure 7:
+// fine-grain read-only, fine-grain read-write, coarse-grain read-only and
+// coarse-grain read-write. The global ⊤ lock counts as coarse read-write.
+func (r *Result) Count() (fineRO, fineRW, coarseRO, coarseRW int) {
+	for _, l := range r.Locks {
+		switch {
+		case l.Fine && l.Eff == locks.RO:
+			fineRO++
+		case l.Fine:
+			fineRW++
+		case l.Eff == locks.RO:
+			coarseRO++
+		default:
+			coarseRW++
+		}
+	}
+	return
+}
+
+// Engine runs the inference over one program.
+type Engine struct {
+	prog *ir.Program
+	pts  *steens.Analysis
+	opts Options
+
+	storeSum  map[*ir.Func]map[steens.NodeID]bool
+	summaries map[*ir.Func]*summary
+	instances map[*ir.Func]*instance // summary instances, created on demand
+	externs   map[string]*externInfo
+	queue     []task
+	queued    map[task]bool
+}
+
+// externInfo is an ExternSpec resolved against the points-to analysis.
+type externInfo struct {
+	// locks are the flow-insensitive coarse locks covering the function's
+	// own accesses.
+	locks []locks.Inferred
+	// stores are the cell classes the function may write through.
+	stores map[steens.NodeID]bool
+	// retClosure holds the classes that can contain the returned pointer's
+	// targets (nil when unknown).
+	retClosure []steens.NodeID
+}
+
+type task struct {
+	inst *instance
+	stmt int
+}
+
+// New creates an engine for prog using a previously computed points-to
+// analysis.
+func New(prog *ir.Program, pts *steens.Analysis, opts Options) *Engine {
+	e := &Engine{
+		prog:      prog,
+		pts:       pts,
+		opts:      opts,
+		storeSum:  pts.StoreSummary(),
+		summaries: map[*ir.Func]*summary{},
+		instances: map[*ir.Func]*instance{},
+		externs:   map[string]*externInfo{},
+		queued:    map[task]bool{},
+	}
+	for name, spec := range opts.Specs {
+		e.externs[name] = e.resolveSpec(spec)
+	}
+	return e
+}
+
+// resolveSpec turns a global-rooted spec into classes and coarse locks.
+func (e *Engine) resolveSpec(spec steens.ExternSpec) *externInfo {
+	info := &externInfo{stores: map[steens.NodeID]bool{}}
+	for _, root := range spec.Reads {
+		for _, c := range e.pts.GlobalClosure(e.prog, root) {
+			info.locks = append(info.locks, locks.CoarseLock(c, locks.RO))
+		}
+	}
+	for _, root := range spec.Writes {
+		for _, c := range e.pts.GlobalClosure(e.prog, root) {
+			info.locks = append(info.locks, locks.CoarseLock(c, locks.RW))
+			info.stores[e.pts.Rep(c)] = true
+		}
+	}
+	if spec.ReturnsFrom != "" {
+		info.retClosure = e.pts.GlobalClosure(e.prog, spec.ReturnsFrom)
+	}
+	return info
+}
+
+// AnalyzeAll analyzes every atomic section of the program, in order.
+func (e *Engine) AnalyzeAll() []*Result {
+	out := make([]*Result, 0, len(e.prog.Sections))
+	for _, sec := range e.prog.Sections {
+		out = append(out, e.AnalyzeSection(sec))
+	}
+	return out
+}
+
+// AnalyzeSection analyzes one atomic section and returns the locks to be
+// acquired at its entry.
+func (e *Engine) AnalyzeSection(sec *ir.Section) *Result {
+	inst := newInstance(e, sec.Fn, sec.Begin, sec.End, nil)
+	// Seed: every statement of the body contributes its G set; enqueue the
+	// whole range in reverse for a good initial order.
+	for i := sec.End; i >= sec.Begin; i-- {
+		e.enqueue(task{inst, i})
+	}
+	e.run()
+	set := locks.NewSet()
+	for _, it := range inst.fact[sec.Begin] {
+		set.Add(it.lock)
+	}
+	set.AddAll(inst.coarse)
+	return &Result{Section: sec, Locks: set.Minimize()}
+}
+
+func (e *Engine) enqueue(t task) {
+	if t.stmt < t.inst.lo || t.stmt > t.inst.hi {
+		return
+	}
+	if e.queued[t] {
+		return
+	}
+	e.queued[t] = true
+	e.queue = append(e.queue, t)
+}
+
+func (e *Engine) run() {
+	for len(e.queue) > 0 {
+		t := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		delete(e.queued, t)
+		t.inst.process(t.stmt)
+	}
+}
+
+// item is one dataflow fact: a fine-grain lock tagged with its provenance.
+// src is the canonical key of the exit lock it derives from, or genSrc for
+// locks generated by the analyzed code's own accesses.
+type item struct {
+	lock locks.Inferred
+	src  string
+}
+
+const genSrc = "$gen"
+
+func itemKey(it item) string { return it.lock.Key() + "|" + it.src }
+
+// instance is one dataflow computation over a statement range of a
+// function: either an atomic section body (sum == nil) or a whole function
+// body computing a summary (sum != nil).
+type instance struct {
+	eng    *Engine
+	fn     *ir.Func
+	lo, hi int
+	fact   []map[string]item
+	// coarse accumulates flow-insensitive coarse locks for section
+	// instances. Summary instances attribute coarse locks to their src
+	// bucket instead.
+	coarse locks.Set
+	sum    *summary
+}
+
+func newInstance(e *Engine, fn *ir.Func, lo, hi int, sum *summary) *instance {
+	return &instance{
+		eng:    e,
+		fn:     fn,
+		lo:     lo,
+		hi:     hi,
+		fact:   make([]map[string]item, len(fn.Stmts)),
+		coarse: locks.NewSet(),
+		sum:    sum,
+	}
+}
+
+// out computes the union of the facts at the before-points of i's
+// successors, restricted to the instance range.
+func (in *instance) out(i int) map[string]item {
+	s := in.fn.Stmts[i]
+	res := map[string]item{}
+	for _, j := range s.Succs {
+		if j < in.lo || j > in.hi {
+			continue
+		}
+		for k, it := range in.fact[j] {
+			res[k] = it
+		}
+	}
+	return res
+}
+
+// process recomputes the fact before statement i and propagates changes.
+func (in *instance) process(i int) {
+	s := in.fn.Stmts[i]
+	var nf map[string]item
+	switch {
+	case in.sum != nil && s.Op == ir.OpExit:
+		// The fact at the exit is exactly the seeded exit locks.
+		nf = map[string]item{}
+		for key, l := range in.sum.seeds {
+			it := item{lock: l, src: key}
+			nf[itemKey(it)] = it
+		}
+	case in.sum == nil && s.Op == ir.OpAtomicEnd && i == in.hi:
+		nf = map[string]item{} // no locks needed past the section end
+	default:
+		nf = in.transfer(i, in.out(i))
+	}
+	if !factChanged(in.fact[i], nf) {
+		return
+	}
+	in.fact[i] = nf
+	for _, p := range s.Preds {
+		in.eng.enqueue(task{in, p})
+	}
+	if in.sum != nil && i == 0 {
+		in.sum.publishEntry(nf)
+	}
+}
+
+// factChanged reports whether new contains any item absent from old.
+// Facts grow monotonically, so a subset check suffices.
+func factChanged(old, new map[string]item) bool {
+	if len(new) > len(old) {
+		return true
+	}
+	for k := range new {
+		if _, ok := old[k]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// emitCoarse records a coarse lock: flow-insensitively for a section
+// instance, or into the src bucket of a summary.
+func (in *instance) emitCoarse(l locks.Inferred, src string) {
+	if in.sum != nil {
+		in.sum.addEntry(src, l)
+		return
+	}
+	in.coarse.Add(l)
+}
+
+// classOf computes the Steensgaard class of the cell a path protects.
+func (e *Engine) classOf(p locks.Path) steens.NodeID {
+	n := e.pts.VarCell(p.Base)
+	for _, op := range p.Ops {
+		if op.Kind == locks.OpDeref {
+			n = e.pts.Pointee(n)
+		}
+	}
+	return n
+}
+
+// coarseOf returns the coarse lock covering everything a path could
+// protect.
+func (e *Engine) coarseOf(p locks.Path, eff locks.Eff) locks.Inferred {
+	return locks.CoarseLock(e.classOf(p), eff)
+}
+
+// addPath inserts a fine lock for path p (coarsening if p exceeds the k
+// limit or carries an oversized index) into dst.
+func (in *instance) addPath(dst map[string]item, p locks.Path, eff locks.Eff, src string) {
+	if p.ExprLen() > in.eng.opts.K || in.indexTooBig(p) {
+		in.emitCoarse(in.eng.coarseOf(p, eff), src)
+		return
+	}
+	it := item{lock: locks.FineLock(p, in.eng.classOf(p), eff), src: src}
+	dst[itemKey(it)] = it
+}
+
+func (in *instance) indexTooBig(p locks.Path) bool {
+	for _, op := range p.Ops {
+		if op.Kind == locks.OpIndex && op.Index.Size() > in.eng.opts.indexMax() {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("infer.Engine(k=%d)", e.opts.K)
+}

@@ -1,0 +1,255 @@
+package infer
+
+import (
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+)
+
+// summary caches the analysis of one function, per §4.3: for each exit lock
+// l (keyed canonically), entry[src(l)] is the set of locks at the function
+// entry that protect the same locations l protected at the exit. The genSrc
+// bucket holds the locks demanded by the function's own accesses (its G
+// sets and, transitively, those of its callees).
+type summary struct {
+	fn *ir.Func
+	// seeds are the exit locks demanded so far, by canonical key.
+	seeds map[string]locks.Inferred
+	// entry maps a src key (a seed key or genSrc) to entry locks.
+	entry map[string]locks.Set
+	// dependents are call-site tasks to re-enqueue when entry grows.
+	dependents map[task]bool
+	inst       *instance
+}
+
+// summaryFor returns (creating and scheduling on first use) the summary of
+// fn.
+func (e *Engine) summaryFor(fn *ir.Func) *summary {
+	if s, ok := e.summaries[fn]; ok {
+		return s
+	}
+	s := &summary{
+		fn:         fn,
+		seeds:      map[string]locks.Inferred{},
+		entry:      map[string]locks.Set{},
+		dependents: map[task]bool{},
+	}
+	e.summaries[fn] = s
+	inst := newInstance(e, fn, 0, len(fn.Stmts)-1, s)
+	s.inst = inst
+	e.instances[fn] = inst
+	// Schedule the whole body so the genSrc bucket (the function's own
+	// accesses) is computed.
+	for i := len(fn.Stmts) - 1; i >= 0; i-- {
+		e.enqueue(task{inst, i})
+	}
+	return s
+}
+
+// seed demands the summary for a new exit lock.
+func (e *Engine) seed(s *summary, l locks.Inferred) {
+	key := l.Key()
+	if _, ok := s.seeds[key]; ok {
+		return
+	}
+	s.seeds[key] = l
+	e.enqueue(task{s.inst, s.fn.Exit})
+}
+
+// addEntry records an entry lock for a src bucket, notifying dependents on
+// growth.
+func (s *summary) addEntry(src string, l locks.Inferred) {
+	set, ok := s.entry[src]
+	if !ok {
+		set = locks.NewSet()
+		s.entry[src] = set
+	}
+	if set.Add(l) {
+		for t := range s.dependents {
+			t.inst.eng.enqueue(t)
+		}
+	}
+}
+
+// publishEntry folds the fact at the function entry into the summary
+// buckets.
+func (s *summary) publishEntry(fact map[string]item) {
+	for _, it := range fact {
+		s.addEntry(it.src, it.lock)
+	}
+}
+
+// transferCall implements the transfer function for x = f(a0,...,an):
+// ret-rooted locks map into the callee and their summarized entry locks
+// unmap back through the argument bindings; other locks survive the call
+// unless the callee may store through an aliasing cell, in which case a
+// coarse alternative is added; and the callee's own access locks (genSrc
+// bucket) are unmapped into the caller.
+func (in *instance) transferCall(i int, s *ir.Stmt, out map[string]item, nf map[string]item) {
+	callee := in.eng.prog.Func(s.Callee)
+	if callee == nil {
+		// Unknown callee: be sound, not precise.
+		in.emitCoarse(locks.GlobalLock(), genSrc)
+		for _, it := range out {
+			in.keep(nf, it)
+		}
+		return
+	}
+	if callee.External {
+		in.transferExternCall(s, callee, out, nf)
+		return
+	}
+	sum := in.eng.summaryFor(callee)
+	sum.dependents[task{in, i}] = true
+	stores := in.eng.storeSum[callee]
+
+	// The callee's own accesses, translated to the call site.
+	for _, l := range sum.entry[genSrc] {
+		in.unmapEntryLock(nf, l, s, callee, genSrc)
+	}
+
+	for _, it := range out {
+		p := it.lock.Path
+		if it.lock.Fine && s.Dst != nil && p.Base == s.Dst && p.Len() > 0 {
+			// Map through x = ret_f (S_{x=ret}: *x̄ -> *ret̄), then consult
+			// the summary.
+			exitPath := locks.Path{Base: callee.RetVar, Ops: p.Ops}
+			exitLock := locks.FineLock(exitPath, it.lock.Class, it.lock.Eff)
+			in.eng.seed(sum, exitLock)
+			for _, l := range sum.entry[exitLock.Key()] {
+				in.unmapEntryLock(nf, l, s, callee, it.src)
+			}
+			continue
+		}
+		// The lock survives the call; add a coarse alternative when a store
+		// inside the callee may redirect one of its dereferences or change
+		// one of its index variables.
+		if callStoreConflict(in.eng, stores, p) {
+			in.emitCoarse(in.eng.coarseOf(p, it.lock.Eff), it.src)
+		}
+		in.keep(nf, it)
+	}
+}
+
+// callStoreConflict reports whether a callee that stores through the given
+// cell classes could invalidate path p.
+func callStoreConflict(e *Engine, stores map[steens.NodeID]bool, p locks.Path) bool {
+	for j, op := range p.Ops {
+		if op.Kind != locks.OpDeref {
+			continue
+		}
+		prefix := locks.Path{Base: p.Base, Ops: p.Ops[:j]}
+		if stores[e.pts.Rep(e.classOf(prefix))] {
+			return true
+		}
+	}
+	for _, v := range pathIndexVars(p) {
+		if stores[e.pts.Rep(e.pts.VarCell(v))] {
+			return true
+		}
+	}
+	return false
+}
+
+// unmapEntryLock translates a lock valid at the callee's entry to the point
+// before the call, modeling the bindings p_i = a_i: formal-rooted locks are
+// re-rooted at the actuals; global-rooted locks pass through; locks rooted
+// at callee locals (including formal cells themselves, which are fresh per
+// invocation) coarsen to their points-to class.
+func (in *instance) unmapEntryLock(nf map[string]item, l locks.Inferred, call *ir.Stmt, callee *ir.Func, src string) {
+	if !l.Fine {
+		in.emitCoarse(l, src)
+		return
+	}
+	p := l.Path
+	np, ok := in.rebindPath(p, call, callee)
+	if !ok {
+		in.emitCoarse(locks.CoarseLock(l.Class, l.Eff), src)
+		return
+	}
+	in.addPath(nf, np, l.Eff, src)
+}
+
+// rebindPath rewrites a callee-scoped path into caller scope; it reports
+// false when the path mentions a callee variable with no caller-side
+// counterpart.
+func (in *instance) rebindPath(p locks.Path, call *ir.Stmt, callee *ir.Func) (locks.Path, bool) {
+	formalActual := func(v *ir.Var) (*ir.Var, bool) {
+		for i, prm := range callee.Params {
+			if prm == v && i < len(call.Args) {
+				return call.Args[i], true
+			}
+		}
+		return nil, false
+	}
+	base := p.Base
+	if base.Owner == callee {
+		actual, ok := formalActual(base)
+		if !ok || p.Len() == 0 {
+			// A callee local, or the formal's own fresh cell: not nameable
+			// before the call.
+			return locks.Path{}, false
+		}
+		base = actual
+	}
+	ops := make([]locks.PathOp, len(p.Ops))
+	copy(ops, p.Ops)
+	for i, op := range ops {
+		if op.Kind != locks.OpIndex {
+			continue
+		}
+		idx := op.Index
+		for _, v := range idx.Vars(nil) {
+			if v.Owner != callee {
+				continue
+			}
+			actual, ok := formalActual(v)
+			if !ok {
+				return locks.Path{}, false
+			}
+			idx = idx.Subst(v, locks.IVarExpr(actual))
+		}
+		ops[i].Index = idx
+	}
+	return locks.Path{Base: base, Ops: ops}, true
+}
+
+// transferExternCall handles calls to pre-compiled functions using their
+// specification (§4.3): the spec's coarse locks cover the callee's own
+// accesses; locks that survive around the call gain a coarse alternative
+// when the spec says the callee may store through an aliasing class; and
+// locks rooted at the returned pointer coarsen into the spec's return
+// closure. An external function without a spec falls back to the global
+// lock, which covers everything.
+func (in *instance) transferExternCall(s *ir.Stmt, callee *ir.Func, out, nf map[string]item) {
+	info := in.eng.externs[callee.Name]
+	if info == nil {
+		in.emitCoarse(locks.GlobalLock(), genSrc)
+		for _, it := range out {
+			in.keep(nf, it)
+		}
+		return
+	}
+	for _, l := range info.locks {
+		in.emitCoarse(l, genSrc)
+	}
+	for _, it := range out {
+		p := it.lock.Path
+		if it.lock.Fine && s.Dst != nil && p.Base == s.Dst && p.Len() > 0 {
+			// Rooted at the returned pointer: expressible only through the
+			// spec's return closure.
+			if len(info.retClosure) == 0 {
+				in.emitCoarse(locks.GlobalLock(), it.src)
+				continue
+			}
+			for _, c := range info.retClosure {
+				in.emitCoarse(locks.CoarseLock(c, it.lock.Eff), it.src)
+			}
+			continue
+		}
+		if callStoreConflict(in.eng, info.stores, p) {
+			in.emitCoarse(in.eng.coarseOf(p, it.lock.Eff), it.src)
+		}
+		in.keep(nf, it)
+	}
+}

@@ -1,0 +1,259 @@
+package infer
+
+import (
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+)
+
+// transfer computes the fact before statement i from the fact after it,
+// implementing Figure 4 of the paper by substitution on access paths: the T
+// relation rewrites locks whose prefix the statement redefines, and the G
+// sets contribute locks for the statement's own accesses.
+func (in *instance) transfer(i int, out map[string]item) map[string]item {
+	s := in.fn.Stmts[i]
+	nf := make(map[string]item, len(out)+2)
+	switch s.Op {
+	case ir.OpCall:
+		in.transferCall(i, s, out, nf)
+	case ir.OpStore:
+		for _, it := range out {
+			in.transferStore(s, it, nf)
+		}
+	default:
+		for _, it := range out {
+			in.transferAssign(s, it, nf)
+		}
+	}
+	in.gen(s, nf)
+	return nf
+}
+
+// keep copies an item into nf unchanged.
+func (in *instance) keep(nf map[string]item, it item) { nf[itemKey(it)] = it }
+
+// transferAssign handles every non-call, non-store statement form.
+func (in *instance) transferAssign(s *ir.Stmt, it item, nf map[string]item) {
+	dst := s.Dst
+	if dst == nil || s.Op == ir.OpBranch || s.Op == ir.OpGoto || s.Op == ir.OpNop ||
+		s.Op == ir.OpAtomicBegin || s.Op == ir.OpAtomicEnd || s.Op == ir.OpExit {
+		in.keep(nf, it)
+		return
+	}
+	p := it.lock.Path
+	if p.Base == dst && p.Len() > 0 {
+		// The lock's *dst̄ prefix is redefined: apply the S relation.
+		in.rewriteDeref(s, it, nf)
+		return
+	}
+	// closure(Id): the lock is unaffected unless an index expression
+	// mentions the defined variable, in which case the index is rewritten
+	// backward through the definition.
+	if !pathMentionsIndexVar(p, dst) {
+		in.keep(nf, it)
+		return
+	}
+	repl, ok := indexReplacement(s)
+	if !ok {
+		// The index value is not expressible before this statement
+		// (e.g. it was loaded from the heap): coarsen.
+		in.emitCoarse(in.eng.coarseOf(p, it.lock.Eff), it.src)
+		return
+	}
+	np := substIndexVar(p, dst, repl)
+	in.addPath(nf, np, it.lock.Eff, it.src)
+}
+
+// rewriteDeref applies the S relation of Figure 4 to a lock rooted at
+// *dst̄, for the statement defining dst.
+func (in *instance) rewriteDeref(s *ir.Stmt, it item, nf map[string]item) {
+	p := it.lock.Path
+	rest := p.Ops[1:]
+	switch s.Op {
+	case ir.OpCopy: // S_{x=y}: *x̄ -> *ȳ
+		in.addPath(nf, prepend(s.Src, []locks.PathOp{deref()}, rest), it.lock.Eff, it.src)
+	case ir.OpAddrOf: // S_{x=&y}: *x̄ -> ȳ
+		in.addPath(nf, prepend(s.Src, nil, rest), it.lock.Eff, it.src)
+	case ir.OpLoad: // S_{x=*y}: *x̄ -> *(*ȳ)
+		in.addPath(nf, prepend(s.Src, []locks.PathOp{deref(), deref()}, rest), it.lock.Eff, it.src)
+	case ir.OpField: // S_{x=y+f}: *x̄ -> *ȳ+f
+		in.addPath(nf, prepend(s.Src, []locks.PathOp{deref(), field(s.Field)}, rest), it.lock.Eff, it.src)
+	case ir.OpIndex: // x = y @ z: *x̄ -> *ȳ@z
+		in.addPath(nf, prepend(s.Src, []locks.PathOp{deref(), index(locks.IVarExpr(s.Src2))}, rest), it.lock.Eff, it.src)
+	case ir.OpNew:
+		// S_{x=new} = {}: the object is fresh, so nothing needs protection
+		// before the allocation. The lock is dropped (this produces the
+		// Figure 7 dip: section-allocated objects need no entry locks).
+	case ir.OpNull, ir.OpConst, ir.OpArith, ir.OpUnary:
+		// S_{x=null} = {}: a dereference of dst below this point cannot
+		// observe a pre-statement location through dst.
+	default:
+		// Defensive: keep soundness by coarsening.
+		in.emitCoarse(in.eng.coarseOf(p, it.lock.Eff), it.src)
+	}
+}
+
+// transferStore handles *x = y. Any lock dereferencing a cell that may
+// alias the written cell gains a *ȳ-rooted alternative (the S_{*x=y} rule);
+// the syntactic *(*x̄) prefix is strongly updated (the Q_{*x} rule); all
+// other locks persist (weak update).
+func (in *instance) transferStore(s *ir.Stmt, it item, nf map[string]item) {
+	p := it.lock.Path
+	writtenClass := in.eng.pts.Pointee(in.eng.pts.VarCell(s.Dst))
+	// Walk the dereferences of p: position j reads the cell addressed by
+	// the prefix p.Ops[:j].
+	for j, op := range p.Ops {
+		if op.Kind != locks.OpDeref {
+			continue
+		}
+		prefix := locks.Path{Base: p.Base, Ops: p.Ops[:j]}
+		if in.eng.pts.MayAlias(in.eng.classOf(prefix), writtenClass) {
+			// The value read at this dereference may be y's value.
+			in.addPath(nf, prepend(s.Src, []locks.PathOp{deref()}, p.Ops[j+1:]), it.lock.Eff, it.src)
+		}
+	}
+	// Q_{*x}: the exact *(*x̄) prefix is strongly updated and drops out of
+	// the identity closure.
+	if p.Base == s.Dst && p.Len() >= 2 &&
+		p.Ops[0].Kind == locks.OpDeref && p.Ops[1].Kind == locks.OpDeref {
+		return
+	}
+	// An index expression whose variable cell may alias the written cell is
+	// no longer stable across the store.
+	for _, v := range pathIndexVars(p) {
+		if in.eng.pts.MayAlias(in.eng.pts.VarCell(v), writtenClass) {
+			in.emitCoarse(in.eng.coarseOf(p, it.lock.Eff), it.src)
+			return
+		}
+	}
+	in.keep(nf, it)
+}
+
+// gen adds the G locks for the statement's own accesses (Figure 4, bottom):
+// the store target with effect rw, every other dereferenced cell with ro,
+// and the cells of accessed variables that are shared (globals or
+// address-taken locals).
+func (in *instance) gen(s *ir.Stmt, nf map[string]item) {
+	read := func(v *ir.Var) { in.genVar(nf, v, locks.RO) }
+	write := func(v *ir.Var) { in.genVar(nf, v, locks.RW) }
+	switch s.Op {
+	case ir.OpCopy:
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpAddrOf:
+		write(s.Dst) // &y reads no cell
+	case ir.OpLoad:
+		in.addPath(nf, locks.Path{Base: s.Src, Ops: []locks.PathOp{deref()}}, locks.RO, genSrc)
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpStore:
+		in.addPath(nf, locks.Path{Base: s.Dst, Ops: []locks.PathOp{deref()}}, locks.RW, genSrc)
+		read(s.Dst)
+		read(s.Src)
+	case ir.OpField:
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpIndex:
+		read(s.Src)
+		read(s.Src2)
+		write(s.Dst)
+	case ir.OpNew:
+		if s.Src2 != nil {
+			read(s.Src2)
+		}
+		write(s.Dst)
+	case ir.OpNull, ir.OpConst:
+		write(s.Dst)
+	case ir.OpArith:
+		read(s.Src)
+		read(s.Src2)
+		write(s.Dst)
+	case ir.OpUnary:
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpBranch:
+		read(s.Src)
+	case ir.OpCall:
+		for _, a := range s.Args {
+			read(a)
+		}
+		if s.Dst != nil {
+			write(s.Dst)
+		}
+	}
+}
+
+// genVar adds the variable-cell lock x̄ when the variable is shared. The
+// paper omits x̄ for thread-local variables whose address is never stored;
+// we use the conservative address-never-taken criterion.
+func (in *instance) genVar(nf map[string]item, v *ir.Var, eff locks.Eff) {
+	if v == nil || !(v.Global || v.AddrTaken) {
+		return
+	}
+	in.addPath(nf, locks.VarPath(v), eff, genSrc)
+}
+
+func deref() locks.PathOp { return locks.PathOp{Kind: locks.OpDeref} }
+
+func field(f ir.FieldID) locks.PathOp { return locks.PathOp{Kind: locks.OpField, Field: f} }
+
+func index(e *locks.IExpr) locks.PathOp { return locks.PathOp{Kind: locks.OpIndex, Index: e} }
+
+// prepend builds the path base·ops·rest.
+func prepend(base *ir.Var, ops []locks.PathOp, rest []locks.PathOp) locks.Path {
+	all := make([]locks.PathOp, 0, len(ops)+len(rest))
+	all = append(all, ops...)
+	all = append(all, rest...)
+	return locks.Path{Base: base, Ops: all}
+}
+
+// pathMentionsIndexVar reports whether any index expression of p references v.
+func pathMentionsIndexVar(p locks.Path, v *ir.Var) bool {
+	for _, op := range p.Ops {
+		if op.Kind == locks.OpIndex && op.Index.Mentions(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathIndexVars returns all variables referenced by p's index expressions.
+func pathIndexVars(p locks.Path) []*ir.Var {
+	var out []*ir.Var
+	for _, op := range p.Ops {
+		if op.Kind == locks.OpIndex {
+			out = op.Index.Vars(out)
+		}
+	}
+	return out
+}
+
+// indexReplacement returns the backward substitution for an integer
+// variable defined by s, when the definition is expressible as a symbolic
+// index expression.
+func indexReplacement(s *ir.Stmt) (*locks.IExpr, bool) {
+	switch s.Op {
+	case ir.OpConst:
+		return locks.IConstExpr(s.Const), true
+	case ir.OpCopy:
+		return locks.IVarExpr(s.Src), true
+	case ir.OpArith:
+		return locks.IBinExpr(s.Arith, locks.IVarExpr(s.Src), locks.IVarExpr(s.Src2)), true
+	case ir.OpUnary:
+		return locks.IUnExpr(s.Unop, locks.IVarExpr(s.Src)), true
+	default:
+		return nil, false
+	}
+}
+
+// substIndexVar rewrites every occurrence of v inside p's index
+// expressions.
+func substIndexVar(p locks.Path, v *ir.Var, repl *locks.IExpr) locks.Path {
+	ops := make([]locks.PathOp, len(p.Ops))
+	copy(ops, p.Ops)
+	for i, op := range ops {
+		if op.Kind == locks.OpIndex {
+			ops[i].Index = op.Index.Subst(v, repl)
+		}
+	}
+	return locks.Path{Base: p.Base, Ops: ops}
+}

@@ -1,0 +1,280 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/steens"
+)
+
+// analyzeOpts mirrors analyze with explicit engine options.
+func analyzeOpts(t *testing.T, src string, opts Options) (*ir.Program, []*Result) {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	pts := steens.Run(prog)
+	return prog, New(prog, pts, opts).AnalyzeAll()
+}
+
+// joinNames is a helper over the test harness in infer_test.go.
+func joinNames(t *testing.T, src string, k int) string {
+	t.Helper()
+	prog, res := analyze(t, src, k)
+	var all []string
+	for _, r := range res {
+		all = append(all, lockNames(prog, r)...)
+	}
+	return strings.Join(all, " ")
+}
+
+// TestStoreStrongUpdate: a store through the exact syntactic prefix
+// replaces the lock (the Q rule); the old path must not survive.
+func TestStoreStrongUpdate(t *testing.T) {
+	src := `
+struct obj { int* data; }
+void f(obj* x, int* w) {
+  atomic {
+    int* z = x->data;
+    x->data = w;
+    int* y = x->data;
+    *y = 1;
+  }
+}
+`
+	// The *y access at the end goes through the freshly stored value: the
+	// backward trace of *ȳ crosses the store x->data = w and must become
+	// *w̄ (the strong update), while also needing the earlier read locks.
+	got := joinNames(t, src, 4)
+	if !strings.Contains(got, "&(*w)/rw") {
+		t.Errorf("strong update lost the stored value: %v", got)
+	}
+}
+
+// TestStoreWeakUpdate: a store through a *may*-aliased pointer keeps both
+// alternatives.
+func TestStoreWeakUpdate(t *testing.T) {
+	src := `
+struct obj { int* data; }
+void f(obj* a, obj* b, int* w, int flip) {
+  if (flip > 0) {
+    a = b;
+  }
+  atomic {
+    a->data = w;
+    int* z = b->data;
+    *z = 1;
+  }
+}
+`
+	got := joinNames(t, src, 4)
+	if !strings.Contains(got, "&(*w)/rw") {
+		t.Errorf("aliased store alternative missing: %v", got)
+	}
+	if !strings.Contains(got, "&(*(b->data))/rw") {
+		t.Errorf("weak update dropped the original path: %v", got)
+	}
+}
+
+// TestSummaryReusedAcrossCallSites: the same callee summary unmaps through
+// different actuals at each call site.
+func TestSummaryReusedAcrossCallSites(t *testing.T) {
+	src := `
+struct list { list* next; int v; }
+void poke(list* l) {
+  l->v = 1;
+}
+void f(list* p, list* q) {
+  atomic {
+    poke(p);
+    poke(q);
+  }
+}
+`
+	got := joinNames(t, src, 3)
+	if !strings.Contains(got, "&(p->v)/rw") || !strings.Contains(got, "&(q->v)/rw") {
+		t.Errorf("summary not re-rooted per call site: %v", got)
+	}
+}
+
+// TestTwoSectionsIndependent: each atomic section gets its own lock set.
+func TestTwoSectionsIndependent(t *testing.T) {
+	src := `
+struct obj { int v; }
+obj* a;
+obj* b;
+void f() {
+  atomic {
+    a->v = 1;
+  }
+  atomic {
+    int x = b->v;
+  }
+}
+`
+	prog, res := analyze(t, src, 3)
+	if len(res) != 2 {
+		t.Fatalf("%d sections", len(res))
+	}
+	first := strings.Join(lockNames(prog, res[0]), " ")
+	second := strings.Join(lockNames(prog, res[1]), " ")
+	if strings.Contains(first, "b->v") || strings.Contains(second, "a->v") {
+		t.Errorf("sections leaked into each other:\n%s\n%s", first, second)
+	}
+	if !strings.Contains(first, "&(a->v)/rw") {
+		t.Errorf("first section: %v", first)
+	}
+	if !strings.Contains(second, "&(b->v)/ro") {
+		t.Errorf("second section: %v", second)
+	}
+}
+
+// TestBranchMerge: locks from both branches survive the merge.
+func TestBranchMerge(t *testing.T) {
+	src := `
+struct obj { int v; }
+void f(obj* a, obj* b, int c) {
+  atomic {
+    if (c > 0) {
+      a->v = 1;
+    } else {
+      b->v = 2;
+    }
+  }
+}
+`
+	got := joinNames(t, src, 3)
+	if !strings.Contains(got, "&(a->v)/rw") || !strings.Contains(got, "&(b->v)/rw") {
+		t.Errorf("merge lost a branch: %v", got)
+	}
+}
+
+// TestIndexMaxCoarsens: an index expression beyond the bound coarsens.
+func TestIndexMaxCoarsens(t *testing.T) {
+	src := `
+void f(int* a, int k) {
+  atomic {
+    int i = k + k;
+    i = i * 3 + k;
+    i = i * 5 + k;
+    i = i * 7 + k;
+    a[i] = 1;
+  }
+}
+`
+	// With a tiny index bound the lock must coarsen; with a large one it
+	// stays fine.
+	prog, resSmall := analyzeOpts(t, src, Options{K: 9, IndexMax: 3})
+	fro, frw, _, crw := resSmall[0].Count()
+	if frw != 0 {
+		t.Errorf("IndexMax=3: expected no fine rw lock, got fine(ro=%d,rw=%d)", fro, frw)
+	}
+	if crw == 0 {
+		t.Error("IndexMax=3: expected a coarse rw lock")
+	}
+	prog2, resBig := analyzeOpts(t, src, Options{K: 9, IndexMax: 64})
+	_, frwBig, _, _ := resBig[0].Count()
+	if frwBig == 0 {
+		t.Errorf("IndexMax=64: expected the fine indexed lock to survive: %v",
+			resBig[0].Locks.Strings(prog2))
+	}
+	_ = prog
+}
+
+// TestIndexThroughLoadCoarsens: an index loaded from the heap is not
+// stable at the section entry and must coarsen.
+func TestIndexThroughLoadCoarsens(t *testing.T) {
+	src := `
+struct hdr { int size; }
+void f(int* a, hdr* h, int k) {
+  atomic {
+    int n = h->size;
+    int i = k % n;
+    a[i] = 1;
+  }
+}
+`
+	prog, res := analyze(t, src, 9)
+	_, frw, _, crw := res[0].Count()
+	if frw != 0 {
+		t.Errorf("heap-dependent index survived as fine: %v", res[0].Locks.Strings(prog))
+	}
+	if crw == 0 {
+		t.Error("expected coarse rw coverage for the indexed store")
+	}
+}
+
+// TestEffectUpgradeThroughMerge: a location read on one path and written
+// on another ends up rw after minimization.
+func TestEffectUpgradeThroughMerge(t *testing.T) {
+	src := `
+struct obj { int v; }
+void f(obj* a, int c) {
+  atomic {
+    if (c > 0) {
+      a->v = 1;
+    } else {
+      int x = a->v;
+    }
+  }
+}
+`
+	prog, res := analyze(t, src, 3)
+	got := strings.Join(lockNames(prog, res[0]), " ")
+	if !strings.Contains(got, "&(a->v)/rw") {
+		t.Errorf("missing rw lock: %v", got)
+	}
+	if strings.Contains(got, "&(a->v)/ro") {
+		t.Errorf("redundant ro lock survived minimization: %v", got)
+	}
+}
+
+// TestChainedFieldPaths: multi-step fixed paths stay fine at sufficient k
+// and coarsen below it.
+func TestChainedFieldPaths(t *testing.T) {
+	src := `
+struct inner { int v; }
+struct outer { inner* in; }
+void f(outer* o) {
+  atomic {
+    o->in->v = 1;
+  }
+}
+`
+	// Path &(o->in->v) = *ō +in deref +v: expression length 5.
+	gotBig := joinNames(t, src, 5)
+	if !strings.Contains(gotBig, "&(o->in->v)/rw") {
+		t.Errorf("k=5 should keep the chained path: %v", gotBig)
+	}
+	prog, resSmall := analyze(t, src, 4)
+	gotSmall := strings.Join(lockNames(prog, resSmall[0]), " ")
+	if strings.Contains(gotSmall, "o->in->v") {
+		t.Errorf("k=4 kept an over-long path: %v", gotSmall)
+	}
+}
+
+// TestNopAndBranchNoLocks: nop and control flow over locals need no locks.
+func TestNopAndBranchNoLocks(t *testing.T) {
+	src := `
+void f(int n) {
+  atomic {
+    int i = 0;
+    while (i < n) {
+      nop;
+      i = i + 1;
+    }
+  }
+}
+`
+	_, res := analyze(t, src, 3)
+	if len(res[0].Locks) != 0 {
+		t.Errorf("local-only section inferred locks: %v", res[0].Locks.Sorted())
+	}
+}

@@ -1,0 +1,787 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/steens"
+)
+
+// Violation is a detected soundness failure: a shared access inside an
+// atomic section that no held lock covers (the stuck state of the
+// operational semantics).
+type Violation struct {
+	Thread int
+	Fn     string
+	Pos    lang.Pos
+	What   string
+	Eff    locks.Eff
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("soundness violation: thread %d at %s:%s accesses %s for %s with no covering lock",
+		v.Thread, v.Fn, v.Pos, v.What, v.Eff)
+}
+
+// RuntimeError is a non-violation execution failure (null dereference,
+// division by zero, out-of-bounds index).
+type RuntimeError struct {
+	Thread int
+	Fn     string
+	Pos    lang.Pos
+	Msg    string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error: thread %d at %s:%s: %s", e.Thread, e.Fn, e.Pos, e.Msg)
+}
+
+// Machine executes one lowered program.
+type Machine struct {
+	Prog *ir.Program
+	Pts  *steens.Analysis
+	// SectionLocks maps section id to the locks acquired at its entry
+	// (normally the inference result, possibly coarsened or replaced by a
+	// global lock for baseline comparisons).
+	SectionLocks map[int]locks.Set
+	// Checked enables the per-access lock coverage check.
+	Checked bool
+	// NopWork is the number of spin iterations per nop statement.
+	NopWork int
+	// StepLimit bounds the number of statements one thread may execute
+	// (0 = default of 50M), turning runaway loops into errors.
+	StepLimit int64
+
+	mgr     *mgl.Manager
+	globals *Object
+	externs map[string]ExternFunc
+	initOnc sync.Once
+	initErr error
+}
+
+// ExternFunc is a host (Go) implementation of an external mini-C function.
+// It runs outside the checker — pre-compiled library code is trusted to
+// respect its specification — and must confine itself to the values it is
+// given.
+type ExternFunc func(args []Value) (Value, error)
+
+// NewMachine builds a machine over a program and its points-to analysis.
+func NewMachine(prog *ir.Program, pts *steens.Analysis, sectionLocks map[int]locks.Set) *Machine {
+	m := &Machine{
+		Prog:         prog,
+		Pts:          pts,
+		SectionLocks: sectionLocks,
+		mgr:          mgl.NewManager(),
+	}
+	m.globals = newObject(objGlobals, -1, len(prog.Globals))
+	m.externs = map[string]ExternFunc{}
+	for _, g := range prog.Globals {
+		if !g.Type.IsPointer() {
+			m.globals.store(g.Index, IntV(0))
+		}
+	}
+	return m
+}
+
+// RegisterExtern installs the host implementation of an external function
+// declared as a prototype in the program.
+func (m *Machine) RegisterExtern(name string, fn ExternFunc) { m.externs[name] = fn }
+
+// heldLock is one acquired descriptor, kept for coverage checking.
+type heldLock struct {
+	global bool
+	fine   bool
+	class  steens.NodeID
+	addr   uint64
+	write  bool
+}
+
+// thread is one executing thread.
+type thread struct {
+	m       *Machine
+	id      int
+	session *mgl.Session
+	held    []heldLock
+	steps   int64
+	limit   int64
+	// epoch counts outermost atomic sections entered, marking objects the
+	// thread allocates inside the current section.
+	epoch int64
+}
+
+// ThreadSpec names an entry function and its arguments for one thread.
+type ThreadSpec struct {
+	Fn   string
+	Args []Value
+}
+
+// Init runs the synthetic global-initializer function once.
+func (m *Machine) Init() error {
+	m.initOnc.Do(func() {
+		_, m.initErr = m.Call(0, ir.InitFuncName, nil)
+	})
+	return m.initErr
+}
+
+// Call executes a function to completion on a fresh thread context and
+// returns its value. It is intended for single-threaded setup/verification
+// phases; locks are still honored.
+func (m *Machine) Call(threadID int, fn string, args []Value) (Value, error) {
+	f := m.Prog.Func(fn)
+	if f == nil {
+		return Null(), fmt.Errorf("interp: no function %q", fn)
+	}
+	t := m.newThread(threadID)
+	v, err := m.call(t, f, args)
+	// A thread that fails inside an atomic section must not strand its
+	// locks: drain the session so other threads keep making progress.
+	for t.session.Nesting() > 0 {
+		t.session.ReleaseAll()
+	}
+	return v, err
+}
+
+func (m *Machine) newThread(id int) *thread {
+	limit := m.StepLimit
+	if limit <= 0 {
+		limit = 50_000_000
+	}
+	return &thread{m: m, id: id, session: m.mgr.NewSession(), limit: limit}
+}
+
+// Run initializes globals and executes the thread specs concurrently,
+// returning the first error (violations included).
+func (m *Machine) Run(specs []ThreadSpec) error {
+	if err := m.Init(); err != nil {
+		return err
+	}
+	var firstErr atomic.Pointer[errBox]
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		i, spec := i, spec
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Call(i+1, spec.Fn, spec.Args); err != nil {
+				firstErr.CompareAndSwap(nil, &errBox{err})
+			}
+		}()
+	}
+	wg.Wait()
+	if b := firstErr.Load(); b != nil {
+		return b.err
+	}
+	return nil
+}
+
+type errBox struct{ err error }
+
+// Global reads a global variable's current value (for test assertions).
+func (m *Machine) Global(name string) (Value, error) {
+	g := m.Prog.Global(name)
+	if g == nil {
+		return Null(), fmt.Errorf("interp: no global %q", name)
+	}
+	return m.globals.load(g.Index), nil
+}
+
+// Manager exposes the machine's lock manager (for stats).
+func (m *Machine) Manager() *mgl.Manager { return m.mgr }
+
+// cellOf returns the object and offset of a variable's cell.
+func (m *Machine) cellOf(frame *Object, v *ir.Var) (*Object, int) {
+	if v.Global {
+		return m.globals, v.Index
+	}
+	return frame, v.Index
+}
+
+// classOfCell returns the points-to class of a runtime cell.
+func (m *Machine) classOfCell(obj *Object, off int) steens.NodeID {
+	switch obj.kind {
+	case objHeap:
+		return m.Pts.SiteClass(obj.Site)
+	case objGlobals:
+		return m.Pts.VarCell(m.Prog.Globals[off])
+	default:
+		return m.Pts.VarCell(obj.Fn.Vars[off])
+	}
+}
+
+// covered reports whether the thread's held locks protect the cell for the
+// effect.
+func (t *thread) covered(obj *Object, off int, write bool) bool {
+	cls := t.m.classOfCell(obj, off)
+	addr := obj.Addr(off)
+	for _, h := range t.held {
+		if write && !h.write {
+			continue
+		}
+		switch {
+		case h.global:
+			return true
+		case h.fine:
+			if h.addr == addr {
+				return true
+			}
+		default:
+			if h.class == cls {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkAccess enforces the §4.2 semantics: inside an atomic section, every
+// shared access must be covered.
+func (t *thread) checkAccess(f *ir.Func, s *ir.Stmt, obj *Object, off int, write bool, what string) error {
+	if !t.m.Checked || t.session.Nesting() == 0 {
+		return nil
+	}
+	if obj.allocThread == t.id && obj.allocEpoch == t.epoch {
+		return nil // allocated by this thread inside this section
+	}
+	if t.covered(obj, off, write) {
+		return nil
+	}
+	eff := locks.RO
+	if write {
+		eff = locks.RW
+	}
+	return &Violation{Thread: t.id, Fn: f.Name, Pos: s.Pos, What: what, Eff: eff}
+}
+
+// sharedVar mirrors the analysis rule for variable cells: only globals and
+// address-taken locals are shared.
+func sharedVar(v *ir.Var) bool { return v.Global || v.AddrTaken }
+
+func (t *thread) rerr(f *ir.Func, s *ir.Stmt, format string, args ...any) error {
+	return &RuntimeError{Thread: t.id, Fn: f.Name, Pos: s.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// readVar reads a variable cell, checking shared-variable coverage.
+func (t *thread) readVar(f *ir.Func, s *ir.Stmt, frame *Object, v *ir.Var) (Value, error) {
+	obj, off := t.m.cellOf(frame, v)
+	if sharedVar(v) {
+		if err := t.checkAccess(f, s, obj, off, false, v.Name); err != nil {
+			return Null(), err
+		}
+	}
+	return obj.load(off), nil
+}
+
+// writeVar writes a variable cell, checking shared-variable coverage.
+func (t *thread) writeVar(f *ir.Func, s *ir.Stmt, frame *Object, v *ir.Var, val Value) error {
+	obj, off := t.m.cellOf(frame, v)
+	if sharedVar(v) {
+		if err := t.checkAccess(f, s, obj, off, true, v.Name); err != nil {
+			return err
+		}
+	}
+	obj.store(off, val)
+	return nil
+}
+
+// call runs one function on thread t and returns its result value.
+func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
+	if len(args) != len(f.Params) {
+		return Null(), fmt.Errorf("interp: %s expects %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	if f.External {
+		ext := m.externs[f.Name]
+		if ext == nil {
+			return Null(), fmt.Errorf("interp: external function %q has no registered implementation", f.Name)
+		}
+		return ext(args)
+	}
+	frame := newObject(objFrame, -1, len(f.Vars))
+	frame.Fn = f
+	for i, p := range f.Params {
+		frame.store(p.Index, args[i])
+	}
+	pc := 0
+	for {
+		if t.steps++; t.steps > t.limit {
+			return Null(), fmt.Errorf("interp: thread %d exceeded step limit", t.id)
+		}
+		s := f.Stmts[pc]
+		next := -1
+		if len(s.Succs) > 0 {
+			next = s.Succs[0]
+		}
+		switch s.Op {
+		case ir.OpExit:
+			if f.RetVar != nil {
+				return frame.load(f.RetVar.Index), nil
+			}
+			return Null(), nil
+		case ir.OpGoto:
+			// next already set
+		case ir.OpBranch:
+			v, err := t.readVar(f, s, frame, s.Src)
+			if err != nil {
+				return Null(), err
+			}
+			if !v.Truthy() {
+				next = s.Succs[1]
+			}
+		case ir.OpNop:
+			spin(t.m.NopWork)
+		case ir.OpCopy:
+			v, err := t.readVar(f, s, frame, s.Src)
+			if err != nil {
+				return Null(), err
+			}
+			if err := t.writeVar(f, s, frame, s.Dst, v); err != nil {
+				return Null(), err
+			}
+		case ir.OpConst:
+			if err := t.writeVar(f, s, frame, s.Dst, IntV(s.Const)); err != nil {
+				return Null(), err
+			}
+		case ir.OpNull:
+			if err := t.writeVar(f, s, frame, s.Dst, Null()); err != nil {
+				return Null(), err
+			}
+		case ir.OpAddrOf:
+			obj, off := m.cellOf(frame, s.Src)
+			if err := t.writeVar(f, s, frame, s.Dst, LocV(obj, off)); err != nil {
+				return Null(), err
+			}
+		case ir.OpLoad:
+			addr, err := t.readVar(f, s, frame, s.Src)
+			if err != nil {
+				return Null(), err
+			}
+			if addr.Kind != VLoc {
+				return Null(), t.rerr(f, s, "dereference of %s", addr)
+			}
+			if err := t.checkAccess(f, s, addr.Obj, addr.Off, false, "*"+s.Src.Name); err != nil {
+				return Null(), err
+			}
+			if err := t.writeVar(f, s, frame, s.Dst, addr.Obj.load(addr.Off)); err != nil {
+				return Null(), err
+			}
+		case ir.OpStore:
+			addr, err := t.readVar(f, s, frame, s.Dst)
+			if err != nil {
+				return Null(), err
+			}
+			val, err := t.readVar(f, s, frame, s.Src)
+			if err != nil {
+				return Null(), err
+			}
+			if addr.Kind != VLoc {
+				return Null(), t.rerr(f, s, "store through %s", addr)
+			}
+			if err := t.checkAccess(f, s, addr.Obj, addr.Off, true, "*"+s.Dst.Name); err != nil {
+				return Null(), err
+			}
+			addr.Obj.store(addr.Off, val)
+		case ir.OpField:
+			base, err := t.readVar(f, s, frame, s.Src)
+			if err != nil {
+				return Null(), err
+			}
+			loc, rerr := fieldLoc(t, f, s, base, s.Field)
+			if rerr != nil {
+				return Null(), rerr
+			}
+			if err := t.writeVar(f, s, frame, s.Dst, loc); err != nil {
+				return Null(), err
+			}
+		case ir.OpIndex:
+			base, err := t.readVar(f, s, frame, s.Src)
+			if err != nil {
+				return Null(), err
+			}
+			idx, err := t.readVar(f, s, frame, s.Src2)
+			if err != nil {
+				return Null(), err
+			}
+			loc, rerr := indexLoc(t, f, s, base, idx)
+			if rerr != nil {
+				return Null(), rerr
+			}
+			if err := t.writeVar(f, s, frame, s.Dst, loc); err != nil {
+				return Null(), err
+			}
+		case ir.OpNew:
+			n := 1
+			var si *ir.StructInfo
+			if s.Src2 != nil {
+				lv, err := t.readVar(f, s, frame, s.Src2)
+				if err != nil {
+					return Null(), err
+				}
+				if lv.Kind != VInt || lv.Int < 0 {
+					return Null(), t.rerr(f, s, "bad array length %s", lv)
+				}
+				n = int(lv.Int)
+			} else if s.NewType.Ptr == 0 && s.NewType.Base != "int" {
+				si = m.Prog.Structs[s.NewType.Base]
+				n = len(si.Fields)
+			}
+			obj := newObject(objHeap, s.Site, n)
+			obj.Struct = si
+			// Integer cells start at zero; pointer cells stay null.
+			if si != nil {
+				for i, ft := range si.Types {
+					if !ft.IsPointer() {
+						obj.store(i, IntV(0))
+					}
+				}
+			} else if !s.NewType.IsPointer() && s.NewType.Base == "int" {
+				for i := 0; i < n; i++ {
+					obj.store(i, IntV(0))
+				}
+			}
+			// Objects allocated inside an atomic section are exempt from
+			// the coverage check for the rest of this section: they are
+			// unreachable by other threads until published through a
+			// protected cell (the paper's Lemma 2 reachability proviso).
+			if t.session.Nesting() > 0 {
+				obj.allocThread = t.id
+				obj.allocEpoch = t.epoch
+			}
+			if err := t.writeVar(f, s, frame, s.Dst, LocV(obj, 0)); err != nil {
+				return Null(), err
+			}
+		case ir.OpArith:
+			l, err := t.readVar(f, s, frame, s.Src)
+			if err != nil {
+				return Null(), err
+			}
+			r, err := t.readVar(f, s, frame, s.Src2)
+			if err != nil {
+				return Null(), err
+			}
+			v, rerr := arith(t, f, s, l, r)
+			if rerr != nil {
+				return Null(), rerr
+			}
+			if err := t.writeVar(f, s, frame, s.Dst, v); err != nil {
+				return Null(), err
+			}
+		case ir.OpUnary:
+			x, err := t.readVar(f, s, frame, s.Src)
+			if err != nil {
+				return Null(), err
+			}
+			var v Value
+			if s.Unop == lang.UNot {
+				v = boolV(!x.Truthy())
+			} else {
+				if x.Kind != VInt {
+					return Null(), t.rerr(f, s, "negation of %s", x)
+				}
+				v = IntV(-x.Int)
+			}
+			if err := t.writeVar(f, s, frame, s.Dst, v); err != nil {
+				return Null(), err
+			}
+		case ir.OpCall:
+			callee := m.Prog.Func(s.Callee)
+			if callee == nil {
+				return Null(), t.rerr(f, s, "unknown function %q", s.Callee)
+			}
+			var args []Value
+			for _, a := range s.Args {
+				v, err := t.readVar(f, s, frame, a)
+				if err != nil {
+					return Null(), err
+				}
+				args = append(args, v)
+			}
+			ret, err := m.call(t, callee, args)
+			if err != nil {
+				return Null(), err
+			}
+			if s.Dst != nil {
+				if err := t.writeVar(f, s, frame, s.Dst, ret); err != nil {
+					return Null(), err
+				}
+			}
+		case ir.OpAtomicBegin:
+			t.enterAtomic(f, frame, s.Section)
+		case ir.OpAtomicEnd:
+			t.session.ReleaseAll()
+			if t.session.Nesting() == 0 {
+				t.held = nil
+			}
+		default:
+			return Null(), t.rerr(f, s, "unhandled op %s", s.Op)
+		}
+		pc = next
+	}
+}
+
+func fieldLoc(t *thread, f *ir.Func, s *ir.Stmt, base Value, field ir.FieldID) (Value, error) {
+	if base.Kind != VLoc {
+		return Null(), t.rerr(f, s, "field access on %s", base)
+	}
+	if base.Obj.Struct == nil {
+		return Null(), t.rerr(f, s, "field access on non-struct object")
+	}
+	off := base.Obj.Struct.Offset(field)
+	if off < 0 {
+		return Null(), t.rerr(f, s, "object has no field %s", t.m.Prog.FieldName(field))
+	}
+	return LocV(base.Obj, base.Off+off), nil
+}
+
+func indexLoc(t *thread, f *ir.Func, s *ir.Stmt, base, idx Value) (Value, error) {
+	if base.Kind != VLoc {
+		return Null(), t.rerr(f, s, "index of %s", base)
+	}
+	if idx.Kind != VInt {
+		return Null(), t.rerr(f, s, "non-int index %s", idx)
+	}
+	off := base.Off + int(idx.Int)
+	if off < 0 || off >= base.Obj.Len() {
+		return Null(), t.rerr(f, s, "index %d out of bounds [0,%d)", idx.Int, base.Obj.Len())
+	}
+	return LocV(base.Obj, off), nil
+}
+
+func boolV(b bool) Value {
+	if b {
+		return IntV(1)
+	}
+	return IntV(0)
+}
+
+func arith(t *thread, f *ir.Func, s *ir.Stmt, l, r Value) (Value, error) {
+	op := s.Arith
+	switch op {
+	case lang.BEq:
+		return boolV(l.Equal(r)), nil
+	case lang.BNe:
+		return boolV(!l.Equal(r)), nil
+	case lang.BAnd:
+		return boolV(l.Truthy() && r.Truthy()), nil
+	case lang.BOr:
+		return boolV(l.Truthy() || r.Truthy()), nil
+	}
+	if l.Kind != VInt || r.Kind != VInt {
+		return Null(), t.rerr(f, s, "arithmetic on %s and %s", l, r)
+	}
+	a, b := l.Int, r.Int
+	switch op {
+	case lang.BAdd:
+		return IntV(a + b), nil
+	case lang.BSub:
+		return IntV(a - b), nil
+	case lang.BMul:
+		return IntV(a * b), nil
+	case lang.BDiv:
+		if b == 0 {
+			return Null(), t.rerr(f, s, "division by zero")
+		}
+		return IntV(a / b), nil
+	case lang.BMod:
+		if b == 0 {
+			return Null(), t.rerr(f, s, "modulo by zero")
+		}
+		m := a % b
+		if m < 0 {
+			m += b
+		}
+		return IntV(m), nil
+	case lang.BLt:
+		return boolV(a < b), nil
+	case lang.BLe:
+		return boolV(a <= b), nil
+	case lang.BGt:
+		return boolV(a > b), nil
+	case lang.BGe:
+		return boolV(a >= b), nil
+	}
+	return Null(), t.rerr(f, s, "unhandled operator %s", op)
+}
+
+func spin(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = x*1103515245 + 12345
+	}
+	_ = x
+}
+
+// enterAtomic evaluates the section's lock descriptors and acquires them
+// with the acquire-validate-retry protocol: descriptor expressions are
+// evaluated, the locks acquired in the canonical order, and the expressions
+// re-evaluated under the locks. Another thread may have redirected an
+// intermediate pointer between the first evaluation and the acquisition;
+// the re-evaluation is race-free (every cell a path traverses is covered
+// read-only by the inferred prefix locks), so a stable second evaluation
+// proves the descriptors name the right cells for the whole section. On a
+// mismatch everything is released and the entry retried — this implements
+// the atomic evaluate-and-acquire step of the paper's operational
+// semantics.
+func (t *thread) enterAtomic(f *ir.Func, frame *Object, section int) {
+	if t.session.Nesting() > 0 {
+		t.session.AcquireAll()
+		return
+	}
+	t.epoch++
+	for {
+		held, reqs := t.evalSection(frame, section)
+		for _, r := range reqs {
+			t.session.ToAcquire(r)
+		}
+		t.session.AcquireAll()
+		held2, _ := t.evalSection(frame, section)
+		if sameHeld(held, held2) {
+			t.held = held
+			return
+		}
+		t.session.ReleaseAll()
+	}
+}
+
+// evalSection evaluates all descriptors of a section against the current
+// state.
+func (t *thread) evalSection(frame *Object, section int) ([]heldLock, []mgl.Req) {
+	var held []heldLock
+	var reqs []mgl.Req
+	for _, l := range t.m.SectionLocks[section].Sorted() {
+		h, req, ok := t.evalLock(frame, l)
+		if !ok {
+			// Record the skip (class -1 covers nothing) so a path that
+			// becomes evaluable or stops being evaluable between the two
+			// evaluations forces a retry.
+			held = append(held, heldLock{class: -1})
+			continue
+		}
+		reqs = append(reqs, req)
+		held = append(held, h)
+	}
+	return held, reqs
+}
+
+func sameHeld(a, b []heldLock) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalLock turns an inferred lock into a runtime descriptor, evaluating
+// fine-grain path expressions against the current state (§5.2 lock
+// descriptors). A path that evaluates through null or out of bounds yields
+// no descriptor: the access it would protect cannot execute either.
+func (t *thread) evalLock(frame *Object, l locks.Inferred) (heldLock, mgl.Req, bool) {
+	write := l.Eff == locks.RW
+	if !l.Fine {
+		if l.IsGlobal() {
+			return heldLock{global: true, write: write},
+				mgl.Req{Global: true, Write: write}, true
+		}
+		return heldLock{class: l.Class, write: write},
+			mgl.Req{Class: mgl.ClassID(l.Class), Write: write}, true
+	}
+	obj, off := t.m.cellOf(frame, l.Path.Base)
+	for _, op := range l.Path.Ops {
+		switch op.Kind {
+		case locks.OpDeref:
+			v := obj.load(off)
+			if v.Kind != VLoc {
+				return heldLock{}, mgl.Req{}, false
+			}
+			obj, off = v.Obj, v.Off
+		case locks.OpField:
+			if obj.Struct == nil {
+				return heldLock{}, mgl.Req{}, false
+			}
+			fo := obj.Struct.Offset(op.Field)
+			if fo < 0 {
+				return heldLock{}, mgl.Req{}, false
+			}
+			off += fo
+		case locks.OpIndex:
+			iv, ok := t.evalIndex(frame, op.Index)
+			if !ok {
+				return heldLock{}, mgl.Req{}, false
+			}
+			off += int(iv)
+		}
+		if off < 0 || off >= obj.Len() {
+			return heldLock{}, mgl.Req{}, false
+		}
+	}
+	addr := obj.Addr(off)
+	return heldLock{fine: true, class: l.Class, addr: addr, write: write},
+		mgl.Req{Class: mgl.ClassID(l.Class), Fine: true, Addr: addr, Write: write}, true
+}
+
+// evalIndex evaluates a symbolic index expression at the section entry.
+func (t *thread) evalIndex(frame *Object, e *locks.IExpr) (int64, bool) {
+	switch e.Kind {
+	case locks.IConst:
+		return e.Const, true
+	case locks.IVar:
+		obj, off := t.m.cellOf(frame, e.Var)
+		v := obj.load(off)
+		if v.Kind != VInt {
+			return 0, false
+		}
+		return v.Int, true
+	case locks.IBin:
+		a, ok := t.evalIndex(frame, e.L)
+		if !ok {
+			return 0, false
+		}
+		b, ok := t.evalIndex(frame, e.R)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case lang.BAdd:
+			return a + b, true
+		case lang.BSub:
+			return a - b, true
+		case lang.BMul:
+			return a * b, true
+		case lang.BDiv:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case lang.BMod:
+			if b == 0 {
+				return 0, false
+			}
+			m := a % b
+			if m < 0 {
+				m += b
+			}
+			return m, true
+		default:
+			return 0, false
+		}
+	default: // IUn
+		a, ok := t.evalIndex(frame, e.L)
+		if !ok {
+			return 0, false
+		}
+		if e.Unop == lang.UNeg {
+			return -a, true
+		}
+		if a == 0 {
+			return 1, true
+		}
+		return 0, true
+	}
+}

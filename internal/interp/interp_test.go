@@ -1,0 +1,506 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// compile parses, lowers and analyzes a program at the given k.
+func compile(t *testing.T, src string, k int) (*ir.Program, *steens.Analysis, map[int]locks.Set) {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	pts := steens.Run(prog)
+	results := infer.New(prog, pts, infer.Options{K: k}).AnalyzeAll()
+	return prog, pts, transform.SectionLocks(results)
+}
+
+const counterSrc = `
+int counter;
+void worker(int n) {
+  int i = 0;
+  while (i < n) {
+    atomic {
+      counter = counter + 1;
+    }
+    i = i + 1;
+  }
+}
+`
+
+func TestSequentialExecution(t *testing.T) {
+	src := `
+int result;
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+void main() {
+  result = fib(10);
+}
+`
+	prog, pts, plan := compile(t, src, 3)
+	m := NewMachine(prog, pts, plan)
+	if err := m.Run([]ThreadSpec{{Fn: "main"}}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v, err := m.Global("result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != VInt || v.Int != 55 {
+		t.Errorf("fib(10) = %s, want 55", v)
+	}
+}
+
+func TestHeapStructures(t *testing.T) {
+	src := `
+struct node { node* next; int val; }
+int sum;
+node* build(int n) {
+  node* head = null;
+  int i = 0;
+  while (i < n) {
+    node* e = new node;
+    e->val = i;
+    e->next = head;
+    head = e;
+    i = i + 1;
+  }
+  return head;
+}
+void main() {
+  node* l = build(10);
+  sum = 0;
+  while (l != null) {
+    sum = sum + l->val;
+    l = l->next;
+  }
+}
+`
+	prog, pts, plan := compile(t, src, 3)
+	m := NewMachine(prog, pts, plan)
+	if err := m.Run([]ThreadSpec{{Fn: "main"}}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v, _ := m.Global("sum")
+	if v.Int != 45 {
+		t.Errorf("sum = %s, want 45", v)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	src := `
+int total;
+void main() {
+  int* a = new int[8];
+  int i = 0;
+  while (i < 8) {
+    a[i] = i * i;
+    i = i + 1;
+  }
+  total = a[3] + a[7];
+}
+`
+	prog, pts, plan := compile(t, src, 3)
+	m := NewMachine(prog, pts, plan)
+	if err := m.Run([]ThreadSpec{{Fn: "main"}}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v, _ := m.Global("total")
+	if v.Int != 9+49 {
+		t.Errorf("total = %s, want 58", v)
+	}
+}
+
+// TestCheckedCounter runs concurrent increments under the inferred locks in
+// checked mode: no violation may occur and no update may be lost.
+func TestCheckedCounter(t *testing.T) {
+	prog, pts, plan := compile(t, counterSrc, 3)
+	m := NewMachine(prog, pts, plan)
+	m.Checked = true
+	const threads, n = 8, 300
+	specs := make([]ThreadSpec, threads)
+	for i := range specs {
+		specs[i] = ThreadSpec{Fn: "worker", Args: []Value{IntV(n)}}
+	}
+	if err := m.Run(specs); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v, _ := m.Global("counter")
+	if v.Int != threads*n {
+		t.Errorf("counter = %s, want %d (atomicity broken)", v, threads*n)
+	}
+}
+
+// TestViolationDetected removes all locks and checks that the checker
+// reports the stuck state.
+func TestViolationDetected(t *testing.T) {
+	prog, pts, _ := compile(t, counterSrc, 3)
+	empty := map[int]locks.Set{}
+	m := NewMachine(prog, pts, empty)
+	m.Checked = true
+	err := m.Run([]ThreadSpec{{Fn: "worker", Args: []Value{IntV(1)}}})
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected a Violation, got %v", err)
+	}
+}
+
+const moveSrc = `
+struct elem { elem* next; int* data; }
+struct list { elem* head; }
+list* l1;
+list* l2;
+
+void move(list* from, list* to) {
+  atomic {
+    elem* x = to->head;
+    elem* y = from->head;
+    from->head = null;
+    if (x == null) {
+      to->head = y;
+    } else {
+      while (x->next != null) {
+        x = x->next;
+      }
+      x->next = y;
+    }
+  }
+}
+
+void setup(int n) {
+  l1 = new list;
+  l2 = new list;
+  int i = 0;
+  while (i < n) {
+    elem* e = new elem;
+    e->next = l1->head;
+    l1->head = e;
+    i = i + 1;
+  }
+}
+
+int count(list* l) {
+  int n = 0;
+  elem* e;
+  atomic {
+    e = l->head;
+    while (e != null) {
+      n = n + 1;
+      e = e->next;
+    }
+  }
+  return n;
+}
+
+int total() {
+  return count(l1) + count(l2);
+}
+
+void shuttle(int iters, int dir) {
+  int i = 0;
+  while (i < iters) {
+    if (dir == 0) {
+      move(l1, l2);
+    } else {
+      move(l2, l1);
+    }
+    i = i + 1;
+  }
+}
+`
+
+// TestMoveConcurrent runs the paper's Figure 1 scenario: concurrent
+// move(l1,l2) and move(l2,l1). The naive fine-grain scheme deadlocks here;
+// the inferred multi-grain locks must neither deadlock, nor lose elements,
+// nor trip the soundness checker.
+func TestMoveConcurrent(t *testing.T) {
+	for _, k := range []int{0, 3, 9} {
+		prog, pts, plan := compile(t, moveSrc, k)
+		m := NewMachine(prog, pts, plan)
+		m.Checked = true
+		if err := m.Init(); err != nil {
+			t.Fatalf("k=%d init: %v", k, err)
+		}
+		if _, err := m.Call(0, "setup", []Value{IntV(16)}); err != nil {
+			t.Fatalf("k=%d setup: %v", k, err)
+		}
+		specs := []ThreadSpec{
+			{Fn: "shuttle", Args: []Value{IntV(60), IntV(0)}},
+			{Fn: "shuttle", Args: []Value{IntV(60), IntV(1)}},
+			{Fn: "shuttle", Args: []Value{IntV(60), IntV(0)}},
+			{Fn: "shuttle", Args: []Value{IntV(60), IntV(1)}},
+		}
+		if err := m.Run(specs); err != nil {
+			t.Fatalf("k=%d run: %v", k, err)
+		}
+		v, err := m.Call(0, "total", nil)
+		if err != nil {
+			t.Fatalf("k=%d total: %v", k, err)
+		}
+		if v.Int != 16 {
+			t.Errorf("k=%d: total elements = %s, want 16 (atomicity broken)", k, v)
+		}
+	}
+}
+
+// TestGlobalLockBaseline runs the same scenario under the single global
+// lock plan.
+func TestGlobalLockBaseline(t *testing.T) {
+	prog, pts, _ := compile(t, moveSrc, 3)
+	plan := transform.GlobalLockPlan(prog)
+	m := NewMachine(prog, pts, plan)
+	m.Checked = true
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(0, "setup", []Value{IntV(10)}); err != nil {
+		t.Fatal(err)
+	}
+	specs := []ThreadSpec{
+		{Fn: "shuttle", Args: []Value{IntV(40), IntV(0)}},
+		{Fn: "shuttle", Args: []Value{IntV(40), IntV(1)}},
+	}
+	if err := m.Run(specs); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Call(0, "total", nil)
+	if v.Int != 10 {
+		t.Errorf("total = %s, want 10", v)
+	}
+}
+
+// TestCoarsenedPlan checks the k=0-shaped coarse plan is also sound.
+func TestCoarsenedPlan(t *testing.T) {
+	prog, pts, plan := compile(t, moveSrc, 9)
+	coarse := transform.Coarsen(plan)
+	m := NewMachine(prog, pts, coarse)
+	m.Checked = true
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(0, "setup", []Value{IntV(12)}); err != nil {
+		t.Fatal(err)
+	}
+	specs := []ThreadSpec{
+		{Fn: "shuttle", Args: []Value{IntV(50), IntV(0)}},
+		{Fn: "shuttle", Args: []Value{IntV(50), IntV(1)}},
+	}
+	if err := m.Run(specs); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Call(0, "total", nil)
+	if v.Int != 12 {
+		t.Errorf("total = %s, want 12", v)
+	}
+}
+
+// TestNestedAtomicRuntime checks §5.3: an inner section inside a held outer
+// section acquires nothing new and releases nothing early.
+func TestNestedAtomicRuntime(t *testing.T) {
+	src := `
+int a;
+int b;
+void outer() {
+  atomic {
+    a = a + 1;
+    atomic {
+      b = b + 1;
+    }
+    a = a + 1;
+  }
+}
+`
+	prog, pts, plan := compile(t, src, 3)
+	m := NewMachine(prog, pts, plan)
+	m.Checked = true
+	specs := make([]ThreadSpec, 6)
+	for i := range specs {
+		specs[i] = ThreadSpec{Fn: "outer"}
+	}
+	if err := m.Run(specs); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	av, _ := m.Global("a")
+	bv, _ := m.Global("b")
+	if av.Int != 12 || bv.Int != 6 {
+		t.Errorf("a=%s b=%s, want 12 and 6", av, bv)
+	}
+}
+
+// TestRuntimeErrors checks error reporting for null dereference and
+// division by zero.
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"nullderef", `
+struct node { node* next; int v; }
+void main() { node* n = null; int x = n->v; }
+`, "dereference"},
+		{"divzero", `
+void main() { int a = 1; int b = 0; int c = a / b; }
+`, "division by zero"},
+		{"oob", `
+void main() { int* a = new int[2]; a[5] = 1; }
+`, "out of bounds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, pts, plan := compile(t, tc.src, 3)
+			m := NewMachine(prog, pts, plan)
+			err := m.Run([]ThreadSpec{{Fn: "main"}})
+			var re *RuntimeError
+			if !errors.As(err, &re) {
+				t.Fatalf("expected RuntimeError, got %v", err)
+			}
+		})
+	}
+}
+
+// TestExternFunctions: external (pre-compiled) functions run through
+// registered host implementations, and their spec-derived locks keep the
+// checked execution sound.
+func TestExternFunctions(t *testing.T) {
+	src := `
+struct rec { int key; int val; }
+rec* store;
+int hash(int x);
+
+void init() {
+  store = new rec;
+}
+
+void bump(int k) {
+  atomic {
+    int h = hash(k);
+    store->key = h;
+    store->val = store->val + 1;
+  }
+}
+`
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]steens.ExternSpec{"hash": {}}
+	pts := steens.RunWithSpecs(prog, specs)
+	results := infer.New(prog, pts, infer.Options{K: 3, Specs: specs}).AnalyzeAll()
+	m := NewMachine(prog, pts, transform.SectionLocks(results))
+	m.Checked = true
+	m.RegisterExtern("hash", func(args []Value) (Value, error) {
+		return IntV(args[0].Int * 2654435761 % 1024), nil
+	})
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(0, "init", nil); err != nil {
+		t.Fatal(err)
+	}
+	specsT := []ThreadSpec{
+		{Fn: "bump", Args: []Value{IntV(3)}},
+		{Fn: "bump", Args: []Value{IntV(5)}},
+		{Fn: "bump", Args: []Value{IntV(7)}},
+	}
+	if err := m.Run(specsT); err != nil {
+		t.Fatalf("checked run with extern: %v", err)
+	}
+}
+
+// TestExternUnregistered: calling an external function without a host
+// implementation is an error, not a crash.
+func TestExternUnregistered(t *testing.T) {
+	src := `
+int mystery(int x);
+void main() { int v = mystery(1); }
+`
+	prog, pts, plan := compile(t, src, 3)
+	m := NewMachine(prog, pts, plan)
+	err := m.Run([]ThreadSpec{{Fn: "main"}})
+	if err == nil || !strings.Contains(err.Error(), "no registered implementation") {
+		t.Fatalf("expected unregistered-extern error, got %v", err)
+	}
+}
+
+// TestStepLimit: runaway loops surface as errors, not hangs.
+func TestStepLimit(t *testing.T) {
+	src := `
+void spin() {
+  int i = 1;
+  while (i > 0) {
+    i = i + 1;
+  }
+}
+`
+	prog, pts, plan := compile(t, src, 3)
+	m := NewMachine(prog, pts, plan)
+	m.StepLimit = 10_000
+	err := m.Run([]ThreadSpec{{Fn: "spin"}})
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("expected step-limit error, got %v", err)
+	}
+}
+
+// TestDeepRecursion: recursive calls nest frames correctly.
+func TestDeepRecursion(t *testing.T) {
+	src := `
+int depth(int n) {
+  if (n == 0) { return 0; }
+  return 1 + depth(n - 1);
+}
+int out;
+void main() { out = depth(500); }
+`
+	prog, pts, plan := compile(t, src, 3)
+	m := NewMachine(prog, pts, plan)
+	if err := m.Run([]ThreadSpec{{Fn: "main"}}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Global("out")
+	if v.Int != 500 {
+		t.Errorf("depth = %s, want 500", v)
+	}
+}
+
+// TestAddrOfLocals: address-taken locals work through pointers and are
+// protected inside sections.
+func TestAddrOfLocals(t *testing.T) {
+	src := `
+int result;
+void main() {
+  int x = 5;
+  int* p = &x;
+  atomic {
+    *p = *p + 37;
+  }
+  result = x;
+}
+`
+	prog, pts, plan := compile(t, src, 3)
+	m := NewMachine(prog, pts, plan)
+	m.Checked = true
+	if err := m.Run([]ThreadSpec{{Fn: "main"}}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Global("result")
+	if v.Int != 42 {
+		t.Errorf("result = %s, want 42", v)
+	}
+}

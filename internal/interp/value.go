@@ -1,0 +1,148 @@
+// Package interp executes lowered programs concurrently on a simulated
+// heap, implementing the operational semantics of §4.2: threads run IR
+// statements, atomic sections acquire their inferred locks through the mgl
+// runtime, and in checked mode every shared access inside an atomic section
+// is verified to be covered by a held lock — an unprotected access is the
+// paper's stuck state and is reported as a soundness violation. The
+// interpreter is the harness behind the soundness property tests and the
+// end-to-end examples.
+package interp
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lockinfer/internal/ir"
+)
+
+// VKind is the kind of a runtime value.
+type VKind uint8
+
+// Value kinds.
+const (
+	VNull VKind = iota
+	VInt
+	VLoc
+)
+
+// Value is a runtime value: null, an integer, or a location (a slot of an
+// object).
+type Value struct {
+	Kind VKind
+	Int  int64
+	Obj  *Object
+	Off  int
+}
+
+// Null is the null value.
+func Null() Value { return Value{Kind: VNull} }
+
+// IntV returns an integer value.
+func IntV(i int64) Value { return Value{Kind: VInt, Int: i} }
+
+// LocV returns a location value.
+func LocV(obj *Object, off int) Value { return Value{Kind: VLoc, Obj: obj, Off: off} }
+
+// Truthy reports the value interpreted as a condition: nonzero ints and
+// non-null locations are true.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case VInt:
+		return v.Int != 0
+	case VLoc:
+		return true
+	default:
+		return false
+	}
+}
+
+// Equal compares two values for the == operator.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case VNull:
+		return true
+	case VInt:
+		return v.Int == o.Int
+	default:
+		return v.Obj == o.Obj && v.Off == o.Off
+	}
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case VNull:
+		return "null"
+	case VInt:
+		return fmt.Sprintf("%d", v.Int)
+	default:
+		return fmt.Sprintf("loc(%s+%d)", v.Obj, v.Off)
+	}
+}
+
+// objKind distinguishes heap objects from variable frames.
+type objKind uint8
+
+const (
+	objHeap objKind = iota
+	objGlobals
+	objFrame
+)
+
+var nextObjBase atomic.Uint64
+
+// Object is a block of slots: a heap allocation, the global-variable block,
+// or one function frame (so that &local works uniformly).
+type Object struct {
+	kind objKind
+	// base is a program-unique address: slot i has address base+i.
+	base uint64
+	// Site is the allocation site for heap objects, -1 otherwise.
+	Site int
+	// Struct gives field layout for struct allocations; nil for arrays,
+	// scalar allocations and frames.
+	Struct *ir.StructInfo
+	// Fn is the owning function for frames.
+	Fn    *ir.Func
+	slots []atomic.Pointer[Value]
+	// allocThread/allocEpoch identify the atomic section (if any) whose
+	// executing thread allocated this object; the checker exempts accesses
+	// from that same section. Zero values never match a real section.
+	allocThread int
+	allocEpoch  int64
+}
+
+func newObject(kind objKind, site int, n int) *Object {
+	o := &Object{kind: kind, Site: site, base: nextObjBase.Add(uint64(n)) - uint64(n)}
+	o.slots = make([]atomic.Pointer[Value], n)
+	null := Null()
+	for i := range o.slots {
+		o.slots[i].Store(&null)
+	}
+	return o
+}
+
+// Len returns the number of slots.
+func (o *Object) Len() int { return len(o.slots) }
+
+// Addr returns the unique address of slot off.
+func (o *Object) Addr(off int) uint64 { return o.base + uint64(off) }
+
+// load reads slot off.
+func (o *Object) load(off int) Value { return *o.slots[off].Load() }
+
+// store writes slot off.
+func (o *Object) store(off int, v Value) { o.slots[off].Store(&v) }
+
+func (o *Object) String() string {
+	switch o.kind {
+	case objGlobals:
+		return "globals"
+	case objFrame:
+		return "frame:" + o.Fn.Name
+	default:
+		return fmt.Sprintf("obj#%d@site%d", o.base, o.Site)
+	}
+}

@@ -1,0 +1,259 @@
+// Package ir defines the intermediate representation used by the lock
+// inference analysis: three-address statements matching exactly the forms of
+// Figure 4 in the paper (x=y, x=y+f, x=&y, x=*y, *x=y, x=new, x=null, calls),
+// plus integer arithmetic, branches and atomic-section markers. Functions are
+// statement-indexed control-flow graphs with explicit predecessor and
+// successor edges, which is the shape the backward dataflow engine consumes.
+package ir
+
+import (
+	"fmt"
+
+	"lockinfer/internal/lang"
+)
+
+// FieldID is a program-wide interned field name. Array elements use the
+// distinguished ElemField ("[]"), reflecting the paper's convention that
+// array and structure dereferences are both modeled as field offsets.
+type FieldID int
+
+// Var is a variable: a global, a function parameter, a named local, or a
+// compiler temporary. Vars are compared by pointer identity.
+type Var struct {
+	Name   string
+	Type   lang.Type
+	Global bool
+	// AddrTaken records whether &x occurs anywhere; the inference engine
+	// must conservatively protect such variables' cells.
+	AddrTaken bool
+	// Temp marks compiler-generated temporaries.
+	Temp bool
+	// Index is the position in Func.Vars (locals) or Program.Globals.
+	Index int
+	// Owner is the defining function; nil for globals.
+	Owner *Func
+}
+
+func (v *Var) String() string { return v.Name }
+
+// Op is a statement opcode.
+type Op uint8
+
+// Statement opcodes. The comment shows the concrete form, with x = Dst,
+// y = Src, z = Src2.
+const (
+	OpCopy   Op = iota // x = y
+	OpAddrOf           // x = &y
+	OpLoad             // x = *y
+	OpStore            // *x = y        (x is Dst, y is Src)
+	OpField            // x = y + f     (address of field f of *y's cell)
+	OpIndex            // x = y @ z     (address of element z of array y)
+	OpNew              // x = new T     or x = new T[z]
+	OpNull             // x = null
+	OpConst            // x = c
+	OpArith            // x = y <binop> z
+	OpUnary            // x = <unop> y
+	OpCall             // x = f(args)   (Dst nil for void calls)
+	OpBranch           // if y goto Succs[0] else Succs[1]
+	OpGoto             // goto Succs[0]
+	OpNop              // padding work unit
+	OpAtomicBegin
+	OpAtomicEnd
+	OpExit // function exit pseudo-statement (single, last)
+)
+
+var opNames = [...]string{
+	OpCopy: "copy", OpAddrOf: "addrof", OpLoad: "load", OpStore: "store",
+	OpField: "field", OpIndex: "index", OpNew: "new", OpNull: "null",
+	OpConst: "const", OpArith: "arith", OpUnary: "unary", OpCall: "call",
+	OpBranch: "branch", OpGoto: "goto", OpNop: "nop",
+	OpAtomicBegin: "atomic.begin", OpAtomicEnd: "atomic.end", OpExit: "exit",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Stmt is a single IR statement. Control flow is explicit through Succs and
+// Preds, which hold statement indices within the owning function.
+type Stmt struct {
+	Op      Op
+	Dst     *Var
+	Src     *Var
+	Src2    *Var
+	Field   FieldID       // OpField
+	Const   int64         // OpConst
+	Arith   lang.BinaryOp // OpArith
+	Unop    lang.UnaryOp  // OpUnary
+	Callee  string        // OpCall
+	Args    []*Var        // OpCall
+	NewType lang.Type     // OpNew: element type allocated
+	Site    int           // OpNew: program-wide allocation site id
+	Section int           // id of innermost enclosing atomic section, or -1
+	Succs   []int
+	Preds   []int
+	Pos     lang.Pos
+}
+
+// Func is a lowered function body.
+type Func struct {
+	Name   string
+	Params []*Var
+	RetVar *Var // nil for void functions
+	Ret    lang.Type
+	Vars   []*Var // all locals: params, named locals, temporaries
+	Stmts  []*Stmt
+	// Exit is the index of the single OpExit statement.
+	Exit int
+	// External marks a pre-compiled function (prototype only): the body is
+	// empty and the analysis relies on a specification.
+	External bool
+}
+
+// Entry returns the index of the function's entry statement.
+func (f *Func) Entry() int { return 0 }
+
+// Section is one atomic section: the statement range between its begin and
+// end markers within Fn. Lowering is linear, so every statement of the
+// section body has index in (Begin, End).
+type Section struct {
+	ID    int
+	Fn    *Func
+	Begin int // index of the OpAtomicBegin statement
+	End   int // index of the OpAtomicEnd statement
+	Pos   lang.Pos
+}
+
+// Contains reports whether statement index i of s.Fn lies strictly inside
+// the section body.
+func (s *Section) Contains(i int) bool { return i > s.Begin && i < s.End }
+
+// StructInfo is the lowered layout of a struct type.
+type StructInfo struct {
+	Name   string
+	Fields []FieldID
+	Types  []lang.Type
+	// ByField maps a program-wide field id to its slot offset, or -1.
+	offsets map[FieldID]int
+}
+
+// Offset returns the slot offset of field f within the struct, or -1 if the
+// struct has no such field.
+func (si *StructInfo) Offset(f FieldID) int {
+	if o, ok := si.offsets[f]; ok {
+		return o
+	}
+	return -1
+}
+
+// Program is a lowered compilation unit.
+type Program struct {
+	Source   *lang.Program
+	Globals  []*Var
+	Funcs    []*Func
+	Sections []*Section
+	Structs  map[string]*StructInfo
+
+	fieldNames []string
+	fieldIDs   map[string]int
+	funcsByNm  map[string]*Func
+	globalsNm  map[string]*Var
+
+	// NumSites is the number of allocation sites; OpNew.Site < NumSites.
+	NumSites int
+	// SiteNames describes each allocation site for diagnostics.
+	SiteNames []string
+}
+
+// ElemFieldName is the pseudo-field used for array elements.
+const ElemFieldName = "[]"
+
+// FieldName returns the interned name of a field id.
+func (p *Program) FieldName(f FieldID) string { return p.fieldNames[f] }
+
+// FieldCount returns the number of interned field names.
+func (p *Program) FieldCount() int { return len(p.fieldNames) }
+
+// InternField returns the id for a field name, interning it if new.
+func (p *Program) InternField(name string) FieldID {
+	if id, ok := p.fieldIDs[name]; ok {
+		return FieldID(id)
+	}
+	id := len(p.fieldNames)
+	p.fieldNames = append(p.fieldNames, name)
+	p.fieldIDs[name] = id
+	return FieldID(id)
+}
+
+// ElemField returns the id of the array-element pseudo-field.
+func (p *Program) ElemField() FieldID { return p.InternField(ElemFieldName) }
+
+// Func returns the lowered function with the given name, or nil.
+func (p *Program) Func(name string) *Func { return p.funcsByNm[name] }
+
+// Global returns the global variable with the given name, or nil.
+func (p *Program) Global(name string) *Var { return p.globalsNm[name] }
+
+// String renders a statement for diagnostics, given its owning program (for
+// field names).
+func (p *Program) StmtString(s *Stmt) string {
+	switch s.Op {
+	case OpCopy:
+		return fmt.Sprintf("%s = %s", s.Dst, s.Src)
+	case OpAddrOf:
+		return fmt.Sprintf("%s = &%s", s.Dst, s.Src)
+	case OpLoad:
+		return fmt.Sprintf("%s = *%s", s.Dst, s.Src)
+	case OpStore:
+		return fmt.Sprintf("*%s = %s", s.Dst, s.Src)
+	case OpField:
+		return fmt.Sprintf("%s = %s + %s", s.Dst, s.Src, p.FieldName(s.Field))
+	case OpIndex:
+		return fmt.Sprintf("%s = %s @ %s", s.Dst, s.Src, s.Src2)
+	case OpNew:
+		if s.Src2 != nil {
+			return fmt.Sprintf("%s = new %s[%s] #%d", s.Dst, s.NewType, s.Src2, s.Site)
+		}
+		return fmt.Sprintf("%s = new %s #%d", s.Dst, s.NewType, s.Site)
+	case OpNull:
+		return fmt.Sprintf("%s = null", s.Dst)
+	case OpConst:
+		return fmt.Sprintf("%s = %d", s.Dst, s.Const)
+	case OpArith:
+		return fmt.Sprintf("%s = %s %s %s", s.Dst, s.Src, s.Arith, s.Src2)
+	case OpUnary:
+		return fmt.Sprintf("%s = %s%s", s.Dst, s.Unop, s.Src)
+	case OpCall:
+		args := ""
+		for i, a := range s.Args {
+			if i > 0 {
+				args += ", "
+			}
+			args += a.Name
+		}
+		if s.Dst != nil {
+			return fmt.Sprintf("%s = %s(%s)", s.Dst, s.Callee, args)
+		}
+		return fmt.Sprintf("%s(%s)", s.Callee, args)
+	case OpBranch:
+		return fmt.Sprintf("if %s goto %d else %d", s.Src, s.Succs[0], s.Succs[1])
+	case OpGoto:
+		return fmt.Sprintf("goto %d", s.Succs[0])
+	case OpNop:
+		return "nop"
+	case OpAtomicBegin:
+		return fmt.Sprintf("atomic.begin #%d", s.Section)
+	case OpAtomicEnd:
+		return fmt.Sprintf("atomic.end #%d", s.Section)
+	case OpExit:
+		return "exit"
+	}
+	return fmt.Sprintf("op(%d)", s.Op)
+}
+
+// FuncString renders a whole function for diagnostics and golden tests.
+func (p *Program) FuncString(f *Func) string {
+	out := fmt.Sprintf("func %s:\n", f.Name)
+	for i, s := range f.Stmts {
+		out += fmt.Sprintf("  %3d: %s\n", i, p.StmtString(s))
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"lockinfer/internal/lang"
+)
+
+func lower(t *testing.T, src string) *Program {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const miniSrc = `
+struct node { node* next; int v; }
+node* head;
+int sum(node* n) {
+  int s = 0;
+  while (n != null) {
+    s = s + n->v;
+    n = n->next;
+  }
+  return s;
+}
+void push(int v) {
+  atomic {
+    node* e = new node;
+    e->v = v;
+    e->next = head;
+    head = e;
+  }
+}
+`
+
+// TestCFGInvariants checks predecessor/successor consistency on every
+// function of a lowered program.
+func TestCFGInvariants(t *testing.T) {
+	p := lower(t, miniSrc)
+	for _, f := range p.Funcs {
+		checkCFG(t, p, f)
+	}
+}
+
+func checkCFG(t *testing.T, p *Program, f *Func) {
+	t.Helper()
+	n := len(f.Stmts)
+	if n == 0 {
+		t.Fatalf("%s: empty body", f.Name)
+	}
+	if f.Stmts[f.Exit].Op != OpExit || f.Exit != n-1 {
+		t.Errorf("%s: exit is not the final statement", f.Name)
+	}
+	for i, s := range f.Stmts {
+		if s.Op == OpExit && len(s.Succs) != 0 {
+			t.Errorf("%s:%d exit has successors", f.Name, i)
+		}
+		if s.Op != OpExit && len(s.Succs) == 0 {
+			t.Errorf("%s:%d (%s) has no successors", f.Name, i, p.StmtString(s))
+		}
+		for _, j := range s.Succs {
+			if j < 0 || j >= n {
+				t.Fatalf("%s:%d successor %d out of range", f.Name, i, j)
+			}
+			found := false
+			for _, back := range f.Stmts[j].Preds {
+				if back == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: edge %d->%d missing from preds", f.Name, i, j)
+			}
+		}
+		for _, j := range s.Preds {
+			found := false
+			for _, fwd := range f.Stmts[j].Succs {
+				if fwd == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: pred edge %d->%d missing from succs", f.Name, j, i)
+			}
+		}
+	}
+}
+
+// TestSectionRanges checks that atomic markers delimit contiguous ranges
+// and that body statements carry the section id.
+func TestSectionRanges(t *testing.T) {
+	p := lower(t, miniSrc)
+	if len(p.Sections) != 1 {
+		t.Fatalf("%d sections, want 1", len(p.Sections))
+	}
+	sec := p.Sections[0]
+	f := sec.Fn
+	if f.Stmts[sec.Begin].Op != OpAtomicBegin || f.Stmts[sec.End].Op != OpAtomicEnd {
+		t.Fatal("section markers wrong")
+	}
+	for i := sec.Begin + 1; i < sec.End; i++ {
+		if f.Stmts[i].Section != sec.ID {
+			t.Errorf("stmt %d has section %d, want %d", i, f.Stmts[i].Section, sec.ID)
+		}
+		if !sec.Contains(i) {
+			t.Errorf("Contains(%d) = false inside the body", i)
+		}
+	}
+	if sec.Contains(sec.Begin) || sec.Contains(sec.End) {
+		t.Error("Contains includes the markers")
+	}
+}
+
+// TestLoweringForms checks that only the paper's statement forms appear.
+func TestLoweringForms(t *testing.T) {
+	p := lower(t, miniSrc)
+	for _, f := range p.Funcs {
+		for i, s := range f.Stmts {
+			switch s.Op {
+			case OpCopy, OpAddrOf, OpLoad, OpStore, OpField, OpIndex, OpNew,
+				OpNull, OpConst, OpArith, OpUnary, OpCall, OpBranch, OpGoto,
+				OpNop, OpAtomicBegin, OpAtomicEnd, OpExit:
+			default:
+				t.Errorf("%s:%d unexpected op %v", f.Name, i, s.Op)
+			}
+			if s.Op == OpStore && (s.Dst == nil || s.Src == nil) {
+				t.Errorf("%s:%d malformed store", f.Name, i)
+			}
+		}
+	}
+}
+
+// TestWhileLoopShape checks the loop wiring: the branch exits past the
+// back-edge goto.
+func TestWhileLoopShape(t *testing.T) {
+	p := lower(t, miniSrc)
+	f := p.Func("sum")
+	var branch *Stmt
+	for _, s := range f.Stmts {
+		if s.Op == OpBranch {
+			branch = s
+		}
+	}
+	if branch == nil {
+		t.Fatal("no branch in sum")
+	}
+	if len(branch.Succs) != 2 || branch.Succs[0] == branch.Succs[1] {
+		t.Fatalf("branch succs = %v", branch.Succs)
+	}
+}
+
+// TestGlobalsAndInit checks the synthetic initializer function.
+func TestGlobalsAndInit(t *testing.T) {
+	p := lower(t, `
+struct s { int x; }
+s* g = new s;
+int n = 41 + 1;
+void main() { n = 0; }
+`)
+	init := p.Func(InitFuncName)
+	if init == nil {
+		t.Fatal("no $init function")
+	}
+	sawNew, sawArith := false, false
+	for _, s := range init.Stmts {
+		if s.Op == OpNew {
+			sawNew = true
+		}
+		if s.Op == OpArith {
+			sawArith = true
+		}
+	}
+	if !sawNew || !sawArith {
+		t.Errorf("initializer missing statements: new=%v arith=%v", sawNew, sawArith)
+	}
+	if p.Global("g") == nil || p.Global("n") == nil {
+		t.Error("globals not registered")
+	}
+}
+
+// TestAddrTaken checks the escape marking used by the shared-variable rule.
+func TestAddrTaken(t *testing.T) {
+	p := lower(t, `
+void f() {
+  int x = 0;
+  int y = 0;
+  int* p = &x;
+  *p = 1;
+  y = y + 1;
+}
+`)
+	f := p.Func("f")
+	byName := map[string]*Var{}
+	for _, v := range f.Vars {
+		byName[v.Name] = v
+	}
+	if !byName["x"].AddrTaken {
+		t.Error("x should be address-taken")
+	}
+	if byName["y"].AddrTaken {
+		t.Error("y should not be address-taken")
+	}
+}
+
+// TestLoweringErrors checks the type errors the lowering catches.
+func TestLoweringErrors(t *testing.T) {
+	cases := map[string]string{
+		"deref int":          "void f() { int x = 0; int y = *x; }",
+		"field on int":       "void f() { int x = 0; int y = x->v; }",
+		"unknown field":      "struct s { int a; } void f(s* p) { p->b = 1; }",
+		"unknown type":       "void f() { q* x = null; }",
+		"unknown fn":         "void f() { g(); }",
+		"arity":              "void g(int a) {} void f() { g(); }",
+		"void as value":      "void g() {} void f() { int x = g(); }",
+		"bare struct var":    "struct s { int a; } void f() { s x; }",
+		"bare struct field":  "struct s { int a; } struct t { s inner; }",
+		"return in atomic":   "int f() { atomic { return 1; } }",
+		"missing return val": "int f() { return; }",
+		"value from void":    "void f() { return 1; }",
+		"arith on ptr":       "struct s { int a; } void f(s* p) { int x = p + 1; }",
+		"undefined var":      "void f() { x = 1; }",
+		"redeclared":         "void f() { int x = 1; int x = 2; }",
+	}
+	for name, src := range cases {
+		ast, err := lang.Parse(src)
+		if err != nil {
+			t.Errorf("%s: parse failed: %v", name, err)
+			continue
+		}
+		if _, err := Lower(ast); err == nil {
+			t.Errorf("%s: Lower succeeded, want error", name)
+		}
+	}
+}
+
+// TestStmtString smoke-tests the IR printer.
+func TestStmtString(t *testing.T) {
+	p := lower(t, miniSrc)
+	out := p.FuncString(p.Func("push"))
+	for _, want := range []string{"new node", "atomic.begin", "atomic.end", "+ next"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FuncString missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFieldInterning checks program-wide field ids.
+func TestFieldInterning(t *testing.T) {
+	p := lower(t, `
+struct a { int f; }
+struct b { int f; int g; }
+void m(a* x, b* y) { x->f = 1; y->f = 2; y->g = 3; }
+`)
+	fa := p.InternField("f")
+	if p.FieldName(fa) != "f" {
+		t.Error("intern/name mismatch")
+	}
+	if p.InternField("f") != fa {
+		t.Error("re-interning changed the id")
+	}
+	sa, sb := p.Structs["a"], p.Structs["b"]
+	if sa.Offset(fa) != 0 || sb.Offset(fa) != 0 || sb.Offset(p.InternField("g")) != 1 {
+		t.Error("field offsets wrong")
+	}
+	if sa.Offset(p.InternField("g")) != -1 {
+		t.Error("missing field should give -1")
+	}
+}

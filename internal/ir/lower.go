@@ -1,0 +1,707 @@
+package ir
+
+import (
+	"fmt"
+
+	"lockinfer/internal/lang"
+)
+
+// Lower converts a parsed program into IR. It performs the type checking
+// needed for a sound lowering (pointer/struct/field resolution, call arity)
+// and reports the first error found.
+func Lower(src *lang.Program) (*Program, error) {
+	p := &Program{
+		Source:    src,
+		Structs:   map[string]*StructInfo{},
+		fieldIDs:  map[string]int{},
+		funcsByNm: map[string]*Func{},
+		globalsNm: map[string]*Var{},
+	}
+	// Struct layouts: register all names first so self- and mutually
+	// referential structs resolve.
+	for _, sd := range src.Structs {
+		p.Structs[sd.Name] = &StructInfo{Name: sd.Name, offsets: map[FieldID]int{}}
+	}
+	for _, sd := range src.Structs {
+		si := p.Structs[sd.Name]
+		for i, f := range sd.Fields {
+			if err := p.checkType(f.Type, sd.Pos); err != nil {
+				return nil, err
+			}
+			if f.Type.Ptr == 0 && f.Type.Base != "int" {
+				return nil, errAt(sd.Pos, "field %q: struct-valued fields are not supported; use a pointer", f.Name)
+			}
+			id := p.InternField(f.Name)
+			si.Fields = append(si.Fields, id)
+			si.Types = append(si.Types, f.Type)
+			si.offsets[id] = i
+		}
+		p.Structs[sd.Name] = si
+	}
+	// Globals.
+	for i, g := range src.Globals {
+		if err := p.checkVarType(g.Type, g.Pos); err != nil {
+			return nil, err
+		}
+		v := &Var{Name: g.Name, Type: g.Type, Global: true, Index: i}
+		p.Globals = append(p.Globals, v)
+		p.globalsNm[g.Name] = v
+	}
+	// Function shells first so calls resolve in any order.
+	for _, fd := range src.Funcs {
+		f := &Func{Name: fd.Name, Ret: fd.Ret}
+		p.Funcs = append(p.Funcs, f)
+		p.funcsByNm[fd.Name] = f
+	}
+	// Synthetic initializer for globals with initializer expressions.
+	initFn := &Func{Name: InitFuncName, Ret: lang.Type{Base: "void"}}
+	p.Funcs = append(p.Funcs, initFn)
+	p.funcsByNm[InitFuncName] = initFn
+	{
+		fl := newFuncLowerer(p, initFn)
+		for i, g := range src.Globals {
+			if g.Init == nil {
+				continue
+			}
+			if err := fl.lowerAssignTo(p.Globals[i], g.Init, g.Pos); err != nil {
+				return nil, err
+			}
+		}
+		fl.finish()
+	}
+	// Function bodies.
+	for _, fd := range src.Funcs {
+		f := p.funcsByNm[fd.Name]
+		fl := newFuncLowerer(p, f)
+		for _, prm := range fd.Params {
+			if err := p.checkVarType(prm.Type, fd.Pos); err != nil {
+				return nil, err
+			}
+			v := fl.declare(prm.Name, prm.Type)
+			f.Params = append(f.Params, v)
+		}
+		if fd.Body == nil {
+			f.External = true
+			continue
+		}
+		if !fd.Ret.IsVoid() {
+			f.RetVar = fl.newTemp("ret$"+f.Name, fd.Ret)
+		}
+		if err := fl.block(fd.Body); err != nil {
+			return nil, err
+		}
+		fl.finish()
+	}
+	return p, nil
+}
+
+// InitFuncName is the synthetic function holding global initializers.
+const InitFuncName = "$init"
+
+func (p *Program) checkType(t lang.Type, pos lang.Pos) error {
+	switch t.Base {
+	case "int", "void", "null":
+		return nil
+	default:
+		if _, ok := p.Structs[t.Base]; !ok {
+			return errAt(pos, "unknown type %q", t.Base)
+		}
+		return nil
+	}
+}
+
+// checkVarType rejects variable declarations of bare struct or void type;
+// all values in the language are single cells (ints or pointers).
+func (p *Program) checkVarType(t lang.Type, pos lang.Pos) error {
+	if err := p.checkType(t, pos); err != nil {
+		return err
+	}
+	if t.Ptr == 0 && t.Base != "int" {
+		return errAt(pos, "variables of type %s are not supported; use a pointer", t)
+	}
+	return nil
+}
+
+func errAt(pos lang.Pos, format string, args ...any) error {
+	return &lang.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+var (
+	intType  = lang.Type{Base: "int"}
+	nullType = lang.Type{Base: "null", Ptr: 1}
+)
+
+type scope struct {
+	vars   map[string]*Var
+	parent *scope
+}
+
+func (s *scope) lookup(name string) *Var {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+type funcLowerer struct {
+	p  *Program
+	fn *Func
+	sc *scope
+	// returnJumps are OpGoto statement indices to patch to the exit.
+	returnJumps []int
+	nextTemp    int
+	// sections is the stack of open atomic section ids.
+	sections []int
+}
+
+func newFuncLowerer(p *Program, fn *Func) *funcLowerer {
+	return &funcLowerer{p: p, fn: fn, sc: &scope{vars: map[string]*Var{}}}
+}
+
+func (fl *funcLowerer) push() { fl.sc = &scope{vars: map[string]*Var{}, parent: fl.sc} }
+func (fl *funcLowerer) pop()  { fl.sc = fl.sc.parent }
+
+func (fl *funcLowerer) declare(name string, t lang.Type) *Var {
+	v := &Var{Name: name, Type: t, Index: len(fl.fn.Vars), Owner: fl.fn}
+	fl.fn.Vars = append(fl.fn.Vars, v)
+	fl.sc.vars[name] = v
+	return v
+}
+
+func (fl *funcLowerer) newTemp(hint string, t lang.Type) *Var {
+	v := &Var{
+		Name:  fmt.Sprintf("%s$%d", hint, fl.nextTemp),
+		Type:  t,
+		Temp:  true,
+		Index: len(fl.fn.Vars),
+		Owner: fl.fn,
+	}
+	fl.nextTemp++
+	fl.fn.Vars = append(fl.fn.Vars, v)
+	return v
+}
+
+// emit appends a statement and returns its index.
+func (fl *funcLowerer) emit(s *Stmt) int {
+	s.Section = fl.curSection()
+	fl.fn.Stmts = append(fl.fn.Stmts, s)
+	return len(fl.fn.Stmts) - 1
+}
+
+func (fl *funcLowerer) curSection() int {
+	if len(fl.sections) == 0 {
+		return -1
+	}
+	return fl.sections[len(fl.sections)-1]
+}
+
+// finish appends the exit statement, patches return jumps, and wires
+// fallthrough edges plus predecessor lists.
+func (fl *funcLowerer) finish() {
+	exit := fl.emit(&Stmt{Op: OpExit})
+	fl.fn.Exit = exit
+	for _, i := range fl.returnJumps {
+		fl.fn.Stmts[i].Succs = []int{exit}
+	}
+	for i, s := range fl.fn.Stmts {
+		switch s.Op {
+		case OpGoto, OpBranch, OpExit:
+			// Succs already set (or empty for exit).
+		default:
+			s.Succs = []int{i + 1}
+		}
+	}
+	for i, s := range fl.fn.Stmts {
+		for _, t := range s.Succs {
+			st := fl.fn.Stmts[t]
+			st.Preds = append(st.Preds, i)
+		}
+	}
+}
+
+func (fl *funcLowerer) block(b *lang.BlockStmt) error {
+	fl.push()
+	defer fl.pop()
+	for _, st := range b.Stmts {
+		if err := fl.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fl *funcLowerer) stmt(s lang.Stmt) error {
+	switch st := s.(type) {
+	case *lang.BlockStmt:
+		return fl.block(st)
+	case *lang.DeclStmt:
+		if err := fl.p.checkVarType(st.Type, st.Pos); err != nil {
+			return err
+		}
+		if _, ok := fl.sc.vars[st.Name]; ok {
+			return errAt(st.Pos, "variable %q redeclared in this block", st.Name)
+		}
+		v := fl.declare(st.Name, st.Type)
+		if st.Init != nil {
+			return fl.lowerAssignTo(v, st.Init, st.Pos)
+		}
+		// Uninitialized pointers start null, ints start 0; make that explicit
+		// so the backward analysis can kill paths through them.
+		if st.Type.IsPointer() {
+			fl.emit(&Stmt{Op: OpNull, Dst: v, Pos: st.Pos})
+		} else {
+			fl.emit(&Stmt{Op: OpConst, Dst: v, Const: 0, Pos: st.Pos})
+		}
+		return nil
+	case *lang.AssignStmt:
+		return fl.assign(st)
+	case *lang.IfStmt:
+		cond, err := fl.rvalue(st.Cond)
+		if err != nil {
+			return err
+		}
+		br := fl.emit(&Stmt{Op: OpBranch, Src: cond, Pos: st.Pos})
+		thenStart := len(fl.fn.Stmts)
+		if err := fl.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			end := len(fl.fn.Stmts)
+			fl.fn.Stmts[br].Succs = []int{thenStart, end}
+			return nil
+		}
+		skip := fl.emit(&Stmt{Op: OpGoto, Pos: st.Pos})
+		elseStart := len(fl.fn.Stmts)
+		if err := fl.stmt(st.Else); err != nil {
+			return err
+		}
+		end := len(fl.fn.Stmts)
+		fl.fn.Stmts[br].Succs = []int{thenStart, elseStart}
+		fl.fn.Stmts[skip].Succs = []int{end}
+		return nil
+	case *lang.WhileStmt:
+		condStart := len(fl.fn.Stmts)
+		cond, err := fl.rvalue(st.Cond)
+		if err != nil {
+			return err
+		}
+		br := fl.emit(&Stmt{Op: OpBranch, Src: cond, Pos: st.Pos})
+		bodyStart := len(fl.fn.Stmts)
+		if err := fl.stmt(st.Body); err != nil {
+			return err
+		}
+		fl.emit(&Stmt{Op: OpGoto, Succs: []int{condStart}, Pos: st.Pos})
+		end := len(fl.fn.Stmts)
+		fl.fn.Stmts[br].Succs = []int{bodyStart, end}
+		return nil
+	case *lang.AtomicStmt:
+		id := len(fl.p.Sections)
+		sec := &Section{ID: id, Fn: fl.fn, Pos: st.Pos}
+		fl.p.Sections = append(fl.p.Sections, sec)
+		sec.Begin = fl.emit(&Stmt{Op: OpAtomicBegin, Section: -2, Pos: st.Pos})
+		// The begin/end markers carry their own section id (not the
+		// enclosing one); body statements carry the innermost id.
+		fl.fn.Stmts[sec.Begin].Section = id
+		fl.sections = append(fl.sections, id)
+		err := fl.block(st.Body)
+		fl.sections = fl.sections[:len(fl.sections)-1]
+		if err != nil {
+			return err
+		}
+		sec.End = fl.emit(&Stmt{Op: OpAtomicEnd, Pos: st.Pos})
+		fl.fn.Stmts[sec.End].Section = id
+		return nil
+	case *lang.ReturnStmt:
+		if len(fl.sections) > 0 {
+			return errAt(st.Pos, "return inside an atomic section is not supported")
+		}
+		if st.Value != nil {
+			if fl.fn.RetVar == nil {
+				return errAt(st.Pos, "void function %q returns a value", fl.fn.Name)
+			}
+			if err := fl.lowerAssignTo(fl.fn.RetVar, st.Value, st.Pos); err != nil {
+				return err
+			}
+		} else if fl.fn.RetVar != nil {
+			return errAt(st.Pos, "function %q must return a value", fl.fn.Name)
+		}
+		fl.returnJumps = append(fl.returnJumps, fl.emit(&Stmt{Op: OpGoto, Pos: st.Pos}))
+		return nil
+	case *lang.ExprStmt:
+		call, ok := st.X.(*lang.CallExpr)
+		if !ok {
+			return errAt(st.Pos, "expression statement must be a call")
+		}
+		_, err := fl.call(call, true)
+		return err
+	case *lang.NopStmt:
+		fl.emit(&Stmt{Op: OpNop, Pos: st.Pos})
+		return nil
+	default:
+		return errAt(s.StmtPos(), "unsupported statement %T", s)
+	}
+}
+
+// assign lowers "lhs = rhs".
+func (fl *funcLowerer) assign(st *lang.AssignStmt) error {
+	switch lhs := st.LHS.(type) {
+	case *lang.Ident:
+		v := fl.lookupVar(lhs.Name)
+		if v == nil {
+			return errAt(lhs.Pos, "undefined variable %q", lhs.Name)
+		}
+		return fl.lowerAssignTo(v, st.RHS, st.Pos)
+	case *lang.Deref:
+		addr, err := fl.rvalue(lhs.X)
+		if err != nil {
+			return err
+		}
+		if !addr.Type.IsPointer() {
+			return errAt(lhs.Pos, "cannot store through non-pointer type %s", addr.Type)
+		}
+		return fl.storeTo(addr, st.RHS, st.Pos)
+	case *lang.FieldAccess:
+		addr, err := fl.fieldAddr(lhs)
+		if err != nil {
+			return err
+		}
+		return fl.storeTo(addr, st.RHS, st.Pos)
+	case *lang.IndexExpr:
+		addr, err := fl.indexAddr(lhs)
+		if err != nil {
+			return err
+		}
+		return fl.storeTo(addr, st.RHS, st.Pos)
+	default:
+		return errAt(st.Pos, "invalid assignment target %T", st.LHS)
+	}
+}
+
+// storeTo lowers "*addr = rhs".
+func (fl *funcLowerer) storeTo(addr *Var, rhs lang.Expr, pos lang.Pos) error {
+	v, err := fl.rvalue(rhs)
+	if err != nil {
+		return err
+	}
+	fl.emit(&Stmt{Op: OpStore, Dst: addr, Src: v, Pos: pos})
+	return nil
+}
+
+// lowerAssignTo lowers "dst = rhs" writing the final operation directly into
+// dst so the IR matches the paper's assignment forms without extra copies.
+func (fl *funcLowerer) lowerAssignTo(dst *Var, rhs lang.Expr, pos lang.Pos) error {
+	switch e := rhs.(type) {
+	case *lang.Ident:
+		v := fl.lookupVar(e.Name)
+		if v == nil {
+			return errAt(e.Pos, "undefined variable %q", e.Name)
+		}
+		fl.emit(&Stmt{Op: OpCopy, Dst: dst, Src: v, Pos: pos})
+		return nil
+	case *lang.IntLit:
+		fl.emit(&Stmt{Op: OpConst, Dst: dst, Const: e.Value, Pos: pos})
+		return nil
+	case *lang.NullLit:
+		fl.emit(&Stmt{Op: OpNull, Dst: dst, Pos: pos})
+		return nil
+	case *lang.AddrOf:
+		v := fl.lookupVar(e.Name)
+		if v == nil {
+			return errAt(e.Pos, "undefined variable %q", e.Name)
+		}
+		v.AddrTaken = true
+		fl.emit(&Stmt{Op: OpAddrOf, Dst: dst, Src: v, Pos: pos})
+		return nil
+	case *lang.Deref:
+		addr, err := fl.rvalue(e.X)
+		if err != nil {
+			return err
+		}
+		if !addr.Type.IsPointer() {
+			return errAt(e.Pos, "cannot dereference non-pointer type %s", addr.Type)
+		}
+		fl.emit(&Stmt{Op: OpLoad, Dst: dst, Src: addr, Pos: pos})
+		return nil
+	case *lang.FieldAccess:
+		addr, err := fl.fieldAddr(e)
+		if err != nil {
+			return err
+		}
+		fl.emit(&Stmt{Op: OpLoad, Dst: dst, Src: addr, Pos: pos})
+		return nil
+	case *lang.IndexExpr:
+		addr, err := fl.indexAddr(e)
+		if err != nil {
+			return err
+		}
+		fl.emit(&Stmt{Op: OpLoad, Dst: dst, Src: addr, Pos: pos})
+		return nil
+	case *lang.NewExpr:
+		return fl.lowerNew(dst, e, pos)
+	case *lang.CallExpr:
+		return fl.callInto(dst, e)
+	case *lang.Binary:
+		l, err := fl.rvalue(e.L)
+		if err != nil {
+			return err
+		}
+		r, err := fl.rvalue(e.R)
+		if err != nil {
+			return err
+		}
+		if err := checkBinary(e, l, r); err != nil {
+			return err
+		}
+		fl.emit(&Stmt{Op: OpArith, Dst: dst, Src: l, Src2: r, Arith: e.Op, Pos: pos})
+		return nil
+	case *lang.Unary:
+		x, err := fl.rvalue(e.X)
+		if err != nil {
+			return err
+		}
+		if x.Type.IsPointer() {
+			return errAt(e.Pos, "unary %s requires an int operand", e.Op)
+		}
+		fl.emit(&Stmt{Op: OpUnary, Dst: dst, Src: x, Unop: e.Op, Pos: pos})
+		return nil
+	default:
+		return errAt(rhs.ExprPos(), "unsupported expression %T", rhs)
+	}
+}
+
+func checkBinary(e *lang.Binary, l, r *Var) error {
+	lp, rp := l.Type.IsPointer(), r.Type.IsPointer()
+	switch e.Op {
+	case lang.BEq, lang.BNe:
+		if lp != rp && l.Type.Base != "null" && r.Type.Base != "null" {
+			return errAt(e.Pos, "cannot compare %s with %s", l.Type, r.Type)
+		}
+		return nil
+	default:
+		if lp || rp {
+			return errAt(e.Pos, "operator %s requires int operands, got %s and %s",
+				e.Op, l.Type, r.Type)
+		}
+		return nil
+	}
+}
+
+// rvalue lowers e into a variable (reusing the variable itself for plain
+// identifier expressions).
+func (fl *funcLowerer) rvalue(e lang.Expr) (*Var, error) {
+	if id, ok := e.(*lang.Ident); ok {
+		v := fl.lookupVar(id.Name)
+		if v == nil {
+			return nil, errAt(id.Pos, "undefined variable %q", id.Name)
+		}
+		return v, nil
+	}
+	t, err := fl.exprType(e)
+	if err != nil {
+		return nil, err
+	}
+	tmp := fl.newTemp("t", t)
+	if err := fl.lowerAssignTo(tmp, e, e.ExprPos()); err != nil {
+		return nil, err
+	}
+	return tmp, nil
+}
+
+// fieldAddr lowers e.X->Name to an address variable via OpField.
+func (fl *funcLowerer) fieldAddr(e *lang.FieldAccess) (*Var, error) {
+	base, err := fl.rvalue(e.X)
+	if err != nil {
+		return nil, err
+	}
+	ft, err := fl.fieldType(base.Type, e.Name, e.Pos)
+	if err != nil {
+		return nil, err
+	}
+	addr := fl.newTemp("f$"+e.Name, lang.Type{Base: ft.Base, Ptr: ft.Ptr + 1})
+	fl.emit(&Stmt{Op: OpField, Dst: addr, Src: base, Field: fl.p.InternField(e.Name), Pos: e.Pos})
+	return addr, nil
+}
+
+// indexAddr lowers e.X[e.I] to an address variable via OpIndex.
+func (fl *funcLowerer) indexAddr(e *lang.IndexExpr) (*Var, error) {
+	base, err := fl.rvalue(e.X)
+	if err != nil {
+		return nil, err
+	}
+	if !base.Type.IsPointer() {
+		return nil, errAt(e.Pos, "cannot index non-pointer type %s", base.Type)
+	}
+	idx, err := fl.rvalue(e.I)
+	if err != nil {
+		return nil, err
+	}
+	if idx.Type.IsPointer() {
+		return nil, errAt(e.Pos, "array index must be an int")
+	}
+	addr := fl.newTemp("a", base.Type)
+	fl.emit(&Stmt{Op: OpIndex, Dst: addr, Src: base, Src2: idx, Pos: e.Pos})
+	return addr, nil
+}
+
+func (fl *funcLowerer) lowerNew(dst *Var, e *lang.NewExpr, pos lang.Pos) error {
+	if err := fl.p.checkType(e.Type, e.Pos); err != nil {
+		return err
+	}
+	st := &Stmt{Op: OpNew, Dst: dst, NewType: e.Type, Site: fl.p.NumSites, Pos: pos}
+	if e.Len != nil {
+		n, err := fl.rvalue(e.Len)
+		if err != nil {
+			return err
+		}
+		if n.Type.IsPointer() {
+			return errAt(e.Pos, "array length must be an int")
+		}
+		st.Src2 = n
+	}
+	fl.p.SiteNames = append(fl.p.SiteNames,
+		fmt.Sprintf("%s:%s:new %s", fl.fn.Name, pos, e.Type))
+	fl.p.NumSites++
+	fl.emit(st)
+	return nil
+}
+
+func (fl *funcLowerer) callInto(dst *Var, e *lang.CallExpr) error {
+	v, err := fl.callStmt(e, dst)
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// call lowers a call expression; statement-position void calls pass
+// stmtOK=true.
+func (fl *funcLowerer) call(e *lang.CallExpr, stmtOK bool) (*Var, error) {
+	callee := fl.p.Func(e.Name)
+	if callee == nil {
+		return nil, errAt(e.Pos, "undefined function %q", e.Name)
+	}
+	if callee.Ret.IsVoid() {
+		if !stmtOK {
+			return nil, errAt(e.Pos, "void function %q used as a value", e.Name)
+		}
+		return nil, fl.callInto(nil, e)
+	}
+	tmp := fl.newTemp("r$"+e.Name, callee.Ret)
+	if err := fl.callInto(tmp, e); err != nil {
+		return nil, err
+	}
+	return tmp, nil
+}
+
+func (fl *funcLowerer) callStmt(e *lang.CallExpr, dst *Var) (*Var, error) {
+	callee := fl.p.Func(e.Name)
+	if callee == nil {
+		return nil, errAt(e.Pos, "undefined function %q", e.Name)
+	}
+	if dst != nil && callee.Ret.IsVoid() {
+		return nil, errAt(e.Pos, "void function %q used as a value", e.Name)
+	}
+	decl := fl.p.Source.Func(e.Name)
+	if len(e.Args) != len(decl.Params) {
+		return nil, errAt(e.Pos, "function %q takes %d arguments, got %d",
+			e.Name, len(decl.Params), len(e.Args))
+	}
+	var args []*Var
+	for _, a := range e.Args {
+		av, err := fl.rvalue(a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, av)
+	}
+	fl.emit(&Stmt{Op: OpCall, Dst: dst, Callee: e.Name, Args: args, Pos: e.Pos})
+	return dst, nil
+}
+
+func (fl *funcLowerer) lookupVar(name string) *Var {
+	if v := fl.sc.lookup(name); v != nil {
+		return v
+	}
+	return fl.p.globalsNm[name]
+}
+
+func (fl *funcLowerer) fieldType(base lang.Type, field string, pos lang.Pos) (lang.Type, error) {
+	if base.Ptr != 1 {
+		return lang.Type{}, errAt(pos, "-> requires a struct pointer, got %s", base)
+	}
+	si, ok := fl.p.Structs[base.Base]
+	if !ok {
+		return lang.Type{}, errAt(pos, "-> requires a struct pointer, got %s", base)
+	}
+	off := si.Offset(fl.p.InternField(field))
+	if off < 0 {
+		return lang.Type{}, errAt(pos, "struct %q has no field %q", base.Base, field)
+	}
+	return si.Types[off], nil
+}
+
+// exprType computes the static type of an expression without emitting code.
+func (fl *funcLowerer) exprType(e lang.Expr) (lang.Type, error) {
+	switch x := e.(type) {
+	case *lang.Ident:
+		v := fl.lookupVar(x.Name)
+		if v == nil {
+			return lang.Type{}, errAt(x.Pos, "undefined variable %q", x.Name)
+		}
+		return v.Type, nil
+	case *lang.IntLit:
+		return intType, nil
+	case *lang.NullLit:
+		return nullType, nil
+	case *lang.AddrOf:
+		v := fl.lookupVar(x.Name)
+		if v == nil {
+			return lang.Type{}, errAt(x.Pos, "undefined variable %q", x.Name)
+		}
+		return lang.Type{Base: v.Type.Base, Ptr: v.Type.Ptr + 1}, nil
+	case *lang.Deref:
+		t, err := fl.exprType(x.X)
+		if err != nil {
+			return lang.Type{}, err
+		}
+		if !t.IsPointer() {
+			return lang.Type{}, errAt(x.Pos, "cannot dereference non-pointer type %s", t)
+		}
+		return t.Elem(), nil
+	case *lang.FieldAccess:
+		t, err := fl.exprType(x.X)
+		if err != nil {
+			return lang.Type{}, err
+		}
+		return fl.fieldType(t, x.Name, x.Pos)
+	case *lang.IndexExpr:
+		t, err := fl.exprType(x.X)
+		if err != nil {
+			return lang.Type{}, err
+		}
+		if !t.IsPointer() {
+			return lang.Type{}, errAt(x.Pos, "cannot index non-pointer type %s", t)
+		}
+		return t.Elem(), nil
+	case *lang.NewExpr:
+		return lang.Type{Base: x.Type.Base, Ptr: x.Type.Ptr + 1}, nil
+	case *lang.CallExpr:
+		callee := fl.p.Func(x.Name)
+		if callee == nil {
+			return lang.Type{}, errAt(x.Pos, "undefined function %q", x.Name)
+		}
+		if callee.Ret.IsVoid() {
+			return lang.Type{}, errAt(x.Pos, "void function %q used as a value", x.Name)
+		}
+		return callee.Ret, nil
+	case *lang.Binary:
+		return intType, nil
+	case *lang.Unary:
+		return intType, nil
+	default:
+		return lang.Type{}, errAt(e.ExprPos(), "unsupported expression %T", e)
+	}
+}

@@ -1,0 +1,337 @@
+package lang
+
+// Type is a surface type: a base name plus a number of pointer levels.
+// Base is "int", "void", or a struct name.
+type Type struct {
+	Base string
+	Ptr  int
+}
+
+// IsVoid reports whether the type is exactly "void" (no pointers).
+func (t Type) IsVoid() bool { return t.Base == "void" && t.Ptr == 0 }
+
+// IsPointer reports whether the type has at least one pointer level.
+func (t Type) IsPointer() bool { return t.Ptr > 0 }
+
+// Elem returns the type with one pointer level removed.
+func (t Type) Elem() Type { return Type{Base: t.Base, Ptr: t.Ptr - 1} }
+
+// String renders the type in surface syntax, e.g. "elem**".
+func (t Type) String() string {
+	s := t.Base
+	for i := 0; i < t.Ptr; i++ {
+		s += "*"
+	}
+	return s
+}
+
+// Field is a single struct field declaration.
+type Field struct {
+	Type Type
+	Name string
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Name   string
+	Fields []Field
+	Pos    Pos
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *StructDecl) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// GlobalDecl declares a global variable with an optional initializer.
+type GlobalDecl struct {
+	Type Type
+	Name string
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// Param is a function parameter.
+type Param struct {
+	Type Type
+	Name string
+}
+
+// FuncDecl declares a function. A nil Body declares an external
+// (pre-compiled) function known to the analysis only through a
+// specification.
+type FuncDecl struct {
+	Ret    Type
+	Name   string
+	Params []Param
+	Body   *BlockStmt // nil for extern prototypes
+	Pos    Pos
+}
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Structs []*StructDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// Struct returns the declaration of the named struct, or nil.
+func (p *Program) Struct(name string) *StructDecl {
+	for _, s := range p.Structs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Func returns the declaration of the named function, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Stmt is a surface statement.
+type Stmt interface {
+	stmt()
+	StmtPos() Pos
+}
+
+// DeclStmt declares a local variable with an optional initializer.
+type DeclStmt struct {
+	Type Type
+	Name string
+	Init Expr // may be nil
+	Pos  Pos
+}
+
+// AssignStmt assigns RHS to the lvalue LHS.
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+	Pos Pos
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Pos  Pos
+}
+
+// WhileStmt is a loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// AtomicStmt is an atomic section.
+type AtomicStmt struct {
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// BlockStmt is a brace-delimited statement sequence.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Pos   Pos
+}
+
+// ExprStmt evaluates an expression (in practice, a call) for effect.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// NopStmt is the paper's "nop" padding instruction; the interpreter spends a
+// unit of simulated work on it.
+type NopStmt struct {
+	Pos Pos
+}
+
+func (*DeclStmt) stmt()   {}
+func (*AssignStmt) stmt() {}
+func (*IfStmt) stmt()     {}
+func (*WhileStmt) stmt()  {}
+func (*AtomicStmt) stmt() {}
+func (*BlockStmt) stmt()  {}
+func (*ReturnStmt) stmt() {}
+func (*ExprStmt) stmt()   {}
+func (*NopStmt) stmt()    {}
+
+// StmtPos returns the statement's source position.
+func (s *DeclStmt) StmtPos() Pos   { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos { return s.Pos }
+func (s *IfStmt) StmtPos() Pos     { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos  { return s.Pos }
+func (s *AtomicStmt) StmtPos() Pos { return s.Pos }
+func (s *BlockStmt) StmtPos() Pos  { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos   { return s.Pos }
+func (s *NopStmt) StmtPos() Pos    { return s.Pos }
+
+// Expr is a surface expression.
+type Expr interface {
+	expr()
+	ExprPos() Pos
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// NullLit is the null pointer literal.
+type NullLit struct {
+	Pos Pos
+}
+
+// UnaryOp identifies a unary operator.
+type UnaryOp uint8
+
+// Unary operators.
+const (
+	UNot UnaryOp = iota // !x
+	UNeg                // -x
+)
+
+func (op UnaryOp) String() string {
+	if op == UNot {
+		return "!"
+	}
+	return "-"
+}
+
+// Unary applies a unary operator (! or -).
+type Unary struct {
+	Op  UnaryOp
+	X   Expr
+	Pos Pos
+}
+
+// Deref dereferences a pointer: *X.
+type Deref struct {
+	X   Expr
+	Pos Pos
+}
+
+// AddrOf takes the address of a variable: &x.
+type AddrOf struct {
+	Name string
+	Pos  Pos
+}
+
+// BinaryOp identifies a binary operator.
+type BinaryOp uint8
+
+// Binary operators.
+const (
+	BAdd BinaryOp = iota
+	BSub
+	BMul
+	BDiv
+	BMod
+	BEq
+	BNe
+	BLt
+	BLe
+	BGt
+	BGe
+	BAnd
+	BOr
+)
+
+var binOpNames = [...]string{
+	BAdd: "+", BSub: "-", BMul: "*", BDiv: "/", BMod: "%",
+	BEq: "==", BNe: "!=", BLt: "<", BLe: "<=", BGt: ">", BGe: ">=",
+	BAnd: "&&", BOr: "||",
+}
+
+func (op BinaryOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether the operator yields a boolean.
+func (op BinaryOp) IsComparison() bool { return op >= BEq && op <= BGe }
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+	Pos  Pos
+}
+
+// FieldAccess is X->Name.
+type FieldAccess struct {
+	X    Expr
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr is X[I].
+type IndexExpr struct {
+	X   Expr
+	I   Expr
+	Pos Pos
+}
+
+// NewExpr allocates a struct (new T) or an array (new T[Len]).
+type NewExpr struct {
+	Type Type
+	Len  Expr // nil for single-object allocation
+	Pos  Pos
+}
+
+// CallExpr calls a named function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*Ident) expr()       {}
+func (*IntLit) expr()      {}
+func (*NullLit) expr()     {}
+func (*Unary) expr()       {}
+func (*Deref) expr()       {}
+func (*AddrOf) expr()      {}
+func (*Binary) expr()      {}
+func (*FieldAccess) expr() {}
+func (*IndexExpr) expr()   {}
+func (*NewExpr) expr()     {}
+func (*CallExpr) expr()    {}
+
+// ExprPos returns the expression's source position.
+func (e *Ident) ExprPos() Pos       { return e.Pos }
+func (e *IntLit) ExprPos() Pos      { return e.Pos }
+func (e *NullLit) ExprPos() Pos     { return e.Pos }
+func (e *Unary) ExprPos() Pos       { return e.Pos }
+func (e *Deref) ExprPos() Pos       { return e.Pos }
+func (e *AddrOf) ExprPos() Pos      { return e.Pos }
+func (e *Binary) ExprPos() Pos      { return e.Pos }
+func (e *FieldAccess) ExprPos() Pos { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos   { return e.Pos }
+func (e *NewExpr) ExprPos() Pos     { return e.Pos }
+func (e *CallExpr) ExprPos() Pos    { return e.Pos }

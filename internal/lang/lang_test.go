@@ -1,0 +1,221 @@
+package lang
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	toks, err := Tokenize(`while (x->next != null) { x = x->next; } /* c */ // d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []Kind{KwWhile, LParen, IDENT, Arrow, IDENT, Ne, KwNull, RParen,
+		LBrace, IDENT, Assign, IDENT, Arrow, IDENT, Semi, RBrace, EOF}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestTokenPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) || toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("positions = %v, %v", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"/* unterminated", "a | b", "123abc", "a $ b"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseStructureAndPrint(t *testing.T) {
+	src := `
+struct elem { elem* next; int* data; }
+int g = 4;
+void f(elem* e, int n) {
+  atomic {
+    e->next = null;
+  }
+  if (n > 0) {
+    f(e, n - 1);
+  } else {
+    while (n < 10) {
+      n = n + 1;
+    }
+  }
+  return;
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Structs) != 1 || len(p.Globals) != 1 || len(p.Funcs) != 1 {
+		t.Fatalf("wrong shape: %d structs %d globals %d funcs",
+			len(p.Structs), len(p.Globals), len(p.Funcs))
+	}
+	// Printing then reparsing must be a fixed point of printing.
+	once := PrintProgram(p)
+	p2, err := Parse(once)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, once)
+	}
+	twice := PrintProgram(p2)
+	if once != twice {
+		t.Errorf("print not stable:\n%s\nvs\n%s", once, twice)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing semi":     "void f() { int x = 1 }",
+		"bad lvalue":       "void f() { 1 = 2; }",
+		"expr stmt":        "void f() { 1 + 2; }",
+		"unterminated":     "void f() {",
+		"dup struct":       "struct a { int x; } struct a { int y; }",
+		"dup field":        "struct a { int x; int x; }",
+		"dup func":         "void f() {} void f() {}",
+		"dup global":       "int g; int g;",
+		"addr of non-name": "void f() { int* p = &(1); }",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	p, err := Parse("void f() { int x = 1 + 2 * 3 == 7 && 1 < 2; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := p.Funcs[0].Body.Stmts[0].(*DeclStmt)
+	top, ok := decl.Init.(*Binary)
+	if !ok || top.Op != BAnd {
+		t.Fatalf("top operator = %T/%v, want &&", decl.Init, top)
+	}
+	l := top.L.(*Binary)
+	if l.Op != BEq {
+		t.Errorf("left of && is %v, want ==", l.Op)
+	}
+	sum := l.L.(*Binary)
+	if sum.Op != BAdd {
+		t.Errorf("left of == is %v, want +", sum.Op)
+	}
+	if mul := sum.R.(*Binary); mul.Op != BMul {
+		t.Errorf("right of + is %v, want *", mul.Op)
+	}
+}
+
+// genExpr builds a random expression tree of bounded depth.
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return &Ident{Name: string(rune('a' + r.Intn(5)))}
+		case 1:
+			return &IntLit{Value: int64(r.Intn(100))}
+		default:
+			return &NullLit{}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return &Unary{Op: UnaryOp(r.Intn(2)), X: genExpr(r, depth-1)}
+	case 1:
+		return &Deref{X: genExpr(r, depth-1)}
+	case 2:
+		return &AddrOf{Name: string(rune('a' + r.Intn(5)))}
+	case 3:
+		return &Binary{Op: BinaryOp(r.Intn(13)), L: genExpr(r, depth-1), R: genExpr(r, depth-1)}
+	case 4:
+		return &FieldAccess{X: genExpr(r, depth-1), Name: "fld"}
+	case 5:
+		return &IndexExpr{X: genExpr(r, depth-1), I: genExpr(r, depth-1)}
+	case 6:
+		return &CallExpr{Name: "fn", Args: []Expr{genExpr(r, depth-1)}}
+	default:
+		return &NewExpr{Type: Type{Base: "t", Ptr: 1}}
+	}
+}
+
+// TestExprPrintParseRoundTrip: printing an arbitrary expression and parsing
+// it back yields the same printed form (associativity and precedence are
+// preserved by the printer's parenthesization).
+func TestExprPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func(seed int64, depth uint8) bool {
+		rr := rand.New(rand.NewSource(seed))
+		e := genExpr(rr, int(depth%4)+1)
+		printed := ExprString(e)
+		src := "void f() { x = " + printed + "; }"
+		p, err := Parse(src)
+		if err != nil {
+			t.Logf("reparse of %q failed: %v", printed, err)
+			return false
+		}
+		back := p.Funcs[0].Body.Stmts[0].(*AssignStmt).RHS
+		return ExprString(back) == printed
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommentHandling(t *testing.T) {
+	src := `
+// leading comment
+struct s { int x; } /* trailing */
+void f(s* p) {
+  /* multi
+     line */
+  p->x = 1; // tail
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]Type{
+		"int":    {Base: "int"},
+		"elem**": {Base: "elem", Ptr: 2},
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestAtomicNesting(t *testing.T) {
+	src := "void f() { atomic { atomic { nop; } } }"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := p.Funcs[0].Body.Stmts[0].(*AtomicStmt)
+	if _, ok := outer.Body.Stmts[0].(*AtomicStmt); !ok {
+		t.Error("nested atomic not parsed")
+	}
+	if !strings.Contains(PrintProgram(p), "atomic {") {
+		t.Error("printer lost atomic")
+	}
+}

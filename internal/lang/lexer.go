@@ -1,0 +1,186 @@
+package lang
+
+// Lexer converts source text into a token stream.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipTrivia consumes whitespace and comments. It reports an error for an
+// unterminated block comment.
+func (lx *Lexer) skipTrivia() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case isSpace(c):
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token, or an error for invalid input.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		if lx.off < len(lx.src) && isIdentStart(lx.peek()) {
+			return Token{}, errf(pos, "malformed number %q", lx.src[start:lx.off+1])
+		}
+		return Token{Kind: INT, Text: lx.src[start:lx.off], Pos: pos}, nil
+	}
+	lx.advance()
+	two := func(second byte, yes, no Kind) Token {
+		if lx.peek() == second {
+			lx.advance()
+			return Token{Kind: yes, Pos: pos}
+		}
+		return Token{Kind: no, Pos: pos}
+	}
+	switch c {
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBrack, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBrack, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case '=':
+		return two('=', Eq, Assign), nil
+	case '-':
+		return two('>', Arrow, Minus), nil
+	case '&':
+		return two('&', AndAnd, Amp), nil
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: OrOr, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q (did you mean ||?)", string(c))
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: Percent, Pos: pos}, nil
+	case '!':
+		return two('=', Ne, Not), nil
+	case '<':
+		return two('=', Le, Lt), nil
+	case '>':
+		return two('=', Ge, Gt), nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// Tokenize lexes the entire input, returning all tokens up to and including
+// the terminating EOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,530 @@
+package lang
+
+import "strconv"
+
+// Parser builds an AST from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete program from source text.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(EOF) {
+		if p.at(KwStruct) {
+			s, err := p.parseStruct()
+			if err != nil {
+				return nil, err
+			}
+			if prog.Struct(s.Name) != nil {
+				return nil, errf(s.Pos, "duplicate struct %q", s.Name)
+			}
+			prog.Structs = append(prog.Structs, s)
+			continue
+		}
+		// Both globals and functions begin with a type and a name; decide by
+		// the token after the name.
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(LParen) {
+			fn, err := p.parseFuncRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			if prog.Func(fn.Name) != nil {
+				return nil, errf(fn.Pos, "duplicate function %q", fn.Name)
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g := &GlobalDecl{Type: typ, Name: name.Text, Pos: name.Pos}
+		if p.accept(Assign) {
+			g.Init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		for _, other := range prog.Globals {
+			if other.Name == g.Name {
+				return nil, errf(g.Pos, "duplicate global %q", g.Name)
+			}
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseStruct() (*StructDecl, error) {
+	pos := p.next().Pos // struct
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	s := &StructDecl{Name: name.Text, Pos: pos}
+	for !p.accept(RBrace) {
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		if s.FieldIndex(fn.Text) >= 0 {
+			return nil, errf(fn.Pos, "duplicate field %q in struct %q", fn.Text, name.Text)
+		}
+		s.Fields = append(s.Fields, Field{Type: ft, Name: fn.Text})
+	}
+	return s, nil
+}
+
+// typeStart reports whether the current token can begin a type.
+func (p *Parser) typeStart() bool {
+	switch p.cur().Kind {
+	case KwInt, KwVoid:
+		return true
+	case IDENT:
+		return false // only known via context; handled by callers
+	}
+	return false
+}
+
+func (p *Parser) parseType() (Type, error) {
+	t := p.cur()
+	var base string
+	switch t.Kind {
+	case KwInt:
+		base = "int"
+	case KwVoid:
+		base = "void"
+	case IDENT:
+		base = t.Text
+	default:
+		return Type{}, errf(t.Pos, "expected type, found %s", t)
+	}
+	p.next()
+	typ := Type{Base: base}
+	for p.accept(Star) {
+		typ.Ptr++
+	}
+	return typ, nil
+}
+
+func (p *Parser) parseFuncRest(ret Type, name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Ret: ret, Name: name.Text, Pos: name.Pos}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if !p.accept(RParen) {
+		for {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			pn, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, Param{Type: pt, Name: pn.Text})
+			if p.accept(RParen) {
+				break
+			}
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A prototype (";" instead of a body) declares an external,
+	// pre-compiled function; the analysis covers it with a function
+	// specification (§4.3).
+	if p.accept(Semi) {
+		return fn, nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.accept(RBrace) {
+		if p.at(EOF) {
+			return nil, errf(p.cur().Pos, "unterminated block (missing })")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, st)
+	}
+	return b, nil
+}
+
+// isDeclStart reports whether the upcoming tokens look like a local variable
+// declaration: a type (keyword type, or IDENT followed by stars and another
+// IDENT, or IDENT IDENT).
+func (p *Parser) isDeclStart() bool {
+	if p.typeStart() {
+		return true
+	}
+	if !p.at(IDENT) {
+		return false
+	}
+	// IDENT ("*")* IDENT  is a declaration using a struct type.
+	i := p.pos + 1
+	for i < len(p.toks) && p.toks[i].Kind == Star {
+		i++
+	}
+	return i < len(p.toks) && p.toks[i].Kind == IDENT && i > p.pos
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBrace:
+		return p.parseBlock()
+	case KwIf:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Pos: t.Pos}
+		if p.accept(KwElse) {
+			st.Else, err = p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case KwWhile:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: t.Pos}, nil
+	case KwAtomic:
+		p.next()
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &AtomicStmt{Body: body, Pos: t.Pos}, nil
+	case KwReturn:
+		p.next()
+		st := &ReturnStmt{Pos: t.Pos}
+		if !p.at(Semi) {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case KwNop:
+		p.next()
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &NopStmt{Pos: t.Pos}, nil
+	}
+	if p.isDeclStart() {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		st := &DeclStmt{Type: typ, Name: name.Text, Pos: name.Pos}
+		if p.accept(Assign) {
+			st.Init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	// Assignment or expression statement.
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(Assign) {
+		if !isLvalue(lhs) {
+			return nil, errf(lhs.ExprPos(), "left-hand side of assignment is not an lvalue")
+		}
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lhs, RHS: rhs, Pos: t.Pos}, nil
+	}
+	if _, ok := lhs.(*CallExpr); !ok {
+		return nil, errf(lhs.ExprPos(), "expression statement must be a call")
+	}
+	if _, err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: lhs, Pos: t.Pos}, nil
+}
+
+// isLvalue reports whether e may appear on the left of an assignment.
+func isLvalue(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *Deref, *FieldAccess, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+// Operator precedence levels, loosest first.
+var binPrec = map[Kind]int{
+	OrOr: 1, AndAnd: 2,
+	Eq: 3, Ne: 3,
+	Lt: 4, Le: 4, Gt: 4, Ge: 4,
+	Plus: 5, Minus: 5,
+	Star: 6, Slash: 6, Percent: 6,
+}
+
+var binOpOf = map[Kind]BinaryOp{
+	OrOr: BOr, AndAnd: BAnd, Eq: BEq, Ne: BNe,
+	Lt: BLt, Le: BLe, Gt: BGt, Ge: BGe,
+	Plus: BAdd, Minus: BSub, Star: BMul, Slash: BDiv, Percent: BMod,
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: binOpOf[op.Kind], L: lhs, R: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Not:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: UNot, X: x, Pos: t.Pos}, nil
+	case Minus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: UNeg, X: x, Pos: t.Pos}, nil
+	case Star:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Deref{X: x, Pos: t.Pos}, nil
+	case Amp:
+		p.next()
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, errf(t.Pos, "& must be applied to a variable name")
+		}
+		return &AddrOf{Name: name.Text, Pos: t.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(Arrow):
+			pos := p.next().Pos
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			e = &FieldAccess{X: e, Name: name.Text, Pos: pos}
+		case p.at(LBrack):
+			pos := p.next().Pos
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{X: e, I: idx, Pos: pos}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case IDENT:
+		p.next()
+		if p.at(LParen) {
+			p.next()
+			call := &CallExpr{Name: t.Text, Pos: t.Pos}
+			if !p.accept(RParen) {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.accept(RParen) {
+						break
+					}
+					if _, err := p.expect(Comma); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}, nil
+	case INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid integer %q", t.Text)
+		}
+		return &IntLit{Value: v, Pos: t.Pos}, nil
+	case KwNull:
+		p.next()
+		return &NullLit{Pos: t.Pos}, nil
+	case KwNew:
+		p.next()
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		ne := &NewExpr{Type: typ, Pos: t.Pos}
+		if p.accept(LBrack) {
+			ne.Len, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+		}
+		return ne, nil
+	case LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", t)
+}

@@ -1,0 +1,236 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Printer renders an AST back to surface syntax. The zero value is a valid
+// printer. AtomicHook, when non-nil, is consulted for every atomic section:
+// returning replacement header lines (printed in place of the "atomic {"
+// keyword) lets the transformation phase emit acquireAll/releaseAll calls
+// while reusing the printer for everything else.
+type Printer struct {
+	// AtomicHook returns (headerLines, footerLines, replace). When replace is
+	// true the section prints as "{ headerLines... body footerLines... }"
+	// instead of "atomic { body }".
+	AtomicHook func(*AtomicStmt) (header, footer []string, replace bool)
+
+	b      strings.Builder
+	indent int
+}
+
+// PrintProgram renders an entire program.
+func PrintProgram(p *Program) string {
+	var pr Printer
+	return pr.Program(p)
+}
+
+// Program renders prog and returns the accumulated text.
+func (pr *Printer) Program(prog *Program) string {
+	pr.b.Reset()
+	for _, s := range prog.Structs {
+		pr.structDecl(s)
+	}
+	if len(prog.Structs) > 0 && (len(prog.Globals) > 0 || len(prog.Funcs) > 0) {
+		pr.nl()
+	}
+	for _, g := range prog.Globals {
+		pr.line(pr.globalText(g))
+	}
+	if len(prog.Globals) > 0 && len(prog.Funcs) > 0 {
+		pr.nl()
+	}
+	for i, f := range prog.Funcs {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.funcDecl(f)
+	}
+	return pr.b.String()
+}
+
+func (pr *Printer) nl() { pr.b.WriteByte('\n') }
+
+func (pr *Printer) line(s string) {
+	for i := 0; i < pr.indent; i++ {
+		pr.b.WriteString("  ")
+	}
+	pr.b.WriteString(s)
+	pr.b.WriteByte('\n')
+}
+
+func (pr *Printer) structDecl(s *StructDecl) {
+	pr.line("struct " + s.Name + " {")
+	pr.indent++
+	for _, f := range s.Fields {
+		pr.line(f.Type.String() + " " + f.Name + ";")
+	}
+	pr.indent--
+	pr.line("}")
+}
+
+func (pr *Printer) globalText(g *GlobalDecl) string {
+	s := g.Type.String() + " " + g.Name
+	if g.Init != nil {
+		s += " = " + ExprString(g.Init)
+	}
+	return s + ";"
+}
+
+func (pr *Printer) funcDecl(f *FuncDecl) {
+	var params []string
+	for _, p := range f.Params {
+		params = append(params, p.Type.String()+" "+p.Name)
+	}
+	if f.Body == nil {
+		pr.line(f.Ret.String() + " " + f.Name + "(" + strings.Join(params, ", ") + ");")
+		return
+	}
+	pr.line(f.Ret.String() + " " + f.Name + "(" + strings.Join(params, ", ") + ") {")
+	pr.indent++
+	for _, st := range f.Body.Stmts {
+		pr.stmt(st)
+	}
+	pr.indent--
+	pr.line("}")
+}
+
+func (pr *Printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		txt := st.Type.String() + " " + st.Name
+		if st.Init != nil {
+			txt += " = " + ExprString(st.Init)
+		}
+		pr.line(txt + ";")
+	case *AssignStmt:
+		pr.line(ExprString(st.LHS) + " = " + ExprString(st.RHS) + ";")
+	case *IfStmt:
+		pr.line("if (" + ExprString(st.Cond) + ") {")
+		pr.indent++
+		pr.stmtsOf(st.Then)
+		pr.indent--
+		if st.Else != nil {
+			pr.line("} else {")
+			pr.indent++
+			pr.stmtsOf(st.Else)
+			pr.indent--
+		}
+		pr.line("}")
+	case *WhileStmt:
+		pr.line("while (" + ExprString(st.Cond) + ") {")
+		pr.indent++
+		pr.stmtsOf(st.Body)
+		pr.indent--
+		pr.line("}")
+	case *AtomicStmt:
+		if pr.AtomicHook != nil {
+			if header, footer, replace := pr.AtomicHook(st); replace {
+				pr.line("{")
+				pr.indent++
+				for _, h := range header {
+					pr.line(h)
+				}
+				for _, inner := range st.Body.Stmts {
+					pr.stmt(inner)
+				}
+				for _, f := range footer {
+					pr.line(f)
+				}
+				pr.indent--
+				pr.line("}")
+				return
+			}
+		}
+		pr.line("atomic {")
+		pr.indent++
+		for _, inner := range st.Body.Stmts {
+			pr.stmt(inner)
+		}
+		pr.indent--
+		pr.line("}")
+	case *BlockStmt:
+		pr.line("{")
+		pr.indent++
+		for _, inner := range st.Stmts {
+			pr.stmt(inner)
+		}
+		pr.indent--
+		pr.line("}")
+	case *ReturnStmt:
+		if st.Value != nil {
+			pr.line("return " + ExprString(st.Value) + ";")
+		} else {
+			pr.line("return;")
+		}
+	case *ExprStmt:
+		pr.line(ExprString(st.X) + ";")
+	case *NopStmt:
+		pr.line("nop;")
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+// stmtsOf prints the statements of s, flattening a block body so nested
+// braces are not doubled.
+func (pr *Printer) stmtsOf(s Stmt) {
+	if b, ok := s.(*BlockStmt); ok {
+		for _, inner := range b.Stmts {
+			pr.stmt(inner)
+		}
+		return
+	}
+	pr.stmt(s)
+}
+
+// ExprString renders an expression in surface syntax, parenthesizing enough
+// to re-parse identically.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ident:
+		return x.Name
+	case *IntLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *NullLit:
+		return "null"
+	case *Unary:
+		return x.Op.String() + exprOperand(x.X)
+	case *Deref:
+		return "*" + exprOperand(x.X)
+	case *AddrOf:
+		return "&" + x.Name
+	case *Binary:
+		return exprOperand(x.L) + " " + x.Op.String() + " " + exprOperand(x.R)
+	case *FieldAccess:
+		return exprOperand(x.X) + "->" + x.Name
+	case *IndexExpr:
+		return exprOperand(x.X) + "[" + ExprString(x.I) + "]"
+	case *NewExpr:
+		if x.Len != nil {
+			return "new " + x.Type.String() + "[" + ExprString(x.Len) + "]"
+		}
+		return "new " + x.Type.String()
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, ExprString(a))
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}
+
+// exprOperand renders e, wrapping compound expressions in parentheses so the
+// output re-parses with the same structure regardless of precedence (unary
+// forms must be wrapped too: they cannot be postfix bases unparenthesized).
+func exprOperand(e Expr) string {
+	switch e.(type) {
+	case *Binary, *Unary, *Deref, *AddrOf:
+		return "(" + ExprString(e) + ")"
+	default:
+		return ExprString(e)
+	}
+}

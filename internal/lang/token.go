@@ -1,0 +1,146 @@
+// Package lang implements the front end for the mini-C input language of
+// "Inferring Locks for Atomic Sections" (Cherem, Chilimbi, Gulwani; PLDI
+// 2008). The surface syntax is a small C dialect with struct declarations,
+// pointers, heap allocation and atomic sections; it lowers to the paper's
+// Figure 3 core language (see package ir).
+//
+// Grammar (EBNF):
+//
+//	program    = { structDecl | globalDecl | funcDecl } .
+//	structDecl = "struct" IDENT "{" { type IDENT ";" } "}" .
+//	type       = ( "int" | "void" | IDENT ) { "*" } .
+//	globalDecl = type IDENT [ "=" expr ] ";" .
+//	funcDecl   = type IDENT "(" [ param { "," param } ] ")" block .
+//	param      = type IDENT .
+//	block      = "{" { stmt } "}" .
+//	stmt       = type IDENT [ "=" expr ] ";"            (local declaration)
+//	           | lvalue "=" expr ";"                    (assignment)
+//	           | "if" "(" expr ")" stmt [ "else" stmt ]
+//	           | "while" "(" expr ")" stmt
+//	           | "atomic" block
+//	           | "return" [ expr ] ";"
+//	           | "nop" ";"
+//	           | expr ";"                               (call statement)
+//	           | block .
+//	expr       = binary operators with C precedence:
+//	             "||" "&&" | "==" "!=" "<" "<=" ">" ">=" | "+" "-" | "*" "/" "%" .
+//	unary      = ( "!" | "-" | "*" ) unary | "&" IDENT | postfix .
+//	postfix    = primary { "->" IDENT | "[" expr "]" } .
+//	primary    = IDENT | IDENT "(" [ expr { "," expr } ] ")" | INT | "null"
+//	           | "new" type [ "[" expr "]" ] | "(" expr ")" .
+//
+// Comments use // and /* */.
+package lang
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	// Keywords.
+	KwStruct
+	KwInt
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwAtomic
+	KwReturn
+	KwNew
+	KwNull
+	KwNop
+	// Punctuation and operators.
+	LBrace
+	RBrace
+	LParen
+	RParen
+	LBrack
+	RBrack
+	Semi
+	Comma
+	Assign
+	Arrow
+	Amp
+	Star
+	Plus
+	Minus
+	Slash
+	Percent
+	Not
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	AndAnd
+	OrOr
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer",
+	KwStruct: "struct", KwInt: "int", KwVoid: "void", KwIf: "if",
+	KwElse: "else", KwWhile: "while", KwAtomic: "atomic", KwReturn: "return",
+	KwNew: "new", KwNull: "null", KwNop: "nop",
+	LBrace: "{", RBrace: "}", LParen: "(", RParen: ")",
+	LBrack: "[", RBrack: "]", Semi: ";", Comma: ",", Assign: "=",
+	Arrow: "->", Amp: "&", Star: "*", Plus: "+", Minus: "-",
+	Slash: "/", Percent: "%", Not: "!", Eq: "==", Ne: "!=",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", AndAnd: "&&", OrOr: "||",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"struct": KwStruct, "int": KwInt, "void": KwVoid, "if": KwIf,
+	"else": KwElse, "while": KwWhile, "atomic": KwAtomic,
+	"return": KwReturn, "new": KwNew, "null": KwNull, "nop": KwNop,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // identifier or integer text; empty for fixed tokens
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT:
+		return t.Text
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

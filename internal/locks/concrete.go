@@ -1,0 +1,113 @@
+package locks
+
+// This file implements the concrete lock semantics of §3.2: a lock denotes a
+// pair (P, ε) of a protected location set and an effect. The location domain
+// is abstract (any comparable value); the checking interpreter instantiates
+// it with runtime cells, and unit tests with small synthetic universes.
+
+// Denotation is the concrete meaning [[l]] of a lock: the set of protected
+// locations and the allowed access effect. All=true denotes the full
+// location domain Loc (used by global locks ⊤).
+type Denotation struct {
+	All  bool
+	Locs map[any]bool
+	Eff  Eff
+}
+
+// DenoteAll returns the denotation (Loc, eff).
+func DenoteAll(eff Eff) Denotation { return Denotation{All: true, Eff: eff} }
+
+// Denote returns the denotation ({locs...}, eff).
+func Denote(eff Eff, locs ...any) Denotation {
+	m := make(map[any]bool, len(locs))
+	for _, l := range locs {
+		m[l] = true
+	}
+	return Denotation{Locs: m, Eff: eff}
+}
+
+// Covers reports whether the denotation protects location loc for effect
+// eff, i.e. ({loc}, eff) ⊑ (P, ε).
+func (d Denotation) Covers(loc any, eff Eff) bool {
+	if !eff.Leq(d.Eff) {
+		return false
+	}
+	return d.All || d.Locs[loc]
+}
+
+// Leq reports d ⊑ o in the product lattice 2^Loc × Eff.
+func (d Denotation) Leq(o Denotation) bool {
+	if !d.Eff.Leq(o.Eff) {
+		return false
+	}
+	if o.All {
+		return true
+	}
+	if d.All {
+		return false
+	}
+	for l := range d.Locs {
+		if !o.Locs[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two denotations protect a common location.
+func (d Denotation) Intersects(o Denotation) bool {
+	if d.All {
+		return o.All || len(o.Locs) > 0
+	}
+	if o.All {
+		return len(d.Locs) > 0
+	}
+	small, large := d.Locs, o.Locs
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for l := range small {
+		if large[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// Conflict implements the paper's conflict relation: the locks protect a
+// common location and at least one of them allows writes.
+func Conflict(a, b Denotation) bool {
+	return a.Intersects(b) && a.Eff.Join(b.Eff) != RO
+}
+
+// Coarser reports that b is coarser than a: [[a]] ⊑ [[b]].
+func Coarser(b, a Denotation) bool { return a.Leq(b) }
+
+// Meet returns the greatest lower bound of the two denotations, which is
+// the concrete semantics of a pair lock (l1, l2).
+func Meet(a, b Denotation) Denotation {
+	eff := a.Eff.Meet(b.Eff)
+	switch {
+	case a.All && b.All:
+		return Denotation{All: true, Eff: eff}
+	case a.All:
+		return Denotation{Locs: copyLocs(b.Locs), Eff: eff}
+	case b.All:
+		return Denotation{Locs: copyLocs(a.Locs), Eff: eff}
+	}
+	m := map[any]bool{}
+	for l := range a.Locs {
+		if b.Locs[l] {
+			m[l] = true
+		}
+	}
+	return Denotation{Locs: m, Eff: eff}
+}
+
+func copyLocs(in map[any]bool) map[any]bool {
+	out := make(map[any]bool, len(in))
+	for l := range in {
+		out[l] = true
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+// Package locks implements the lock formalism of Section 3 of the paper:
+// the concrete lock semantics [[l]] = (P, ε) with its conflict and
+// coarser-than relations, access paths (the expression locks of Σk), and the
+// abstract lock scheme interface with the paper's example instances
+// (k-limited expressions, Steensgaard points-to sets, read/write effects,
+// field-based locks, and Cartesian products).
+package locks
+
+// Eff is an access effect: read-only or read-write. The two-point lattice
+// has RO ⊑ RW.
+type Eff uint8
+
+// Effects.
+const (
+	RO Eff = iota
+	RW
+)
+
+// String renders the effect as "ro" or "rw".
+func (e Eff) String() string {
+	if e == RO {
+		return "ro"
+	}
+	return "rw"
+}
+
+// Leq reports e ⊑ o in the effect lattice.
+func (e Eff) Leq(o Eff) bool { return e == RO || o == RW }
+
+// Join returns the least upper bound of the two effects.
+func (e Eff) Join(o Eff) Eff {
+	if e == RW || o == RW {
+		return RW
+	}
+	return RO
+}
+
+// Meet returns the greatest lower bound of the two effects.
+func (e Eff) Meet(o Eff) Eff {
+	if e == RO || o == RO {
+		return RO
+	}
+	return RW
+}

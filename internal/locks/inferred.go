@@ -1,0 +1,194 @@
+package locks
+
+import (
+	"fmt"
+	"sort"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/steens"
+)
+
+// Inferred is the engine's specialized lock representation for the scheme
+// Σk × Σ≡ × Σε that the paper's implementation instantiates (§4.3). It
+// exploits the tree structure of that product: a lock is either
+//
+//   - fine-grain: (path, class, eff) — a k-limited expression lock paired
+//     with the points-to class its target belongs to, or
+//   - coarse-grain: (⊤, class, eff) — an entire points-to partition, or
+//   - global: (⊤, ⊤, rw) — the root lock (Class < 0).
+type Inferred struct {
+	// Fine indicates an expression lock; Path is valid only when Fine.
+	Fine bool
+	Path Path
+	// Class is the Steensgaard class of the protected cell; negative means
+	// the global ⊤ partition.
+	Class steens.NodeID
+	Eff   Eff
+}
+
+// GlobalLock returns the root lock (⊤, ⊤, rw).
+func GlobalLock() Inferred { return Inferred{Class: -1, Eff: RW} }
+
+// CoarseLock returns the coarse lock protecting one points-to class.
+func CoarseLock(class steens.NodeID, eff Eff) Inferred {
+	return Inferred{Class: class, Eff: eff}
+}
+
+// FineLock returns the expression lock for a path within a class.
+func FineLock(p Path, class steens.NodeID, eff Eff) Inferred {
+	return Inferred{Fine: true, Path: p, Class: class, Eff: eff}
+}
+
+// IsGlobal reports whether the lock is the root ⊤ lock.
+func (l Inferred) IsGlobal() bool { return !l.Fine && l.Class < 0 }
+
+// Key returns a canonical map key.
+func (l Inferred) Key() string {
+	if l.Fine {
+		return fmt.Sprintf("F:%s:%d:%s", l.Path.Key(), l.Class, l.Eff)
+	}
+	return fmt.Sprintf("C:%d:%s", l.Class, l.Eff)
+}
+
+// String renders the lock for reports, e.g. "&(to->head)/rw" or
+// "pts#3/ro".
+func (l Inferred) String() string {
+	if l.Fine {
+		return l.Path.String() + "/" + l.Eff.String()
+	}
+	if l.Class < 0 {
+		return "⊤/rw"
+	}
+	return fmt.Sprintf("pts#%d/%s", l.Class, l.Eff)
+}
+
+// Less reports the strict order l < o in the instantiated scheme's tree:
+// same lock with smaller effect, a fine lock under its own class's coarse
+// lock, or anything under the global root.
+func (l Inferred) Less(o Inferred) bool {
+	if l.Key() == o.Key() {
+		return false
+	}
+	if o.IsGlobal() {
+		return true
+	}
+	if l.IsGlobal() || o.Fine && !l.Fine {
+		return false
+	}
+	if l.Class != o.Class {
+		return false
+	}
+	if l.Fine && o.Fine {
+		// Same path, weaker effect.
+		return l.Path.Key() == o.Path.Key() && l.Eff.Leq(o.Eff)
+	}
+	// l fine (or weaker coarse) under coarse o of the same class.
+	return l.Eff.Leq(o.Eff)
+}
+
+// Leq reports l ≤ o.
+func (l Inferred) Leq(o Inferred) bool { return l.Key() == o.Key() || l.Less(o) }
+
+// Set is a set of inferred locks keyed canonically.
+type Set map[string]Inferred
+
+// NewSet returns a set holding the given locks.
+func NewSet(ls ...Inferred) Set {
+	s := Set{}
+	for _, l := range ls {
+		s.Add(l)
+	}
+	return s
+}
+
+// Add inserts l; it reports whether the set changed.
+func (s Set) Add(l Inferred) bool {
+	k := l.Key()
+	if _, ok := s[k]; ok {
+		return false
+	}
+	s[k] = l
+	return true
+}
+
+// Has reports membership.
+func (s Set) Has(l Inferred) bool {
+	_, ok := s[l.Key()]
+	return ok
+}
+
+// AddAll inserts every lock of o; it reports whether the set changed.
+func (s Set) AddAll(o Set) bool {
+	changed := false
+	for _, l := range o {
+		if s.Add(l) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Minimize returns the set with redundant locks removed, implementing the
+// paper's merge rule: drop any l for which some strictly coarser l' is also
+// in the set.
+func (s Set) Minimize() Set {
+	out := Set{}
+	for _, l := range s {
+		redundant := false
+		for _, o := range s {
+			if l.Less(o) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out.Add(l)
+		}
+	}
+	return out
+}
+
+// Sorted returns the locks in a deterministic order: global first, then
+// coarse by class, then fine by class and path key.
+func (s Set) Sorted() []Inferred {
+	out := make([]Inferred, 0, len(s))
+	for _, l := range s {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Fine != b.Fine {
+			return !a.Fine
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Fine {
+			// Sort by the printed form: stable across runs, unlike the
+			// pointer-identity map key.
+			if pa, pb := a.Path.String(), b.Path.String(); pa != pb {
+				return pa < pb
+			}
+		}
+		return a.Eff < b.Eff
+	})
+	return out
+}
+
+// Strings renders the sorted locks with field names resolved through prog.
+func (s Set) Strings(prog *ir.Program) []string {
+	var out []string
+	for _, l := range s.Sorted() {
+		if l.Fine {
+			out = append(out, l.Path.CellString(func(f ir.FieldID) string {
+				if f < 0 {
+					return ir.ElemFieldName
+				}
+				return prog.FieldName(f)
+			})+"/"+l.Eff.String())
+		} else {
+			out = append(out, l.String())
+		}
+	}
+	return out
+}

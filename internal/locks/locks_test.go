@@ -1,0 +1,341 @@
+package locks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/steens"
+)
+
+func TestEffLattice(t *testing.T) {
+	if !RO.Leq(RW) || RW.Leq(RO) || !RO.Leq(RO) || !RW.Leq(RW) {
+		t.Error("Leq wrong")
+	}
+	if RO.Join(RW) != RW || RO.Join(RO) != RO || RW.Meet(RO) != RO || RW.Meet(RW) != RW {
+		t.Error("Join/Meet wrong")
+	}
+}
+
+// TestConcreteSemantics reproduces the §3.2 example relations.
+func TestConcreteSemantics(t *testing.T) {
+	v, w := "v", "w"
+	fineV := Denote(RW, v)
+	fineVRead := Denote(RO, v)
+	fineW := Denote(RW, w)
+	global := DenoteAll(RW)
+	readGlobal := DenoteAll(RO)
+
+	if !Conflict(fineV, fineV) {
+		t.Error("rw lock must conflict with itself")
+	}
+	if Conflict(fineVRead, fineVRead) {
+		t.Error("two read locks never conflict")
+	}
+	if Conflict(fineV, fineW) {
+		t.Error("disjoint locks never conflict")
+	}
+	if !Conflict(global, fineV) {
+		t.Error("the global lock conflicts with any write lock's target")
+	}
+	if Conflict(readGlobal, fineVRead) {
+		t.Error("read-global vs read-fine must not conflict")
+	}
+	if !Coarser(global, fineV) || Coarser(fineV, global) {
+		t.Error("coarser-than wrong for the global lock")
+	}
+	if !Coarser(fineV, fineVRead) {
+		t.Error("rw on v is coarser than ro on v")
+	}
+	// Pair locks: the meet of the components (§3.2 lock pairs).
+	pair := Meet(global, fineVRead)
+	if !pair.Covers(v, RO) || pair.Covers(v, RW) || pair.Covers(w, RO) {
+		t.Errorf("pair lock semantics wrong: %+v", pair)
+	}
+}
+
+func TestDenotationLeqIsPartialOrder(t *testing.T) {
+	locsets := [][]any{{}, {"a"}, {"b"}, {"a", "b"}}
+	var all []Denotation
+	for _, ls := range locsets {
+		for _, e := range []Eff{RO, RW} {
+			all = append(all, Denote(e, ls...))
+		}
+	}
+	all = append(all, DenoteAll(RO), DenoteAll(RW))
+	for _, a := range all {
+		if !a.Leq(a) {
+			t.Errorf("Leq not reflexive on %+v", a)
+		}
+		for _, b := range all {
+			for _, c := range all {
+				if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+					t.Errorf("Leq not transitive: %+v %+v %+v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// buildScheme compiles a small program to obtain real vars/fields/points-to
+// data for scheme tests.
+func buildScheme(t *testing.T) (*ir.Program, *steens.Analysis, []*ir.Var, []ir.FieldID) {
+	t.Helper()
+	src := `
+struct n { n* next; int* data; }
+n* g;
+void f(n* a, n* b, int* w) {
+  n* x = a->next;
+  b->data = w;
+  g = b;
+}
+`
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := steens.Run(prog)
+	f := prog.Func("f")
+	vars := append([]*ir.Var{}, f.Params...)
+	vars = append(vars, prog.Globals...)
+	fields := []ir.FieldID{prog.InternField("next"), prog.InternField("data")}
+	return prog, pts, vars, fields
+}
+
+// schemeLaws checks the join-semilattice laws and operator totality for one
+// scheme over a generated universe of locks.
+func schemeLaws(t *testing.T, name string, s Scheme, vars []*ir.Var, fields []ir.FieldID) {
+	t.Helper()
+	r := rand.New(rand.NewSource(5))
+	genLock := func(depth int) Lock {
+		l := s.Var(vars[r.Intn(len(vars))], Eff(r.Intn(2)))
+		for i := 0; i < depth; i++ {
+			if r.Intn(2) == 0 {
+				l = s.Deref(l, Eff(r.Intn(2)))
+			} else {
+				l = s.Field(l, fields[r.Intn(len(fields))], Eff(r.Intn(2)))
+			}
+		}
+		return l
+	}
+	var universe []Lock
+	for i := 0; i < 40; i++ {
+		universe = append(universe, genLock(r.Intn(4)))
+	}
+	universe = append(universe, s.Top())
+	top := s.Top()
+	for _, a := range universe {
+		if !s.Leq(a, a) {
+			t.Errorf("%s: Leq not reflexive on %s", name, a)
+		}
+		if !s.Leq(a, top) {
+			t.Errorf("%s: %s not below ⊤", name, a)
+		}
+		for _, b := range universe {
+			j := s.Join(a, b)
+			if !s.Leq(a, j) || !s.Leq(b, j) {
+				t.Errorf("%s: Join(%s,%s)=%s is not an upper bound", name, a, b, j)
+			}
+			if s.Join(b, a).Key() != j.Key() {
+				t.Errorf("%s: Join not commutative on %s,%s", name, a, b)
+			}
+			if s.Leq(a, b) && s.Leq(b, a) && a.Key() != b.Key() {
+				t.Errorf("%s: antisymmetry violated: %s vs %s", name, a, b)
+			}
+			for _, c := range universe {
+				if s.Leq(a, b) && s.Leq(b, c) && !s.Leq(a, c) {
+					t.Errorf("%s: transitivity violated", name)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemeLaws(t *testing.T) {
+	_, pts, vars, fields := buildScheme(t)
+	schemes := map[string]Scheme{
+		"Σk":     ExprScheme{K: 3},
+		"Σ≡":     PointsScheme{A: pts},
+		"Σε":     EffScheme{},
+		"Σi":     FieldScheme{},
+		"Σk×Σ≡":  Product{S1: ExprScheme{K: 3}, S2: PointsScheme{A: pts}},
+		"(Σ×Σ)ε": Product{S1: Product{S1: ExprScheme{K: 2}, S2: PointsScheme{A: pts}}, S2: EffScheme{}},
+	}
+	for name, s := range schemes {
+		schemeLaws(t, name, s, vars, fields)
+	}
+}
+
+// TestKLimiting checks Σk's collapse to ⊤.
+func TestKLimiting(t *testing.T) {
+	_, _, vars, fields := buildScheme(t)
+	s := ExprScheme{K: 2}
+	l := s.Var(vars[0], RO) // length 1
+	if l.(ExprLock).Top {
+		t.Fatal("x̄ collapsed at k=2")
+	}
+	l = s.Deref(l, RO) // length 2
+	if l.(ExprLock).Top {
+		t.Fatal("*x̄ collapsed at k=2")
+	}
+	l2 := s.Field(l, fields[0], RO) // length 3 > 2
+	if !l2.(ExprLock).Top {
+		t.Error("length-3 expression survived k=2")
+	}
+	if got := s.Deref(l2, RO); !got.(ExprLock).Top {
+		t.Error("⊤ not absorbing")
+	}
+}
+
+// TestExprLockFor checks the §3.3 inductive construction against Σε: the
+// final operation carries the requested effect, prefixes read-only.
+func TestExprLockFor(t *testing.T) {
+	_, _, vars, fields := buildScheme(t)
+	p := VarPath(vars[0]).
+		Append(PathOp{Kind: OpDeref}).
+		Append(PathOp{Kind: OpField, Field: fields[0]})
+	l := ExprLockFor(EffScheme{}, p, RW)
+	if l.(EffLock).Eff != RW {
+		t.Errorf("final effect lost: %s", l)
+	}
+	l = ExprLockFor(EffScheme{}, p, RO)
+	if l.(EffLock).Eff != RO {
+		t.Errorf("ro effect lost: %s", l)
+	}
+}
+
+// TestPathPrinting checks the address-expression renderer.
+func TestPathPrinting(t *testing.T) {
+	prog, _, vars, fields := buildScheme(t)
+	a := vars[0]
+	name := func(f ir.FieldID) string { return prog.FieldName(f) }
+	cases := []struct {
+		path Path
+		want string
+	}{
+		{VarPath(a), "&(a)"},
+		{VarPath(a).Append(PathOp{Kind: OpDeref}), "&(*a)"},
+		{VarPath(a).Append(PathOp{Kind: OpDeref}).Append(PathOp{Kind: OpField, Field: fields[0]}),
+			"&(a->next)"},
+		{VarPath(a).Append(PathOp{Kind: OpDeref}).Append(PathOp{Kind: OpField, Field: fields[0]}).
+			Append(PathOp{Kind: OpDeref}), "&(*(a->next))"},
+		{VarPath(a).Append(PathOp{Kind: OpDeref}).
+			Append(PathOp{Kind: OpIndex, Index: IConstExpr(3)}), "&(a[3])"},
+	}
+	for _, c := range cases {
+		if got := c.path.CellString(name); got != c.want {
+			t.Errorf("CellString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestIExprOps checks the symbolic index expression helpers.
+func TestIExprOps(t *testing.T) {
+	_, _, vars, _ := buildScheme(t)
+	v, w := vars[0], vars[1]
+	e := IBinExpr(lang.BMod, IVarExpr(v), IConstExpr(16))
+	if e.Size() != 3 {
+		t.Errorf("Size = %d, want 3", e.Size())
+	}
+	if !e.Mentions(v) || e.Mentions(w) {
+		t.Error("Mentions wrong")
+	}
+	sub := e.Subst(v, IVarExpr(w))
+	if !sub.Mentions(w) || sub.Mentions(v) {
+		t.Error("Subst wrong")
+	}
+	if e.Mentions(w) {
+		t.Error("Subst mutated the original")
+	}
+	if e.Key() == sub.Key() {
+		t.Error("keys should differ after substitution")
+	}
+	unchanged := e.Subst(w, IConstExpr(1))
+	if unchanged != e {
+		t.Error("no-op substitution should share the tree")
+	}
+}
+
+// TestInferredOrder property-checks Less: irreflexive, antisymmetric, and
+// consistent with Leq.
+func TestInferredOrder(t *testing.T) {
+	gen := func(seed int64) Inferred {
+		r := rand.New(rand.NewSource(seed))
+		switch r.Intn(3) {
+		case 0:
+			return GlobalLock()
+		case 1:
+			return CoarseLock(steens.NodeID(r.Intn(3)), Eff(r.Intn(2)))
+		default:
+			return FineLock(Path{}, steens.NodeID(r.Intn(3)), Eff(r.Intn(2)))
+		}
+	}
+	f := func(s1, s2 int64) bool {
+		a, b := gen(s1), gen(s2)
+		if a.Less(a) || b.Less(b) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		if a.Less(b) && !a.Leq(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetMinimize checks redundancy elimination over random sets.
+func TestSetMinimize(t *testing.T) {
+	f := func(seeds []int64) bool {
+		set := NewSet()
+		for _, s := range seeds {
+			r := rand.New(rand.NewSource(s))
+			switch r.Intn(3) {
+			case 0:
+				set.Add(GlobalLock())
+			case 1:
+				set.Add(CoarseLock(steens.NodeID(r.Intn(3)), Eff(r.Intn(2))))
+			default:
+				set.Add(FineLock(Path{}, steens.NodeID(r.Intn(3)), Eff(r.Intn(2))))
+			}
+		}
+		m := set.Minimize()
+		// No survivor dominates another.
+		for _, a := range m {
+			for _, b := range m {
+				if a.Less(b) {
+					return false
+				}
+			}
+		}
+		// Every dropped lock is dominated by a survivor.
+		for _, a := range set {
+			if m.Has(a) {
+				continue
+			}
+			dominated := false
+			for _, b := range m {
+				if a.Less(b) {
+					dominated = true
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+package locks
+
+import (
+	"fmt"
+	"strings"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+)
+
+// This file defines access paths, the representation behind the paper's
+// expression locks. A path is a base variable cell x̄ followed by a sequence
+// of the abstract operators * (dereference) and +f (field offset):
+//
+//	x̄            protects the cell of variable x            (&x)
+//	*x̄           protects the cell x points to              (x, as an address)
+//	*x̄+f         protects field f of the object x points to (&(x->f))
+//	*(*x̄+f)      protects the cell x->f points to           (x->f as address)
+//
+// Array indexing extends the paper's field offsets with a symbolic integer
+// index expression so that per-element fine-grain locks (e.g. a hash bucket
+// chosen by the key) remain expressible at the section entry.
+
+// OpKind is the kind of one path operation.
+type OpKind uint8
+
+// Path operation kinds.
+const (
+	OpDeref OpKind = iota // *
+	OpField               // +f
+	OpIndex               // @e (array element with symbolic index)
+)
+
+// PathOp is a single path operation.
+type PathOp struct {
+	Kind  OpKind
+	Field ir.FieldID // OpField
+	Index *IExpr     // OpIndex
+}
+
+// Path is an access path: a lock expression rooted at a variable cell.
+type Path struct {
+	Base *ir.Var
+	Ops  []PathOp
+}
+
+// Len returns the number of operations in the path.
+func (p Path) Len() int { return len(p.Ops) }
+
+// ExprLen returns the paper's expression length used for k-limiting: the
+// base variable counts one, and every offset and dereference adds one, so
+// "x" has length 1 and "x->f->g->h" (three dereferences, two offsets plus
+// the final one... i.e. *((*((*(x̄)+f))+g)+h) ) has length 6. With k=0 no
+// expression lock survives, matching the paper's "k=0 performs no dataflow
+// computation".
+func (p Path) ExprLen() int { return 1 + len(p.Ops) }
+
+// Append returns a new path with op appended (the receiver is not modified).
+func (p Path) Append(op PathOp) Path {
+	ops := make([]PathOp, len(p.Ops)+1)
+	copy(ops, p.Ops)
+	ops[len(p.Ops)] = op
+	return Path{Base: p.Base, Ops: ops}
+}
+
+// Key returns a canonical map key for the path.
+func (p Path) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%p", p.Base)
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpDeref:
+			b.WriteByte('*')
+		case OpField:
+			fmt.Fprintf(&b, "+%d", op.Field)
+		case OpIndex:
+			fmt.Fprintf(&b, "@[%s]", op.Index.Key())
+		}
+	}
+	return b.String()
+}
+
+// String renders the path as the address expression a generated program
+// would pass to acquire(), e.g. "&(to->head)" for *t̄o+head.
+func (p Path) String() string { return p.CellString(nil) }
+
+// CellString renders the protected cell as an address expression. fieldName
+// resolves field ids to names; when nil, ids print numerically.
+func (p Path) CellString(fieldName func(ir.FieldID) string) string {
+	// lv is the lvalue expression of the protected cell.
+	lv := p.Base.Name
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpDeref:
+			lv = "*" + parenIfCompound(lv)
+		case OpField:
+			name := fmt.Sprintf("f%d", op.Field)
+			if fieldName != nil {
+				name = fieldName(op.Field)
+			}
+			if inner, ok := strings.CutPrefix(lv, "*"); ok {
+				lv = trimParens(inner) + "->" + name
+			} else {
+				lv = lv + "." + name
+			}
+		case OpIndex:
+			idx := op.Index.String()
+			if inner, ok := strings.CutPrefix(lv, "*"); ok {
+				lv = trimParens(inner) + "[" + idx + "]"
+			} else {
+				lv = lv + "[" + idx + "]"
+			}
+		}
+	}
+	return "&(" + lv + ")"
+}
+
+func parenIfCompound(s string) string {
+	if strings.ContainsAny(s, "->.[ ") {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func trimParens(s string) string {
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// VarPath returns the path x̄ for a variable.
+func VarPath(v *ir.Var) Path { return Path{Base: v} }
+
+// IKind is the kind of a symbolic index expression node.
+type IKind uint8
+
+// Index expression node kinds.
+const (
+	IVar IKind = iota
+	IConst
+	IBin
+	IUn
+)
+
+// IExpr is a small symbolic integer expression used inside array-index path
+// operations. It is immutable once built.
+type IExpr struct {
+	Kind  IKind
+	Var   *ir.Var       // IVar
+	Const int64         // IConst
+	Op    lang.BinaryOp // IBin
+	Unop  lang.UnaryOp  // IUn
+	L, R  *IExpr        // IBin (both) and IUn (L only)
+}
+
+// IVarExpr returns a variable index expression.
+func IVarExpr(v *ir.Var) *IExpr { return &IExpr{Kind: IVar, Var: v} }
+
+// IConstExpr returns a constant index expression.
+func IConstExpr(c int64) *IExpr { return &IExpr{Kind: IConst, Const: c} }
+
+// IBinExpr returns a binary index expression.
+func IBinExpr(op lang.BinaryOp, l, r *IExpr) *IExpr {
+	return &IExpr{Kind: IBin, Op: op, L: l, R: r}
+}
+
+// IUnExpr returns a unary index expression.
+func IUnExpr(op lang.UnaryOp, l *IExpr) *IExpr {
+	return &IExpr{Kind: IUn, Unop: op, L: l}
+}
+
+// Size returns the number of nodes in the expression tree.
+func (e *IExpr) Size() int {
+	switch e.Kind {
+	case IBin:
+		return 1 + e.L.Size() + e.R.Size()
+	case IUn:
+		return 1 + e.L.Size()
+	default:
+		return 1
+	}
+}
+
+// Vars appends the variables referenced by e to out and returns it.
+func (e *IExpr) Vars(out []*ir.Var) []*ir.Var {
+	switch e.Kind {
+	case IVar:
+		return append(out, e.Var)
+	case IBin:
+		return e.R.Vars(e.L.Vars(out))
+	case IUn:
+		return e.L.Vars(out)
+	default:
+		return out
+	}
+}
+
+// Subst returns e with every occurrence of v replaced by repl, sharing
+// unchanged subtrees.
+func (e *IExpr) Subst(v *ir.Var, repl *IExpr) *IExpr {
+	switch e.Kind {
+	case IVar:
+		if e.Var == v {
+			return repl
+		}
+		return e
+	case IBin:
+		l, r := e.L.Subst(v, repl), e.R.Subst(v, repl)
+		if l == e.L && r == e.R {
+			return e
+		}
+		return &IExpr{Kind: IBin, Op: e.Op, L: l, R: r}
+	case IUn:
+		l := e.L.Subst(v, repl)
+		if l == e.L {
+			return e
+		}
+		return &IExpr{Kind: IUn, Unop: e.Unop, L: l}
+	default:
+		return e
+	}
+}
+
+// Mentions reports whether e references variable v.
+func (e *IExpr) Mentions(v *ir.Var) bool {
+	switch e.Kind {
+	case IVar:
+		return e.Var == v
+	case IBin:
+		return e.L.Mentions(v) || e.R.Mentions(v)
+	case IUn:
+		return e.L.Mentions(v)
+	default:
+		return false
+	}
+}
+
+// Key returns a canonical map key for the expression.
+func (e *IExpr) Key() string {
+	switch e.Kind {
+	case IVar:
+		return fmt.Sprintf("v%p", e.Var)
+	case IConst:
+		return fmt.Sprintf("%d", e.Const)
+	case IBin:
+		return "(" + e.L.Key() + e.Op.String() + e.R.Key() + ")"
+	default:
+		return "(" + e.Unop.String() + e.L.Key() + ")"
+	}
+}
+
+// String renders the expression in surface syntax.
+func (e *IExpr) String() string {
+	switch e.Kind {
+	case IVar:
+		return e.Var.Name
+	case IConst:
+		return fmt.Sprintf("%d", e.Const)
+	case IBin:
+		return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+	default:
+		return "(" + e.Unop.String() + e.L.String() + ")"
+	}
+}

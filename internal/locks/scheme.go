@@ -1,0 +1,370 @@
+package locks
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/steens"
+)
+
+// Lock is an abstract lock name drawn from some scheme's semilattice L.
+// Locks are compared through their canonical Key.
+type Lock interface {
+	// Key returns a canonical identifier; two locks of the same scheme are
+	// equal iff their keys are equal.
+	Key() string
+	String() string
+}
+
+// Scheme is an abstract lock scheme Σ = (L, ≤, ⊤, ⋅̄, +, ∗) as defined in
+// §3.3 of the paper. All implemented instances are flow-insensitive, so the
+// program-point parameter of the formal operators is omitted; the effect
+// parameter is kept.
+type Scheme interface {
+	// Top returns the greatest lock ⊤, a global lock protecting (Loc, rw).
+	Top() Lock
+	// Var returns x̄ᵉ, a lock protecting the cell of variable x.
+	Var(x *ir.Var, eff Eff) Lock
+	// Field returns l +ᵉ f, a lock protecting the field-f offset of every
+	// location protected by l.
+	Field(l Lock, f ir.FieldID, eff Eff) Lock
+	// Deref returns ∗ᵉ l, a lock protecting every location pointed to by a
+	// location protected by l.
+	Deref(l Lock, eff Eff) Lock
+	// Leq reports a ≤ b (b is coarser than a).
+	Leq(a, b Lock) bool
+	// Join returns the least upper bound of a and b.
+	Join(a, b Lock) Lock
+}
+
+// ExprLock is the lock of Σk: a k-limited access path, or ⊤.
+type ExprLock struct {
+	Top  bool
+	Path Path
+}
+
+// Key implements Lock.
+func (l ExprLock) Key() string {
+	if l.Top {
+		return "T"
+	}
+	return l.Path.Key()
+}
+
+func (l ExprLock) String() string {
+	if l.Top {
+		return "⊤"
+	}
+	return l.Path.String()
+}
+
+// ExprScheme is Σk: expression locks with k-limiting (§3.3.1). Expressions
+// of length greater than K collapse to ⊤.
+type ExprScheme struct {
+	K int
+}
+
+// Top implements Scheme.
+func (s ExprScheme) Top() Lock { return ExprLock{Top: true} }
+
+// Var implements Scheme. Σk ignores the effect (all locks protect rw).
+func (s ExprScheme) Var(x *ir.Var, _ Eff) Lock { return s.limit(VarPath(x)) }
+
+// Field implements Scheme.
+func (s ExprScheme) Field(l Lock, f ir.FieldID, _ Eff) Lock {
+	el := l.(ExprLock)
+	if el.Top {
+		return el
+	}
+	return s.limit(el.Path.Append(PathOp{Kind: OpField, Field: f}))
+}
+
+// Deref implements Scheme.
+func (s ExprScheme) Deref(l Lock, _ Eff) Lock {
+	el := l.(ExprLock)
+	if el.Top {
+		return el
+	}
+	return s.limit(el.Path.Append(PathOp{Kind: OpDeref}))
+}
+
+func (s ExprScheme) limit(p Path) Lock {
+	if p.ExprLen() > s.K {
+		return ExprLock{Top: true}
+	}
+	return ExprLock{Path: p}
+}
+
+// Leq implements Scheme: the order is flat below ⊤.
+func (s ExprScheme) Leq(a, b Lock) bool {
+	return b.(ExprLock).Top || a.Key() == b.Key()
+}
+
+// Join implements Scheme.
+func (s ExprScheme) Join(a, b Lock) Lock {
+	if a.Key() == b.Key() {
+		return a
+	}
+	return ExprLock{Top: true}
+}
+
+// PointsLock is the lock of Σ≡: one Steensgaard points-to class, or ⊤.
+type PointsLock struct {
+	Top   bool
+	Class steens.NodeID
+}
+
+// Key implements Lock.
+func (l PointsLock) Key() string {
+	if l.Top {
+		return "T"
+	}
+	return fmt.Sprintf("P%d", l.Class)
+}
+
+func (l PointsLock) String() string {
+	if l.Top {
+		return "⊤"
+	}
+	return fmt.Sprintf("pts#%d", l.Class)
+}
+
+// PointsScheme is Σ≡: points-to set locks from a unification-based pointer
+// analysis (§3.3.1).
+type PointsScheme struct {
+	A *steens.Analysis
+}
+
+// Top implements Scheme.
+func (s PointsScheme) Top() Lock { return PointsLock{Top: true} }
+
+// Var implements Scheme: x̄ is the class of &x.
+func (s PointsScheme) Var(x *ir.Var, _ Eff) Lock {
+	return PointsLock{Class: s.A.VarCell(x)}
+}
+
+// Field implements Scheme: l_s + i = s (field-insensitive classes).
+func (s PointsScheme) Field(l Lock, _ ir.FieldID, _ Eff) Lock { return l }
+
+// Deref implements Scheme: ∗ l_s = s' where s → s'.
+func (s PointsScheme) Deref(l Lock, _ Eff) Lock {
+	pl := l.(PointsLock)
+	if pl.Top {
+		return pl
+	}
+	return PointsLock{Class: s.A.Pointee(pl.Class)}
+}
+
+// Leq implements Scheme: classes are pairwise disjoint, ordered only by ⊤.
+func (s PointsScheme) Leq(a, b Lock) bool {
+	if b.(PointsLock).Top {
+		return true
+	}
+	pa, pb := a.(PointsLock), b.(PointsLock)
+	return !pa.Top && s.A.Rep(pa.Class) == s.A.Rep(pb.Class)
+}
+
+// Join implements Scheme.
+func (s PointsScheme) Join(a, b Lock) Lock {
+	if s.Leq(a, b) {
+		return b
+	}
+	if s.Leq(b, a) {
+		return a
+	}
+	return PointsLock{Top: true}
+}
+
+// EffLock is the lock of Σε: an effect.
+type EffLock struct{ Eff Eff }
+
+// Key implements Lock.
+func (l EffLock) Key() string { return l.Eff.String() }
+
+func (l EffLock) String() string { return l.Eff.String() }
+
+// EffScheme is Σε: read and write locks (§3.3.1). Every operator returns the
+// requested effect; ⊤ is rw.
+type EffScheme struct{}
+
+// Top implements Scheme.
+func (EffScheme) Top() Lock { return EffLock{Eff: RW} }
+
+// Var implements Scheme.
+func (EffScheme) Var(_ *ir.Var, eff Eff) Lock { return EffLock{Eff: eff} }
+
+// Field implements Scheme.
+func (EffScheme) Field(_ Lock, _ ir.FieldID, eff Eff) Lock { return EffLock{Eff: eff} }
+
+// Deref implements Scheme.
+func (EffScheme) Deref(_ Lock, eff Eff) Lock { return EffLock{Eff: eff} }
+
+// Leq implements Scheme.
+func (EffScheme) Leq(a, b Lock) bool { return a.(EffLock).Eff.Leq(b.(EffLock).Eff) }
+
+// Join implements Scheme.
+func (EffScheme) Join(a, b Lock) Lock {
+	return EffLock{Eff: a.(EffLock).Eff.Join(b.(EffLock).Eff)}
+}
+
+// FieldLock is the lock of Σi: a set of field offsets, or the full domain F.
+type FieldLock struct {
+	All    bool
+	Fields []ir.FieldID // sorted
+}
+
+// Key implements Lock.
+func (l FieldLock) Key() string {
+	if l.All {
+		return "F"
+	}
+	parts := make([]string, len(l.Fields))
+	for i, f := range l.Fields {
+		parts[i] = fmt.Sprintf("%d", f)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (l FieldLock) String() string { return l.Key() }
+
+// FieldScheme is Σi: field-based locks (§3.3.1): x̄ = ⊤, l + i = {i},
+// ∗ l = ⊤; the order is set inclusion.
+type FieldScheme struct{}
+
+// Top implements Scheme.
+func (FieldScheme) Top() Lock { return FieldLock{All: true} }
+
+// Var implements Scheme.
+func (FieldScheme) Var(_ *ir.Var, _ Eff) Lock { return FieldLock{All: true} }
+
+// Field implements Scheme.
+func (FieldScheme) Field(_ Lock, f ir.FieldID, _ Eff) Lock {
+	return FieldLock{Fields: []ir.FieldID{f}}
+}
+
+// Deref implements Scheme.
+func (FieldScheme) Deref(_ Lock, _ Eff) Lock { return FieldLock{All: true} }
+
+// Leq implements Scheme.
+func (FieldScheme) Leq(a, b Lock) bool {
+	fa, fb := a.(FieldLock), b.(FieldLock)
+	if fb.All {
+		return true
+	}
+	if fa.All {
+		return false
+	}
+	set := map[ir.FieldID]bool{}
+	for _, f := range fb.Fields {
+		set[f] = true
+	}
+	for _, f := range fa.Fields {
+		if !set[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join implements Scheme.
+func (FieldScheme) Join(a, b Lock) Lock {
+	fa, fb := a.(FieldLock), b.(FieldLock)
+	if fa.All || fb.All {
+		return FieldLock{All: true}
+	}
+	set := map[ir.FieldID]bool{}
+	for _, f := range fa.Fields {
+		set[f] = true
+	}
+	for _, f := range fb.Fields {
+		set[f] = true
+	}
+	out := make([]ir.FieldID, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return FieldLock{Fields: out}
+}
+
+// PairLock is the lock of a Cartesian product scheme.
+type PairLock struct {
+	A, B Lock
+}
+
+// Key implements Lock.
+func (l PairLock) Key() string { return "(" + l.A.Key() + "," + l.B.Key() + ")" }
+
+func (l PairLock) String() string { return "(" + l.A.String() + ", " + l.B.String() + ")" }
+
+// Product is the Cartesian product Σ1 × Σ2 of two schemes (§3.3.1). If both
+// components are sound approximations of the concrete semantics, so is their
+// product.
+type Product struct {
+	S1, S2 Scheme
+}
+
+// Top implements Scheme.
+func (p Product) Top() Lock { return PairLock{A: p.S1.Top(), B: p.S2.Top()} }
+
+// Var implements Scheme.
+func (p Product) Var(x *ir.Var, eff Eff) Lock {
+	return PairLock{A: p.S1.Var(x, eff), B: p.S2.Var(x, eff)}
+}
+
+// Field implements Scheme.
+func (p Product) Field(l Lock, f ir.FieldID, eff Eff) Lock {
+	pl := l.(PairLock)
+	return PairLock{A: p.S1.Field(pl.A, f, eff), B: p.S2.Field(pl.B, f, eff)}
+}
+
+// Deref implements Scheme.
+func (p Product) Deref(l Lock, eff Eff) Lock {
+	pl := l.(PairLock)
+	return PairLock{A: p.S1.Deref(pl.A, eff), B: p.S2.Deref(pl.B, eff)}
+}
+
+// Leq implements Scheme.
+func (p Product) Leq(a, b Lock) bool {
+	pa, pb := a.(PairLock), b.(PairLock)
+	return p.S1.Leq(pa.A, pb.A) && p.S2.Leq(pa.B, pb.B)
+}
+
+// Join implements Scheme.
+func (p Product) Join(a, b Lock) Lock {
+	pa, pb := a.(PairLock), b.(PairLock)
+	return PairLock{A: p.S1.Join(pa.A, pb.A), B: p.S2.Join(pa.B, pb.B)}
+}
+
+// ExprLockFor builds the lock ê that protects the value of an access path
+// under the given scheme, per the inductive construction of §3.3:
+// x̂ = x̄, ê+f = ê(ro) + f, ∗ê = ∗ ê(ro). Subexpressions are protected for
+// reads only; the final operation uses eff.
+func ExprLockFor(s Scheme, p Path, eff Eff) Lock {
+	effAt := func(i int) Eff {
+		if i == len(p.Ops)-1 {
+			return eff
+		}
+		return RO
+	}
+	var l Lock
+	if len(p.Ops) == 0 {
+		return s.Var(p.Base, eff)
+	}
+	l = s.Var(p.Base, RO)
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case OpDeref:
+			l = s.Deref(l, effAt(i))
+		case OpField:
+			l = s.Field(l, op.Field, effAt(i))
+		case OpIndex:
+			// Schemes treat array elements as one pseudo-field; index
+			// sensitivity lives only in the engine's fine-grain paths.
+			l = s.Field(l, -1, effAt(i))
+		}
+	}
+	return l
+}

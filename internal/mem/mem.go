@@ -1,0 +1,66 @@
+// Package mem provides the shared mutable cells that the native workloads
+// operate on. A Cell is one memory word holding an arbitrary value, with a
+// TL2-style version/lock word so the same data structures can run under
+// pessimistic lock runtimes (direct access, protected by inferred locks) and
+// under the optimistic STM baseline (versioned access). Each cell carries a
+// unique orderable identity used both for fine-grain lock descriptors and
+// for the STM's ordered commit locking.
+package mem
+
+import "sync/atomic"
+
+var nextID atomic.Uint64
+
+// Cell is one shared memory word.
+type Cell struct {
+	id uint64
+	// meta is version<<1 | lockbit, maintained by the STM.
+	meta atomic.Uint64
+	val  atomic.Pointer[any]
+}
+
+// NewCell allocates a cell holding v.
+func NewCell(v any) *Cell {
+	c := &Cell{id: nextID.Add(1)}
+	c.val.Store(&v)
+	return c
+}
+
+// ID returns the cell's unique orderable identity.
+func (c *Cell) ID() uint64 { return c.id }
+
+// Load reads the cell directly. Callers must hold a protecting lock (or be
+// single-threaded); the STM uses TxLoad instead.
+func (c *Cell) Load() any { return *c.val.Load() }
+
+// Store writes the cell directly. Callers must hold a protecting lock.
+func (c *Cell) Store(v any) { c.val.Store(&v) }
+
+// Meta atomically reads the version/lock word.
+func (c *Cell) Meta() uint64 { return c.meta.Load() }
+
+// MetaLocked reports whether a meta word carries the lock bit.
+func MetaLocked(m uint64) bool { return m&1 != 0 }
+
+// MetaVersion extracts the version from a meta word.
+func MetaVersion(m uint64) uint64 { return m >> 1 }
+
+// TryLockMeta attempts to set the lock bit over an unlocked meta word; it
+// reports success.
+func (c *Cell) TryLockMeta() bool {
+	m := c.meta.Load()
+	if MetaLocked(m) {
+		return false
+	}
+	return c.meta.CompareAndSwap(m, m|1)
+}
+
+// UnlockMeta clears the lock bit, installing the given version.
+func (c *Cell) UnlockMeta(version uint64) { c.meta.Store(version << 1) }
+
+// UnlockMetaSameVersion clears the lock bit, keeping the old version (used
+// when releasing after an aborted commit).
+func (c *Cell) UnlockMetaSameVersion() {
+	m := c.meta.Load()
+	c.meta.Store(m &^ 1)
+}

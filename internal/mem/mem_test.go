@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCellBasics(t *testing.T) {
+	c := NewCell(41)
+	if c.Load().(int) != 41 {
+		t.Error("initial value lost")
+	}
+	c.Store("x")
+	if c.Load().(string) != "x" {
+		t.Error("store lost (and cells must accept changing types)")
+	}
+}
+
+func TestIDsUniqueAndOrderable(t *testing.T) {
+	const n = 1000
+	ids := make(chan uint64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < n/8; j++ {
+				ids <- NewCell(nil).ID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[uint64]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate cell id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMetaWord(t *testing.T) {
+	c := NewCell(0)
+	if MetaLocked(c.Meta()) {
+		t.Fatal("fresh cell locked")
+	}
+	if !c.TryLockMeta() {
+		t.Fatal("TryLockMeta failed on unlocked cell")
+	}
+	if c.TryLockMeta() {
+		t.Fatal("TryLockMeta succeeded on locked cell")
+	}
+	if !MetaLocked(c.Meta()) {
+		t.Fatal("lock bit missing")
+	}
+	c.UnlockMeta(7)
+	if MetaLocked(c.Meta()) || MetaVersion(c.Meta()) != 7 {
+		t.Fatalf("UnlockMeta: meta = %#x", c.Meta())
+	}
+	if !c.TryLockMeta() {
+		t.Fatal("relock failed")
+	}
+	c.UnlockMetaSameVersion()
+	if MetaLocked(c.Meta()) || MetaVersion(c.Meta()) != 7 {
+		t.Fatalf("UnlockMetaSameVersion: meta = %#x", c.Meta())
+	}
+}
+
+func TestTryLockMetaRace(t *testing.T) {
+	c := NewCell(0)
+	var wg sync.WaitGroup
+	var wins atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if c.TryLockMeta() {
+					wins.Add(1)
+					c.UnlockMeta(MetaVersion(c.Meta()) + 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() == 0 {
+		t.Error("no goroutine ever acquired the meta lock")
+	}
+}

@@ -1,0 +1,314 @@
+package mgl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ClassID identifies one points-to partition (a coarse-grain lock). The
+// compiler assigns these from the Steensgaard analysis; runtimes may use any
+// stable numbering.
+type ClassID int64
+
+// Req is a lock descriptor, the runtime triple of §5.2: the partition, an
+// optional concrete address within it (fine-grain), and the effect.
+type Req struct {
+	// Global requests the root ⊤ lock; Class and Addr are ignored.
+	Global bool
+	// Class is the points-to partition.
+	Class ClassID
+	// Fine selects a per-address leaf below the partition.
+	Fine bool
+	// Addr is the orderable identity of the protected cell (fine only).
+	Addr uint64
+	// Write requests exclusive (X) access; otherwise shared (S).
+	Write bool
+}
+
+func (r Req) String() string {
+	eff := "S"
+	if r.Write {
+		eff = "X"
+	}
+	switch {
+	case r.Global:
+		return "⊤/" + eff
+	case r.Fine:
+		return fmt.Sprintf("fine(%d,%#x)/%s", r.Class, r.Addr, eff)
+	default:
+		return fmt.Sprintf("coarse(%d)/%s", r.Class, eff)
+	}
+}
+
+type fineKey struct {
+	class ClassID
+	addr  uint64
+}
+
+// Manager owns the lock tree. One Manager serializes one program's atomic
+// sections; independent programs use independent managers.
+type Manager struct {
+	mu      sync.Mutex
+	root    *node
+	classes map[ClassID]*node
+	fine    map[fineKey]*node
+
+	// Stats.
+	acquires atomic.Int64
+	waits    atomic.Int64
+}
+
+// NewManager returns an empty lock tree.
+func NewManager() *Manager {
+	return &Manager{
+		root:    newNode("⊤"),
+		classes: map[ClassID]*node{},
+		fine:    map[fineKey]*node{},
+	}
+}
+
+// Acquires returns the total number of node acquisitions performed.
+func (m *Manager) Acquires() int64 { return m.acquires.Load() }
+
+// Waits returns the number of node acquisitions that had to block.
+func (m *Manager) Waits() int64 { return m.waits.Load() }
+
+func (m *Manager) classNode(c ClassID) *node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.classes[c]
+	if !ok {
+		n = newNode(fmt.Sprintf("pts#%d", c))
+		m.classes[c] = n
+	}
+	return n
+}
+
+func (m *Manager) fineNode(c ClassID, addr uint64) *node {
+	k := fineKey{c, addr}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.fine[k]
+	if !ok {
+		n = newNode(fmt.Sprintf("fine(%d,%#x)", c, addr))
+		m.fine[k] = n
+	}
+	return n
+}
+
+// Session is one thread's view of the lock runtime. A session must be used
+// by a single goroutine at a time.
+type Session struct {
+	m       *Manager
+	pending []Req
+	held    []planStep
+	nlevel  int
+}
+
+// NewSession creates a session on the manager.
+func (m *Manager) NewSession() *Session { return &Session{m: m} }
+
+// ToAcquire appends a lock descriptor to the pending list (§5.2
+// to-acquire). Descriptors added while already inside an atomic section are
+// discarded: the outer section's locks cover the inner section.
+func (s *Session) ToAcquire(r Req) {
+	if s.nlevel > 0 {
+		return
+	}
+	s.pending = append(s.pending, r)
+}
+
+// Held reports whether the session currently holds locks (is inside an
+// atomic section).
+func (s *Session) Held() bool { return s.nlevel > 0 }
+
+// Nesting returns the current atomic nesting level.
+func (s *Session) Nesting() int { return s.nlevel }
+
+// PlanStep is one node of an acquisition plan in the canonical global
+// order: the root first, then partition nodes by class id, then fine nodes
+// by (class, address). Kind is 0 for the root, 1 for a partition, 2 for a
+// fine leaf.
+type PlanStep struct {
+	Kind  int
+	Class ClassID
+	Addr  uint64
+	Mode  Mode
+}
+
+// BuildPlan folds a descriptor list into the ordered per-node mode plan of
+// the hierarchical protocol: leaf modes are joined per node and every
+// ancestor receives the matching intention mode. The same plan logic drives
+// both the real runtime and the machine simulator.
+func BuildPlan(reqs []Req) []PlanStep {
+	rootMode := ModeNone
+	classMode := map[ClassID]Mode{}
+	fineMode := map[fineKey]Mode{}
+	leaf := func(w bool) Mode {
+		if w {
+			return X
+		}
+		return S
+	}
+	for _, r := range reqs {
+		switch {
+		case r.Global:
+			rootMode = Join(rootMode, leaf(r.Write))
+		case !r.Fine:
+			classMode[r.Class] = Join(classMode[r.Class], leaf(r.Write))
+			rootMode = Join(rootMode, intention(leaf(r.Write)))
+		default:
+			k := fineKey{r.Class, r.Addr}
+			fineMode[k] = Join(fineMode[k], leaf(r.Write))
+			classMode[r.Class] = Join(classMode[r.Class], intention(leaf(r.Write)))
+			rootMode = Join(rootMode, intention(leaf(r.Write)))
+		}
+	}
+	if rootMode == ModeNone {
+		return nil
+	}
+	plan := make([]PlanStep, 0, 1+len(classMode)+len(fineMode))
+	plan = append(plan, PlanStep{Kind: 0, Mode: rootMode})
+	for c, mode := range classMode {
+		plan = append(plan, PlanStep{Kind: 1, Class: c, Mode: mode})
+	}
+	for k, mode := range fineMode {
+		plan = append(plan, PlanStep{Kind: 2, Class: k.class, Addr: k.addr, Mode: mode})
+	}
+	sort.Slice(plan, func(i, j int) bool {
+		a, b := plan[i], plan[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Addr < b.Addr
+	})
+	return plan
+}
+
+// planStep is one (node, mode) pair of a session's acquisition plan.
+type planStep struct {
+	n    *node
+	mode Mode
+}
+
+// AcquireAll requests all pending locks using the hierarchical protocol
+// (§5.2 acquire-all): per-node modes are joined, ancestors receive intention
+// modes, and nodes are taken top-down in the canonical global order.
+// Nested calls only bump the nesting level (§5.3).
+func (s *Session) AcquireAll() {
+	s.nlevel++
+	if s.nlevel > 1 {
+		return
+	}
+	plan := s.buildPlan()
+	for _, st := range plan {
+		if st.n.acquire(st.mode) {
+			s.m.waits.Add(1)
+		}
+		s.m.acquires.Add(1)
+	}
+	s.held = plan
+	s.pending = s.pending[:0]
+}
+
+// ReleaseAll releases every lock held by the session, bottom-up (§5.2
+// release-all). Inner nested sections only decrement the nesting level.
+func (s *Session) ReleaseAll() {
+	if s.nlevel == 0 {
+		panic("mgl: ReleaseAll without AcquireAll")
+	}
+	s.nlevel--
+	if s.nlevel > 0 {
+		return
+	}
+	for i := len(s.held) - 1; i >= 0; i-- {
+		s.held[i].n.release(s.held[i].mode)
+	}
+	s.held = s.held[:0]
+}
+
+// buildPlan resolves the shared plan logic onto this manager's nodes.
+func (s *Session) buildPlan() []planStep {
+	steps := BuildPlan(s.pending)
+	plan := make([]planStep, len(steps))
+	for i, st := range steps {
+		var n *node
+		switch st.Kind {
+		case 0:
+			n = s.m.root
+		case 1:
+			n = s.m.classNode(st.Class)
+		default:
+			n = s.m.fineNode(st.Class, st.Addr)
+		}
+		plan[i] = planStep{n: n, mode: st.Mode}
+	}
+	return plan
+}
+
+// node is one lock in the tree: a mode lock with a strict-FIFO wait queue
+// (granting the head and any following compatible waiters), which prevents
+// starvation while still batching compatible requests.
+type node struct {
+	name  string
+	mu    sync.Mutex
+	count [6]int // held count per mode
+	queue []*waiter
+}
+
+type waiter struct {
+	mode  Mode
+	ready chan struct{}
+}
+
+func newNode(name string) *node { return &node{name: name} }
+
+// compatibleWithHeld reports whether mode can be granted alongside the
+// currently held modes.
+func (n *node) compatibleWithHeld(mode Mode) bool {
+	for m := IS; m <= X; m++ {
+		if n.count[m] > 0 && !Compatible(mode, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire blocks until the node is granted in the given mode; it reports
+// whether it had to wait.
+func (n *node) acquire(mode Mode) bool {
+	n.mu.Lock()
+	if len(n.queue) == 0 && n.compatibleWithHeld(mode) {
+		n.count[mode]++
+		n.mu.Unlock()
+		return false
+	}
+	w := &waiter{mode: mode, ready: make(chan struct{})}
+	n.queue = append(n.queue, w)
+	n.mu.Unlock()
+	<-w.ready
+	return true
+}
+
+// release drops one holder in the given mode and wakes queued waiters in
+// FIFO order while they remain compatible.
+func (n *node) release(mode Mode) {
+	n.mu.Lock()
+	if n.count[mode] <= 0 {
+		n.mu.Unlock()
+		panic("mgl: release of unheld mode " + mode.String() + " on " + n.name)
+	}
+	n.count[mode]--
+	for len(n.queue) > 0 && n.compatibleWithHeld(n.queue[0].mode) {
+		w := n.queue[0]
+		n.queue = n.queue[1:]
+		n.count[w.mode]++
+		close(w.ready)
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,436 @@
+package mgl
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rightsLeq encodes the mode privilege order: a ≤ b means b grants every
+// right a grants. none < IS < {IX, S} < SIX < X.
+func rightsLeq(a, b Mode) bool {
+	if a == b {
+		return true
+	}
+	switch a {
+	case ModeNone:
+		return true
+	case IS:
+		return b == IX || b == S || b == SIX || b == X
+	case IX, S:
+		return b == SIX || b == X
+	case SIX:
+		return b == X
+	default:
+		return false
+	}
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Figure 6(b) row by row.
+	want := map[[2]Mode]bool{
+		{IS, IS}: true, {IS, IX}: true, {IS, S}: true, {IS, SIX}: true, {IS, X}: false,
+		{IX, IX}: true, {IX, S}: false, {IX, SIX}: false, {IX, X}: false,
+		{S, S}: true, {S, SIX}: false, {S, X}: false,
+		{SIX, SIX}: false, {SIX, X}: false,
+		{X, X}: false,
+	}
+	for pair, w := range want {
+		if got := Compatible(pair[0], pair[1]); got != w {
+			t.Errorf("Compatible(%s,%s) = %v, want %v", pair[0], pair[1], got, w)
+		}
+		if got := Compatible(pair[1], pair[0]); got != w {
+			t.Errorf("Compatible(%s,%s) = %v, want %v (symmetry)", pair[1], pair[0], got, w)
+		}
+	}
+}
+
+func TestCompatibilityMonotone(t *testing.T) {
+	// A stronger mode is compatible with no more than a weaker one.
+	modes := []Mode{ModeNone, IS, IX, S, SIX, X}
+	for _, a := range modes[1:] {
+		for _, b := range modes[1:] {
+			if !rightsLeq(a, b) {
+				continue
+			}
+			for _, c := range modes[1:] {
+				if Compatible(b, c) && !Compatible(a, c) {
+					t.Errorf("compat not antitone: %s≤%s but Compatible(%s,%s) && !Compatible(%s,%s)",
+						a, b, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinIsLub(t *testing.T) {
+	modes := []Mode{ModeNone, IS, IX, S, SIX, X}
+	for _, a := range modes {
+		for _, b := range modes {
+			j := Join(a, b)
+			if !rightsLeq(a, j) || !rightsLeq(b, j) {
+				t.Errorf("Join(%s,%s)=%s is not an upper bound", a, b, j)
+			}
+			for _, c := range modes {
+				if rightsLeq(a, c) && rightsLeq(b, c) && !rightsLeq(j, c) {
+					t.Errorf("Join(%s,%s)=%s not least: %s is a smaller upper bound", a, b, j, c)
+				}
+			}
+			if Join(b, a) != j {
+				t.Errorf("Join not commutative at (%s,%s)", a, b)
+			}
+		}
+	}
+}
+
+func TestMutualExclusionFine(t *testing.T) {
+	m := NewManager()
+	var counter int
+	var wg sync.WaitGroup
+	const threads, iters = 8, 200
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := m.NewSession()
+			for j := 0; j < iters; j++ {
+				s.ToAcquire(Req{Class: 1, Fine: true, Addr: 42, Write: true})
+				s.AcquireAll()
+				counter++
+				s.ReleaseAll()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != threads*iters {
+		t.Errorf("counter = %d, want %d (lost updates)", counter, threads*iters)
+	}
+}
+
+func TestReadParallelism(t *testing.T) {
+	m := NewManager()
+	var inside atomic.Int32
+	var peak atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := m.NewSession()
+			<-start
+			s.ToAcquire(Req{Class: 7, Write: false})
+			s.AcquireAll()
+			n := inside.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			inside.Add(-1)
+			s.ReleaseAll()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if peak.Load() < 2 {
+		t.Errorf("readers never overlapped (peak=%d); S locks must be shared", peak.Load())
+	}
+}
+
+// TestIntentionBlocking checks that a coarse X on a class excludes fine
+// locks under it but not fine locks under a different class.
+func TestIntentionBlocking(t *testing.T) {
+	m := NewManager()
+	coarse := m.NewSession()
+	coarse.ToAcquire(Req{Class: 1, Write: true})
+	coarse.AcquireAll()
+
+	blocked := make(chan struct{})
+	go func() {
+		s := m.NewSession()
+		s.ToAcquire(Req{Class: 1, Fine: true, Addr: 5, Write: false})
+		s.AcquireAll()
+		close(blocked)
+		s.ReleaseAll()
+	}()
+
+	free := make(chan struct{})
+	go func() {
+		s := m.NewSession()
+		s.ToAcquire(Req{Class: 2, Fine: true, Addr: 5, Write: true})
+		s.AcquireAll()
+		close(free)
+		s.ReleaseAll()
+	}()
+
+	select {
+	case <-free:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fine lock under an unrelated class was blocked by coarse X")
+	}
+	select {
+	case <-blocked:
+		t.Fatal("fine lock under class 1 was granted while coarse X held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	coarse.ReleaseAll()
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fine lock never granted after coarse release")
+	}
+}
+
+// TestMovePatternNoDeadlock hammers the Figure 1 deadlock scenario:
+// concurrent move(l1,l2) and move(l2,l1) style acquisitions.
+func TestMovePatternNoDeadlock(t *testing.T) {
+	m := NewManager()
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := m.NewSession()
+				for j := 0; j < 500; j++ {
+					a, b := uint64(1), uint64(2)
+					if (i+j)%2 == 0 {
+						a, b = b, a
+					}
+					s.ToAcquire(Req{Class: 1, Fine: true, Addr: a, Write: true})
+					s.ToAcquire(Req{Class: 1, Fine: true, Addr: b, Write: true})
+					s.ToAcquire(Req{Class: 2, Write: j%2 == 0})
+					s.AcquireAll()
+					s.ReleaseAll()
+				}
+			}()
+		}
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: move pattern did not complete")
+	}
+}
+
+func TestNestedSections(t *testing.T) {
+	m := NewManager()
+	s := m.NewSession()
+	s.ToAcquire(Req{Class: 3, Write: true})
+	s.AcquireAll()
+	if s.Nesting() != 1 {
+		t.Fatalf("nesting = %d, want 1", s.Nesting())
+	}
+	// Inner section: descriptors are dropped, level bumps.
+	s.ToAcquire(Req{Class: 4, Write: true})
+	s.AcquireAll()
+	if s.Nesting() != 2 {
+		t.Fatalf("nesting = %d, want 2", s.Nesting())
+	}
+	s.ReleaseAll()
+	if !s.Held() {
+		t.Fatal("outer section released by inner ReleaseAll")
+	}
+	// Class 4 must still be free for others (inner request was dropped).
+	other := m.NewSession()
+	granted := make(chan struct{})
+	go func() {
+		other.ToAcquire(Req{Class: 4, Write: true})
+		other.AcquireAll()
+		close(granted)
+		other.ReleaseAll()
+	}()
+	select {
+	case <-granted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("inner-section descriptor leaked a lock")
+	}
+	s.ReleaseAll()
+	if s.Held() {
+		t.Fatal("session still held after final ReleaseAll")
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewManager()
+	m.NewSession().ReleaseAll()
+}
+
+// TestGlobalLockExcludesEverything checks that the root ⊤ in X mode blocks
+// all other requests.
+func TestGlobalLockExcludesEverything(t *testing.T) {
+	m := NewManager()
+	g := m.NewSession()
+	g.ToAcquire(Req{Global: true, Write: true})
+	g.AcquireAll()
+
+	probe := make(chan struct{})
+	go func() {
+		s := m.NewSession()
+		s.ToAcquire(Req{Class: 9, Fine: true, Addr: 1, Write: false})
+		s.AcquireAll()
+		close(probe)
+		s.ReleaseAll()
+	}()
+	select {
+	case <-probe:
+		t.Fatal("fine ro lock granted while global X held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.ReleaseAll()
+	select {
+	case <-probe:
+	case <-time.After(2 * time.Second):
+		t.Fatal("lock never granted after global release")
+	}
+}
+
+// TestFIFOPreventsWriterStarvation checks that a queued writer is granted
+// ahead of readers that arrive after it.
+func TestFIFOPreventsWriterStarvation(t *testing.T) {
+	m := NewManager()
+	r1 := m.NewSession()
+	r1.ToAcquire(Req{Class: 1, Write: false})
+	r1.AcquireAll()
+
+	var order []string
+	var mu sync.Mutex
+	record := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	writerQueued := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		w := m.NewSession()
+		w.ToAcquire(Req{Class: 1, Write: true})
+		close(writerQueued)
+		w.AcquireAll()
+		record("writer")
+		w.ReleaseAll()
+	}()
+	<-writerQueued
+	time.Sleep(20 * time.Millisecond) // let the writer actually enqueue
+	go func() {
+		defer wg.Done()
+		r2 := m.NewSession()
+		r2.ToAcquire(Req{Class: 1, Write: false})
+		r2.AcquireAll()
+		record("reader2")
+		r2.ReleaseAll()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r1.ReleaseAll()
+	wg.Wait()
+	if len(order) != 2 || order[0] != "writer" {
+		t.Errorf("grant order = %v, want writer first (FIFO)", order)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	m := NewManager()
+	s := m.NewSession()
+	s.ToAcquire(Req{Class: 1, Fine: true, Addr: 1, Write: true})
+	s.AcquireAll() // root + class + fine = 3 acquisitions
+	s.ReleaseAll()
+	if m.Acquires() != 3 {
+		t.Errorf("acquires = %d, want 3", m.Acquires())
+	}
+	if m.Waits() != 0 {
+		t.Errorf("waits = %d, want 0", m.Waits())
+	}
+}
+
+// TestSIXMode: a session needing a coarse read of a class plus a fine
+// write below it joins to SIX on the class node, which excludes other
+// readers of the class but admits unrelated intention holders.
+func TestSIXMode(t *testing.T) {
+	m := NewManager()
+	s := m.NewSession()
+	s.ToAcquire(Req{Class: 1, Write: false})                     // coarse S
+	s.ToAcquire(Req{Class: 1, Fine: true, Addr: 7, Write: true}) // fine X below
+	s.AcquireAll()
+
+	// A fine reader under class 1 at another address is granted: IS is
+	// compatible with SIX and its leaf is free. (This must run before any
+	// incompatible waiter enqueues: the FIFO discipline would otherwise
+	// park it behind them by design.)
+	fine := make(chan struct{})
+	go func() {
+		fr := m.NewSession()
+		fr.ToAcquire(Req{Class: 1, Fine: true, Addr: 99, Write: false})
+		fr.AcquireAll()
+		close(fine)
+		fr.ReleaseAll()
+	}()
+	select {
+	case <-fine:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fine reader under SIX (IS-compatible) was blocked")
+	}
+
+	// Another coarse reader of class 1 must block (S vs SIX).
+	reader := make(chan struct{})
+	go func() {
+		r := m.NewSession()
+		r.ToAcquire(Req{Class: 1, Write: false})
+		r.AcquireAll()
+		close(reader)
+		r.ReleaseAll()
+	}()
+	select {
+	case <-reader:
+		t.Fatal("coarse S granted while SIX held")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	s.ReleaseAll()
+	select {
+	case <-reader:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never granted after SIX release")
+	}
+}
+
+// TestBuildPlanShapes spot-checks the exported plan construction.
+func TestBuildPlanShapes(t *testing.T) {
+	plan := BuildPlan([]Req{
+		{Class: 2, Fine: true, Addr: 5, Write: true},
+		{Class: 2, Write: false},
+		{Class: 1, Write: true},
+	})
+	if len(plan) != 4 {
+		t.Fatalf("plan length %d, want 4 (root, class1, class2, fine)", len(plan))
+	}
+	if plan[0].Kind != 0 || plan[0].Mode != IX {
+		t.Errorf("root step = %+v, want IX root", plan[0])
+	}
+	if plan[1].Class != 1 || plan[1].Mode != X {
+		t.Errorf("class1 step = %+v", plan[1])
+	}
+	if plan[2].Class != 2 || plan[2].Mode != SIX {
+		t.Errorf("class2 step = %+v, want SIX (S join IX)", plan[2])
+	}
+	if plan[3].Kind != 2 || plan[3].Mode != X {
+		t.Errorf("fine step = %+v", plan[3])
+	}
+	if BuildPlan(nil) != nil {
+		t.Error("empty request list should yield no plan")
+	}
+}

@@ -1,0 +1,81 @@
+// Package mgl implements the multi-granularity locking runtime of Section 5
+// of the paper, following Gray's hierarchical locking protocol: locks are
+// arranged in a tree (the root ⊤, one child per points-to partition, and
+// per-address leaves under each partition), each node can be held in the
+// access modes S, X, IS, IX and SIX with the compatibility matrix of
+// Figure 6, ancestors are acquired top-down with intention modes before
+// descendants, and all sessions acquire in one canonical global order, which
+// together with acquire-all-at-entry makes the protocol deadlock free.
+package mgl
+
+// Mode is a hierarchical lock access mode.
+type Mode uint8
+
+// Access modes. The order encodes the mode lattice used when one session
+// needs a node for several reasons (e.g. IX for a fine write below plus S
+// for a coarse read of the node itself joins to SIX).
+const (
+	// ModeNone is the absence of a request.
+	ModeNone Mode = iota
+	// IS declares the intention to take S locks below this node.
+	IS
+	// IX declares the intention to take X locks below this node.
+	IX
+	// S locks the node's whole subtree for reading.
+	S
+	// SIX locks the subtree for reading with the intention to write below.
+	SIX
+	// X locks the subtree exclusively.
+	X
+)
+
+var modeNames = [...]string{"none", "IS", "IX", "S", "SIX", "X"}
+
+func (m Mode) String() string { return modeNames[m] }
+
+// compat is Figure 6(b): compat[a][b] reports whether a node held in b can
+// simultaneously be granted in a.
+var compat = [6][6]bool{
+	IS:  {ModeNone: true, IS: true, IX: true, S: true, SIX: true, X: false},
+	IX:  {ModeNone: true, IS: true, IX: true, S: false, SIX: false, X: false},
+	S:   {ModeNone: true, IS: true, IX: false, S: true, SIX: false, X: false},
+	SIX: {ModeNone: true, IS: true, IX: false, S: false, SIX: false, X: false},
+	X:   {ModeNone: true, IS: false, IX: false, S: false, SIX: false, X: false},
+}
+
+// Compatible reports whether modes a and b can be held concurrently by
+// different sessions.
+func Compatible(a, b Mode) bool { return compat[a][b] }
+
+// Join returns the weakest mode granting the rights of both a and b:
+// the least upper bound in the mode lattice IS < {IX, S} < SIX < X.
+func Join(a, b Mode) Mode {
+	if a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	// Now a < b in the numeric order.
+	switch {
+	case a == ModeNone:
+		return b
+	case a == IS:
+		return b
+	case a == IX && b == S, a == IX && b == SIX, a == S && b == SIX:
+		return SIX
+	default:
+		return X
+	}
+}
+
+// intention returns the ancestor mode required before taking a descendant
+// in mode m: IS below reads, IX below writes.
+func intention(m Mode) Mode {
+	switch m {
+	case IS, S:
+		return IS
+	default:
+		return IX
+	}
+}

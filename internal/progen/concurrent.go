@@ -1,0 +1,160 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ConcurrentSpec describes a generated concurrent program: shared global
+// structures, helper functions, and a worker whose body mixes atomic
+// sections over the shared state with private computation. These programs
+// fuzz the whole pipeline end to end: the soundness property test compiles
+// them at random k and executes them under the checking interpreter.
+type ConcurrentSpec struct {
+	Seed int64
+	// Funcs is the number of helper functions (each contains 0-2 atomic
+	// sections). Zero means 6.
+	Funcs int
+}
+
+// GenerateConcurrent produces the program text. The program always defines
+// init() and worker(ops, seed).
+func GenerateConcurrent(spec ConcurrentSpec) string {
+	if spec.Funcs == 0 {
+		spec.Funcs = 6
+	}
+	g := &cgen{r: rand.New(rand.NewSource(spec.Seed)), nfuncs: spec.Funcs}
+	g.emit()
+	return g.b.String()
+}
+
+type cgen struct {
+	r      *rand.Rand
+	b      strings.Builder
+	nfuncs int
+	// helper names with their atomic-capable signature: fn(i int) int
+	helpers []string
+}
+
+func (g *cgen) w(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// emit writes the whole program: a node graph shared through globals,
+// helpers that mutate it inside atomic sections, and the worker loop.
+func (g *cgen) emit() {
+	g.w("struct node {")
+	g.w("  node* next;")
+	g.w("  node* other;")
+	g.w("  int val;")
+	g.w("}")
+	g.w("node* gA;")
+	g.w("node* gB;")
+	g.w("int gcount;")
+	g.w("")
+	g.w("void init() {")
+	g.w("  gA = new node;")
+	g.w("  gB = new node;")
+	g.w("  node* c = gA;")
+	g.w("  int i = 0;")
+	g.w("  while (i < 8) {")
+	g.w("    node* n = new node;")
+	g.w("    n->val = i;")
+	g.w("    c->next = n;")
+	g.w("    c = n;")
+	g.w("    i = i + 1;")
+	g.w("  }")
+	g.w("  gB->other = gA->next;")
+	g.w("}")
+	for i := 0; i < g.nfuncs; i++ {
+		g.emitHelper(i)
+	}
+	g.emitWorker()
+}
+
+// emitHelper writes one function that may read and mutate the shared graph
+// inside atomic sections.
+func (g *cgen) emitHelper(id int) {
+	name := fmt.Sprintf("op%d", id)
+	g.helpers = append(g.helpers, name)
+	g.w("")
+	g.w("int %s(int i) {", name)
+	g.w("  int acc = 0;")
+	sections := 1 + g.r.Intn(2)
+	for s := 0; s < sections; s++ {
+		g.w("  atomic {")
+		g.emitSectionBody()
+		g.w("  }")
+		if g.r.Intn(2) == 0 {
+			g.w("  acc = acc + i;")
+		}
+	}
+	g.w("  return acc;")
+	g.w("}")
+}
+
+// emitSectionBody writes a random mix of shared-graph operations. Every
+// statement keeps the program memory-safe (null checks before dereferences
+// on nullable chains) so that any interpreter error is a true finding.
+func (g *cgen) emitSectionBody() {
+	n := 2 + g.r.Intn(5)
+	for j := 0; j < n; j++ {
+		switch g.r.Intn(7) {
+		case 0: // bump the shared counter
+			g.w("    gcount = gcount + 1;")
+		case 1: // walk the gA chain
+			g.w("    node* w%d = gA;", j)
+			g.w("    while (w%d != null) {", j)
+			g.w("      w%d = w%d->next;", j, j)
+			g.w("    }")
+		case 2: // mutate a fixed-depth cell (fine-grain lockable)
+			g.w("    node* p%d = gA->next;", j)
+			g.w("    if (p%d != null) {", j)
+			g.w("      p%d->val = p%d->val + 1;", j, j)
+			g.w("    }")
+		case 3: // cross-link the structures
+			g.w("    gB->other = gA->next;")
+		case 4: // read through the cross link
+			g.w("    node* q%d = gB->other;", j)
+			g.w("    if (q%d != null) {", j)
+			g.w("      gcount = gcount + q%d->val;", j)
+			g.w("    }")
+		case 5: // insert a fresh node after the head
+			g.w("    node* f%d = new node;", j)
+			g.w("    f%d->val = gcount;", j)
+			g.w("    f%d->next = gA->next;", j)
+			g.w("    gA->next = f%d;", j)
+		default: // swap heads through a local
+			g.w("    node* t%d = gA->next;", j)
+			g.w("    node* u%d = gB->next;", j)
+			g.w("    gA->next = u%d;", j)
+			g.w("    gB->next = t%d;", j)
+		}
+	}
+}
+
+// emitWorker writes the per-thread driver calling random helpers.
+func (g *cgen) emitWorker() {
+	g.w("")
+	g.w("void worker(int ops, int seed) {")
+	g.w("  int s = seed;")
+	g.w("  int i = 0;")
+	g.w("  while (i < ops) {")
+	g.w("    s = (s * 1103515245 + 12345) %% 1073741824;")
+	g.w("    int pick = s %% %d;", len(g.helpers))
+	for i, h := range g.helpers {
+		if i == 0 {
+			g.w("    if (pick == %d) {", i)
+		} else {
+			g.w("    } else { if (pick == %d) {", i)
+		}
+		g.w("      int r%d = %s(i);", i, h)
+	}
+	// Close the else-if ladder: the last if plus one brace per else.
+	g.w("    " + strings.Repeat("}", len(g.helpers)))
+	g.w("    i = i + 1;")
+	g.w("  }")
+	g.w("}")
+}

@@ -1,0 +1,77 @@
+package progen
+
+import (
+	"errors"
+	"testing"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// TestConcurrentGeneratorCompiles checks generated concurrent programs
+// survive the whole pipeline.
+func TestConcurrentGeneratorCompiles(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		src := GenerateConcurrent(ConcurrentSpec{Seed: seed})
+		ast, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		prog, err := ir.Lower(ast)
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		if len(prog.Sections) == 0 {
+			t.Fatalf("seed %d: no atomic sections", seed)
+		}
+	}
+}
+
+// TestSoundnessFuzz is the pipeline-level Theorem 1 fuzzer: random
+// concurrent programs, random k, executed with 3 threads on the checking
+// interpreter. A Violation is always a bug; RuntimeErrors would indicate a
+// generator defect (bodies are written to be memory safe).
+func TestSoundnessFuzz(t *testing.T) {
+	rounds := 12
+	if testing.Short() {
+		rounds = 3
+	}
+	for seed := int64(0); seed < int64(rounds); seed++ {
+		k := int(seed % 5 * 2) // 0,2,4,6,8
+		src := GenerateConcurrent(ConcurrentSpec{Seed: 1000 + seed})
+		ast, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog, err := ir.Lower(ast)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pts := steens.Run(prog)
+		results := infer.New(prog, pts, infer.Options{K: k}).AnalyzeAll()
+		m := interp.NewMachine(prog, pts, transform.SectionLocks(results))
+		m.Checked = true
+		if err := m.Init(); err != nil {
+			t.Fatalf("seed %d: init: %v", seed, err)
+		}
+		if _, err := m.Call(0, "init", nil); err != nil {
+			t.Fatalf("seed %d: program init: %v", seed, err)
+		}
+		specs := []interp.ThreadSpec{
+			{Fn: "worker", Args: []interp.Value{interp.IntV(25), interp.IntV(seed)}},
+			{Fn: "worker", Args: []interp.Value{interp.IntV(25), interp.IntV(seed + 77)}},
+			{Fn: "worker", Args: []interp.Value{interp.IntV(25), interp.IntV(seed + 991)}},
+		}
+		if err := m.Run(specs); err != nil {
+			var v *interp.Violation
+			if errors.As(err, &v) {
+				t.Fatalf("seed %d k=%d: SOUNDNESS VIOLATION: %v\n%s", seed, k, err, src)
+			}
+			t.Fatalf("seed %d k=%d: runtime error (generator defect): %v", seed, k, err)
+		}
+	}
+}

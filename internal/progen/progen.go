@@ -1,0 +1,333 @@
+// Package progen generates large, deterministic mini-C programs. The paper
+// measures analysis scalability on seven SPECint2000 programs (10–72 KLoC)
+// with main wrapped in a single atomic section; those sources are not
+// available here, so this generator produces pointer-heavy programs with
+// the same size profile — many small functions, struct graphs, chain
+// walks, stores through pointers and deep call structure — which exercise
+// the identical analysis code paths (Steensgaard unification, backward
+// dataflow, k-limiting, function summaries). DESIGN.md §3 records the
+// substitution.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Spec describes one synthetic program.
+type Spec struct {
+	Name string
+	// KLoC is the approximate target size in thousands of lines.
+	KLoC float64
+	Seed int64
+}
+
+// SPECPrograms returns the seven SPECint2000 stand-ins with the sizes of
+// Table 1.
+func SPECPrograms() []Spec {
+	return []Spec{
+		{Name: "gzip", KLoC: 10.3, Seed: 101},
+		{Name: "parser", KLoC: 14.2, Seed: 102},
+		{Name: "vpr", KLoC: 20.4, Seed: 103},
+		{Name: "crafty", KLoC: 21.2, Seed: 104},
+		{Name: "twolf", KLoC: 23.1, Seed: 105},
+		{Name: "gap", KLoC: 71.4, Seed: 106},
+		{Name: "vortex", KLoC: 71.5, Seed: 107},
+	}
+}
+
+// generator carries the emission state.
+type generator struct {
+	r  *rand.Rand
+	b  strings.Builder
+	ln int
+
+	nstructs int
+	// fields[s] lists (fieldName, fieldStruct) pairs; fieldStruct is -1 for
+	// int fields, otherwise the pointee struct index.
+	fields [][]fieldInfo
+	// funcs records emitted function signatures: parameter struct indices
+	// and the returned struct index (-1 for int).
+	funcs []funcSig
+}
+
+type fieldInfo struct {
+	name string
+	st   int // -1 = int, else struct index
+}
+
+type funcSig struct {
+	name   string
+	params []int // struct indices (pointer params) followed by one int
+	ret    int   // struct index, -1 = int
+}
+
+// Generate produces the program text.
+func Generate(spec Spec) string {
+	g := &generator{r: rand.New(rand.NewSource(spec.Seed))}
+	targetLines := int(spec.KLoC * 1000)
+	g.nstructs = 6 + g.r.Intn(6)
+	g.emitStructs()
+	g.emitGlobals()
+	for g.ln < targetLines-60 {
+		g.emitFunc()
+	}
+	g.emitMain()
+	return g.b.String()
+}
+
+func (g *generator) w(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+	g.ln++
+}
+
+func (g *generator) emitStructs() {
+	g.fields = make([][]fieldInfo, g.nstructs)
+	for s := 0; s < g.nstructs; s++ {
+		nf := 2 + g.r.Intn(3)
+		for f := 0; f < nf; f++ {
+			fi := fieldInfo{name: fmt.Sprintf("f%d_%d", s, f), st: -1}
+			if g.r.Intn(3) != 0 {
+				fi.st = g.r.Intn(g.nstructs)
+			}
+			g.fields[s] = append(g.fields[s], fi)
+		}
+		// Guarantee a self link so chain walks exist.
+		g.fields[s] = append(g.fields[s], fieldInfo{name: fmt.Sprintf("f%d_self", s), st: s})
+	}
+	for s := 0; s < g.nstructs; s++ {
+		g.w("struct T%d {", s)
+		for _, fi := range g.fields[s] {
+			if fi.st < 0 {
+				g.w("  int %s;", fi.name)
+			} else {
+				g.w("  T%d* %s;", fi.st, fi.name)
+			}
+		}
+		g.w("}")
+	}
+}
+
+func (g *generator) emitGlobals() {
+	for s := 0; s < g.nstructs; s++ {
+		g.w("T%d* glob%d;", s, s)
+	}
+	g.w("int gcount;")
+}
+
+// env tracks in-scope variables by type during body generation.
+type env struct {
+	ptrs [][]string // per struct index
+	ints []string
+}
+
+func (e *env) ptr(r *rand.Rand, st int) string {
+	vs := e.ptrs[st]
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[r.Intn(len(vs))]
+}
+
+func (e *env) intv(r *rand.Rand) string {
+	return e.ints[r.Intn(len(e.ints))]
+}
+
+// mark/reset scope the environment around nested blocks: variables declared
+// inside a block must not be referenced after it.
+type envMark struct {
+	ptrs []int
+	ints int
+}
+
+func (e *env) mark() envMark {
+	m := envMark{ptrs: make([]int, len(e.ptrs)), ints: len(e.ints)}
+	for i, vs := range e.ptrs {
+		m.ptrs[i] = len(vs)
+	}
+	return m
+}
+
+func (e *env) reset(m envMark) {
+	for i := range e.ptrs {
+		e.ptrs[i] = e.ptrs[i][:m.ptrs[i]]
+	}
+	e.ints = e.ints[:m.ints]
+}
+
+func (g *generator) emitFunc() {
+	id := len(g.funcs)
+	sig := funcSig{name: fmt.Sprintf("fn%d", id)}
+	np := 1 + g.r.Intn(2)
+	for i := 0; i < np; i++ {
+		sig.params = append(sig.params, g.r.Intn(g.nstructs))
+	}
+	sig.ret = -1
+	if g.r.Intn(2) == 0 {
+		sig.ret = g.r.Intn(g.nstructs)
+	}
+	g.funcs = append(g.funcs, sig)
+
+	e := &env{ptrs: make([][]string, g.nstructs), ints: []string{"n"}}
+	var decl []string
+	for i, st := range sig.params {
+		name := fmt.Sprintf("p%d", i)
+		decl = append(decl, fmt.Sprintf("T%d* %s", st, name))
+		e.ptrs[st] = append(e.ptrs[st], name)
+	}
+	decl = append(decl, "int n")
+	retType := "int"
+	if sig.ret >= 0 {
+		retType = fmt.Sprintf("T%d*", sig.ret)
+	}
+	g.w("%s %s(%s) {", retType, sig.name, strings.Join(decl, ", "))
+
+	nstmts := 6 + g.r.Intn(14)
+	tmp := 0
+	for i := 0; i < nstmts; i++ {
+		g.emitStmt(e, &tmp, 1)
+	}
+	// Return something of the right type.
+	if sig.ret < 0 {
+		g.w("  return n + gcount;")
+	} else {
+		if v := e.ptr(g.r, sig.ret); v != "" {
+			g.w("  return %s;", v)
+		} else {
+			g.w("  return new T%d;", sig.ret)
+		}
+	}
+	g.w("}")
+}
+
+// emitStmt writes one statement into the current body.
+func (g *generator) emitStmt(e *env, tmp *int, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fresh := func() string {
+		*tmp++
+		return fmt.Sprintf("t%d", *tmp)
+	}
+	choice := g.r.Intn(10)
+	switch {
+	case choice < 2: // allocation
+		st := g.r.Intn(g.nstructs)
+		v := fresh()
+		g.w("%sT%d* %s = new T%d;", ind, st, v, st)
+		e.ptrs[st] = append(e.ptrs[st], v)
+	case choice < 4: // field load
+		st := g.r.Intn(g.nstructs)
+		p := e.ptr(g.r, st)
+		if p == "" {
+			g.w("%sgcount = gcount + 1;", ind)
+			return
+		}
+		fi := g.fields[st][g.r.Intn(len(g.fields[st]))]
+		v := fresh()
+		if fi.st < 0 {
+			g.w("%sint %s = %s->%s;", ind, v, p, fi.name)
+			e.ints = append(e.ints, v)
+		} else {
+			g.w("%sT%d* %s = %s->%s;", ind, fi.st, v, p, fi.name)
+			e.ptrs[fi.st] = append(e.ptrs[fi.st], v)
+		}
+	case choice < 6: // field store
+		st := g.r.Intn(g.nstructs)
+		p := e.ptr(g.r, st)
+		if p == "" {
+			g.w("%sgcount = gcount + 2;", ind)
+			return
+		}
+		fi := g.fields[st][g.r.Intn(len(g.fields[st]))]
+		if fi.st < 0 {
+			g.w("%s%s->%s = %s + %d;", ind, p, fi.name, e.intv(g.r), g.r.Intn(100))
+		} else if q := e.ptr(g.r, fi.st); q != "" {
+			g.w("%s%s->%s = %s;", ind, p, fi.name, q)
+		} else {
+			g.w("%s%s->%s = null;", ind, p, fi.name)
+		}
+	case choice < 7 && depth < 3: // chain walk
+		st := g.r.Intn(g.nstructs)
+		p := e.ptr(g.r, st)
+		if p == "" {
+			return
+		}
+		v := fresh()
+		self := fmt.Sprintf("f%d_self", st)
+		g.w("%sT%d* %s = %s;", ind, st, v, p)
+		g.w("%swhile (%s != null) {", ind, v)
+		g.w("%s  %s = %s->%s;", ind, v, v, self)
+		g.w("%s}", ind)
+	case choice < 8 && depth < 3: // conditional
+		g.w("%sif (%s > %d) {", ind, e.intv(g.r), g.r.Intn(50))
+		m := e.mark()
+		g.emitStmt(e, tmp, depth+1)
+		e.reset(m)
+		g.w("%s} else {", ind)
+		g.emitStmt(e, tmp, depth+1)
+		e.reset(m)
+		g.w("%s}", ind)
+	case choice < 9 && len(g.funcs) > 1: // call an earlier function
+		callee := g.funcs[g.r.Intn(len(g.funcs)-1)]
+		var args []string
+		ok := true
+		for _, st := range callee.params {
+			a := e.ptr(g.r, st)
+			if a == "" {
+				ok = false
+				break
+			}
+			args = append(args, a)
+		}
+		if !ok {
+			g.w("%sgcount = gcount + 3;", ind)
+			return
+		}
+		args = append(args, e.intv(g.r))
+		v := fresh()
+		if callee.ret < 0 {
+			g.w("%sint %s = %s(%s);", ind, v, callee.name, strings.Join(args, ", "))
+			e.ints = append(e.ints, v)
+		} else {
+			g.w("%sT%d* %s = %s(%s);", ind, callee.ret, v, callee.name, strings.Join(args, ", "))
+			e.ptrs[callee.ret] = append(e.ptrs[callee.ret], v)
+		}
+	default: // int arithmetic
+		v := fresh()
+		g.w("%sint %s = %s * %d + %s;", ind, v, e.intv(g.r), 1+g.r.Intn(7), e.intv(g.r))
+		e.ints = append(e.ints, v)
+	}
+}
+
+// emitMain wraps the whole computation in one atomic section, as the paper
+// does for the SPEC programs.
+func (g *generator) emitMain() {
+	g.w("void main() {")
+	for s := 0; s < g.nstructs; s++ {
+		g.w("  glob%d = new T%d;", s, s)
+	}
+	g.w("  atomic {")
+	// Call a sample of functions with global arguments.
+	ncalls := 10 + g.r.Intn(10)
+	for i := 0; i < ncalls && len(g.funcs) > 0; i++ {
+		callee := g.funcs[g.r.Intn(len(g.funcs))]
+		var args []string
+		for _, st := range callee.params {
+			args = append(args, fmt.Sprintf("glob%d", st))
+		}
+		args = append(args, fmt.Sprintf("%d", 1+g.r.Intn(20)))
+		if callee.ret < 0 {
+			g.w("    gcount = gcount + %s(%s);", callee.name, strings.Join(args, ", "))
+		} else {
+			g.w("    glob%d = %s(%s);", callee.ret, callee.name, strings.Join(args, ", "))
+		}
+	}
+	g.w("  }")
+	g.w("}")
+}
+
+// Lines counts the lines of a generated program.
+func Lines(src string) int {
+	return strings.Count(src, "\n") + 1
+}

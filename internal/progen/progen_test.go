@@ -1,0 +1,82 @@
+package progen
+
+import (
+	"testing"
+	"time"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/steens"
+)
+
+// TestGeneratedProgramsCompile checks that generated programs parse, lower
+// and analyze at a small size.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for _, spec := range []Spec{
+		{Name: "tiny", KLoC: 0.8, Seed: 1},
+		{Name: "small", KLoC: 2.0, Seed: 2},
+	} {
+		src := Generate(spec)
+		ast, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", spec.Name, err)
+		}
+		prog, err := ir.Lower(ast)
+		if err != nil {
+			t.Fatalf("%s: lower: %v", spec.Name, err)
+		}
+		if len(prog.Sections) != 1 {
+			t.Errorf("%s: %d sections, want 1", spec.Name, len(prog.Sections))
+		}
+		pts := steens.Run(prog)
+		res := infer.New(prog, pts, infer.Options{K: 3}).AnalyzeAll()
+		if len(res[0].Locks) == 0 {
+			t.Errorf("%s: wrapped main inferred no locks", spec.Name)
+		}
+	}
+}
+
+// TestDeterminism checks that the same spec yields byte-identical output.
+func TestDeterminism(t *testing.T) {
+	spec := Spec{Name: "d", KLoC: 1.0, Seed: 42}
+	if Generate(spec) != Generate(spec) {
+		t.Fatal("generator is not deterministic")
+	}
+}
+
+// TestSizeTargets checks the generated size tracks the requested KLoC.
+func TestSizeTargets(t *testing.T) {
+	for _, kloc := range []float64{1, 5, 10} {
+		src := Generate(Spec{Name: "s", KLoC: kloc, Seed: 7})
+		lines := Lines(src)
+		want := int(kloc * 1000)
+		if lines < want*8/10 || lines > want*12/10 {
+			t.Errorf("KLoC=%.1f produced %d lines, want about %d", kloc, lines, want)
+		}
+	}
+}
+
+// TestAnalysisScalesToSPECSizes is a smoke test that the largest SPEC
+// substitute analyzes within a sane time bound at k=0.
+func TestAnalysisScalesToSPECSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generation")
+	}
+	spec := SPECPrograms()[0] // gzip, 10.3 KLoC
+	src := Generate(spec)
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	pts := steens.Run(prog)
+	infer.New(prog, pts, infer.Options{K: 0}).AnalyzeAll()
+	if d := time.Since(start); d > 2*time.Minute {
+		t.Errorf("k=0 analysis of %s took %v", spec.Name, d)
+	}
+}

@@ -1,0 +1,142 @@
+// Package progs holds the mini-C benchmark corpus: the paper's worked
+// examples (Figures 1 and 2) and mini-C versions of the STAMP-like kernels
+// and micro-benchmarks of §6.1. The corpus drives the analysis-side
+// experiments (Table 1 and Figure 7), the end-to-end soundness property
+// tests (compile, infer, transform, execute checked), and the cross-checks
+// that tie the native workloads' lock descriptors to the compiler's
+// inferred locks.
+package progs
+
+import (
+	"embed"
+	"fmt"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/steens"
+)
+
+//go:embed src/*.minic
+var sources embed.FS
+
+// Prog is one corpus program plus the harness metadata needed to execute it
+// concurrently under the interpreter.
+type Prog struct {
+	Name string
+	File string
+	// Sections is the expected number of atomic sections (Table 1).
+	Sections int
+	// Setup optionally names a function run single-threaded before the
+	// workers, with SetupArgs.
+	Setup     string
+	SetupArgs []int64
+	// Worker names the per-thread entry function; WorkerArgs yields its
+	// arguments for thread i running ops operations.
+	Worker     string
+	WorkerArgs func(thread, ops int) []int64
+}
+
+// Source returns the program text.
+func (p Prog) Source() string {
+	b, err := sources.ReadFile("src/" + p.File)
+	if err != nil {
+		panic("progs: missing embedded source " + p.File)
+	}
+	return string(b)
+}
+
+// mixArgs builds worker args (ops, seed, mixGet, mixPut) for the
+// data-structure micro-benchmarks.
+func mixArgs(get, put int64) func(thread, ops int) []int64 {
+	return func(thread, ops int) []int64 {
+		return []int64{int64(ops), int64(thread*7919 + 13), get, put}
+	}
+}
+
+// seedArgs builds worker args (ops, seed) for the kernels.
+func seedArgs() func(thread, ops int) []int64 {
+	return func(thread, ops int) []int64 {
+		return []int64{int64(ops), int64(thread*104729 + 7)}
+	}
+}
+
+// All returns the corpus in the display order of Table 1's middle and
+// bottom sections, followed by the worked examples.
+func All() []Prog {
+	return []Prog{
+		{Name: "vacation", File: "vacation.minic", Sections: 3,
+			Setup: "init", Worker: "worker", WorkerArgs: seedArgs()},
+		{Name: "genome", File: "genome.minic", Sections: 5,
+			Setup: "init", Worker: "worker", WorkerArgs: seedArgs()},
+		{Name: "kmeans", File: "kmeans.minic", Sections: 3,
+			Setup: "init", Worker: "worker", WorkerArgs: seedArgs()},
+		{Name: "bayes", File: "bayes.minic", Sections: 7,
+			Setup: "init", Worker: "worker", WorkerArgs: seedArgs()},
+		{Name: "labyrinth", File: "labyrinth.minic", Sections: 3,
+			Setup: "init", Worker: "worker", WorkerArgs: seedArgs()},
+		{Name: "hashtable", File: "hashtable.minic", Sections: 4,
+			Setup: "init", Worker: "worker", WorkerArgs: mixArgs(66, 17)},
+		{Name: "rbtree", File: "rbtree.minic", Sections: 4,
+			Setup: "init", Worker: "worker", WorkerArgs: mixArgs(66, 17)},
+		{Name: "list", File: "list.minic", Sections: 4,
+			Setup: "init", Worker: "worker", WorkerArgs: mixArgs(66, 17)},
+		{Name: "hashtable-2", File: "hashtable2.minic", Sections: 4,
+			Setup: "init", Worker: "worker", WorkerArgs: mixArgs(17, 66)},
+		{Name: "TH", File: "th.minic", Sections: 7,
+			Setup: "init", Worker: "worker", WorkerArgs: mixArgs(17, 66)},
+		{Name: "move", File: "move.minic", Sections: 2,
+			Setup: "setup", SetupArgs: []int64{16}, Worker: "worker",
+			WorkerArgs: func(thread, ops int) []int64 {
+				return []int64{int64(ops), int64(thread % 2)}
+			}},
+		{Name: "fig2", File: "fig2.minic", Sections: 1,
+			Worker: "worker", WorkerArgs: seedArgs()},
+	}
+}
+
+// Get returns the named corpus program.
+func Get(name string) (Prog, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Prog{}, fmt.Errorf("progs: no program %q", name)
+}
+
+// Compiled bundles the outputs of the full compilation pipeline.
+type Compiled struct {
+	Prog    Prog
+	IR      *ir.Program
+	Pts     *steens.Analysis
+	Results []*infer.Result
+}
+
+// Compile parses, lowers and analyzes the program at the given k.
+func Compile(p Prog, k int) (*Compiled, error) {
+	ast, err := lang.Parse(p.Source())
+	if err != nil {
+		return nil, fmt.Errorf("progs: parse %s: %w", p.Name, err)
+	}
+	lowered, err := ir.Lower(ast)
+	if err != nil {
+		return nil, fmt.Errorf("progs: lower %s: %w", p.Name, err)
+	}
+	pts := steens.Run(lowered)
+	eng := infer.New(lowered, pts, infer.Options{K: k})
+	return &Compiled{Prog: p, IR: lowered, Pts: pts, Results: eng.AnalyzeAll()}, nil
+}
+
+// Lines returns the program's line count (the corpus "KLoC" column of our
+// Table 1 reproduction).
+func (p Prog) Lines() int {
+	src := p.Source()
+	n := 1
+	for _, c := range src {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

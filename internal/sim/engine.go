@@ -1,0 +1,96 @@
+// Package sim is a deterministic discrete-event simulator of a small
+// multiprocessor running the benchmark workloads under the four concurrency
+// runtimes. The paper's runtime evaluation was performed on an 8-core Xeon;
+// this host may have any number of physical cores, so the performance
+// experiments (Table 2, Figure 8) run on this simulated machine instead:
+// threads occupy simulated cores for the duration of their computation,
+// lock waits and STM aborts unfold in simulated time, and every run is
+// exactly reproducible. DESIGN.md §3 records the substitution argument; the
+// real goroutine-based runtimes remain in internal/{mgl,stm,workload} and
+// carry the correctness burden.
+package sim
+
+import "container/heap"
+
+// Time is simulated time in abstract cost units.
+type Time = int64
+
+type event struct {
+	t   Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is the event loop plus the core model: at most Cores computation
+// segments run concurrently; further ready threads queue FIFO.
+type Engine struct {
+	now   Time
+	seq   int64
+	pq    eventHeap
+	cores int
+	busy  int
+	ready []func()
+}
+
+// NewEngine creates a simulator with the given number of cores.
+func NewEngine(cores int) *Engine {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Engine{cores: cores}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// After schedules fn to run d units from now.
+func (e *Engine) After(d Time, fn func()) {
+	e.seq++
+	heap.Push(&e.pq, event{t: e.now + d, seq: e.seq, fn: fn})
+}
+
+// Compute occupies one core for d units, then calls then. If all cores are
+// busy the thread waits (FIFO) for a free core first.
+func (e *Engine) Compute(d Time, then func()) {
+	if e.busy >= e.cores {
+		e.ready = append(e.ready, func() { e.Compute(d, then) })
+		return
+	}
+	e.busy++
+	e.After(d, func() {
+		e.busy--
+		e.wake()
+		then()
+	})
+}
+
+func (e *Engine) wake() {
+	for e.busy < e.cores && len(e.ready) > 0 {
+		next := e.ready[0]
+		e.ready = e.ready[1:]
+		next()
+	}
+}
+
+// Run drains the event queue and returns the final simulated time.
+func (e *Engine) Run() Time {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}

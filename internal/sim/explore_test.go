@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"lockinfer/internal/workload"
+)
+
+// TestExploreShapes prints Table-2-shaped numbers for manual calibration;
+// assertions live in the bench package.
+func TestExploreShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploration only")
+	}
+	type row struct {
+		name   string
+		coarse func() workload.Workload
+		fine   func() workload.Workload
+	}
+	rows := []row{
+		{"genome", func() workload.Workload { return workload.NewGenome("genome", workload.GrainCoarse) },
+			func() workload.Workload { return workload.NewGenome("genome", workload.GrainFine) }},
+		{"vacation", func() workload.Workload { return workload.NewVacation("vacation") },
+			func() workload.Workload { return workload.NewVacation("vacation") }},
+		{"kmeans", func() workload.Workload { return workload.NewKmeans("kmeans", workload.GrainCoarse) },
+			func() workload.Workload { return workload.NewKmeans("kmeans", workload.GrainFine) }},
+		{"bayes", func() workload.Workload { return workload.NewBayes("bayes") },
+			func() workload.Workload { return workload.NewBayes("bayes") }},
+		{"labyrinth", func() workload.Workload { return workload.NewLabyrinth("labyrinth") },
+			func() workload.Workload { return workload.NewLabyrinth("labyrinth") }},
+		{"hash-high", func() workload.Workload { return workload.NewHashtable("h", workload.HighMix) },
+			func() workload.Workload { return workload.NewHashtable("h", workload.HighMix) }},
+		{"hash-low", func() workload.Workload { return workload.NewHashtable("h", workload.LowMix) },
+			func() workload.Workload { return workload.NewHashtable("h", workload.LowMix) }},
+		{"rbtree-high", func() workload.Workload { return workload.NewRBTree("r", workload.HighMix) },
+			func() workload.Workload { return workload.NewRBTree("r", workload.HighMix) }},
+		{"rbtree-low", func() workload.Workload { return workload.NewRBTree("r", workload.LowMix) },
+			func() workload.Workload { return workload.NewRBTree("r", workload.LowMix) }},
+		{"list-high", func() workload.Workload { return workload.NewList("l", workload.HighMix) },
+			func() workload.Workload { return workload.NewList("l", workload.HighMix) }},
+		{"list-low", func() workload.Workload { return workload.NewList("l", workload.LowMix) },
+			func() workload.Workload { return workload.NewList("l", workload.LowMix) }},
+		{"ht2-high", func() workload.Workload { return workload.NewHashtable2("h2", workload.HighMix, workload.GrainCoarse) },
+			func() workload.Workload { return workload.NewHashtable2("h2", workload.HighMix, workload.GrainFine) }},
+		{"ht2-low", func() workload.Workload { return workload.NewHashtable2("h2", workload.LowMix, workload.GrainCoarse) },
+			func() workload.Workload { return workload.NewHashtable2("h2", workload.LowMix, workload.GrainFine) }},
+		{"th-high", func() workload.Workload { return workload.NewTH("th", workload.HighMix) },
+			func() workload.Workload { return workload.NewTH("th", workload.HighMix) }},
+		{"th-low", func() workload.Workload { return workload.NewTH("th", workload.LowMix) },
+			func() workload.Workload { return workload.NewTH("th", workload.LowMix) }},
+	}
+	cfg := Config{Cores: 8, Threads: 8, OpsPerThread: 400, Seed: 11}
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n", "program", "global", "coarse", "fine", "stm", "aborts")
+	for _, r := range rows {
+		g, err := Run(r.coarse(), ModeGlobal, cfg)
+		if err != nil {
+			t.Fatalf("%s global: %v", r.name, err)
+		}
+		c, err := Run(r.coarse(), ModeMGL, cfg)
+		if err != nil {
+			t.Fatalf("%s coarse: %v", r.name, err)
+		}
+		f, err := Run(r.fine(), ModeMGL, cfg)
+		if err != nil {
+			t.Fatalf("%s fine: %v", r.name, err)
+		}
+		s, err := Run(r.coarse(), ModeSTM, cfg)
+		if err != nil {
+			t.Fatalf("%s stm: %v", r.name, err)
+		}
+		fmt.Printf("%-12s %10d %10d %10d %10d %10d\n",
+			r.name, g.SimTime, c.SimTime, f.SimTime, s.SimTime, s.Aborts)
+	}
+}

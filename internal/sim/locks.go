@@ -1,0 +1,130 @@
+package sim
+
+import "lockinfer/internal/mgl"
+
+// LockTree is the multi-granularity lock hierarchy in simulated time. It
+// reuses the real runtime's mode lattice, compatibility matrix and
+// plan-building (mgl.BuildPlan); only blocking is simulated.
+type LockTree struct {
+	e       *Engine
+	root    *snode
+	classes map[mgl.ClassID]*snode
+	fine    map[fineKey]*snode
+	waits   int64
+}
+
+type fineKey struct {
+	class mgl.ClassID
+	addr  uint64
+}
+
+// NewLockTree creates an empty hierarchy on the engine.
+func NewLockTree(e *Engine) *LockTree {
+	return &LockTree{
+		e:       e,
+		root:    &snode{},
+		classes: map[mgl.ClassID]*snode{},
+		fine:    map[fineKey]*snode{},
+	}
+}
+
+// Waits returns the number of acquisitions that had to block.
+func (lt *LockTree) Waits() int64 { return lt.waits }
+
+func (lt *LockTree) node(st mgl.PlanStep) *snode {
+	switch st.Kind {
+	case 0:
+		return lt.root
+	case 1:
+		n, ok := lt.classes[st.Class]
+		if !ok {
+			n = &snode{}
+			lt.classes[st.Class] = n
+		}
+		return n
+	default:
+		k := fineKey{st.Class, st.Addr}
+		n, ok := lt.fine[k]
+		if !ok {
+			n = &snode{}
+			lt.fine[k] = n
+		}
+		return n
+	}
+}
+
+// AcquireAll acquires the plan for reqs top-down in the canonical order and
+// calls then once every node is held. The returned value via then's closure
+// is released with ReleaseAll(plan).
+func (lt *LockTree) AcquireAll(reqs []mgl.Req, then func(held []HeldStep)) {
+	steps := mgl.BuildPlan(reqs)
+	held := make([]HeldStep, 0, len(steps))
+	var next func(i int)
+	next = func(i int) {
+		if i == len(steps) {
+			then(held)
+			return
+		}
+		n := lt.node(steps[i])
+		mode := steps[i].Mode
+		n.acquire(lt, mode, func() {
+			held = append(held, HeldStep{n: n, mode: mode})
+			next(i + 1)
+		})
+	}
+	next(0)
+}
+
+// HeldStep is one acquired (node, mode) pair.
+type HeldStep struct {
+	n    *snode
+	mode mgl.Mode
+}
+
+// ReleaseAll releases the held nodes bottom-up.
+func (lt *LockTree) ReleaseAll(held []HeldStep) {
+	for i := len(held) - 1; i >= 0; i-- {
+		held[i].n.release(lt.e, held[i].mode)
+	}
+}
+
+// snode is one simulated lock node with the FIFO grant discipline of the
+// real runtime.
+type snode struct {
+	count [6]int
+	queue []swaiter
+}
+
+type swaiter struct {
+	mode mgl.Mode
+	cont func()
+}
+
+func (n *snode) compatible(mode mgl.Mode) bool {
+	for m := mgl.IS; m <= mgl.X; m++ {
+		if n.count[m] > 0 && !mgl.Compatible(mode, m) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *snode) acquire(lt *LockTree, mode mgl.Mode, cont func()) {
+	if len(n.queue) == 0 && n.compatible(mode) {
+		n.count[mode]++
+		cont()
+		return
+	}
+	lt.waits++
+	n.queue = append(n.queue, swaiter{mode: mode, cont: cont})
+}
+
+func (n *snode) release(e *Engine, mode mgl.Mode) {
+	n.count[mode]--
+	for len(n.queue) > 0 && n.compatible(n.queue[0].mode) {
+		w := n.queue[0]
+		n.queue = n.queue[1:]
+		n.count[w.mode]++
+		e.After(0, w.cont)
+	}
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math/rand"
+
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/workload"
+)
+
+// Mode selects the simulated concurrency runtime.
+type Mode int
+
+// Simulated runtimes, matching the four columns of Table 2.
+const (
+	// ModeGlobal serializes every section on the single root lock.
+	ModeGlobal Mode = iota
+	// ModeMGL uses the workload's lock descriptors (the workload instance's
+	// grain decides coarse-only vs fine+coarse).
+	ModeMGL
+	// ModeSTM runs sections as TL2-style transactions.
+	ModeSTM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeGlobal:
+		return "global"
+	case ModeMGL:
+		return "mgl"
+	default:
+		return "stm"
+	}
+}
+
+// CostModel assigns simulated durations, in abstract units, to the
+// primitive actions. The defaults are calibrated so that relative shapes —
+// not absolute times — match the paper's testbed (see EXPERIMENTS.md).
+type CostModel struct {
+	// Access is the cost of one shared cell access under locks.
+	Access Time
+	// LockNode is the protocol cost of acquiring and releasing one node of
+	// the lock hierarchy.
+	LockNode Time
+	// STMAccess is the cost of one instrumented transactional access.
+	STMAccess Time
+	// STMCommitPerWrite is the commit cost per written cell.
+	STMCommitPerWrite Time
+	// STMBase is the fixed begin+commit bookkeeping cost per attempt.
+	STMBase Time
+	// Think is the cost of inter-operation work outside sections.
+	Think Time
+	// WorkUnit scales Op.Work (in-section computation).
+	WorkUnit Time
+	// AbortBackoffBase scales the exponential backoff after an abort.
+	AbortBackoffBase Time
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Access:            2,
+		LockNode:          18,
+		STMAccess:         6,
+		STMCommitPerWrite: 12,
+		STMBase:           20,
+		Think:             30,
+		WorkUnit:          1,
+		AbortBackoffBase:  4,
+	}
+}
+
+// Config parameterizes one simulated measurement.
+type Config struct {
+	Cores        int
+	Threads      int
+	OpsPerThread int
+	Seed         int64
+	Costs        CostModel
+}
+
+// Result reports one simulated run.
+type Result struct {
+	// SimTime is the simulated wall-clock duration of the parallel phase.
+	SimTime Time
+	// Commits and Aborts report STM behavior (commits == total ops).
+	Commits int64
+	Aborts  int64
+	// Waits counts blocking lock acquisitions.
+	Waits int64
+}
+
+// countCtx counts accesses while executing directly (lock modes).
+type countCtx struct{ n int }
+
+func (c *countCtx) Load(cell *mem.Cell) any     { c.n++; return cell.Load() }
+func (c *countCtx) Store(cell *mem.Cell, v any) { c.n++; cell.Store(v) }
+
+// bufCtx buffers writes and records reads (STM mode).
+type bufCtx struct {
+	reads  []*mem.Cell
+	writes map[*mem.Cell]any
+	n      int
+}
+
+func newBufCtx() *bufCtx { return &bufCtx{writes: map[*mem.Cell]any{}} }
+
+func (c *bufCtx) Load(cell *mem.Cell) any {
+	c.n++
+	if v, ok := c.writes[cell]; ok {
+		return v
+	}
+	c.reads = append(c.reads, cell)
+	return cell.Load()
+}
+
+func (c *bufCtx) Store(cell *mem.Cell, v any) {
+	c.n++
+	c.writes[cell] = v
+}
+
+// Run simulates the workload under the mode and returns the result. The
+// workload's own invariant check runs afterwards, as in workload.Run.
+func Run(w workload.Workload, mode Mode, cfg Config) (Result, error) {
+	if cfg.Costs == (CostModel{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	w.Setup(rand.New(rand.NewSource(cfg.Seed)))
+	e := NewEngine(cfg.Cores)
+	lt := NewLockTree(e)
+	st := &simSTM{lastCommit: map[*mem.Cell]int64{}}
+	res := Result{}
+
+	for t := 0; t < cfg.Threads; t++ {
+		r := rand.New(rand.NewSource(cfg.Seed + int64(t) + 1))
+		remaining := cfg.OpsPerThread
+		var step func()
+		step = func() {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			op := w.Op(r)
+			done := func() {
+				if op.After != nil {
+					op.After()
+				}
+				step()
+			}
+			switch mode {
+			case ModeGlobal, ModeMGL:
+				runLocked(e, lt, cfg.Costs, mode, op, done)
+			default:
+				runSTM(e, st, cfg.Costs, op, done)
+			}
+		}
+		e.After(0, step)
+	}
+	res.SimTime = e.Run()
+	res.Waits = lt.Waits()
+	res.Commits = st.commits
+	res.Aborts = st.aborts
+	return res, w.Check()
+}
+
+// runLocked simulates one operation under a lock runtime: think time, the
+// acquisition protocol (charged per plan node), the possibly-blocking
+// acquisition, the section body on a core, release.
+func runLocked(e *Engine, lt *LockTree, cm CostModel, mode Mode, op workload.Op, done func()) {
+	var reqs []mgl.Req
+	if mode == ModeGlobal {
+		reqs = []mgl.Req{{Global: true, Write: true}}
+	} else if op.Locks != nil {
+		op.Locks(func(r mgl.Req) { reqs = append(reqs, r) })
+	}
+	nodes := len(mgl.BuildPlan(reqs))
+	e.Compute(cm.Think, func() {
+		lt.AcquireAll(reqs, func(held []HeldStep) {
+			// The body executes atomically at grant time; its duration —
+			// including the per-node protocol work, which happens while
+			// deeper nodes are already held — is charged before release.
+			var cnt countCtx
+			op.Body(&cnt)
+			dur := cm.LockNode*Time(nodes) + Time(cnt.n)*cm.Access + Time(op.Work)*cm.WorkUnit
+			e.Compute(dur, func() {
+				lt.ReleaseAll(held)
+				done()
+			})
+		})
+	})
+}
+
+// simSTM is the TL2 model in simulated time: per-cell last-commit
+// timestamps substitute for the global version clock.
+type simSTM struct {
+	// version is the logical global version clock; lastCommit records the
+	// commit version of each cell (exactly TL2's versioned write locks).
+	version    int64
+	lastCommit map[*mem.Cell]int64
+	commits    int64
+	aborts     int64
+}
+
+// runSTM simulates one transaction: the body executes against the committed
+// state at start time with buffered writes; at start+duration the read and
+// write sets are validated against commits that happened in between; on
+// conflict the attempt is aborted (its core time already charged) and
+// retried after backoff.
+func runSTM(e *Engine, st *simSTM, cm CostModel, op workload.Op, done func()) {
+	attempt := 0
+	var try func()
+	try = func() {
+		start := st.version
+		buf := newBufCtx()
+		op.Body(buf)
+		dur := cm.STMBase + Time(buf.n)*cm.STMAccess +
+			Time(len(buf.writes))*cm.STMCommitPerWrite + Time(op.Work)*cm.WorkUnit
+		e.Compute(dur, func() {
+			if st.validate(buf, start) {
+				st.version++
+				for cell, v := range buf.writes {
+					cell.Store(v)
+					st.lastCommit[cell] = st.version
+				}
+				st.commits++
+				done()
+				return
+			}
+			st.aborts++
+			attempt++
+			backoff := cm.AbortBackoffBase << min(attempt, 4)
+			e.After(backoff, try)
+		})
+	}
+	// Think time happens outside the transaction window.
+	e.Compute(cm.Think, try)
+}
+
+// validate reports whether no concurrent commit invalidated the attempt's
+// read or write set.
+func (st *simSTM) validate(buf *bufCtx, start int64) bool {
+	for _, c := range buf.reads {
+		if st.lastCommit[c] > start {
+			return false
+		}
+	}
+	for c := range buf.writes {
+		if st.lastCommit[c] > start {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"testing"
+
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/workload"
+)
+
+// TestEngineOrdering: events fire in time order, FIFO within a timestamp.
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.After(10, func() { order = append(order, 2) })
+	e.After(5, func() { order = append(order, 1) })
+	e.After(10, func() { order = append(order, 3) })
+	end := e.Run()
+	if end != 10 {
+		t.Errorf("final time = %d, want 10", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+// TestCoreLimit: four equal computations on two cores take two rounds.
+func TestCoreLimit(t *testing.T) {
+	e := NewEngine(2)
+	done := 0
+	for i := 0; i < 4; i++ {
+		e.After(0, func() {
+			e.Compute(100, func() { done++ })
+		})
+	}
+	end := e.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	if end != 200 {
+		t.Errorf("4 x 100 units on 2 cores finished at %d, want 200", end)
+	}
+}
+
+// TestComputeParallel: independent computations overlap up to the core
+// count.
+func TestComputeParallel(t *testing.T) {
+	e := NewEngine(8)
+	for i := 0; i < 8; i++ {
+		e.After(0, func() { e.Compute(50, func() {}) })
+	}
+	if end := e.Run(); end != 50 {
+		t.Errorf("8 units on 8 cores finished at %d, want 50", end)
+	}
+}
+
+// TestLockTreeExclusion: two X holders serialize; S holders share.
+func TestLockTreeExclusion(t *testing.T) {
+	e := NewEngine(8)
+	lt := NewLockTree(e)
+	var busy, peak int
+	section := func(write bool) {
+		reqs := []mgl.Req{{Class: 1, Write: write}}
+		lt.AcquireAll(reqs, func(held []HeldStep) {
+			busy++
+			if busy > peak {
+				peak = busy
+			}
+			e.Compute(100, func() {
+				busy--
+				lt.ReleaseAll(held)
+			})
+		})
+	}
+	// Two writers: must serialize.
+	e.After(0, func() { section(true) })
+	e.After(0, func() { section(true) })
+	if end := e.Run(); end != 200 {
+		t.Errorf("two X sections finished at %d, want 200", end)
+	}
+	if peak != 1 {
+		t.Errorf("X sections overlapped: peak=%d", peak)
+	}
+	// Two readers: run together.
+	peak, busy = 0, 0
+	e2 := NewEngine(8)
+	lt2 := NewLockTree(e2)
+	sectionR := func() {
+		lt2.AcquireAll([]mgl.Req{{Class: 1, Write: false}}, func(held []HeldStep) {
+			busy++
+			if busy > peak {
+				peak = busy
+			}
+			e2.Compute(100, func() {
+				busy--
+				lt2.ReleaseAll(held)
+			})
+		})
+	}
+	e2.After(0, sectionR)
+	e2.After(0, sectionR)
+	if end := e2.Run(); end != 100 {
+		t.Errorf("two S sections finished at %d, want 100", end)
+	}
+	if peak != 2 {
+		t.Errorf("S sections did not overlap: peak=%d", peak)
+	}
+}
+
+// TestLockTreeIntention: coarse X excludes fine X under the same class but
+// not under another class.
+func TestLockTreeIntention(t *testing.T) {
+	e := NewEngine(8)
+	lt := NewLockTree(e)
+	var timeline []string
+	hold := func(name string, reqs []mgl.Req, dur Time) {
+		lt.AcquireAll(reqs, func(held []HeldStep) {
+			timeline = append(timeline, name+"+")
+			e.Compute(dur, func() {
+				timeline = append(timeline, name+"-")
+				lt.ReleaseAll(held)
+			})
+		})
+	}
+	e.After(0, func() { hold("coarse1", []mgl.Req{{Class: 1, Write: true}}, 100) })
+	e.After(1, func() { hold("fine1", []mgl.Req{{Class: 1, Fine: true, Addr: 9, Write: true}}, 10) })
+	e.After(1, func() { hold("fine2", []mgl.Req{{Class: 2, Fine: true, Addr: 9, Write: true}}, 10) })
+	e.Run()
+	idx := map[string]int{}
+	for i, ev := range timeline {
+		idx[ev] = i
+	}
+	if !(idx["fine2+"] < idx["coarse1-"]) {
+		t.Errorf("fine lock under class 2 was blocked by coarse X on class 1: %v", timeline)
+	}
+	if !(idx["fine1+"] > idx["coarse1-"]) {
+		t.Errorf("fine lock under class 1 overlapped coarse X: %v", timeline)
+	}
+}
+
+// TestSTMSimSerializable: concurrent increments are never lost in the
+// simulated TL2.
+func TestSTMSimSerializable(t *testing.T) {
+	w := workload.NewKmeans("kmeans", workload.GrainCoarse)
+	res, err := Run(w, ModeSTM, Config{Cores: 8, Threads: 8, OpsPerThread: 300, Seed: 5})
+	if err != nil {
+		t.Fatalf("invariants failed under simulated STM: %v", err)
+	}
+	if res.Commits != 8*300 {
+		t.Errorf("commits = %d, want %d", res.Commits, 8*300)
+	}
+	if res.Aborts == 0 {
+		t.Error("hot-cell workload produced no aborts; conflict detection broken?")
+	}
+}
+
+// TestAllWorkloadsAllSimModes runs every benchmark under every simulated
+// runtime and validates invariants.
+func TestAllWorkloadsAllSimModes(t *testing.T) {
+	builders := []func() workload.Workload{
+		func() workload.Workload { return workload.NewList("list", workload.LowMix) },
+		func() workload.Workload { return workload.NewRBTree("rbtree", workload.HighMix) },
+		func() workload.Workload { return workload.NewHashtable("hashtable", workload.HighMix) },
+		func() workload.Workload { return workload.NewHashtable2("h2", workload.HighMix, workload.GrainFine) },
+		func() workload.Workload { return workload.NewTH("th", workload.LowMix) },
+		func() workload.Workload { return workload.NewGenome("genome", workload.GrainFine) },
+		func() workload.Workload { return workload.NewKmeans("kmeans", workload.GrainFine) },
+		func() workload.Workload { return workload.NewBayes("bayes") },
+		func() workload.Workload { return workload.NewVacation("vacation") },
+		func() workload.Workload { return workload.NewLabyrinth("labyrinth") },
+	}
+	for _, mk := range builders {
+		for _, mode := range []Mode{ModeGlobal, ModeMGL, ModeSTM} {
+			w := mk()
+			if _, err := Run(w, mode, Config{Cores: 4, Threads: 4, OpsPerThread: 120, Seed: 9}); err != nil {
+				t.Errorf("%s under %s: %v", w.Name(), mode, err)
+			}
+		}
+	}
+}
+
+// TestMoreCoresNeverSlower: adding cores cannot increase simulated time.
+func TestMoreCoresNeverSlower(t *testing.T) {
+	mk := func() workload.Workload { return workload.NewRBTree("rbtree", workload.LowMix) }
+	var prev Time
+	for i, cores := range []int{1, 2, 4, 8} {
+		res, err := Run(mk(), ModeMGL, Config{Cores: cores, Threads: 8, OpsPerThread: 150, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.SimTime > prev+prev/20 {
+			t.Errorf("%d cores slower than fewer: %d > %d", cores, res.SimTime, prev)
+		}
+		prev = res.SimTime
+	}
+}

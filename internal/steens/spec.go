@@ -1,0 +1,134 @@
+package steens
+
+import "lockinfer/internal/ir"
+
+// ExternSpec is a function specification for a pre-compiled (external)
+// function, per §4.3 "Supporting pre-compiled libraries": since coarse
+// locks are flow-insensitive, a list of coarse-grain locks can protect
+// everything a library function does. Roots name global variables; the
+// function may access any location reachable from them.
+//
+// The spec also asserts a retention discipline the analysis relies on: the
+// function may store argument pointers only into structure reachable from
+// its Writes roots (modeled conservatively by unifying the argument
+// pointees into the Writes closure).
+type ExternSpec struct {
+	// Reads lists globals whose reachable structure the function may read.
+	Reads []string
+	// Writes lists globals whose reachable structure the function may
+	// mutate (and where it may store its pointer arguments).
+	Writes []string
+	// ReturnsFrom optionally names a global whose reachable structure
+	// contains the returned pointer. Empty for int/void returns or
+	// functions returning fresh private objects.
+	ReturnsFrom string
+}
+
+// RunWithSpecs performs the points-to analysis with external-function
+// specifications: calls to external functions contribute the unification
+// constraints their specs imply.
+func RunWithSpecs(prog *ir.Program, specs map[string]ExternSpec) *Analysis {
+	a := Run(prog)
+	if len(specs) == 0 {
+		return a
+	}
+	// Apply spec constraints and re-close: iterate to a fixed point since
+	// unifications can enable each other (classes are finite, unions
+	// monotone).
+	for pass := 0; pass < 4; pass++ {
+		for _, f := range prog.Funcs {
+			for _, s := range f.Stmts {
+				if s.Op != ir.OpCall {
+					continue
+				}
+				callee := prog.Func(s.Callee)
+				if callee == nil || !callee.External {
+					continue
+				}
+				spec, ok := specs[s.Callee]
+				if !ok {
+					continue
+				}
+				a.applySpec(prog, s, spec)
+			}
+		}
+	}
+	a.buildMembers()
+	return a
+}
+
+func (a *Analysis) applySpec(prog *ir.Program, call *ir.Stmt, spec ExternSpec) {
+	// Returned pointers live in the ReturnsFrom closure.
+	if call.Dst != nil && spec.ReturnsFrom != "" {
+		if g := prog.Global(spec.ReturnsFrom); g != nil {
+			a.union(a.Pointee(a.VarCell(call.Dst)), a.Pointee(a.VarCell(g)))
+		}
+	}
+	// Pointer arguments may be retained anywhere in the Writes closure:
+	// every cell class reachable from a Writes root may point at the
+	// argument's targets.
+	for _, root := range spec.Writes {
+		g := prog.Global(root)
+		if g == nil {
+			continue
+		}
+		closure := a.ReachableClasses(a.Pointee(a.VarCell(g)))
+		for _, arg := range call.Args {
+			if !arg.Type.IsPointer() {
+				continue
+			}
+			for _, c := range closure {
+				a.union(a.Pointee(c), a.Pointee(a.VarCell(arg)))
+			}
+		}
+	}
+}
+
+// ReachableClasses returns the cell classes reachable from start by
+// following pointee edges, including start. Exploration follows only
+// pointee links that already exist (it never materializes fresh leaf
+// classes) and stops on cycles.
+func (a *Analysis) ReachableClasses(start NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	cur := a.Rep(start)
+	for {
+		if seen[cur] {
+			break
+		}
+		seen[cur] = true
+		out = append(out, cur)
+		next, ok := a.pointeeExists(cur)
+		if !ok {
+			break
+		}
+		cur = next
+	}
+	return out
+}
+
+// GlobalClosure resolves a global name to its reachable cell classes
+// (starting at the global's target, i.e. what the pointer leads to).
+func (a *Analysis) GlobalClosure(prog *ir.Program, name string) []NodeID {
+	g := prog.Global(name)
+	if g == nil {
+		return nil
+	}
+	// Include the global's own cell plus everything reachable through it.
+	out := []NodeID{a.VarCell(g)}
+	out = append(out, a.ReachableClasses(a.Pointee(a.VarCell(g)))...)
+	return dedupeNodes(a, out)
+}
+
+func dedupeNodes(a *Analysis, in []NodeID) []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	for _, n := range in {
+		r := a.Rep(n)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+// Package steens implements Steensgaard's flow- and context-insensitive
+// unification-based points-to analysis over the IR. The analysis produces
+// the points-to-set lock partition Σ≡ of the paper (each equivalence class
+// of abstract cells is one coarse-grain lock) and the mayAlias oracle
+// consumed by the lock inference transfer functions.
+//
+// The abstraction is field-insensitive: a field offset stays within the
+// object's class, matching the paper's Σ≡ definition (l_s + i = s).
+package steens
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lockinfer/internal/ir"
+)
+
+// NodeID identifies an abstract cell class. IDs are stable for a given
+// program; use Rep to normalize to the class representative.
+type NodeID int
+
+// Analysis is the result of running Steensgaard's algorithm on a program.
+type Analysis struct {
+	prog    *ir.Program
+	parent  []NodeID
+	rank    []int
+	pointee []NodeID // -1 when absent; meaningful on representatives
+
+	varNode  map[*ir.Var]NodeID
+	siteNode []NodeID // indexed by allocation site
+
+	// class member bookkeeping for labels and for the concrete checker.
+	classVars  map[NodeID][]*ir.Var
+	classSites map[NodeID][]int
+}
+
+// Run performs the points-to analysis on prog.
+func Run(prog *ir.Program) *Analysis {
+	a := &Analysis{
+		prog:    prog,
+		varNode: map[*ir.Var]NodeID{},
+	}
+	for _, g := range prog.Globals {
+		a.varNode[g] = a.newNode()
+	}
+	for _, f := range prog.Funcs {
+		for _, v := range f.Vars {
+			a.varNode[v] = a.newNode()
+		}
+	}
+	a.siteNode = make([]NodeID, prog.NumSites)
+	for i := range a.siteNode {
+		a.siteNode[i] = a.newNode()
+	}
+	for _, f := range prog.Funcs {
+		for _, s := range f.Stmts {
+			a.stmt(f, s)
+		}
+	}
+	a.buildMembers()
+	return a
+}
+
+func (a *Analysis) newNode() NodeID {
+	id := NodeID(len(a.parent))
+	a.parent = append(a.parent, id)
+	a.rank = append(a.rank, 0)
+	a.pointee = append(a.pointee, -1)
+	return id
+}
+
+// Rep returns the representative of n's class. It performs no path
+// compression: after the analysis is built the structure is queried
+// concurrently (the checking interpreter resolves cell classes from many
+// threads), so Rep must be a pure read. compressAll flattens every chain
+// once construction finishes, keeping lookups O(1).
+func (a *Analysis) Rep(n NodeID) NodeID {
+	for a.parent[n] != n {
+		n = a.parent[n]
+	}
+	return n
+}
+
+// compressAll points every node directly at its root.
+func (a *Analysis) compressAll() {
+	for i := range a.parent {
+		a.parent[i] = a.Rep(NodeID(i))
+	}
+}
+
+// pointeeExists reports the existing pointee class of n, without
+// materializing one.
+func (a *Analysis) pointeeExists(n NodeID) (NodeID, bool) {
+	n = a.Rep(n)
+	if a.pointee[n] < 0 {
+		return 0, false
+	}
+	return a.Rep(a.pointee[n]), true
+}
+
+// Pointee returns the class reached by dereferencing a cell of class n,
+// creating an empty class if the program never stores a pointer there.
+func (a *Analysis) Pointee(n NodeID) NodeID {
+	n = a.Rep(n)
+	if a.pointee[n] < 0 {
+		a.pointee[n] = a.newNode()
+	}
+	return a.Rep(a.pointee[n])
+}
+
+// union merges the classes of x and y, recursively unifying pointees.
+func (a *Analysis) union(x, y NodeID) {
+	x, y = a.Rep(x), a.Rep(y)
+	if x == y {
+		return
+	}
+	if a.rank[x] < a.rank[y] {
+		x, y = y, x
+	}
+	if a.rank[x] == a.rank[y] {
+		a.rank[x]++
+	}
+	px, py := a.pointee[x], a.pointee[y]
+	a.parent[y] = x
+	switch {
+	case px < 0:
+		a.pointee[x] = py
+	case py < 0:
+		// keep px
+	default:
+		a.union(px, py)
+	}
+}
+
+// join unifies the pointees of two cells (the effect of an assignment
+// between them).
+func (a *Analysis) join(x, y NodeID) {
+	a.union(a.Pointee(x), a.Pointee(y))
+}
+
+func (a *Analysis) stmt(f *ir.Func, s *ir.Stmt) {
+	v := func(x *ir.Var) NodeID { return a.varNode[x] }
+	switch s.Op {
+	case ir.OpCopy:
+		a.join(v(s.Dst), v(s.Src))
+	case ir.OpAddrOf:
+		a.union(a.Pointee(v(s.Dst)), v(s.Src))
+	case ir.OpLoad:
+		a.union(a.Pointee(v(s.Dst)), a.Pointee(a.Pointee(v(s.Src))))
+	case ir.OpStore:
+		a.union(a.Pointee(a.Pointee(v(s.Dst))), a.Pointee(v(s.Src)))
+	case ir.OpField, ir.OpIndex:
+		// Field-insensitive: the field's cell lives in the same class as the
+		// object's base cell.
+		a.join(v(s.Dst), v(s.Src))
+	case ir.OpNew:
+		a.union(a.Pointee(v(s.Dst)), a.siteNode[s.Site])
+	case ir.OpCall:
+		callee := a.prog.Func(s.Callee)
+		if callee == nil {
+			return
+		}
+		for i, arg := range s.Args {
+			if i < len(callee.Params) {
+				a.join(v(callee.Params[i]), v(arg))
+			}
+		}
+		if s.Dst != nil && callee.RetVar != nil {
+			a.join(v(s.Dst), v(callee.RetVar))
+		}
+	}
+}
+
+func (a *Analysis) buildMembers() {
+	a.compressAll()
+	a.classVars = map[NodeID][]*ir.Var{}
+	a.classSites = map[NodeID][]int{}
+	for _, g := range a.prog.Globals {
+		r := a.Rep(a.varNode[g])
+		a.classVars[r] = append(a.classVars[r], g)
+	}
+	for _, f := range a.prog.Funcs {
+		for _, vv := range f.Vars {
+			r := a.Rep(a.varNode[vv])
+			a.classVars[r] = append(a.classVars[r], vv)
+		}
+	}
+	for site, n := range a.siteNode {
+		r := a.Rep(n)
+		a.classSites[r] = append(a.classSites[r], site)
+	}
+}
+
+// VarCell returns the class of variable v's own cell (&v).
+func (a *Analysis) VarCell(v *ir.Var) NodeID { return a.Rep(a.varNode[v]) }
+
+// SiteClass returns the class containing allocation site id.
+func (a *Analysis) SiteClass(site int) NodeID { return a.Rep(a.siteNode[site]) }
+
+// ClassSites returns the allocation sites whose objects belong to class n.
+func (a *Analysis) ClassSites(n NodeID) []int { return a.classSites[a.Rep(n)] }
+
+// ClassVars returns the variables whose cells belong to class n.
+func (a *Analysis) ClassVars(n NodeID) []*ir.Var { return a.classVars[a.Rep(n)] }
+
+// MayAlias reports whether two cell classes may denote a common location.
+// With a unification-based analysis this is exactly class equality.
+func (a *Analysis) MayAlias(n1, n2 NodeID) bool { return a.Rep(n1) == a.Rep(n2) }
+
+// ClassLabel renders a human-readable description of a class, listing a few
+// member variables and allocation sites.
+func (a *Analysis) ClassLabel(n NodeID) string {
+	n = a.Rep(n)
+	var parts []string
+	for i, v := range a.classVars[n] {
+		if i == 3 {
+			parts = append(parts, "...")
+			break
+		}
+		if v.Owner != nil {
+			parts = append(parts, v.Owner.Name+"."+v.Name)
+		} else {
+			parts = append(parts, v.Name)
+		}
+	}
+	for i, s := range a.classSites[n] {
+		if i == 3 {
+			parts = append(parts, "...")
+			break
+		}
+		parts = append(parts, a.prog.SiteNames[s])
+	}
+	if len(parts) == 0 {
+		return fmt.Sprintf("class#%d", n)
+	}
+	return fmt.Sprintf("class#%d{%s}", n, strings.Join(parts, ","))
+}
+
+// StoreSummary computes, for every function, the set of cell classes that
+// the function (or anything it transitively calls) may store through a
+// pointer. The inference engine uses it to decide whether a lock expression
+// can be invalidated by a call.
+func (a *Analysis) StoreSummary() map[*ir.Func]map[NodeID]bool {
+	direct := map[*ir.Func]map[NodeID]bool{}
+	callees := map[*ir.Func][]*ir.Func{}
+	for _, f := range a.prog.Funcs {
+		direct[f] = map[NodeID]bool{}
+		for _, s := range f.Stmts {
+			switch s.Op {
+			case ir.OpStore:
+				// The written cell is the pointee of the address variable.
+				direct[f][a.Pointee(a.VarCell(s.Dst))] = true
+			case ir.OpCall:
+				if c := a.prog.Func(s.Callee); c != nil {
+					callees[f] = append(callees[f], c)
+				}
+			}
+		}
+	}
+	// Propagate to a fixed point over the call graph.
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range a.prog.Funcs {
+			for _, c := range callees[f] {
+				for n := range direct[c] {
+					if !direct[f][n] {
+						direct[f][n] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return direct
+}
+
+// Classes returns the sorted list of representative ids that have at least
+// one member (a variable cell or an allocation site).
+func (a *Analysis) Classes() []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	add := func(n NodeID) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for n := range a.classVars {
+		add(a.Rep(n))
+	}
+	for n := range a.classSites {
+		add(a.Rep(n))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

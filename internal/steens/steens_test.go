@@ -1,0 +1,232 @@
+package steens
+
+import (
+	"testing"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/progen"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Analysis) {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, Run(prog)
+}
+
+func varOf(t *testing.T, prog *ir.Program, fn, name string) *ir.Var {
+	t.Helper()
+	f := prog.Func(fn)
+	for _, v := range f.Vars {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("no var %s in %s", name, fn)
+	return nil
+}
+
+// TestAssignmentUnifiesPointees: after x = y, x and y point into the same
+// class.
+func TestAssignmentUnifiesPointees(t *testing.T) {
+	prog, a := analyze(t, `
+struct s { int v; }
+void f() {
+  s* x = new s;
+  s* y = new s;
+  x = y;
+  s* z = new s;
+}
+`)
+	x := varOf(t, prog, "f", "x")
+	y := varOf(t, prog, "f", "y")
+	z := varOf(t, prog, "f", "z")
+	if a.Pointee(a.VarCell(x)) != a.Pointee(a.VarCell(y)) {
+		t.Error("x and y pointees not unified")
+	}
+	if a.Pointee(a.VarCell(x)) == a.Pointee(a.VarCell(z)) {
+		t.Error("z spuriously unified")
+	}
+}
+
+// TestAddressOf: p = &x makes p point at x's cell class.
+func TestAddressOf(t *testing.T) {
+	prog, a := analyze(t, `
+void f() {
+  int x = 0;
+  int* p = &x;
+  *p = 1;
+}
+`)
+	x := varOf(t, prog, "f", "x")
+	p := varOf(t, prog, "f", "p")
+	if a.Pointee(a.VarCell(p)) != a.VarCell(x) {
+		t.Error("p does not point at x's cell")
+	}
+}
+
+// TestHeapChains: list nodes unify into one recursive class.
+func TestHeapChains(t *testing.T) {
+	prog, a := analyze(t, `
+struct n { n* next; }
+void f() {
+  n* head = null;
+  int i = 0;
+  while (i < 3) {
+    n* e = new n;
+    e->next = head;
+    head = e;
+    i = i + 1;
+  }
+  n* c = head;
+  while (c != null) {
+    c = c->next;
+  }
+}
+`)
+	head := varOf(t, prog, "f", "head")
+	cls := a.Pointee(a.VarCell(head))
+	// The recursive next field keeps the chain in one class.
+	if a.Pointee(cls) != cls {
+		t.Errorf("recursive structure not self-unified: %d -> %d", cls, a.Pointee(cls))
+	}
+	if len(a.ClassSites(cls)) == 0 {
+		t.Error("allocation site not in the chain class")
+	}
+}
+
+// TestCallBindings: actuals unify with formals, returns with call targets.
+func TestCallBindings(t *testing.T) {
+	prog, a := analyze(t, `
+struct s { int v; }
+s* id(s* p) { return p; }
+void f() {
+  s* x = new s;
+  s* y = id(x);
+}
+`)
+	x := varOf(t, prog, "f", "x")
+	y := varOf(t, prog, "f", "y")
+	p := varOf(t, prog, "id", "p")
+	if a.Pointee(a.VarCell(x)) != a.Pointee(a.VarCell(p)) {
+		t.Error("actual/formal not unified")
+	}
+	if a.Pointee(a.VarCell(x)) != a.Pointee(a.VarCell(y)) {
+		t.Error("return value not unified")
+	}
+}
+
+// TestDisjointStructuresStayDisjoint is the property TH depends on.
+func TestDisjointStructuresStayDisjoint(t *testing.T) {
+	prog, a := analyze(t, `
+struct tn { tn* left; }
+struct hn { hn* next; }
+tn* tree;
+hn* table;
+void f() {
+  tree = new tn;
+  table = new hn;
+}
+`)
+	tree := prog.Global("tree")
+	table := prog.Global("table")
+	if a.MayAlias(a.Pointee(a.VarCell(tree)), a.Pointee(a.VarCell(table))) {
+		t.Error("tree and table objects unified despite no flow between them")
+	}
+}
+
+// TestMayAliasProperties: reflexive and symmetric, on a generated program.
+func TestMayAliasProperties(t *testing.T) {
+	src := progen.Generate(progen.Spec{Name: "alias", KLoC: 1.5, Seed: 21})
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Run(prog)
+	var cells []NodeID
+	for _, f := range prog.Funcs {
+		for _, v := range f.Vars {
+			cells = append(cells, a.VarCell(v))
+		}
+		if len(cells) > 60 {
+			break
+		}
+	}
+	for _, c1 := range cells {
+		if !a.MayAlias(c1, c1) {
+			t.Fatal("MayAlias not reflexive")
+		}
+		for _, c2 := range cells {
+			if a.MayAlias(c1, c2) != a.MayAlias(c2, c1) {
+				t.Fatal("MayAlias not symmetric")
+			}
+		}
+	}
+}
+
+// TestStoreSummaryTransitive: a caller's summary includes its callees'
+// stores.
+func TestStoreSummaryTransitive(t *testing.T) {
+	prog, a := analyze(t, `
+struct s { int v; }
+void leaf(s* p) { p->v = 1; }
+void mid(s* p) { leaf(p); }
+void top(s* p) { mid(p); }
+void pure(int n) { int x = n + 1; }
+`)
+	sum := a.StoreSummary()
+	leafStores := sum[prog.Func("leaf")]
+	topStores := sum[prog.Func("top")]
+	if len(leafStores) == 0 {
+		t.Fatal("leaf has no stores")
+	}
+	for n := range leafStores {
+		if !topStores[n] {
+			t.Errorf("top missing callee store class %d", n)
+		}
+	}
+	if len(sum[prog.Func("pure")]) != 0 {
+		t.Error("pure function has store classes")
+	}
+}
+
+// TestSoundnessAgainstInterp: classes are stable under Rep, and every
+// variable belongs to its reported class.
+func TestClassBookkeeping(t *testing.T) {
+	prog, a := analyze(t, `
+struct s { int v; }
+s* g;
+void f() { g = new s; }
+`)
+	g := prog.Global("g")
+	cls := a.VarCell(g)
+	if a.Rep(cls) != cls {
+		t.Error("VarCell should return a representative")
+	}
+	found := false
+	for _, v := range a.ClassVars(cls) {
+		if v == g {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("g not listed in its own class")
+	}
+	if a.ClassLabel(cls) == "" {
+		t.Error("empty class label")
+	}
+	if len(a.Classes()) == 0 {
+		t.Error("no classes reported")
+	}
+}

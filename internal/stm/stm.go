@@ -1,0 +1,187 @@
+// Package stm is a TL2-style software transactional memory, the optimistic
+// baseline the paper compares against (Dice, Shalev, Shavit: "Transactional
+// Locking II", DISC 2006). It implements the global-version-clock algorithm:
+// transactions read a version snapshot, validate every read against it,
+// lock their write set in a canonical order at commit time, bump the clock,
+// re-validate the read set and write back. Conflicts abort and re-execute
+// the transaction, with bounded exponential backoff.
+package stm
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lockinfer/internal/mem"
+)
+
+// Runtime is one STM instance: a global version clock plus statistics.
+type Runtime struct {
+	clock atomic.Uint64
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// New returns a fresh STM runtime.
+func New() *Runtime {
+	return &Runtime{}
+}
+
+// Commits returns the number of successfully committed transactions.
+func (rt *Runtime) Commits() int64 { return rt.commits.Load() }
+
+// Aborts returns the number of aborted transaction attempts.
+func (rt *Runtime) Aborts() int64 { return rt.aborts.Load() }
+
+// abortSignal unwinds an attempt; it never escapes Atomic.
+type abortSignal struct{}
+
+// Tx is one transaction attempt. It is valid only inside the function
+// passed to Atomic.
+type Tx struct {
+	rt     *Runtime
+	rv     uint64
+	reads  []*mem.Cell
+	writes map[*mem.Cell]any
+	worder []*mem.Cell
+}
+
+// Atomic runs fn transactionally, retrying on conflict until it commits.
+// fn must confine its side effects to cell reads and writes through tx.
+func (rt *Runtime) Atomic(fn func(tx *Tx)) {
+	backoff := 0
+	for {
+		if rt.attempt(fn) {
+			rt.commits.Add(1)
+			return
+		}
+		rt.aborts.Add(1)
+		// Bounded randomized exponential backoff.
+		if backoff < 10 {
+			backoff++
+		}
+		spins := rand.Intn(1 << backoff)
+		if spins > 256 {
+			time.Sleep(time.Duration(spins) * time.Nanosecond)
+		} else {
+			for i := 0; i < spins; i++ {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// attempt runs one optimistic execution of fn; it reports commit success.
+func (rt *Runtime) attempt(fn func(tx *Tx)) (ok bool) {
+	tx := &Tx{rt: rt, rv: rt.clock.Load(), writes: map[*mem.Cell]any{}}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isAbort := r.(abortSignal); !isAbort {
+				panic(r)
+			}
+			ok = false
+		}
+	}()
+	fn(tx)
+	return tx.commit()
+}
+
+func (tx *Tx) abort() { panic(abortSignal{}) }
+
+// Load transactionally reads a cell.
+func (tx *Tx) Load(c *mem.Cell) any {
+	if v, ok := tx.writes[c]; ok {
+		return v
+	}
+	m1 := c.Meta()
+	if mem.MetaLocked(m1) {
+		tx.abort()
+	}
+	v := c.Load()
+	m2 := c.Meta()
+	if m1 != m2 || mem.MetaVersion(m1) > tx.rv {
+		tx.abort()
+	}
+	tx.reads = append(tx.reads, c)
+	return v
+}
+
+// Store transactionally writes a cell (buffered until commit).
+func (tx *Tx) Store(c *mem.Cell, v any) {
+	if _, ok := tx.writes[c]; !ok {
+		tx.worder = append(tx.worder, c)
+	}
+	tx.writes[c] = v
+}
+
+// commit runs the TL2 commit protocol.
+func (tx *Tx) commit() bool {
+	if len(tx.writes) == 0 {
+		// Read-only transactions commit immediately: every read was
+		// validated against rv at read time.
+		return true
+	}
+	// Lock the write set in cell-id order with a bounded spin.
+	order := tx.worder
+	insertionSortByID(order)
+	locked := 0
+	for _, c := range order {
+		if !spinLock(c) {
+			for i := 0; i < locked; i++ {
+				order[i].UnlockMetaSameVersion()
+			}
+			return false
+		}
+		locked++
+	}
+	wv := tx.rt.clock.Add(1)
+	// Validate the read set unless no other transaction committed since rv.
+	if wv != tx.rv+1 {
+		for _, c := range tx.reads {
+			m := c.Meta()
+			if _, mine := tx.writes[c]; mem.MetaLocked(m) && !mine {
+				tx.unlockAll(order)
+				return false
+			}
+			if mem.MetaVersion(m) > tx.rv {
+				tx.unlockAll(order)
+				return false
+			}
+		}
+	}
+	for _, c := range order {
+		c.Store(tx.writes[c])
+		c.UnlockMeta(wv)
+	}
+	return true
+}
+
+func (tx *Tx) unlockAll(order []*mem.Cell) {
+	for _, c := range order {
+		c.UnlockMetaSameVersion()
+	}
+}
+
+func spinLock(c *mem.Cell) bool {
+	for i := 0; i < 64; i++ {
+		if c.TryLockMeta() {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+func insertionSortByID(cs []*mem.Cell) {
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && cs[j].ID() > c.ID() {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+}

@@ -1,0 +1,226 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+
+	"lockinfer/internal/mem"
+)
+
+func TestSequentialReadWrite(t *testing.T) {
+	rt := New()
+	c := mem.NewCell(1)
+	rt.Atomic(func(tx *Tx) {
+		if got := tx.Load(c).(int); got != 1 {
+			t.Errorf("Load = %d, want 1", got)
+		}
+		tx.Store(c, 2)
+		if got := tx.Load(c).(int); got != 2 {
+			t.Errorf("Load after Store = %d, want 2 (read own write)", got)
+		}
+	})
+	if got := c.Load().(int); got != 2 {
+		t.Errorf("committed value = %d, want 2", got)
+	}
+	if rt.Commits() != 1 {
+		t.Errorf("commits = %d, want 1", rt.Commits())
+	}
+}
+
+func TestCounterNoLostUpdates(t *testing.T) {
+	rt := New()
+	c := mem.NewCell(0)
+	const threads, iters = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				rt.Atomic(func(tx *Tx) {
+					tx.Store(c, tx.Load(c).(int)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load().(int); got != threads*iters {
+		t.Errorf("counter = %d, want %d", got, threads*iters)
+	}
+}
+
+// TestBankInvariant checks atomicity: transfers between accounts preserve
+// the total balance under concurrent readers that would observe any torn
+// intermediate state.
+func TestBankInvariant(t *testing.T) {
+	rt := New()
+	const accounts = 16
+	const total = accounts * 100
+	cells := make([]*mem.Cell, accounts)
+	for i := range cells {
+		cells[i] = mem.NewCell(100)
+	}
+	var workers sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 1)
+	for w := 0; w < 4; w++ {
+		w := w
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < 2000; i++ {
+				from, to := (w+i)%accounts, (w*7+i*3+1)%accounts
+				if from == to {
+					continue
+				}
+				rt.Atomic(func(tx *Tx) {
+					a := tx.Load(cells[from]).(int)
+					b := tx.Load(cells[to]).(int)
+					tx.Store(cells[from], a-1)
+					tx.Store(cells[to], b+1)
+				})
+			}
+		}()
+	}
+	auditorDone := make(chan struct{})
+	go func() {
+		defer close(auditorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sum := 0
+			rt.Atomic(func(tx *Tx) {
+				sum = 0
+				for _, c := range cells {
+					sum += tx.Load(c).(int)
+				}
+			})
+			if sum != total {
+				select {
+				case errs <- "auditor observed a torn total":
+				default:
+				}
+				return
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	<-auditorDone
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+	sum := 0
+	for _, c := range cells {
+		sum += c.Load().(int)
+	}
+	if sum != total {
+		t.Errorf("final total = %d, want %d", sum, total)
+	}
+}
+
+// TestAbortsAreCounted forces a conflict and checks abort accounting.
+func TestAbortsAreCounted(t *testing.T) {
+	rt := New()
+	c := mem.NewCell(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 400; j++ {
+				rt.Atomic(func(tx *Tx) {
+					v := tx.Load(c).(int)
+					// Widen the conflict window.
+					x := 0
+					for k := 0; k < 50; k++ {
+						x += k
+					}
+					_ = x
+					tx.Store(c, v+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load().(int); got != 8*400 {
+		t.Fatalf("counter = %d, want %d", got, 8*400)
+	}
+	if rt.Commits() != 8*400 {
+		t.Errorf("commits = %d, want %d", rt.Commits(), 8*400)
+	}
+	t.Logf("aborts = %d", rt.Aborts())
+}
+
+// TestReadOnlySeesConsistentSnapshot checks opacity for read-only
+// transactions: two cells updated together are never observed out of sync.
+func TestReadOnlySeesConsistentSnapshot(t *testing.T) {
+	rt := New()
+	a, b := mem.NewCell(0), mem.NewCell(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 3000; i++ {
+			rt.Atomic(func(tx *Tx) {
+				tx.Store(a, i)
+				tx.Store(b, -i)
+			})
+		}
+		close(stop)
+	}()
+	bad := 0
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			if bad > 0 {
+				t.Errorf("%d inconsistent snapshots observed", bad)
+			}
+			return
+		default:
+		}
+		var va, vb int
+		rt.Atomic(func(tx *Tx) {
+			va = tx.Load(a).(int)
+			vb = tx.Load(b).(int)
+		})
+		if va+vb != 0 {
+			bad++
+		}
+	}
+}
+
+// TestWriteSkewPrevented: TL2 validates the read set at commit, so the
+// classic write-skew anomaly (both threads read both cells, each writes one)
+// must not occur.
+func TestWriteSkewPrevented(t *testing.T) {
+	rt := New()
+	for round := 0; round < 200; round++ {
+		a, b := mem.NewCell(1), mem.NewCell(1)
+		var wg sync.WaitGroup
+		run := func(mine, other *mem.Cell) {
+			defer wg.Done()
+			rt.Atomic(func(tx *Tx) {
+				sum := tx.Load(a).(int) + tx.Load(b).(int)
+				if sum == 2 {
+					tx.Store(mine, 0)
+				}
+				_ = other
+			})
+		}
+		wg.Add(2)
+		go run(a, b)
+		go run(b, a)
+		wg.Wait()
+		if a.Load().(int)+b.Load().(int) == 0 {
+			t.Fatalf("write skew: both cells zeroed in round %d", round)
+		}
+	}
+}

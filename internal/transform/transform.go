@@ -1,0 +1,98 @@
+// Package transform implements the program transformation of §4.1: each
+// atomic section is replaced by a to-acquire/acquire-all preamble carrying
+// the inferred lock descriptors and a release-all at the section end. The
+// output is the paper's target language rendered as surface syntax; the
+// interpreter and the native runtimes consume the structured form (the
+// per-section lock sets) directly.
+package transform
+
+import (
+	"fmt"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+)
+
+// SectionLocks collects per-section lock sets keyed by section id, the
+// structured transformation result used by the runtimes.
+func SectionLocks(results []*infer.Result) map[int]locks.Set {
+	out := make(map[int]locks.Set, len(results))
+	for _, r := range results {
+		out[r.Section.ID] = r.Locks
+	}
+	return out
+}
+
+// GlobalLockPlan returns a plan protecting every section with the single
+// global lock (the paper's "Global" baseline).
+func GlobalLockPlan(prog *ir.Program) map[int]locks.Set {
+	out := map[int]locks.Set{}
+	for _, sec := range prog.Sections {
+		out[sec.ID] = locks.NewSet(locks.GlobalLock())
+	}
+	return out
+}
+
+// Coarsen converts a plan to coarse-only locks (the k=0 "Coarse" baseline
+// shape): every fine lock is replaced by its class lock.
+func Coarsen(plan map[int]locks.Set) map[int]locks.Set {
+	out := map[int]locks.Set{}
+	for id, set := range plan {
+		ns := locks.NewSet()
+		for _, l := range set.Sorted() {
+			if l.Fine {
+				ns.Add(locks.CoarseLock(l.Class, l.Eff))
+			} else {
+				ns.Add(l)
+			}
+		}
+		out[id] = ns.Minimize()
+	}
+	return out
+}
+
+// Source renders the transformed program: the original program with every
+// atomic section rewritten to the acquireAll/releaseAll form, lock
+// descriptors spelled out as in Figure 1(c).
+func Source(prog *ir.Program, results []*infer.Result) string {
+	byPos := map[lang.Pos]*infer.Result{}
+	for _, r := range results {
+		byPos[r.Section.Pos] = r
+	}
+	pr := lang.Printer{
+		AtomicHook: func(a *lang.AtomicStmt) (header, footer []string, replace bool) {
+			r, ok := byPos[a.Pos]
+			if !ok {
+				return nil, nil, false
+			}
+			for _, l := range r.Locks.Sorted() {
+				header = append(header, "to_acquire("+descriptor(prog, l)+");")
+			}
+			header = append(header, "acquire_all();")
+			footer = []string{"release_all();"}
+			return header, footer, true
+		},
+	}
+	return pr.Program(prog.Source)
+}
+
+// descriptor renders one lock descriptor triple (§5.2): address expression
+// or partition, the partition id, and the effect.
+func descriptor(prog *ir.Program, l locks.Inferred) string {
+	switch {
+	case l.IsGlobal():
+		return "GLOBAL, rw"
+	case l.Fine:
+		expr := l.Path.CellString(func(f ir.FieldID) string {
+			if f < 0 {
+				return ir.ElemFieldName
+			}
+			return prog.FieldName(f)
+		})
+		return fmt.Sprintf("%s, pts#%d, %s", expr, l.Class, l.Eff)
+	default:
+		return fmt.Sprintf("pts#%d, %s", l.Class, l.Eff)
+	}
+}

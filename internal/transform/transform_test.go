@@ -1,0 +1,129 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+)
+
+const moveSrc = `
+struct elem { elem* next; int* data; }
+struct list { elem* head; }
+
+void move(list* from, list* to) {
+  atomic {
+    elem* x = to->head;
+    elem* y = from->head;
+    from->head = null;
+    if (x == null) {
+      to->head = y;
+    } else {
+      while (x->next != null) {
+        x = x->next;
+      }
+      x->next = y;
+    }
+  }
+}
+`
+
+func compile(t *testing.T, src string, k int) (*ir.Program, []*infer.Result) {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := steens.Run(prog)
+	return prog, infer.New(prog, pts, infer.Options{K: k}).AnalyzeAll()
+}
+
+// TestSourceFig1c checks the transformed output has the Figure 1(c) shape.
+func TestSourceFig1c(t *testing.T) {
+	prog, results := compile(t, moveSrc, 3)
+	out := Source(prog, results)
+	for _, want := range []string{
+		"to_acquire(&(to->head)",
+		"to_acquire(&(from->head)",
+		"to_acquire(pts#", // the coarse E lock
+		"acquire_all();",
+		"release_all();",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transformed source missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "atomic {") {
+		t.Error("atomic keyword survived the transformation")
+	}
+	// The output must still order acquire_all before the body and
+	// release_all at the end of the block.
+	if strings.Index(out, "acquire_all();") > strings.Index(out, "elem* x = to->head;") {
+		t.Error("acquire_all does not precede the section body")
+	}
+}
+
+// TestSectionLocksKeys checks the structured plan covers every section.
+func TestSectionLocksKeys(t *testing.T) {
+	prog, results := compile(t, moveSrc, 3)
+	plan := SectionLocks(results)
+	if len(plan) != len(prog.Sections) {
+		t.Fatalf("plan has %d sections, want %d", len(plan), len(prog.Sections))
+	}
+	for id, set := range plan {
+		if len(set) == 0 {
+			t.Errorf("section %d has no locks", id)
+		}
+	}
+}
+
+// TestGlobalLockPlan checks the baseline plan.
+func TestGlobalLockPlan(t *testing.T) {
+	prog, _ := compile(t, moveSrc, 3)
+	plan := GlobalLockPlan(prog)
+	for id, set := range plan {
+		if len(set) != 1 {
+			t.Fatalf("section %d: %d locks, want 1", id, len(set))
+		}
+		for _, l := range set {
+			if !l.IsGlobal() || l.Eff != locks.RW {
+				t.Errorf("section %d: lock %s is not the global rw lock", id, l)
+			}
+		}
+	}
+}
+
+// TestCoarsen checks that coarsening removes fine locks but keeps their
+// classes and effects covered.
+func TestCoarsen(t *testing.T) {
+	_, results := compile(t, moveSrc, 3)
+	plan := SectionLocks(results)
+	coarse := Coarsen(plan)
+	for id, set := range coarse {
+		for _, l := range set {
+			if l.Fine {
+				t.Errorf("section %d: fine lock %s survived coarsening", id, l)
+			}
+		}
+		// Every original lock must be dominated by some coarse lock.
+		for _, orig := range plan[id] {
+			covered := false
+			for _, c := range set {
+				if orig.Leq(c) || (!c.Fine && c.Class == orig.Class && orig.Eff.Leq(c.Eff)) {
+					covered = true
+				}
+			}
+			if !covered {
+				t.Errorf("section %d: %s not covered after coarsening", id, orig)
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+)
+
+// hnode is one chained-hashtable node with a mutable next link.
+type hnode struct {
+	key  int
+	next *mem.Cell // *hnode
+}
+
+func asHNode(v any) *hnode {
+	if v == nil {
+		return nil
+	}
+	return v.(*hnode)
+}
+
+func hashKey(key, nbuckets int) int {
+	h := uint32(key) * 2654435761
+	return int(h % uint32(nbuckets))
+}
+
+// Hashtable is the resizing chained hashtable of §6.1: a put walks its
+// bucket chain to insert and may grow and rehash the entire table, so every
+// write operation can touch all elements — the inference coarsens every
+// operation at any k, and an optimistic runtime suffers large rollbacks in
+// the put-heavy setting. Gets are read-only.
+type Hashtable struct {
+	name     string
+	mix      Mix
+	keyRange int
+	initial  int
+	nopWork  int
+
+	buckets  *mem.Cell // []*mem.Cell, each *hnode
+	size     *mem.Cell // int
+	baseline int
+	class    mgl.ClassID
+
+	puts, removes atomic.Int64
+	// Rehashes counts table rebuilds (including re-executed attempts).
+	Rehashes atomic.Int64
+}
+
+// NewHashtable builds the resizing hashtable workload.
+func NewHashtable(name string, mix Mix) *Hashtable {
+	return &Hashtable{
+		name:     name,
+		mix:      mix,
+		keyRange: 65536,
+		initial:  1024,
+		nopWork:  300,
+		class:    3,
+	}
+}
+
+// Name implements Workload.
+func (h *Hashtable) Name() string { return h.name }
+
+// Setup implements Workload.
+func (h *Hashtable) Setup(r *rand.Rand) {
+	initial := make([]*mem.Cell, 16)
+	for i := range initial {
+		initial[i] = mem.NewCell((*hnode)(nil))
+	}
+	h.buckets = mem.NewCell(initial)
+	h.size = mem.NewCell(0)
+	h.puts.Store(0)
+	h.removes.Store(0)
+	h.Rehashes.Store(0)
+	h.baseline = 0
+	ctx := Direct()
+	for i := 0; i < h.initial; i++ {
+		if h.put(ctx, r.Intn(h.keyRange)) {
+			h.baseline++
+		}
+	}
+}
+
+func (h *Hashtable) get(ctx Ctx, key int) bool {
+	buckets := ctx.Load(h.buckets).([]*mem.Cell)
+	n := asHNode(ctx.Load(buckets[hashKey(key, len(buckets))]))
+	for n != nil {
+		if n.key == key {
+			return true
+		}
+		n = asHNode(ctx.Load(n.next))
+	}
+	return false
+}
+
+func (h *Hashtable) put(ctx Ctx, key int) bool {
+	buckets := ctx.Load(h.buckets).([]*mem.Cell)
+	link := buckets[hashKey(key, len(buckets))]
+	// Walk the chain to its end, as the paper's hashtable does.
+	for {
+		n := asHNode(ctx.Load(link))
+		if n == nil {
+			break
+		}
+		if n.key == key {
+			return false
+		}
+		link = n.next
+	}
+	ctx.Store(link, &hnode{key: key, next: mem.NewCell((*hnode)(nil))})
+	size := ctx.Load(h.size).(int) + 1
+	ctx.Store(h.size, size)
+	if size > 2*len(buckets) {
+		// Space-conscious growth policy (+12.5%): the table crosses its
+		// load threshold repeatedly as it grows, so put-heavy runs rehash
+		// often — the behavior behind the paper's hashtable-high rollback
+		// observation.
+		h.rehash(ctx, buckets, len(buckets)+len(buckets)/8+1)
+	}
+	return true
+}
+
+// rehash rebuilds the table into nb fresh buckets, touching every element.
+func (h *Hashtable) rehash(ctx Ctx, old []*mem.Cell, nb int) {
+	h.Rehashes.Add(1)
+	fresh := make([]*mem.Cell, nb)
+	for i := range fresh {
+		fresh[i] = mem.NewCell((*hnode)(nil))
+	}
+	for _, b := range old {
+		n := asHNode(ctx.Load(b))
+		for n != nil {
+			cell := fresh[hashKey(n.key, nb)]
+			ctx.Store(cell, &hnode{key: n.key, next: mem.NewCell(asHNode(ctx.Load(cell)))})
+			n = asHNode(ctx.Load(n.next))
+		}
+	}
+	ctx.Store(h.buckets, fresh)
+}
+
+func (h *Hashtable) remove(ctx Ctx, key int) bool {
+	buckets := ctx.Load(h.buckets).([]*mem.Cell)
+	link := buckets[hashKey(key, len(buckets))]
+	for {
+		n := asHNode(ctx.Load(link))
+		if n == nil {
+			return false
+		}
+		if n.key == key {
+			ctx.Store(link, asHNode(ctx.Load(n.next)))
+			ctx.Store(h.size, ctx.Load(h.size).(int)-1)
+			return true
+		}
+		link = n.next
+	}
+}
+
+// Op implements Workload.
+func (h *Hashtable) Op(r *rand.Rand) Op {
+	key := r.Intn(h.keyRange)
+	kind := h.mix.pick(r)
+	write := kind != 0
+	var ok bool
+	return Op{
+		Locks: func(add func(mgl.Req)) {
+			add(mgl.Req{Class: h.class, Write: write})
+		},
+		Body: func(ctx Ctx) {
+			switch kind {
+			case 0:
+				ok = h.get(ctx, key)
+			case 1:
+				ok = h.put(ctx, key)
+			default:
+				ok = h.remove(ctx, key)
+			}
+		},
+		Work: h.nopWork,
+		After: func() {
+			if ok && kind == 1 {
+				h.puts.Add(1)
+			}
+			if ok && kind == 2 {
+				h.removes.Add(1)
+			}
+		},
+	}
+}
+
+// Check implements Workload.
+func (h *Hashtable) Check() error {
+	ctx := Direct()
+	buckets := ctx.Load(h.buckets).([]*mem.Cell)
+	n := 0
+	for i, b := range buckets {
+		cur := asHNode(ctx.Load(b))
+		for cur != nil {
+			if hashKey(cur.key, len(buckets)) != i {
+				return fmt.Errorf("hashtable: key %d in wrong bucket %d", cur.key, i)
+			}
+			n++
+			cur = asHNode(ctx.Load(cur.next))
+		}
+	}
+	if sz := ctx.Load(h.size).(int); sz != n {
+		return fmt.Errorf("hashtable: size cell %d, actual %d", sz, n)
+	}
+	want := h.baseline + int(h.puts.Load()) - int(h.removes.Load())
+	if n != want {
+		return fmt.Errorf("hashtable: %d elements, want %d", n, want)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+)
+
+// Mix is an operation mix: percentages of lookups and inserts; the rest are
+// removes. The paper's "low" setting makes gets four times more common than
+// the other operations, "high" does the same for puts.
+type Mix struct {
+	GetPct int
+	PutPct int
+}
+
+// The two micro-benchmark settings of §6.3.
+var (
+	LowMix  = Mix{GetPct: 66, PutPct: 17}
+	HighMix = Mix{GetPct: 17, PutPct: 66}
+)
+
+// pick draws an operation kind from the mix: 0 get, 1 put, 2 remove.
+func (m Mix) pick(r *rand.Rand) int {
+	p := r.Intn(100)
+	switch {
+	case p < m.GetPct:
+		return 0
+	case p < m.GetPct+m.PutPct:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// lnode is one sorted-list node. The key is immutable; next is a shared
+// cell holding *lnode.
+type lnode struct {
+	key  int
+	next *mem.Cell
+}
+
+func asLNode(v any) *lnode {
+	if v == nil {
+		return nil
+	}
+	return v.(*lnode)
+}
+
+// List is the sorted linked-list micro-benchmark. All operations traverse
+// an unbounded chain, so the inference yields a single coarse lock over the
+// element partition at every k — matching the paper's observation that
+// k=9 equals k=0 for this benchmark. Lookups take it read-only.
+type List struct {
+	name     string
+	mix      Mix
+	keyRange int
+	initial  int
+	nopWork  int
+
+	head *mem.Cell
+	// baseline is the number of elements actually inserted by Setup.
+	baseline int
+	// class is the Steensgaard partition of the list cells.
+	class mgl.ClassID
+
+	puts, removes atomic.Int64 // successful ops, counted post-commit
+}
+
+// NewList builds the list workload with the given mix.
+func NewList(name string, mix Mix) *List {
+	return &List{
+		name:     name,
+		mix:      mix,
+		keyRange: 512,
+		initial:  128,
+		nopWork:  300,
+		class:    1,
+	}
+}
+
+// Name implements Workload.
+func (l *List) Name() string { return l.name }
+
+// Setup implements Workload.
+func (l *List) Setup(r *rand.Rand) {
+	l.head = mem.NewCell((*lnode)(nil))
+	l.puts.Store(0)
+	l.removes.Store(0)
+	ctx := Direct()
+	l.baseline = 0
+	for i := 0; i < l.initial; i++ {
+		if l.insert(ctx, r.Intn(l.keyRange)) {
+			l.baseline++
+		}
+	}
+}
+
+func (l *List) insert(ctx Ctx, key int) bool {
+	prev := l.head
+	cur := asLNode(ctx.Load(prev))
+	for cur != nil && cur.key < key {
+		prev = cur.next
+		cur = asLNode(ctx.Load(prev))
+	}
+	if cur != nil && cur.key == key {
+		return false
+	}
+	n := &lnode{key: key, next: mem.NewCell(cur)}
+	ctx.Store(prev, n)
+	return true
+}
+
+func (l *List) lookup(ctx Ctx, key int) bool {
+	cur := asLNode(ctx.Load(l.head))
+	for cur != nil && cur.key < key {
+		cur = asLNode(ctx.Load(cur.next))
+	}
+	return cur != nil && cur.key == key
+}
+
+func (l *List) remove(ctx Ctx, key int) bool {
+	prev := l.head
+	cur := asLNode(ctx.Load(prev))
+	for cur != nil && cur.key < key {
+		prev = cur.next
+		cur = asLNode(ctx.Load(prev))
+	}
+	if cur == nil || cur.key != key {
+		return false
+	}
+	ctx.Store(prev, asLNode(ctx.Load(cur.next)))
+	return true
+}
+
+// Op implements Workload.
+func (l *List) Op(r *rand.Rand) Op {
+	key := r.Intn(l.keyRange)
+	kind := l.mix.pick(r)
+	write := kind != 0
+	var ok bool
+	return Op{
+		Locks: func(add func(mgl.Req)) {
+			// The traversal coarsens to the element partition; get is
+			// read-only (Σε), put and remove need write access.
+			add(mgl.Req{Class: l.class, Write: write})
+		},
+		Body: func(ctx Ctx) {
+			switch kind {
+			case 0:
+				ok = l.lookup(ctx, key)
+			case 1:
+				ok = l.insert(ctx, key)
+			default:
+				ok = l.remove(ctx, key)
+			}
+		},
+		Work: l.nopWork,
+		After: func() {
+			if ok && kind == 1 {
+				l.puts.Add(1)
+			}
+			if ok && kind == 2 {
+				l.removes.Add(1)
+			}
+		},
+	}
+}
+
+// Check implements Workload: the list must be strictly sorted and its
+// length must equal the initial size plus successful puts minus successful
+// removes (catching lost updates).
+func (l *List) Check() error {
+	ctx := Direct()
+	n := 0
+	last := -1
+	cur := asLNode(ctx.Load(l.head))
+	for cur != nil {
+		if cur.key <= last {
+			return fmt.Errorf("list: order violated: %d after %d", cur.key, last)
+		}
+		last = cur.key
+		n++
+		cur = asLNode(ctx.Load(cur.next))
+	}
+	want := l.baseline + int(l.puts.Load()) - int(l.removes.Load())
+	if n != want {
+		return fmt.Errorf("list: %d elements, want %d (baseline %d + puts %d - removes %d)",
+			n, want, l.baseline, l.puts.Load(), l.removes.Load())
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+)
+
+// rbnode is one tree node: the key is immutable; the child links and color
+// are shared cells so the STM can intercept every access.
+type rbnode struct {
+	key   int
+	left  *mem.Cell // *rbnode
+	right *mem.Cell // *rbnode
+	red   *mem.Cell // bool
+}
+
+func asRB(v any) *rbnode {
+	if v == nil {
+		return nil
+	}
+	return v.(*rbnode)
+}
+
+func newRBNode(key int, red bool) *rbnode {
+	return &rbnode{
+		key:   key,
+		left:  mem.NewCell((*rbnode)(nil)),
+		right: mem.NewCell((*rbnode)(nil)),
+		red:   mem.NewCell(red),
+	}
+}
+
+// RBTree is the red-black tree micro-benchmark. Inserts rebalance with the
+// standard recolor/rotate fixup; removals are plain BST splices (several
+// research prototypes, including lock-based STAMP ports, skip delete
+// rebalancing — the concurrency profile is unchanged). Every operation
+// walks an unbounded path, so the inferred locks are coarse at every k;
+// gets are read-only.
+type RBTree struct {
+	name     string
+	mix      Mix
+	keyRange int
+	initial  int
+	nopWork  int
+
+	root     *mem.Cell
+	baseline int
+	class    mgl.ClassID
+
+	puts, removes atomic.Int64
+}
+
+// NewRBTree builds the rbtree workload with the given mix.
+func NewRBTree(name string, mix Mix) *RBTree {
+	return &RBTree{
+		name:     name,
+		mix:      mix,
+		keyRange: 4096,
+		initial:  1024,
+		nopWork:  300,
+		class:    2,
+	}
+}
+
+// Name implements Workload.
+func (t *RBTree) Name() string { return t.name }
+
+// Setup implements Workload.
+func (t *RBTree) Setup(r *rand.Rand) {
+	t.root = mem.NewCell((*rbnode)(nil))
+	t.puts.Store(0)
+	t.removes.Store(0)
+	t.baseline = 0
+	ctx := Direct()
+	for i := 0; i < t.initial; i++ {
+		if t.insert(ctx, r.Intn(t.keyRange)) {
+			t.baseline++
+		}
+	}
+}
+
+func isRed(ctx Ctx, n *rbnode) bool { return n != nil && ctx.Load(n.red).(bool) }
+
+func setRed(ctx Ctx, n *rbnode, red bool) { ctx.Store(n.red, red) }
+
+// rotateLeft rotates the subtree stored in link to the left.
+func rotateLeft(ctx Ctx, link *mem.Cell) {
+	x := asRB(ctx.Load(link))
+	y := asRB(ctx.Load(x.right))
+	ctx.Store(x.right, asRB(ctx.Load(y.left)))
+	ctx.Store(y.left, x)
+	ctx.Store(link, y)
+}
+
+// rotateRight rotates the subtree stored in link to the right.
+func rotateRight(ctx Ctx, link *mem.Cell) {
+	x := asRB(ctx.Load(link))
+	y := asRB(ctx.Load(x.left))
+	ctx.Store(x.left, asRB(ctx.Load(y.right)))
+	ctx.Store(y.right, x)
+	ctx.Store(link, y)
+}
+
+// pathEnt records one step of the descent: the link cell and the node it
+// held.
+type pathEnt struct {
+	link *mem.Cell
+	n    *rbnode
+}
+
+func (t *RBTree) lookup(ctx Ctx, key int) bool {
+	n := asRB(ctx.Load(t.root))
+	for n != nil {
+		switch {
+		case key == n.key:
+			return true
+		case key < n.key:
+			n = asRB(ctx.Load(n.left))
+		default:
+			n = asRB(ctx.Load(n.right))
+		}
+	}
+	return false
+}
+
+func (t *RBTree) insert(ctx Ctx, key int) bool {
+	link := t.root
+	var stack []pathEnt
+	for {
+		n := asRB(ctx.Load(link))
+		if n == nil {
+			break
+		}
+		if key == n.key {
+			return false
+		}
+		stack = append(stack, pathEnt{link, n})
+		if key < n.key {
+			link = n.left
+		} else {
+			link = n.right
+		}
+	}
+	z := newRBNode(key, true)
+	ctx.Store(link, z)
+	stack = append(stack, pathEnt{link, z})
+	t.fixup(ctx, stack)
+	if root := asRB(ctx.Load(t.root)); root != nil {
+		setRed(ctx, root, false)
+	}
+	return true
+}
+
+// fixup restores the red-black invariants after inserting the node at the
+// top of the descent stack.
+func (t *RBTree) fixup(ctx Ctx, stack []pathEnt) {
+	k := len(stack) - 1
+	for k >= 2 {
+		z := stack[k].n
+		parent := stack[k-1]
+		grand := stack[k-2]
+		if !isRed(ctx, parent.n) {
+			return
+		}
+		parentIsLeft := asRB(ctx.Load(grand.n.left)) == parent.n
+		var uncle *rbnode
+		if parentIsLeft {
+			uncle = asRB(ctx.Load(grand.n.right))
+		} else {
+			uncle = asRB(ctx.Load(grand.n.left))
+		}
+		if isRed(ctx, uncle) {
+			setRed(ctx, parent.n, false)
+			setRed(ctx, uncle, false)
+			setRed(ctx, grand.n, true)
+			k -= 2
+			continue
+		}
+		if parentIsLeft {
+			if z == asRB(ctx.Load(parent.n.right)) {
+				rotateLeft(ctx, grand.n.left)
+			}
+			p := asRB(ctx.Load(grand.n.left))
+			setRed(ctx, p, false)
+			setRed(ctx, grand.n, true)
+			rotateRight(ctx, grand.link)
+		} else {
+			if z == asRB(ctx.Load(parent.n.left)) {
+				rotateRight(ctx, grand.n.right)
+			}
+			p := asRB(ctx.Load(grand.n.right))
+			setRed(ctx, p, false)
+			setRed(ctx, grand.n, true)
+			rotateLeft(ctx, grand.link)
+		}
+		return
+	}
+}
+
+func (t *RBTree) remove(ctx Ctx, key int) bool {
+	link := t.root
+	for {
+		n := asRB(ctx.Load(link))
+		if n == nil {
+			return false
+		}
+		if key == n.key {
+			break
+		}
+		if key < n.key {
+			link = n.left
+		} else {
+			link = n.right
+		}
+	}
+	n := asRB(ctx.Load(link))
+	left, right := asRB(ctx.Load(n.left)), asRB(ctx.Load(n.right))
+	switch {
+	case left == nil:
+		ctx.Store(link, right)
+	case right == nil:
+		ctx.Store(link, left)
+	default:
+		// Replace n with its in-order successor.
+		slink := n.right
+		for {
+			s := asRB(ctx.Load(slink))
+			if asRB(ctx.Load(s.left)) == nil {
+				break
+			}
+			slink = s.left
+		}
+		s := asRB(ctx.Load(slink))
+		ctx.Store(slink, asRB(ctx.Load(s.right)))
+		ctx.Store(s.left, asRB(ctx.Load(n.left)))
+		ctx.Store(s.right, asRB(ctx.Load(n.right)))
+		ctx.Store(s.red, ctx.Load(n.red).(bool))
+		ctx.Store(link, s)
+	}
+	return true
+}
+
+// Op implements Workload.
+func (t *RBTree) Op(r *rand.Rand) Op {
+	key := r.Intn(t.keyRange)
+	kind := t.mix.pick(r)
+	write := kind != 0
+	var ok bool
+	return Op{
+		Locks: func(add func(add mgl.Req)) {
+			add(mgl.Req{Class: t.class, Write: write})
+		},
+		Body: func(ctx Ctx) {
+			switch kind {
+			case 0:
+				ok = t.lookup(ctx, key)
+			case 1:
+				ok = t.insert(ctx, key)
+			default:
+				ok = t.remove(ctx, key)
+			}
+		},
+		Work: t.nopWork,
+		After: func() {
+			if ok && kind == 1 {
+				t.puts.Add(1)
+			}
+			if ok && kind == 2 {
+				t.removes.Add(1)
+			}
+		},
+	}
+}
+
+// Check implements Workload: in-order traversal must be strictly sorted and
+// the size must match the op accounting.
+func (t *RBTree) Check() error {
+	ctx := Direct()
+	n := 0
+	last := -1
+	var walk func(x *rbnode) error
+	walk = func(x *rbnode) error {
+		if x == nil {
+			return nil
+		}
+		if err := walk(asRB(ctx.Load(x.left))); err != nil {
+			return err
+		}
+		if x.key <= last {
+			return fmt.Errorf("rbtree: order violated: %d after %d", x.key, last)
+		}
+		last = x.key
+		n++
+		return walk(asRB(ctx.Load(x.right)))
+	}
+	if err := walk(asRB(ctx.Load(t.root))); err != nil {
+		return err
+	}
+	want := t.baseline + int(t.puts.Load()) - int(t.removes.Load())
+	if n != want {
+		return fmt.Errorf("rbtree: %d elements, want %d", n, want)
+	}
+	if root := asRB(ctx.Load(t.root)); isRed(ctx, root) {
+		return fmt.Errorf("rbtree: red root")
+	}
+	return nil
+}
+
+// CheckBalance verifies the full red-black invariants (no red-red edge,
+// equal black heights); valid only for insert-only runs.
+func (t *RBTree) CheckBalance() error {
+	ctx := Direct()
+	var bh func(x *rbnode) (int, error)
+	bh = func(x *rbnode) (int, error) {
+		if x == nil {
+			return 1, nil
+		}
+		l, r := asRB(ctx.Load(x.left)), asRB(ctx.Load(x.right))
+		if isRed(ctx, x) && (isRed(ctx, l) || isRed(ctx, r)) {
+			return 0, fmt.Errorf("rbtree: red-red edge at %d", x.key)
+		}
+		hl, err := bh(l)
+		if err != nil {
+			return 0, err
+		}
+		hr, err := bh(r)
+		if err != nil {
+			return 0, err
+		}
+		if hl != hr {
+			return 0, fmt.Errorf("rbtree: black height mismatch at %d: %d vs %d", x.key, hl, hr)
+		}
+		if !isRed(ctx, x) {
+			hl++
+		}
+		return hl, nil
+	}
+	_, err := bh(asRB(ctx.Load(t.root)))
+	return err
+}

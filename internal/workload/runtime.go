@@ -1,0 +1,233 @@
+// Package workload implements the benchmark programs of §6.1 as native Go
+// code over shared memory cells, runnable under four concurrency runtimes:
+//
+//   - Global: one global mutex per atomic section (the paper's "Global"
+//     column),
+//   - MGL coarse: the multi-granularity lock runtime with the k=0 lock
+//     plans (coarse points-to partition locks with read/write modes),
+//   - MGL fine: the k=9 plans (fine per-cell locks where the inference
+//     finds them, coarse otherwise),
+//   - STM: the TL2-style optimistic baseline.
+//
+// Operation bodies are written once against the Ctx interface; lock
+// runtimes execute them directly while the STM intercepts every access and
+// may re-execute the body. Lock descriptor generators mirror the compiler's
+// inferred locks for the mini-C versions of the same benchmarks (the
+// correspondence is asserted by tests in the progs package).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/stm"
+)
+
+// Ctx provides access to shared cells inside an atomic operation.
+type Ctx interface {
+	Load(c *mem.Cell) any
+	Store(c *mem.Cell, v any)
+}
+
+// directCtx accesses cells directly; used when locks provide exclusion.
+type directCtx struct{}
+
+func (directCtx) Load(c *mem.Cell) any     { return c.Load() }
+func (directCtx) Store(c *mem.Cell, v any) { c.Store(v) }
+
+// Direct returns a Ctx for single-threaded (setup/check) access.
+func Direct() Ctx { return directCtx{} }
+
+// Grain selects which lock plan a workload's descriptor generators emit.
+type Grain int
+
+// Lock plan grains.
+const (
+	// GrainCoarse mirrors the k=0 analysis: coarse partition locks only.
+	GrainCoarse Grain = iota
+	// GrainFine mirrors the k=9 analysis: fine per-cell locks where the
+	// inference finds them.
+	GrainFine
+)
+
+// Op is one atomic operation: the lock descriptors its section entry
+// acquires (ignored by Global and STM) and the body.
+type Op struct {
+	// Locks emits the descriptors for the MGL runtimes.
+	Locks func(add func(mgl.Req))
+	// Body performs the operation through ctx. It must be re-executable
+	// (the STM may abort and retry it).
+	Body func(ctx Ctx)
+	// After, if set, runs once after the atomic section commits; workloads
+	// use it for exactly-once accounting of the operation's outcome.
+	After func()
+	// Work is the amount of in-section computation (the paper's nop padding
+	// or, for kernels like labyrinth, the private work the section must
+	// enclose), in spin units. Real runtimes burn it inside the section;
+	// the machine simulator charges it as simulated core time.
+	Work int
+}
+
+// Exec is a concurrency runtime executing atomic operations.
+type Exec interface {
+	Name() string
+	// NewWorker returns the atomic-section runner for one goroutine.
+	NewWorker() func(Op)
+	// Stats renders runtime statistics after a run (may be empty).
+	Stats() string
+}
+
+// GlobalExec serializes every atomic section with one mutex.
+type GlobalExec struct {
+	mu sync.Mutex
+}
+
+// NewGlobalExec returns the global-lock runtime.
+func NewGlobalExec() *GlobalExec { return &GlobalExec{} }
+
+// Name implements Exec.
+func (g *GlobalExec) Name() string { return "global" }
+
+// Stats implements Exec.
+func (g *GlobalExec) Stats() string { return "" }
+
+// NewWorker implements Exec.
+func (g *GlobalExec) NewWorker() func(Op) {
+	return func(op Op) {
+		g.mu.Lock()
+		op.Body(directCtx{})
+		spinWork(op.Work)
+		g.mu.Unlock()
+	}
+}
+
+// MGLExec runs sections under the multi-granularity lock runtime.
+type MGLExec struct {
+	name string
+	m    *mgl.Manager
+}
+
+// NewMGLExec returns an MGL runtime with its own lock tree. The name
+// distinguishes the coarse and fine plan configurations in reports.
+func NewMGLExec(name string) *MGLExec {
+	return &MGLExec{name: name, m: mgl.NewManager()}
+}
+
+// Name implements Exec.
+func (e *MGLExec) Name() string { return e.name }
+
+// Stats implements Exec.
+func (e *MGLExec) Stats() string {
+	return fmt.Sprintf("acquires=%d waits=%d", e.m.Acquires(), e.m.Waits())
+}
+
+// Manager exposes the underlying lock manager.
+func (e *MGLExec) Manager() *mgl.Manager { return e.m }
+
+// NewWorker implements Exec.
+func (e *MGLExec) NewWorker() func(Op) {
+	s := e.m.NewSession()
+	return func(op Op) {
+		if op.Locks != nil {
+			op.Locks(s.ToAcquire)
+		}
+		s.AcquireAll()
+		op.Body(directCtx{})
+		spinWork(op.Work)
+		s.ReleaseAll()
+	}
+}
+
+// STMExec runs sections as TL2 transactions.
+type STMExec struct {
+	rt *stm.Runtime
+}
+
+// NewSTMExec returns the optimistic runtime.
+func NewSTMExec() *STMExec { return &STMExec{rt: stm.New()} }
+
+// Name implements Exec.
+func (e *STMExec) Name() string { return "stm" }
+
+// Stats implements Exec.
+func (e *STMExec) Stats() string {
+	return fmt.Sprintf("commits=%d aborts=%d", e.rt.Commits(), e.rt.Aborts())
+}
+
+// Runtime exposes the underlying STM (for abort statistics).
+func (e *STMExec) Runtime() *stm.Runtime { return e.rt }
+
+type txCtx struct{ tx *stm.Tx }
+
+func (c txCtx) Load(cell *mem.Cell) any     { return c.tx.Load(cell) }
+func (c txCtx) Store(cell *mem.Cell, v any) { c.tx.Store(cell, v) }
+
+// NewWorker implements Exec.
+func (e *STMExec) NewWorker() func(Op) {
+	return func(op Op) {
+		e.rt.Atomic(func(tx *stm.Tx) {
+			op.Body(txCtx{tx})
+			spinWork(op.Work)
+		})
+	}
+}
+
+// Workload is one benchmark program.
+type Workload interface {
+	Name() string
+	// Setup builds the shared state single-threaded.
+	Setup(r *rand.Rand)
+	// Op draws the next operation for one worker thread.
+	Op(r *rand.Rand) Op
+	// Check validates the workload's invariants after a run.
+	Check() error
+}
+
+// RunConfig parameterizes one measurement.
+type RunConfig struct {
+	Threads      int
+	OpsPerThread int
+	Seed         int64
+}
+
+// Run executes the workload under the runtime and returns the wall-clock
+// time of the parallel phase.
+func Run(w Workload, ex Exec, cfg RunConfig) (time.Duration, error) {
+	w.Setup(rand.New(rand.NewSource(cfg.Seed)))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(t) + 1))
+			atomic := ex.NewWorker()
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				op := w.Op(r)
+				atomic(op)
+				if op.After != nil {
+					op.After()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return elapsed, w.Check()
+}
+
+// spinWork burns deterministic CPU time; it models the paper's nop padding
+// inside atomic sections and the private computation of kernels like
+// labyrinth.
+func spinWork(n int) int {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = x*1103515245 + 12345
+	}
+	return x
+}

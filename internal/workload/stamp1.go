@@ -1,0 +1,332 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+)
+
+// This file implements three of the STAMP-like kernels (§6.1): genome,
+// kmeans and bayes. Each captures the concurrency structure of the original
+// benchmark — the property Table 2 and Figure 8 depend on — rather than its
+// application logic (see DESIGN.md §3 for the substitution argument).
+
+// Genome models the segment-deduplication phase: every operation inserts a
+// batch of segments into one shared hash set. There is no parallelism for
+// locks to exploit (all sections write the same partition), so coarse locks
+// behave like the global lock, fine-grain locks only add protocol overhead,
+// and the STM pays for conflicts on popular buckets.
+type Genome struct {
+	name     string
+	grain    Grain
+	nbuckets int
+	batch    int
+	nopWork  int
+
+	buckets []*mem.Cell
+	class   mgl.ClassID
+	inserts atomic.Int64
+	// seq hands out unique segment ids: the deduplication phase streams
+	// mostly-new segments, so every batch walks full chains and appends.
+	seq atomic.Int64
+}
+
+// NewGenome builds the genome kernel.
+func NewGenome(name string, grain Grain) *Genome {
+	return &Genome{
+		name:     name,
+		grain:    grain,
+		nbuckets: 12,
+		batch:    4,
+		nopWork:  400,
+		class:    5,
+	}
+}
+
+// Name implements Workload.
+func (g *Genome) Name() string { return g.name }
+
+// Setup implements Workload.
+func (g *Genome) Setup(r *rand.Rand) {
+	g.buckets = make([]*mem.Cell, g.nbuckets)
+	for i := range g.buckets {
+		g.buckets[i] = mem.NewCell((*hnode)(nil))
+	}
+	g.inserts.Store(0)
+	g.seq.Store(0)
+}
+
+func (g *Genome) insert(ctx Ctx, seg int) bool {
+	link := g.buckets[hashKey(seg, g.nbuckets)]
+	for {
+		n := asHNode(ctx.Load(link))
+		if n == nil {
+			break
+		}
+		if n.key == seg {
+			return false
+		}
+		link = n.next
+	}
+	ctx.Store(link, &hnode{key: seg, next: mem.NewCell((*hnode)(nil))})
+	return true
+}
+
+// Op implements Workload.
+func (g *Genome) Op(r *rand.Rand) Op {
+	segs := make([]int, g.batch)
+	for i := range segs {
+		segs[i] = int(g.seq.Add(1))*131 + r.Intn(4) // mostly unique, a few dups
+	}
+	var added int
+	return Op{
+		Locks: func(add func(mgl.Req)) {
+			// Chain traversal coarsens at every k.
+			add(mgl.Req{Class: g.class, Write: true})
+			if g.grain == GrainFine {
+				// The k=9 analysis additionally finds the bucket-head cells
+				// as fine expressions: pure protocol overhead here, since
+				// the coarse rw lock already serializes.
+				for _, s := range segs {
+					cell := g.buckets[hashKey(s, g.nbuckets)]
+					add(mgl.Req{Class: g.class, Fine: true, Addr: cell.ID(), Write: true})
+				}
+			}
+		},
+		Body: func(ctx Ctx) {
+			added = 0
+			for _, s := range segs {
+				if g.insert(ctx, s) {
+					added++
+				}
+			}
+		},
+		Work:  g.nopWork,
+		After: func() { g.inserts.Add(int64(added)) },
+	}
+}
+
+// Check implements Workload.
+func (g *Genome) Check() error {
+	ctx := Direct()
+	n := 0
+	seen := map[int]bool{}
+	for i, b := range g.buckets {
+		cur := asHNode(ctx.Load(b))
+		for cur != nil {
+			if hashKey(cur.key, g.nbuckets) != i {
+				return fmt.Errorf("genome: segment %d in wrong bucket", cur.key)
+			}
+			if seen[cur.key] {
+				return fmt.Errorf("genome: duplicate segment %d (dedup broken)", cur.key)
+			}
+			seen[cur.key] = true
+			n++
+			cur = asHNode(ctx.Load(cur.next))
+		}
+	}
+	if n != int(g.inserts.Load()) {
+		return fmt.Errorf("genome: %d segments, want %d", n, g.inserts.Load())
+	}
+	return nil
+}
+
+// Kmeans models the centroid-accumulation phase: each operation assigns one
+// point to its nearest centroid and atomically adds the point into the
+// centroid's running sums. Few hot centroids mean high contention: fine
+// per-centroid locks buy little and cost extra protocol work, and the STM
+// aborts heavily on the hot accumulator cells.
+type Kmeans struct {
+	name      string
+	grain     Grain
+	clusters  int
+	dim       int
+	nopWork   int
+	centroids [][]*mem.Cell // per cluster: dim sum cells + 1 count cell
+	// delta is the global membership-change counter the real kmeans updates
+	// in the same atomic section; it serializes every operation and is the
+	// reason fine-grain locks cannot help this benchmark.
+	delta    *mem.Cell
+	class    mgl.ClassID
+	assigned atomic.Int64
+}
+
+// NewKmeans builds the kmeans kernel.
+func NewKmeans(name string, grain Grain) *Kmeans {
+	return &Kmeans{
+		name:     name,
+		grain:    grain,
+		clusters: 12,
+		dim:      8,
+		nopWork:  220,
+		class:    6,
+	}
+}
+
+// Name implements Workload.
+func (k *Kmeans) Name() string { return k.name }
+
+// Setup implements Workload.
+func (k *Kmeans) Setup(r *rand.Rand) {
+	k.centroids = make([][]*mem.Cell, k.clusters)
+	for i := range k.centroids {
+		cells := make([]*mem.Cell, k.dim+1)
+		for j := range cells {
+			cells[j] = mem.NewCell(0)
+		}
+		k.centroids[i] = cells
+	}
+	k.delta = mem.NewCell(0)
+	k.assigned.Store(0)
+}
+
+// Op implements Workload.
+func (k *Kmeans) Op(r *rand.Rand) Op {
+	point := make([]int, k.dim)
+	for i := range point {
+		point[i] = r.Intn(100)
+	}
+	// Nearest-centroid choice is computed outside the section in the real
+	// benchmark; here a skewed pick models cluster popularity.
+	c := r.Intn(k.clusters)
+	if r.Intn(3) != 0 {
+		c = c % (k.clusters / 3)
+	}
+	cells := k.centroids[c]
+	return Op{
+		Locks: func(add func(mgl.Req)) {
+			if k.grain == GrainFine {
+				// One fine rw lock per accumulator cell of the chosen
+				// centroid plus the global delta cell: expressible because
+				// the centroid index is an operation argument. The delta
+				// lock still serializes every operation.
+				for _, cell := range cells {
+					add(mgl.Req{Class: k.class, Fine: true, Addr: cell.ID(), Write: true})
+				}
+				add(mgl.Req{Class: k.class, Fine: true, Addr: k.delta.ID(), Write: true})
+				return
+			}
+			add(mgl.Req{Class: k.class, Write: true})
+		},
+		Body: func(ctx Ctx) {
+			for i := 0; i < k.dim; i++ {
+				ctx.Store(cells[i], ctx.Load(cells[i]).(int)+point[i])
+			}
+			ctx.Store(cells[k.dim], ctx.Load(cells[k.dim]).(int)+1)
+			ctx.Store(k.delta, ctx.Load(k.delta).(int)+1)
+		},
+		Work:  k.nopWork,
+		After: func() { k.assigned.Add(1) },
+	}
+}
+
+// Check implements Workload: the per-centroid counts must sum to the number
+// of operations.
+func (k *Kmeans) Check() error {
+	ctx := Direct()
+	total := 0
+	for _, cells := range k.centroids {
+		total += ctx.Load(cells[k.dim]).(int)
+	}
+	if total != int(k.assigned.Load()) {
+		return fmt.Errorf("kmeans: %d points accumulated, want %d (lost updates)",
+			total, k.assigned.Load())
+	}
+	if d := ctx.Load(k.delta).(int); d != total {
+		return fmt.Errorf("kmeans: delta %d disagrees with total %d", d, total)
+	}
+	return nil
+}
+
+// Bayes models structure learning over a shared dependency graph: long
+// sections read a neighborhood of the adjacency matrix, compute a score and
+// apply a small update. The access pattern is unboundedly data-dependent,
+// so the inference coarsens everything; the STM pays for long transactions
+// with overlapping read sets.
+type Bayes struct {
+	name string
+	vars int
+	// hot is the size of the contended region (the currently-revised
+	// variable neighborhood) that updates concentrate on.
+	hot     int
+	reads   int
+	writes  int
+	nopWork int
+	adj     []*mem.Cell
+	class   mgl.ClassID
+	updates atomic.Int64
+}
+
+// NewBayes builds the bayes kernel.
+func NewBayes(name string) *Bayes {
+	return &Bayes{
+		name:    name,
+		vars:    32,
+		hot:     24,
+		reads:   20,
+		writes:  8,
+		nopWork: 900,
+		class:   7,
+	}
+}
+
+// Name implements Workload.
+func (b *Bayes) Name() string { return b.name }
+
+// Setup implements Workload.
+func (b *Bayes) Setup(r *rand.Rand) {
+	b.adj = make([]*mem.Cell, b.vars*b.vars)
+	for i := range b.adj {
+		b.adj[i] = mem.NewCell(0)
+	}
+	b.updates.Store(0)
+}
+
+// Op implements Workload.
+func (b *Bayes) Op(r *rand.Rand) Op {
+	rs := make([]int, b.reads)
+	for i := range rs {
+		if i < b.writes {
+			rs[i] = r.Intn(b.hot) // the revised neighborhood is re-read
+		} else {
+			rs[i] = r.Intn(len(b.adj))
+		}
+	}
+	ws := make([]int, b.writes)
+	for i := range ws {
+		ws[i] = r.Intn(b.hot)
+	}
+	return Op{
+		Locks: func(add func(mgl.Req)) {
+			add(mgl.Req{Class: b.class, Write: true})
+		},
+		Body: func(ctx Ctx) {
+			score := 0
+			for _, i := range rs {
+				score += ctx.Load(b.adj[i]).(int)
+			}
+			for _, i := range ws {
+				ctx.Store(b.adj[i], ctx.Load(b.adj[i]).(int)+1)
+			}
+			_ = score
+		},
+		Work:  b.nopWork,
+		After: func() { b.updates.Add(1) },
+	}
+}
+
+// Check implements Workload: total edge weight equals writes applied.
+func (b *Bayes) Check() error {
+	ctx := Direct()
+	total := 0
+	for _, c := range b.adj {
+		total += ctx.Load(c).(int)
+	}
+	if want := int(b.updates.Load()) * b.writes; total != want {
+		return fmt.Errorf("bayes: total weight %d, want %d", total, want)
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+)
+
+// This file implements the remaining two STAMP-like kernels: vacation (the
+// STM worst case: long transactions over hot reservation tables) and
+// labyrinth (the STM best case: long private computation with a short,
+// rarely conflicting commit).
+
+// Vacation models the travel reservation system: each transaction reads a
+// customer record, probes availability across the car/flight/room tables
+// and reserves several items. Transactions are long and the item tables are
+// hot, so the optimistic runtime suffers an abort storm (the paper reports
+// 1.7 million aborts for one thousand commits) while the pessimistic
+// runtimes serialize cheaply on coarse locks.
+type Vacation struct {
+	name    string
+	items   int
+	queries int
+	nopWork int
+
+	// tables[0..2]: availability counters for cars, flights, rooms.
+	tables    [3][]*mem.Cell
+	customers []*mem.Cell // per customer: reservation count
+	classes   [4]mgl.ClassID
+
+	reserved atomic.Int64
+}
+
+// NewVacation builds the vacation kernel.
+func NewVacation(name string) *Vacation {
+	return &Vacation{
+		name:    name,
+		items:   24,
+		queries: 16,
+		nopWork: 45,
+		classes: [4]mgl.ClassID{8, 9, 10, 11},
+	}
+}
+
+// Name implements Workload.
+func (v *Vacation) Name() string { return v.name }
+
+// Setup implements Workload.
+func (v *Vacation) Setup(r *rand.Rand) {
+	for t := range v.tables {
+		v.tables[t] = make([]*mem.Cell, v.items)
+		for i := range v.tables[t] {
+			v.tables[t][i] = mem.NewCell(1 << 30) // effectively unlimited stock
+		}
+	}
+	v.customers = make([]*mem.Cell, 32)
+	for i := range v.customers {
+		v.customers[i] = mem.NewCell(0)
+	}
+	v.reserved.Store(0)
+}
+
+// Op implements Workload: one make-reservation transaction.
+func (v *Vacation) Op(r *rand.Rand) Op {
+	cust := r.Intn(len(v.customers))
+	type query struct{ table, item int }
+	qs := make([]query, v.queries)
+	for i := range qs {
+		qs[i] = query{table: r.Intn(3), item: r.Intn(v.items)}
+	}
+	var booked int
+	return Op{
+		Locks: func(add func(mgl.Req)) {
+			// The probe loop is unbounded in the analysis: coarse rw on
+			// each table partition plus the customer partition.
+			for _, c := range v.classes {
+				add(mgl.Req{Class: c, Write: true})
+			}
+		},
+		Body: func(ctx Ctx) {
+			booked = 0
+			// Probe all queried items, then reserve the cheapest per table
+			// — modeled as reserving every probed item with stock.
+			for _, q := range qs {
+				cell := v.tables[q.table][q.item]
+				stock := ctx.Load(cell).(int)
+				if stock > 0 {
+					ctx.Store(cell, stock-1)
+					booked++
+				}
+			}
+			cc := v.customers[cust]
+			ctx.Store(cc, ctx.Load(cc).(int)+booked)
+		},
+		// Pricing computation between the table accesses.
+		Work:  v.nopWork * v.queries,
+		After: func() { v.reserved.Add(int64(booked)) },
+	}
+}
+
+// Check implements Workload: stock decrements must equal customer
+// reservation entries and the post-commit tally.
+func (v *Vacation) Check() error {
+	ctx := Direct()
+	sold := 0
+	for t := range v.tables {
+		for _, c := range v.tables[t] {
+			sold += (1 << 30) - ctx.Load(c).(int)
+		}
+	}
+	held := 0
+	for _, c := range v.customers {
+		held += ctx.Load(c).(int)
+	}
+	if sold != held {
+		return fmt.Errorf("vacation: %d items sold but customers hold %d", sold, held)
+	}
+	if sold != int(v.reserved.Load()) {
+		return fmt.Errorf("vacation: %d items sold, tally says %d", sold, v.reserved.Load())
+	}
+	return nil
+}
+
+// Labyrinth models the maze router: each transaction computes an expensive
+// path through a large shared grid, claims the path's cells, and (unlike
+// the original, which keeps routes — our runs are far longer than one
+// routing pass) releases them at the end of the same section, modeling a
+// circuit-switched wire. The computation must stay inside the section (the
+// path depends on the grid state), so pessimistic locks serialize it
+// entirely, while the optimistic runtime overlaps the computation and
+// rarely conflicts on the large grid — the one benchmark where the STM wins
+// in Table 2.
+type Labyrinth struct {
+	name    string
+	side    int
+	pathLen int
+	nopWork int
+
+	grid   []*mem.Cell // 0 = free, 1 = held by an in-flight wire
+	class  mgl.ClassID
+	routed atomic.Int64 // committed successful routes
+	failed atomic.Int64 // committed congested attempts
+}
+
+// NewLabyrinth builds the labyrinth kernel.
+func NewLabyrinth(name string) *Labyrinth {
+	return &Labyrinth{
+		name:    name,
+		side:    128,
+		pathLen: 48,
+		nopWork: 4000,
+		class:   12,
+	}
+}
+
+// Name implements Workload.
+func (l *Labyrinth) Name() string { return l.name }
+
+// Setup implements Workload.
+func (l *Labyrinth) Setup(r *rand.Rand) {
+	l.grid = make([]*mem.Cell, l.side*l.side)
+	for i := range l.grid {
+		l.grid[i] = mem.NewCell(0)
+	}
+	l.routed.Store(0)
+	l.failed.Store(0)
+}
+
+// Op implements Workload: route one wire.
+func (l *Labyrinth) Op(r *rand.Rand) Op {
+	// The walk is deterministic for the op (re-executions take the same
+	// path), starting at a random cell.
+	start := r.Intn(len(l.grid))
+	dirs := make([]int, l.pathLen-1)
+	for i := range dirs {
+		dirs[i] = r.Intn(4)
+	}
+	var got int
+	return Op{
+		Locks: func(add func(mgl.Req)) {
+			// The path is data-dependent: coarse rw over the grid.
+			add(mgl.Req{Class: l.class, Write: true})
+		},
+		Body: func(ctx Ctx) {
+			got = 0
+			// The expensive route computation happens inside the section
+			// (charged via Work); here we apply its result.
+			cells := l.walk(start, dirs)
+			for _, c := range cells {
+				if ctx.Load(c).(int) != 0 {
+					return // congested: give up this route
+				}
+			}
+			for _, c := range cells {
+				ctx.Store(c, ctx.Load(c).(int)+1)
+			}
+			// The wire is used and torn down within the section.
+			for _, c := range cells {
+				ctx.Store(c, ctx.Load(c).(int)-1)
+			}
+			got = len(cells)
+		},
+		// Expensive route computation *inside* the section.
+		Work: l.nopWork,
+		After: func() {
+			if got > 0 {
+				l.routed.Add(1)
+			} else {
+				l.failed.Add(1)
+			}
+		},
+	}
+}
+
+// walk produces the distinct cells of the op's path.
+func (l *Labyrinth) walk(start int, dirs []int) []*mem.Cell {
+	x, y := start%l.side, start/l.side
+	seen := map[int]bool{}
+	var cells []*mem.Cell
+	visit := func(x, y int) {
+		i := y*l.side + x
+		if !seen[i] {
+			seen[i] = true
+			cells = append(cells, l.grid[i])
+		}
+	}
+	visit(x, y)
+	for _, d := range dirs {
+		switch d {
+		case 0:
+			if x+1 < l.side {
+				x++
+			}
+		case 1:
+			if x > 0 {
+				x--
+			}
+		case 2:
+			if y+1 < l.side {
+				y++
+			}
+		default:
+			if y > 0 {
+				y--
+			}
+		}
+		visit(x, y)
+	}
+	return cells
+}
+
+// Check implements Workload: every committed wire released its cells, so
+// any nonzero residue means two routes raced on a cell; and most routes
+// must succeed (the grid is sized for low congestion).
+func (l *Labyrinth) Check() error {
+	ctx := Direct()
+	for i, c := range l.grid {
+		if v := ctx.Load(c).(int); v != 0 {
+			return fmt.Errorf("labyrinth: cell %d has residue %d (routes overlapped)", i, v)
+		}
+	}
+	routed, failed := l.routed.Load(), l.failed.Load()
+	if routed+failed > 100 && failed > (routed+failed)/2 {
+		return fmt.Errorf("labyrinth: %d of %d routes congested; grid mis-sized", failed, routed+failed)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TH is the two-structure benchmark of §6.1: it combines the rbtree and the
+// hashtable, with each operation flipping a fair coin to choose the
+// structure, so half of all accesses land on each. Because the two
+// structures live in disjoint points-to partitions, coarse locks always
+// exploit more parallelism than a global lock here — the headline win of
+// multi-granularity locking in Table 2 and Figure 8.
+type TH struct {
+	name  string
+	tree  *RBTree
+	table *Hashtable
+}
+
+// NewTH builds the combined workload with the given mix.
+func NewTH(name string, mix Mix) *TH {
+	t := &TH{
+		name:  name,
+		tree:  NewRBTree(name+".rbtree", mix),
+		table: NewHashtable(name+".hashtable", mix),
+	}
+	// Distinct partitions: the whole point of the benchmark.
+	t.tree.class = 20
+	t.table.class = 21
+	return t
+}
+
+// Name implements Workload.
+func (t *TH) Name() string { return t.name }
+
+// Setup implements Workload.
+func (t *TH) Setup(r *rand.Rand) {
+	t.tree.Setup(r)
+	t.table.Setup(r)
+}
+
+// Op implements Workload.
+func (t *TH) Op(r *rand.Rand) Op {
+	if r.Intn(2) == 0 {
+		return t.tree.Op(r)
+	}
+	return t.table.Op(r)
+}
+
+// Check implements Workload.
+func (t *TH) Check() error {
+	if err := t.tree.Check(); err != nil {
+		return fmt.Errorf("th: %w", err)
+	}
+	if err := t.table.Check(); err != nil {
+		return fmt.Errorf("th: %w", err)
+	}
+	return nil
+}

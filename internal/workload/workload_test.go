@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/mem"
+)
+
+// allWorkloads returns fresh instances of every benchmark at the given
+// grain.
+func allWorkloads(grain Grain) []Workload {
+	return []Workload{
+		NewList("list", LowMix),
+		NewList("list-high", HighMix),
+		NewRBTree("rbtree", LowMix),
+		NewRBTree("rbtree-high", HighMix),
+		NewHashtable("hashtable", LowMix),
+		NewHashtable("hashtable-high", HighMix),
+		NewHashtable2("hashtable-2", LowMix, grain),
+		NewHashtable2("hashtable-2-high", HighMix, grain),
+		NewTH("th", LowMix),
+		NewGenome("genome", grain),
+		NewKmeans("kmeans", grain),
+		NewBayes("bayes"),
+		NewVacation("vacation"),
+		NewLabyrinth("labyrinth"),
+	}
+}
+
+func execs() []Exec {
+	return []Exec{
+		NewGlobalExec(),
+		NewMGLExec("mgl"),
+		NewSTMExec(),
+	}
+}
+
+// TestAllWorkloadsAllRuntimes runs every benchmark under every runtime and
+// validates its invariants.
+func TestAllWorkloadsAllRuntimes(t *testing.T) {
+	for _, grain := range []Grain{GrainCoarse, GrainFine} {
+		for _, w := range allWorkloads(grain) {
+			for _, ex := range execs() {
+				name := w.Name()
+				t.Run(name+"/"+ex.Name()+grainName(grain), func(t *testing.T) {
+					cfg := RunConfig{Threads: 4, OpsPerThread: 150, Seed: 42}
+					if _, err := Run(w, ex, cfg); err != nil {
+						t.Fatalf("%s under %s: %v", name, ex.Name(), err)
+					}
+				})
+			}
+		}
+	}
+}
+
+func grainName(g Grain) string {
+	if g == GrainFine {
+		return "/fine"
+	}
+	return "/coarse"
+}
+
+// TestSequentialSemantics checks each structure's single-threaded behavior
+// against a reference map.
+func TestSequentialSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ctx := Direct()
+
+	t.Run("list", func(t *testing.T) {
+		l := NewList("list", LowMix)
+		l.Setup(rand.New(rand.NewSource(1)))
+		ref := map[int]bool{}
+		cur := asLNode(ctx.Load(l.head))
+		for cur != nil {
+			ref[cur.key] = true
+			cur = asLNode(ctx.Load(cur.next))
+		}
+		for i := 0; i < 2000; i++ {
+			k := r.Intn(l.keyRange)
+			switch r.Intn(3) {
+			case 0:
+				if got, want := l.lookup(ctx, k), ref[k]; got != want {
+					t.Fatalf("lookup(%d) = %v, want %v", k, got, want)
+				}
+			case 1:
+				if got, want := l.insert(ctx, k), !ref[k]; got != want {
+					t.Fatalf("insert(%d) = %v, want %v", k, got, want)
+				}
+				ref[k] = true
+			default:
+				if got, want := l.remove(ctx, k), ref[k]; got != want {
+					t.Fatalf("remove(%d) = %v, want %v", k, got, want)
+				}
+				delete(ref, k)
+			}
+		}
+	})
+
+	t.Run("rbtree", func(t *testing.T) {
+		tr := NewRBTree("rbtree", LowMix)
+		tr.Setup(rand.New(rand.NewSource(2)))
+		ref := map[int]bool{}
+		var collect func(n *rbnode)
+		collect = func(n *rbnode) {
+			if n == nil {
+				return
+			}
+			ref[n.key] = true
+			collect(asRB(ctx.Load(n.left)))
+			collect(asRB(ctx.Load(n.right)))
+		}
+		collect(asRB(ctx.Load(tr.root)))
+		for i := 0; i < 3000; i++ {
+			k := r.Intn(tr.keyRange)
+			switch r.Intn(3) {
+			case 0:
+				if got, want := tr.lookup(ctx, k), ref[k]; got != want {
+					t.Fatalf("lookup(%d) = %v, want %v", k, got, want)
+				}
+			case 1:
+				if got, want := tr.insert(ctx, k), !ref[k]; got != want {
+					t.Fatalf("insert(%d) = %v, want %v", k, got, want)
+				}
+				ref[k] = true
+			default:
+				if got, want := tr.remove(ctx, k), ref[k]; got != want {
+					t.Fatalf("remove(%d) = %v, want %v", k, got, want)
+				}
+				delete(ref, k)
+			}
+		}
+	})
+
+}
+
+// TestHashtableReference drives the resizing hashtable against a map.
+func TestHashtableReference(t *testing.T) {
+	ctx := Direct()
+	h := NewHashtable("hashtable", LowMix)
+	h.buckets = nil
+	h.Setup(rand.New(rand.NewSource(3)))
+	r := rand.New(rand.NewSource(8))
+	ref := map[int]bool{}
+	// Reconstruct the setup contents.
+	for k := 0; k < h.keyRange; k++ {
+		if h.get(ctx, k) {
+			ref[k] = true
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		k := r.Intn(h.keyRange)
+		switch r.Intn(3) {
+		case 0:
+			if got, want := h.get(ctx, k), ref[k]; got != want {
+				t.Fatalf("get(%d) = %v, want %v", k, got, want)
+			}
+		case 1:
+			if got, want := h.put(ctx, k), !ref[k]; got != want {
+				t.Fatalf("put(%d) = %v, want %v", k, got, want)
+			}
+			ref[k] = true
+		default:
+			if got, want := h.remove(ctx, k), ref[k]; got != want {
+				t.Fatalf("remove(%d) = %v, want %v", k, got, want)
+			}
+			delete(ref, k)
+		}
+	}
+}
+
+// TestRBTreeBalanced verifies full red-black invariants on insert-only
+// runs.
+func TestRBTreeBalanced(t *testing.T) {
+	tr := NewRBTree("rbtree", Mix{GetPct: 0, PutPct: 100})
+	tr.initial = 0
+	tr.Setup(rand.New(rand.NewSource(4)))
+	ctx := Direct()
+	for i := 0; i < 4096; i++ {
+		tr.insert(ctx, i) // adversarial ascending order
+	}
+	if err := tr.CheckBalance(); err != nil {
+		t.Fatal(err)
+	}
+	// Depth must be logarithmic: 2*log2(4096+1) = 24 max for an RB tree.
+	depth := 0
+	var walk func(n *rbnode, d int)
+	walk = func(n *rbnode, d int) {
+		if n == nil {
+			if d > depth {
+				depth = d
+			}
+			return
+		}
+		walk(asRB(ctx.Load(n.left)), d+1)
+		walk(asRB(ctx.Load(n.right)), d+1)
+	}
+	walk(asRB(ctx.Load(tr.root)), 0)
+	if depth > 24 {
+		t.Errorf("tree depth %d exceeds red-black bound 24", depth)
+	}
+}
+
+// unsafeExec runs bodies with no synchronization at all, yielding between
+// every access to force interleavings even on a single-core host; used to
+// confirm the invariant checks actually catch atomicity violations.
+type unsafeExec struct{}
+
+type yieldingCtx struct{}
+
+func (yieldingCtx) Load(c *mem.Cell) any {
+	v := c.Load()
+	runtime.Gosched()
+	return v
+}
+
+func (yieldingCtx) Store(c *mem.Cell, v any) {
+	runtime.Gosched()
+	c.Store(v)
+}
+
+func (unsafeExec) Name() string        { return "unsafe" }
+func (unsafeExec) Stats() string       { return "" }
+func (unsafeExec) NewWorker() func(Op) { return func(op Op) { op.Body(yieldingCtx{}) } }
+
+// TestChecksCatchRaces runs a write-heavy counter-style workload with no
+// synchronization and expects a check failure (this also documents that the
+// invariants are strong enough to detect lost updates).
+func TestChecksCatchRaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("racy by design")
+	}
+	k := NewKmeans("kmeans", GrainCoarse)
+	failures := 0
+	for attempt := 0; attempt < 5; attempt++ {
+		cfg := RunConfig{Threads: 8, OpsPerThread: 3000, Seed: int64(attempt)}
+		if _, err := Run(k, unsafeExec{}, cfg); err != nil {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("unsynchronized execution never failed the invariant check")
+	}
+}
+
+// TestStatsReporting smoke-tests the stats strings.
+func TestStatsReporting(t *testing.T) {
+	w := NewList("list", HighMix)
+	ex := NewMGLExec("mgl-fine")
+	if _, err := Run(w, ex, RunConfig{Threads: 2, OpsPerThread: 50, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.Stats(), "acquires=") {
+		t.Errorf("unexpected stats %q", ex.Stats())
+	}
+	st := NewSTMExec()
+	if _, err := Run(w, st, RunConfig{Threads: 2, OpsPerThread: 50, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.Stats(), "commits=") {
+		t.Errorf("unexpected stats %q", st.Stats())
+	}
+}

@@ -1,0 +1,195 @@
+// Package lockinfer is a from-scratch reproduction of "Inferring Locks for
+// Atomic Sections" (Cherem, Chilimbi, Gulwani; PLDI 2008): a compiler that
+// reads programs written with atomic sections and produces equivalent
+// programs that use only locking primitives, plus the multi-granularity
+// lock runtime the generated code needs and a TL2-style STM baseline.
+//
+// The facade covers the common path — compile a mini-C program, inspect or
+// emit the inferred locks, and execute the result on the checking
+// interpreter:
+//
+//	c, err := lockinfer.Compile(src, lockinfer.WithK(3))
+//	fmt.Println(c.LockReport())
+//	fmt.Println(c.TransformedSource())
+//	m := c.NewMachine(lockinfer.Checked())
+//	err = m.Run([]lockinfer.ThreadSpec{{Fn: "worker", Args: ...}})
+//
+// The building blocks live in internal packages: internal/lang (front end),
+// internal/ir (the Figure 3 core language), internal/steens (unification
+// points-to analysis), internal/infer (the backward lock inference),
+// internal/mgl (the hierarchical lock runtime of Section 5), internal/stm
+// (the optimistic baseline), internal/interp (the operational semantics of
+// Section 4.2) and internal/bench (the Section 6 experiments).
+package lockinfer
+
+import (
+	"fmt"
+	"strings"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// Re-exported types, so callers can hold and pass the pipeline's artifacts.
+type (
+	// Machine executes compiled programs (see internal/interp).
+	Machine = interp.Machine
+	// ThreadSpec names a thread entry point for Machine.Run.
+	ThreadSpec = interp.ThreadSpec
+	// Value is an interpreter value.
+	Value = interp.Value
+	// LockSet is a set of inferred locks.
+	LockSet = locks.Set
+	// InferResult is the analysis outcome for one atomic section.
+	InferResult = infer.Result
+	// ExternSpec specifies an external (pre-compiled) function for the
+	// analysis (§4.3): the globals whose reachable structure it may read or
+	// write, and where its returned pointer lives.
+	ExternSpec = steens.ExternSpec
+	// ExternFunc is a host implementation of an external function for the
+	// interpreter.
+	ExternFunc = interp.ExternFunc
+)
+
+// IntV builds an integer Value for thread arguments.
+func IntV(i int64) Value { return interp.IntV(i) }
+
+type config struct {
+	k        int
+	indexMax int
+	specs    map[string]steens.ExternSpec
+}
+
+// Option configures Compile.
+type Option func(*config)
+
+// WithK sets the expression-lock length bound (the paper sweeps 0..9;
+// default 3, the Σ3 scheme of the Figure 1 example).
+func WithK(k int) Option { return func(c *config) { c.k = k } }
+
+// WithIndexMax bounds symbolic array-index expressions (default 8).
+func WithIndexMax(n int) Option { return func(c *config) { c.indexMax = n } }
+
+// WithSpecs supplies function specifications for external (pre-compiled)
+// functions declared as prototypes. Externs without a spec are covered by
+// the global lock.
+func WithSpecs(specs map[string]ExternSpec) Option {
+	return func(c *config) { c.specs = specs }
+}
+
+// Compilation is the result of compiling a program with atomic sections.
+type Compilation struct {
+	// AST is the parsed surface program.
+	AST *lang.Program
+	// Program is the lowered IR.
+	Program *ir.Program
+	// Points is the Steensgaard points-to analysis result.
+	Points *steens.Analysis
+	// Results holds the inferred locks, one entry per atomic section.
+	Results []*InferResult
+	// K is the expression length bound used.
+	K int
+}
+
+// Compile runs the full pipeline: parse, lower, points-to analysis, lock
+// inference.
+func Compile(src string, opts ...Option) (*Compilation, error) {
+	cfg := config{k: 3}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return nil, err
+	}
+	pts := steens.RunWithSpecs(prog, cfg.specs)
+	eng := infer.New(prog, pts, infer.Options{K: cfg.k, IndexMax: cfg.indexMax, Specs: cfg.specs})
+	return &Compilation{
+		AST:     ast,
+		Program: prog,
+		Points:  pts,
+		Results: eng.AnalyzeAll(),
+		K:       cfg.k,
+	}, nil
+}
+
+// Plan returns the per-section lock sets, keyed by section id.
+func (c *Compilation) Plan() map[int]LockSet {
+	return transform.SectionLocks(c.Results)
+}
+
+// GlobalPlan returns the single-global-lock baseline plan.
+func (c *Compilation) GlobalPlan() map[int]LockSet {
+	return transform.GlobalLockPlan(c.Program)
+}
+
+// CoarsePlan returns the plan with every fine lock coarsened to its
+// partition (the k=0 shape).
+func (c *Compilation) CoarsePlan() map[int]LockSet {
+	return transform.Coarsen(c.Plan())
+}
+
+// TransformedSource renders the program with every atomic section rewritten
+// to the to_acquire/acquire_all/release_all form of Figure 1(c).
+func (c *Compilation) TransformedSource() string {
+	return transform.Source(c.Program, c.Results)
+}
+
+// LockReport renders the inferred locks per atomic section.
+func (c *Compilation) LockReport() string {
+	var b strings.Builder
+	for _, r := range c.Results {
+		sec := r.Section
+		fmt.Fprintf(&b, "section #%d in %s (line %d), k=%d:\n",
+			sec.ID, sec.Fn.Name, sec.Pos.Line, c.K)
+		ls := r.Locks.Strings(c.Program)
+		if len(ls) == 0 {
+			b.WriteString("  (no locks: the section touches only thread-local state)\n")
+			continue
+		}
+		for _, l := range ls {
+			fmt.Fprintf(&b, "  acquire %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+// MachineOption configures NewMachine.
+type MachineOption func(*machineConfig)
+
+type machineConfig struct {
+	checked bool
+	plan    map[int]LockSet
+}
+
+// Checked enables the soundness checker: an access inside an atomic section
+// not covered by a held lock aborts the run with a Violation error.
+func Checked() MachineOption {
+	return func(m *machineConfig) { m.checked = true }
+}
+
+// WithPlan overrides the lock plan (e.g. GlobalPlan or CoarsePlan).
+func WithPlan(plan map[int]LockSet) MachineOption {
+	return func(m *machineConfig) { m.plan = plan }
+}
+
+// NewMachine builds an interpreter for the compiled program using the
+// inferred locks.
+func (c *Compilation) NewMachine(opts ...MachineOption) *Machine {
+	cfg := machineConfig{plan: c.Plan()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := interp.NewMachine(c.Program, c.Points, cfg.plan)
+	m.Checked = cfg.checked
+	return m
+}

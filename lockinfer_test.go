@@ -1,0 +1,162 @@
+package lockinfer
+
+import (
+	"strings"
+	"testing"
+)
+
+const apiSrc = `
+struct cell { int v; }
+cell* shared;
+
+void init() {
+  shared = new cell;
+}
+
+void add(int n) {
+  atomic {
+    shared->v = shared->v + n;
+  }
+}
+
+int read() {
+  int v;
+  atomic {
+    v = shared->v;
+  }
+  return v;
+}
+`
+
+func TestCompileAndReport(t *testing.T) {
+	c, err := Compile(apiSrc, WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := c.LockReport()
+	if !strings.Contains(report, "&(shared->v)/rw") {
+		t.Errorf("report missing the fine rw lock:\n%s", report)
+	}
+	if !strings.Contains(report, "&(shared->v)/ro") &&
+		!strings.Contains(report, "&(shared)/ro") {
+		t.Errorf("report missing read locks:\n%s", report)
+	}
+	src := c.TransformedSource()
+	if !strings.Contains(src, "acquire_all();") || strings.Contains(src, "atomic {") {
+		t.Errorf("transformed source wrong:\n%s", src)
+	}
+}
+
+func TestPublicAPIExecution(t *testing.T) {
+	c, err := Compile(apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.NewMachine(Checked())
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(0, "init", nil); err != nil {
+		t.Fatal(err)
+	}
+	specs := []ThreadSpec{
+		{Fn: "add", Args: []Value{IntV(5)}},
+		{Fn: "add", Args: []Value{IntV(7)}},
+		{Fn: "add", Args: []Value{IntV(9)}},
+	}
+	if err := m.Run(specs); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Call(0, "read", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int != 21 {
+		t.Errorf("shared->v = %s, want 21", v)
+	}
+}
+
+func TestPlans(t *testing.T) {
+	c, err := Compile(apiSrc, WithK(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c.Plan()); n != 2 {
+		t.Fatalf("plan has %d sections, want 2", n)
+	}
+	for id, set := range c.GlobalPlan() {
+		if len(set) != 1 {
+			t.Errorf("global plan section %d has %d locks", id, len(set))
+		}
+	}
+	for _, set := range c.CoarsePlan() {
+		for _, l := range set {
+			if l.Fine {
+				t.Errorf("coarse plan contains fine lock %s", l)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("void f() {"); err == nil {
+		t.Error("parse error not reported")
+	}
+	if _, err := Compile("void f() { x = 1; }"); err == nil {
+		t.Error("lowering error not reported")
+	}
+}
+
+func TestExternSpecsThroughFacade(t *testing.T) {
+	src := `
+struct rec { int v; }
+rec* db;
+rec* find(int k);
+
+void init() { db = new rec; }
+
+void touch(int k) {
+  atomic {
+    rec* r = find(k);
+    if (r != null) {
+      r->v = r->v + 1;
+    }
+  }
+}
+`
+	c, err := Compile(src, WithK(3), WithSpecs(map[string]ExternSpec{
+		"find": {Reads: []string{"db"}, ReturnsFrom: "db"},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := c.LockReport()
+	if strings.Contains(report, "⊤/rw") {
+		t.Errorf("spec provided but global lock inferred:\n%s", report)
+	}
+	m := c.NewMachine(Checked())
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Call(0, "init", nil); err != nil {
+		t.Fatal(err)
+	}
+	db, err := m.Global("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RegisterExtern("find", func(args []Value) (Value, error) {
+		if args[0].Int%2 == 0 {
+			return db, nil
+		}
+		return Value{}, nil
+	})
+	specs := []ThreadSpec{
+		{Fn: "touch", Args: []Value{IntV(2)}},
+		{Fn: "touch", Args: []Value{IntV(3)}},
+		{Fn: "touch", Args: []Value{IntV(4)}},
+	}
+	if err := m.Run(specs); err != nil {
+		t.Fatalf("checked run with extern spec: %v", err)
+	}
+}
