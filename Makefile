@@ -1,0 +1,29 @@
+# Tier-1 verification for lockinfer. `make check` is what CI runs:
+# static vetting, the full test suite under the Go race detector, and the
+# short-mode concurrency-oracle suite as a fast smoke layer.
+
+GO ?= go
+
+.PHONY: check build test vet race oracle-short bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short-mode oracle suite: the fast subset of the race-detector, deadlock
+# monitor and schedule-exploration tests (full suite runs under `test`).
+oracle-short:
+	$(GO) test -short ./internal/oracle/ ./internal/mgl/
+
+check: build vet race oracle-short
+
+bench:
+	$(GO) test -bench 'Table|Figure' -benchtime 1x -run XXX .

@@ -1,0 +1,183 @@
+package infer
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// transferGoldenCases are the Figure 4 transfer-function exemplars (the
+// same programs as the assertion tests in transfer_test.go). The golden
+// snapshot pins the COMPLETE inferred lock sets across a k sweep, so any
+// transfer-function change that shifts a lock set — even one the targeted
+// assertions don't inspect — shows up as a diff.
+var transferGoldenCases = []struct {
+	name string
+	src  string
+}{
+	{"store-strong-update", `
+struct obj { int* data; }
+void f(obj* x, int* w) {
+  atomic {
+    int* z = x->data;
+    x->data = w;
+    int* y = x->data;
+    *y = 1;
+  }
+}
+`},
+	{"store-weak-update", `
+struct obj { int* data; }
+void f(obj* a, obj* b, int* w, int flip) {
+  if (flip > 0) {
+    a = b;
+  }
+  atomic {
+    a->data = w;
+    int* z = b->data;
+    *z = 1;
+  }
+}
+`},
+	{"summary-reuse", `
+struct list { list* next; int v; }
+void poke(list* l) {
+  l->v = 1;
+}
+void f(list* p, list* q) {
+  atomic {
+    poke(p);
+    poke(q);
+  }
+}
+`},
+	{"two-sections", `
+struct obj { int v; }
+obj* a;
+obj* b;
+void f() {
+  atomic {
+    a->v = 1;
+  }
+  atomic {
+    int x = b->v;
+  }
+}
+`},
+	{"branch-merge", `
+struct obj { int v; }
+void f(obj* a, obj* b, int c) {
+  atomic {
+    if (c > 0) {
+      a->v = 1;
+    } else {
+      b->v = 2;
+    }
+  }
+}
+`},
+	{"effect-upgrade", `
+struct obj { int v; }
+void f(obj* a, int c) {
+  atomic {
+    if (c > 0) {
+      a->v = 1;
+    } else {
+      int x = a->v;
+    }
+  }
+}
+`},
+	{"chained-fields", `
+struct inner { int v; }
+struct outer { inner* in; }
+void f(outer* o) {
+  atomic {
+    o->in->v = 1;
+  }
+}
+`},
+	{"local-only", `
+void f(int n) {
+  atomic {
+    int i = 0;
+    while (i < n) {
+      nop;
+      i = i + 1;
+    }
+  }
+}
+`},
+}
+
+// TestTransferGolden snapshots the inferred lock sets for the Fig. 4
+// transfer-function cases at k ∈ {1, 3, 5}. Run with -update to accept an
+// intentional change.
+func TestTransferGolden(t *testing.T) {
+	var b strings.Builder
+	for _, c := range transferGoldenCases {
+		for _, k := range []int{1, 3, 5} {
+			prog, res := analyze(t, c.src, k)
+			for _, r := range res {
+				names := lockNames(prog, r)
+				if len(names) == 0 {
+					names = []string{"(none)"}
+				}
+				fmt.Fprintf(&b, "%s k=%d section=%d: %s\n",
+					c.name, k, r.Section.ID, strings.Join(names, " "))
+			}
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "transfer_locks.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("transfer lock sets drifted from golden snapshot (run with -update if intended)\ndiff:\n%s",
+			diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal line diff for the failure message.
+func diffLines(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var b strings.Builder
+	seen := map[string]bool{}
+	for _, l := range wl {
+		seen[l] = true
+	}
+	inGot := map[string]bool{}
+	for _, l := range gl {
+		inGot[l] = true
+	}
+	for _, l := range wl {
+		if !inGot[l] {
+			b.WriteString("- " + l + "\n")
+		}
+	}
+	for _, l := range gl {
+		if !seen[l] {
+			b.WriteString("+ " + l + "\n")
+		}
+	}
+	return b.String()
+}

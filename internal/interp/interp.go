@@ -56,6 +56,13 @@ type Machine struct {
 	// StepLimit bounds the number of statements one thread may execute
 	// (0 = default of 50M), turning runaway loops into errors.
 	StepLimit int64
+	// Tracer, when set, observes shared accesses, section boundaries and
+	// thread lifecycles (the oracle's race-detector hook).
+	Tracer Tracer
+	// Sched, when set, serializes threads at scheduling points (the
+	// oracle's systematic-exploration hook). Thread 0 — the init/setup
+	// thread — is never scheduled.
+	Sched Scheduler
 
 	mgr     *mgl.Manager
 	globals *Object
@@ -164,11 +171,17 @@ func (m *Machine) Run(specs []ThreadSpec) error {
 	var wg sync.WaitGroup
 	for i, spec := range specs {
 		i, spec := i, spec
+		if m.Tracer != nil {
+			m.Tracer.ThreadStart(i + 1)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			if _, err := m.Call(i+1, spec.Fn, spec.Args); err != nil {
 				firstErr.CompareAndSwap(nil, &errBox{err})
+			}
+			if m.Tracer != nil {
+				m.Tracer.ThreadEnd(i + 1)
 			}
 		}()
 	}
@@ -272,6 +285,7 @@ func (t *thread) readVar(f *ir.Func, s *ir.Stmt, frame *Object, v *ir.Var) (Valu
 		if err := t.checkAccess(f, s, obj, off, false, v.Name); err != nil {
 			return Null(), err
 		}
+		t.traceAccess(f, s, obj, off, false, v.Name)
 	}
 	return obj.load(off), nil
 }
@@ -283,6 +297,7 @@ func (t *thread) writeVar(f *ir.Func, s *ir.Stmt, frame *Object, v *ir.Var, val 
 		if err := t.checkAccess(f, s, obj, off, true, v.Name); err != nil {
 			return err
 		}
+		t.traceAccess(f, s, obj, off, true, v.Name)
 	}
 	obj.store(off, val)
 	return nil
@@ -309,6 +324,11 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 	for {
 		if t.steps++; t.steps > t.limit {
 			return Null(), fmt.Errorf("interp: thread %d exceeded step limit", t.id)
+		}
+		// Periodic scheduling point, taken only outside atomic sections so
+		// a descheduled thread never holds locks.
+		if t.m.Sched != nil && t.steps&63 == 0 && t.session.Nesting() == 0 {
+			t.yield(YieldStep)
 		}
 		s := f.Stmts[pc]
 		next := -1
@@ -365,6 +385,7 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 			if err := t.checkAccess(f, s, addr.Obj, addr.Off, false, "*"+s.Src.Name); err != nil {
 				return Null(), err
 			}
+			t.traceAccess(f, s, addr.Obj, addr.Off, false, "*"+s.Src.Name)
 			if err := t.writeVar(f, s, frame, s.Dst, addr.Obj.load(addr.Off)); err != nil {
 				return Null(), err
 			}
@@ -383,6 +404,7 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 			if err := t.checkAccess(f, s, addr.Obj, addr.Off, true, "*"+s.Dst.Name); err != nil {
 				return Null(), err
 			}
+			t.traceAccess(f, s, addr.Obj, addr.Off, true, "*"+s.Dst.Name)
 			addr.Obj.store(addr.Off, val)
 		case ir.OpField:
 			base, err := t.readVar(f, s, frame, s.Src)
@@ -509,11 +531,22 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 				}
 			}
 		case ir.OpAtomicBegin:
+			outer := t.session.Nesting() == 0
+			if outer {
+				t.yield(YieldAtomicEnter)
+			}
 			t.enterAtomic(f, frame, s.Section)
+			if outer && t.m.Tracer != nil {
+				t.m.Tracer.SectionEnter(t.id, s.Section, t.session.HeldSteps())
+			}
 		case ir.OpAtomicEnd:
+			if t.session.Nesting() == 1 && t.m.Tracer != nil {
+				t.m.Tracer.SectionExit(t.id, s.Section, t.session.HeldSteps())
+			}
 			t.session.ReleaseAll()
 			if t.session.Nesting() == 0 {
 				t.held = nil
+				t.yield(YieldAtomicExit)
 			}
 		default:
 			return Null(), t.rerr(f, s, "unhandled op %s", s.Op)

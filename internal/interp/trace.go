@@ -1,0 +1,92 @@
+package interp
+
+import (
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/steens"
+)
+
+// AccessEvent describes one dynamic access to a potentially-shared cell:
+// a global, an address-taken local, or a heap slot.
+type AccessEvent struct {
+	Thread int
+	// Addr is the program-unique address of the cell; Class its points-to
+	// partition.
+	Addr  uint64
+	Class steens.NodeID
+	Write bool
+	// Atomic reports whether the access happened inside an atomic section.
+	Atomic bool
+	Fn     string
+	Pos    lang.Pos
+	What   string
+}
+
+// Tracer observes the machine's execution for dynamic analysis (the
+// concurrency oracle). Callbacks run on the executing thread's goroutine;
+// under Machine.Run several goroutines may call concurrently, so tracers
+// must synchronize internally.
+type Tracer interface {
+	// Access fires on every potentially-shared cell access, inside or
+	// outside atomic sections.
+	Access(ev AccessEvent)
+	// SectionEnter fires after an outermost atomic section acquired its
+	// locks; held lists the acquired plan in canonical order.
+	SectionEnter(thread, section int, held []mgl.PlanStep)
+	// SectionExit fires when an outermost atomic section is about to
+	// release its locks.
+	SectionExit(thread, section int, held []mgl.PlanStep)
+	// ThreadStart fires in the spawning goroutine before a Run thread
+	// begins; ThreadEnd fires on the thread itself after its entry function
+	// returned.
+	ThreadStart(thread int)
+	ThreadEnd(thread int)
+}
+
+// YieldPoint classifies a scheduling point.
+type YieldPoint uint8
+
+// Scheduling points: entry to an outermost atomic section, exit from one,
+// and the periodic non-atomic checkpoint.
+const (
+	YieldAtomicEnter YieldPoint = iota
+	YieldAtomicExit
+	YieldStep
+)
+
+// Scheduler serializes thread execution for systematic schedule
+// exploration. When Machine.Sched is set, every thread blocks in Yield at
+// each scheduling point until the scheduler elects it to continue. All
+// scheduling points are lock-free program locations (a descheduled thread
+// never holds locks), so the elected thread can always make progress.
+type Scheduler interface {
+	Yield(thread int, point YieldPoint)
+}
+
+// yield hands control to the scheduler, if one is installed. Scheduling
+// points are only taken outside atomic sections.
+func (t *thread) yield(point YieldPoint) {
+	if t.m.Sched == nil || t.id == 0 {
+		return
+	}
+	t.m.Sched.Yield(t.id, point)
+}
+
+// traceAccess reports a shared-cell access to the tracer.
+func (t *thread) traceAccess(f *ir.Func, s *ir.Stmt, obj *Object, off int, write bool, what string) {
+	tr := t.m.Tracer
+	if tr == nil {
+		return
+	}
+	tr.Access(AccessEvent{
+		Thread: t.id,
+		Addr:   obj.Addr(off),
+		Class:  t.m.classOfCell(obj, off),
+		Write:  write,
+		Atomic: t.session.Nesting() > 0,
+		Fn:     f.Name,
+		Pos:    s.Pos,
+		What:   what,
+	})
+}

@@ -117,6 +117,25 @@ func (s Set) Has(l Inferred) bool {
 	return ok
 }
 
+// Remove deletes l; it reports whether the set changed.
+func (s Set) Remove(l Inferred) bool {
+	k := l.Key()
+	if _, ok := s[k]; !ok {
+		return false
+	}
+	delete(s, k)
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for k, l := range s {
+		out[k] = l
+	}
+	return out
+}
+
 // AddAll inserts every lock of o; it reports whether the set changed.
 func (s Set) AddAll(o Set) bool {
 	changed := false

@@ -54,20 +54,35 @@ type Manager struct {
 	root    *node
 	classes map[ClassID]*node
 	fine    map[fineKey]*node
+	watch   *Watcher
+
+	// PermutePlan, when set before sessions are created, is inherited by
+	// every new session as its plan mutator (see Session.PermutePlan),
+	// receiving the session id so mutation tests can corrupt only some
+	// sessions and provoke mixed acquisition orders.
+	PermutePlan func(session int64, steps []PlanStep) []PlanStep
 
 	// Stats.
-	acquires atomic.Int64
-	waits    atomic.Int64
+	acquires  atomic.Int64
+	waits     atomic.Int64
+	nsessions atomic.Int64
 }
 
 // NewManager returns an empty lock tree.
 func NewManager() *Manager {
 	return &Manager{
-		root:    newNode("⊤"),
+		root:    newNode("⊤", nodeRank{kind: 0}),
 		classes: map[ClassID]*node{},
 		fine:    map[fineKey]*node{},
 	}
 }
+
+// SetWatcher installs a deadlock/lock-order monitor. It must be installed
+// before any session acquires locks and cannot be swapped mid-run.
+func (m *Manager) SetWatcher(w *Watcher) { m.watch = w }
+
+// Watcher returns the installed monitor, if any.
+func (m *Manager) Watcher() *Watcher { return m.watch }
 
 // Acquires returns the total number of node acquisitions performed.
 func (m *Manager) Acquires() int64 { return m.acquires.Load() }
@@ -80,7 +95,7 @@ func (m *Manager) classNode(c ClassID) *node {
 	defer m.mu.Unlock()
 	n, ok := m.classes[c]
 	if !ok {
-		n = newNode(fmt.Sprintf("pts#%d", c))
+		n = newNode(fmt.Sprintf("pts#%d", c), nodeRank{kind: 1, class: c})
 		m.classes[c] = n
 	}
 	return n
@@ -92,7 +107,7 @@ func (m *Manager) fineNode(c ClassID, addr uint64) *node {
 	defer m.mu.Unlock()
 	n, ok := m.fine[k]
 	if !ok {
-		n = newNode(fmt.Sprintf("fine(%d,%#x)", c, addr))
+		n = newNode(fmt.Sprintf("fine(%d,%#x)", c, addr), nodeRank{kind: 2, class: c, addr: addr})
 		m.fine[k] = n
 	}
 	return n
@@ -102,13 +117,35 @@ func (m *Manager) fineNode(c ClassID, addr uint64) *node {
 // by a single goroutine at a time.
 type Session struct {
 	m       *Manager
+	id      int64
 	pending []Req
 	held    []planStep
 	nlevel  int
+
+	// PermutePlan, when non-nil, rewrites the acquisition plan right before
+	// the locks are taken. It exists as a fault-injection point for the
+	// oracle's mutation tests (e.g. swapping two steps to violate the
+	// canonical global order); production code must leave it nil.
+	PermutePlan func([]PlanStep) []PlanStep
+	// AcquireHook, when non-nil, runs before each plan node is acquired.
+	// It is test instrumentation: deadlock tests use it to interleave two
+	// sessions deterministically between plan steps.
+	AcquireHook func(PlanStep)
 }
 
 // NewSession creates a session on the manager.
-func (m *Manager) NewSession() *Session { return &Session{m: m} }
+func (m *Manager) NewSession() *Session {
+	s := &Session{m: m, id: m.nsessions.Add(1)}
+	if m.PermutePlan != nil {
+		id := s.id
+		s.PermutePlan = func(steps []PlanStep) []PlanStep { return m.PermutePlan(id, steps) }
+	}
+	return s
+}
+
+// ID returns the session's manager-unique identity (used in monitor
+// reports).
+func (s *Session) ID() int64 { return s.id }
 
 // ToAcquire appends a lock descriptor to the pending list (§5.2
 // to-acquire). Descriptors added while already inside an atomic section are
@@ -200,17 +237,35 @@ type planStep struct {
 // (§5.2 acquire-all): per-node modes are joined, ancestors receive intention
 // modes, and nodes are taken top-down in the canonical global order.
 // Nested calls only bump the nesting level (§5.3).
+//
+// If a Watcher is installed and an acquisition would close a waits-for
+// cycle, the already-acquired prefix is released and the call panics with a
+// *DeadlockError (the monitor's recovery point for injected-deadlock
+// tests); without a watcher such a schedule blocks forever, as any real
+// deadlock would.
 func (s *Session) AcquireAll() {
 	s.nlevel++
 	if s.nlevel > 1 {
 		return
 	}
 	plan := s.buildPlan()
-	for _, st := range plan {
-		if st.n.acquire(st.mode) {
+	for i, st := range plan {
+		if s.AcquireHook != nil {
+			s.AcquireHook(st.n.step(st.mode))
+		}
+		waited, err := st.n.acquire(s, st.mode)
+		if waited {
 			s.m.waits.Add(1)
 		}
 		s.m.acquires.Add(1)
+		if err != nil {
+			for j := i - 1; j >= 0; j-- {
+				plan[j].n.release(s, plan[j].mode)
+			}
+			s.nlevel--
+			s.pending = s.pending[:0]
+			panic(err)
+		}
 	}
 	s.held = plan
 	s.pending = s.pending[:0]
@@ -227,14 +282,28 @@ func (s *Session) ReleaseAll() {
 		return
 	}
 	for i := len(s.held) - 1; i >= 0; i-- {
-		s.held[i].n.release(s.held[i].mode)
+		s.held[i].n.release(s, s.held[i].mode)
 	}
 	s.held = s.held[:0]
+}
+
+// HeldSteps returns the canonical descriptors of the locks the session
+// currently holds, in acquisition order. The oracle's race detector derives
+// its happens-before edges from these.
+func (s *Session) HeldSteps() []PlanStep {
+	out := make([]PlanStep, len(s.held))
+	for i, st := range s.held {
+		out[i] = st.n.step(st.mode)
+	}
+	return out
 }
 
 // buildPlan resolves the shared plan logic onto this manager's nodes.
 func (s *Session) buildPlan() []planStep {
 	steps := BuildPlan(s.pending)
+	if s.PermutePlan != nil {
+		steps = s.PermutePlan(steps)
+	}
 	plan := make([]planStep, len(steps))
 	for i, st := range steps {
 		var n *node
@@ -251,22 +320,48 @@ func (s *Session) buildPlan() []planStep {
 	return plan
 }
 
+// nodeRank is a node's position in the canonical global acquisition order
+// (the PlanStep sort key: root < partitions by class < leaves by address).
+type nodeRank struct {
+	kind  int
+	class ClassID
+	addr  uint64
+}
+
+// less is the canonical global order over nodes.
+func (r nodeRank) less(o nodeRank) bool {
+	if r.kind != o.kind {
+		return r.kind < o.kind
+	}
+	if r.class != o.class {
+		return r.class < o.class
+	}
+	return r.addr < o.addr
+}
+
 // node is one lock in the tree: a mode lock with a strict-FIFO wait queue
 // (granting the head and any following compatible waiters), which prevents
 // starvation while still batching compatible requests.
 type node struct {
 	name  string
+	rank  nodeRank
 	mu    sync.Mutex
 	count [6]int // held count per mode
 	queue []*waiter
 }
 
 type waiter struct {
+	s     *Session
 	mode  Mode
 	ready chan struct{}
 }
 
-func newNode(name string) *node { return &node{name: name} }
+func newNode(name string, rank nodeRank) *node { return &node{name: name, rank: rank} }
+
+// step renders the node back as a canonical plan step in the given mode.
+func (n *node) step(mode Mode) PlanStep {
+	return PlanStep{Kind: n.rank.kind, Class: n.rank.class, Addr: n.rank.addr, Mode: mode}
+}
 
 // compatibleWithHeld reports whether mode can be granted alongside the
 // currently held modes.
@@ -279,36 +374,55 @@ func (n *node) compatibleWithHeld(mode Mode) bool {
 	return true
 }
 
-// acquire blocks until the node is granted in the given mode; it reports
-// whether it had to wait.
-func (n *node) acquire(mode Mode) bool {
+// acquire blocks until the node is granted to s in the given mode; it
+// reports whether it had to wait. With a watcher installed, an acquisition
+// that would close a waits-for cycle returns a *DeadlockError instead of
+// enqueueing.
+func (n *node) acquire(s *Session, mode Mode) (bool, error) {
+	w := s.m.watch
 	n.mu.Lock()
 	if len(n.queue) == 0 && n.compatibleWithHeld(mode) {
 		n.count[mode]++
+		if w != nil {
+			w.grant(s, n, mode)
+		}
 		n.mu.Unlock()
-		return false
+		return false, nil
 	}
-	w := &waiter{mode: mode, ready: make(chan struct{})}
-	n.queue = append(n.queue, w)
+	if w != nil {
+		if err := w.wait(s, n, mode); err != nil {
+			n.mu.Unlock()
+			return true, err
+		}
+	}
+	wt := &waiter{s: s, mode: mode, ready: make(chan struct{})}
+	n.queue = append(n.queue, wt)
 	n.mu.Unlock()
-	<-w.ready
-	return true
+	<-wt.ready
+	return true, nil
 }
 
 // release drops one holder in the given mode and wakes queued waiters in
 // FIFO order while they remain compatible.
-func (n *node) release(mode Mode) {
+func (n *node) release(s *Session, mode Mode) {
+	w := s.m.watch
 	n.mu.Lock()
 	if n.count[mode] <= 0 {
 		n.mu.Unlock()
 		panic("mgl: release of unheld mode " + mode.String() + " on " + n.name)
 	}
 	n.count[mode]--
+	if w != nil {
+		w.unhold(s, n)
+	}
 	for len(n.queue) > 0 && n.compatibleWithHeld(n.queue[0].mode) {
-		w := n.queue[0]
+		wt := n.queue[0]
 		n.queue = n.queue[1:]
-		n.count[w.mode]++
-		close(w.ready)
+		n.count[wt.mode]++
+		if w != nil {
+			w.grant(wt.s, n, wt.mode)
+		}
+		close(wt.ready)
 	}
 	n.mu.Unlock()
 }

@@ -1,0 +1,268 @@
+package mgl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Watcher is the deadlock monitor of the concurrency oracle: it shadows the
+// manager's grants and waits to maintain
+//
+//   - a live waits-for graph over sessions, checked for cycles at every
+//     blocking acquisition (a cycle is a manifest deadlock; the closing
+//     acquisition is aborted with a *DeadlockError so tests can recover);
+//   - a cumulative lock-order graph with an edge a→b whenever some session
+//     acquired b while holding a (Goodlock-style: a cycle here is a
+//     potential deadlock even if no schedule manifested it);
+//   - the canonical-order assertion: within one acquire-all, every grant
+//     must follow the global node order the transform emits, which is the
+//     protocol's deadlock-freedom argument (§5.2).
+//
+// All bookkeeping happens synchronously under the node mutexes, so the
+// recorded graphs exactly match the grant/wait history.
+type Watcher struct {
+	mu      sync.Mutex
+	holders map[*node]map[*Session]Mode
+	held    map[*Session]map[*node]Mode
+	waits   map[*Session]waitReq
+	order   map[*node]map[*node]bool
+
+	violations []OrderViolation
+	cycles     []OrderCycle
+	deadlocks  []DeadlockError
+}
+
+type waitReq struct {
+	n    *node
+	mode Mode
+}
+
+// NewWatcher returns an empty monitor.
+func NewWatcher() *Watcher {
+	return &Watcher{
+		holders: map[*node]map[*Session]Mode{},
+		held:    map[*Session]map[*node]Mode{},
+		waits:   map[*Session]waitReq{},
+		order:   map[*node]map[*node]bool{},
+	}
+}
+
+// DeadlockError reports a manifest deadlock: the waits-for cycle that a
+// blocking acquisition would have closed.
+type DeadlockError struct {
+	// Cycle lists "session N waits for <node>" entries, one per edge.
+	Cycle []string
+}
+
+func (e *DeadlockError) Error() string {
+	return "mgl: deadlock: " + strings.Join(e.Cycle, " -> ")
+}
+
+// OrderViolation reports an acquisition against the canonical global order:
+// a session was granted Acquired while already holding Holding, which ranks
+// at or after it.
+type OrderViolation struct {
+	Session  int64
+	Holding  string
+	Acquired string
+}
+
+func (v OrderViolation) String() string {
+	return fmt.Sprintf("session %d acquired %s while holding %s (canonical order violated)",
+		v.Session, v.Acquired, v.Holding)
+}
+
+// OrderCycle is a cycle in the cumulative lock-order graph: a potential
+// deadlock, reported even when no interleaving manifested it.
+type OrderCycle struct {
+	Nodes []string
+}
+
+func (c OrderCycle) String() string {
+	return "lock-order cycle: " + strings.Join(c.Nodes, " -> ")
+}
+
+// OrderViolations returns all canonical-order assertion failures.
+func (w *Watcher) OrderViolations() []OrderViolation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]OrderViolation(nil), w.violations...)
+}
+
+// LockOrderCycles returns all cycles found in the lock-order graph.
+func (w *Watcher) LockOrderCycles() []OrderCycle {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]OrderCycle(nil), w.cycles...)
+}
+
+// Deadlocks returns all manifest deadlocks detected (and aborted).
+func (w *Watcher) Deadlocks() []DeadlockError {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]DeadlockError(nil), w.deadlocks...)
+}
+
+// Err summarizes the monitor's findings as a single error, nil when clean.
+func (w *Watcher) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case len(w.deadlocks) > 0:
+		d := w.deadlocks[0]
+		return &d
+	case len(w.violations) > 0:
+		return fmt.Errorf("mgl: %s", w.violations[0])
+	case len(w.cycles) > 0:
+		return fmt.Errorf("mgl: %s", w.cycles[0])
+	}
+	return nil
+}
+
+// grant records that s now holds n in mode; called under n's mutex at every
+// grant (immediate or queued).
+func (w *Watcher) grant(s *Session, n *node, mode Mode) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.waits, s)
+	hs := w.held[s]
+	if hs == nil {
+		hs = map[*node]Mode{}
+		w.held[s] = hs
+	}
+	// Canonical-order assertion plus lock-order graph edges from every node
+	// already held.
+	for h := range hs {
+		if !h.rank.less(n.rank) {
+			w.violations = append(w.violations, OrderViolation{
+				Session: s.id, Holding: h.name, Acquired: n.name,
+			})
+		}
+		w.addOrderEdge(h, n)
+	}
+	hs[n] = mode
+	ns := w.holders[n]
+	if ns == nil {
+		ns = map[*Session]Mode{}
+		w.holders[n] = ns
+	}
+	ns[s] = mode
+}
+
+// unhold removes s as a holder of n; called under n's mutex on release.
+func (w *Watcher) unhold(s *Session, n *node) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.holders[n], s)
+	delete(w.held[s], n)
+}
+
+// wait registers that s is about to block on n; if the new edge closes a
+// waits-for cycle the deadlock is recorded and an error returned instead,
+// leaving no wait registered.
+func (w *Watcher) wait(s *Session, n *node, mode Mode) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.waits[s] = waitReq{n: n, mode: mode}
+	if cycle := w.findWaitCycle(s); cycle != nil {
+		delete(w.waits, s)
+		d := DeadlockError{Cycle: cycle}
+		w.deadlocks = append(w.deadlocks, d)
+		return &d
+	}
+	return nil
+}
+
+// findWaitCycle walks the waits-for graph from start: an edge leads from a
+// waiting session to every session holding the awaited node in an
+// incompatible mode. It returns a description of the cycle through start,
+// or nil.
+func (w *Watcher) findWaitCycle(start *Session) []string {
+	seen := map[*Session]bool{}
+	var path []string
+	var found []string
+	var visit func(s *Session) bool
+	visit = func(s *Session) bool {
+		req, waiting := w.waits[s]
+		if !waiting {
+			return false
+		}
+		path = append(path, fmt.Sprintf("session %d waits for %s/%s", s.id, req.n.name, req.mode))
+		defer func() { path = path[:len(path)-1] }()
+		for holder, hm := range w.holders[req.n] {
+			if holder == s || Compatible(req.mode, hm) {
+				continue
+			}
+			if holder == start {
+				found = append(append([]string(nil), path...), fmt.Sprintf("session %d", start.id))
+				return true
+			}
+			if seen[holder] {
+				continue
+			}
+			seen[holder] = true
+			if visit(holder) {
+				return true
+			}
+		}
+		return false
+	}
+	visit(start)
+	return found
+}
+
+// addOrderEdge inserts a→b into the lock-order graph and records a cycle if
+// b already reaches a.
+func (w *Watcher) addOrderEdge(a, b *node) {
+	if a == b {
+		return
+	}
+	es := w.order[a]
+	if es == nil {
+		es = map[*node]bool{}
+		w.order[a] = es
+	}
+	if es[b] {
+		return
+	}
+	es[b] = true
+	if path := w.orderPath(b, a); path != nil {
+		names := make([]string, 0, len(path)+1)
+		for _, n := range path {
+			names = append(names, n.name)
+		}
+		names = append(names, b.name)
+		w.cycles = append(w.cycles, OrderCycle{Nodes: names})
+	}
+}
+
+// orderPath returns a path from a to b in the order graph, or nil.
+func (w *Watcher) orderPath(a, b *node) []*node {
+	seen := map[*node]bool{a: true}
+	var dfs func(n *node, acc []*node) []*node
+	dfs = func(n *node, acc []*node) []*node {
+		acc = append(acc, n)
+		if n == b {
+			return append([]*node(nil), acc...)
+		}
+		// Deterministic iteration keeps reports stable.
+		succs := make([]*node, 0, len(w.order[n]))
+		for m := range w.order[n] {
+			succs = append(succs, m)
+		}
+		sort.Slice(succs, func(i, j int) bool { return succs[i].rank.less(succs[j].rank) })
+		for _, m := range succs {
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+			if p := dfs(m, acc); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	return dfs(a, nil)
+}

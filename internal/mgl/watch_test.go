@@ -1,0 +1,204 @@
+package mgl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// reverse is the plan mutation used by the oracle's reorder tests: acquire
+// in the opposite of the canonical order.
+func reverse(steps []PlanStep) []PlanStep {
+	out := make([]PlanStep, len(steps))
+	for i, st := range steps {
+		out[len(steps)-1-i] = st
+	}
+	return out
+}
+
+func fineWrite(class ClassID, addr uint64) Req {
+	return Req{Class: class, Fine: true, Addr: addr, Write: true}
+}
+
+// A single session acquiring against the canonical order must trip the
+// order assertion on every out-of-order grant.
+func TestWatcherOrderViolation(t *testing.T) {
+	m := NewManager()
+	w := NewWatcher()
+	m.SetWatcher(w)
+	s := m.NewSession()
+	s.PermutePlan = reverse
+	s.ToAcquire(fineWrite(0, 1))
+	s.ToAcquire(fineWrite(0, 2))
+	s.AcquireAll()
+	s.ReleaseAll()
+	if got := w.OrderViolations(); len(got) == 0 {
+		t.Fatalf("reversed plan produced no order violations")
+	} else {
+		t.Logf("violations: %v", got)
+	}
+	if err := w.Err(); err == nil {
+		t.Fatalf("watcher Err() nil after order violations")
+	}
+}
+
+// A canonical-order session must be clean: no violations, no cycles, no
+// deadlocks.
+func TestWatcherCanonicalOrderClean(t *testing.T) {
+	m := NewManager()
+	w := NewWatcher()
+	m.SetWatcher(w)
+	s := m.NewSession()
+	s.ToAcquire(fineWrite(0, 2))
+	s.ToAcquire(fineWrite(1, 1))
+	s.ToAcquire(Req{Global: false, Class: 2, Write: false})
+	s.AcquireAll()
+	s.ReleaseAll()
+	if err := w.Err(); err != nil {
+		t.Fatalf("canonical acquisition flagged: %v", err)
+	}
+}
+
+// Two sessions acquiring the same pair of locks in opposite orders build a
+// cycle in the cumulative lock-order graph even when their executions never
+// overlap (Goodlock: the potential deadlock is reported anyway).
+func TestWatcherLockOrderCycle(t *testing.T) {
+	m := NewManager()
+	w := NewWatcher()
+	m.SetWatcher(w)
+
+	s1 := m.NewSession()
+	s1.ToAcquire(fineWrite(0, 1))
+	s1.ToAcquire(fineWrite(0, 2))
+	s1.AcquireAll()
+	s1.ReleaseAll()
+
+	s2 := m.NewSession()
+	s2.PermutePlan = reverse
+	s2.ToAcquire(fineWrite(0, 1))
+	s2.ToAcquire(fineWrite(0, 2))
+	s2.AcquireAll()
+	s2.ReleaseAll()
+
+	if got := w.LockOrderCycles(); len(got) == 0 {
+		t.Fatalf("opposite acquisition orders produced no lock-order cycle")
+	} else {
+		t.Logf("cycles: %v", got)
+	}
+}
+
+// Two overlapping sessions acquiring in opposite orders manifest a real
+// deadlock; the monitor must detect the waits-for cycle and abort the
+// closing acquisition with *DeadlockError so the other session completes.
+func TestWatcherLiveDeadlockAborted(t *testing.T) {
+	m := NewManager()
+	w := NewWatcher()
+	m.SetWatcher(w)
+
+	// s1 takes A then B (canonical), s2 takes B then A (reversed). The
+	// AcquireHooks sequence the interleaving: each session grabs its first
+	// fine lock, then both race for the other's.
+	const addrA, addrB = 1, 2
+	s1HasA := make(chan struct{})
+	s2HasB := make(chan struct{})
+
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	run := func(i int, s *Session) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				err, ok := r.(error)
+				if !ok {
+					panic(r)
+				}
+				errs[i] = err
+				return
+			}
+			s.ReleaseAll()
+		}()
+		s.AcquireAll()
+	}
+
+	s1 := m.NewSession()
+	s1.ToAcquire(fineWrite(0, addrA))
+	s1.ToAcquire(fineWrite(0, addrB))
+	s1.AcquireHook = func(st PlanStep) {
+		if st.Kind == 2 && st.Addr == addrB {
+			close(s1HasA)
+			<-s2HasB
+		}
+	}
+
+	s2 := m.NewSession()
+	s2.PermutePlan = reverse
+	s2.ToAcquire(fineWrite(0, addrA))
+	s2.ToAcquire(fineWrite(0, addrB))
+	s2.AcquireHook = func(st PlanStep) {
+		if st.Kind == 2 && st.Addr == addrA {
+			close(s2HasB)
+			<-s1HasA
+		}
+	}
+
+	wg.Add(2)
+	go run(0, s1)
+	go run(1, s2)
+	wg.Wait()
+
+	aborted := 0
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var d *DeadlockError
+		if !errors.As(err, &d) {
+			t.Fatalf("session failed with non-deadlock error: %v", err)
+		}
+		aborted++
+	}
+	if aborted != 1 {
+		t.Fatalf("want exactly one aborted session, got %d (errs=%v)", aborted, errs)
+	}
+	if got := w.Deadlocks(); len(got) == 0 {
+		t.Fatalf("monitor recorded no deadlock")
+	} else {
+		t.Logf("deadlock: %v", got[0].Error())
+	}
+	// The deadlock was aborted, so both sessions terminated and the
+	// manager is reusable: a fresh canonical session must succeed.
+	s3 := m.NewSession()
+	s3.ToAcquire(fineWrite(0, addrA))
+	s3.ToAcquire(fineWrite(0, addrB))
+	s3.AcquireAll()
+	s3.ReleaseAll()
+}
+
+// PermutePlan installed on the manager reaches sessions it creates.
+func TestManagerPermutePlanInherited(t *testing.T) {
+	m := NewManager()
+	w := NewWatcher()
+	m.SetWatcher(w)
+	m.PermutePlan = func(session int64, steps []PlanStep) []PlanStep {
+		if session%2 == 1 {
+			return reverse(steps)
+		}
+		return steps
+	}
+	s1 := m.NewSession() // id 1: reversed
+	s1.ToAcquire(fineWrite(0, 1))
+	s1.ToAcquire(fineWrite(0, 2))
+	s1.AcquireAll()
+	s1.ReleaseAll()
+	s2 := m.NewSession() // id 2: canonical
+	s2.ToAcquire(fineWrite(0, 1))
+	s2.ToAcquire(fineWrite(0, 2))
+	s2.AcquireAll()
+	s2.ReleaseAll()
+	if len(w.OrderViolations()) == 0 {
+		t.Fatalf("odd session's reversed plan produced no order violation")
+	}
+	if len(w.LockOrderCycles()) == 0 {
+		t.Fatalf("mixed orders produced no lock-order cycle")
+	}
+}

@@ -1,0 +1,455 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/sim"
+)
+
+// ExploreOptions bounds the systematic scheduler.
+type ExploreOptions struct {
+	// Preemptions is the context-switch budget per schedule: the number of
+	// times the explorer may switch away from a thread that could still
+	// run. Non-preemptive switches (after a thread finishes) are free.
+	// Zero means the default of 2 — the small bound that empirically
+	// exposes most concurrency bugs; negative forbids preemption entirely.
+	Preemptions int
+	// MaxSchedules caps the number of distinct interleavings executed
+	// (default 96); the result notes whether the frontier was truncated.
+	MaxSchedules int
+	// Checked additionally runs the §4.2 lock-coverage checker on every
+	// schedule; a violation aborts that schedule and is recorded.
+	Checked bool
+	// ReportNonAtomic forwards to RaceDetector.ReportNonAtomic.
+	ReportNonAtomic bool
+}
+
+func (o ExploreOptions) withDefaults() ExploreOptions {
+	switch {
+	case o.Preemptions == 0:
+		o.Preemptions = 2
+	case o.Preemptions < 0:
+		o.Preemptions = 0
+	}
+	if o.MaxSchedules == 0 {
+		o.MaxSchedules = 96
+	}
+	return o
+}
+
+// ExploreResult aggregates the oracle's findings over every executed
+// interleaving.
+type ExploreResult struct {
+	// Schedules is the number of interleavings executed; Pruned counts
+	// branches skipped because an equivalent interleaving was already
+	// covered (segment-independence commutation); Truncated reports that
+	// MaxSchedules cut the frontier.
+	Schedules int
+	Pruned    int
+	Truncated bool
+	// LongestSim is the largest per-schedule simulated duration (one cost
+	// unit per shared access, serialized on one simulated core).
+	LongestSim sim.Time
+
+	Races           []Race
+	OrderViolations []mgl.OrderViolation
+	LockOrderCycles []mgl.OrderCycle
+	Deadlocks       []mgl.DeadlockError
+	// Errs collects per-schedule execution failures: checker violations
+	// (when Checked), runtime errors, aborted deadlocks.
+	Errs []error
+}
+
+// Err summarizes the findings as a single error, nil when the oracle is
+// clean.
+func (r *ExploreResult) Err() error {
+	switch {
+	case len(r.Races) > 0:
+		return fmt.Errorf("oracle: %s (%d distinct races)", r.Races[0], len(r.Races))
+	case len(r.Deadlocks) > 0:
+		d := r.Deadlocks[0]
+		return &d
+	case len(r.OrderViolations) > 0:
+		return fmt.Errorf("oracle: %s", r.OrderViolations[0])
+	case len(r.LockOrderCycles) > 0:
+		return fmt.Errorf("oracle: %s", r.LockOrderCycles[0])
+	case len(r.Errs) > 0:
+		return r.Errs[0]
+	}
+	return nil
+}
+
+// segment is the footprint of one scheduling quantum: the shared cells it
+// touched and the lock nodes it acquired. Two segments are independent —
+// they commute — iff no cell conflicts (same address, one side writing) and
+// no lock conflicts (same node, incompatible modes).
+type segment struct {
+	cells map[uint64]uint8 // bit0 read, bit1 write
+	locks map[lockKey]mgl.Mode
+}
+
+func newSegment() *segment {
+	return &segment{cells: map[uint64]uint8{}, locks: map[lockKey]mgl.Mode{}}
+}
+
+func (a *segment) conflicts(b *segment) bool {
+	for addr, am := range a.cells {
+		bm, ok := b.cells[addr]
+		if ok && (am|bm)&2 != 0 {
+			return true
+		}
+	}
+	for k, am := range a.locks {
+		if bm, ok := b.locks[k]; ok && !mgl.Compatible(am, bm) {
+			return true
+		}
+	}
+	return false
+}
+
+// exploreTracer forwards to the race detector and records the running
+// quantum's footprint. Exploration is fully serialized, so no locking is
+// needed for the segment.
+type exploreTracer struct {
+	det *RaceDetector
+	cur *segment
+}
+
+func (t *exploreTracer) Access(ev interp.AccessEvent) {
+	t.det.Access(ev)
+	if t.cur != nil {
+		bit := uint8(1)
+		if ev.Write {
+			bit = 2
+		}
+		t.cur.cells[ev.Addr] |= bit
+	}
+}
+
+func (t *exploreTracer) SectionEnter(tid, section int, held []mgl.PlanStep) {
+	t.det.SectionEnter(tid, section, held)
+	if t.cur != nil {
+		for _, st := range held {
+			k := lockKey{st.Kind, st.Class, st.Addr}
+			t.cur.locks[k] = mgl.Join(t.cur.locks[k], st.Mode)
+		}
+	}
+}
+
+func (t *exploreTracer) SectionExit(tid, section int, held []mgl.PlanStep) {
+	t.det.SectionExit(tid, section, held)
+}
+
+func (t *exploreTracer) ThreadStart(tid int) { t.det.ThreadStart(tid) }
+func (t *exploreTracer) ThreadEnd(tid int)   { t.det.ThreadEnd(tid) }
+
+// threadEvent is a thread's report back to the controller: it reached a
+// scheduling point, or it finished (possibly with an error).
+type threadEvent struct {
+	tid  int
+	done bool
+	err  error
+}
+
+// controller is the token-passing scheduler: exactly one thread runs at a
+// time; Yield hands the token back and parks until the controller elects
+// the thread again.
+type controller struct {
+	events chan threadEvent
+	resume []chan struct{}
+}
+
+func (c *controller) Yield(tid int, _ interp.YieldPoint) {
+	c.events <- threadEvent{tid: tid}
+	<-c.resume[tid]
+}
+
+// decision is one recorded choice point of an executed schedule.
+type decision struct {
+	chosen   int
+	cur      int   // thread running before the decision; -1 if none
+	runnable []int // sorted snapshot
+	// preemptsBefore counts preemptions used strictly before this decision.
+	preemptsBefore int
+	seg            *segment // footprint of the quantum the choice started
+}
+
+// preempts reports whether electing t at this decision is a preemption.
+func (d *decision) preempts(t int) bool {
+	if d.cur < 0 || t == d.cur {
+		return false
+	}
+	for _, r := range d.runnable {
+		if r == d.cur {
+			return true
+		}
+	}
+	return false
+}
+
+// runTrace is one executed schedule.
+type runTrace struct {
+	decisions []decision
+	simTime   sim.Time
+	errs      []error
+}
+
+func (tr *runTrace) chosen() []int {
+	out := make([]int, len(tr.decisions))
+	for i, d := range tr.decisions {
+		out[i] = d.chosen
+	}
+	return out
+}
+
+// Explore enumerates preemption-bounded interleavings of the target by
+// depth-first search over scheduling decisions, running the race detector
+// and the deadlock monitor on every schedule. Branches whose first
+// reordered quantum provably commutes with everything executed before it
+// are pruned (the DPOR-lite persistent-set approximation): the already
+// executed schedule covers an equivalent interleaving.
+func (tg *Target) Explore(opts ExploreOptions) (*ExploreResult, error) {
+	opts = opts.withDefaults()
+	res := &ExploreResult{}
+	raceKeys := map[string]bool{}
+	orderKeys := map[string]bool{}
+
+	stack := [][]int{nil} // schedule prefixes to run; nil = all-defaults
+	for len(stack) > 0 {
+		if res.Schedules >= opts.MaxSchedules {
+			res.Truncated = true
+			break
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		trace, det, watch, err := tg.runSchedule(prefix, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Schedules++
+		if trace.simTime > res.LongestSim {
+			res.LongestSim = trace.simTime
+		}
+		res.Errs = append(res.Errs, trace.errs...)
+		for _, r := range det.Races() {
+			k := r.String()
+			if !raceKeys[k] {
+				raceKeys[k] = true
+				res.Races = append(res.Races, r)
+			}
+		}
+		for _, v := range watch.OrderViolations() {
+			k := v.String()
+			if !orderKeys[k] {
+				orderKeys[k] = true
+				res.OrderViolations = append(res.OrderViolations, v)
+			}
+		}
+		for _, c := range watch.LockOrderCycles() {
+			k := c.String()
+			if !orderKeys[k] {
+				orderKeys[k] = true
+				res.LockOrderCycles = append(res.LockOrderCycles, c)
+			}
+		}
+		res.Deadlocks = append(res.Deadlocks, watch.Deadlocks()...)
+
+		// Expand: branch on every alternative choice at decisions beyond
+		// the pinned prefix.
+		chosen := trace.chosen()
+		for i := len(prefix); i < len(trace.decisions); i++ {
+			d := &trace.decisions[i]
+			budget := d.preemptsBefore
+			for _, t := range d.runnable {
+				if t == d.chosen {
+					continue
+				}
+				if d.preempts(t) && budget >= opts.Preemptions {
+					continue
+				}
+				if pruneBranch(trace, i, t) {
+					res.Pruned++
+					continue
+				}
+				np := make([]int, i+1)
+				copy(np, chosen[:i])
+				np[i] = t
+				stack = append(stack, np)
+			}
+		}
+	}
+	return res, nil
+}
+
+// pruneBranch reports whether electing t at decision i is covered by the
+// executed trace. Let j be t's next quantum in this run. If t's ENTIRE
+// remaining execution (the union footprint of its quanta from j onward)
+// commutes with every quantum the other threads executed in [i, j), then
+// running t earlier only swaps independent quanta: the interleavings of
+// t's future with the post-j suffix are enumerated as branches at
+// decisions ≥ j, so nothing new is reachable from (i, t). Checking only
+// t's next quantum would be wrong — a conflicting atomic section hiding
+// behind an innocuous startup quantum must still motivate the branch.
+func pruneBranch(trace *runTrace, i int, t int) bool {
+	j := -1
+	for k := i + 1; k < len(trace.decisions); k++ {
+		if trace.decisions[k].chosen == t {
+			j = k
+			break
+		}
+	}
+	if j < 0 {
+		return false
+	}
+	future := newSegment()
+	for k := j; k < len(trace.decisions); k++ {
+		d := &trace.decisions[k]
+		if d.chosen != t || d.seg == nil {
+			continue
+		}
+		for addr, m := range d.seg.cells {
+			future.cells[addr] |= m
+		}
+		for lk, m := range d.seg.locks {
+			future.locks[lk] = mgl.Join(future.locks[lk], m)
+		}
+	}
+	for k := i; k < j; k++ {
+		if trace.decisions[k].seg != nil && future.conflicts(trace.decisions[k].seg) {
+			return false
+		}
+	}
+	return true
+}
+
+// runSchedule executes one interleaving: prefix pins the first choices,
+// every later decision defaults to continuing the running thread.
+func (tg *Target) runSchedule(prefix []int, opts ExploreOptions) (*runTrace, *RaceDetector, *mgl.Watcher, error) {
+	m := interp.NewMachine(tg.Prog, tg.Pts, tg.Plan)
+	m.Checked = opts.Checked
+	if tg.StepLimit > 0 {
+		m.StepLimit = tg.StepLimit
+	}
+	for name, fn := range tg.Externs {
+		m.RegisterExtern(name, fn)
+	}
+	det := NewRaceDetector()
+	det.ReportNonAtomic = opts.ReportNonAtomic
+	tr := &exploreTracer{det: det}
+	m.Tracer = tr
+	watch := mgl.NewWatcher()
+	m.Manager().SetWatcher(watch)
+	if tg.PlanMutator != nil {
+		m.Manager().PermutePlan = tg.PlanMutator
+	}
+
+	if err := m.Init(); err != nil {
+		return nil, nil, nil, fmt.Errorf("oracle: init: %w", err)
+	}
+	if tg.Setup != nil {
+		if _, err := m.Call(0, tg.Setup.Fn, tg.Setup.Args); err != nil {
+			return nil, nil, nil, fmt.Errorf("oracle: setup: %w", err)
+		}
+	}
+
+	n := len(tg.Threads)
+	ctl := &controller{events: make(chan threadEvent), resume: make([]chan struct{}, n+1)}
+	for tid := 1; tid <= n; tid++ {
+		ctl.resume[tid] = make(chan struct{})
+	}
+	m.Sched = ctl
+	for i, spec := range tg.Threads {
+		tid := i + 1
+		det.ThreadStart(tid)
+		go func(tid int, spec interp.ThreadSpec) {
+			defer func() {
+				if r := recover(); r != nil {
+					ctl.events <- threadEvent{tid: tid, done: true,
+						err: fmt.Errorf("thread %d panic: %v", tid, r)}
+				}
+			}()
+			<-ctl.resume[tid]
+			_, err := m.Call(tid, spec.Fn, spec.Args)
+			det.ThreadEnd(tid)
+			ctl.events <- threadEvent{tid: tid, done: true, err: err}
+		}(tid, spec)
+	}
+
+	runnable := make([]int, n)
+	for i := range runnable {
+		runnable[i] = i + 1
+	}
+	trace := &runTrace{}
+	cur := -1
+	preempts := 0
+
+	// The schedule unfolds on the simulated machine: each quantum is one
+	// computation event, costing one unit per shared access. Serialized
+	// exploration uses a single simulated core.
+	eng := sim.NewEngine(1)
+	var step func()
+	step = func() {
+		if len(runnable) == 0 {
+			return
+		}
+		di := len(trace.decisions)
+		pick := cur
+		if pick < 0 || !contains(runnable, pick) {
+			pick = runnable[0]
+		}
+		if di < len(prefix) && contains(runnable, prefix[di]) {
+			pick = prefix[di]
+		}
+		d := decision{
+			chosen:         pick,
+			cur:            cur,
+			runnable:       append([]int(nil), runnable...),
+			preemptsBefore: preempts,
+			seg:            newSegment(),
+		}
+		if d.preempts(pick) {
+			preempts++
+		}
+		trace.decisions = append(trace.decisions, d)
+		tr.cur = d.seg
+		ctl.resume[pick] <- struct{}{}
+		ev := <-ctl.events
+		tr.cur = nil
+		if ev.done {
+			if ev.err != nil {
+				trace.errs = append(trace.errs, ev.err)
+			}
+			runnable = remove(runnable, pick)
+			cur = -1
+		} else {
+			cur = pick
+		}
+		eng.Compute(sim.Time(len(d.seg.cells))+1, step)
+	}
+	eng.After(0, step)
+	trace.simTime = eng.Run()
+	return trace, det, watch, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(xs []int, x int) []int {
+	out := xs[:0]
+	for _, v := range xs {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,188 @@
+package oracle
+
+import (
+	"fmt"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/progen"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// Target is one compiled program plus the thread structure to validate: a
+// lock plan, an optional single-threaded setup call, and the worker
+// threads. The oracle executes targets under the checking interpreter with
+// the race detector, the deadlock monitor, and (via Explore) the
+// systematic scheduler attached.
+type Target struct {
+	Name string
+	Prog *ir.Program
+	Pts  *steens.Analysis
+	Plan map[int]locks.Set
+
+	Setup   *interp.ThreadSpec
+	Threads []interp.ThreadSpec
+	Externs map[string]interp.ExternFunc
+	// StepLimit overrides the interpreter's per-thread step budget.
+	StepLimit int64
+
+	// PlanMutator, when set, rewrites each session's acquisition plan —
+	// the fault-injection hook for mutation testing (e.g. reordering
+	// acquires to break the canonical order).
+	PlanMutator func(session int64, steps []mgl.PlanStep) []mgl.PlanStep
+}
+
+// FromSource compiles mini-C source through the full pipeline (parse,
+// lower, points-to, inference at k) and returns a target running threads
+// copies of worker fn with the given args.
+func FromSource(name, src string, k int, workers []interp.ThreadSpec, setup *interp.ThreadSpec) (*Target, error) {
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: parse %s: %w", name, err)
+	}
+	lowered, err := ir.Lower(ast)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: lower %s: %w", name, err)
+	}
+	pts := steens.Run(lowered)
+	eng := infer.New(lowered, pts, infer.Options{K: k})
+	plan := transform.SectionLocks(eng.AnalyzeAll())
+	return &Target{
+		Name:    name,
+		Prog:    lowered,
+		Pts:     pts,
+		Plan:    plan,
+		Setup:   setup,
+		Threads: workers,
+	}, nil
+}
+
+// FromCorpus builds a target from one corpus program: its setup function
+// and threads workers each running ops operations.
+func FromCorpus(p progs.Prog, k, threads, ops int) (*Target, error) {
+	c, err := progs.Compile(p, k)
+	if err != nil {
+		return nil, err
+	}
+	tg := &Target{
+		Name: fmt.Sprintf("%s/k=%d", p.Name, k),
+		Prog: c.IR,
+		Pts:  c.Pts,
+		Plan: transform.SectionLocks(c.Results),
+	}
+	if p.Setup != "" {
+		args := make([]interp.Value, len(p.SetupArgs))
+		for i, a := range p.SetupArgs {
+			args[i] = interp.IntV(a)
+		}
+		tg.Setup = &interp.ThreadSpec{Fn: p.Setup, Args: args}
+	}
+	for i := 0; i < threads; i++ {
+		raw := p.WorkerArgs(i, ops)
+		args := make([]interp.Value, len(raw))
+		for j, a := range raw {
+			args[j] = interp.IntV(a)
+		}
+		tg.Threads = append(tg.Threads, interp.ThreadSpec{Fn: p.Worker, Args: args})
+	}
+	return tg, nil
+}
+
+// FromProgen builds a target from a generated concurrent program
+// (progen.GenerateConcurrent): init() as setup and threads copies of
+// worker(ops, seed).
+func FromProgen(seed int64, k, threads, ops int) (*Target, error) {
+	src := progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed})
+	var specs []interp.ThreadSpec
+	for i := 0; i < threads; i++ {
+		specs = append(specs, interp.ThreadSpec{
+			Fn:   "worker",
+			Args: []interp.Value{interp.IntV(int64(ops)), interp.IntV(int64(seed) + int64(i)*31)},
+		})
+	}
+	setup := &interp.ThreadSpec{Fn: "init"}
+	return FromSource(fmt.Sprintf("progen/seed=%d/k=%d", seed, k), src, k, specs, setup)
+}
+
+// DropLock returns a copy of the target whose section plans omit every
+// inferred lock matching name — the "forget one lock" mutation of the
+// soundness tests. It reports how many section plans were weakened.
+func (tg *Target) DropLock(name string) (*Target, int) {
+	out := *tg
+	out.Name = tg.Name + "/drop=" + name
+	out.Plan = transform.DropLock(tg.Plan, name)
+	dropped := 0
+	for sec, s := range tg.Plan {
+		if len(out.Plan[sec]) < len(s) {
+			dropped++
+		}
+	}
+	return &out, dropped
+}
+
+// Report is the outcome of one free-running (non-explored) execution.
+type Report struct {
+	Races           []Race
+	OrderViolations []mgl.OrderViolation
+	LockOrderCycles []mgl.OrderCycle
+	Deadlocks       []mgl.DeadlockError
+	RunErr          error
+}
+
+// Err summarizes the report as a single error, nil when clean.
+func (r *Report) Err() error {
+	switch {
+	case len(r.Races) > 0:
+		return fmt.Errorf("oracle: %s", r.Races[0])
+	case len(r.Deadlocks) > 0:
+		d := r.Deadlocks[0]
+		return &d
+	case len(r.OrderViolations) > 0:
+		return fmt.Errorf("oracle: %s", r.OrderViolations[0])
+	case len(r.LockOrderCycles) > 0:
+		return fmt.Errorf("oracle: %s", r.LockOrderCycles[0])
+	}
+	return r.RunErr
+}
+
+// RunOnce executes the target once under the Go scheduler (real
+// concurrency, no systematic exploration) with the race detector and the
+// deadlock monitor attached. checked additionally enables the §4.2 lock
+// coverage checker.
+func (tg *Target) RunOnce(checked bool) (*Report, error) {
+	m := interp.NewMachine(tg.Prog, tg.Pts, tg.Plan)
+	m.Checked = checked
+	if tg.StepLimit > 0 {
+		m.StepLimit = tg.StepLimit
+	}
+	for name, fn := range tg.Externs {
+		m.RegisterExtern(name, fn)
+	}
+	det := NewRaceDetector()
+	m.Tracer = det
+	watch := mgl.NewWatcher()
+	m.Manager().SetWatcher(watch)
+	if tg.PlanMutator != nil {
+		m.Manager().PermutePlan = tg.PlanMutator
+	}
+	if err := m.Init(); err != nil {
+		return nil, fmt.Errorf("oracle: init %s: %w", tg.Name, err)
+	}
+	if tg.Setup != nil {
+		if _, err := m.Call(0, tg.Setup.Fn, tg.Setup.Args); err != nil {
+			return nil, fmt.Errorf("oracle: setup %s: %w", tg.Name, err)
+		}
+	}
+	rep := &Report{RunErr: m.Run(tg.Threads)}
+	rep.Races = det.Races()
+	rep.OrderViolations = watch.OrderViolations()
+	rep.LockOrderCycles = watch.LockOrderCycles()
+	rep.Deadlocks = watch.Deadlocks()
+	return rep, nil
+}

@@ -1,0 +1,365 @@
+package oracle
+
+import (
+	"testing"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/progs"
+)
+
+func mustCorpus(t *testing.T, name string, k, threads, ops int) *Target {
+	t.Helper()
+	p, err := progs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := FromCorpus(p, k, threads, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+// planLockNames collects the distinct rendered lock names across a plan.
+func planLockNames(tg *Target) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, set := range tg.Plan {
+		for _, l := range set.Sorted() {
+			if s := l.String(); !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// The explorer enumerates multiple interleavings of fig2 and finds the
+// inferred locks clean: no races, no deadlocks, no order violations.
+func TestExploreFig2Clean(t *testing.T) {
+	tg := mustCorpus(t, "fig2", 2, 2, 3)
+	res, err := tg.Explore(ExploreOptions{Preemptions: 2, MaxSchedules: 24, Checked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("oracle fired on inferred locks: %v", err)
+	}
+	if res.Schedules < 2 {
+		t.Fatalf("explored only %d schedule(s)", res.Schedules)
+	}
+	if res.LongestSim == 0 {
+		t.Fatalf("no simulated time accounted")
+	}
+	t.Logf("schedules=%d pruned=%d truncated=%v longestSim=%v",
+		res.Schedules, res.Pruned, res.Truncated, res.LongestSim)
+}
+
+// Exploration is deterministic: the same target explored twice yields the
+// same schedule and prune counts.
+func TestExploreDeterministic(t *testing.T) {
+	opts := ExploreOptions{Preemptions: 1, MaxSchedules: 16, Checked: true}
+	a, err := mustCorpus(t, "fig2", 2, 2, 2).Explore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mustCorpus(t, "fig2", 2, 2, 2).Explore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedules != b.Schedules || a.Pruned != b.Pruned {
+		t.Fatalf("nondeterministic exploration: (%d,%d) vs (%d,%d)",
+			a.Schedules, a.Pruned, b.Schedules, b.Pruned)
+	}
+}
+
+// A larger preemption budget explores at least as many schedules.
+func TestExplorePreemptionBoundMonotone(t *testing.T) {
+	budgets := []int{-1, 1, 2} // none, one, two preemptions
+	counts := make([]int, len(budgets))
+	for i, p := range budgets {
+		res, err := mustCorpus(t, "fig2", 2, 2, 2).Explore(
+			ExploreOptions{Preemptions: p, MaxSchedules: 200, Checked: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = res.Schedules
+	}
+	if !(counts[0] <= counts[1] && counts[1] <= counts[2]) {
+		t.Fatalf("schedule counts not monotone in preemption budget: %v", counts)
+	}
+	t.Logf("schedules by preemption budget: %v", counts)
+}
+
+// Cross-validation on the corpus: every program, compiled at several k
+// values, runs clean under the full oracle. Short mode keeps a fast subset
+// for tier-1.
+func TestCorpusRunOnceClean(t *testing.T) {
+	ks := []int{1, 2}
+	for _, p := range progs.All() {
+		p := p
+		if testing.Short() && p.Name != "fig2" && p.Name != "move" && p.Name != "list" {
+			continue
+		}
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, k := range ks {
+				tg, err := FromCorpus(p, k, 3, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := tg.RunOnce(true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rep.Err(); err != nil {
+					t.Fatalf("k=%d: oracle fired: %v", k, err)
+				}
+			}
+		})
+	}
+}
+
+// Systematic exploration over a corpus subset: bounded interleavings, all
+// clean under the inferred locks.
+func TestCorpusExploreClean(t *testing.T) {
+	names := []string{"fig2", "move", "list", "hashtable"}
+	if testing.Short() {
+		names = names[:2]
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			tg := mustCorpus(t, name, 2, 2, 2)
+			res, err := tg.Explore(ExploreOptions{Preemptions: 1, MaxSchedules: 12, Checked: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Err(); err != nil {
+				t.Fatalf("oracle fired: %v", err)
+			}
+		})
+	}
+}
+
+// Mutation: removing ALL inferred locks (DropLock with the empty pattern
+// matches every lock) must make the race detector fire — Theorem 1 run in
+// reverse.
+func TestDropAllLocksRaces(t *testing.T) {
+	// fig2 is no use here: its workers allocate fresh objects per
+	// iteration and share nothing, so it cannot race even lock-free. The
+	// mutation check needs programs with genuinely shared state.
+	for _, name := range []string{"move", "list"} {
+		// list needs enough ops for the 66/17 get/put mix to issue writes.
+		tg := mustCorpus(t, name, 2, 2, 12)
+		mut, dropped := tg.DropLock("")
+		if dropped == 0 {
+			t.Fatalf("%s: no locks to drop", name)
+		}
+		res, err := mut.Explore(ExploreOptions{Preemptions: 1, MaxSchedules: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Races) == 0 {
+			t.Fatalf("%s: dropped all locks but detector stayed silent", name)
+		}
+		t.Logf("%s: %d races after dropping %d section plans, e.g. %s",
+			name, len(res.Races), dropped, res.Races[0])
+	}
+}
+
+// counterSrc shares exactly one cell through one partition: its section's
+// plan is a single lock, so dropping that one lock must produce a
+// happens-before race.
+const counterSrc = `
+int* c;
+
+void init() {
+  c = new int;
+  *c = 0;
+}
+
+void worker(int iters, int seed) {
+  int i = 0;
+  while (i < iters) {
+    atomic {
+      int v = *c;
+      *c = v + 1;
+    }
+    i = i + 1;
+  }
+}
+`
+
+// Mutation: dropping a single inferred lock. On the one-lock counter the
+// race detector itself must fire; the unmutated baseline stays clean.
+func TestDropSingleLockRaces(t *testing.T) {
+	workers := []interp.ThreadSpec{
+		{Fn: "worker", Args: []interp.Value{interp.IntV(3), interp.IntV(1)}},
+		{Fn: "worker", Args: []interp.Value{interp.IntV(3), interp.IntV(2)}},
+	}
+	tg, err := FromSource("counter", counterSrc, 2, workers,
+		&interp.ThreadSpec{Fn: "init"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := planLockNames(tg)
+	if len(names) == 0 {
+		t.Fatalf("no locks inferred for counter")
+	}
+	base, err := tg.Explore(ExploreOptions{Preemptions: 1, MaxSchedules: 8, Checked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Err(); err != nil {
+		t.Fatalf("baseline not clean: %v", err)
+	}
+	fired := 0
+	for _, lock := range names {
+		mut, dropped := tg.DropLock(lock)
+		if dropped == 0 {
+			continue
+		}
+		res, err := mut.Explore(ExploreOptions{Preemptions: 1, MaxSchedules: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Races) > 0 {
+			fired++
+			t.Logf("drop %s -> %s", lock, res.Races[0])
+		}
+	}
+	if fired == 0 {
+		t.Fatalf("no single-lock drop produced a race")
+	}
+}
+
+// On move, a single dropped lock does NOT produce a happens-before race —
+// both sections still synchronize through the remaining partition's lock,
+// which orders the whole sections. The drop is still caught, by the §4.2
+// coverage checker: an access with no covering lock is a violation on
+// every schedule.
+func TestDropSingleLockCheckerFires(t *testing.T) {
+	tg := mustCorpus(t, "move", 2, 2, 3)
+	fired := 0
+	for _, lock := range planLockNames(tg) {
+		mut, dropped := tg.DropLock(lock)
+		if dropped == 0 {
+			continue
+		}
+		res, err := mut.Explore(ExploreOptions{Preemptions: 1, MaxSchedules: 4, Checked: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Races) > 0 || len(res.Errs) > 0 {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatalf("no single-lock drop tripped the oracle")
+	}
+}
+
+// Mutation: reordering acquisitions. Odd interpreter sessions acquire in
+// reverse order; the monitor must flag canonical-order violations and a
+// lock-order cycle, while the detector stays quiet (the locks still cover
+// the accesses).
+func TestReorderAcquiresFlagged(t *testing.T) {
+	tg := mustCorpus(t, "move", 2, 2, 3)
+	tg.PlanMutator = func(session int64, steps []mgl.PlanStep) []mgl.PlanStep {
+		if session%2 == 0 {
+			return steps
+		}
+		out := make([]mgl.PlanStep, len(steps))
+		for i, st := range steps {
+			out[len(steps)-1-i] = st
+		}
+		return out
+	}
+	res, err := tg.Explore(ExploreOptions{Preemptions: 1, MaxSchedules: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OrderViolations) == 0 {
+		t.Fatalf("reversed acquisition order produced no order violation")
+	}
+	if len(res.LockOrderCycles) == 0 {
+		t.Fatalf("mixed acquisition orders produced no lock-order cycle")
+	}
+	if len(res.Races) != 0 {
+		t.Fatalf("reordering (not dropping) locks should not race, got %v", res.Races[0])
+	}
+	t.Logf("violation: %s; cycle: %s", res.OrderViolations[0], res.LockOrderCycles[0])
+}
+
+// Property-based soundness: generated concurrent programs, several seeds ×
+// several k values, all clean under the oracle. This is the paper's
+// Theorem 1 as an executable property.
+func TestProgenSoundnessProperty(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		for _, k := range []int{1, 2, 3} {
+			k := k
+			t.Run(progenName(seed, k), func(t *testing.T) {
+				t.Parallel()
+				tg, err := FromProgen(seed, k, 2, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := tg.RunOnce(true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rep.Err(); err != nil {
+					t.Fatalf("oracle fired: %v", err)
+				}
+				// Systematic exploration at k=2 (bounded to keep the
+				// property suite fast).
+				if k == 2 {
+					res, err := tg.Explore(ExploreOptions{Preemptions: 1, MaxSchedules: 6, Checked: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := res.Err(); err != nil {
+						t.Fatalf("explore: oracle fired: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func progenName(seed int64, k int) string {
+	return "seed" + string(rune('0'+seed/10)) + string(rune('0'+seed%10)) + "k" + string(rune('0'+k))
+}
+
+// Generated programs also support the mutation check: across a handful of
+// seeds, dropping every lock must produce at least one detected race.
+func TestProgenMutationRaces(t *testing.T) {
+	fired := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		tg, err := FromProgen(seed, 2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut, _ := tg.DropLock("")
+		res, err := mut.Explore(ExploreOptions{Preemptions: 1, MaxSchedules: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Races) > 0 {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatalf("no generated program raced after dropping all locks")
+	}
+	t.Logf("%d/5 seeds raced without locks", fired)
+}

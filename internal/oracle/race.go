@@ -1,0 +1,291 @@
+// Package oracle is the dynamic concurrency oracle for the inferred-lock
+// runtime: a vector-clock happens-before race detector over the checking
+// interpreter's shared accesses, the mgl deadlock monitor (waits-for graph
+// and lock-order assertions, see internal/mgl.Watcher), and a DPOR-lite
+// systematic scheduler that enumerates preemption-bounded interleavings of
+// small programs. Together they test the paper's Theorem 1 directly: under
+// the inferred locks, no pair of atomic sections races and no schedule
+// deadlocks — and when the lock plan is artificially weakened, the oracle
+// fires.
+package oracle
+
+import (
+	"fmt"
+	"sync"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/steens"
+)
+
+// VC is a vector clock, indexed by thread id.
+type VC []uint64
+
+func (v VC) get(i int) uint64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+// join merges o into v, growing as needed, and returns v.
+func (v VC) join(o VC) VC {
+	for len(v) < len(o) {
+		v = append(v, 0)
+	}
+	for i, c := range o {
+		if c > v[i] {
+			v[i] = c
+		}
+	}
+	return v
+}
+
+// bump increments component i, growing as needed, and returns v.
+func (v VC) bump(i int) VC {
+	for len(v) <= i {
+		v = append(v, 0)
+	}
+	v[i]++
+	return v
+}
+
+// Site is one endpoint of a race: a dynamic access with its source
+// location.
+type Site struct {
+	Thread int
+	Write  bool
+	Atomic bool
+	Fn     string
+	Pos    lang.Pos
+	What   string
+}
+
+func (s Site) String() string {
+	op := "read"
+	if s.Write {
+		op = "write"
+	}
+	where := "outside atomic"
+	if s.Atomic {
+		where = "in atomic"
+	}
+	return fmt.Sprintf("thread %d %s of %s at %s:%s (%s)", s.Thread, op, s.What, s.Fn, s.Pos, where)
+}
+
+// Race is a pair of conflicting accesses to the same cell not ordered by
+// happens-before.
+type Race struct {
+	Class steens.NodeID
+	Prev  Site
+	Cur   Site
+	Count int // dynamic occurrences of this (Prev, Cur) location pair
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race on pts#%d: %s || %s", r.Class, r.Prev, r.Cur)
+}
+
+// lockKey identifies one node of the lock hierarchy.
+type lockKey struct {
+	kind  int
+	class mgl.ClassID
+	addr  uint64
+}
+
+// lockState keeps, per node, the joined vector clock of every release in
+// each mode. An acquire in mode m synchronizes with all earlier releases in
+// modes incompatible with m — precisely the pairs the hierarchical protocol
+// orders.
+type lockState struct {
+	rel [6]VC
+}
+
+// epoch is a FastTrack-style scalar clock: thread t at clock c.
+type epoch struct {
+	tid int
+	clk uint64
+}
+
+// cellState is the per-address detector state.
+type cellState struct {
+	class     steens.NodeID
+	lastWrite epoch
+	writeSite Site
+	// reads[t] is t's clock at its last read since the last write.
+	reads     map[int]uint64
+	readSites map[int]Site
+}
+
+// RaceDetector is a happens-before race detector implementing
+// interp.Tracer. Happens-before edges come from thread forks/joins and from
+// the mgl lock hierarchy: a section's release of a node synchronizes with
+// every later acquisition of that node in an incompatible mode. Two
+// conflicting accesses to one cell with no such ordering are a race.
+//
+// By default only pairs where BOTH endpoints executed inside atomic
+// sections are reported: that is the scope of the paper's Theorem 1 (the
+// model assumes all shared accesses occur in atomic sections; a racy access
+// outside any section is a property of the input program, not of the
+// inferred locks). Set ReportNonAtomic to flag those too.
+type RaceDetector struct {
+	// ReportNonAtomic also reports races with an endpoint outside any
+	// atomic section.
+	ReportNonAtomic bool
+
+	mu      sync.Mutex
+	threads map[int]VC
+	locks   map[lockKey]*lockState
+	cells   map[uint64]*cellState
+	races   map[string]*Race
+	order   []string // race keys in first-seen order
+}
+
+// NewRaceDetector returns an empty detector. Thread 0 is the root: setup
+// work run before ThreadStart events is ordered before every thread.
+func NewRaceDetector() *RaceDetector {
+	return &RaceDetector{
+		threads: map[int]VC{0: VC{1}},
+		locks:   map[lockKey]*lockState{},
+		cells:   map[uint64]*cellState{},
+		races:   map[string]*Race{},
+	}
+}
+
+// Races returns the distinct races found, in first-seen order.
+func (d *RaceDetector) Races() []Race {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Race, 0, len(d.order))
+	for _, k := range d.order {
+		out = append(out, *d.races[k])
+	}
+	return out
+}
+
+// Err returns the first race as an error, or nil.
+func (d *RaceDetector) Err() error {
+	rs := d.Races()
+	if len(rs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("oracle: %s (%d distinct races)", rs[0], len(rs))
+}
+
+func (d *RaceDetector) vc(tid int) VC {
+	v, ok := d.threads[tid]
+	if !ok {
+		v = VC{}.bump(tid)
+		d.threads[tid] = v
+	}
+	return v
+}
+
+// ThreadStart forks tid from the root clock (thread 0).
+func (d *RaceDetector) ThreadStart(tid int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	root := d.vc(0)
+	d.threads[tid] = d.vc(tid).join(root).bump(tid)
+	d.threads[0] = root.bump(0)
+}
+
+// ThreadEnd joins tid back into the root clock.
+func (d *RaceDetector) ThreadEnd(tid int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.threads[0] = d.vc(0).join(d.vc(tid))
+}
+
+// SectionEnter synchronizes the thread with every earlier release of the
+// acquired nodes in incompatible modes.
+func (d *RaceDetector) SectionEnter(tid, section int, held []mgl.PlanStep) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := d.vc(tid)
+	for _, st := range held {
+		ls := d.locks[lockKey{st.Kind, st.Class, st.Addr}]
+		if ls == nil {
+			continue
+		}
+		for m := mgl.IS; m <= mgl.X; m++ {
+			if !mgl.Compatible(st.Mode, m) {
+				v = v.join(ls.rel[m])
+			}
+		}
+	}
+	d.threads[tid] = v
+}
+
+// SectionExit publishes the thread's clock into each released node and
+// advances the thread's epoch.
+func (d *RaceDetector) SectionExit(tid, section int, held []mgl.PlanStep) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := d.vc(tid)
+	for _, st := range held {
+		k := lockKey{st.Kind, st.Class, st.Addr}
+		ls := d.locks[k]
+		if ls == nil {
+			ls = &lockState{}
+			d.locks[k] = ls
+		}
+		ls.rel[st.Mode] = ls.rel[st.Mode].join(v)
+	}
+	d.threads[tid] = v.bump(tid)
+}
+
+// Access runs the FastTrack checks for one dynamic access.
+func (d *RaceDetector) Access(ev interp.AccessEvent) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := d.vc(ev.Thread)
+	c := d.cells[ev.Addr]
+	if c == nil {
+		c = &cellState{class: ev.Class, reads: map[int]uint64{}, readSites: map[int]Site{}}
+		d.cells[ev.Addr] = c
+	}
+	site := Site{Thread: ev.Thread, Write: ev.Write, Atomic: ev.Atomic,
+		Fn: ev.Fn, Pos: ev.Pos, What: ev.What}
+	// Every access must be ordered after the last write.
+	if c.lastWrite.clk > 0 && c.lastWrite.tid != ev.Thread &&
+		c.lastWrite.clk > v.get(c.lastWrite.tid) {
+		d.report(ev.Class, c.writeSite, site)
+	}
+	if ev.Write {
+		// A write must additionally be ordered after every read since the
+		// last write.
+		for t, clk := range c.reads {
+			if t != ev.Thread && clk > v.get(t) {
+				d.report(ev.Class, c.readSites[t], site)
+			}
+		}
+		c.lastWrite = epoch{tid: ev.Thread, clk: v.get(ev.Thread)}
+		c.writeSite = site
+		c.reads = map[int]uint64{}
+		c.readSites = map[int]Site{}
+		return
+	}
+	c.reads[ev.Thread] = v.get(ev.Thread)
+	c.readSites[ev.Thread] = site
+}
+
+// report records a race, deduplicated by the location pair.
+func (d *RaceDetector) report(class steens.NodeID, prev, cur Site) {
+	if !d.ReportNonAtomic && (!prev.Atomic || !cur.Atomic) {
+		return
+	}
+	a := fmt.Sprintf("%s:%s:%s:%v", prev.Fn, prev.Pos, prev.What, prev.Write)
+	b := fmt.Sprintf("%s:%s:%s:%v", cur.Fn, cur.Pos, cur.What, cur.Write)
+	if a > b {
+		a, b = b, a
+	}
+	key := a + "||" + b
+	if r, ok := d.races[key]; ok {
+		r.Count++
+		return
+	}
+	d.races[key] = &Race{Class: class, Prev: prev, Cur: cur, Count: 1}
+	d.order = append(d.order, key)
+}

@@ -1,0 +1,200 @@
+package oracle
+
+import (
+	"testing"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/mgl"
+)
+
+// ev builds a synthetic access event; the position doubles as the site
+// identity for dedup.
+func ev(thread int, addr uint64, write, atomic bool, line int) interp.AccessEvent {
+	return interp.AccessEvent{
+		Thread: thread, Addr: addr, Class: 7, Write: write, Atomic: atomic,
+		Fn: "f", Pos: lang.Pos{Line: line, Col: 1}, What: "x",
+	}
+}
+
+func fineX(addr uint64) mgl.PlanStep {
+	return mgl.PlanStep{Kind: 2, Class: 3, Addr: addr, Mode: mgl.X}
+}
+
+func fineS(addr uint64) mgl.PlanStep {
+	return mgl.PlanStep{Kind: 2, Class: 3, Addr: addr, Mode: mgl.S}
+}
+
+// Unordered atomic writes by two threads to one cell race.
+func TestDetectorUnorderedWritesRace(t *testing.T) {
+	d := NewRaceDetector()
+	d.ThreadStart(1)
+	d.ThreadStart(2)
+	// Disjoint locks: no happens-before edge between the sections.
+	d.SectionEnter(1, 0, []mgl.PlanStep{fineX(10)})
+	d.Access(ev(1, 500, true, true, 1))
+	d.SectionExit(1, 0, []mgl.PlanStep{fineX(10)})
+	d.SectionEnter(2, 1, []mgl.PlanStep{fineX(11)})
+	d.Access(ev(2, 500, true, true, 2))
+	d.SectionExit(2, 1, []mgl.PlanStep{fineX(11)})
+	if rs := d.Races(); len(rs) != 1 {
+		t.Fatalf("want 1 race, got %v", rs)
+	} else {
+		t.Logf("race: %s", rs[0])
+	}
+}
+
+// The same pattern under a common exclusive lock is ordered: release→acquire
+// of incompatible modes is a happens-before edge.
+func TestDetectorCommonLockNoRace(t *testing.T) {
+	d := NewRaceDetector()
+	d.ThreadStart(1)
+	d.ThreadStart(2)
+	d.SectionEnter(1, 0, []mgl.PlanStep{fineX(10)})
+	d.Access(ev(1, 500, true, true, 1))
+	d.SectionExit(1, 0, []mgl.PlanStep{fineX(10)})
+	d.SectionEnter(2, 1, []mgl.PlanStep{fineX(10)})
+	d.Access(ev(2, 500, true, true, 2))
+	d.SectionExit(2, 1, []mgl.PlanStep{fineX(10)})
+	if rs := d.Races(); len(rs) != 0 {
+		t.Fatalf("lock-ordered writes flagged: %v", rs)
+	}
+}
+
+// Compatible modes (S ∥ S) create no happens-before edge — but concurrent
+// reads don't race, and a later writer synchronizing through X is ordered
+// after both readers.
+func TestDetectorSharedReadersThenWriter(t *testing.T) {
+	d := NewRaceDetector()
+	d.ThreadStart(1)
+	d.ThreadStart(2)
+	d.ThreadStart(3)
+	d.SectionEnter(1, 0, []mgl.PlanStep{fineS(10)})
+	d.Access(ev(1, 500, false, true, 1))
+	d.SectionExit(1, 0, []mgl.PlanStep{fineS(10)})
+	d.SectionEnter(2, 0, []mgl.PlanStep{fineS(10)})
+	d.Access(ev(2, 500, false, true, 2))
+	d.SectionExit(2, 0, []mgl.PlanStep{fineS(10)})
+	// X is incompatible with S: the writer joins both readers' releases.
+	d.SectionEnter(3, 1, []mgl.PlanStep{fineX(10)})
+	d.Access(ev(3, 500, true, true, 3))
+	d.SectionExit(3, 1, []mgl.PlanStep{fineX(10)})
+	if rs := d.Races(); len(rs) != 0 {
+		t.Fatalf("reader/reader/locked-writer flagged: %v", rs)
+	}
+}
+
+// A write under S only (no exclusive right) races with another thread's
+// S-protected write: S ∥ S grants no edge and both writes are unordered.
+func TestDetectorSharedModeWritesRace(t *testing.T) {
+	d := NewRaceDetector()
+	d.ThreadStart(1)
+	d.ThreadStart(2)
+	d.SectionEnter(1, 0, []mgl.PlanStep{fineS(10)})
+	d.Access(ev(1, 500, true, true, 1))
+	d.SectionExit(1, 0, []mgl.PlanStep{fineS(10)})
+	d.SectionEnter(2, 0, []mgl.PlanStep{fineS(10)})
+	d.Access(ev(2, 500, true, true, 2))
+	d.SectionExit(2, 0, []mgl.PlanStep{fineS(10)})
+	if rs := d.Races(); len(rs) != 1 {
+		t.Fatalf("want 1 race for S-mode writes, got %v", rs)
+	}
+}
+
+// Fork and join edges order setup work before workers and workers before
+// teardown.
+func TestDetectorForkJoinOrdering(t *testing.T) {
+	d := NewRaceDetector()
+	d.ReportNonAtomic = true // these accesses run outside sections
+	d.Access(ev(0, 500, true, false, 1))
+	d.ThreadStart(1)
+	d.Access(ev(1, 500, true, false, 2)) // ordered after the fork
+	d.ThreadEnd(1)
+	d.Access(ev(0, 500, false, false, 3)) // ordered after the join
+	if rs := d.Races(); len(rs) != 0 {
+		t.Fatalf("fork/join-ordered accesses flagged: %v", rs)
+	}
+}
+
+// Without ThreadEnd the parent's read is unordered with the child's write —
+// and with the default Theorem-1 scope (both endpoints atomic) the race is
+// suppressed unless ReportNonAtomic is set.
+func TestDetectorNonAtomicScope(t *testing.T) {
+	for _, report := range []bool{false, true} {
+		d := NewRaceDetector()
+		d.ReportNonAtomic = report
+		d.ThreadStart(1)
+		d.Access(ev(1, 500, true, false, 1))
+		d.Access(ev(0, 500, false, false, 2)) // no join: unordered
+		want := 0
+		if report {
+			want = 1
+		}
+		if rs := d.Races(); len(rs) != want {
+			t.Fatalf("ReportNonAtomic=%v: want %d races, got %v", report, want, rs)
+		}
+	}
+}
+
+// Coarse-lock edges work like fine ones: a class node held in X orders
+// sections even when they touch many addresses.
+func TestDetectorCoarseLockEdge(t *testing.T) {
+	coarseX := mgl.PlanStep{Kind: 1, Class: 3, Mode: mgl.X}
+	d := NewRaceDetector()
+	d.ThreadStart(1)
+	d.ThreadStart(2)
+	d.SectionEnter(1, 0, []mgl.PlanStep{coarseX})
+	d.Access(ev(1, 500, true, true, 1))
+	d.Access(ev(1, 501, true, true, 1))
+	d.SectionExit(1, 0, []mgl.PlanStep{coarseX})
+	d.SectionEnter(2, 0, []mgl.PlanStep{coarseX})
+	d.Access(ev(2, 501, true, true, 2))
+	d.Access(ev(2, 500, false, true, 2))
+	d.SectionExit(2, 0, []mgl.PlanStep{coarseX})
+	if rs := d.Races(); len(rs) != 0 {
+		t.Fatalf("coarse-lock-ordered accesses flagged: %v", rs)
+	}
+}
+
+// Intention modes are compatible (IX ∥ IX): holding only the intention on
+// the class does not order two sections — the fine leaves do. Dropping the
+// fine leaf from one section's plan must produce a race.
+func TestDetectorIntentionModeNoFalseEdge(t *testing.T) {
+	classIX := mgl.PlanStep{Kind: 1, Class: 3, Mode: mgl.IX}
+	d := NewRaceDetector()
+	d.ThreadStart(1)
+	d.ThreadStart(2)
+	d.SectionEnter(1, 0, []mgl.PlanStep{classIX, fineX(10)})
+	d.Access(ev(1, 500, true, true, 1))
+	d.SectionExit(1, 0, []mgl.PlanStep{classIX, fineX(10)})
+	// Mutated plan: same intention, missing the fine leaf.
+	d.SectionEnter(2, 0, []mgl.PlanStep{classIX})
+	d.Access(ev(2, 500, true, true, 2))
+	d.SectionExit(2, 0, []mgl.PlanStep{classIX})
+	if rs := d.Races(); len(rs) != 1 {
+		t.Fatalf("want 1 race through IX∥IX (no false edge), got %v", rs)
+	}
+}
+
+// Duplicate dynamic occurrences of one racy location pair collapse into one
+// Race with a count.
+func TestDetectorDedup(t *testing.T) {
+	d := NewRaceDetector()
+	d.ThreadStart(1)
+	d.ThreadStart(2)
+	for i := 0; i < 3; i++ {
+		d.SectionEnter(1, 0, []mgl.PlanStep{fineX(10)})
+		d.Access(ev(1, 500, true, true, 1))
+		d.SectionExit(1, 0, []mgl.PlanStep{fineX(10)})
+		d.SectionEnter(2, 1, []mgl.PlanStep{fineX(11)})
+		d.Access(ev(2, 500, true, true, 2))
+		d.SectionExit(2, 1, []mgl.PlanStep{fineX(11)})
+	}
+	rs := d.Races()
+	if len(rs) != 1 {
+		t.Fatalf("want 1 deduplicated race, got %d", len(rs))
+	}
+	if rs[0].Count < 2 {
+		t.Fatalf("want repeated occurrences counted, got %d", rs[0].Count)
+	}
+}

@@ -7,8 +7,23 @@ import (
 	"lockinfer/internal/workload"
 )
 
-// TestExploreShapes prints Table-2-shaped numbers for manual calibration;
-// assertions live in the bench package.
+// TestExploreShapes checks the Table-2-shaped relations between the four
+// runtimes on every workload (and still prints the table for manual
+// calibration). The invariants, with tolerances wide enough to survive
+// cost-model tweaks but tight enough to catch real regressions:
+//
+//   - every mode terminates with positive simulated time;
+//   - hierarchical locking's overhead over the single global lock is
+//     bounded (coarse ≤ global × 1.2) — acquiring a few coarse locks
+//     costs more per section but never degrades throughput wholesale;
+//   - read-heavy mixes (low-mix rows) exploit S-mode parallelism: coarse
+//     MGL strictly beats the global X lock;
+//   - where the workload distinguishes grains (ht2), fine-grain locking
+//     strictly beats coarse — the paper's headline win;
+//   - the STM baseline always records work (positive time) and conflicts
+//     (aborts) under contention;
+//   - the engine is deterministic: re-running one configuration
+//     reproduces the identical simulated time.
 func TestExploreShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("exploration only")
@@ -17,38 +32,65 @@ func TestExploreShapes(t *testing.T) {
 		name   string
 		coarse func() workload.Workload
 		fine   func() workload.Workload
+		// readParallel marks read-heavy mixes where coarse S-mode locking
+		// must strictly beat the global exclusive lock.
+		readParallel bool
+		// fineFaster marks workloads whose fine variant genuinely uses a
+		// finer grain, which must strictly beat coarse.
+		fineFaster bool
 	}
 	rows := []row{
-		{"genome", func() workload.Workload { return workload.NewGenome("genome", workload.GrainCoarse) },
-			func() workload.Workload { return workload.NewGenome("genome", workload.GrainFine) }},
-		{"vacation", func() workload.Workload { return workload.NewVacation("vacation") },
-			func() workload.Workload { return workload.NewVacation("vacation") }},
-		{"kmeans", func() workload.Workload { return workload.NewKmeans("kmeans", workload.GrainCoarse) },
-			func() workload.Workload { return workload.NewKmeans("kmeans", workload.GrainFine) }},
-		{"bayes", func() workload.Workload { return workload.NewBayes("bayes") },
-			func() workload.Workload { return workload.NewBayes("bayes") }},
-		{"labyrinth", func() workload.Workload { return workload.NewLabyrinth("labyrinth") },
-			func() workload.Workload { return workload.NewLabyrinth("labyrinth") }},
-		{"hash-high", func() workload.Workload { return workload.NewHashtable("h", workload.HighMix) },
-			func() workload.Workload { return workload.NewHashtable("h", workload.HighMix) }},
-		{"hash-low", func() workload.Workload { return workload.NewHashtable("h", workload.LowMix) },
-			func() workload.Workload { return workload.NewHashtable("h", workload.LowMix) }},
-		{"rbtree-high", func() workload.Workload { return workload.NewRBTree("r", workload.HighMix) },
-			func() workload.Workload { return workload.NewRBTree("r", workload.HighMix) }},
-		{"rbtree-low", func() workload.Workload { return workload.NewRBTree("r", workload.LowMix) },
-			func() workload.Workload { return workload.NewRBTree("r", workload.LowMix) }},
-		{"list-high", func() workload.Workload { return workload.NewList("l", workload.HighMix) },
-			func() workload.Workload { return workload.NewList("l", workload.HighMix) }},
-		{"list-low", func() workload.Workload { return workload.NewList("l", workload.LowMix) },
-			func() workload.Workload { return workload.NewList("l", workload.LowMix) }},
-		{"ht2-high", func() workload.Workload { return workload.NewHashtable2("h2", workload.HighMix, workload.GrainCoarse) },
-			func() workload.Workload { return workload.NewHashtable2("h2", workload.HighMix, workload.GrainFine) }},
-		{"ht2-low", func() workload.Workload { return workload.NewHashtable2("h2", workload.LowMix, workload.GrainCoarse) },
-			func() workload.Workload { return workload.NewHashtable2("h2", workload.LowMix, workload.GrainFine) }},
-		{"th-high", func() workload.Workload { return workload.NewTH("th", workload.HighMix) },
-			func() workload.Workload { return workload.NewTH("th", workload.HighMix) }},
-		{"th-low", func() workload.Workload { return workload.NewTH("th", workload.LowMix) },
-			func() workload.Workload { return workload.NewTH("th", workload.LowMix) }},
+		{name: "genome",
+			coarse: func() workload.Workload { return workload.NewGenome("genome", workload.GrainCoarse) },
+			fine:   func() workload.Workload { return workload.NewGenome("genome", workload.GrainFine) }},
+		{name: "vacation",
+			coarse: func() workload.Workload { return workload.NewVacation("vacation") },
+			fine:   func() workload.Workload { return workload.NewVacation("vacation") }},
+		{name: "kmeans",
+			coarse: func() workload.Workload { return workload.NewKmeans("kmeans", workload.GrainCoarse) },
+			fine:   func() workload.Workload { return workload.NewKmeans("kmeans", workload.GrainFine) }},
+		{name: "bayes",
+			coarse: func() workload.Workload { return workload.NewBayes("bayes") },
+			fine:   func() workload.Workload { return workload.NewBayes("bayes") }},
+		{name: "labyrinth",
+			coarse: func() workload.Workload { return workload.NewLabyrinth("labyrinth") },
+			fine:   func() workload.Workload { return workload.NewLabyrinth("labyrinth") }},
+		{name: "hash-high",
+			coarse: func() workload.Workload { return workload.NewHashtable("h", workload.HighMix) },
+			fine:   func() workload.Workload { return workload.NewHashtable("h", workload.HighMix) }},
+		{name: "hash-low",
+			coarse:       func() workload.Workload { return workload.NewHashtable("h", workload.LowMix) },
+			fine:         func() workload.Workload { return workload.NewHashtable("h", workload.LowMix) },
+			readParallel: true},
+		{name: "rbtree-high",
+			coarse: func() workload.Workload { return workload.NewRBTree("r", workload.HighMix) },
+			fine:   func() workload.Workload { return workload.NewRBTree("r", workload.HighMix) }},
+		{name: "rbtree-low",
+			coarse:       func() workload.Workload { return workload.NewRBTree("r", workload.LowMix) },
+			fine:         func() workload.Workload { return workload.NewRBTree("r", workload.LowMix) },
+			readParallel: true},
+		{name: "list-high",
+			coarse: func() workload.Workload { return workload.NewList("l", workload.HighMix) },
+			fine:   func() workload.Workload { return workload.NewList("l", workload.HighMix) }},
+		{name: "list-low",
+			coarse:       func() workload.Workload { return workload.NewList("l", workload.LowMix) },
+			fine:         func() workload.Workload { return workload.NewList("l", workload.LowMix) },
+			readParallel: true},
+		{name: "ht2-high",
+			coarse:     func() workload.Workload { return workload.NewHashtable2("h2", workload.HighMix, workload.GrainCoarse) },
+			fine:       func() workload.Workload { return workload.NewHashtable2("h2", workload.HighMix, workload.GrainFine) },
+			fineFaster: true},
+		{name: "ht2-low",
+			coarse:     func() workload.Workload { return workload.NewHashtable2("h2", workload.LowMix, workload.GrainCoarse) },
+			fine:       func() workload.Workload { return workload.NewHashtable2("h2", workload.LowMix, workload.GrainFine) },
+			fineFaster: true},
+		{name: "th-high",
+			coarse: func() workload.Workload { return workload.NewTH("th", workload.HighMix) },
+			fine:   func() workload.Workload { return workload.NewTH("th", workload.HighMix) }},
+		{name: "th-low",
+			coarse:       func() workload.Workload { return workload.NewTH("th", workload.LowMix) },
+			fine:         func() workload.Workload { return workload.NewTH("th", workload.LowMix) },
+			readParallel: true},
 	}
 	cfg := Config{Cores: 8, Threads: 8, OpsPerThread: 400, Seed: 11}
 	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n", "program", "global", "coarse", "fine", "stm", "aborts")
@@ -71,5 +113,39 @@ func TestExploreShapes(t *testing.T) {
 		}
 		fmt.Printf("%-12s %10d %10d %10d %10d %10d\n",
 			r.name, g.SimTime, c.SimTime, f.SimTime, s.SimTime, s.Aborts)
+
+		if g.SimTime <= 0 || c.SimTime <= 0 || f.SimTime <= 0 || s.SimTime <= 0 {
+			t.Errorf("%s: non-positive simulated time (g=%d c=%d f=%d s=%d)",
+				r.name, g.SimTime, c.SimTime, f.SimTime, s.SimTime)
+		}
+		// Hierarchical locking overhead over the global lock is bounded.
+		if float64(c.SimTime) > 1.2*float64(g.SimTime) {
+			t.Errorf("%s: coarse MGL %d exceeds global %d by more than 20%%",
+				r.name, c.SimTime, g.SimTime)
+		}
+		if r.readParallel && c.SimTime >= g.SimTime {
+			t.Errorf("%s: read-heavy mix should beat the global lock (coarse %d >= global %d)",
+				r.name, c.SimTime, g.SimTime)
+		}
+		if r.fineFaster && f.SimTime >= c.SimTime {
+			t.Errorf("%s: fine grain should beat coarse (fine %d >= coarse %d)",
+				r.name, f.SimTime, c.SimTime)
+		}
+		if s.Aborts <= 0 {
+			t.Errorf("%s: STM recorded no aborts under contention", r.name)
+		}
+	}
+
+	// Determinism: one configuration re-run must reproduce identically.
+	a, err := Run(rows[0].coarse(), ModeMGL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(rows[0].coarse(), ModeMGL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimTime != b.SimTime {
+		t.Errorf("simulator nondeterministic: %d vs %d", a.SimTime, b.SimTime)
 	}
 }

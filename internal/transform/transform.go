@@ -8,6 +8,7 @@ package transform
 
 import (
 	"fmt"
+	"strings"
 
 	"lockinfer/internal/infer"
 	"lockinfer/internal/ir"
@@ -49,6 +50,25 @@ func Coarsen(plan map[int]locks.Set) map[int]locks.Set {
 			}
 		}
 		out[id] = ns.Minimize()
+	}
+	return out
+}
+
+// DropLock returns a copy of the plan with every lock whose rendered form
+// (Inferred.String, e.g. "pts#3/rw") contains name removed from every
+// section. This is the soundness-test mutation operator: forgetting an
+// inferred lock must make the concurrency oracle fire (Theorem 1 run in
+// reverse).
+func DropLock(plan map[int]locks.Set, name string) map[int]locks.Set {
+	out := make(map[int]locks.Set, len(plan))
+	for id, set := range plan {
+		ns := set.Clone()
+		for _, l := range set.Sorted() {
+			if strings.Contains(l.String(), name) {
+				ns.Remove(l)
+			}
+		}
+		out[id] = ns
 	}
 	return out
 }
