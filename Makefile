@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race oracle-short bench
+.PHONY: check build test vet race oracle-short bench bench-paper fuzz
 
 build:
 	$(GO) build ./...
@@ -25,5 +25,19 @@ oracle-short:
 
 check: build vet race oracle-short
 
+# Wall-clock throughput of the sharded lock runtime vs the pre-sharding
+# baseline, gated against the committed BENCH_PR2.json (fails on >20%
+# regression of any sharded cell). Regenerate the baseline with
+# `go run ./cmd/lockbench -throughput -json BENCH_PR2.json` (see
+# EXPERIMENTS.md).
 bench:
+	$(GO) run ./cmd/lockbench -throughput -json BENCH_PR2.latest.json -baseline BENCH_PR2.json
+
+# Paper-reproduction tables on the machine simulator (the pre-PR `bench`).
+bench-paper:
 	$(GO) test -bench 'Table|Figure' -benchtime 1x -run XXX .
+
+# Native fuzzers: parser round-trip and lock-plan invariants, 30s each.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/lang
+	$(GO) test -run '^$$' -fuzz FuzzBuildPlan -fuzztime 30s ./internal/mgl

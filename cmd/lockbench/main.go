@@ -7,12 +7,22 @@
 //
 //	lockbench [-table1] [-fig7] [-table2] [-fig8] [-ablate] [-all]
 //	          [-scale F] [-ops N] [-threads N] [-cores N] [-seed N]
+//
+// It also has a real (wall-clock) multi-goroutine throughput mode that
+// measures the sharded lock runtime against the pre-sharding reference
+// and a global mutex, emits a machine-readable report, and can gate
+// against a committed baseline:
+//
+//	lockbench -throughput [-goroutines 1,2,4,8] [-tput-ops N] [-seed N]
+//	          [-json BENCH_PR2.json] [-baseline BENCH_PR2.json] [-gate-tol 0.20]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"lockinfer/internal/bench"
 )
@@ -30,8 +40,22 @@ func main() {
 		thr   = flag.Int("threads", 8, "threads for Table 2")
 		cores = flag.Int("cores", 8, "simulated cores")
 		seed  = flag.Int64("seed", 11, "workload seed")
+
+		tput     = flag.Bool("throughput", false, "wall-clock multi-goroutine throughput sweep")
+		gorList  = flag.String("goroutines", "1,2,4,8", "comma-separated goroutine counts for -throughput")
+		tputOps  = flag.Int("tput-ops", 20000, "operations per goroutine for -throughput")
+		jsonPath = flag.String("json", "", "write the -throughput report to this JSON file")
+		basePath = flag.String("baseline", "", "gate -throughput against this committed report")
+		gateTol  = flag.Float64("gate-tol", bench.DefaultGateTolerance, "allowed fractional regression for -baseline")
 	)
 	flag.Parse()
+	if *tput {
+		if err := runThroughput(*gorList, *tputOps, *seed, *jsonPath, *basePath, *gateTol); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if !(*t1 || *f7 || *t2 || *f8 || *abl) {
 		*all = true
 	}
@@ -90,4 +114,48 @@ func main() {
 		}
 		fmt.Print(bench.FormatAblation("Σ≡ removed (all coarse locks global):", parts))
 	}
+}
+
+// runThroughput drives the wall-clock throughput sweep: print the table,
+// optionally persist JSON, optionally gate against a baseline.
+func runThroughput(gorList string, opsPerG int, seed int64, jsonPath, basePath string, tol float64) error {
+	var gors []int
+	for _, part := range strings.Split(gorList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -goroutines entry %q", part)
+		}
+		gors = append(gors, n)
+	}
+	rep, err := bench.Throughput(bench.ThroughputOptions{
+		Goroutines: gors,
+		OpsPerG:    opsPerG,
+		Seed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Throughput: wall-clock ops/sec by runtime and goroutine count ===")
+	fmt.Print(bench.FormatThroughput(rep))
+	if jsonPath != "" {
+		if err := bench.WriteThroughput(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if basePath != "" {
+		base, err := bench.LoadThroughput(basePath)
+		if err != nil {
+			return err
+		}
+		if err := bench.CompareBaseline(base, rep, tol); err != nil {
+			return err
+		}
+		fmt.Printf("bench gate: within %.0f%% of %s\n", tol*100, basePath)
+	}
+	return nil
 }

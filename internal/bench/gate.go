@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// DefaultGateTolerance is the allowed fractional throughput regression
+// before the bench gate fails (20%, per the PR acceptance criteria).
+const DefaultGateTolerance = 0.20
+
+// LoadThroughput reads a throughput report from a JSON file.
+func LoadThroughput(path string) (*ThroughputReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep ThroughputReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != ThroughputSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, ThroughputSchema)
+	}
+	return &rep, nil
+}
+
+// WriteThroughput writes a throughput report as indented JSON.
+func WriteThroughput(path string, rep *ThroughputReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CompareBaseline gates the current report against a committed baseline:
+// any sharded-runtime cell whose ops/sec falls more than tol below the
+// baseline's matching cell fails the gate. Only the sharded runtime is
+// gated — the reference and global runtimes are comparison points, not
+// products. Cells present in only one report are ignored (workload sets
+// may grow across PRs).
+func CompareBaseline(baseline, current *ThroughputReport, tol float64) error {
+	if tol <= 0 {
+		tol = DefaultGateTolerance
+	}
+	var fails []string
+	for i := range baseline.Results {
+		base := &baseline.Results[i]
+		if base.Runtime != RuntimeSharded {
+			continue
+		}
+		cur := current.find(base.Workload, base.Runtime, base.Goroutines)
+		if cur == nil || base.OpsPerSec <= 0 {
+			continue
+		}
+		floor := base.OpsPerSec * (1 - tol)
+		if cur.OpsPerSec < floor {
+			fails = append(fails, fmt.Sprintf(
+				"%s g=%d: %.0f ops/sec vs baseline %.0f (floor %.0f)",
+				base.Workload, base.Goroutines, cur.OpsPerSec, base.OpsPerSec, floor))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("throughput regression >%d%%:\n  %s",
+			int(tol*100), strings.Join(fails, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tputReport(cells ...ThroughputResult) *ThroughputReport {
+	return &ThroughputReport{
+		Schema:     ThroughputSchema,
+		Goroutines: []int{8},
+		Results:    cells,
+	}
+}
+
+func cell(workload, runtime string, g int, opsPerSec float64) ThroughputResult {
+	return ThroughputResult{Workload: workload, Runtime: runtime, Goroutines: g, OpsPerSec: opsPerSec}
+}
+
+func TestCompareBaselinePasses(t *testing.T) {
+	base := tputReport(cell("hashtable", RuntimeSharded, 8, 1000))
+	// 15% down: within the 20% tolerance.
+	cur := tputReport(cell("hashtable", RuntimeSharded, 8, 850))
+	if err := CompareBaseline(base, cur, 0.20); err != nil {
+		t.Fatalf("within tolerance, got %v", err)
+	}
+}
+
+func TestCompareBaselineFailsOnRegression(t *testing.T) {
+	base := tputReport(cell("hashtable", RuntimeSharded, 8, 1000))
+	cur := tputReport(cell("hashtable", RuntimeSharded, 8, 700))
+	err := CompareBaseline(base, cur, 0.20)
+	if err == nil {
+		t.Fatal("30% regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "hashtable g=8") {
+		t.Fatalf("error does not name the failing cell: %v", err)
+	}
+}
+
+func TestCompareBaselineIgnoresNonShardedAndMissing(t *testing.T) {
+	base := tputReport(
+		cell("hashtable", RuntimeRef, 8, 1000),  // not gated
+		cell("rbtree", RuntimeSharded, 8, 1000), // no matching current cell
+		cell("list", RuntimeSharded, 8, 0),      // zero baseline ignored
+	)
+	cur := tputReport(
+		cell("hashtable", RuntimeRef, 8, 1),
+		cell("list", RuntimeSharded, 8, 1),
+	)
+	if err := CompareBaseline(base, cur, 0.20); err != nil {
+		t.Fatalf("non-gated cells failed the gate: %v", err)
+	}
+}
+
+func TestThroughputReportRoundTrip(t *testing.T) {
+	rep := tputReport(cell("hashtable", RuntimeSharded, 8, 1234.5))
+	rep.Results[0].ModeAcquires = map[string]int64{"IX": 3, "X": 7}
+	rep.SpeedupVsRef = map[string]float64{"hashtable": 2.5}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteThroughput(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadThroughput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Results[0].OpsPerSec != 1234.5 || got.Results[0].ModeAcquires["X"] != 7 {
+		t.Fatalf("round trip mismatch: %+v", got.Results[0])
+	}
+	if got.SpeedupVsRef["hashtable"] != 2.5 {
+		t.Fatalf("speedup lost in round trip: %+v", got.SpeedupVsRef)
+	}
+}
+
+func TestLoadThroughputRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	rep := tputReport()
+	rep.Schema = "something/else"
+	if err := WriteThroughput(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadThroughput(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestThroughputSmoke runs a tiny sweep end to end: every cell populated,
+// sharded cells carry fast-path and histogram stats.
+func TestThroughputSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock sweep")
+	}
+	rep, err := Throughput(ThroughputOptions{Goroutines: []int{2}, OpsPerG: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4*3 { // 4 workloads x 3 runtimes x 1 level
+		t.Fatalf("got %d cells, want 12", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.OpsPerSec <= 0 {
+			t.Errorf("%s/%s: zero throughput", res.Workload, res.Runtime)
+		}
+		switch res.Runtime {
+		case RuntimeSharded:
+			if res.Acquires == 0 || len(res.ModeAcquires) == 0 {
+				t.Errorf("%s/mgl: missing stats: %+v", res.Workload, res)
+			}
+		case RuntimeRef:
+			if res.Acquires == 0 {
+				t.Errorf("%s/mgl-ref: missing acquires", res.Workload)
+			}
+			if res.FastPath != 0 || res.ModeAcquires != nil {
+				t.Errorf("%s/mgl-ref: sharded-only stats set: %+v", res.Workload, res)
+			}
+		}
+	}
+	for wl, sp := range rep.SpeedupVsRef {
+		if sp <= 0 {
+			t.Errorf("speedup %s: %v", wl, sp)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+
+	"lockinfer/internal/workload"
+)
+
+func BenchmarkShardedAccounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := workload.NewAccounts("accounts", workload.HighMix)
+		w.SetWork(tputWork)
+		ex := workload.NewMGLExec("mgl")
+		if _, err := workload.Run(w, ex, workload.RunConfig{Threads: 8, OpsPerThread: 20000, Seed: 11}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefAccounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := workload.NewAccounts("accounts", workload.HighMix)
+		w.SetWork(tputWork)
+		ex := workload.NewRefMGLExec("mgl-ref")
+		if _, err := workload.Run(w, ex, workload.RunConfig{Threads: 8, OpsPerThread: 20000, Seed: 11}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedHashtable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := workload.NewHashtable2("hashtable", workload.HighMix, workload.GrainFine)
+		w.SetWork(tputWork)
+		ex := workload.NewMGLExec("mgl")
+		if _, err := workload.Run(w, ex, workload.RunConfig{Threads: 8, OpsPerThread: 4000, Seed: 11}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefHashtable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := workload.NewHashtable2("hashtable", workload.HighMix, workload.GrainFine)
+		w.SetWork(tputWork)
+		ex := workload.NewRefMGLExec("mgl-ref")
+		if _, err := workload.Run(w, ex, workload.RunConfig{Threads: 8, OpsPerThread: 4000, Seed: 11}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds collects the mini-C corpus as the fuzzing seed set: every
+// .minic program under internal/progs/src plus the sources embedded in the
+// examples (extracted from their `const src = ...` raw literals).
+func fuzzSeeds(f *testing.F) {
+	matches, err := filepath.Glob(filepath.Join("..", "progs", "src", "*.minic"))
+	if err != nil {
+		f.Fatalf("globbing corpus: %v", err)
+	}
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatalf("reading %s: %v", path, err)
+		}
+		f.Add(string(data))
+	}
+	examples, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "main.go"))
+	if err != nil {
+		f.Fatalf("globbing examples: %v", err)
+	}
+	for _, path := range examples {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatalf("reading %s: %v", path, err)
+		}
+		src := string(data)
+		// Embedded mini-C lives in backquoted `const src = ...` literals.
+		if i := strings.Index(src, "const src = `"); i >= 0 {
+			rest := src[i+len("const src = `"):]
+			if j := strings.IndexByte(rest, '`'); j >= 0 {
+				f.Add(rest[:j])
+			}
+		}
+	}
+	// A few handwritten seeds covering the syntax the corpus exercises
+	// lightly: atomic blocks, struct declarations, pointer chains.
+	f.Add("int g; void f() { atomic { g = g + 1; } }")
+	f.Add("struct n { int v; struct n *next; }; struct n *h; void w(int k) { atomic { h->v = k; } }")
+	f.Add("void main() { while (1) { if (0) break; } }")
+}
+
+// FuzzParse hammers the mini-C front end: any input may be rejected with an
+// error but must never panic, and every accepted program must round-trip —
+// printing the AST and reparsing it yields the same printed form (the
+// printer and parser agree on the language).
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := PrintProgram(prog)
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\n--- printed ---\n%s", err, printed)
+		}
+		if reprinted := PrintProgram(again); reprinted != printed {
+			t.Fatalf("print/parse round trip not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, reprinted)
+		}
+	})
+}

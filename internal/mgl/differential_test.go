@@ -1,0 +1,343 @@
+package mgl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The differential stress suite drives the sharded Manager and the retained
+// single-mutex RefManager with identical randomized concurrent session
+// schedules and asserts they are observably the same runtime:
+//
+//   - identical acquisition plans (the mode-compatibility grants both
+//     runtimes hand out) for every request set;
+//   - the hierarchical-protocol invariants on every grant: intention locks
+//     held above fine grants, strictly canonical acquire order;
+//   - pairwise mode compatibility of simultaneously granted nodes (via a
+//     shadow holder table);
+//   - no lost updates on plain (non-atomic) counters protected only by the
+//     inferred locks — which also lets `go test -race` observe any
+//     exclusion failure directly.
+
+// diffReqs draws one random request set: 1..4 descriptors mixing global,
+// coarse and fine locks over a handful of classes and addresses.
+func diffReqs(r *rand.Rand) []Req {
+	n := 1 + r.Intn(4)
+	reqs := make([]Req, 0, n)
+	for i := 0; i < n; i++ {
+		switch p := r.Intn(20); {
+		case p < 2: // 10% global
+			reqs = append(reqs, Req{Global: true, Write: r.Intn(2) == 0})
+		case p < 10: // 40% coarse
+			reqs = append(reqs, Req{Class: ClassID(r.Intn(4)), Write: r.Intn(2) == 0})
+		default: // 50% fine
+			reqs = append(reqs, Req{
+				Class: ClassID(r.Intn(4)),
+				Fine:  true,
+				Addr:  uint64(1 + r.Intn(8)),
+				Write: r.Intn(2) == 0,
+			})
+		}
+	}
+	return reqs
+}
+
+// diffSchedule is one precomputed schedule: per goroutine, per operation,
+// the request set to acquire.
+type diffSchedule struct {
+	seed int64
+	ops  [][][]Req
+}
+
+func makeSchedule(seed int64, goroutines, ops int) diffSchedule {
+	r := rand.New(rand.NewSource(seed))
+	sched := diffSchedule{seed: seed, ops: make([][][]Req, goroutines)}
+	for g := range sched.ops {
+		sched.ops[g] = make([][]Req, ops)
+		for i := range sched.ops[g] {
+			sched.ops[g][i] = diffReqs(r)
+		}
+	}
+	return sched
+}
+
+// protKey names the protected resource a descriptor guards: the designated
+// cell whose plain counter the schedule increments under the lock.
+func protKey(r Req) string {
+	switch {
+	case r.Global:
+		return "⊤"
+	case r.Fine:
+		return fmt.Sprintf("f%d.%d", r.Class, r.Addr)
+	default:
+		return fmt.Sprintf("c%d", r.Class)
+	}
+}
+
+// shadowTable tracks, per plan node, how many sessions currently hold it in
+// each mode, and asserts that every co-held pair is compatible. Grants are
+// registered after AcquireAll returns and removed before ReleaseAll, so any
+// real-time overlap of incompatible grants that lasts through both
+// registrations is caught.
+type shadowTable struct {
+	mu    sync.Mutex
+	held  map[PlanStep]int // counts keyed by (node, mode)
+	fails []string
+}
+
+func stepNode(st PlanStep) PlanStep { return PlanStep{Kind: st.Kind, Class: st.Class, Addr: st.Addr} }
+
+func (t *shadowTable) enter(steps []PlanStep) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, st := range steps {
+		t.held[st]++
+	}
+	// Every pair of co-held modes on the same node must be compatible.
+	for a, ca := range t.held {
+		if ca == 0 {
+			continue
+		}
+		for b, cb := range t.held {
+			if cb == 0 || stepNode(a) != stepNode(b) {
+				continue
+			}
+			if a == b {
+				// ca sessions share this exact mode: fine iff self-compatible.
+				if ca > 1 && !Compatible(a.Mode, a.Mode) && len(t.fails) < 8 {
+					t.fails = append(t.fails, fmt.Sprintf("%d sessions co-hold %v", ca, a))
+				}
+				continue
+			}
+			if !Compatible(a.Mode, b.Mode) && len(t.fails) < 8 {
+				t.fails = append(t.fails, fmt.Sprintf("incompatible co-grant %v vs %v", a, b))
+			}
+		}
+	}
+}
+
+func (t *shadowTable) exit(steps []PlanStep) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, st := range steps {
+		t.held[st]--
+	}
+}
+
+// checkPlanInvariants asserts the hierarchical-protocol shape of one
+// granted plan: strictly increasing canonical order, root first, and an
+// intention (or stronger) ancestor above every descendant grant.
+func checkPlanInvariants(t *testing.T, reqs []Req, steps []PlanStep) {
+	t.Helper()
+	if len(steps) == 0 {
+		t.Fatalf("empty plan for %v", reqs)
+	}
+	if steps[0].Kind != 0 {
+		t.Fatalf("plan does not start at the root: %v", steps)
+	}
+	rank := func(st PlanStep) nodeRank {
+		return nodeRank{kind: st.Kind, class: st.Class, addr: st.Addr}
+	}
+	classMode := map[ClassID]Mode{}
+	for i, st := range steps {
+		if i > 0 && !rank(steps[i-1]).less(rank(st)) {
+			t.Fatalf("plan out of canonical order at %d: %v", i, steps)
+		}
+		if st.Kind == 1 {
+			classMode[st.Class] = st.Mode
+		}
+		if st.Kind == 2 {
+			cm, ok := classMode[st.Class]
+			if !ok {
+				t.Fatalf("fine grant %v without class ancestor in %v", st, steps)
+			}
+			need := intention(st.Mode)
+			if Join(cm, need) != cm {
+				t.Fatalf("class %d held in %s, too weak for fine grant %v", st.Class, cm, st)
+			}
+		}
+	}
+}
+
+func TestDifferentialStress(t *testing.T) {
+	schedules := 1000
+	goroutines, ops := 4, 12
+	if testing.Short() {
+		schedules = 150
+	}
+	for i := 0; i < schedules; i++ {
+		sched := makeSchedule(int64(1000+i), goroutines, ops)
+
+		// Expected writer increments per resource, from the schedule alone.
+		want := map[string]int{}
+		for g := range sched.ops {
+			for _, reqs := range sched.ops[g] {
+				for _, r := range reqs {
+					if r.Write {
+						want[protKey(r)]++
+					}
+				}
+			}
+		}
+
+		var watcher *Watcher
+		mgr := NewManager()
+		if i%10 == 0 {
+			// Every tenth schedule runs with the monitor attached: the
+			// sharded watcher must stay silent on canonical executions.
+			watcher = NewWatcher()
+			mgr.SetWatcher(watcher)
+		}
+		shadow := &shadowTable{held: map[PlanStep]int{}}
+		newPlans, newCounts := execSchedule(t, mgr, sched, shadow)
+		if len(shadow.fails) > 0 {
+			t.Fatalf("schedule %d: sharded runtime compatibility violations: %v", i, shadow.fails)
+		}
+		if watcher != nil {
+			if err := watcher.Err(); err != nil {
+				t.Fatalf("schedule %d: watcher flagged canonical run: %v", i, err)
+			}
+		}
+
+		refShadow := &shadowTable{held: map[PlanStep]int{}}
+		refPlans, refCounts := execSchedule(t, NewRefManager(), sched, refShadow)
+		if len(refShadow.fails) > 0 {
+			t.Fatalf("schedule %d: reference runtime compatibility violations: %v", i, refShadow.fails)
+		}
+
+		// Both runtimes must hand out the same grants for the same request
+		// sets, and both must have provided real exclusion.
+		for g := range sched.ops {
+			for op := range sched.ops[g] {
+				a, b := newPlans[g][op], refPlans[g][op]
+				if len(a) != len(b) {
+					t.Fatalf("schedule %d g%d op%d: plan size %d vs ref %d", i, g, op, len(a), len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("schedule %d g%d op%d step %d: %v vs ref %v", i, g, op, j, a[j], b[j])
+					}
+				}
+				checkPlanInvariants(t, sched.ops[g][op], a)
+			}
+		}
+		for k, w := range want {
+			if newCounts[k] != w {
+				t.Fatalf("schedule %d: sharded runtime lost updates on %s: %d, want %d", i, k, newCounts[k], w)
+			}
+			if refCounts[k] != w {
+				t.Fatalf("schedule %d: reference runtime lost updates on %s: %d, want %d", i, k, refCounts[k], w)
+			}
+		}
+	}
+}
+
+// execSchedule executes one schedule on a runtime, returning the granted
+// plan per (goroutine, op) and the final per-resource counter values.
+func execSchedule(t *testing.T, rt LockRuntime, sched diffSchedule, shadow *shadowTable) ([][][]PlanStep, map[string]int) {
+	t.Helper()
+	goroutines := len(sched.ops)
+	plans := make([][][]PlanStep, goroutines)
+	counters := map[string]*int{}
+	for g := range sched.ops {
+		for _, reqs := range sched.ops[g] {
+			for _, r := range reqs {
+				if _, ok := counters[protKey(r)]; !ok {
+					counters[protKey(r)] = new(int)
+				}
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		plans[g] = make([][]PlanStep, len(sched.ops[g]))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := rt.NewLockSession()
+			for i, reqs := range sched.ops[g] {
+				for _, r := range reqs {
+					s.ToAcquire(r)
+				}
+				s.AcquireAll()
+				held := s.HeldSteps()
+				plans[g][i] = held
+				shadow.enter(held)
+				for _, r := range reqs {
+					c := counters[protKey(r)]
+					if r.Write {
+						*c++
+					} else {
+						_ = *c
+					}
+				}
+				shadow.exit(held)
+				s.ReleaseAll()
+			}
+		}()
+	}
+	wg.Wait()
+	out := map[string]int{}
+	for k, c := range counters {
+		out[k] = *c
+	}
+	return plans, out
+}
+
+// TestPlanCacheStability acquires the same request sets repeatedly through
+// one session and asserts the memoized plans stay identical to fresh
+// BuildPlan output — the cache must never alias two different sections.
+func TestPlanCacheStability(t *testing.T) {
+	m := NewManager()
+	s := m.NewSession()
+	r := rand.New(rand.NewSource(7))
+	sets := make([][]Req, 64)
+	for i := range sets {
+		sets[i] = diffReqs(r)
+	}
+	for round := 0; round < 50; round++ {
+		for _, reqs := range sets {
+			for _, q := range reqs {
+				s.ToAcquire(q)
+			}
+			s.AcquireAll()
+			got := s.HeldSteps()
+			want := BuildPlan(reqs)
+			if len(got) != len(want) {
+				t.Fatalf("cached plan diverged: %v vs %v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("cached plan step %d: %v vs %v", i, got[i], want[i])
+				}
+			}
+			s.ReleaseAll()
+		}
+	}
+}
+
+// TestFastPathCounting verifies the uncontended path is actually lock-free
+// (fast-path hits observed) and disabled when a watcher is installed.
+func TestFastPathCounting(t *testing.T) {
+	m := NewManager()
+	s := m.NewSession()
+	s.ToAcquire(Req{Class: 1, Fine: true, Addr: 3, Write: true})
+	s.AcquireAll()
+	s.ReleaseAll()
+	if m.FastPathHits() == 0 {
+		t.Fatal("uncontended acquisition never took the fast path")
+	}
+
+	wm := NewManager()
+	wm.SetWatcher(NewWatcher())
+	ws := wm.NewSession()
+	ws.ToAcquire(Req{Class: 1, Write: true})
+	ws.AcquireAll()
+	ws.ReleaseAll()
+	if wm.FastPathHits() != 0 {
+		t.Fatalf("fast path used under a watcher (%d hits); monitor bookkeeping requires the slow path", wm.FastPathHits())
+	}
+}

@@ -1,0 +1,123 @@
+package mgl
+
+import (
+	"testing"
+)
+
+// decodeReqs turns fuzzer bytes into a request list, 4 bytes per
+// descriptor: shape selector, class, address, effect.
+func decodeReqs(data []byte) []Req {
+	var reqs []Req
+	for i := 0; i+4 <= len(data) && len(reqs) < 32; i += 4 {
+		r := Req{
+			Class: ClassID(data[i+1] % 8),
+			Addr:  uint64(data[i+2]%16) + 1,
+			Write: data[i+3]&1 == 1,
+		}
+		switch data[i] % 4 {
+		case 0:
+			r.Global = true
+		case 1:
+			// coarse
+		default:
+			r.Fine = true
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// FuzzBuildPlan checks the plan constructor's invariants on arbitrary
+// request lists: canonical strict ordering, one step per node, intention
+// ancestors above every descendant, order-insensitivity (a rotated request
+// list yields the identical plan), and agreement between the sharded
+// session's memoized plans and fresh BuildPlan output.
+func FuzzBuildPlan(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{1, 1, 1, 1, 2, 1, 5, 0, 2, 1, 5, 1})
+	f.Add([]byte{3, 7, 15, 1, 0, 0, 0, 0, 1, 3, 3, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs := decodeReqs(data)
+		plan := BuildPlan(reqs)
+		if len(reqs) == 0 {
+			if plan != nil {
+				t.Fatalf("empty requests produced plan %v", plan)
+			}
+			return
+		}
+		if len(plan) == 0 || plan[0].Kind != 0 {
+			t.Fatalf("plan for %v does not start at the root: %v", reqs, plan)
+		}
+		rank := func(st PlanStep) nodeRank {
+			return nodeRank{kind: st.Kind, class: st.Class, addr: st.Addr}
+		}
+		classMode := map[ClassID]Mode{}
+		for i, st := range plan {
+			if st.Mode == ModeNone {
+				t.Fatalf("plan step %v carries no mode", st)
+			}
+			if i > 0 && !rank(plan[i-1]).less(rank(st)) {
+				t.Fatalf("plan for %v not in strict canonical order: %v", reqs, plan)
+			}
+			if st.Kind == 1 {
+				classMode[st.Class] = st.Mode
+			}
+			if st.Kind == 2 {
+				cm, ok := classMode[st.Class]
+				if !ok {
+					t.Fatalf("fine step %v lacks class ancestor in %v", st, plan)
+				}
+				if need := intention(st.Mode); Join(cm, need) != cm {
+					t.Fatalf("class %d mode %s too weak for fine step %v", st.Class, cm, st)
+				}
+			}
+		}
+		// The three planners must agree: BuildPlan (which picks the
+		// allocation-light small path for short lists), the map-based
+		// general path, and the frozen pre-sharding planner.
+		for name, alt := range map[string][]PlanStep{
+			"buildPlanMaps": buildPlanMaps(reqs),
+			"refBuildPlan":  refBuildPlan(reqs),
+		} {
+			if len(alt) != len(plan) {
+				t.Fatalf("%s for %v disagrees: %v vs %v", name, reqs, alt, plan)
+			}
+			for i := range plan {
+				if plan[i] != alt[i] {
+					t.Fatalf("%s for %v disagrees: %v vs %v", name, reqs, alt, plan)
+				}
+			}
+		}
+		// Order-insensitivity: the plan is a function of the request set.
+		rotated := append(append([]Req(nil), reqs[1:]...), reqs[0])
+		replan := BuildPlan(rotated)
+		if len(replan) != len(plan) {
+			t.Fatalf("rotated requests changed plan size: %v vs %v", plan, replan)
+		}
+		for i := range plan {
+			if plan[i] != replan[i] {
+				t.Fatalf("rotated requests changed plan: %v vs %v", plan, replan)
+			}
+		}
+		// The memoized session plan must match fresh construction, twice
+		// (second hit comes from the cache).
+		m := NewManager()
+		s := m.NewSession()
+		for round := 0; round < 2; round++ {
+			for _, r := range reqs {
+				s.ToAcquire(r)
+			}
+			s.AcquireAll()
+			held := s.HeldSteps()
+			if len(held) != len(plan) {
+				t.Fatalf("round %d: session granted %v, want %v", round, held, plan)
+			}
+			for i := range held {
+				if held[i] != plan[i] {
+					t.Fatalf("round %d: session granted %v, want %v", round, held, plan)
+				}
+			}
+			s.ReleaseAll()
+		}
+	})
+}

@@ -47,13 +47,40 @@ type fineKey struct {
 	addr  uint64
 }
 
-// Manager owns the lock tree. One Manager serializes one program's atomic
-// sections; independent programs use independent managers.
-type Manager struct {
-	mu      sync.Mutex
-	root    *node
+// nStripes is the fixed stripe count of the node tables. Node lookups hash
+// their key to one stripe, so sessions touching disjoint partitions never
+// contend on table locks.
+const nStripes = 64
+
+// stripe is one shard of the node tables: a read-mostly map under its own
+// RWMutex. Steady-state lookups take only the read lock; the write lock is
+// taken once per node, on creation.
+type stripe struct {
+	mu      sync.RWMutex
 	classes map[ClassID]*node
 	fine    map[fineKey]*node
+}
+
+// classStripe hashes a partition id to its stripe index.
+func classStripe(c ClassID) uint64 {
+	return (uint64(c) * 0x9E3779B97F4A7C15) >> (64 - 6) // top 6 bits, nStripes=64
+}
+
+// fineStripe hashes a (class, addr) pair to its stripe index.
+func fineStripe(c ClassID, addr uint64) uint64 {
+	h := uint64(c)*0x9E3779B97F4A7C15 ^ addr*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return (h * 0x94D049BB133111EB) >> (64 - 6)
+}
+
+// Manager owns the lock tree. One Manager serializes one program's atomic
+// sections; independent programs use independent managers. The node tables
+// are striped and each node carries its own grant state, so sessions over
+// disjoint partitions proceed without shared locks (the §5.2 runtime's
+// whole point — see also RefManager, the retained single-mutex baseline).
+type Manager struct {
+	root    *node
+	stripes [nStripes]stripe
 	watch   *Watcher
 
 	// PermutePlan, when set before sessions are created, is inherited by
@@ -62,55 +89,121 @@ type Manager struct {
 	// sessions and provoke mixed acquisition orders.
 	PermutePlan func(session int64, steps []PlanStep) []PlanStep
 
-	// Stats.
-	acquires  atomic.Int64
-	waits     atomic.Int64
+	// Session registry for statistics aggregation (see Session's
+	// single-writer counters).
+	sessMu    sync.Mutex
+	sessions  []*Session
 	nsessions atomic.Int64
 }
 
 // NewManager returns an empty lock tree.
 func NewManager() *Manager {
-	return &Manager{
-		root:    newNode("⊤", nodeRank{kind: 0}),
-		classes: map[ClassID]*node{},
-		fine:    map[fineKey]*node{},
-	}
+	return &Manager{root: newNode("⊤", nodeRank{kind: 0})}
 }
 
 // SetWatcher installs a deadlock/lock-order monitor. It must be installed
 // before any session acquires locks and cannot be swapped mid-run.
+// Installing a watcher disables the uncontended fast path: the monitor's
+// bookkeeping must stay synchronous with every grant.
 func (m *Manager) SetWatcher(w *Watcher) { m.watch = w }
 
 // Watcher returns the installed monitor, if any.
 func (m *Manager) Watcher() *Watcher { return m.watch }
 
 // Acquires returns the total number of node acquisitions performed.
-func (m *Manager) Acquires() int64 { return m.acquires.Load() }
+func (m *Manager) Acquires() int64 {
+	var t int64
+	m.eachSession(func(s *Session) { t += s.statAcq.Load() })
+	return t
+}
 
 // Waits returns the number of node acquisitions that had to block.
-func (m *Manager) Waits() int64 { return m.waits.Load() }
+func (m *Manager) Waits() int64 {
+	var t int64
+	m.eachSession(func(s *Session) { t += s.statWait.Load() })
+	return t
+}
+
+// FastPathHits returns the number of acquisitions granted by the atomic
+// fast path (no node mutex taken).
+func (m *Manager) FastPathHits() int64 {
+	var t int64
+	m.eachSession(func(s *Session) { t += s.statFast.Load() })
+	return t
+}
+
+// ModeAcquires returns the per-mode acquisition histogram, indexed by Mode.
+func (m *Manager) ModeAcquires() [6]int64 {
+	var out [6]int64
+	m.eachSession(func(s *Session) {
+		for i := range out {
+			out[i] += s.statMode[i].Load()
+		}
+	})
+	return out
+}
+
+func (m *Manager) eachSession(f func(*Session)) {
+	m.sessMu.Lock()
+	defer m.sessMu.Unlock()
+	for _, s := range m.sessions {
+		f(s)
+	}
+}
 
 func (m *Manager) classNode(c ClassID) *node {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	n, ok := m.classes[c]
-	if !ok {
-		n = newNode(fmt.Sprintf("pts#%d", c), nodeRank{kind: 1, class: c})
-		m.classes[c] = n
+	st := &m.stripes[classStripe(c)]
+	st.mu.RLock()
+	n := st.classes[c]
+	st.mu.RUnlock()
+	if n != nil {
+		return n
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n = st.classes[c]; n != nil {
+		return n
+	}
+	if st.classes == nil {
+		st.classes = map[ClassID]*node{}
+	}
+	n = newNode(fmt.Sprintf("pts#%d", c), nodeRank{kind: 1, class: c})
+	st.classes[c] = n
 	return n
 }
 
 func (m *Manager) fineNode(c ClassID, addr uint64) *node {
 	k := fineKey{c, addr}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	n, ok := m.fine[k]
-	if !ok {
-		n = newNode(fmt.Sprintf("fine(%d,%#x)", c, addr), nodeRank{kind: 2, class: c, addr: addr})
-		m.fine[k] = n
+	st := &m.stripes[fineStripe(c, addr)]
+	st.mu.RLock()
+	n := st.fine[k]
+	st.mu.RUnlock()
+	if n != nil {
+		return n
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n = st.fine[k]; n != nil {
+		return n
+	}
+	if st.fine == nil {
+		st.fine = map[fineKey]*node{}
+	}
+	n = newNode(fmt.Sprintf("fine(%d,%#x)", c, addr), nodeRank{kind: 2, class: c, addr: addr})
+	st.fine[k] = n
 	return n
+}
+
+// planCacheCap bounds each session's memoized plan table; when full the
+// table is reset wholesale (cheap, amortized over the refill).
+const planCacheCap = 512
+
+// cachedPlan is one memoized acquisition plan: the exact request sequence
+// it was built from (compared on lookup, so hash collisions cannot alias
+// two different sections onto one plan) and the resolved node steps.
+type cachedPlan struct {
+	reqs []Req
+	plan []planStep
 }
 
 // Session is one thread's view of the lock runtime. A session must be used
@@ -122,16 +215,39 @@ type Session struct {
 	held    []planStep
 	nlevel  int
 
+	// plans memoizes buildPlan keyed by a hash of the request sequence:
+	// repeated atomic sections (the common case — the same section entry
+	// emits the same descriptors) skip the sort and the node lookups.
+	plans map[uint64]*cachedPlan
+
 	// PermutePlan, when non-nil, rewrites the acquisition plan right before
 	// the locks are taken. It exists as a fault-injection point for the
 	// oracle's mutation tests (e.g. swapping two steps to violate the
-	// canonical global order); production code must leave it nil.
+	// canonical global order); production code must leave it nil. Setting
+	// it disables the session's plan cache.
 	PermutePlan func([]PlanStep) []PlanStep
 	// AcquireHook, when non-nil, runs before each plan node is acquired.
 	// It is test instrumentation: deadlock tests use it to interleave two
 	// sessions deterministically between plan steps.
 	AcquireHook func(PlanStep)
+
+	// watcher-side registration of held nodes (see watch.go).
+	wmu   sync.Mutex
+	wheld map[*node]Mode
+
+	// Single-writer statistic counters: only the owning goroutine writes
+	// them, so bump uses a plain load+store instead of an atomic RMW — at
+	// throughput-benchmark rates the LOCK-prefixed adds of a shared counter
+	// are measurable. The Manager's stat accessors aggregate across
+	// sessions with atomic loads.
+	statAcq  atomic.Int64
+	statWait atomic.Int64
+	statFast atomic.Int64
+	statMode [6]atomic.Int64
 }
+
+// bump increments a single-writer counter without an atomic RMW.
+func bump(c *atomic.Int64) { c.Store(c.Load() + 1) }
 
 // NewSession creates a session on the manager.
 func (m *Manager) NewSession() *Session {
@@ -140,6 +256,9 @@ func (m *Manager) NewSession() *Session {
 		id := s.id
 		s.PermutePlan = func(steps []PlanStep) []PlanStep { return m.PermutePlan(id, steps) }
 	}
+	m.sessMu.Lock()
+	m.sessions = append(m.sessions, s)
+	m.sessMu.Unlock()
 	return s
 }
 
@@ -175,11 +294,93 @@ type PlanStep struct {
 	Mode  Mode
 }
 
+// stepLess is the canonical global order over plan steps: the root first,
+// then partitions by class id, then fine leaves by (class, address).
+func stepLess(a, b PlanStep) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Addr < b.Addr
+}
+
+// smallPlanReqs bounds the descriptor count handled by the allocation-light
+// plan builder; longer lists fall back to the map-based path.
+const smallPlanReqs = 16
+
 // BuildPlan folds a descriptor list into the ordered per-node mode plan of
 // the hierarchical protocol: leaf modes are joined per node and every
 // ancestor receives the matching intention mode. The same plan logic drives
 // both the real runtime and the machine simulator.
 func BuildPlan(reqs []Req) []PlanStep {
+	if len(reqs) <= smallPlanReqs {
+		return buildPlanSmall(reqs)
+	}
+	return buildPlanMaps(reqs)
+}
+
+// joinStep joins mode into the matching step among buf's first n entries,
+// appending a new step when absent; it returns the new entry count.
+func joinStep(buf []PlanStep, n, kind int, class ClassID, addr uint64, mode Mode) int {
+	for i := 0; i < n; i++ {
+		if buf[i].Kind == kind && buf[i].Class == class && buf[i].Addr == addr {
+			buf[i].Mode = Join(buf[i].Mode, mode)
+			return n
+		}
+	}
+	buf[n] = PlanStep{Kind: kind, Class: class, Addr: addr, Mode: mode}
+	return n + 1
+}
+
+// buildPlanSmall is BuildPlan for short descriptor lists — the common case,
+// since one section entry emits a handful of descriptors. The per-node
+// joins are linear scans over a stack buffer and the canonical order is
+// restored by insertion sort, so a cache-missing buildPlan costs one slice
+// allocation (the returned plan) instead of two maps and a reflective sort.
+func buildPlanSmall(reqs []Req) []PlanStep {
+	rootMode := ModeNone
+	var buf [2 * smallPlanReqs]PlanStep // each descriptor adds at most a leaf and its class
+	n := 0
+	for _, r := range reqs {
+		m := S
+		if r.Write {
+			m = X
+		}
+		if r.Global {
+			rootMode = Join(rootMode, m)
+			continue
+		}
+		rootMode = Join(rootMode, intention(m))
+		if r.Fine {
+			n = joinStep(buf[:], n, 2, r.Class, r.Addr, m)
+			n = joinStep(buf[:], n, 1, r.Class, 0, intention(m))
+		} else {
+			n = joinStep(buf[:], n, 1, r.Class, 0, m)
+		}
+	}
+	if rootMode == ModeNone {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		st := buf[i]
+		j := i
+		for j > 0 && stepLess(st, buf[j-1]) {
+			buf[j] = buf[j-1]
+			j--
+		}
+		buf[j] = st
+	}
+	plan := make([]PlanStep, 1+n)
+	plan[0] = PlanStep{Kind: 0, Mode: rootMode}
+	copy(plan[1:], buf[:n])
+	return plan
+}
+
+// buildPlanMaps is the general-size plan builder: per-node modes joined
+// through maps, canonical order restored by sort.
+func buildPlanMaps(reqs []Req) []PlanStep {
 	rootMode := ModeNone
 	classMode := map[ClassID]Mode{}
 	fineMode := map[fineKey]Mode{}
@@ -214,16 +415,7 @@ func BuildPlan(reqs []Req) []PlanStep {
 	for k, mode := range fineMode {
 		plan = append(plan, PlanStep{Kind: 2, Class: k.class, Addr: k.addr, Mode: mode})
 	}
-	sort.Slice(plan, func(i, j int) bool {
-		a, b := plan[i], plan[j]
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		if a.Class != b.Class {
-			return a.Class < b.Class
-		}
-		return a.Addr < b.Addr
-	})
+	sort.Slice(plan, func(i, j int) bool { return stepLess(plan[i], plan[j]) })
 	return plan
 }
 
@@ -255,9 +447,10 @@ func (s *Session) AcquireAll() {
 		}
 		waited, err := st.n.acquire(s, st.mode)
 		if waited {
-			s.m.waits.Add(1)
+			bump(&s.statWait)
 		}
-		s.m.acquires.Add(1)
+		bump(&s.statAcq)
+		bump(&s.statMode[st.mode])
 		if err != nil {
 			for j := i - 1; j >= 0; j-- {
 				plan[j].n.release(s, plan[j].mode)
@@ -298,12 +491,70 @@ func (s *Session) HeldSteps() []PlanStep {
 	return out
 }
 
-// buildPlan resolves the shared plan logic onto this manager's nodes.
-func (s *Session) buildPlan() []planStep {
-	steps := BuildPlan(s.pending)
-	if s.PermutePlan != nil {
-		steps = s.PermutePlan(steps)
+// reqHash folds the request sequence into the plan-cache key
+// (order-sensitive splitmix-style word mixing over the descriptor fields:
+// the same section entry emits the same sequence, which is all the cache
+// needs to hit, and collisions are harmless — lookups verify the full
+// sequence).
+func reqHash(reqs []Req) uint64 {
+	const prime = 0xBF58476D1CE4E5B9
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, r := range reqs {
+		var bits uint64
+		if r.Global {
+			bits |= 1
+		}
+		if r.Fine {
+			bits |= 2
+		}
+		if r.Write {
+			bits |= 4
+		}
+		h = (h ^ bits) * prime
+		h ^= h >> 29
+		h = (h ^ uint64(r.Class)) * prime
+		h ^= h >> 29
+		h = (h ^ r.Addr) * prime
+		h ^= h >> 29
 	}
+	return h
+}
+
+func reqsEqual(a, b []Req) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildPlan resolves the shared plan logic onto this manager's nodes,
+// memoizing the result per request sequence. Mutated sessions (PermutePlan
+// set) bypass the cache so fault injection always sees a fresh plan.
+func (s *Session) buildPlan() []planStep {
+	if s.PermutePlan != nil {
+		return s.resolve(s.PermutePlan(BuildPlan(s.pending)))
+	}
+	key := reqHash(s.pending)
+	if c, ok := s.plans[key]; ok && reqsEqual(c.reqs, s.pending) {
+		return c.plan
+	}
+	plan := s.resolve(BuildPlan(s.pending))
+	if s.plans == nil {
+		s.plans = map[uint64]*cachedPlan{}
+	} else if len(s.plans) >= planCacheCap {
+		s.plans = make(map[uint64]*cachedPlan, planCacheCap)
+	}
+	s.plans[key] = &cachedPlan{reqs: append([]Req(nil), s.pending...), plan: plan}
+	return plan
+}
+
+// resolve maps canonical plan steps onto this manager's nodes.
+func (s *Session) resolve(steps []PlanStep) []planStep {
 	plan := make([]planStep, len(steps))
 	for i, st := range steps {
 		var n *node
@@ -337,92 +588,4 @@ func (r nodeRank) less(o nodeRank) bool {
 		return r.class < o.class
 	}
 	return r.addr < o.addr
-}
-
-// node is one lock in the tree: a mode lock with a strict-FIFO wait queue
-// (granting the head and any following compatible waiters), which prevents
-// starvation while still batching compatible requests.
-type node struct {
-	name  string
-	rank  nodeRank
-	mu    sync.Mutex
-	count [6]int // held count per mode
-	queue []*waiter
-}
-
-type waiter struct {
-	s     *Session
-	mode  Mode
-	ready chan struct{}
-}
-
-func newNode(name string, rank nodeRank) *node { return &node{name: name, rank: rank} }
-
-// step renders the node back as a canonical plan step in the given mode.
-func (n *node) step(mode Mode) PlanStep {
-	return PlanStep{Kind: n.rank.kind, Class: n.rank.class, Addr: n.rank.addr, Mode: mode}
-}
-
-// compatibleWithHeld reports whether mode can be granted alongside the
-// currently held modes.
-func (n *node) compatibleWithHeld(mode Mode) bool {
-	for m := IS; m <= X; m++ {
-		if n.count[m] > 0 && !Compatible(mode, m) {
-			return false
-		}
-	}
-	return true
-}
-
-// acquire blocks until the node is granted to s in the given mode; it
-// reports whether it had to wait. With a watcher installed, an acquisition
-// that would close a waits-for cycle returns a *DeadlockError instead of
-// enqueueing.
-func (n *node) acquire(s *Session, mode Mode) (bool, error) {
-	w := s.m.watch
-	n.mu.Lock()
-	if len(n.queue) == 0 && n.compatibleWithHeld(mode) {
-		n.count[mode]++
-		if w != nil {
-			w.grant(s, n, mode)
-		}
-		n.mu.Unlock()
-		return false, nil
-	}
-	if w != nil {
-		if err := w.wait(s, n, mode); err != nil {
-			n.mu.Unlock()
-			return true, err
-		}
-	}
-	wt := &waiter{s: s, mode: mode, ready: make(chan struct{})}
-	n.queue = append(n.queue, wt)
-	n.mu.Unlock()
-	<-wt.ready
-	return true, nil
-}
-
-// release drops one holder in the given mode and wakes queued waiters in
-// FIFO order while they remain compatible.
-func (n *node) release(s *Session, mode Mode) {
-	w := s.m.watch
-	n.mu.Lock()
-	if n.count[mode] <= 0 {
-		n.mu.Unlock()
-		panic("mgl: release of unheld mode " + mode.String() + " on " + n.name)
-	}
-	n.count[mode]--
-	if w != nil {
-		w.unhold(s, n)
-	}
-	for len(n.queue) > 0 && n.compatibleWithHeld(n.queue[0].mode) {
-		wt := n.queue[0]
-		n.queue = n.queue[1:]
-		n.count[wt.mode]++
-		if w != nil {
-			w.grant(wt.s, n, wt.mode)
-		}
-		close(wt.ready)
-	}
-	n.mu.Unlock()
 }

@@ -1,0 +1,246 @@
+package mgl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The per-node lock state is packed into one atomic word so uncontended
+// acquisitions and releases are a single CAS:
+//
+//	bit 63        slow bit — the node has queued waiters (or a slow-path
+//	              transition in flight); every fast path defers to the
+//	              node mutex while it is set
+//	bits 0..59    five 12-bit holder counts, one per mode IS..X
+//
+// The word is the single source of truth for holder counts. Fast paths
+// mutate it with CAS; the slow path mutates it while holding the node
+// mutex. Setting the slow bit (always done under the mutex) invalidates any
+// fast-path CAS whose compare value was read before the transition, so once
+// it is observed set, the word only changes under the mutex — that is the
+// linearization argument for mixing both paths.
+const (
+	fieldBits = 12
+	fieldMask = 1<<fieldBits - 1
+	slowBit   = uint64(1) << 63
+)
+
+// fieldShift returns the bit offset of mode m's holder count (m in IS..X).
+func fieldShift(m Mode) uint { return uint(m-1) * fieldBits }
+
+// incompatMask[m] covers the count fields of every mode incompatible with
+// m; a word with none of those bits set can grant m immediately.
+var incompatMask [6]uint64
+
+func init() {
+	for m := IS; m <= X; m++ {
+		for o := IS; o <= X; o++ {
+			if !Compatible(m, o) {
+				incompatMask[m] |= uint64(fieldMask) << fieldShift(o)
+			}
+		}
+	}
+}
+
+// count extracts mode m's holder count from a packed word.
+func count(w uint64, m Mode) uint64 { return (w >> fieldShift(m)) & fieldMask }
+
+// node is one lock in the tree: a packed atomic holder word for the
+// uncontended fast path, plus a mutex+condvar slow path with a strict-FIFO
+// wait queue (granting the head and any following compatible waiters),
+// which prevents starvation while still batching compatible requests.
+type node struct {
+	name string
+	rank nodeRank
+
+	word atomic.Uint64
+
+	mu    sync.Mutex
+	cond  sync.Cond
+	queue []*waiter
+
+	// watch is the Watcher's per-node holder registration, allocated on
+	// first grant when a monitor is installed (see watch.go).
+	watchOnce sync.Once
+	watch     *nodeWatch
+}
+
+type waiter struct {
+	s       *Session
+	mode    Mode
+	granted bool
+}
+
+func newNode(name string, rank nodeRank) *node { return &node{name: name, rank: rank} }
+
+// step renders the node back as a canonical plan step in the given mode.
+func (n *node) step(mode Mode) PlanStep {
+	return PlanStep{Kind: n.rank.kind, Class: n.rank.class, Addr: n.rank.addr, Mode: mode}
+}
+
+// orSlow sets the slow bit and returns the resulting word. Callers must
+// hold n.mu. After it returns, fast paths cannot mutate the word until the
+// bit is cleared.
+func (n *node) orSlow() uint64 {
+	for {
+		w := n.word.Load()
+		if w&slowBit != 0 {
+			return w
+		}
+		if n.word.CompareAndSwap(w, w|slowBit) {
+			return w | slowBit
+		}
+	}
+}
+
+// maybeClearSlow drops the slow bit when no waiters remain. Callers must
+// hold n.mu; the queue must have been settled first.
+func (n *node) maybeClearSlow() {
+	if len(n.queue) != 0 {
+		return
+	}
+	for {
+		w := n.word.Load()
+		if w&slowBit == 0 {
+			return
+		}
+		if n.word.CompareAndSwap(w, w&^slowBit) {
+			return
+		}
+	}
+}
+
+// grantable reports whether a packed word can immediately admit mode:
+// no incompatible holders and the mode's own count not saturated.
+func grantable(w uint64, mode Mode) bool {
+	return w&incompatMask[mode] == 0 && count(w, mode) < fieldMask
+}
+
+// fastAcquire attempts the lock-free grant: no waiters, no slow-path
+// transition, no incompatible holders. It retries a CAS a few times before
+// giving up to the slow path.
+func (n *node) fastAcquire(mode Mode) bool {
+	for i := 0; i < 4; i++ {
+		w := n.word.Load()
+		if w&slowBit != 0 || !grantable(w, mode) {
+			return false
+		}
+		if n.word.CompareAndSwap(w, w+1<<fieldShift(mode)) {
+			return true
+		}
+	}
+	return false
+}
+
+// fastRelease attempts the lock-free release; it fails (deferring to the
+// slow path) whenever waiters may need waking.
+func (n *node) fastRelease(mode Mode) bool {
+	for i := 0; i < 4; i++ {
+		w := n.word.Load()
+		if w&slowBit != 0 {
+			return false
+		}
+		if count(w, mode) == 0 {
+			panic("mgl: release of unheld mode " + mode.String() + " on " + n.name)
+		}
+		if n.word.CompareAndSwap(w, w-1<<fieldShift(mode)) {
+			return true
+		}
+	}
+	return false
+}
+
+// spinAttempts bounds the optimistic yield-and-retry loop before an
+// incompatible acquisition parks on the condvar.
+const spinAttempts = 8
+
+// acquire blocks until the node is granted to s in the given mode; it
+// reports whether it had to wait. With a watcher installed the fast path is
+// disabled (the monitor's bookkeeping must be synchronous with grants) and
+// an acquisition that would close a waits-for cycle returns a
+// *DeadlockError instead of enqueueing.
+func (n *node) acquire(s *Session, mode Mode) (bool, error) {
+	w := s.m.watch
+	if w == nil {
+		if n.fastAcquire(mode) {
+			bump(&s.statFast)
+			return false, nil
+		}
+		// Before parking, yield and retry a few times: a holder that was
+		// preempted mid-section (common when goroutines outnumber cores)
+		// gets to release on its own fast path, sparing both sides a
+		// park/wake round trip. The loop stops the moment a queue forms
+		// (slow bit set) — spinning past enqueued waiters would barge
+		// ahead of the FIFO order.
+		for i := 0; i < spinAttempts && n.word.Load()&slowBit == 0; i++ {
+			runtime.Gosched()
+			if n.fastAcquire(mode) {
+				bump(&s.statFast)
+				return false, nil
+			}
+		}
+	}
+	n.mu.Lock()
+	if n.cond.L == nil {
+		n.cond.L = &n.mu
+	}
+	word := n.orSlow()
+	if len(n.queue) == 0 && grantable(word, mode) {
+		n.word.Add(1 << fieldShift(mode))
+		if w != nil {
+			w.grant(s, n, mode)
+		}
+		n.maybeClearSlow()
+		n.mu.Unlock()
+		return false, nil
+	}
+	if w != nil {
+		if err := w.wait(s, n, mode); err != nil {
+			n.maybeClearSlow()
+			n.mu.Unlock()
+			return true, err
+		}
+	}
+	wt := &waiter{s: s, mode: mode}
+	n.queue = append(n.queue, wt)
+	for !wt.granted {
+		n.cond.Wait()
+	}
+	n.mu.Unlock()
+	return true, nil
+}
+
+// release drops one holder in the given mode and wakes queued waiters in
+// FIFO order while they remain compatible.
+func (n *node) release(s *Session, mode Mode) {
+	w := s.m.watch
+	if w == nil && n.fastRelease(mode) {
+		return
+	}
+	n.mu.Lock()
+	if count(n.word.Load(), mode) == 0 {
+		n.mu.Unlock()
+		panic("mgl: release of unheld mode " + mode.String() + " on " + n.name)
+	}
+	n.word.Add(^(uint64(1) << fieldShift(mode)) + 1) // two's-complement decrement of the mode field
+	if w != nil {
+		w.unhold(s, n)
+	}
+	woke := false
+	for len(n.queue) > 0 && grantable(n.word.Load(), n.queue[0].mode) {
+		wt := n.queue[0]
+		n.queue = n.queue[1:]
+		n.word.Add(1 << fieldShift(wt.mode))
+		if w != nil {
+			w.grant(wt.s, n, wt.mode)
+		}
+		wt.granted = true
+		woke = true
+	}
+	if woke {
+		n.cond.Broadcast()
+	}
+	n.maybeClearSlow()
+	n.mu.Unlock()
+}

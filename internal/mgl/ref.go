@@ -1,0 +1,271 @@
+package mgl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// LockSession is the per-goroutine view of a lock runtime: the §5.2
+// to-acquire / acquire-all / release-all protocol. Both the sharded Session
+// and the reference RefSession implement it, which is what lets the
+// differential stress tests and the throughput benchmarks drive either
+// runtime through one code path.
+type LockSession interface {
+	ToAcquire(Req)
+	AcquireAll()
+	ReleaseAll()
+	HeldSteps() []PlanStep
+}
+
+// LockRuntime is a lock-tree runtime: the sharded Manager or the retained
+// single-mutex RefManager.
+type LockRuntime interface {
+	NewLockSession() LockSession
+	Acquires() int64
+	Waits() int64
+}
+
+// NewLockSession implements LockRuntime.
+func (m *Manager) NewLockSession() LockSession { return m.NewSession() }
+
+// RefManager is the pre-sharding lock runtime, kept verbatim as a
+// differential-test double and benchmark baseline: one global mutex guards
+// the node tables (every plan resolution serializes through it), nodes park
+// waiters on per-waiter channels, and plans are rebuilt — maps, sort and
+// all — on every AcquireAll. Its observable grant semantics (mode
+// compatibility, strict-FIFO wakeup, canonical acquisition order) are
+// identical to Manager's; only the concurrency structure differs, which is
+// exactly what the differential stress tests assert.
+type RefManager struct {
+	mu      sync.Mutex
+	root    *refNode
+	classes map[ClassID]*refNode
+	fine    map[fineKey]*refNode
+
+	acquires atomic.Int64
+	waits    atomic.Int64
+}
+
+// NewRefManager returns an empty reference lock tree.
+func NewRefManager() *RefManager {
+	return &RefManager{
+		root:    &refNode{name: "⊤"},
+		classes: map[ClassID]*refNode{},
+		fine:    map[fineKey]*refNode{},
+	}
+}
+
+// Acquires returns the total number of node acquisitions performed.
+func (m *RefManager) Acquires() int64 { return m.acquires.Load() }
+
+// Waits returns the number of node acquisitions that had to block.
+func (m *RefManager) Waits() int64 { return m.waits.Load() }
+
+// NewLockSession implements LockRuntime.
+func (m *RefManager) NewLockSession() LockSession { return m.NewSession() }
+
+// NewSession creates a session on the reference manager.
+func (m *RefManager) NewSession() *RefSession { return &RefSession{m: m} }
+
+func (m *RefManager) classNode(c ClassID) *refNode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.classes[c]
+	if !ok {
+		n = &refNode{name: fmt.Sprintf("pts#%d", c)}
+		m.classes[c] = n
+	}
+	return n
+}
+
+func (m *RefManager) fineNode(c ClassID, addr uint64) *refNode {
+	k := fineKey{c, addr}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.fine[k]
+	if !ok {
+		n = &refNode{name: fmt.Sprintf("fine(%d,%#x)", c, addr)}
+		m.fine[k] = n
+	}
+	return n
+}
+
+// refBuildPlan is the pre-sharding planner, frozen with the rest of this
+// file: per-node modes joined through maps and the canonical order
+// restored with a reflective sort, rebuilt on every AcquireAll. BuildPlan
+// has since grown an allocation-light small-input path; the baseline must
+// not inherit such improvements, so it keeps its own copy. The
+// differential tests assert the two planners still agree.
+func refBuildPlan(reqs []Req) []PlanStep {
+	rootMode := ModeNone
+	classMode := map[ClassID]Mode{}
+	fineMode := map[fineKey]Mode{}
+	leaf := func(w bool) Mode {
+		if w {
+			return X
+		}
+		return S
+	}
+	for _, r := range reqs {
+		switch {
+		case r.Global:
+			rootMode = Join(rootMode, leaf(r.Write))
+		case !r.Fine:
+			classMode[r.Class] = Join(classMode[r.Class], leaf(r.Write))
+			rootMode = Join(rootMode, intention(leaf(r.Write)))
+		default:
+			k := fineKey{r.Class, r.Addr}
+			fineMode[k] = Join(fineMode[k], leaf(r.Write))
+			classMode[r.Class] = Join(classMode[r.Class], intention(leaf(r.Write)))
+			rootMode = Join(rootMode, intention(leaf(r.Write)))
+		}
+	}
+	if rootMode == ModeNone {
+		return nil
+	}
+	plan := make([]PlanStep, 0, 1+len(classMode)+len(fineMode))
+	plan = append(plan, PlanStep{Kind: 0, Mode: rootMode})
+	for c, mode := range classMode {
+		plan = append(plan, PlanStep{Kind: 1, Class: c, Mode: mode})
+	}
+	for k, mode := range fineMode {
+		plan = append(plan, PlanStep{Kind: 2, Class: k.class, Addr: k.addr, Mode: mode})
+	}
+	sort.Slice(plan, func(i, j int) bool { return stepLess(plan[i], plan[j]) })
+	return plan
+}
+
+// RefSession is one thread's view of the reference runtime. Like Session it
+// must be used by a single goroutine at a time.
+type RefSession struct {
+	m       *RefManager
+	pending []Req
+	held    []refPlanStep
+	steps   []PlanStep
+	nlevel  int
+}
+
+type refPlanStep struct {
+	n    *refNode
+	mode Mode
+}
+
+// ToAcquire appends a lock descriptor to the pending list.
+func (s *RefSession) ToAcquire(r Req) {
+	if s.nlevel > 0 {
+		return
+	}
+	s.pending = append(s.pending, r)
+}
+
+// AcquireAll acquires all pending locks in the canonical global order.
+func (s *RefSession) AcquireAll() {
+	s.nlevel++
+	if s.nlevel > 1 {
+		return
+	}
+	steps := refBuildPlan(s.pending)
+	plan := make([]refPlanStep, len(steps))
+	for i, st := range steps {
+		var n *refNode
+		switch st.Kind {
+		case 0:
+			n = s.m.root
+		case 1:
+			n = s.m.classNode(st.Class)
+		default:
+			n = s.m.fineNode(st.Class, st.Addr)
+		}
+		plan[i] = refPlanStep{n: n, mode: st.Mode}
+	}
+	for _, st := range plan {
+		if st.n.acquire(st.mode) {
+			s.m.waits.Add(1)
+		}
+		s.m.acquires.Add(1)
+	}
+	s.held = plan
+	s.steps = steps
+	s.pending = s.pending[:0]
+}
+
+// ReleaseAll releases every held lock, bottom-up.
+func (s *RefSession) ReleaseAll() {
+	if s.nlevel == 0 {
+		panic("mgl: ReleaseAll without AcquireAll")
+	}
+	s.nlevel--
+	if s.nlevel > 0 {
+		return
+	}
+	for i := len(s.held) - 1; i >= 0; i-- {
+		s.held[i].n.release(s.held[i].mode)
+	}
+	s.held = s.held[:0]
+	s.steps = nil
+}
+
+// HeldSteps returns the canonical descriptors of the held locks, in
+// acquisition order.
+func (s *RefSession) HeldSteps() []PlanStep {
+	return append([]PlanStep(nil), s.steps...)
+}
+
+// refNode is the pre-sharding node: a mode lock with a strict-FIFO wait
+// queue parking each waiter on its own channel.
+type refNode struct {
+	name  string
+	mu    sync.Mutex
+	count [6]int
+	queue []*refWaiter
+}
+
+type refWaiter struct {
+	mode  Mode
+	ready chan struct{}
+}
+
+func (n *refNode) compatibleWithHeld(mode Mode) bool {
+	for m := IS; m <= X; m++ {
+		if n.count[m] > 0 && !Compatible(mode, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire blocks until the node is granted in the given mode; it reports
+// whether it had to wait.
+func (n *refNode) acquire(mode Mode) bool {
+	n.mu.Lock()
+	if len(n.queue) == 0 && n.compatibleWithHeld(mode) {
+		n.count[mode]++
+		n.mu.Unlock()
+		return false
+	}
+	wt := &refWaiter{mode: mode, ready: make(chan struct{})}
+	n.queue = append(n.queue, wt)
+	n.mu.Unlock()
+	<-wt.ready
+	return true
+}
+
+// release drops one holder in the given mode and wakes queued waiters in
+// FIFO order while they remain compatible.
+func (n *refNode) release(mode Mode) {
+	n.mu.Lock()
+	if n.count[mode] <= 0 {
+		n.mu.Unlock()
+		panic("mgl: release of unheld mode " + mode.String() + " on " + n.name)
+	}
+	n.count[mode]--
+	for len(n.queue) > 0 && n.compatibleWithHeld(n.queue[0].mode) {
+		wt := n.queue[0]
+		n.queue = n.queue[1:]
+		n.count[wt.mode]++
+		close(wt.ready)
+	}
+	n.mu.Unlock()
+}

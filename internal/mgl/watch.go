@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Watcher is the deadlock monitor of the concurrency oracle: it shadows the
@@ -20,18 +21,47 @@ import (
 //     must follow the global node order the transform emits, which is the
 //     protocol's deadlock-freedom argument (§5.2).
 //
-// All bookkeeping happens synchronously under the node mutexes, so the
-// recorded graphs exactly match the grant/wait history.
+// The sharded runtime has no global lock to piggyback on, so the monitor's
+// state is sharded the same way the runtime is: holder sets are registered
+// per node (nodeWatch, under each node's own small mutex) and per session
+// (Session.wheld), and a seqlock-style sequence counter brackets every
+// mutation. Cycle detection walks the per-node registrations without any
+// global lock and retries until it observes an unchanged sequence — the
+// snapshot is then consistent. Installing a Watcher disables the manager's
+// atomic fast path, so every grant and release still reaches the monitor
+// synchronously, under the owning node's mutex.
 type Watcher struct {
-	mu      sync.Mutex
-	holders map[*node]map[*Session]Mode
-	held    map[*Session]map[*node]Mode
-	waits   map[*Session]waitReq
-	order   map[*node]map[*node]bool
+	// seq brackets mutations of the sharded holder/wait registrations:
+	// incremented before and after each one (odd = mutation in flight).
+	seq atomic.Uint64
 
+	// waitPathMu serializes wait registration + cycle detection, so of two
+	// sessions closing a cycle against each other exactly one observes it
+	// (the second), matching the single-lock monitor's behavior.
+	waitPathMu sync.Mutex
+
+	waitsMu sync.Mutex
+	waits   map[*Session]waitReq
+
+	// repMu guards the cumulative findings and the lock-order graph.
+	repMu      sync.Mutex
+	order      map[*node]map[*node]bool
 	violations []OrderViolation
 	cycles     []OrderCycle
 	deadlocks  []DeadlockError
+}
+
+// nodeWatch is the per-node holder registration, allocated lazily on a
+// node's first monitored grant.
+type nodeWatch struct {
+	mu      sync.Mutex
+	holders map[*Session]Mode
+}
+
+// watchState returns the node's registration, allocating it once.
+func (n *node) watchState() *nodeWatch {
+	n.watchOnce.Do(func() { n.watch = &nodeWatch{holders: map[*Session]Mode{}} })
+	return n.watch
 }
 
 type waitReq struct {
@@ -42,10 +72,8 @@ type waitReq struct {
 // NewWatcher returns an empty monitor.
 func NewWatcher() *Watcher {
 	return &Watcher{
-		holders: map[*node]map[*Session]Mode{},
-		held:    map[*Session]map[*node]Mode{},
-		waits:   map[*Session]waitReq{},
-		order:   map[*node]map[*node]bool{},
+		waits: map[*Session]waitReq{},
+		order: map[*node]map[*node]bool{},
 	}
 }
 
@@ -86,29 +114,29 @@ func (c OrderCycle) String() string {
 
 // OrderViolations returns all canonical-order assertion failures.
 func (w *Watcher) OrderViolations() []OrderViolation {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.repMu.Lock()
+	defer w.repMu.Unlock()
 	return append([]OrderViolation(nil), w.violations...)
 }
 
 // LockOrderCycles returns all cycles found in the lock-order graph.
 func (w *Watcher) LockOrderCycles() []OrderCycle {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.repMu.Lock()
+	defer w.repMu.Unlock()
 	return append([]OrderCycle(nil), w.cycles...)
 }
 
 // Deadlocks returns all manifest deadlocks detected (and aborted).
 func (w *Watcher) Deadlocks() []DeadlockError {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.repMu.Lock()
+	defer w.repMu.Unlock()
 	return append([]DeadlockError(nil), w.deadlocks...)
 }
 
 // Err summarizes the monitor's findings as a single error, nil when clean.
 func (w *Watcher) Err() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.repMu.Lock()
+	defer w.repMu.Unlock()
 	switch {
 	case len(w.deadlocks) > 0:
 		d := w.deadlocks[0]
@@ -122,19 +150,31 @@ func (w *Watcher) Err() error {
 }
 
 // grant records that s now holds n in mode; called under n's mutex at every
-// grant (immediate or queued).
+// grant (immediate or queued — the fast path is disabled while a monitor is
+// installed).
 func (w *Watcher) grant(s *Session, n *node, mode Mode) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.seq.Add(1)
+	defer w.seq.Add(1)
+
+	w.waitsMu.Lock()
 	delete(w.waits, s)
-	hs := w.held[s]
-	if hs == nil {
-		hs = map[*node]Mode{}
-		w.held[s] = hs
+	w.waitsMu.Unlock()
+
+	// Snapshot the session's held set before inserting n, for the
+	// canonical-order assertion and the lock-order graph edges.
+	s.wmu.Lock()
+	if s.wheld == nil {
+		s.wheld = map[*node]Mode{}
 	}
-	// Canonical-order assertion plus lock-order graph edges from every node
-	// already held.
-	for h := range hs {
+	prior := make([]*node, 0, len(s.wheld))
+	for h := range s.wheld {
+		prior = append(prior, h)
+	}
+	s.wheld[n] = mode
+	s.wmu.Unlock()
+
+	w.repMu.Lock()
+	for _, h := range prior {
 		if !h.rank.less(n.rank) {
 			w.violations = append(w.violations, OrderViolation{
 				Session: s.id, Holding: h.name, Acquired: n.name,
@@ -142,56 +182,114 @@ func (w *Watcher) grant(s *Session, n *node, mode Mode) {
 		}
 		w.addOrderEdge(h, n)
 	}
-	hs[n] = mode
-	ns := w.holders[n]
-	if ns == nil {
-		ns = map[*Session]Mode{}
-		w.holders[n] = ns
-	}
-	ns[s] = mode
+	w.repMu.Unlock()
+
+	nw := n.watchState()
+	nw.mu.Lock()
+	nw.holders[s] = mode
+	nw.mu.Unlock()
 }
 
 // unhold removes s as a holder of n; called under n's mutex on release.
 func (w *Watcher) unhold(s *Session, n *node) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	delete(w.holders[n], s)
-	delete(w.held[s], n)
+	w.seq.Add(1)
+	defer w.seq.Add(1)
+
+	nw := n.watchState()
+	nw.mu.Lock()
+	delete(nw.holders, s)
+	nw.mu.Unlock()
+
+	s.wmu.Lock()
+	delete(s.wheld, n)
+	s.wmu.Unlock()
 }
 
 // wait registers that s is about to block on n; if the new edge closes a
 // waits-for cycle the deadlock is recorded and an error returned instead,
 // leaving no wait registered.
 func (w *Watcher) wait(s *Session, n *node, mode Mode) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.waitPathMu.Lock()
+	defer w.waitPathMu.Unlock()
+
+	w.seq.Add(1)
+	w.waitsMu.Lock()
 	w.waits[s] = waitReq{n: n, mode: mode}
+	w.waitsMu.Unlock()
+	w.seq.Add(1)
+
 	if cycle := w.findWaitCycle(s); cycle != nil {
+		w.seq.Add(1)
+		w.waitsMu.Lock()
 		delete(w.waits, s)
+		w.waitsMu.Unlock()
+		w.seq.Add(1)
 		d := DeadlockError{Cycle: cycle}
+		w.repMu.Lock()
 		w.deadlocks = append(w.deadlocks, d)
+		w.repMu.Unlock()
 		return &d
 	}
 	return nil
 }
 
-// findWaitCycle walks the waits-for graph from start: an edge leads from a
-// waiting session to every session holding the awaited node in an
+// findWaitCycle walks the waits-for graph from start under the seqlock
+// discipline: read the sequence, take a consistent copy of the wait edges,
+// walk per-node holder registrations, and accept the result only if the
+// sequence is unchanged (even and equal); otherwise retry. An edge leads
+// from a waiting session to every session holding the awaited node in an
 // incompatible mode. It returns a description of the cycle through start,
-// or nil.
+// or nil. After maxSnapshotRetries the last walk is accepted as-is — by
+// then the graph has mutated under every attempt, which a quiescing
+// deadlock (all parties blocked) cannot do.
 func (w *Watcher) findWaitCycle(start *Session) []string {
+	const maxSnapshotRetries = 32
+	var found []string
+	for attempt := 0; ; attempt++ {
+		s1 := w.seq.Load()
+		if s1%2 == 1 && attempt < maxSnapshotRetries {
+			continue
+		}
+		found = w.walkWaits(start)
+		s2 := w.seq.Load()
+		if s1 == s2 || attempt >= maxSnapshotRetries {
+			return found
+		}
+	}
+}
+
+// walkWaits is one cycle-detection pass over the current registrations.
+func (w *Watcher) walkWaits(start *Session) []string {
+	w.waitsMu.Lock()
+	waits := make(map[*Session]waitReq, len(w.waits))
+	for s, r := range w.waits {
+		waits[s] = r
+	}
+	w.waitsMu.Unlock()
+
+	holdersOf := func(n *node) map[*Session]Mode {
+		nw := n.watchState()
+		nw.mu.Lock()
+		out := make(map[*Session]Mode, len(nw.holders))
+		for s, m := range nw.holders {
+			out[s] = m
+		}
+		nw.mu.Unlock()
+		return out
+	}
+
 	seen := map[*Session]bool{}
 	var path []string
 	var found []string
 	var visit func(s *Session) bool
 	visit = func(s *Session) bool {
-		req, waiting := w.waits[s]
+		req, waiting := waits[s]
 		if !waiting {
 			return false
 		}
 		path = append(path, fmt.Sprintf("session %d waits for %s/%s", s.id, req.n.name, req.mode))
 		defer func() { path = path[:len(path)-1] }()
-		for holder, hm := range w.holders[req.n] {
+		for holder, hm := range holdersOf(req.n) {
 			if holder == s || Compatible(req.mode, hm) {
 				continue
 			}
@@ -214,7 +312,7 @@ func (w *Watcher) findWaitCycle(start *Session) []string {
 }
 
 // addOrderEdge inserts a→b into the lock-order graph and records a cycle if
-// b already reaches a.
+// b already reaches a. Callers hold repMu.
 func (w *Watcher) addOrderEdge(a, b *node) {
 	if a == b {
 		return
@@ -238,7 +336,8 @@ func (w *Watcher) addOrderEdge(a, b *node) {
 	}
 }
 
-// orderPath returns a path from a to b in the order graph, or nil.
+// orderPath returns a path from a to b in the order graph, or nil. Callers
+// hold repMu.
 func (w *Watcher) orderPath(a, b *node) []*node {
 	seen := map[*node]bool{a: true}
 	var dfs func(n *node, acc []*node) []*node

@@ -1,0 +1,188 @@
+package oracle
+
+import (
+	"testing"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/mgl"
+)
+
+// The compatibility matrix is the single contract shared by the lock
+// runtime (which grants by it) and the race detector (which derives
+// happens-before edges from it: an acquire synchronizes with earlier
+// releases in incompatible modes). These property tests pin both sides to
+// the same table: symmetry and the Figure 6(b) entries on the mgl side, and
+// edge-derivation agreement on the oracle side — for every mode pair, the
+// detector must order two critical sections iff the runtime would refuse to
+// overlap them.
+
+var allModes = []mgl.Mode{mgl.IS, mgl.IX, mgl.S, mgl.SIX, mgl.X}
+
+func TestCompatibleSymmetric(t *testing.T) {
+	for _, a := range allModes {
+		for _, b := range allModes {
+			if mgl.Compatible(a, b) != mgl.Compatible(b, a) {
+				t.Errorf("Compatible(%s,%s) != Compatible(%s,%s)", a, b, b, a)
+			}
+		}
+	}
+}
+
+// access fabricates one dynamic access event for the detector.
+func access(thread int, write bool) interp.AccessEvent {
+	return interp.AccessEvent{
+		Thread: thread,
+		Addr:   0xdead,
+		Class:  1,
+		Write:  write,
+		Atomic: true,
+		Fn:     "w",
+		Pos:    lang.Pos{Line: thread, Col: 1},
+		What:   "cell",
+	}
+}
+
+// raceBetween runs the canonical two-thread scenario through the race
+// detector: thread 1 writes a cell inside a section holding the node in
+// mode a, then thread 2 writes the same cell inside a section holding the
+// same node in mode b. It reports whether the detector saw a race.
+func raceBetween(a, b mgl.Mode) bool {
+	heldA := []mgl.PlanStep{{Kind: 1, Class: 5, Mode: a}}
+	heldB := []mgl.PlanStep{{Kind: 1, Class: 5, Mode: b}}
+	d := NewRaceDetector()
+	d.ThreadStart(1)
+	d.ThreadStart(2)
+	d.SectionEnter(1, 0, heldA)
+	d.Access(access(1, true))
+	d.SectionExit(1, 0, heldA)
+	d.SectionEnter(2, 0, heldB)
+	d.Access(access(2, true))
+	d.SectionExit(2, 0, heldB)
+	return len(d.Races()) > 0
+}
+
+// TestModeMatrixOracleAgreement checks, for every pair in the mode lattice,
+// that the oracle's happens-before edge derivation agrees with the
+// runtime's grant table: compatible modes leave the sections unordered (the
+// conflicting writes race), incompatible modes order them (no race).
+func TestModeMatrixOracleAgreement(t *testing.T) {
+	for _, a := range allModes {
+		for _, b := range allModes {
+			raced := raceBetween(a, b)
+			if compatible := mgl.Compatible(a, b); raced != compatible {
+				t.Errorf("modes %s/%s: Compatible=%v but detector race=%v — runtime and oracle disagree",
+					a, b, compatible, raced)
+			}
+		}
+	}
+}
+
+// reqPair is one entry of the descriptor-level table: the five request
+// shapes of the runtime triple — coarse S, coarse X, fine read (IS above),
+// fine write (IX above), and the root ⊤.
+type reqPair struct {
+	name string
+	req  mgl.Req
+}
+
+var reqShapes = []reqPair{
+	{"S", mgl.Req{Class: 1, Write: false}},
+	{"X", mgl.Req{Class: 1, Write: true}},
+	{"IS", mgl.Req{Class: 1, Fine: true, Addr: 7, Write: false}},
+	{"IX", mgl.Req{Class: 1, Fine: true, Addr: 9, Write: true}},
+	{"⊤", mgl.Req{Global: true, Write: true}},
+}
+
+// classModeOf extracts the mode a plan grants on the class-1 partition
+// node (ModeNone if the plan never touches it).
+func classModeOf(plan []mgl.PlanStep) mgl.Mode {
+	for _, st := range plan {
+		if st.Kind == 1 && st.Class == 1 {
+			return st.Mode
+		}
+	}
+	return mgl.ModeNone
+}
+
+// rootModeOf extracts the root mode of a plan.
+func rootModeOf(plan []mgl.PlanStep) mgl.Mode {
+	for _, st := range plan {
+		if st.Kind == 0 {
+			return st.Mode
+		}
+	}
+	return mgl.ModeNone
+}
+
+// TestReqShapeMatrix drives every pair of descriptor shapes through
+// BuildPlan and checks that the two sessions can overlap iff their plans
+// are compatible on every shared node — the table the paper's §5.2 runtime
+// promises. Overlap is judged where the hierarchy decides it: at the root
+// for ⊤ requests, at the partition node otherwise.
+func TestReqShapeMatrix(t *testing.T) {
+	for _, pa := range reqShapes {
+		for _, pb := range reqShapes {
+			planA := mgl.BuildPlan([]mgl.Req{pa.req})
+			planB := mgl.BuildPlan([]mgl.Req{pb.req})
+			overlap := true
+			if !mgl.Compatible(rootModeOf(planA), rootModeOf(planB)) {
+				overlap = false
+			}
+			ca, cb := classModeOf(planA), classModeOf(planB)
+			if ca != mgl.ModeNone && cb != mgl.ModeNone && !mgl.Compatible(ca, cb) {
+				overlap = false
+			}
+			// Fine leaves conflict only when both sessions reach the same
+			// address; the two fine shapes here use distinct addresses.
+			want := wantOverlap[pa.name+"/"+pb.name]
+			if overlap != want {
+				t.Errorf("%s vs %s: overlap=%v, want %v (root %s/%s, class %s/%s)",
+					pa.name, pb.name, overlap, want,
+					rootModeOf(planA), rootModeOf(planB), ca, cb)
+			}
+		}
+	}
+}
+
+// wantOverlap is the expected grant-overlap table over the request shapes,
+// written out in full (both triangles: symmetry is part of the property).
+// ⊤/X excludes everything; coarse X excludes everything below its class;
+// coarse S admits fine reads (IS) but not fine writes (IX); the two fine
+// shapes (distinct addresses) coexist with each other.
+var wantOverlap = map[string]bool{
+	"S/S": true, "S/X": false, "S/IS": true, "S/IX": false, "S/⊤": false,
+	"X/S": false, "X/X": false, "X/IS": false, "X/IX": false, "X/⊤": false,
+	"IS/S": true, "IS/X": false, "IS/IS": true, "IS/IX": true, "IS/⊤": false,
+	"IX/S": false, "IX/X": false, "IX/IS": true, "IX/IX": true, "IX/⊤": false,
+	"⊤/S": false, "⊤/X": false, "⊤/IS": false, "⊤/IX": false, "⊤/⊤": false,
+}
+
+// TestUpgradeWithinSession checks the S→X upgrade path: one session
+// requesting both a read and a write of the same partition must join to a
+// single X grant (never a separate S and X, which would self-deadlock),
+// and the joined section must still order against a concurrent reader in
+// the detector.
+func TestUpgradeWithinSession(t *testing.T) {
+	plan := mgl.BuildPlan([]mgl.Req{
+		{Class: 1, Write: false},
+		{Class: 1, Write: true},
+	})
+	if len(plan) != 2 {
+		t.Fatalf("upgrade plan = %v, want [root, class]", plan)
+	}
+	if got := classModeOf(plan); got != mgl.X {
+		t.Fatalf("S+X on one class joined to %s, want X", got)
+	}
+	if got := rootModeOf(plan); got != mgl.IX {
+		t.Fatalf("root intention for upgraded class = %s, want IX", got)
+	}
+	if mgl.Join(mgl.S, mgl.X) != mgl.X || mgl.Join(mgl.X, mgl.S) != mgl.X {
+		t.Fatal("Join(S,X) must be X from both sides")
+	}
+	// The upgraded section is exclusive: the detector must order it against
+	// a plain reader's section.
+	if raceBetween(mgl.X, mgl.S) || raceBetween(mgl.S, mgl.X) {
+		t.Fatal("upgraded X section left unordered against an S section")
+	}
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+)
+
+// Accounts is the bank-transfer micro-benchmark: a fixed array of balance
+// cells. A transfer moves an amount between two accounts — both cell
+// indices are computable at the section entry, so the inference assigns two
+// fine-grain write locks; an audit sums every balance in one section, an
+// unbounded traversal that keeps a coarse read lock on the partition. The
+// resulting sections mix fine and coarse descriptors over one partition,
+// which is the §5.2 scenario the hierarchical runtime's intention modes
+// exist for, and the section bodies are a handful of loads and stores, so
+// the measured quantity is almost entirely lock-runtime overhead.
+type Accounts struct {
+	name      string
+	mix       Mix
+	naccounts int
+	nopWork   int
+
+	accounts []*mem.Cell // each holds int
+	total    int
+	class    mgl.ClassID
+}
+
+// NewAccounts builds the accounts workload. The mix's get percentage sets
+// the audit share; every other operation is a transfer.
+func NewAccounts(name string, mix Mix) *Accounts {
+	return &Accounts{
+		name:      name,
+		mix:       mix,
+		naccounts: 16,
+		nopWork:   300,
+		class:     8,
+	}
+}
+
+// Name implements Workload.
+func (a *Accounts) Name() string { return a.name }
+
+// SetWork overrides the in-section spin padding (the throughput benchmarks
+// shrink it so lock-runtime overhead, not the padding, is measured).
+func (a *Accounts) SetWork(n int) { a.nopWork = n }
+
+// Setup implements Workload.
+func (a *Accounts) Setup(r *rand.Rand) {
+	a.accounts = make([]*mem.Cell, a.naccounts)
+	a.total = 0
+	for i := range a.accounts {
+		bal := 100 + r.Intn(900)
+		a.accounts[i] = mem.NewCell(bal)
+		a.total += bal
+	}
+}
+
+// transfer moves amt from account i to account j.
+func (a *Accounts) transfer(ctx Ctx, i, j, amt int) {
+	ctx.Store(a.accounts[i], ctx.Load(a.accounts[i]).(int)-amt)
+	ctx.Store(a.accounts[j], ctx.Load(a.accounts[j]).(int)+amt)
+}
+
+// audit sums every balance.
+func (a *Accounts) audit(ctx Ctx) int {
+	sum := 0
+	for _, c := range a.accounts {
+		sum += ctx.Load(c).(int)
+	}
+	return sum
+}
+
+// Op implements Workload.
+func (a *Accounts) Op(r *rand.Rand) Op {
+	if a.mix.pick(r) == 0 {
+		return Op{
+			Locks: func(add func(mgl.Req)) {
+				add(mgl.Req{Class: a.class, Write: false})
+			},
+			Body: func(ctx Ctx) {
+				if got := a.audit(ctx); got != a.total {
+					panic(fmt.Sprintf("accounts: audit saw %d, want %d", got, a.total))
+				}
+			},
+			Work: a.nopWork,
+		}
+	}
+	i := r.Intn(a.naccounts)
+	j := r.Intn(a.naccounts - 1)
+	if j >= i {
+		j++
+	}
+	amt := 1 + r.Intn(50)
+	return Op{
+		Locks: func(add func(mgl.Req)) {
+			add(mgl.Req{Class: a.class, Fine: true, Addr: a.accounts[i].ID(), Write: true})
+			add(mgl.Req{Class: a.class, Fine: true, Addr: a.accounts[j].ID(), Write: true})
+		},
+		Body: func(ctx Ctx) {
+			a.transfer(ctx, i, j, amt)
+		},
+		Work: a.nopWork,
+	}
+}
+
+// Check implements Workload: transfers conserve the total balance, so any
+// lost update (an exclusion bug in the lock runtime) shifts the sum.
+func (a *Accounts) Check() error {
+	if got := a.audit(Direct()); got != a.total {
+		return fmt.Errorf("accounts: total %d, want %d", got, a.total)
+	}
+	return nil
+}

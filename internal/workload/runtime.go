@@ -105,16 +105,27 @@ func (g *GlobalExec) NewWorker() func(Op) {
 	}
 }
 
-// MGLExec runs sections under the multi-granularity lock runtime.
+// MGLExec runs sections under a multi-granularity lock runtime — the
+// sharded mgl.Manager by default, or the retained single-mutex
+// mgl.RefManager baseline (see NewRefMGLExec).
 type MGLExec struct {
 	name string
-	m    *mgl.Manager
+	rt   mgl.LockRuntime
+	m    *mgl.Manager // non-nil only for the sharded runtime
 }
 
-// NewMGLExec returns an MGL runtime with its own lock tree. The name
-// distinguishes the coarse and fine plan configurations in reports.
+// NewMGLExec returns an MGL runtime with its own sharded lock tree. The
+// name distinguishes the coarse and fine plan configurations in reports.
 func NewMGLExec(name string) *MGLExec {
-	return &MGLExec{name: name, m: mgl.NewManager()}
+	m := mgl.NewManager()
+	return &MGLExec{name: name, rt: m, m: m}
+}
+
+// NewRefMGLExec returns the pre-sharding reference MGL runtime (one global
+// lookup mutex, channel-parked waiters, no plan memoization) — the
+// baseline the throughput benchmarks compare the sharded runtime against.
+func NewRefMGLExec(name string) *MGLExec {
+	return &MGLExec{name: name, rt: mgl.NewRefManager()}
 }
 
 // Name implements Exec.
@@ -122,18 +133,23 @@ func (e *MGLExec) Name() string { return e.name }
 
 // Stats implements Exec.
 func (e *MGLExec) Stats() string {
-	return fmt.Sprintf("acquires=%d waits=%d", e.m.Acquires(), e.m.Waits())
+	return fmt.Sprintf("acquires=%d waits=%d", e.rt.Acquires(), e.rt.Waits())
 }
 
-// Manager exposes the underlying lock manager.
+// Manager exposes the underlying sharded lock manager (nil when the exec
+// wraps the reference runtime).
 func (e *MGLExec) Manager() *mgl.Manager { return e.m }
+
+// Runtime exposes the underlying lock runtime.
+func (e *MGLExec) Runtime() mgl.LockRuntime { return e.rt }
 
 // NewWorker implements Exec.
 func (e *MGLExec) NewWorker() func(Op) {
-	s := e.m.NewSession()
+	s := e.rt.NewLockSession()
+	add := s.ToAcquire // a method value allocates: bind it once per worker, not per op
 	return func(op Op) {
 		if op.Locks != nil {
-			op.Locks(s.ToAcquire)
+			op.Locks(add)
 		}
 		s.AcquireAll()
 		op.Body(directCtx{})
