@@ -1,10 +1,14 @@
 # Tier-1 verification for lockinfer. `make check` is what CI runs:
-# static vetting, the full test suite under the Go race detector, and the
-# short-mode concurrency-oracle suite as a fast smoke layer.
+# static vetting, the short-mode test suite under the Go race detector, the
+# short-mode concurrency-oracle suite, the coverage ratchet, and the
+# short-mode cross-engine conformance sweep. `make check-long` adds the
+# full-depth suites (paper-shape replication, 1000-schedule differential
+# stress, the 50-seed conformance sweep).
 
 GO ?= go
 
-.PHONY: check build test vet race oracle-short bench bench-paper fuzz
+.PHONY: check check-long build test test-long vet race race-long oracle-short \
+	conform conform-short cover cover-update bench bench-paper fuzz
 
 build:
 	$(GO) build ./...
@@ -15,7 +19,13 @@ vet:
 test:
 	$(GO) test ./...
 
+test-long:
+	$(GO) test -race ./...
+
 race:
+	$(GO) test -short -race ./...
+
+race-long:
 	$(GO) test -race ./...
 
 # Short-mode oracle suite: the fast subset of the race-detector, deadlock
@@ -23,7 +33,32 @@ race:
 oracle-short:
 	$(GO) test -short ./internal/oracle/ ./internal/mgl/
 
-check: build vet race oracle-short
+# Cross-engine conformance: every program runs under all four execution
+# backends (sharded mgl, reference mgl, global lock, TL2 STM) and each
+# final state is checked against the serialization oracle; injected faults
+# (dropped locks, permuted plans) must be flagged. The full sweep is the
+# PR-gate acceptance run; conform-short is the CI smoke.
+conform:
+	$(GO) run ./cmd/lockconform -seeds 50
+
+conform-short:
+	$(GO) run ./cmd/lockconform -short
+
+# Coverage ratchet: per-package statement coverage of the lock runtime and
+# the inference engine must not drop more than 2pts below the committed
+# baseline. After intentional changes run `make cover-update` and commit
+# coverage_baseline.txt.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/
+	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt
+
+cover-update:
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/
+	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt -update
+
+check: build vet race oracle-short cover conform-short
+
+check-long: build vet race-long oracle-short cover conform
 
 # Wall-clock throughput of the sharded lock runtime vs the pre-sharding
 # baseline, gated against the committed BENCH_PR2.json (fails on >20%
@@ -38,6 +73,9 @@ bench-paper:
 	$(GO) test -bench 'Table|Figure' -benchtime 1x -run XXX .
 
 # Native fuzzers: parser round-trip and lock-plan invariants, 30s each.
+# FuzzParse is seeded with the corpus, the examples' embedded sources, and
+# generated programs (progen.Generate / GenerateConcurrent), so parser
+# fuzzing covers the exact syntax the conformance workloads exercise.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/lang
 	$(GO) test -run '^$$' -fuzz FuzzBuildPlan -fuzztime 30s ./internal/mgl

@@ -1,0 +1,182 @@
+// Command covergate is the coverage ratchet: it computes per-package
+// statement coverage from a Go cover profile and fails when any gated
+// package has dropped more than the tolerance below its committed
+// baseline. Run with -update after intentionally changing coverage to
+// re-commit the baseline.
+//
+// Usage:
+//
+//	go test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/
+//	covergate -profile cover.out -baseline coverage_baseline.txt
+//	covergate -profile cover.out -baseline coverage_baseline.txt -update
+//
+// Exit status 1 when the gate fails, 2 on usage errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		profile   = flag.String("profile", "cover.out", "cover profile to read")
+		baseline  = flag.String("baseline", "coverage_baseline.txt", "committed per-package baseline")
+		tolerance = flag.Float64("tolerance", 2.0, "allowed drop in percentage points")
+		update    = flag.Bool("update", false, "rewrite the baseline from the profile and exit")
+	)
+	flag.Parse()
+
+	got, err := packageCoverage(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+	if *update {
+		if err := writeBaseline(*baseline, got); err != nil {
+			fmt.Fprintln(os.Stderr, "covergate:", err)
+			os.Exit(2)
+		}
+		for _, pkg := range sortedKeys(got) {
+			fmt.Printf("covergate: baseline %s = %.1f%%\n", pkg, got[pkg])
+		}
+		return
+	}
+	want, err := readBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, pkg := range sortedKeys(want) {
+		base := want[pkg]
+		cur, ok := got[pkg]
+		if !ok {
+			fmt.Printf("covergate: FAIL %s: no coverage in profile (baseline %.1f%%)\n", pkg, base)
+			failed = true
+			continue
+		}
+		switch {
+		case cur+*tolerance < base:
+			fmt.Printf("covergate: FAIL %s: %.1f%% is more than %.1fpts below baseline %.1f%%\n",
+				pkg, cur, *tolerance, base)
+			failed = true
+		default:
+			fmt.Printf("covergate: ok   %s: %.1f%% (baseline %.1f%%)\n", pkg, cur, base)
+		}
+	}
+	if failed {
+		fmt.Println("covergate: coverage ratchet failed; if the drop is intentional, rerun with -update and commit the baseline")
+		os.Exit(1)
+	}
+}
+
+// packageCoverage folds a cover profile into per-package statement
+// coverage percentages.
+func packageCoverage(profile string) (map[string]float64, error) {
+	f, err := os.Open(profile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type counts struct{ total, covered int }
+	byPkg := map[string]*counts{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:sl.sc,el.ec numStmts hitCount
+		colon := strings.LastIndex(line, ".go:")
+		if colon < 0 {
+			continue
+		}
+		pkg := path.Dir(line[:colon+3])
+		fields := strings.Fields(line[colon+4:])
+		if len(fields) != 3 {
+			continue
+		}
+		stmts, err1 := strconv.Atoi(fields[1])
+		hits, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		c := byPkg[pkg]
+		if c == nil {
+			c = &counts{}
+			byPkg[pkg] = c
+		}
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for pkg, c := range byPkg {
+		if c.total > 0 {
+			out[pkg] = 100 * float64(c.covered) / float64(c.total)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("profile %s contains no coverage blocks", profile)
+	}
+	return out, nil
+}
+
+func readBaseline(name string) (map[string]float64, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("baseline %s: bad line %q", name, line)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: bad percentage in %q", name, line)
+		}
+		out[fields[0]] = pct
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("baseline %s lists no packages", name)
+	}
+	return out, sc.Err()
+}
+
+func writeBaseline(name string, got map[string]float64) error {
+	var b strings.Builder
+	b.WriteString("# Per-package statement coverage baseline for the covergate ratchet.\n")
+	b.WriteString("# Regenerate: make cover-update (see EXPERIMENTS.md).\n")
+	for _, pkg := range sortedKeys(got) {
+		fmt.Fprintf(&b, "%s %.1f\n", pkg, got[pkg])
+	}
+	return os.WriteFile(name, []byte(b.String()), 0o644)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,144 @@
+// Command lockconform runs the cross-engine conformance harness: each
+// selected program is compiled through the full pipeline, executed
+// concurrently under every execution backend (inferred locks on the sharded
+// manager, inferred locks on the frozen reference manager, the global-lock
+// plan, and the TL2 STM runtime), and every outcome's final shared state is
+// checked against the set of states reachable by some serialization of its
+// atomic sections. With -mutants (the default), every program is also
+// re-run with injected faults — all locks dropped, acquisition plans
+// reversed — and the harness must flag each one.
+//
+// Usage:
+//
+//	lockconform                          (50 progen seeds + corpus, all engines)
+//	lockconform -seeds 10 -short         (fast sweep for CI)
+//	lockconform -engines mgl,stm         (subset of backends)
+//	lockconform -seed-start 100 -seeds 5 (a specific seed range)
+//	lockconform -mutants=false           (skip negative conformance)
+//
+// Exit status 1 on any conformance failure or unflagged mutant, 2 on usage
+// or pipeline errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lockinfer/internal/conform"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/progs"
+)
+
+func main() {
+	var (
+		seedStart = flag.Int64("seed-start", 1, "first progen seed")
+		seeds     = flag.Int64("seeds", 50, "number of progen seeds to sweep")
+		k         = flag.Int("k", 2, "backward-trace depth bound for inference")
+		threads   = flag.Int("threads", 2, "worker threads per program")
+		ops       = flag.Int("ops", 2, "operations per worker")
+		engines   = flag.String("engines", "all", "comma-separated engines: mgl,mgl-ref,global,stm")
+		repeat    = flag.Int("repeat", 2, "concurrent executions per engine")
+		maxSer    = flag.Int("max-ser", 96, "serialization enumeration budget per program")
+		corpus    = flag.Bool("corpus", true, "also check the hand-written corpus programs")
+		mutants   = flag.Bool("mutants", true, "also run negative conformance (fault injection)")
+		short     = flag.Bool("short", false, "reduced budget: 10 seeds, 1 repeat, 48 serializations")
+		verbose   = flag.Bool("v", false, "log per-program progress")
+	)
+	flag.Parse()
+
+	engs, err := conform.ParseEngines(*engines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockconform:", err)
+		os.Exit(2)
+	}
+	opts := conform.Options{Engines: engs, Repeat: *repeat, MaxSerializations: *maxSer}
+	nseeds := *seeds
+	if *short {
+		if nseeds > 10 {
+			nseeds = 10
+		}
+		opts.Repeat = 1
+		opts.MaxSerializations = 48
+	}
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	if *verbose {
+		opts.Log = logf
+	}
+
+	var targets []*oracle.Target
+	for seed := *seedStart; seed < *seedStart+nseeds; seed++ {
+		tg, err := oracle.FromProgen(seed, *k, *threads, *ops)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockconform:", err)
+			os.Exit(2)
+		}
+		targets = append(targets, tg)
+	}
+	if *corpus && !*short {
+		for _, p := range progs.All() {
+			for _, name := range []string{"move", "hashtable", "list"} {
+				if p.Name == name {
+					tg, err := oracle.FromCorpus(p, *k, *threads, *ops)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "lockconform:", err)
+						os.Exit(2)
+					}
+					targets = append(targets, tg)
+				}
+			}
+		}
+	}
+
+	failures := 0
+	runs, flagged, mutantRuns := 0, 0, 0
+	for _, tg := range targets {
+		res, err := conform.Check(tg, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockconform:", err)
+			os.Exit(2)
+		}
+		runs += len(res.Runs)
+		if err := res.Err(); err != nil {
+			failures++
+			fmt.Printf("FAIL %s\n", err)
+		} else if *verbose {
+			fmt.Printf("ok   %-24s %d serializations, %d states, %d runs\n",
+				tg.Name, res.Serializations, len(res.States), len(res.Runs))
+		}
+		if !*mutants {
+			continue
+		}
+		mruns, err := conform.CheckMutants(tg, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockconform:", err)
+			os.Exit(2)
+		}
+		mutantRuns += len(mruns)
+		for _, mr := range mruns {
+			if mr.Flagged {
+				flagged++
+			} else {
+				failures++
+				fmt.Printf("FAIL mutant %s (%s) not flagged\n", mr.Target, mr.Kind)
+			}
+		}
+	}
+
+	verdict := "conformant"
+	if failures > 0 {
+		verdict = "checked"
+	}
+	fmt.Printf("lockconform: %d programs x %d engines: %d runs %s",
+		len(targets), len(engs), runs, verdict)
+	if *mutants {
+		fmt.Printf("; %d/%d mutants flagged", flagged, mutantRuns)
+	}
+	fmt.Println()
+	if failures > 0 {
+		fmt.Printf("lockconform: %d FAILURES\n", failures)
+		os.Exit(1)
+	}
+}

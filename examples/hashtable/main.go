@@ -11,13 +11,14 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"lockinfer/internal/workload"
 )
 
-func main() {
-	cfg := workload.RunConfig{Threads: 8, OpsPerThread: 2000, Seed: 42}
+func run(w io.Writer, cfg workload.RunConfig) error {
 	type setup struct {
 		name  string
 		w     workload.Workload
@@ -34,19 +35,26 @@ func main() {
 		{"TL2 STM", workload.NewHashtable2("hashtable-2", workload.HighMix, workload.GrainCoarse),
 			workload.NewSTMExec(), ""},
 	}
-	fmt.Printf("hashtable-2, high mix (66%% puts), %d threads x %d ops\n\n",
+	fmt.Fprintf(w, "hashtable-2, high mix (66%% puts), %d threads x %d ops\n\n",
 		cfg.Threads, cfg.OpsPerThread)
 	for _, s := range setups {
 		elapsed, err := workload.Run(s.w, s.ex, cfg)
 		if err != nil {
-			log.Fatalf("%s: invariant check failed: %v", s.name, err)
+			return fmt.Errorf("%s: invariant check failed: %w", s.name, err)
 		}
 		stats := s.ex.Stats()
 		if stats != "" {
 			stats = "  (" + stats + ")"
 		}
-		fmt.Printf("%-24s %10v  invariants ok%s\n", s.name, elapsed, stats)
+		fmt.Fprintf(w, "%-24s %10v  invariants ok%s\n", s.name, elapsed, stats)
 	}
-	fmt.Println("\nEvery run passed the structure's atomicity invariants " +
+	fmt.Fprintln(w, "\nEvery run passed the structure's atomicity invariants "+
 		"(bucket residency and exact element accounting).")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout, workload.RunConfig{Threads: 8, OpsPerThread: 2000, Seed: 42}); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"lockinfer/internal/workload"
+)
+
+// The example must pass its invariant checks on all four runtimes; the
+// test shrinks the op count so the smoke stays fast under -race.
+func TestHashtableRuns(t *testing.T) {
+	cfg := workload.RunConfig{Threads: 4, OpsPerThread: 200, Seed: 42}
+	if err := run(io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,33 +10,35 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"lockinfer"
 	"lockinfer/internal/progs"
 )
 
-func main() {
+func run(w io.Writer) error {
 	p, err := progs.Get("move")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	src := p.Source()
 
 	for _, k := range []int{0, 3} {
 		c, err := lockinfer.Compile(src, lockinfer.WithK(k))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("== Locks at k=%d ==\n%s\n", k, c.LockReport())
+		fmt.Fprintf(w, "== Locks at k=%d ==\n%s\n", k, c.LockReport())
 	}
 
 	c, err := lockinfer.Compile(src, lockinfer.WithK(3))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("== Transformed move() (Figure 1(c)) ==")
-	fmt.Println(c.TransformedSource())
+	fmt.Fprintln(w, "== Transformed move() (Figure 1(c)) ==")
+	fmt.Fprintln(w, c.TransformedSource())
 
 	// The concurrent scenario that deadlocks a naive fine-grain scheme:
 	// threads shuttling elements in opposite directions. The hierarchical
@@ -45,10 +47,10 @@ func main() {
 	// access is covered.
 	m := c.NewMachine(lockinfer.Checked())
 	if err := m.Init(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := m.Call(0, "setup", []lockinfer.Value{lockinfer.IntV(16)}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	specs := []lockinfer.ThreadSpec{
 		{Fn: "worker", Args: []lockinfer.Value{lockinfer.IntV(100), lockinfer.IntV(0)}},
@@ -57,11 +59,21 @@ func main() {
 		{Fn: "worker", Args: []lockinfer.Value{lockinfer.IntV(100), lockinfer.IntV(1)}},
 	}
 	if err := m.Run(specs); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	total, err := m.Call(0, "total", nil)
 	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== Execution ==\n4 threads x 100 opposing moves done; elements = %s (want 16), no deadlock, no violation\n", total)
+	if total.Int != 16 {
+		return fmt.Errorf("element count = %s, want 16", total)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("== Execution ==\n4 threads x 100 opposing moves done; elements = %s (want 16), no deadlock, no violation\n", total)
 }

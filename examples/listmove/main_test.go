@@ -1,0 +1,15 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// The Figure 1 walkthrough must run to completion: inference at both k
+// settings, the transformed source, and the opposing-moves execution with
+// the checker on.
+func TestListmoveRuns(t *testing.T) {
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"lockinfer"
 )
@@ -54,39 +56,49 @@ void worker(int n) {
 }
 `
 
-func main() {
+func run(w io.Writer) error {
 	// Compile with the Σ3 scheme (k=3), the configuration of the paper's
 	// Figure 1 example.
 	c, err := lockinfer.Compile(src, lockinfer.WithK(3))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("== Inferred locks ==")
-	fmt.Println(c.LockReport())
+	fmt.Fprintln(w, "== Inferred locks ==")
+	fmt.Fprintln(w, c.LockReport())
 
-	fmt.Println("== Transformed program ==")
-	fmt.Println(c.TransformedSource())
+	fmt.Fprintln(w, "== Transformed program ==")
+	fmt.Fprintln(w, c.TransformedSource())
 
 	// Execute concurrently on the checking interpreter: every shared access
 	// inside an atomic section is verified against the held locks.
 	m := c.NewMachine(lockinfer.Checked())
 	if err := m.Init(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if _, err := m.Call(0, "init", nil); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	specs := make([]lockinfer.ThreadSpec, 4)
 	for i := range specs {
 		specs[i] = lockinfer.ThreadSpec{Fn: "worker", Args: []lockinfer.Value{lockinfer.IntV(200)}}
 	}
 	if err := m.Run(specs); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	total, err := m.Call(0, "totalBalance", nil)
 	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== Execution ==\n4 threads x 200 transfers done; total balance = %s (want 200)\n", total)
+	if total.Int != 200 {
+		return fmt.Errorf("total balance = %s, want 200", total)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("== Execution ==\n4 threads x 200 transfers done; total balance = %s (want 200)\n", total)
 }

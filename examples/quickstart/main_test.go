@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// The example must run to completion with the documented outcome; CI runs
+// this so the quickstart in the README cannot rot.
+func TestQuickstartRuns(t *testing.T) {
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,7 +9,9 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"lockinfer"
 	"lockinfer/internal/interp"
@@ -29,13 +31,13 @@ void bump(int n) {
 }
 `
 
-func main() {
+func run(w io.Writer) error {
 	c, err := lockinfer.Compile(src, lockinfer.WithK(3))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("Inferred locks:")
-	fmt.Println(c.LockReport())
+	fmt.Fprintln(w, "Inferred locks:")
+	fmt.Fprintln(w, c.LockReport())
 
 	specs := []lockinfer.ThreadSpec{
 		{Fn: "bump", Args: []lockinfer.Value{lockinfer.IntV(500)}},
@@ -47,13 +49,16 @@ func main() {
 	// exact.
 	m := c.NewMachine(lockinfer.Checked())
 	if err := m.Run(specs); err != nil {
-		log.Fatalf("unexpected: inferred locks tripped the checker: %v", err)
+		return fmt.Errorf("unexpected: inferred locks tripped the checker: %w", err)
 	}
 	v, err := m.Global("counter")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("with inferred locks: no violation, counter = %s (want 1500)\n", v)
+	fmt.Fprintf(w, "with inferred locks: no violation, counter = %s (want 1500)\n", v)
+	if v.Int != 1500 {
+		return fmt.Errorf("counter = %s, want 1500", v)
+	}
 
 	// 2. An empty plan: the checker reports the stuck state immediately.
 	empty := map[int]lockinfer.LockSet{}
@@ -61,10 +66,17 @@ func main() {
 	err = m2.Run(specs)
 	var violation *interp.Violation
 	if !errors.As(err, &violation) {
-		log.Fatalf("expected a soundness violation, got: %v", err)
+		return fmt.Errorf("expected a soundness violation, got: %v", err)
 	}
-	fmt.Printf("with locks removed:  %v\n", err)
-	fmt.Println("\nThe checker is the executable form of the paper's Theorem 1: " +
-		"acquiring the analysis' locks at each section entry keeps every " +
+	fmt.Fprintf(w, "with locks removed:  %v\n", err)
+	fmt.Fprintln(w, "\nThe checker is the executable form of the paper's Theorem 1: "+
+		"acquiring the analysis' locks at each section entry keeps every "+
 		"execution out of the stuck state.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// Both halves of the demonstration must hold: the inferred plan runs clean
+// with an exact counter, and the emptied plan trips the §4.2 checker.
+func TestSoundnessRuns(t *testing.T) {
+	if err := run(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,14 +9,15 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"lockinfer/internal/sim"
 	"lockinfer/internal/workload"
 )
 
-func main() {
-	cfg := sim.Config{Cores: 8, Threads: 8, OpsPerThread: 300, Seed: 11}
+func run(w io.Writer, cfg sim.Config) error {
 	cases := []struct {
 		name string
 		why  string
@@ -31,23 +32,30 @@ func main() {
 		{"rbtree-low", "read-heavy, low contention -> STM wins",
 			func() workload.Workload { return workload.NewRBTree("rbtree-low", workload.LowMix) }},
 	}
-	fmt.Printf("%-12s %12s %12s %10s  %s\n", "program", "mgl-locks", "tl2-stm", "aborts", "who wins")
+	fmt.Fprintf(w, "%-12s %12s %12s %10s  %s\n", "program", "mgl-locks", "tl2-stm", "aborts", "who wins")
 	for _, c := range cases {
 		lockRes, err := sim.Run(c.mk(), sim.ModeMGL, cfg)
 		if err != nil {
-			log.Fatalf("%s under locks: %v", c.name, err)
+			return fmt.Errorf("%s under locks: %w", c.name, err)
 		}
 		stmRes, err := sim.Run(c.mk(), sim.ModeSTM, cfg)
 		if err != nil {
-			log.Fatalf("%s under stm: %v", c.name, err)
+			return fmt.Errorf("%s under stm: %w", c.name, err)
 		}
 		winner := "locks"
 		if stmRes.SimTime < lockRes.SimTime {
 			winner = "stm"
 		}
-		fmt.Printf("%-12s %12d %12d %10d  %s (%s)\n",
+		fmt.Fprintf(w, "%-12s %12d %12d %10d  %s (%s)\n",
 			c.name, lockRes.SimTime, stmRes.SimTime, stmRes.Aborts, winner, c.why)
 	}
-	fmt.Println("\nTimes are deterministic simulated units on an 8-core machine model;")
-	fmt.Println("see EXPERIMENTS.md for the full Table 2 against the paper.")
+	fmt.Fprintln(w, "\nTimes are deterministic simulated units on an 8-core machine model;")
+	fmt.Fprintln(w, "see EXPERIMENTS.md for the full Table 2 against the paper.")
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout, sim.Config{Cores: 8, Threads: 8, OpsPerThread: 300, Seed: 11}); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"lockinfer/internal/sim"
+)
+
+// The simulated comparison must run all four workloads under both modes;
+// the test shrinks the op count so the smoke stays fast under -race.
+func TestStmcompareRuns(t *testing.T) {
+	cfg := sim.Config{Cores: 8, Threads: 8, OpsPerThread: 60, Seed: 11}
+	if err := run(io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

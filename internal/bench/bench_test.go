@@ -27,6 +27,9 @@ func rowsByName(t *testing.T, opt RunOptions) map[string]Table2Row {
 // TestTable2Shapes asserts the qualitative structure of Table 2: who wins
 // and loses in each row, per the paper's §6.3 analysis.
 func TestTable2Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape replication; covered by make check-long")
+	}
 	rows := rowsByName(t, small())
 	gt := func(name string, a, b sim.Time, what string) {
 		if a <= b {
@@ -97,6 +100,9 @@ func TestTable2Shapes(t *testing.T) {
 
 // TestFigure8Shapes asserts the scalability trends of Figure 8.
 func TestFigure8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape replication; covered by make check-long")
+	}
 	series, err := Figure8(small())
 	if err != nil {
 		t.Fatal(err)
@@ -140,6 +146,9 @@ func TestFigure8Shapes(t *testing.T) {
 
 // TestTable1Shape checks analysis-time trends on a scaled-down corpus.
 func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape replication; covered by make check-long")
+	}
 	rows, err := Table1(Table1Options{SPECScale: 0.2})
 	if err != nil {
 		t.Fatal(err)
@@ -168,6 +177,9 @@ func TestTable1Shape(t *testing.T) {
 
 // TestFigure7Shape checks the lock-distribution trends.
 func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-shape replication; covered by make check-long")
+	}
 	cols, err := Figure7([]int{0, 1, 3, 6, 9})
 	if err != nil {
 		t.Fatal(err)

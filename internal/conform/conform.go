@@ -1,0 +1,278 @@
+// Package conform is the cross-engine conformance harness: it executes one
+// program concurrently under every execution backend — inferred locks on
+// the sharded mgl.Manager, inferred locks on the frozen mgl.RefManager, the
+// global-lock plan, and the TL2 stm.Runtime — and checks each outcome's
+// final shared state against the set of states reachable by some
+// serialization of the program's atomic sections (Theorem 1 as an
+// executable oracle). It also mutation-tests itself: re-running a target
+// with the fault hooks (transform.DropLock, Session.PermutePlan) must make
+// the harness flag the run.
+package conform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/stm"
+	"lockinfer/internal/transform"
+)
+
+// Engine names one execution backend.
+type Engine int
+
+const (
+	// EngineMGL runs inferred locks on the sharded Manager with the §4.2
+	// coverage checker, the race detector and the deadlock monitor.
+	EngineMGL Engine = iota
+	// EngineRef runs inferred locks on the frozen pre-sharding RefManager
+	// (checker and race detector attached; the Watcher is Manager-only).
+	EngineRef
+	// EngineGlobal runs the one-global-lock plan on the sharded Manager.
+	EngineGlobal
+	// EngineSTM runs atomic sections as TL2 transactions; its only oracle
+	// is the final-state serializability check.
+	EngineSTM
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineMGL:
+		return "mgl"
+	case EngineRef:
+		return "mgl-ref"
+	case EngineGlobal:
+		return "global"
+	case EngineSTM:
+		return "stm"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// AllEngines lists every backend in canonical order.
+func AllEngines() []Engine { return []Engine{EngineMGL, EngineRef, EngineGlobal, EngineSTM} }
+
+// ParseEngines parses a comma-separated engine list ("mgl,stm"); "all" or
+// the empty string selects every backend.
+func ParseEngines(s string) ([]Engine, error) {
+	if s == "" || s == "all" {
+		return AllEngines(), nil
+	}
+	var out []Engine
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, e := range AllEngines() {
+			if e.String() == name {
+				out = append(out, e)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("conform: unknown engine %q (have mgl, mgl-ref, global, stm)", name)
+		}
+	}
+	return out, nil
+}
+
+// Options configures one conformance check.
+type Options struct {
+	// Engines selects the backends to validate (default: all four).
+	Engines []Engine
+	// Repeat is the number of free-running concurrent executions per engine
+	// (each samples a different real schedule); default 2.
+	Repeat int
+	// MaxSerializations bounds the serialization oracle's enumeration;
+	// default 96. Programs whose section interleavings exceed the bound are
+	// checked against the truncated set, with misses reported as unknown
+	// rather than violations.
+	MaxSerializations int
+	// Log, when set, receives progress and truncation notes.
+	Log func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Engines) == 0 {
+		o.Engines = AllEngines()
+	}
+	if o.Repeat <= 0 {
+		o.Repeat = 2
+	}
+	if o.MaxSerializations <= 0 {
+		o.MaxSerializations = 96
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// EngineRun is the outcome of one concurrent execution under one backend.
+type EngineRun struct {
+	Engine Engine
+	// State is the canonical final-state fingerprint (interp.StateDump).
+	State string
+	// Serializable reports that State matches some enumerated
+	// serialization; Unknown that it matched none but the enumeration was
+	// truncated, so no verdict is possible.
+	Serializable bool
+	Unknown      bool
+	// Flags are the dynamic oracle findings (checker violation, race,
+	// order violation, lock-order cycle, deadlock, runtime error).
+	Flags []string
+	// Commits/Aborts are the transaction counters (EngineSTM only).
+	Commits int64
+	Aborts  int64
+}
+
+// Flagged reports whether any dynamic oracle fired on this run.
+func (r *EngineRun) Flagged() bool { return len(r.Flags) > 0 }
+
+// Conforms reports a fully clean run: no oracle findings and a final state
+// explained by some serialization.
+func (r *EngineRun) Conforms() bool { return !r.Flagged() && (r.Serializable || r.Unknown) }
+
+// Result is the conformance verdict for one target.
+type Result struct {
+	Target string
+	// TotalSections is the largest number of atomic sections observed in a
+	// serial execution; Serializations the number of section orders
+	// enumerated; Truncated whether MaxSerializations cut the enumeration.
+	TotalSections  int
+	Serializations int
+	Truncated      bool
+	// States is the sorted set of serializable final states.
+	States []string
+	Runs   []EngineRun
+}
+
+// Err summarizes the result: nil iff every engine run conforms.
+func (r *Result) Err() error {
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		if run.Flagged() {
+			return fmt.Errorf("conform: %s [%s]: %s", r.Target, run.Engine, run.Flags[0])
+		}
+		if !run.Serializable && !run.Unknown {
+			return fmt.Errorf("conform: %s [%s]: final state %q matches none of %d serializations",
+				r.Target, run.Engine, run.State, r.Serializations)
+		}
+	}
+	return nil
+}
+
+// Check runs the full conformance protocol on one target: enumerate the
+// serialization oracle's reachable states, then execute the target
+// concurrently under each selected engine and validate every outcome.
+func Check(tg *oracle.Target, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	ser, err := serialStates(tg, opts.MaxSerializations, opts.Log)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %s: serialization oracle: %w", tg.Name, err)
+	}
+	res := &Result{
+		Target:         tg.Name,
+		TotalSections:  ser.totalSections,
+		Serializations: ser.serializations,
+		Truncated:      ser.truncated,
+	}
+	for st := range ser.states {
+		res.States = append(res.States, st)
+	}
+	sort.Strings(res.States)
+	for _, e := range opts.Engines {
+		for rep := 0; rep < opts.Repeat; rep++ {
+			run, err := runEngine(tg, e)
+			if err != nil {
+				return nil, fmt.Errorf("conform: %s [%s]: %w", tg.Name, e, err)
+			}
+			run.Serializable = ser.states[run.State]
+			if !run.Serializable && ser.truncated {
+				run.Unknown = true
+				opts.Log("conform: %s [%s]: state unmatched but oracle truncated at %d serializations; inconclusive",
+					tg.Name, e, ser.serializations)
+			}
+			res.Runs = append(res.Runs, *run)
+		}
+	}
+	return res, nil
+}
+
+// runEngine executes the target once, concurrently, under one backend, with
+// that backend's full set of dynamic oracles attached.
+func runEngine(tg *oracle.Target, e Engine) (*EngineRun, error) {
+	plan := tg.Plan
+	if e == EngineGlobal {
+		plan = transform.GlobalLockPlan(tg.Prog)
+	}
+	m := interp.NewMachine(tg.Prog, tg.Pts, plan)
+	if tg.StepLimit > 0 {
+		m.StepLimit = tg.StepLimit
+	}
+	for name, fn := range tg.Externs {
+		m.RegisterExtern(name, fn)
+	}
+	run := &EngineRun{Engine: e}
+	var det *oracle.RaceDetector
+	var watch *mgl.Watcher
+	var rt *stm.Runtime
+	switch e {
+	case EngineMGL, EngineGlobal:
+		m.Checked = true
+		det = oracle.NewRaceDetector()
+		m.Tracer = det
+		watch = mgl.NewWatcher()
+		m.Manager().SetWatcher(watch)
+		if tg.PlanMutator != nil {
+			m.Manager().PermutePlan = tg.PlanMutator
+		}
+	case EngineRef:
+		m.Checked = true
+		m.UseRuntime(mgl.NewRefManager())
+		det = oracle.NewRaceDetector()
+		m.Tracer = det
+	case EngineSTM:
+		// The race detector derives happens-before edges from lock
+		// acquisitions; under optimistic execution there are none, so it
+		// stays detached and the state check is the engine's only oracle.
+		rt = stm.New()
+		m.UseSTM(rt)
+	}
+	if err := m.Init(); err != nil {
+		return nil, fmt.Errorf("init: %w", err)
+	}
+	if tg.Setup != nil {
+		if _, err := m.Call(0, tg.Setup.Fn, tg.Setup.Args); err != nil {
+			return nil, fmt.Errorf("setup: %w", err)
+		}
+	}
+	if err := m.Run(tg.Threads); err != nil {
+		run.Flags = append(run.Flags, err.Error())
+	}
+	if det != nil {
+		for _, r := range det.Races() {
+			run.Flags = append(run.Flags, r.String())
+		}
+	}
+	if watch != nil {
+		for _, v := range watch.OrderViolations() {
+			run.Flags = append(run.Flags, v.String())
+		}
+		for _, c := range watch.LockOrderCycles() {
+			run.Flags = append(run.Flags, c.String())
+		}
+		for _, d := range watch.Deadlocks() {
+			d := d
+			run.Flags = append(run.Flags, d.Error())
+		}
+	}
+	if rt != nil {
+		run.Commits, run.Aborts = rt.Commits(), rt.Aborts()
+	}
+	run.State = m.StateDump()
+	return run, nil
+}

@@ -1,0 +1,137 @@
+package conform
+
+import (
+	"testing"
+
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/progs"
+)
+
+// Every generated program must conform on every engine: no dynamic oracle
+// findings, and every concurrent final state explained by some
+// serialization of the atomic sections.
+func TestProgenConform(t *testing.T) {
+	seeds := int64(20)
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			tg, err := oracle.FromProgen(seed, 2, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Check(tg, Options{Log: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Err(); err != nil {
+				t.Fatalf("conformance failure: %v", err)
+			}
+			if res.Serializations == 0 || len(res.States) == 0 {
+				t.Fatalf("serialization oracle enumerated nothing: %+v", res)
+			}
+		})
+	}
+}
+
+// The hand-written corpus conforms too (the programs whose worker/setup
+// structure the oracle harness models).
+func TestCorpusConform(t *testing.T) {
+	names := map[string]bool{"move": true, "hashtable": true, "list": true}
+	if testing.Short() {
+		names = map[string]bool{"move": true}
+	}
+	for _, p := range progs.All() {
+		if !names[p.Name] {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			tg, err := oracle.FromCorpus(p, 2, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Check(tg, Options{Log: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Err(); err != nil {
+				t.Fatalf("conformance failure: %v", err)
+			}
+		})
+	}
+}
+
+// Negative conformance: every effective fault injection must be flagged.
+func TestMutantsFlagged(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 4
+	}
+	total := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			tg, err := oracle.FromProgen(seed, 2, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs, err := CheckMutants(tg, Options{Log: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(runs) == 0 {
+				t.Fatalf("no effective mutants for seed %d", seed)
+			}
+			if err := MutantsErr(runs); err != nil {
+				t.Fatal(err)
+			}
+		})
+		total++
+	}
+	if total == 0 {
+		t.Fatal("no mutants exercised")
+	}
+}
+
+// The STM engine must agree with the lock engines on final state, and its
+// counters must show real transactional activity.
+func TestSTMEngineCommits(t *testing.T) {
+	tg, err := oracle.FromProgen(3, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(tg, Options{Engines: []Engine{EngineSTM}, Repeat: 1, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs[0].Commits == 0 {
+		t.Fatalf("STM run committed no transactions: %+v", res.Runs[0])
+	}
+}
+
+func TestParseEngines(t *testing.T) {
+	all, err := ParseEngines("all")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ParseEngines(all) = %v, %v", all, err)
+	}
+	two, err := ParseEngines("mgl, stm")
+	if err != nil || len(two) != 2 || two[0] != EngineMGL || two[1] != EngineSTM {
+		t.Fatalf("ParseEngines(mgl, stm) = %v, %v", two, err)
+	}
+	if _, err := ParseEngines("bogus"); err == nil {
+		t.Fatal("ParseEngines(bogus) succeeded")
+	}
+}
+
+func seedName(seed int64) string {
+	return "seed" + string(rune('0'+seed/10)) + string(rune('0'+seed%10))
+}

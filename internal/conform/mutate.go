@@ -1,0 +1,103 @@
+package conform
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/oracle"
+)
+
+// Negative conformance: the harness itself is mutation-tested. Each target
+// is re-run with a fault injected through the existing hooks — every
+// inferred lock dropped from the plan (transform.DropLock), and every
+// session's acquisition plan reversed (Session.PermutePlan) — and the
+// harness must flag the run. A checker that cannot see planted
+// non-serializability proves nothing about the absence of real bugs.
+
+// MutantRun is the outcome of one fault-injected execution.
+type MutantRun struct {
+	Target string
+	// Kind is the fault: "drop-all-locks" or "permute-plan".
+	Kind string
+	// Flagged reports that the harness detected the fault; Flags carries
+	// the findings.
+	Flagged bool
+	Flags   []string
+}
+
+// reversePlan is the canonical plan mutation: acquire in the opposite of
+// the canonical global order.
+func reversePlan(_ int64, steps []mgl.PlanStep) []mgl.PlanStep {
+	out := make([]mgl.PlanStep, len(steps))
+	for i, st := range steps {
+		out[len(steps)-1-i] = st
+	}
+	return out
+}
+
+// CheckMutants runs the negative-conformance protocol on one target: the
+// drop-all-locks mutant (every section plan emptied — the first shared
+// access inside a section trips the §4.2 checker, and any interleaving
+// that actually interferes also races) and the permute-plan mutant (the
+// Watcher's canonical-order assertion fires on every out-of-order grant).
+// Both run under EngineMGL, where the full dynamic oracle stack is
+// attached. An unflagged mutant is a harness bug, reported by Err.
+func CheckMutants(tg *oracle.Target, opts Options) ([]MutantRun, error) {
+	opts = opts.withDefaults()
+	var out []MutantRun
+
+	dropped, ndropped := tg.DropLock("")
+	if ndropped > 0 {
+		run, err := runEngine(dropped, EngineMGL)
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: drop-all mutant: %w", tg.Name, err)
+		}
+		out = append(out, MutantRun{
+			Target:  dropped.Name,
+			Kind:    "drop-all-locks",
+			Flagged: run.Flagged(),
+			Flags:   run.Flags,
+		})
+	} else {
+		opts.Log("conform: %s: no locks inferred; drop-all mutant skipped", tg.Name)
+	}
+
+	// Reversing a plan of fewer than two steps is the identity; only count
+	// the mutant when some session actually acquired out of order.
+	var effective atomic.Bool
+	permuted := *tg
+	permuted.Name = tg.Name + "/permute"
+	permuted.PlanMutator = func(sid int64, steps []mgl.PlanStep) []mgl.PlanStep {
+		if len(steps) > 1 {
+			effective.Store(true)
+		}
+		return reversePlan(sid, steps)
+	}
+	run, err := runEngine(&permuted, EngineMGL)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %s: permute mutant: %w", tg.Name, err)
+	}
+	if effective.Load() {
+		out = append(out, MutantRun{
+			Target:  permuted.Name,
+			Kind:    "permute-plan",
+			Flagged: run.Flagged(),
+			Flags:   run.Flags,
+		})
+	} else {
+		opts.Log("conform: %s: no multi-step plan acquired; permute mutant skipped", tg.Name)
+	}
+	return out, nil
+}
+
+// MutantsErr folds mutant runs into a verdict: nil iff every mutant was
+// flagged.
+func MutantsErr(runs []MutantRun) error {
+	for _, r := range runs {
+		if !r.Flagged {
+			return fmt.Errorf("conform: mutant %s (%s) was NOT flagged — the harness missed an injected fault", r.Target, r.Kind)
+		}
+	}
+	return nil
+}

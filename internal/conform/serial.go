@@ -1,0 +1,195 @@
+package conform
+
+import (
+	"fmt"
+	"sort"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/transform"
+)
+
+// The serialization oracle enumerates the final shared states reachable by
+// executing the target's atomic sections in some serial order. Threads run
+// one at a time under a token controller that makes a scheduling decision
+// only when a thread is about to enter an atomic section; everything
+// between sections is thread-local (the race-checked engines certify this:
+// a shared access outside a section that could conflict would be reported
+// as a race), so the decision sequence — which thread commits its next
+// section — is exactly a serialization of the sections. Depth-first search
+// over the decision tree enumerates every section order, exhaustively for
+// small programs and up to maxSer orders (with an explicit truncation log)
+// beyond that.
+
+// serialInfo is the enumeration's outcome: the set of canonical final
+// states and the shape of the search.
+type serialInfo struct {
+	states         map[string]bool
+	serializations int
+	totalSections  int
+	truncated      bool
+}
+
+// serialDecision is one choice point: the threads parked at a section
+// entry, and the one elected to run its section.
+type serialDecision struct {
+	chosen     int
+	candidates []int
+}
+
+// serialStates enumerates section serializations of the target by DFS over
+// decision prefixes (the same prefix-pinning scheme as the oracle's
+// schedule explorer, at section granularity).
+func serialStates(tg *oracle.Target, maxSer int, logf func(string, ...any)) (*serialInfo, error) {
+	info := &serialInfo{states: map[string]bool{}}
+	stack := [][]int{nil}
+	for len(stack) > 0 {
+		if info.serializations >= maxSer {
+			info.truncated = true
+			break
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		decisions, dump, err := runSerial(tg, prefix)
+		if err != nil {
+			return nil, err
+		}
+		info.serializations++
+		info.states[dump] = true
+		if len(decisions) > info.totalSections {
+			info.totalSections = len(decisions)
+		}
+		chosen := make([]int, len(decisions))
+		for i, d := range decisions {
+			chosen[i] = d.chosen
+		}
+		for i := len(prefix); i < len(decisions); i++ {
+			for _, t := range decisions[i].candidates {
+				if t == decisions[i].chosen {
+					continue
+				}
+				np := make([]int, i+1)
+				copy(np, chosen[:i])
+				np[i] = t
+				stack = append(stack, np)
+			}
+		}
+	}
+	if info.truncated {
+		logf("conform: %s: serialization enumeration truncated at %d orders (%d sections total); state checks beyond the set are inconclusive",
+			tg.Name, info.serializations, info.totalSections)
+	}
+	return info, nil
+}
+
+// serialEvent is a thread's report to the serial controller.
+type serialEvent struct {
+	tid   int
+	point interp.YieldPoint
+	done  bool
+	err   error
+}
+
+// serialCtl parks every thread at every yield point; the driver decides
+// which thread advances.
+type serialCtl struct {
+	events chan serialEvent
+	resume []chan struct{}
+}
+
+func (c *serialCtl) Yield(tid int, p interp.YieldPoint) {
+	c.events <- serialEvent{tid: tid, point: p}
+	<-c.resume[tid]
+}
+
+// runSerial executes one serialization: prefix pins the first section-order
+// choices, later decisions default to the lowest parked thread. It returns
+// the decision trace and the canonical final state. The serial executions
+// run the mutation-immune global-lock plan — the oracle defines correct
+// outcomes and must not inherit a fault-injected or even merely
+// inference-derived plan.
+func runSerial(tg *oracle.Target, prefix []int) ([]serialDecision, string, error) {
+	m := interp.NewMachine(tg.Prog, tg.Pts, transform.GlobalLockPlan(tg.Prog))
+	if tg.StepLimit > 0 {
+		m.StepLimit = tg.StepLimit
+	}
+	for name, fn := range tg.Externs {
+		m.RegisterExtern(name, fn)
+	}
+	if err := m.Init(); err != nil {
+		return nil, "", fmt.Errorf("init: %w", err)
+	}
+	if tg.Setup != nil {
+		if _, err := m.Call(0, tg.Setup.Fn, tg.Setup.Args); err != nil {
+			return nil, "", fmt.Errorf("setup: %w", err)
+		}
+	}
+
+	n := len(tg.Threads)
+	ctl := &serialCtl{events: make(chan serialEvent), resume: make([]chan struct{}, n+1)}
+	for tid := 1; tid <= n; tid++ {
+		ctl.resume[tid] = make(chan struct{})
+	}
+	m.Sched = ctl
+	for i, spec := range tg.Threads {
+		tid := i + 1
+		go func(tid int, spec interp.ThreadSpec) {
+			defer func() {
+				if r := recover(); r != nil {
+					ctl.events <- serialEvent{tid: tid, done: true,
+						err: fmt.Errorf("thread %d panic: %v", tid, r)}
+				}
+			}()
+			<-ctl.resume[tid]
+			_, err := m.Call(tid, spec.Fn, spec.Args)
+			ctl.events <- serialEvent{tid: tid, done: true, err: err}
+		}(tid, spec)
+	}
+
+	// advance runs tid — currently parked in Yield or at its start gate —
+	// until it parks at its next section entry (recorded in parked) or
+	// finishes. Only tid runs in the meantime, so the next event is its.
+	parked := map[int]bool{}
+	var firstErr error
+	advance := func(tid int) {
+		for {
+			ctl.resume[tid] <- struct{}{}
+			ev := <-ctl.events
+			if ev.done {
+				if ev.err != nil && firstErr == nil {
+					firstErr = ev.err
+				}
+				return
+			}
+			if ev.point == interp.YieldAtomicEnter {
+				parked[tid] = true
+				return
+			}
+		}
+	}
+
+	// Warm-up: run each thread to its first section entry, in thread
+	// order. Pre-section code is thread-local, so this is decision-free.
+	for tid := 1; tid <= n; tid++ {
+		advance(tid)
+	}
+	var decisions []serialDecision
+	for len(parked) > 0 {
+		cands := make([]int, 0, len(parked))
+		for tid := range parked {
+			cands = append(cands, tid)
+		}
+		sort.Ints(cands)
+		pick := cands[0]
+		if di := len(decisions); di < len(prefix) && parked[prefix[di]] {
+			pick = prefix[di]
+		}
+		decisions = append(decisions, serialDecision{chosen: pick, candidates: cands})
+		delete(parked, pick)
+		advance(pick)
+	}
+	if firstErr != nil {
+		return nil, "", fmt.Errorf("serial execution: %w", firstErr)
+	}
+	return decisions, m.StateDump(), nil
+}

@@ -10,6 +10,7 @@ import (
 	"lockinfer/internal/locks"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/steens"
+	"lockinfer/internal/stm"
 )
 
 // Violation is a detected soundness failure: a shared access inside an
@@ -64,7 +65,15 @@ type Machine struct {
 	// thread — is never scheduled.
 	Sched Scheduler
 
-	mgr     *mgl.Manager
+	// rt is the lock runtime backing atomic sections: the sharded Manager
+	// by default, or any other LockRuntime installed with UseRuntime.
+	rt mgl.LockRuntime
+	// stmRT, when set, switches the machine to the optimistic engine:
+	// atomic sections run as TL2 transactions instead of acquiring locks.
+	stmRT *stm.Runtime
+	// stmCells maps shared slots to their versioned cells (STM mode only).
+	stmCells sync.Map
+
 	globals *Object
 	externs map[string]ExternFunc
 	initOnc sync.Once
@@ -83,7 +92,7 @@ func NewMachine(prog *ir.Program, pts *steens.Analysis, sectionLocks map[int]loc
 		Prog:         prog,
 		Pts:          pts,
 		SectionLocks: sectionLocks,
-		mgr:          mgl.NewManager(),
+		rt:           mgl.NewManager(),
 	}
 	m.globals = newObject(objGlobals, -1, len(prog.Globals))
 	m.externs = map[string]ExternFunc{}
@@ -99,6 +108,18 @@ func NewMachine(prog *ir.Program, pts *steens.Analysis, sectionLocks map[int]loc
 // declared as a prototype in the program.
 func (m *Machine) RegisterExtern(name string, fn ExternFunc) { m.externs[name] = fn }
 
+// UseRuntime replaces the lock runtime backing atomic sections (e.g. the
+// frozen RefManager baseline for differential execution). It must be called
+// before Init, Call or Run.
+func (m *Machine) UseRuntime(rt mgl.LockRuntime) { m.rt = rt }
+
+// UseSTM switches the machine to the optimistic engine: every atomic
+// section executes as a TL2 transaction on rt, with shared slots backed by
+// versioned cells, instead of acquiring its inferred locks. It must be
+// called before Init, Call or Run. The §4.2 coverage checker and the lock
+// plan are inert under STM execution.
+func (m *Machine) UseSTM(rt *stm.Runtime) { m.stmRT = rt }
+
 // heldLock is one acquired descriptor, kept for coverage checking.
 type heldLock struct {
 	global bool
@@ -112,13 +133,20 @@ type heldLock struct {
 type thread struct {
 	m       *Machine
 	id      int
-	session *mgl.Session
+	session mgl.LockSession
 	held    []heldLock
 	steps   int64
 	limit   int64
 	// epoch counts outermost atomic sections entered, marking objects the
 	// thread allocates inside the current section.
 	epoch int64
+
+	// STM-engine state: the running transaction attempt, the section
+	// nesting depth (flattened: inner sections join the outer transaction),
+	// and the undo log of direct frame stores made inside the attempt.
+	tx       *stm.Tx
+	stmDepth int
+	txUndo   []undoCell
 }
 
 // ThreadSpec names an entry function and its arguments for one thread.
@@ -158,7 +186,7 @@ func (m *Machine) newThread(id int) *thread {
 	if limit <= 0 {
 		limit = 50_000_000
 	}
-	return &thread{m: m, id: id, session: m.mgr.NewSession(), limit: limit}
+	return &thread{m: m, id: id, session: m.rt.NewLockSession(), limit: limit}
 }
 
 // Run initializes globals and executes the thread specs concurrently,
@@ -177,6 +205,22 @@ func (m *Machine) Run(specs []ThreadSpec) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A runtime abort that unwinds as a panic — the deadlock
+			// monitor's *DeadlockError from AcquireAll, which releases the
+			// session's locks before panicking — is reported as this
+			// thread's error instead of crashing the process.
+			defer func() {
+				if r := recover(); r != nil {
+					err, ok := r.(error)
+					if !ok {
+						err = fmt.Errorf("interp: thread %d panic: %v", i+1, r)
+					}
+					firstErr.CompareAndSwap(nil, &errBox{err})
+					if m.Tracer != nil {
+						m.Tracer.ThreadEnd(i + 1)
+					}
+				}
+			}()
 			if _, err := m.Call(i+1, spec.Fn, spec.Args); err != nil {
 				firstErr.CompareAndSwap(nil, &errBox{err})
 			}
@@ -200,11 +244,16 @@ func (m *Machine) Global(name string) (Value, error) {
 	if g == nil {
 		return Null(), fmt.Errorf("interp: no global %q", name)
 	}
-	return m.globals.load(g.Index), nil
+	return m.cellValue(m.globals, g.Index), nil
 }
 
-// Manager exposes the machine's lock manager (for stats).
-func (m *Machine) Manager() *mgl.Manager { return m.mgr }
+// Manager exposes the machine's lock manager when it is backed by the
+// default sharded runtime (for stats and the Watcher); nil when another
+// runtime was installed with UseRuntime.
+func (m *Machine) Manager() *mgl.Manager {
+	mgr, _ := m.rt.(*mgl.Manager)
+	return mgr
+}
 
 // cellOf returns the object and offset of a variable's cell.
 func (m *Machine) cellOf(frame *Object, v *ir.Var) (*Object, int) {
@@ -252,9 +301,11 @@ func (t *thread) covered(obj *Object, off int, write bool) bool {
 }
 
 // checkAccess enforces the §4.2 semantics: inside an atomic section, every
-// shared access must be covered.
+// shared access must be covered. The check applies to the lock engines
+// only: under STM execution sections are isolated by the transaction
+// protocol, not by lock coverage.
 func (t *thread) checkAccess(f *ir.Func, s *ir.Stmt, obj *Object, off int, write bool, what string) error {
-	if !t.m.Checked || t.session.Nesting() == 0 {
+	if !t.m.Checked || t.m.stmRT != nil || t.session.Nesting() == 0 {
 		return nil
 	}
 	if obj.allocThread == t.id && obj.allocEpoch == t.epoch {
@@ -287,7 +338,7 @@ func (t *thread) readVar(f *ir.Func, s *ir.Stmt, frame *Object, v *ir.Var) (Valu
 		}
 		t.traceAccess(f, s, obj, off, false, v.Name)
 	}
-	return obj.load(off), nil
+	return t.loadCell(obj, off), nil
 }
 
 // writeVar writes a variable cell, checking shared-variable coverage.
@@ -299,7 +350,7 @@ func (t *thread) writeVar(f *ir.Func, s *ir.Stmt, frame *Object, v *ir.Var, val 
 		}
 		t.traceAccess(f, s, obj, off, true, v.Name)
 	}
-	obj.store(off, val)
+	t.storeCell(obj, off, val)
 	return nil
 }
 
@@ -320,14 +371,24 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 	for i, p := range f.Params {
 		frame.store(p.Index, args[i])
 	}
-	pc := 0
+	v, _, _, err := m.exec(t, f, frame, 0, false)
+	return v, err
+}
+
+// exec interprets f's statements from pc on thread t. It returns the
+// function's value when an OpExit is reached (returned true). When sub is
+// true it additionally stops at the OpAtomicEnd that brings the thread's
+// STM section depth back to zero and reports the statement index to
+// continue from — the bound of one transactional attempt of an atomic
+// section (see stmSection).
+func (m *Machine) exec(t *thread, f *ir.Func, frame *Object, pc int, sub bool) (Value, bool, int, error) {
 	for {
 		if t.steps++; t.steps > t.limit {
-			return Null(), fmt.Errorf("interp: thread %d exceeded step limit", t.id)
+			return Null(), false, -1, fmt.Errorf("interp: thread %d exceeded step limit", t.id)
 		}
 		// Periodic scheduling point, taken only outside atomic sections so
-		// a descheduled thread never holds locks.
-		if t.m.Sched != nil && t.steps&63 == 0 && t.session.Nesting() == 0 {
+		// a descheduled thread never holds locks or an open transaction.
+		if t.m.Sched != nil && t.steps&63 == 0 && t.session.Nesting() == 0 && t.stmDepth == 0 {
 			t.yield(YieldStep)
 		}
 		s := f.Stmts[pc]
@@ -338,15 +399,15 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 		switch s.Op {
 		case ir.OpExit:
 			if f.RetVar != nil {
-				return frame.load(f.RetVar.Index), nil
+				return frame.load(f.RetVar.Index), true, -1, nil
 			}
-			return Null(), nil
+			return Null(), true, -1, nil
 		case ir.OpGoto:
 			// next already set
 		case ir.OpBranch:
 			v, err := t.readVar(f, s, frame, s.Src)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			if !v.Truthy() {
 				next = s.Succs[1]
@@ -356,83 +417,83 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 		case ir.OpCopy:
 			v, err := t.readVar(f, s, frame, s.Src)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			if err := t.writeVar(f, s, frame, s.Dst, v); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 		case ir.OpConst:
 			if err := t.writeVar(f, s, frame, s.Dst, IntV(s.Const)); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 		case ir.OpNull:
 			if err := t.writeVar(f, s, frame, s.Dst, Null()); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 		case ir.OpAddrOf:
 			obj, off := m.cellOf(frame, s.Src)
 			if err := t.writeVar(f, s, frame, s.Dst, LocV(obj, off)); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 		case ir.OpLoad:
 			addr, err := t.readVar(f, s, frame, s.Src)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			if addr.Kind != VLoc {
-				return Null(), t.rerr(f, s, "dereference of %s", addr)
+				return Null(), false, -1, t.rerr(f, s, "dereference of %s", addr)
 			}
 			if err := t.checkAccess(f, s, addr.Obj, addr.Off, false, "*"+s.Src.Name); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			t.traceAccess(f, s, addr.Obj, addr.Off, false, "*"+s.Src.Name)
-			if err := t.writeVar(f, s, frame, s.Dst, addr.Obj.load(addr.Off)); err != nil {
-				return Null(), err
+			if err := t.writeVar(f, s, frame, s.Dst, t.loadCell(addr.Obj, addr.Off)); err != nil {
+				return Null(), false, -1, err
 			}
 		case ir.OpStore:
 			addr, err := t.readVar(f, s, frame, s.Dst)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			val, err := t.readVar(f, s, frame, s.Src)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			if addr.Kind != VLoc {
-				return Null(), t.rerr(f, s, "store through %s", addr)
+				return Null(), false, -1, t.rerr(f, s, "store through %s", addr)
 			}
 			if err := t.checkAccess(f, s, addr.Obj, addr.Off, true, "*"+s.Dst.Name); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			t.traceAccess(f, s, addr.Obj, addr.Off, true, "*"+s.Dst.Name)
-			addr.Obj.store(addr.Off, val)
+			t.storeCell(addr.Obj, addr.Off, val)
 		case ir.OpField:
 			base, err := t.readVar(f, s, frame, s.Src)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			loc, rerr := fieldLoc(t, f, s, base, s.Field)
 			if rerr != nil {
-				return Null(), rerr
+				return Null(), false, -1, rerr
 			}
 			if err := t.writeVar(f, s, frame, s.Dst, loc); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 		case ir.OpIndex:
 			base, err := t.readVar(f, s, frame, s.Src)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			idx, err := t.readVar(f, s, frame, s.Src2)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			loc, rerr := indexLoc(t, f, s, base, idx)
 			if rerr != nil {
-				return Null(), rerr
+				return Null(), false, -1, rerr
 			}
 			if err := t.writeVar(f, s, frame, s.Dst, loc); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 		case ir.OpNew:
 			n := 1
@@ -440,10 +501,10 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 			if s.Src2 != nil {
 				lv, err := t.readVar(f, s, frame, s.Src2)
 				if err != nil {
-					return Null(), err
+					return Null(), false, -1, err
 				}
 				if lv.Kind != VInt || lv.Int < 0 {
-					return Null(), t.rerr(f, s, "bad array length %s", lv)
+					return Null(), false, -1, t.rerr(f, s, "bad array length %s", lv)
 				}
 				n = int(lv.Int)
 			} else if s.NewType.Ptr == 0 && s.NewType.Base != "int" {
@@ -468,69 +529,84 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 			// the coverage check for the rest of this section: they are
 			// unreachable by other threads until published through a
 			// protected cell (the paper's Lemma 2 reachability proviso).
-			if t.session.Nesting() > 0 {
+			if t.session.Nesting() > 0 || t.stmDepth > 0 {
 				obj.allocThread = t.id
 				obj.allocEpoch = t.epoch
 			}
 			if err := t.writeVar(f, s, frame, s.Dst, LocV(obj, 0)); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 		case ir.OpArith:
 			l, err := t.readVar(f, s, frame, s.Src)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			r, err := t.readVar(f, s, frame, s.Src2)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			v, rerr := arith(t, f, s, l, r)
 			if rerr != nil {
-				return Null(), rerr
+				return Null(), false, -1, rerr
 			}
 			if err := t.writeVar(f, s, frame, s.Dst, v); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 		case ir.OpUnary:
 			x, err := t.readVar(f, s, frame, s.Src)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			var v Value
 			if s.Unop == lang.UNot {
 				v = boolV(!x.Truthy())
 			} else {
 				if x.Kind != VInt {
-					return Null(), t.rerr(f, s, "negation of %s", x)
+					return Null(), false, -1, t.rerr(f, s, "negation of %s", x)
 				}
 				v = IntV(-x.Int)
 			}
 			if err := t.writeVar(f, s, frame, s.Dst, v); err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 		case ir.OpCall:
 			callee := m.Prog.Func(s.Callee)
 			if callee == nil {
-				return Null(), t.rerr(f, s, "unknown function %q", s.Callee)
+				return Null(), false, -1, t.rerr(f, s, "unknown function %q", s.Callee)
 			}
 			var args []Value
 			for _, a := range s.Args {
 				v, err := t.readVar(f, s, frame, a)
 				if err != nil {
-					return Null(), err
+					return Null(), false, -1, err
 				}
 				args = append(args, v)
 			}
 			ret, err := m.call(t, callee, args)
 			if err != nil {
-				return Null(), err
+				return Null(), false, -1, err
 			}
 			if s.Dst != nil {
 				if err := t.writeVar(f, s, frame, s.Dst, ret); err != nil {
-					return Null(), err
+					return Null(), false, -1, err
 				}
 			}
 		case ir.OpAtomicBegin:
+			if m.stmRT != nil {
+				if t.stmDepth > 0 {
+					t.stmDepth++ // flattened nesting: join the outer transaction
+				} else {
+					ret, returned, cont, serr := t.stmSection(f, frame, pc)
+					if serr != nil {
+						return Null(), false, -1, serr
+					}
+					if returned {
+						return ret, true, -1, nil
+					}
+					next = cont
+				}
+				break
+			}
 			outer := t.session.Nesting() == 0
 			if outer {
 				t.yield(YieldAtomicEnter)
@@ -540,6 +616,15 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 				t.m.Tracer.SectionEnter(t.id, s.Section, t.session.HeldSteps())
 			}
 		case ir.OpAtomicEnd:
+			if m.stmRT != nil {
+				t.stmDepth--
+				if t.stmDepth == 0 && sub {
+					// One transactional attempt of the outermost section is
+					// complete; hand control back to stmSection for commit.
+					return Null(), false, next, nil
+				}
+				break
+			}
 			if t.session.Nesting() == 1 && t.m.Tracer != nil {
 				t.m.Tracer.SectionExit(t.id, s.Section, t.session.HeldSteps())
 			}
@@ -549,7 +634,7 @@ func (m *Machine) call(t *thread, f *ir.Func, args []Value) (Value, error) {
 				t.yield(YieldAtomicExit)
 			}
 		default:
-			return Null(), t.rerr(f, s, "unhandled op %s", s.Op)
+			return Null(), false, -1, t.rerr(f, s, "unhandled op %s", s.Op)
 		}
 		pc = next
 	}

@@ -1,0 +1,57 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StateDump renders the machine's shared state as a canonical fingerprint:
+// every global in declaration order, then every reachable heap object in
+// first-visit order, with pointers printed as visit ids instead of
+// addresses. Two quiescent machines that executed the same program to
+// equivalent shared states — regardless of engine, schedule or allocation
+// addresses — produce equal dumps, which is what the conformance harness
+// compares against the serialization oracle's states. The machine must be
+// quiescent (no running threads).
+func (m *Machine) StateDump() string {
+	var b strings.Builder
+	ids := map[*Object]int{}
+	var queue []*Object
+	render := func(v Value) string {
+		switch v.Kind {
+		case VNull:
+			return "_"
+		case VInt:
+			return fmt.Sprintf("%d", v.Int)
+		default:
+			id, ok := ids[v.Obj]
+			if !ok {
+				id = len(ids) + 1
+				ids[v.Obj] = id
+				queue = append(queue, v.Obj)
+			}
+			if v.Off != 0 {
+				return fmt.Sprintf("o%d+%d", id, v.Off)
+			}
+			return fmt.Sprintf("o%d", id)
+		}
+	}
+	for i, g := range m.Prog.Globals {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", g.Name, render(m.cellValue(m.globals, g.Index)))
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		obj := queue[qi]
+		fmt.Fprintf(&b, " | o%d:[", ids[obj])
+		for off := 0; off < obj.Len(); off++ {
+			if off > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(render(m.cellValue(obj, off)))
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}

@@ -1,0 +1,138 @@
+package interp
+
+import (
+	"lockinfer/internal/ir"
+	"lockinfer/internal/mem"
+	"lockinfer/internal/stm"
+)
+
+// STM execution mode. When a machine runs on a TL2 runtime (UseSTM), every
+// shared slot — globals and heap cells — is backed by a versioned mem.Cell,
+// and atomic sections execute as transactions: reads and writes inside a
+// section go through the transaction's read/write sets, the commit
+// validates the read set against the global version clock, and conflicting
+// sections retry. Frame slots stay direct (they are thread-private), but
+// direct frame stores made inside an attempt are undo-logged so a retried
+// attempt re-executes from the same local state.
+
+// cellKey identifies one shared slot in the machine's cell table.
+type cellKey struct {
+	obj *Object
+	off int
+}
+
+// cellFor returns the versioned cell backing a shared slot, creating it on
+// first access seeded with the slot's direct value. Seeding is safe under
+// concurrency: a global or heap slot's direct value is only written before
+// the object is reachable by other threads (lowering-time init and OpNew
+// zero-fill), so racing creators observe the same seed.
+func (m *Machine) cellFor(obj *Object, off int) *mem.Cell {
+	k := cellKey{obj, off}
+	if c, ok := m.stmCells.Load(k); ok {
+		return c.(*mem.Cell)
+	}
+	c, _ := m.stmCells.LoadOrStore(k, mem.NewCell(obj.load(off)))
+	return c.(*mem.Cell)
+}
+
+// cellValue reads a slot for inspection (Global, StateDump): through the
+// cell table when the machine runs the optimistic engine and the slot has
+// one, directly otherwise.
+func (m *Machine) cellValue(obj *Object, off int) Value {
+	if m.stmRT != nil && obj.kind != objFrame {
+		if c, ok := m.stmCells.Load(cellKey{obj, off}); ok {
+			return c.(*mem.Cell).Load().(Value)
+		}
+	}
+	return obj.load(off)
+}
+
+// loadCell reads one slot on behalf of t, routing shared slots through the
+// STM machinery when the optimistic engine is active.
+func (t *thread) loadCell(obj *Object, off int) Value {
+	if t.m.stmRT == nil || obj.kind == objFrame {
+		return obj.load(off)
+	}
+	c := t.m.cellFor(obj, off)
+	if t.tx != nil {
+		return t.tx.Load(c).(Value)
+	}
+	return c.Load().(Value)
+}
+
+// storeCell writes one slot on behalf of t, routing shared slots through
+// the STM machinery when the optimistic engine is active and undo-logging
+// direct frame stores made inside a transactional attempt.
+func (t *thread) storeCell(obj *Object, off int, v Value) {
+	if t.m.stmRT == nil {
+		obj.store(off, v)
+		return
+	}
+	if obj.kind == objFrame {
+		if t.stmDepth > 0 {
+			t.txUndo = append(t.txUndo, undoCell{obj, off, obj.load(off)})
+		}
+		obj.store(off, v)
+		return
+	}
+	c := t.m.cellFor(obj, off)
+	if t.tx != nil {
+		t.tx.Store(c, v)
+		return
+	}
+	c.Store(v)
+}
+
+// undoCell is one direct frame store performed inside a transactional
+// attempt; it is rolled back before the attempt is retried.
+type undoCell struct {
+	obj *Object
+	off int
+	old Value
+}
+
+func (t *thread) rollbackUndo() {
+	for i := len(t.txUndo) - 1; i >= 0; i-- {
+		u := t.txUndo[i]
+		u.obj.store(u.off, u.old)
+	}
+	t.txUndo = t.txUndo[:0]
+}
+
+// stmBail unwinds a transactional attempt that failed with an interpreter
+// error: the attempt must not commit, and the runtime's retry loop must not
+// re-execute it. stm's attempt recovery re-panics anything that is not its
+// own abort signal, so the bail travels straight back to stmSection.
+type stmBail struct{}
+
+// stmSection executes one outermost atomic section as a TL2 transaction:
+// the statements from the section's entry to its matching OpAtomicEnd run
+// inside rt.Atomic, with shared accesses going through the transaction
+// (loadCell/storeCell) and frame effects undone between attempts. It
+// mirrors exec's contract: either the section returned out of the function
+// (ret, true), or execution continues at contPC after the section's end.
+func (t *thread) stmSection(f *ir.Func, frame *Object, beginPC int) (ret Value, returned bool, contPC int, err error) {
+	t.epoch++
+	start := f.Stmts[beginPC].Succs[0]
+	defer func() {
+		t.stmDepth = 0
+		t.tx = nil
+		t.txUndo = t.txUndo[:0]
+		if r := recover(); r != nil {
+			if _, bail := r.(stmBail); !bail {
+				panic(r)
+			}
+		}
+	}()
+	t.m.stmRT.Atomic(func(tx *stm.Tx) {
+		t.rollbackUndo()
+		t.tx = tx
+		t.stmDepth = 1
+		ret, returned, contPC, err = t.m.exec(t, f, frame, start, true)
+		t.tx = nil
+		if err != nil {
+			panic(stmBail{})
+		}
+	})
+	return ret, returned, contPC, nil
+}

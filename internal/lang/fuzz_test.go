@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lockinfer/internal/progen"
 )
 
 // fuzzSeeds collects the mini-C corpus as the fuzzing seed set: every
@@ -40,6 +42,14 @@ func fuzzSeeds(f *testing.F) {
 			}
 		}
 	}
+	// Generated programs: the conformance harness's concurrent workloads
+	// and a small SPEC-style program, so parser fuzzing starts from the
+	// exact syntax the generators emit (nested sections, pointer-chain
+	// descriptors, struct-heavy bodies).
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed}))
+	}
+	f.Add(progen.Generate(progen.Spec{Name: "fuzzseed", KLoC: 0.5, Seed: 42}))
 	// A few handwritten seeds covering the syntax the corpus exercises
 	// lightly: atomic blocks, struct declarations, pointer chains.
 	f.Add("int g; void f() { atomic { g = g + 1; } }")

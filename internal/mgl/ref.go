@@ -17,6 +17,7 @@ type LockSession interface {
 	AcquireAll()
 	ReleaseAll()
 	HeldSteps() []PlanStep
+	Nesting() int
 }
 
 // LockRuntime is a lock-tree runtime: the sharded Manager or the retained
@@ -212,6 +213,9 @@ func (s *RefSession) ReleaseAll() {
 func (s *RefSession) HeldSteps() []PlanStep {
 	return append([]PlanStep(nil), s.steps...)
 }
+
+// Nesting returns the current atomic nesting level.
+func (s *RefSession) Nesting() int { return s.nlevel }
 
 // refNode is the pre-sharding node: a mode lock with a strict-FIFO wait
 // queue parking each waiter on its own channel.

@@ -1,0 +1,174 @@
+package stm_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lockinfer/internal/conform"
+	"lockinfer/internal/mem"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/stm"
+)
+
+// Table-driven conflict-window tests: each scenario stresses one part of
+// the TL2 protocol (read validation at commit, write-skew prevention,
+// abort accounting) across goroutine counts. These run the raw runtime;
+// TestConformWorkloadsUnderSTM drives the same engine through the
+// conformance harness's generated workloads.
+
+var goroutineCounts = []int{2, 4, 8}
+
+// Commit-time read validation: concurrent increments on one cell must
+// never lose an update, and the attempt ledger must balance exactly —
+// every attempt either commits or aborts.
+func TestConflictWindowCounter(t *testing.T) {
+	const opsPer = 200
+	for _, gs := range goroutineCounts {
+		gs := gs
+		t.Run(fmt.Sprintf("goroutines=%d", gs), func(t *testing.T) {
+			t.Parallel()
+			rt := stm.New()
+			c := mem.NewCell(0)
+			var attempts atomic.Int64
+			var wg sync.WaitGroup
+			for g := 0; g < gs; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < opsPer; i++ {
+						rt.Atomic(func(tx *stm.Tx) {
+							attempts.Add(1)
+							tx.Store(c, tx.Load(c).(int)+1)
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			if got := c.Load().(int); got != gs*opsPer {
+				t.Fatalf("lost updates: counter = %d, want %d", got, gs*opsPer)
+			}
+			if rt.Commits() != int64(gs*opsPer) {
+				t.Fatalf("commits = %d, want %d", rt.Commits(), gs*opsPer)
+			}
+			if attempts.Load() != rt.Commits()+rt.Aborts() {
+				t.Fatalf("attempt ledger does not balance: %d attempts, %d commits + %d aborts",
+					attempts.Load(), rt.Commits(), rt.Aborts())
+			}
+		})
+	}
+}
+
+// Conditional transfers: each transaction reads a guard and moves one unit
+// while stock remains. Serializability means exactly the initial stock is
+// moved — a transaction acting on a stale read of the guard would move too
+// much or too little.
+func TestConflictWindowGuardedTransfer(t *testing.T) {
+	const stock = 16
+	for _, gs := range goroutineCounts {
+		gs := gs
+		t.Run(fmt.Sprintf("goroutines=%d", gs), func(t *testing.T) {
+			t.Parallel()
+			rt := stm.New()
+			src := mem.NewCell(stock)
+			dst := mem.NewCell(0)
+			var wg sync.WaitGroup
+			for g := 0; g < gs; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < stock; i++ { // enough attempts to drain regardless of split
+						rt.Atomic(func(tx *stm.Tx) {
+							have := tx.Load(src).(int)
+							if have > 0 {
+								tx.Store(src, have-1)
+								tx.Store(dst, tx.Load(dst).(int)+1)
+							}
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			s, d := src.Load().(int), dst.Load().(int)
+			if s != 0 || d != stock {
+				t.Fatalf("guarded transfer broke serializability: src=%d dst=%d, want 0/%d", s, d, stock)
+			}
+		})
+	}
+}
+
+// Write-skew: every transaction reads both cells and zeroes one of them
+// only while their sum exceeds 1. Under any serial order at most one
+// zeroing can fire per cell pair, so the invariant sum >= 1 must hold; a
+// snapshot-isolation-style engine (no read validation of the *other* cell)
+// would let two goroutines zero both.
+func TestConflictWindowWriteSkew(t *testing.T) {
+	const rounds = 50
+	for _, gs := range goroutineCounts {
+		gs := gs
+		t.Run(fmt.Sprintf("goroutines=%d", gs), func(t *testing.T) {
+			t.Parallel()
+			for round := 0; round < rounds; round++ {
+				rt := stm.New()
+				a := mem.NewCell(1)
+				b := mem.NewCell(1)
+				var wg sync.WaitGroup
+				for g := 0; g < gs; g++ {
+					g := g
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						rt.Atomic(func(tx *stm.Tx) {
+							sum := tx.Load(a).(int) + tx.Load(b).(int)
+							if sum > 1 {
+								if g%2 == 0 {
+									tx.Store(a, 0)
+								} else {
+									tx.Store(b, 0)
+								}
+							}
+						})
+					}()
+				}
+				wg.Wait()
+				if sum := a.Load().(int) + b.Load().(int); sum < 1 {
+					t.Fatalf("write skew: both cells zeroed (round %d)", round)
+				}
+			}
+		})
+	}
+}
+
+// The same generated workloads the conformance harness sweeps, run on the
+// STM interpreter engine across goroutine counts: the final state must
+// match a serialization and the runtime must show real transactional
+// traffic.
+func TestConformWorkloadsUnderSTM(t *testing.T) {
+	for _, threads := range []int{2, 4} {
+		threads := threads
+		t.Run(fmt.Sprintf("threads=%d", threads), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 4; seed++ {
+				tg, err := oracle.FromProgen(seed, 2, threads, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := conform.Check(tg, conform.Options{
+					Engines: []conform.Engine{conform.EngineSTM},
+					Repeat:  1,
+					Log:     t.Logf,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := res.Err(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Runs[0].Commits == 0 {
+					t.Fatalf("seed %d: no transactions committed", seed)
+				}
+			}
+		})
+	}
+}
