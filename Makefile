@@ -8,7 +8,8 @@
 GO ?= go
 
 .PHONY: check check-long build test test-long vet race race-long oracle-short \
-	conform conform-short cover cover-update bench bench-paper fuzz
+	conform conform-short audit audit-short cover cover-update bench \
+	bench-paper fuzz
 
 build:
 	$(GO) build ./...
@@ -44,21 +45,33 @@ conform:
 conform-short:
 	$(GO) run ./cmd/lockconform -short
 
+# Static translation validation: every inferred plan is re-checked by the
+# independent auditor (forward effect analysis + inclusion-based points-to)
+# without executing anything, and the same fault injections the dynamic
+# conformance suite runs (dropped locks, reversed plans) must each be
+# flagged statically. The full sweep mirrors `conform`'s program set;
+# audit-short is the CI smoke.
+audit:
+	$(GO) run ./cmd/lockaudit -seeds 50
+
+audit-short:
+	$(GO) run ./cmd/lockaudit -short
+
 # Coverage ratchet: per-package statement coverage of the lock runtime and
 # the inference engine must not drop more than 2pts below the committed
 # baseline. After intentional changes run `make cover-update` and commit
 # coverage_baseline.txt.
 cover:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt
 
 cover-update:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt -update
 
-check: build vet race oracle-short cover conform-short
+check: build vet race oracle-short cover conform-short audit-short
 
-check-long: build vet race-long oracle-short cover conform
+check-long: build vet race-long oracle-short cover conform audit
 
 # Wall-clock throughput of the sharded lock runtime vs the pre-sharding
 # baseline, gated against the committed BENCH_PR2.json (fails on >20%
@@ -72,10 +85,13 @@ bench:
 bench-paper:
 	$(GO) test -bench 'Table|Figure' -benchtime 1x -run XXX .
 
-# Native fuzzers: parser round-trip and lock-plan invariants, 30s each.
-# FuzzParse is seeded with the corpus, the examples' embedded sources, and
-# generated programs (progen.Generate / GenerateConcurrent), so parser
-# fuzzing covers the exact syntax the conformance workloads exercise.
+# Native fuzzers: parser round-trip, lock-plan invariants, and the audit
+# no-false-positives property, 30s each. FuzzParse is seeded with the
+# corpus, the examples' embedded sources, and generated programs
+# (progen.Generate / GenerateConcurrent), so parser fuzzing covers the
+# exact syntax the conformance workloads exercise. FuzzAudit asserts that
+# for any accepted program, the inferred plan audits clean.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/lang
 	$(GO) test -run '^$$' -fuzz FuzzBuildPlan -fuzztime 30s ./internal/mgl
+	$(GO) test -run '^$$' -fuzz FuzzAudit -fuzztime 30s ./internal/audit

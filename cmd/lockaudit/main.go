@@ -1,0 +1,136 @@
+// Command lockaudit statically validates inferred lock plans: each selected
+// program is compiled through the full pipeline and its plan is checked —
+// without executing anything — by the internal/audit translation validator.
+// For every atomic section the auditor derives an interprocedural
+// read/write footprint (forward effect analysis refined by an
+// inclusion-based points-to analysis, independent of the inference's
+// backward dataflow) and reports accesses no acquired lock covers, locks
+// protecting nothing the section touches, ⊤ fallbacks, and static
+// lock-order defects. With -mutants (the default), the same fault
+// injections the dynamic conformance harness executes — all locks dropped,
+// acquisition plans reversed — must each be flagged statically.
+//
+// Usage:
+//
+//	lockaudit                            (50 progen seeds + corpus + examples)
+//	lockaudit -short                     (10 seeds, for CI)
+//	lockaudit -seed-start 100 -seeds 5   (a specific seed range)
+//	lockaudit -json report.json          (machine-readable precision report)
+//	lockaudit -mutants=false             (skip static mutation checks)
+//
+// Exit status 1 on any soundness violation, order defect, or unflagged
+// mutant, 2 on usage or pipeline errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lockinfer/internal/audit"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/progs"
+)
+
+func main() {
+	var (
+		seedStart = flag.Int64("seed-start", 1, "first progen seed")
+		seeds     = flag.Int64("seeds", 50, "number of progen seeds to sweep")
+		k         = flag.Int("k", 2, "backward-trace depth bound for inference")
+		corpus    = flag.Bool("corpus", true, "also audit the hand-written corpus programs")
+		examples  = flag.Bool("examples", true, "also audit the documentation example programs")
+		mutants   = flag.Bool("mutants", true, "also run static mutation checks (fault injection)")
+		short     = flag.Bool("short", false, "reduced budget: 10 seeds")
+		jsonOut   = flag.String("json", "", "write the precision report to this file")
+		verbose   = flag.Bool("v", false, "log per-program results")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "lockaudit:", err)
+		os.Exit(2)
+	}
+
+	var targets []*oracle.Target
+	nseeds := *seeds
+	if *short && nseeds > 10 {
+		nseeds = 10
+	}
+	for seed := *seedStart; seed < *seedStart+nseeds; seed++ {
+		tg, err := oracle.FromProgen(seed, *k, 2, 2)
+		if err != nil {
+			fail(err)
+		}
+		targets = append(targets, tg)
+	}
+	if *corpus && !*short {
+		for _, p := range progs.All() {
+			tg, err := oracle.FromCorpus(p, *k, 2, 2)
+			if err != nil {
+				fail(err)
+			}
+			targets = append(targets, tg)
+		}
+	}
+	if *examples {
+		for _, p := range progs.Examples() {
+			tg, err := oracle.FromCorpus(p, 3, 2, 2)
+			if err != nil {
+				fail(err)
+			}
+			targets = append(targets, tg)
+		}
+	}
+
+	failures := 0
+	checkedMutants, flaggedMutants := 0, 0
+	var precisions []audit.Precision
+	for _, tg := range targets {
+		rep := audit.Run(tg.Prog, tg.Pts, nil, tg.Plan, audit.Options{})
+		precisions = append(precisions, rep.Precision(tg.Name))
+		if err := rep.Err(); err != nil {
+			failures++
+			fmt.Printf("FAIL %s: %v\n", tg.Name, err)
+		} else if *verbose {
+			p := precisions[len(precisions)-1]
+			fmt.Printf("ok   %-24s %d sections, %d/%d classes refined, %d top\n",
+				tg.Name, len(p.Sections), p.RefinedClasses, p.SteensClasses, p.TopSections)
+		}
+		if !*mutants {
+			continue
+		}
+		err := audit.CheckMutants(tg.Name, tg.Prog, tg.Pts, nil, tg.Plan, nil)
+		checkedMutants++
+		if err != nil {
+			failures++
+			fmt.Printf("FAIL %v\n", err)
+		} else {
+			flaggedMutants++
+		}
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(precisions, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+	}
+
+	verdict := "sound"
+	if failures > 0 {
+		verdict = "checked"
+	}
+	fmt.Printf("lockaudit: %d programs audited %s", len(targets), verdict)
+	if *mutants {
+		fmt.Printf("; %d/%d mutation checks passed", flaggedMutants, checkedMutants)
+	}
+	fmt.Println()
+	if failures > 0 {
+		fmt.Printf("lockaudit: %d FAILURES\n", failures)
+		os.Exit(1)
+	}
+}

@@ -11,55 +11,20 @@ import (
 	"os"
 
 	"lockinfer"
+	"lockinfer/internal/progs"
 )
 
-const src = `
-struct account { int balance; }
-
-account* a1;
-account* a2;
-
-void init() {
-  a1 = new account;
-  a2 = new account;
-  a1->balance = 100;
-  a2->balance = 100;
-}
-
-void transfer(account* from, account* to, int amount) {
-  atomic {
-    if (from->balance >= amount) {
-      from->balance = from->balance - amount;
-      to->balance = to->balance + amount;
-    }
-  }
-}
-
-int totalBalance() {
-  int t = 0;
-  atomic {
-    t = a1->balance + a2->balance;
-  }
-  return t;
-}
-
-void worker(int n) {
-  int i = 0;
-  while (i < n) {
-    if (i % 2 == 0) {
-      transfer(a1, a2, 1);
-    } else {
-      transfer(a2, a1, 1);
-    }
-    i = i + 1;
-  }
-}
-`
-
 func run(w io.Writer) error {
+	// The two-account transfer program ships in the corpus package so the
+	// static auditor (cmd/lockaudit) and the fuzzers sweep the exact same
+	// source this example compiles.
+	p, err := progs.Get("accounts")
+	if err != nil {
+		return err
+	}
 	// Compile with the Σ3 scheme (k=3), the configuration of the paper's
 	// Figure 1 example.
-	c, err := lockinfer.Compile(src, lockinfer.WithK(3))
+	c, err := lockinfer.Compile(p.Source(), lockinfer.WithK(3))
 	if err != nil {
 		return err
 	}

@@ -15,24 +15,17 @@ import (
 
 	"lockinfer"
 	"lockinfer/internal/interp"
+	"lockinfer/internal/progs"
 )
 
-const src = `
-int counter;
-
-void bump(int n) {
-  int i = 0;
-  while (i < n) {
-    atomic {
-      counter = counter + 1;
-    }
-    i = i + 1;
-  }
-}
-`
-
 func run(w io.Writer) error {
-	c, err := lockinfer.Compile(src, lockinfer.WithK(3))
+	// The counter program ships in the corpus package so the static auditor
+	// (cmd/lockaudit) and the fuzzers sweep the exact same source.
+	p, err := progs.Get("counter")
+	if err != nil {
+		return err
+	}
+	c, err := lockinfer.Compile(p.Source(), lockinfer.WithK(3))
 	if err != nil {
 		return err
 	}

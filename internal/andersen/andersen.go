@@ -1,0 +1,619 @@
+// Package andersen implements Andersen's inclusion-based points-to analysis
+// over the IR: subset constraints solved on a constraint graph by wave
+// propagation with online cycle collapsing (copy-edge strongly-connected
+// components are merged through a union-find before each propagation wave).
+//
+// The abstraction deliberately matches internal/steens cell-for-cell — one
+// abstract location per variable cell and per allocation site, field offsets
+// folded into the object (the paper's Σ≡ granularity, l_s + i = s) — so the
+// two analyses answer the same queries over the same domain and differ only
+// in precision: Andersen propagates subsets along directed edges where
+// Steensgaard unifies, so andersen.MayAlias ⊆ steens.MayAlias. The package
+// exposes the same VarCell/SiteClass/Pointee/Rep/MayAlias surface as
+// internal/steens (NodeID is a type alias), which lets it slot directly into
+// infer's store-transfer alias oracle and lets the static lock-plan auditor
+// quantify how many locations each Σ≡ class lumps together.
+//
+// A NodeID names an interned points-to set: ids below the location count are
+// the singleton sets ({loc i} has id i), larger ids are canonicalized
+// composite sets, so equal sets always share an id and Rep is the identity.
+package andersen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/steens"
+)
+
+// NodeID is an interned points-to set. It aliases steens.NodeID so the two
+// analyses are interchangeable behind infer's AliasOracle interface.
+type NodeID = steens.NodeID
+
+// Analysis is the solved constraint system for one program.
+type Analysis struct {
+	prog *ir.Program
+
+	// Abstract locations: variable cells first, then allocation sites.
+	varLoc  map[*ir.Var]int
+	siteLoc []int
+	locVar  []*ir.Var // inverse of varLoc; nil entries are sites
+	locSite []int     // -1 for variable cells
+	nloc    int
+
+	// Constraint graph state, indexed by union-find representative.
+	uf   []int
+	pts  []locset
+	succ []map[int]bool
+
+	// Complex (pts-dependent) constraints, re-evaluated each wave.
+	loads  [][2]int // x = *y: (dst, src)
+	stores [][2]int // *x = y: (dst, src)
+	reach  [][2]int // spec Writes: every loc reachable from root may point at arg's targets
+
+	collapsed int // locations merged by cycle collapsing
+
+	// Interned composite sets (ids nloc, nloc+1, ...).
+	setIDs map[string]NodeID
+	sets   [][]int
+
+	pointeeCache map[NodeID]NodeID
+}
+
+// locset is a sorted, duplicate-free set of location ids.
+type locset []int
+
+func (s locset) has(x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}
+
+// add inserts x, reporting whether the set changed.
+func (s *locset) add(x int) bool {
+	i := sort.SearchInts(*s, x)
+	if i < len(*s) && (*s)[i] == x {
+		return false
+	}
+	*s = append(*s, 0)
+	copy((*s)[i+1:], (*s)[i:])
+	(*s)[i] = x
+	return true
+}
+
+// union folds o into s, reporting whether s changed.
+func (s *locset) union(o locset) bool {
+	changed := false
+	for _, x := range o {
+		if s.add(x) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s locset) intersects(o locset) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			return true
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Run performs the analysis on prog without external-function specs.
+func Run(prog *ir.Program) *Analysis {
+	return RunWithSpecs(prog, nil)
+}
+
+// RunWithSpecs performs the analysis with external-function specifications,
+// mirroring steens.RunWithSpecs: a spec'd call contributes the inclusion
+// constraints its spec implies (returned pointers flow from the ReturnsFrom
+// global; pointer arguments may be retained anywhere in the Writes
+// closures). Unlike the unification analysis no fixed pass count is needed —
+// the spec constraints are complex constraints solved to the same fixpoint
+// as loads and stores.
+func RunWithSpecs(prog *ir.Program, specs map[string]steens.ExternSpec) *Analysis {
+	a := &Analysis{
+		prog:         prog,
+		varLoc:       map[*ir.Var]int{},
+		setIDs:       map[string]NodeID{},
+		pointeeCache: map[NodeID]NodeID{},
+	}
+	for _, g := range prog.Globals {
+		a.newVarLoc(g)
+	}
+	for _, f := range prog.Funcs {
+		for _, v := range f.Vars {
+			a.newVarLoc(v)
+		}
+	}
+	a.siteLoc = make([]int, prog.NumSites)
+	for i := range a.siteLoc {
+		a.siteLoc[i] = a.newLoc(nil, i)
+	}
+	a.nloc = len(a.uf)
+	for _, f := range prog.Funcs {
+		for _, s := range f.Stmts {
+			a.constrain(s, specs)
+		}
+	}
+	a.solve()
+	return a
+}
+
+func (a *Analysis) newLoc(v *ir.Var, site int) int {
+	id := len(a.uf)
+	a.uf = append(a.uf, id)
+	a.pts = append(a.pts, nil)
+	a.succ = append(a.succ, nil)
+	a.locVar = append(a.locVar, v)
+	a.locSite = append(a.locSite, site)
+	return id
+}
+
+func (a *Analysis) newVarLoc(v *ir.Var) {
+	a.varLoc[v] = a.newLoc(v, -1)
+}
+
+// find resolves a constraint-graph node to its representative. Collapsed
+// cycles share one node; location identities inside pts sets are never
+// rewritten, only the graph nodes holding them merge.
+func (a *Analysis) find(x int) int {
+	for a.uf[x] != x {
+		a.uf[x] = a.uf[a.uf[x]]
+		x = a.uf[x]
+	}
+	return x
+}
+
+// merge unifies two constraint-graph nodes (cycle collapsing), joining
+// their points-to sets and successor edges.
+func (a *Analysis) merge(x, y int) {
+	x, y = a.find(x), a.find(y)
+	if x == y {
+		return
+	}
+	a.uf[y] = x
+	a.pts[x].union(a.pts[y])
+	a.pts[y] = nil
+	for s := range a.succ[y] {
+		a.addEdge(x, s)
+	}
+	a.succ[y] = nil
+	a.collapsed++
+}
+
+// addEdge inserts the copy edge from→to (pts(to) ⊇ pts(from)), reporting
+// whether it is new.
+func (a *Analysis) addEdge(from, to int) bool {
+	from, to = a.find(from), a.find(to)
+	if from == to {
+		return false
+	}
+	if a.succ[from] == nil {
+		a.succ[from] = map[int]bool{}
+	}
+	if a.succ[from][to] {
+		return false
+	}
+	a.succ[from][to] = true
+	return true
+}
+
+// constrain translates one statement into constraints. The rules mirror
+// steens.stmt with subset edges in place of unifications (see DESIGN.md
+// §7.8 for the rule table).
+func (a *Analysis) constrain(s *ir.Stmt, specs map[string]steens.ExternSpec) {
+	l := func(v *ir.Var) int { return a.varLoc[v] }
+	switch s.Op {
+	case ir.OpCopy:
+		a.addEdge(l(s.Src), l(s.Dst))
+	case ir.OpAddrOf:
+		a.pts[a.find(l(s.Dst))].add(l(s.Src))
+	case ir.OpLoad:
+		a.loads = append(a.loads, [2]int{l(s.Dst), l(s.Src)})
+	case ir.OpStore:
+		a.stores = append(a.stores, [2]int{l(s.Dst), l(s.Src)})
+	case ir.OpField, ir.OpIndex:
+		// Field-insensitive: the member's cell is the object's cell, so the
+		// offset behaves like a copy of the base pointer.
+		a.addEdge(l(s.Src), l(s.Dst))
+	case ir.OpNew:
+		a.pts[a.find(l(s.Dst))].add(a.siteLoc[s.Site])
+	case ir.OpCall:
+		callee := a.prog.Func(s.Callee)
+		if callee == nil {
+			return
+		}
+		if callee.External {
+			spec, ok := specs[s.Callee]
+			if !ok {
+				return
+			}
+			a.constrainSpec(s, spec)
+			return
+		}
+		for i, arg := range s.Args {
+			if i < len(callee.Params) {
+				a.addEdge(l(arg), l(callee.Params[i]))
+			}
+		}
+		if s.Dst != nil && callee.RetVar != nil {
+			a.addEdge(l(callee.RetVar), l(s.Dst))
+		}
+	}
+}
+
+// constrainSpec adds the inclusion constraints of one spec'd external call.
+func (a *Analysis) constrainSpec(call *ir.Stmt, spec steens.ExternSpec) {
+	if call.Dst != nil && spec.ReturnsFrom != "" {
+		if g := a.prog.Global(spec.ReturnsFrom); g != nil {
+			// The returned pointer targets what the root global targets.
+			a.addEdge(a.varLoc[g], a.varLoc[call.Dst])
+		}
+	}
+	for _, root := range spec.Writes {
+		g := a.prog.Global(root)
+		if g == nil {
+			continue
+		}
+		for _, arg := range call.Args {
+			if !arg.Type.IsPointer() {
+				continue
+			}
+			a.reach = append(a.reach, [2]int{a.varLoc[g], a.varLoc[arg]})
+		}
+	}
+}
+
+// solve runs waves of (cycle collapse, transitive propagation, complex
+// constraint evaluation) until nothing changes.
+func (a *Analysis) solve() {
+	for {
+		a.collapseCycles()
+		a.propagate()
+		if !a.applyComplex() {
+			return
+		}
+	}
+}
+
+// collapseCycles merges every copy-edge strongly-connected component into a
+// single constraint node (iterative Tarjan over representatives).
+func (a *Analysis) collapseCycles() {
+	n := len(a.uf)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	next := 1
+
+	type frame struct {
+		v     int
+		succs []int
+		i     int
+	}
+	succsOf := func(v int) []int {
+		out := make([]int, 0, len(a.succ[v]))
+		for s := range a.succ[v] {
+			out = append(out, a.find(s))
+		}
+		sort.Ints(out)
+		return out
+	}
+	for root := 0; root < n; root++ {
+		if a.find(root) != root || index[root] >= 0 {
+			continue
+		}
+		frames := []frame{{v: root, succs: succsOf(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if w == f.v {
+					continue
+				}
+				if index[w] < 0 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succs: succsOf(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Pop: close the SCC rooted at f.v if it is one.
+			if low[f.v] == index[f.v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				for _, w := range comp[1:] {
+					a.merge(comp[0], w)
+				}
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+		}
+	}
+}
+
+// propagate pushes points-to sets along copy edges to a fixpoint.
+func (a *Analysis) propagate() {
+	work := make([]int, 0, len(a.uf))
+	queued := make([]bool, len(a.uf))
+	for i := range a.uf {
+		if a.find(i) == i && len(a.pts[i]) > 0 {
+			work = append(work, i)
+			queued[i] = true
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[v] = false
+		v = a.find(v)
+		for s := range a.succ[v] {
+			s = a.find(s)
+			if s == v {
+				continue
+			}
+			if a.pts[s].union(a.pts[v]) && !queued[s] {
+				work = append(work, s)
+				queued[s] = true
+			}
+		}
+	}
+}
+
+// applyComplex evaluates the pts-dependent constraints, reporting whether
+// any new edge or membership appeared (a new wave is then needed).
+func (a *Analysis) applyComplex() bool {
+	changed := false
+	for _, ld := range a.loads {
+		dst, src := ld[0], ld[1]
+		for _, tgt := range a.pts[a.find(src)] {
+			if a.addEdge(tgt, dst) {
+				changed = true
+			}
+		}
+	}
+	for _, st := range a.stores {
+		dst, src := st[0], st[1]
+		for _, tgt := range a.pts[a.find(dst)] {
+			if a.addEdge(src, tgt) {
+				changed = true
+			}
+		}
+	}
+	for _, rc := range a.reach {
+		root, arg := rc[0], rc[1]
+		for _, tgt := range a.reachFrom(root) {
+			if a.addEdge(arg, tgt) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// reachFrom returns the locations reachable from root's targets by
+// transitively following points-to membership (the inclusion analogue of
+// steens.ReachableClasses on a pointee chain).
+func (a *Analysis) reachFrom(root int) []int {
+	seen := map[int]bool{}
+	frontier := append([]int(nil), a.pts[a.find(root)]...)
+	var out []int
+	for len(frontier) > 0 {
+		loc := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if seen[loc] {
+			continue
+		}
+		seen[loc] = true
+		out = append(out, loc)
+		frontier = append(frontier, a.pts[a.find(loc)]...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// intern canonicalizes a sorted location set to its NodeID: singletons keep
+// their location id, larger (or empty) sets get a content-hashed composite
+// id, so set equality is id equality and Rep is the identity.
+func (a *Analysis) intern(locs []int) NodeID {
+	if len(locs) == 1 {
+		return NodeID(locs[0])
+	}
+	var b strings.Builder
+	for _, l := range locs {
+		fmt.Fprintf(&b, "%d,", l)
+	}
+	key := b.String()
+	if id, ok := a.setIDs[key]; ok {
+		return id
+	}
+	id := NodeID(a.nloc + len(a.sets))
+	a.setIDs[key] = id
+	a.sets = append(a.sets, append([]int(nil), locs...))
+	return id
+}
+
+// Members returns the abstract locations a node denotes.
+func (a *Analysis) Members(n NodeID) []int {
+	if int(n) < a.nloc {
+		return []int{int(n)}
+	}
+	return a.sets[int(n)-a.nloc]
+}
+
+// VarCell returns the node for variable v's own cell (&v).
+func (a *Analysis) VarCell(v *ir.Var) NodeID { return NodeID(a.varLoc[v]) }
+
+// SiteClass returns the node for allocation site id's objects.
+func (a *Analysis) SiteClass(site int) NodeID { return NodeID(a.siteLoc[site]) }
+
+// Rep is the identity: interned ids are already canonical. It exists for
+// surface parity with steens.Analysis.
+func (a *Analysis) Rep(n NodeID) NodeID { return n }
+
+// Pointee returns the node denoting everything a cell of n may point to:
+// the union of the points-to sets of n's locations. Like steens.Pointee it
+// is a single-threaded query (it populates an internal cache).
+func (a *Analysis) Pointee(n NodeID) NodeID {
+	if id, ok := a.pointeeCache[n]; ok {
+		return id
+	}
+	var u locset
+	for _, loc := range a.Members(n) {
+		u.union(a.pts[a.find(loc)])
+	}
+	id := a.intern(u)
+	a.pointeeCache[n] = id
+	return id
+}
+
+// MayAlias reports whether two nodes may denote a common location: their
+// interned sets intersect. Note that unlike the unification analysis this
+// is not an equivalence — it is reflexive only on non-empty sets (an empty
+// points-to set denotes no location at all, so nothing aliases it, itself
+// included).
+func (a *Analysis) MayAlias(n1, n2 NodeID) bool {
+	m1, m2 := locset(a.Members(n1)), locset(a.Members(n2))
+	return m1.intersects(m2)
+}
+
+// PointsTo returns the location set of variable v's cell.
+func (a *Analysis) PointsTo(v *ir.Var) []int {
+	return append([]int(nil), a.pts[a.find(a.varLoc[v])]...)
+}
+
+// GlobalReach resolves a global name to its reachable location set: the
+// global's own cell plus everything transitively reachable through it (the
+// inclusion analogue of steens.GlobalClosure).
+func (a *Analysis) GlobalReach(prog *ir.Program, name string) []int {
+	g := prog.Global(name)
+	if g == nil {
+		return nil
+	}
+	out := append([]int{a.varLoc[g]}, a.reachFrom(a.varLoc[g])...)
+	sort.Ints(out)
+	// reachFrom excludes the root cell, so at most the root could repeat
+	// (a self-reaching global); drop adjacent duplicates.
+	dedup := out[:1]
+	for _, l := range out[1:] {
+		if l != dedup[len(dedup)-1] {
+			dedup = append(dedup, l)
+		}
+	}
+	return dedup
+}
+
+// NumLocations returns the size of the abstract location domain.
+func (a *Analysis) NumLocations() int { return a.nloc }
+
+// Collapsed returns how many constraint nodes cycle collapsing merged.
+func (a *Analysis) Collapsed() int { return a.collapsed }
+
+// LocLabel renders one abstract location.
+func (a *Analysis) LocLabel(loc int) string {
+	if v := a.locVar[loc]; v != nil {
+		if v.Owner != nil {
+			return v.Owner.Name + "." + v.Name
+		}
+		return v.Name
+	}
+	return a.prog.SiteNames[a.locSite[loc]]
+}
+
+// LocSteensClass maps an abstract location to its Σ≡ class in st (the two
+// analyses share the location domain, so the mapping is exact).
+func (a *Analysis) LocSteensClass(st *steens.Analysis, loc int) steens.NodeID {
+	if v := a.locVar[loc]; v != nil {
+		return st.VarCell(v)
+	}
+	return st.SiteClass(a.locSite[loc])
+}
+
+// Refinement quantifies how much precision the unification analysis gives
+// up: for every Σ≡ class it counts the inclusion-analysis sub-classes the
+// class splits into — the connected components, under points-to-set
+// co-occurrence, of the class's locations that some pointer can actually
+// reach. Two locations are co-resident (one sub-class) iff some points-to
+// set contains both; a Σ≡ class counted 1 lost nothing, a class counted c>1
+// merged c provably independent lock partitions.
+func (a *Analysis) Refinement(st *steens.Analysis) map[steens.NodeID]int {
+	// Union-find over locations linked by co-occurrence.
+	parent := make([]int, a.nloc)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	pointed := make([]bool, a.nloc)
+	link := func(set locset) {
+		for i, l := range set {
+			pointed[l] = true
+			if i > 0 {
+				parent[find(set[i-1])] = find(l)
+			}
+		}
+	}
+	for i := range a.uf {
+		if a.find(i) == i {
+			link(a.pts[i])
+		}
+	}
+	// Count distinct components per Σ≡ class, over pointed-to locations.
+	comps := map[steens.NodeID]map[int]bool{}
+	for loc := 0; loc < a.nloc; loc++ {
+		if !pointed[loc] {
+			continue
+		}
+		cls := st.Rep(a.LocSteensClass(st, loc))
+		if comps[cls] == nil {
+			comps[cls] = map[int]bool{}
+		}
+		comps[cls][find(loc)] = true
+	}
+	out := make(map[steens.NodeID]int, len(comps))
+	for cls, set := range comps {
+		out[cls] = len(set)
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package andersen
+
+import (
+	"testing"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/steens"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *Analysis) {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, Run(prog)
+}
+
+func varOf(t *testing.T, prog *ir.Program, fn, name string) *ir.Var {
+	t.Helper()
+	f := prog.Func(fn)
+	for _, v := range f.Vars {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("no var %s in %s", name, fn)
+	return nil
+}
+
+// TestDirectionalAssignment: p = q flows q's targets into p but not p's
+// into q — the precision Steensgaard's bidirectional unification gives up.
+func TestDirectionalAssignment(t *testing.T) {
+	prog, a := analyze(t, `
+int ga; int gb;
+int* p; int* q;
+void f() {
+  p = &ga;
+  q = &gb;
+  p = q;
+}
+`)
+	gaCell := a.VarCell(prog.Global("ga"))
+	gbCell := a.VarCell(prog.Global("gb"))
+	p := prog.Global("p")
+	q := prog.Global("q")
+	if !a.MayAlias(a.Pointee(a.VarCell(p)), gaCell) || !a.MayAlias(a.Pointee(a.VarCell(p)), gbCell) {
+		t.Errorf("pts(p) = %v, want both ga and gb", a.PointsTo(p))
+	}
+	if a.MayAlias(a.Pointee(a.VarCell(q)), gaCell) {
+		t.Errorf("pts(q) = %v spuriously contains ga", a.PointsTo(q))
+	}
+	// Steensgaard on the same program cannot make the distinction.
+	st := steens.Run(prog)
+	if !st.MayAlias(st.Pointee(st.VarCell(q)), st.VarCell(prog.Global("ga"))) {
+		t.Error("expected the unification analysis to conflate q's pointee with ga")
+	}
+}
+
+// TestCycleCollapse: a copy cycle (mutually assigned pointers) merges
+// constraint nodes without losing the points-to solution.
+func TestCycleCollapse(t *testing.T) {
+	prog, a := analyze(t, `
+struct node { node* next; }
+node* head;
+void init() {
+  head = new node;
+  head->next = head;
+}
+void shuffle(int n) {
+  node* x = head;
+  node* y = x;
+  while (n > 0) {
+    x = y;
+    y = x;
+    n = n - 1;
+  }
+}
+`)
+	if a.Collapsed() == 0 {
+		t.Error("expected the x<->y copy cycle to collapse constraint nodes")
+	}
+	x := varOf(t, prog, "shuffle", "x")
+	y := varOf(t, prog, "shuffle", "y")
+	head := prog.Global("head")
+	if !a.MayAlias(a.Pointee(a.VarCell(x)), a.Pointee(a.VarCell(head))) ||
+		!a.MayAlias(a.Pointee(a.VarCell(x)), a.Pointee(a.VarCell(y))) {
+		t.Error("collapsed nodes lost the list cell")
+	}
+}
+
+// TestLoadStorePropagation: values stored through one pointer are observed
+// by loads through an alias of it.
+func TestLoadStorePropagation(t *testing.T) {
+	prog, a := analyze(t, `
+struct box { int* v; }
+int g;
+void f() {
+  box* b = new box;
+  box* c = b;
+  int* p = &g;
+  b->v = p;
+  int* out = c->v;
+}
+`)
+	out := varOf(t, prog, "f", "out")
+	if !a.MayAlias(a.Pointee(a.VarCell(out)), a.VarCell(prog.Global("g"))) {
+		t.Errorf("pts(out) = %v, want g's cell", a.PointsTo(out))
+	}
+}
+
+// TestEmptySetNotReflexive: MayAlias on a pointer that targets nothing is
+// false even against itself — an empty set denotes no location.
+func TestEmptySetNotReflexive(t *testing.T) {
+	prog, a := analyze(t, `
+int* p;
+void f() { p = null; }
+`)
+	pt := a.Pointee(a.VarCell(prog.Global("p")))
+	if a.MayAlias(pt, pt) {
+		t.Error("empty points-to set must not alias anything, itself included")
+	}
+}
+
+// TestExternSpec: a spec'd external call flows the ReturnsFrom closure into
+// the call's result and retains pointer arguments in the Writes closure.
+func TestExternSpec(t *testing.T) {
+	src := `
+struct node { node* next; }
+node* pool;
+node* take();
+void stash(node* n);
+void init() { pool = new node; }
+void f() {
+  node* x = take();
+  node* mine = new node;
+  stash(mine);
+  node* y = pool->next;
+}
+`
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[string]steens.ExternSpec{
+		"take":  {Reads: []string{"pool"}, ReturnsFrom: "pool"},
+		"stash": {Writes: []string{"pool"}},
+	}
+	a := RunWithSpecs(prog, specs)
+	x := varOf(t, prog, "f", "x")
+	pool := prog.Global("pool")
+	if !a.MayAlias(a.Pointee(a.VarCell(x)), a.Pointee(a.VarCell(pool))) {
+		t.Errorf("pts(x) = %v, want pool's targets", a.PointsTo(x))
+	}
+	// stash may have linked mine into the pool structure: loading pool->next
+	// must see mine's allocation.
+	y := varOf(t, prog, "f", "y")
+	mine := varOf(t, prog, "f", "mine")
+	if !a.MayAlias(a.Pointee(a.VarCell(y)), a.Pointee(a.VarCell(mine))) {
+		t.Errorf("pts(y) = %v, missing the stashed allocation", a.PointsTo(y))
+	}
+}
+
+// TestRefinementCountsSplitClasses: on the directional-assignment program
+// the Σ≡ class holding ga and gb splits into Andersen components.
+func TestRefinementCountsSplitClasses(t *testing.T) {
+	prog, a := analyze(t, `
+int ga; int gb;
+int* p; int* q;
+void f() {
+  p = &ga;
+  q = &gb;
+}
+void g() {
+  int* r = p;
+  r = q;
+}
+`)
+	st := steens.Run(prog)
+	ref := a.Refinement(st)
+	// r = p; r = q unifies the two pointees in Σ≡, but no Andersen points-to
+	// set holds ga and gb together... unless r's set does. r's set is
+	// {ga, gb}, which co-locates them: the refinement must count that as one
+	// component, proving the counting is co-occurrence, not class size.
+	cls := st.Rep(st.VarCell(prog.Global("ga")))
+	if got := ref[cls]; got != 1 {
+		t.Errorf("Refinement[%d] = %d, want 1 (r's set co-locates ga and gb)", cls, got)
+	}
+}
+
+// TestRefinementSplit: Steensgaard's recursive pointee unification is the
+// imprecision source the refinement counter measures. A double-indirect
+// pointer aimed at two different pointers unifies the pointers' cells and,
+// recursively, their targets — but no Andersen points-to set ever holds the
+// two targets together, so the merged Σ≡ class counts two sub-classes.
+func TestRefinementSplit(t *testing.T) {
+	prog, a := analyze(t, `
+int g1; int g2;
+int* p; int* q;
+int** pp;
+void f(int c) {
+  p = &g1;
+  q = &g2;
+  pp = &p;
+  if (c != 0) {
+    pp = &q;
+  }
+}
+`)
+	st := steens.Run(prog)
+	g1 := prog.Global("g1")
+	g2 := prog.Global("g2")
+	cls := st.Rep(st.VarCell(g1))
+	if st.Rep(st.VarCell(g2)) != cls {
+		t.Fatal("expected the unification analysis to merge g1 and g2")
+	}
+	if a.MayAlias(a.VarCell(g1), a.VarCell(g2)) {
+		t.Fatal("andersen must keep g1 and g2 apart")
+	}
+	if got := a.Refinement(st)[cls]; got != 2 {
+		t.Errorf("Refinement[%d] = %d, want 2 (g1 and g2 never co-reside)", cls, got)
+	}
+}
+
+// TestSubsetOfSteensgaard is the inclusion-vs-unification ordering on a
+// handwritten program: every Andersen may-alias pair is a Steensgaard
+// may-alias pair (the differential sweep over generated programs lives in
+// internal/audit).
+func TestSubsetOfSteensgaard(t *testing.T) {
+	src := `
+struct node { node* next; int v; }
+node* h1; node* h2;
+void init() {
+  h1 = new node;
+  h2 = new node;
+  h1->next = new node;
+  h2->next = h1;
+}
+void f(node* x) {
+  node* c = x;
+  while (c != null) {
+    c->v = 1;
+    c = c->next;
+  }
+}
+void worker(int n) {
+  f(h1);
+  f(h2);
+}
+`
+	prog, a := analyze(t, src)
+	st := steens.Run(prog)
+	var cells []*ir.Var
+	cells = append(cells, prog.Globals...)
+	for _, f := range prog.Funcs {
+		cells = append(cells, f.Vars...)
+	}
+	for _, v1 := range cells {
+		for _, v2 := range cells {
+			for depth := 0; depth < 3; depth++ {
+				n1, n2 := a.VarCell(v1), a.VarCell(v2)
+				s1, s2 := st.VarCell(v1), st.VarCell(v2)
+				for d := 0; d < depth; d++ {
+					n1, n2 = a.Pointee(n1), a.Pointee(n2)
+					s1, s2 = st.Pointee(s1), st.Pointee(s2)
+				}
+				if a.MayAlias(n1, n2) && !st.MayAlias(s1, s2) {
+					t.Fatalf("andersen aliases %s~%s at depth %d but steens does not",
+						v1.Name, v2.Name, depth)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package audit is a translation validator for the lock inference: an
+// independent static re-derivation of what each atomic section touches,
+// checked against what the emitted plan protects. It shares no code with
+// the backward dataflow of internal/infer — footprints come from a forward
+// interprocedural effect analysis refined by an inclusion-based
+// (Andersen-style) points-to analysis — so a bug in the inference's
+// transfer functions shows up as a soundness violation here rather than
+// silently shipping an under-locked plan. The auditor also lints the
+// static lock-acquisition order (the whole-program analogue of the
+// runtime's mgl.Watcher) and reports waste (locks protecting nothing the
+// section touches) and ⊤ fallbacks.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/steens"
+)
+
+// Options configures a run.
+type Options struct {
+	// Specs are the extern function specifications used when the plan was
+	// inferred; the audit resolves the same roots through its own analyses.
+	Specs map[string]steens.ExternSpec
+	// Mutator, when set, permutes each section's static plan before the
+	// order lint (mirrors mgl.Manager.PermutePlan; the session is the
+	// section id). Coverage checking always uses the unmutated set — a
+	// permutation changes order, not protection.
+	Mutator func(section int64, steps []mgl.PlanStep) []mgl.PlanStep
+}
+
+// SectionAudit is the verdict for one atomic section.
+type SectionAudit struct {
+	Section *ir.Section
+	// Plan is the section's inferred lock set as evaluated.
+	Plan locks.Set
+	// Footprint is the audited access set (deduplicated).
+	Footprint []Access
+	// Violations are non-exempt accesses no acquired lock covers — each one
+	// is a potential data race in the transformed program.
+	Violations []Access
+	// Waste lists class locks whose class the footprint never touches.
+	Waste []locks.Inferred
+	// Top reports that the plan contains the global ⊤ lock.
+	Top bool
+	// Steps is the static acquisition plan (post-Mutator if one is set).
+	Steps []mgl.PlanStep
+}
+
+// OrderViolation is a non-canonical adjacent pair in a section's static
+// acquisition plan — the static analogue of mgl.Watcher's order check.
+type OrderViolation struct {
+	Section    int
+	Prev, Next mgl.PlanStep
+}
+
+func (v OrderViolation) String() string {
+	return fmt.Sprintf("section %d acquires %v before %v (non-canonical order)",
+		v.Section, v.Prev, v.Next)
+}
+
+// Report is the audit outcome for one program.
+type Report struct {
+	Sections        []*SectionAudit
+	OrderViolations []OrderViolation
+	// OrderCycles are cycles in the whole-program static lock-order graph
+	// (nodes are lock identities, edges are consecutive acquisitions): the
+	// static Goodlock condition for deadlock freedom.
+	OrderCycles [][]string
+
+	prog *ir.Program
+	st   *steens.Analysis
+	and  *andersen.Analysis
+}
+
+// Run audits a plan. st must be the analysis the plan's classes came from;
+// and may be nil, in which case a fresh Andersen analysis is computed over
+// prog with opts.Specs.
+func Run(prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, plan map[int]locks.Set, opts Options) *Report {
+	if and == nil {
+		and = andersen.RunWithSpecs(prog, opts.Specs)
+	}
+	z := newAnalyzer(prog, st, and, opts.Specs)
+	rep := &Report{prog: prog, st: st, and: and}
+	for _, sec := range prog.Sections {
+		set := plan[sec.ID]
+		sa := &SectionAudit{Section: sec, Plan: set}
+		sa.Footprint = z.sectionFootprint(sec)
+		auditCoverage(st, set, sa)
+		rep.Sections = append(rep.Sections, sa)
+	}
+	rep.lintOrder(plan, opts.Mutator)
+	return rep
+}
+
+// auditCoverage evaluates the lock set down to denotations over Σ≡ class
+// representatives and checks every footprint access against them.
+func auditCoverage(st *steens.Analysis, set locks.Set, sa *SectionAudit) {
+	var dens []locks.Denotation
+	classLocks := map[steens.NodeID]locks.Inferred{}
+	for _, l := range set.Sorted() {
+		if l.IsGlobal() {
+			sa.Top = true
+			dens = append(dens, locks.DenoteAll(l.Eff))
+			continue
+		}
+		rep := st.Rep(l.Class)
+		// A fine lock's runtime denotation is one cell of its class; the
+		// audit's location domain is classes, so crediting the whole class
+		// is the sound direction for coverage (§3.2: the acquired fine lock
+		// and the accessed cell agree on the class, and within a class the
+		// inference only emits a fine lock for the very path it protects).
+		dens = append(dens, locks.Denote(l.Eff, rep))
+		if old, ok := classLocks[rep]; !ok || l.Eff == locks.RW && old.Eff == locks.RO {
+			classLocks[rep] = l
+		}
+	}
+	touched := map[steens.NodeID]bool{}
+	for _, a := range sa.Footprint {
+		if a.Class >= 0 {
+			touched[st.Rep(a.Class)] = true
+		}
+		if a.Exempt() {
+			continue
+		}
+		if !covered(st, dens, a) {
+			sa.Violations = append(sa.Violations, a)
+		}
+	}
+	// Waste: a class lock protecting nothing the section touches. ⊤ plans
+	// are excused — the fallback is the point of ⊤ — and so is any plan
+	// when a ⊤-requiring access exists (everything else is then shadowed).
+	if !sa.Top {
+		for rep, l := range classLocks {
+			if !touched[rep] {
+				sa.Waste = append(sa.Waste, l)
+			}
+		}
+		sort.Slice(sa.Waste, func(i, j int) bool {
+			return sa.Waste[i].Key() < sa.Waste[j].Key()
+		})
+	}
+}
+
+// covered reports whether any acquired denotation protects the access.
+func covered(st *steens.Analysis, dens []locks.Denotation, a Access) bool {
+	for _, d := range dens {
+		if a.Class < 0 {
+			// Only the full-domain lock can cover an unknown-callee access.
+			if d.All && a.Eff.Leq(d.Eff) {
+				return true
+			}
+			continue
+		}
+		if d.Covers(st.Rep(a.Class), a.Eff) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintOrder checks each section's static plan for canonical order and
+// builds the whole-program acquisition-order graph.
+func (r *Report) lintOrder(plan map[int]locks.Set, mut func(int64, []mgl.PlanStep) []mgl.PlanStep) {
+	edges := map[string]map[string]bool{}
+	node := func(s mgl.PlanStep) string { return s.String() }
+	for i, sec := range r.prog.Sections {
+		steps := staticPlanFor(plan[sec.ID])
+		if mut != nil {
+			steps = mut(int64(sec.ID), steps)
+		}
+		r.Sections[i].Steps = steps
+		for j := 1; j < len(steps); j++ {
+			if mgl.StepLess(steps[j], steps[j-1]) {
+				r.OrderViolations = append(r.OrderViolations, OrderViolation{
+					Section: sec.ID, Prev: steps[j-1], Next: steps[j],
+				})
+			}
+			a, b := node(steps[j-1]), node(steps[j])
+			if a == b {
+				continue
+			}
+			if edges[a] == nil {
+				edges[a] = map[string]bool{}
+			}
+			edges[a][b] = true
+		}
+	}
+	r.OrderCycles = findCycles(edges)
+}
+
+// findCycles returns the non-trivial strongly connected components of the
+// order graph (Tarjan, iterative), each sorted for determinism.
+func findCycles(edges map[string]map[string]bool) [][]string {
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	for _, succ := range edges {
+		for n := range succ {
+			if _, ok := edges[n]; !ok {
+				edges[n] = nil
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var cycles [][]string
+
+	type frame struct {
+		n     string
+		succs []string
+		i     int
+	}
+	succsOf := func(n string) []string {
+		out := make([]string, 0, len(edges[n]))
+		for s := range edges[n] {
+			out = append(out, s)
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		work := []frame{{n: root, succs: succsOf(root)}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.i < len(f.succs) {
+				s := f.succs[f.i]
+				f.i++
+				if _, ok := index[s]; !ok {
+					index[s], low[s] = next, next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					work = append(work, frame{n: s, succs: succsOf(s)})
+				} else if onStack[s] && index[s] < low[f.n] {
+					low[f.n] = index[s]
+				}
+				continue
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := &work[len(work)-1]
+				if low[f.n] < low[p.n] {
+					low[p.n] = low[f.n]
+				}
+			}
+			if low[f.n] == index[f.n] {
+				var comp []string
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					comp = append(comp, m)
+					if m == f.n {
+						break
+					}
+				}
+				if len(comp) > 1 || edges[f.n][f.n] {
+					sort.Strings(comp)
+					cycles = append(cycles, comp)
+				}
+			}
+		}
+	}
+	return cycles
+}
+
+// Sound reports a fully clean audit: no uncovered access and no order
+// defect anywhere.
+func (r *Report) Sound() bool {
+	for _, sa := range r.Sections {
+		if len(sa.Violations) > 0 {
+			return false
+		}
+	}
+	return len(r.OrderViolations) == 0 && len(r.OrderCycles) == 0
+}
+
+// Violations flattens every section's uncovered accesses.
+func (r *Report) Violations() []Access {
+	var out []Access
+	for _, sa := range r.Sections {
+		out = append(out, sa.Violations...)
+	}
+	return out
+}
+
+// Err returns nil for a sound report, or one error naming every defect.
+func (r *Report) Err() error {
+	if r.Sound() {
+		return nil
+	}
+	var b strings.Builder
+	for _, sa := range r.Sections {
+		for _, a := range sa.Violations {
+			fmt.Fprintf(&b, "section %d: unprotected access %s\n", sa.Section.ID, a)
+		}
+	}
+	for _, v := range r.OrderViolations {
+		fmt.Fprintf(&b, "%s\n", v)
+	}
+	for _, c := range r.OrderCycles {
+		fmt.Fprintf(&b, "static lock-order cycle: %s\n", strings.Join(c, " -> "))
+	}
+	return fmt.Errorf("audit failed:\n%s", strings.TrimRight(b.String(), "\n"))
+}

@@ -1,0 +1,325 @@
+package audit
+
+import (
+	"testing"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// compile runs the full pipeline at k and returns everything the auditor
+// needs.
+func compile(t *testing.T, src string, k int, specs map[string]steens.ExternSpec) (*ir.Program, *steens.Analysis, map[int]locks.Set) {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := steens.RunWithSpecs(prog, specs)
+	eng := infer.New(prog, st, infer.Options{K: k, Specs: specs})
+	return prog, st, transform.SectionLocks(eng.AnalyzeAll())
+}
+
+const accountsSrc = `
+struct account { int balance; }
+account* a1;
+account* a2;
+void init() {
+  a1 = new account;
+  a2 = new account;
+}
+void transfer(account* from, account* to, int amount) {
+  atomic {
+    if (from->balance >= amount) {
+      from->balance = from->balance - amount;
+      to->balance = to->balance + amount;
+    }
+  }
+}
+void total() {
+  int t;
+  atomic {
+    t = a1->balance + a2->balance;
+  }
+}
+`
+
+// TestCleanAudit: an inferred plan audits with no violations, no waste, no
+// order defects.
+func TestCleanAudit(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	rep := Run(prog, st, nil, plan, Options{})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("clean program failed audit: %v", err)
+	}
+	for _, sa := range rep.Sections {
+		if len(sa.Footprint) == 0 {
+			t.Errorf("section %d has an empty footprint", sa.Section.ID)
+		}
+		if len(sa.Waste) > 0 {
+			t.Errorf("section %d reports waste %v on an inferred plan", sa.Section.ID, sa.Waste)
+		}
+	}
+}
+
+// TestDropLockFlagged: removing every lock must surface at least one
+// uncovered access per section that had locks.
+func TestDropLockFlagged(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	dropped := transform.DropLock(plan, "")
+	rep := Run(prog, st, nil, dropped, Options{})
+	if len(rep.Violations()) == 0 {
+		t.Fatal("audit did not flag the dropped locks")
+	}
+	for _, sa := range rep.Sections {
+		if len(plan[sa.Section.ID]) > 0 && len(sa.Violations) == 0 {
+			t.Errorf("section %d lost %d locks but shows no violation",
+				sa.Section.ID, len(plan[sa.Section.ID]))
+		}
+	}
+}
+
+// TestDropSingleLockFlagged: dropping one named lock (not the whole plan)
+// is also caught.
+func TestDropSingleLockFlagged(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	var name string
+	for _, set := range plan {
+		for _, l := range set.Sorted() {
+			name = l.String()
+			break
+		}
+		if name != "" {
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("no lock to drop")
+	}
+	dropped := transform.DropLock(plan, name)
+	ndropped := 0
+	for id := range plan {
+		ndropped += len(plan[id]) - len(dropped[id])
+	}
+	if ndropped == 0 {
+		t.Fatalf("DropLock(%q) removed nothing", name)
+	}
+	rep := Run(prog, st, nil, dropped, Options{})
+	if len(rep.Violations()) == 0 {
+		t.Fatalf("audit did not flag dropping %q", name)
+	}
+}
+
+// TestReverseMutatorFlagged: reversing a multi-step acquisition plan must
+// produce order violations (and, with more than one distinct lock pair, a
+// cycle check exercised by the cross-program graph).
+func TestReverseMutatorFlagged(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	base := Run(prog, st, nil, plan, Options{})
+	if !base.Sound() {
+		t.Fatal("baseline not clean")
+	}
+	rep := Run(prog, st, nil, plan, Options{Mutator: ReversePlan})
+	if len(rep.OrderViolations) == 0 {
+		t.Fatal("reversed plans produced no order violations")
+	}
+	if rep.Sound() {
+		t.Fatal("report with order violations claims soundness")
+	}
+	// Coverage is order-independent: reversal must not invent access
+	// violations.
+	if len(rep.Violations()) != 0 {
+		t.Fatalf("reversal changed coverage: %v", rep.Violations())
+	}
+}
+
+// TestCheckMutants: the static mutant checker passes on a healthy
+// program/plan pair.
+func TestCheckMutants(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	if err := CheckMutants("accounts", prog, st, nil, plan, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFreshnessExemption: a section touching only memory it allocates needs
+// (and the inference grants) no locks; the audit must agree via the origin
+// mask, not report violations.
+func TestFreshnessExemption(t *testing.T) {
+	src := `
+struct node { int v; node* next; }
+void f() {
+  atomic {
+    node* n = new node;
+    n->v = 1;
+    node* m = new node;
+    m->next = n;
+  }
+}
+`
+	prog, st, plan := compile(t, src, 3, nil)
+	rep := Run(prog, st, nil, plan, Options{})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("fresh-only section failed audit: %v", err)
+	}
+	sa := rep.Sections[0]
+	for _, a := range sa.Footprint {
+		if a.Class >= 0 && !a.Exempt() && len(sa.Plan) == 0 {
+			t.Errorf("non-exempt access %s with an empty plan escaped the checker", a)
+		}
+	}
+}
+
+// TestExternSpecCovered: a spec'd external call inside a section is covered
+// by the inferred coarse locks over the spec closure.
+func TestExternSpecCovered(t *testing.T) {
+	src := `
+struct node { node* next; int v; }
+node* pool;
+int take();
+void init() { pool = new node; }
+void f() {
+  atomic {
+    int x = take();
+  }
+}
+`
+	specs := map[string]steens.ExternSpec{
+		"take": {Reads: []string{"pool"}, Writes: []string{"pool"}},
+	}
+	prog, st, plan := compile(t, src, 3, specs)
+	rep := Run(prog, st, nil, plan, Options{Specs: specs})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("spec'd extern failed audit: %v", err)
+	}
+	if rep.Sections[0].Top {
+		t.Error("spec'd extern escalated to the global lock")
+	}
+}
+
+// TestUnknownExternTop: an external call without a spec forces the global
+// lock; the audit models it as a ⊤-only access and the plan covers it.
+func TestUnknownExternTop(t *testing.T) {
+	src := `
+int mystery();
+void f() {
+  atomic {
+    int x = mystery();
+  }
+}
+`
+	prog, st, plan := compile(t, src, 3, nil)
+	rep := Run(prog, st, nil, plan, Options{})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("unknown extern failed audit: %v", err)
+	}
+	if !rep.Sections[0].Top {
+		t.Error("plan for an unknown extern does not hold the global lock")
+	}
+	// Dropping the global lock must be a violation: the ⊤ access is only
+	// coverable by ⊤.
+	dropped := transform.DropLock(plan, "")
+	rep2 := Run(prog, st, nil, dropped, Options{})
+	if len(rep2.Violations()) == 0 {
+		t.Error("dropping the global lock not flagged")
+	}
+}
+
+// TestWasteDetection: a lock over a class the section never touches is
+// reported as waste without making the report unsound.
+func TestWasteDetection(t *testing.T) {
+	src := `
+int a; int b;
+void f() {
+  atomic {
+    a = a + 1;
+  }
+}
+`
+	prog, st, plan := compile(t, src, 3, nil)
+	// Plant a spurious coarse lock on b's class.
+	bClass := st.VarCell(prog.Global("b"))
+	for id := range plan {
+		plan[id].Add(locks.CoarseLock(bClass, locks.RW))
+	}
+	rep := Run(prog, st, nil, plan, Options{})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("extra lock made the audit unsound: %v", err)
+	}
+	waste := 0
+	for _, sa := range rep.Sections {
+		waste += len(sa.Waste)
+	}
+	if waste == 0 {
+		t.Error("spurious lock on an untouched class not reported as waste")
+	}
+}
+
+// TestPrecisionReport: the machine-readable report carries the section
+// population and the refinement counters.
+func TestPrecisionReport(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	rep := Run(prog, st, nil, plan, Options{})
+	p := rep.Precision("accounts")
+	if p.Program != "accounts" || len(p.Sections) != 2 {
+		t.Fatalf("precision = %+v, want 2 sections", p)
+	}
+	for _, sp := range p.Sections {
+		if sp.FootprintClasses == 0 {
+			t.Errorf("section %d records no footprint classes", sp.Section)
+		}
+		if sp.Violations != 0 || sp.Waste != 0 {
+			t.Errorf("section %d records defects on a clean plan: %+v", sp.Section, sp)
+		}
+	}
+	if p.SteensClasses == 0 || p.AndersenSubclasses < p.SteensClasses {
+		t.Errorf("refinement counters inconsistent: %+v", p)
+	}
+}
+
+// TestAndersenOracleInInfer: swapping the inclusion-based analysis into the
+// inference's store-transfer oracle yields a plan that still audits clean —
+// the tentpole integration point.
+func TestAndersenOracleInInfer(t *testing.T) {
+	for _, src := range []string{accountsSrc, `
+struct node { node* next; int v; }
+node* head;
+void init() { head = new node; }
+void f(node* n) {
+  atomic {
+    n->next = head;
+    head = n;
+  }
+}
+void worker(int k) {
+  node* mine = new node;
+  f(mine);
+}
+`} {
+		ast, err := lang.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := ir.Lower(ast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := steens.Run(prog)
+		and := andersen.Run(prog)
+		eng := infer.New(prog, st, infer.Options{K: 3, Aliases: and})
+		plan := transform.SectionLocks(eng.AnalyzeAll())
+		rep := Run(prog, st, and, plan, Options{})
+		if err := rep.Err(); err != nil {
+			t.Fatalf("andersen-oracle plan failed audit: %v", err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package audit
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/progen"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/steens"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestAndersenSubsetOfSteensgaard is the differential property over
+// generated programs: on every cell pair at pointer depths 0–2, an
+// Andersen may-alias implies a Steensgaard may-alias (inclusion refines
+// unification, never contradicts it).
+func TestAndersenSubsetOfSteensgaard(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		src := progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed})
+		ast, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog, err := ir.Lower(ast)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := steens.Run(prog)
+		and := andersen.Run(prog)
+		var cells []*ir.Var
+		cells = append(cells, prog.Globals...)
+		for _, f := range prog.Funcs {
+			cells = append(cells, f.Vars...)
+		}
+		for _, v1 := range cells {
+			for _, v2 := range cells {
+				n1, n2 := and.VarCell(v1), and.VarCell(v2)
+				s1, s2 := st.VarCell(v1), st.VarCell(v2)
+				for depth := 0; depth <= 2; depth++ {
+					if and.MayAlias(n1, n2) && !st.MayAlias(s1, s2) {
+						t.Fatalf("seed %d: andersen aliases %s~%s at depth %d, steens does not",
+							seed, v1.Name, v2.Name, depth)
+					}
+					n1, n2 = and.Pointee(n1), and.Pointee(n2)
+					s1, s2 = st.Pointee(s1), st.Pointee(s2)
+				}
+			}
+		}
+	}
+}
+
+// TestRefinementGolden pins the Steensgaard-vs-Andersen refinement counts
+// over the progen sweep: a precision regression in either analysis (or in
+// the counting itself) shows up as a golden diff. Regenerate with
+// `go test ./internal/audit -run TestRefinementGolden -update`.
+func TestRefinementGolden(t *testing.T) {
+	var b strings.Builder
+	for seed := int64(1); seed <= 20; seed++ {
+		tg, err := oracle.FromProgen(seed, 2, 2, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		and := andersen.Run(tg.Prog)
+		classes, subs, refined := 0, 0, 0
+		for _, n := range and.Refinement(tg.Pts) {
+			classes++
+			subs += n
+			if n > 1 {
+				refined++
+			}
+		}
+		fmt.Fprintf(&b, "seed=%d steens_classes=%d andersen_subclasses=%d refined=%d collapsed=%d\n",
+			seed, classes, subs, refined, and.Collapsed())
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "refinement.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("refinement counts drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestStaticMatchesDynamicOrderCheck cross-validates the two order
+// checkers: the same plan-reversal fault must be flagged by the static
+// lint and by the runtime Watcher on an actual execution.
+func TestStaticMatchesDynamicOrderCheck(t *testing.T) {
+	p, err := progs.Get("move")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := oracle.FromCorpus(p, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep := Run(tg.Prog, tg.Pts, nil, tg.Plan, Options{Mutator: ReversePlan})
+	if len(srep.OrderViolations) == 0 {
+		t.Fatal("static lint did not flag the reversed plans")
+	}
+	tg.PlanMutator = ReversePlan
+	drep, err := tg.RunOnce(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drep.OrderViolations) == 0 {
+		t.Fatal("runtime watcher did not flag the reversed plans")
+	}
+}

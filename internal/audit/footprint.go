@@ -1,0 +1,426 @@
+package audit
+
+// Footprint computation: for every atomic section the auditor derives, by a
+// forward interprocedural analysis that is independent of the lock
+// inference, the set of abstract cells the section body may read or write —
+// the call-graph closure over per-function effect summaries, each access
+// labelled with its Σ≡ class, its Andersen location set, its effect, and an
+// origin mask. The origin mask is the static counterpart of the checking
+// interpreter's freshness exemption (§4.2): an access whose pointer can only
+// carry values born inside the section (allocations, null, arithmetic)
+// touches cells no other thread can reach, which is exactly the case where
+// the inference's S_{x=new} and S_{x=null} rules drop locks.
+
+import (
+	"fmt"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+)
+
+// Origin mask bits. An access is exempt from the coverage check iff its
+// mask contains neither originShared nor an unresolved parameter bit.
+const (
+	// originShared marks values that may name pre-section structure: global
+	// and address-taken cells, loads of pre-existing pointers, returns of
+	// external functions.
+	originShared uint64 = 1 << 0
+	// originFresh marks values born inside the analyzed range: allocations
+	// and the non-pointer constants the S rules of Figure 4 drop locks for.
+	originFresh uint64 = 1 << 1
+)
+
+// paramBit is the origin bit for formal parameter i of the function under
+// summary; callers substitute it with the actual argument's origins. Beyond
+// 62 parameters the encoding saturates to originShared (never exempt).
+func paramBit(i int) uint64 {
+	if i > 61 {
+		return originShared
+	}
+	return 1 << (2 + uint(i))
+}
+
+// Access is one element of a section's read/write footprint.
+type Access struct {
+	// Class is the Σ≡ class of the touched cell; negative means the access
+	// is only coverable by the global ⊤ lock (unknown callee, or an
+	// external function without a specification).
+	Class steens.NodeID
+	Eff   locks.Eff
+	// Origins is the origin mask of the pointer the access goes through
+	// (originShared for direct variable-cell accesses).
+	Origins uint64
+	// AndLocs is the Andersen location set of the touched cell — the
+	// inclusion-based refinement of Class. Nil for ⊤ accesses.
+	AndLocs []int
+	// Fn/Stmt/What locate one representative occurrence for reports.
+	Fn   string
+	Stmt int
+	What string
+}
+
+// Exempt reports that the access cannot touch pre-section structure: every
+// origin is section-local (fresh allocations or non-pointer values), so the
+// §4.2 checker would skip it and the inference legitimately holds no lock
+// for it.
+func (ac Access) Exempt() bool {
+	return ac.Origins&originShared == 0 && ac.Origins>>2 == 0
+}
+
+func (ac Access) key() string {
+	return fmt.Sprintf("%d|%s|%d|%v", ac.Class, ac.Eff, ac.Origins, ac.AndLocs)
+}
+
+func (ac Access) String() string {
+	cls := fmt.Sprintf("pts#%d", ac.Class)
+	if ac.Class < 0 {
+		cls = "⊤"
+	}
+	return fmt.Sprintf("%s/%s (%s at %s#%d)", cls, ac.Eff, ac.What, ac.Fn, ac.Stmt)
+}
+
+// fnSummary is the interprocedural effect summary of one function: every
+// access its body (and transitively its callees) may perform, with
+// parameter-relative origins, plus the origin mask of its return value.
+type fnSummary struct {
+	accesses map[string]Access
+	ret      uint64
+}
+
+// analyzer computes footprints for one program.
+type analyzer struct {
+	prog  *ir.Program
+	st    *steens.Analysis
+	and   *andersen.Analysis
+	specs map[string]steens.ExternSpec
+	sums  map[*ir.Func]*fnSummary
+	// externAcc caches the closure accesses of spec'd externals by name.
+	externAcc map[string][]Access
+}
+
+func newAnalyzer(prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, specs map[string]steens.ExternSpec) *analyzer {
+	z := &analyzer{
+		prog:      prog,
+		st:        st,
+		and:       and,
+		specs:     specs,
+		sums:      map[*ir.Func]*fnSummary{},
+		externAcc: map[string][]Access{},
+	}
+	z.solveSummaries()
+	return z
+}
+
+// solveSummaries iterates the per-function analyses to a fixpoint over the
+// call graph (summaries grow monotonically; recursion converges).
+func (z *analyzer) solveSummaries() {
+	for _, f := range z.prog.Funcs {
+		z.sums[f] = &fnSummary{accesses: map[string]Access{}, ret: 0}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range z.prog.Funcs {
+			if f.External || len(f.Stmts) == 0 {
+				continue
+			}
+			init := map[*ir.Var]uint64{}
+			for i, p := range f.Params {
+				init[p] = paramBit(i)
+			}
+			acc, states := z.flow(f, 0, len(f.Stmts)-1, init)
+			sum := z.sums[f]
+			ret := uint64(originShared)
+			if f.RetVar != nil {
+				if st := states[f.Exit]; st != nil {
+					ret = lookup(st, f.RetVar)
+				}
+			}
+			if ret&^sum.ret != 0 {
+				sum.ret |= ret
+				changed = true
+			}
+			for _, a := range acc {
+				k := a.key()
+				if _, ok := sum.accesses[k]; !ok {
+					sum.accesses[k] = a
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// sectionFootprint computes the deduplicated footprint of one section. All
+// variables default to originShared at the section entry: whatever they
+// hold was computed before the section began, hence names pre-existing
+// structure.
+func (z *analyzer) sectionFootprint(sec *ir.Section) []Access {
+	acc, _ := z.flow(sec.Fn, sec.Begin, sec.End, map[*ir.Var]uint64{})
+	seen := map[string]bool{}
+	var out []Access
+	for _, a := range acc {
+		if k := a.key(); !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// lookup reads a variable's origin mask; variables with no recorded
+// definition hold pre-range values (originShared).
+func lookup(state map[*ir.Var]uint64, v *ir.Var) uint64 {
+	if m, ok := state[v]; ok {
+		return m
+	}
+	return originShared
+}
+
+// flow runs the forward origin dataflow over f.Stmts[lo..hi] (successor
+// edges outside the range are ignored) and returns the accesses of every
+// reachable statement plus the fixpoint in-states.
+func (z *analyzer) flow(f *ir.Func, lo, hi int, init map[*ir.Var]uint64) ([]Access, []map[*ir.Var]uint64) {
+	in := make([]map[*ir.Var]uint64, len(f.Stmts))
+	in[lo] = init
+	work := []int{lo}
+	queued := map[int]bool{lo: true}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		queued[i] = false
+		out := z.transfer(f, f.Stmts[i], in[i])
+		for _, j := range f.Stmts[i].Succs {
+			if j < lo || j > hi {
+				continue
+			}
+			if joinInto(&in[j], out) && !queued[j] {
+				queued[j] = true
+				work = append(work, j)
+			}
+		}
+	}
+	var acc []Access
+	for i := lo; i <= hi; i++ {
+		if in[i] == nil {
+			continue // unreachable within the range: never executes
+		}
+		z.collect(f, i, f.Stmts[i], in[i], &acc)
+	}
+	return acc, in
+}
+
+// joinInto folds src into *dst (pointwise mask union), reporting change.
+// Absent entries mean originShared, so joining an explicit mask into an
+// absent entry must keep the shared bit.
+func joinInto(dst *map[*ir.Var]uint64, src map[*ir.Var]uint64) bool {
+	if *dst == nil {
+		*dst = make(map[*ir.Var]uint64, len(src))
+		for v, m := range src {
+			(*dst)[v] = m
+		}
+		return true
+	}
+	changed := false
+	for v, m := range src {
+		old, ok := (*dst)[v]
+		if !ok {
+			old = originShared
+		}
+		if m|old != old || !ok {
+			(*dst)[v] = m | old
+			changed = true
+		}
+	}
+	// A variable present in dst but absent from src holds originShared on
+	// the src path.
+	for v, old := range *dst {
+		if _, ok := src[v]; !ok && old|originShared != old {
+			(*dst)[v] = old | originShared
+			changed = true
+		}
+	}
+	return changed
+}
+
+// transfer applies one statement to the origin state.
+func (z *analyzer) transfer(f *ir.Func, s *ir.Stmt, state map[*ir.Var]uint64) map[*ir.Var]uint64 {
+	out := make(map[*ir.Var]uint64, len(state)+1)
+	for v, m := range state {
+		out[v] = m
+	}
+	switch s.Op {
+	case ir.OpCopy, ir.OpField, ir.OpIndex, ir.OpLoad:
+		// Values read through a fresh object stay fresh-owned: the path to
+		// them did not exist at the section entry, mirroring the backward
+		// S-rule chains that drop locks through x=new definitions.
+		out[s.Dst] = lookup(state, s.Src)
+	case ir.OpAddrOf:
+		out[s.Dst] = originShared
+	case ir.OpNew:
+		out[s.Dst] = originFresh
+	case ir.OpNull, ir.OpConst, ir.OpArith, ir.OpUnary:
+		// Non-heap values: a dereference through them observes no
+		// pre-statement location (the S_{x=null} family).
+		out[s.Dst] = originFresh
+	case ir.OpCall:
+		if s.Dst == nil {
+			break
+		}
+		callee := z.prog.Func(s.Callee)
+		if callee == nil || callee.External {
+			out[s.Dst] = originShared
+		} else {
+			out[s.Dst] = substOrigins(z.sums[callee].ret, callee, s, state)
+		}
+	}
+	return out
+}
+
+// substOrigins rewrites a callee-relative origin mask into the caller's
+// frame: parameter bits become the matching actual's origins.
+func substOrigins(mask uint64, callee *ir.Func, call *ir.Stmt, state map[*ir.Var]uint64) uint64 {
+	out := mask & (originShared | originFresh)
+	for i := range callee.Params {
+		if mask&paramBit(i) == 0 {
+			continue
+		}
+		if i < len(call.Args) {
+			out |= lookup(state, call.Args[i])
+		} else {
+			out |= originShared
+		}
+	}
+	return out
+}
+
+// collect mirrors the G sets of Figure 4 (and the checking interpreter's
+// access points) exactly: dereferences touch the pointee cell, shared
+// variables (globals and address-taken locals) touch their own cell, field
+// and index offsets compute addresses without touching the heap, and calls
+// import the callee's summary.
+func (z *analyzer) collect(f *ir.Func, i int, s *ir.Stmt, state map[*ir.Var]uint64, acc *[]Access) {
+	add := func(class steens.NodeID, eff locks.Eff, origins uint64, and []int, what string) {
+		*acc = append(*acc, Access{
+			Class: class, Eff: eff, Origins: origins, AndLocs: and,
+			Fn: f.Name, Stmt: i, What: what,
+		})
+	}
+	varAccess := func(v *ir.Var, eff locks.Eff) {
+		if v == nil || !(v.Global || v.AddrTaken) {
+			return
+		}
+		add(z.st.VarCell(v), eff, originShared,
+			z.and.Members(z.and.VarCell(v)), "var "+v.Name)
+	}
+	deref := func(v *ir.Var, eff locks.Eff) {
+		add(z.st.Rep(z.st.Pointee(z.st.VarCell(v))), eff, lookup(state, v),
+			z.and.Members(z.and.Pointee(z.and.VarCell(v))), "*"+v.Name)
+	}
+	read := func(v *ir.Var) { varAccess(v, locks.RO) }
+	write := func(v *ir.Var) { varAccess(v, locks.RW) }
+	switch s.Op {
+	case ir.OpCopy:
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpAddrOf:
+		write(s.Dst)
+	case ir.OpLoad:
+		deref(s.Src, locks.RO)
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpStore:
+		deref(s.Dst, locks.RW)
+		read(s.Dst)
+		read(s.Src)
+	case ir.OpField:
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpIndex:
+		read(s.Src)
+		read(s.Src2)
+		write(s.Dst)
+	case ir.OpNew:
+		if s.Src2 != nil {
+			read(s.Src2)
+		}
+		write(s.Dst)
+	case ir.OpNull, ir.OpConst:
+		write(s.Dst)
+	case ir.OpArith:
+		read(s.Src)
+		read(s.Src2)
+		write(s.Dst)
+	case ir.OpUnary:
+		read(s.Src)
+		write(s.Dst)
+	case ir.OpBranch:
+		read(s.Src)
+	case ir.OpCall:
+		for _, a := range s.Args {
+			read(a)
+		}
+		if s.Dst != nil {
+			write(s.Dst)
+		}
+		z.collectCall(f, i, s, state, acc)
+	}
+}
+
+// collectCall imports a callee's effects at a call site.
+func (z *analyzer) collectCall(f *ir.Func, i int, s *ir.Stmt, state map[*ir.Var]uint64, acc *[]Access) {
+	top := func(what string) {
+		*acc = append(*acc, Access{
+			Class: -1, Eff: locks.RW, Origins: originShared,
+			Fn: f.Name, Stmt: i, What: what,
+		})
+	}
+	callee := z.prog.Func(s.Callee)
+	if callee == nil {
+		top("call " + s.Callee + " (unknown)")
+		return
+	}
+	if callee.External {
+		spec, ok := z.specs[s.Callee]
+		if !ok {
+			top("extern " + s.Callee + " (no spec)")
+			return
+		}
+		for _, a := range z.externAccesses(s.Callee, spec) {
+			a.Fn, a.Stmt = f.Name, i
+			*acc = append(*acc, a)
+		}
+		return
+	}
+	for _, a := range z.sums[callee].accesses {
+		a.Origins = substOrigins(a.Origins, callee, s, state)
+		a.Fn, a.Stmt = f.Name, i
+		a.What = s.Callee + ": " + a.What
+		*acc = append(*acc, a)
+	}
+}
+
+// externAccesses resolves a spec's root closures to accesses, cached by
+// function name (closures are call-site independent).
+func (z *analyzer) externAccesses(name string, spec steens.ExternSpec) []Access {
+	if acc, ok := z.externAcc[name]; ok {
+		return acc
+	}
+	var acc []Access
+	closure := func(roots []string, eff locks.Eff) {
+		for _, root := range roots {
+			and := z.and.GlobalReach(z.prog, root)
+			for _, c := range z.st.GlobalClosure(z.prog, root) {
+				acc = append(acc, Access{
+					Class: c, Eff: eff, Origins: originShared, AndLocs: and,
+					What: "extern " + name + " reach(" + root + ")",
+				})
+			}
+		}
+	}
+	closure(spec.Reads, locks.RO)
+	closure(spec.Writes, locks.RW)
+	z.externAcc[name] = acc
+	return acc
+}

@@ -1,0 +1,54 @@
+package audit
+
+import (
+	"testing"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/progen"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/transform"
+
+	"lockinfer/internal/steens"
+)
+
+// FuzzAudit is the no-false-positives property as a fuzz target: for any
+// program the front end accepts, the plan the inference produces must audit
+// clean — zero soundness violations, zero order defects. Any counterexample
+// is either an inference bug (an access the backward analysis misses) or an
+// audit bug (a footprint the forward analysis over-approximates past the
+// plan); both are real defects worth a minimized reproducer.
+func FuzzAudit(f *testing.F) {
+	for _, p := range append(progs.All(), progs.Examples()...) {
+		f.Add(p.Source())
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		f.Add(progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed}))
+	}
+	f.Add("int g; void f() { atomic { g = g + 1; } }")
+	f.Add("struct n { int v; n *next; } n* h; void w(int k) { atomic { h->v = k; } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<15 {
+			t.Skip("oversized input")
+		}
+		ast, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		prog, err := ir.Lower(ast)
+		if err != nil {
+			return
+		}
+		if len(prog.Sections) == 0 {
+			return
+		}
+		st := steens.Run(prog)
+		eng := infer.New(prog, st, infer.Options{K: 2})
+		plan := transform.SectionLocks(eng.AnalyzeAll())
+		rep := Run(prog, st, nil, plan, Options{})
+		if err := rep.Err(); err != nil {
+			t.Fatalf("inferred plan failed audit:\n%v\n--- program ---\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package audit
+
+// Static mutation checks: every plan mutant the dynamic conformance suite
+// (internal/conform) catches by execution must also be caught by the
+// auditor without running anything. Dropping locks must produce coverage
+// violations; permuting acquisition order must produce order-lint
+// violations.
+
+import (
+	"fmt"
+	"strings"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// staticPlanFor lowers one section's lock set to its canonical static
+// acquisition plan.
+func staticPlanFor(set locks.Set) []mgl.PlanStep {
+	return transform.StaticPlan(set)
+}
+
+// ReversePlan reverses a plan's steps — the same mutation the dynamic
+// suite injects through mgl.Manager.PermutePlan.
+func ReversePlan(_ int64, steps []mgl.PlanStep) []mgl.PlanStep {
+	out := make([]mgl.PlanStep, len(steps))
+	for i, s := range steps {
+		out[len(steps)-1-i] = s
+	}
+	return out
+}
+
+// MutantsErr reports the mutants the auditor failed to flag.
+type MutantsErr struct {
+	Name   string
+	Missed []string
+}
+
+func (e *MutantsErr) Error() string {
+	return fmt.Sprintf("%s: audit missed mutants: %s", e.Name, strings.Join(e.Missed, ", "))
+}
+
+// CheckMutants verifies that the auditor statically flags the same plan
+// mutants the dynamic conformance suite catches for this program:
+//
+//   - drop-all: every lock removed from every section (when the plan has
+//     any lock to drop) must yield at least one soundness violation;
+//   - permute: reversing each section's acquisition order (when some
+//     section's static plan has more than one step) must yield at least
+//     one order violation. The static applicability condition is a
+//     superset of the dynamic one: the static plan's step count is an
+//     upper bound on the runtime plan's, since distinct synthetic fine
+//     addresses may collapse to one runtime cell but never split.
+//
+// The unmutated plan must audit clean first; a dirty baseline means the
+// mutant signal is meaningless.
+func CheckMutants(name string, prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, plan map[int]locks.Set, specs map[string]steens.ExternSpec) error {
+	if and == nil {
+		and = andersen.RunWithSpecs(prog, specs)
+	}
+	base := Run(prog, st, and, plan, Options{Specs: specs})
+	if err := base.Err(); err != nil {
+		return fmt.Errorf("%s: baseline not clean: %w", name, err)
+	}
+	var missed []string
+
+	dropped := transform.DropLock(plan, "")
+	ndropped := 0
+	for id, set := range plan {
+		ndropped += len(set) - len(dropped[id])
+	}
+	if ndropped > 0 {
+		rep := Run(prog, st, and, dropped, Options{Specs: specs})
+		if len(rep.Violations()) == 0 {
+			missed = append(missed, "drop-all")
+		}
+	}
+
+	permutable := false
+	for _, sec := range prog.Sections {
+		if len(staticPlanFor(plan[sec.ID])) > 1 {
+			permutable = true
+			break
+		}
+	}
+	if permutable {
+		rep := Run(prog, st, and, plan, Options{Specs: specs, Mutator: ReversePlan})
+		if len(rep.OrderViolations) == 0 {
+			missed = append(missed, "permute")
+		}
+	}
+
+	if len(missed) > 0 {
+		return &MutantsErr{Name: name, Missed: missed}
+	}
+	return nil
+}

@@ -23,6 +23,19 @@ import (
 	"lockinfer/internal/steens"
 )
 
+// AliasOracle answers the may-alias queries of the store transfer function
+// (S_{*x=y} and index-stability checks): which dereference prefixes can read
+// the cell a store writes. Both *steens.Analysis and *andersen.Analysis
+// satisfy it — the NodeIDs are shared — so the inclusion-based analysis can
+// be swapped in for strictly fewer spurious store alternatives while the
+// lock partition itself stays Σ≡ (lock classes name runtime partitions, so
+// they must keep coming from the same analysis the runtimes use).
+type AliasOracle interface {
+	VarCell(v *ir.Var) steens.NodeID
+	Pointee(n steens.NodeID) steens.NodeID
+	MayAlias(n1, n2 steens.NodeID) bool
+}
+
 // Options configures the engine.
 type Options struct {
 	// K bounds the length (operation count) of fine-grain lock expressions;
@@ -37,6 +50,11 @@ type Options struct {
 	// fully conservatively (the global lock). The same specs should be
 	// passed to steens.RunWithSpecs.
 	Specs map[string]steens.ExternSpec
+	// Aliases overrides the store-transfer alias oracle (default: the
+	// Steensgaard analysis itself). Passing an andersen.Analysis built over
+	// the same program tightens the S_{*x=y} rule without changing the lock
+	// name space.
+	Aliases AliasOracle
 }
 
 func (o Options) indexMax() int {
@@ -76,6 +94,7 @@ func (r *Result) Count() (fineRO, fineRW, coarseRO, coarseRW int) {
 type Engine struct {
 	prog *ir.Program
 	pts  *steens.Analysis
+	als  AliasOracle // store-transfer alias oracle (defaults to pts)
 	opts Options
 
 	storeSum  map[*ir.Func]map[steens.NodeID]bool
@@ -109,12 +128,16 @@ func New(prog *ir.Program, pts *steens.Analysis, opts Options) *Engine {
 	e := &Engine{
 		prog:      prog,
 		pts:       pts,
+		als:       opts.Aliases,
 		opts:      opts,
 		storeSum:  pts.StoreSummary(),
 		summaries: map[*ir.Func]*summary{},
 		instances: map[*ir.Func]*instance{},
 		externs:   map[string]*externInfo{},
 		queued:    map[task]bool{},
+	}
+	if e.als == nil {
+		e.als = pts
 	}
 	for name, spec := range opts.Specs {
 		e.externs[name] = e.resolveSpec(spec)
@@ -303,6 +326,18 @@ func (e *Engine) classOf(p locks.Path) steens.NodeID {
 	for _, op := range p.Ops {
 		if op.Kind == locks.OpDeref {
 			n = e.pts.Pointee(n)
+		}
+	}
+	return n
+}
+
+// aliasClassOf computes the alias-oracle node of the cell a path reads —
+// classOf evaluated in the (possibly finer) oracle domain.
+func (e *Engine) aliasClassOf(p locks.Path) steens.NodeID {
+	n := e.als.VarCell(p.Base)
+	for _, op := range p.Ops {
+		if op.Kind == locks.OpDeref {
+			n = e.als.Pointee(n)
 		}
 	}
 	return n

@@ -1,0 +1,63 @@
+package infer_test
+
+// External test package: exercises Options.Aliases (the store-transfer
+// alias oracle swap) end to end through the oracle harness, which the
+// in-package tests cannot import without a cycle.
+
+import (
+	"testing"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/infer"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/transform"
+)
+
+// TestExplicitSteensOracleIsDefault: passing the Steensgaard analysis as
+// the alias oracle explicitly must reproduce the default plans exactly.
+func TestExplicitSteensOracleIsDefault(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		tg, err := oracle.FromProgen(seed, 2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := infer.New(tg.Prog, tg.Pts, infer.Options{K: 2, Aliases: tg.Pts})
+		plan := transform.SectionLocks(eng.AnalyzeAll())
+		for id, want := range tg.Plan {
+			got := plan[id]
+			if len(got) != len(want) {
+				t.Fatalf("seed %d section %d: %d locks with explicit oracle, %d default",
+					seed, id, len(got), len(want))
+			}
+			for key := range want {
+				if !got.Has(want[key]) {
+					t.Fatalf("seed %d section %d: missing %s under explicit oracle",
+						seed, id, want[key])
+				}
+			}
+		}
+	}
+}
+
+// TestAndersenOraclePlansRunClean: plans inferred with the inclusion-based
+// alias oracle stay sound under checked execution — the dynamic half of the
+// tentpole's swap-in guarantee (the static half is audited in
+// internal/audit).
+func TestAndersenOraclePlansRunClean(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		tg, err := oracle.FromProgen(seed, 2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		and := andersen.Run(tg.Prog)
+		eng := infer.New(tg.Prog, tg.Pts, infer.Options{K: 2, Aliases: and})
+		tg.Plan = transform.SectionLocks(eng.AnalyzeAll())
+		rep, err := tg.RunOnce(true)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("seed %d: andersen-oracle plan tripped the oracle: %v", seed, err)
+		}
+	}
+}

@@ -98,7 +98,7 @@ func (in *instance) rewriteDeref(s *ir.Stmt, it item, nf map[string]item) {
 // other locks persist (weak update).
 func (in *instance) transferStore(s *ir.Stmt, it item, nf map[string]item) {
 	p := it.lock.Path
-	writtenClass := in.eng.pts.Pointee(in.eng.pts.VarCell(s.Dst))
+	writtenClass := in.eng.als.Pointee(in.eng.als.VarCell(s.Dst))
 	// Walk the dereferences of p: position j reads the cell addressed by
 	// the prefix p.Ops[:j].
 	for j, op := range p.Ops {
@@ -106,7 +106,7 @@ func (in *instance) transferStore(s *ir.Stmt, it item, nf map[string]item) {
 			continue
 		}
 		prefix := locks.Path{Base: p.Base, Ops: p.Ops[:j]}
-		if in.eng.pts.MayAlias(in.eng.classOf(prefix), writtenClass) {
+		if in.eng.als.MayAlias(in.eng.aliasClassOf(prefix), writtenClass) {
 			// The value read at this dereference may be y's value.
 			in.addPath(nf, prepend(s.Src, []locks.PathOp{deref()}, p.Ops[j+1:]), it.lock.Eff, it.src)
 		}
@@ -120,7 +120,7 @@ func (in *instance) transferStore(s *ir.Stmt, it item, nf map[string]item) {
 	// An index expression whose variable cell may alias the written cell is
 	// no longer stable across the store.
 	for _, v := range pathIndexVars(p) {
-		if in.eng.pts.MayAlias(in.eng.pts.VarCell(v), writtenClass) {
+		if in.eng.als.MayAlias(in.eng.als.VarCell(v), writtenClass) {
 			in.emitCoarse(in.eng.coarseOf(p, it.lock.Eff), it.src)
 			return
 		}

@@ -294,6 +294,19 @@ type PlanStep struct {
 	Mode  Mode
 }
 
+// String renders the step's lock identity and mode, e.g. "root/X",
+// "class#3/S" or "fine#3@7/X".
+func (s PlanStep) String() string {
+	switch s.Kind {
+	case 0:
+		return "root/" + s.Mode.String()
+	case 1:
+		return fmt.Sprintf("class#%d/%s", s.Class, s.Mode)
+	default:
+		return fmt.Sprintf("fine#%d@%d/%s", s.Class, s.Addr, s.Mode)
+	}
+}
+
 // stepLess is the canonical global order over plan steps: the root first,
 // then partitions by class id, then fine leaves by (class, address).
 func stepLess(a, b PlanStep) bool {
@@ -304,6 +317,24 @@ func stepLess(a, b PlanStep) bool {
 		return a.Class < b.Class
 	}
 	return a.Addr < b.Addr
+}
+
+// StepLess exposes the canonical global acquisition order over plan steps:
+// the root first, then partitions by class id, then fine leaves by
+// (class, address). The Watcher asserts it dynamically on every grant; the
+// static plan auditor asserts it on whole plans without executing.
+func StepLess(a, b PlanStep) bool { return stepLess(a, b) }
+
+// CanonicalPlan reports whether steps respect the canonical global order
+// (nondecreasing under StepLess). BuildPlan always returns a canonical plan;
+// a non-canonical one can only come from a plan mutator.
+func CanonicalPlan(steps []PlanStep) bool {
+	for i := 1; i < len(steps); i++ {
+		if stepLess(steps[i], steps[i-1]) {
+			return false
+		}
+	}
+	return true
 }
 
 // smallPlanReqs bounds the descriptor count handled by the allocation-light

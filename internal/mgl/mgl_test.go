@@ -434,3 +434,39 @@ func TestBuildPlanShapes(t *testing.T) {
 		t.Error("empty request list should yield no plan")
 	}
 }
+
+// TestCanonicalPlanOrder: BuildPlan output is canonical under StepLess;
+// any reversal of a multi-step plan is not, and the step renderings are
+// stable lock identities.
+func TestCanonicalPlanOrder(t *testing.T) {
+	plan := BuildPlan([]Req{
+		{Class: 2, Fine: true, Addr: 5, Write: true},
+		{Class: 1, Write: true},
+	})
+	if !CanonicalPlan(plan) {
+		t.Fatalf("BuildPlan output not canonical: %v", plan)
+	}
+	rev := make([]PlanStep, len(plan))
+	for i, s := range plan {
+		rev[len(plan)-1-i] = s
+	}
+	if CanonicalPlan(rev) {
+		t.Fatalf("reversed plan passed the canonical check: %v", rev)
+	}
+	for i := 1; i < len(plan); i++ {
+		if StepLess(plan[i], plan[i-1]) {
+			t.Errorf("steps %d,%d out of order: %v < %v", i-1, i, plan[i], plan[i-1])
+		}
+	}
+	for _, want := range []string{"root/IX", "class#1/X", "class#2/IX", "fine#2@5/X"} {
+		found := false
+		for _, s := range plan {
+			if s.String() == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no step renders as %q in %v", want, plan)
+		}
+	}
+}

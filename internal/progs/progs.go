@@ -95,9 +95,25 @@ func All() []Prog {
 	}
 }
 
-// Get returns the named corpus program.
+// Examples returns the documentation programs (the sources the runnable
+// examples under examples/ compile): the two-account transfer of Figure
+// 1's flavor and a minimal shared counter. They are kept out of All() so
+// Table 1 reproductions and corpus-shape assertions see only the benchmark
+// corpus, but the audit and conformance tooling can still sweep them.
+func Examples() []Prog {
+	return []Prog{
+		{Name: "accounts", File: "accounts.minic", Sections: 2,
+			Setup: "init", Worker: "worker",
+			WorkerArgs: func(thread, ops int) []int64 { return []int64{int64(ops)} }},
+		{Name: "counter", File: "counter.minic", Sections: 1,
+			Worker:     "bump",
+			WorkerArgs: func(thread, ops int) []int64 { return []int64{int64(ops)} }},
+	}
+}
+
+// Get returns the named corpus or example program.
 func Get(name string) (Prog, error) {
-	for _, p := range All() {
+	for _, p := range append(All(), Examples()...) {
 		if p.Name == name {
 			return p, nil
 		}

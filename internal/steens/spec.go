@@ -87,7 +87,10 @@ func (a *Analysis) applySpec(prog *ir.Program, call *ir.Stmt, spec ExternSpec) {
 // ReachableClasses returns the cell classes reachable from start by
 // following pointee edges, including start. Exploration follows only
 // pointee links that already exist (it never materializes fresh leaf
-// classes) and stops on cycles.
+// classes) and stops on cycles. Every returned id is a representative and
+// the list is duplicate-free even when callers race the walk against later
+// unions: the result is re-normalized through Rep before returning, so two
+// visited nodes that have since been merged collapse to one entry.
 func (a *Analysis) ReachableClasses(start NodeID) []NodeID {
 	seen := map[NodeID]bool{}
 	var out []NodeID
@@ -104,11 +107,18 @@ func (a *Analysis) ReachableClasses(start NodeID) []NodeID {
 		}
 		cur = next
 	}
-	return out
+	return dedupeNodes(a, out)
 }
 
 // GlobalClosure resolves a global name to its reachable cell classes
 // (starting at the global's target, i.e. what the pointer leads to).
+//
+// GlobalClosure is a pure read: it never materializes a pointee class. A
+// global that holds no pointer (an int counter, say) closes over exactly its
+// own cell — the previous behavior of minting an empty phantom class here
+// both mutated the analysis from a query path (breaking Rep's concurrent-
+// read contract) and double-counted classes downstream, since the phantom
+// could later be unified into a real class that the closure already listed.
 func (a *Analysis) GlobalClosure(prog *ir.Program, name string) []NodeID {
 	g := prog.Global(name)
 	if g == nil {
@@ -116,7 +126,9 @@ func (a *Analysis) GlobalClosure(prog *ir.Program, name string) []NodeID {
 	}
 	// Include the global's own cell plus everything reachable through it.
 	out := []NodeID{a.VarCell(g)}
-	out = append(out, a.ReachableClasses(a.Pointee(a.VarCell(g)))...)
+	if p, ok := a.pointeeExists(a.VarCell(g)); ok {
+		out = append(out, a.ReachableClasses(p)...)
+	}
 	return dedupeNodes(a, out)
 }
 

@@ -1,0 +1,118 @@
+package steens
+
+import (
+	"testing"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestGlobalClosureIsPure: closing over a pointer-free global (an int
+// counter) must return exactly the global's own cell and must not
+// materialize a pointee class — the query used to mint an empty phantom
+// class, mutating the analysis from a read path.
+func TestGlobalClosureIsPure(t *testing.T) {
+	prog, a := analyze(t, `
+int counter;
+void bump() {
+  atomic { counter = counter + 1; }
+}
+`)
+	g := prog.Global("counter")
+	before := len(a.Classes())
+	got := a.GlobalClosure(prog, "counter")
+	if len(got) != 1 || got[0] != a.Rep(a.VarCell(g)) {
+		t.Errorf("GlobalClosure(counter) = %v, want exactly [%d]", got, a.Rep(a.VarCell(g)))
+	}
+	if after := len(a.Classes()); after != before {
+		t.Errorf("GlobalClosure materialized classes: %d -> %d", before, after)
+	}
+	// Repeated queries agree (no state mutated by the first).
+	again := a.GlobalClosure(prog, "counter")
+	if len(again) != len(got) || again[0] != got[0] {
+		t.Errorf("GlobalClosure not idempotent: %v then %v", got, again)
+	}
+}
+
+// TestGlobalClosureDedupesThroughRep: when unification merges nodes along a
+// reachability chain (a self-referential structure), the closure must list
+// each surviving representative once.
+func TestGlobalClosureDedupesThroughRep(t *testing.T) {
+	prog, a := analyze(t, `
+struct node { node* next; int v; }
+node* head;
+void init() {
+  head = new node;
+  head->next = head;
+}
+`)
+	got := a.GlobalClosure(prog, "head")
+	seen := map[NodeID]bool{}
+	for _, n := range got {
+		if n != a.Rep(n) {
+			t.Errorf("closure contains non-representative %d (rep %d)", n, a.Rep(n))
+		}
+		if seen[n] {
+			t.Errorf("closure lists %d twice: %v", n, got)
+		}
+		seen[n] = true
+	}
+	// The closure must reach the list cell class.
+	cell := a.Rep(a.Pointee(a.VarCell(prog.Global("head"))))
+	if !seen[cell] {
+		t.Errorf("closure %v missing the list cell class %d", got, cell)
+	}
+}
+
+// TestReachableClassesAllReps: every id ReachableClasses returns is a
+// representative, pairwise distinct, also under specs that unify mid-walk
+// structures.
+func TestReachableClassesAllReps(t *testing.T) {
+	src := `
+struct node { node* next; }
+node* pool;
+void link(node* n);
+void init() {
+  pool = new node;
+  pool->next = new node;
+}
+void f() {
+  node* mine = new node;
+  link(mine);
+}
+`
+	prog := lower(t, src)
+	specs := map[string]ExternSpec{
+		"link": {Writes: []string{"pool"}},
+	}
+	a := RunWithSpecs(prog, specs)
+	for _, start := range []NodeID{
+		a.VarCell(prog.Global("pool")),
+		a.Pointee(a.VarCell(prog.Global("pool"))),
+	} {
+		got := a.ReachableClasses(start)
+		seen := map[NodeID]bool{}
+		for _, n := range got {
+			if n != a.Rep(n) {
+				t.Errorf("ReachableClasses(%d) yields non-representative %d", start, n)
+			}
+			if seen[n] {
+				t.Errorf("ReachableClasses(%d) lists %d twice: %v", start, n, got)
+			}
+			seen[n] = true
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"lockinfer/internal/ir"
 	"lockinfer/internal/lang"
 	"lockinfer/internal/locks"
+	"lockinfer/internal/mgl"
 )
 
 // SectionLocks collects per-section lock sets keyed by section id, the
@@ -71,6 +72,45 @@ func DropLock(plan map[int]locks.Set, name string) map[int]locks.Set {
 		out[id] = ns
 	}
 	return out
+}
+
+// StaticReqs lowers one section's inferred lock set to runtime descriptors
+// without executing anything: coarse and global locks translate directly,
+// and each distinct fine path within a class is assigned a small synthetic
+// address in the deterministic Sorted order (two fine locks on the same
+// path share an address, just as their runtime evaluations would share a
+// cell). The result feeds mgl.BuildPlan so the static auditor can analyze
+// the exact plan shape the runtime would acquire.
+func StaticReqs(set locks.Set) []mgl.Req {
+	addrs := map[string]uint64{}
+	next := uint64(1)
+	var reqs []mgl.Req
+	for _, l := range set.Sorted() {
+		switch {
+		case l.IsGlobal():
+			reqs = append(reqs, mgl.Req{Global: true, Write: true})
+		case !l.Fine:
+			reqs = append(reqs, mgl.Req{Class: mgl.ClassID(l.Class), Write: l.Eff == locks.RW})
+		default:
+			key := fmt.Sprintf("%d|%s", l.Class, l.Path.Key())
+			addr, ok := addrs[key]
+			if !ok {
+				addr = next
+				next++
+				addrs[key] = addr
+			}
+			reqs = append(reqs, mgl.Req{
+				Class: mgl.ClassID(l.Class), Fine: true, Addr: addr, Write: l.Eff == locks.RW,
+			})
+		}
+	}
+	return reqs
+}
+
+// StaticPlan builds the canonical acquisition plan for one section's lock
+// set, with synthetic fine addresses (see StaticReqs).
+func StaticPlan(set locks.Set) []mgl.PlanStep {
+	return mgl.BuildPlan(StaticReqs(set))
 }
 
 // Source renders the transformed program: the original program with every
