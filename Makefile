@@ -9,7 +9,7 @@ GO ?= go
 
 .PHONY: check check-long build test test-long vet race race-long oracle-short \
 	conform conform-short audit audit-short cover cover-update bench \
-	bench-paper fuzz
+	bench-paper bench-pipeline bench-pipeline-short fuzz
 
 build:
 	$(GO) build ./...
@@ -62,16 +62,16 @@ audit-short:
 # baseline. After intentional changes run `make cover-update` and commit
 # coverage_baseline.txt.
 cover:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt
 
 cover-update:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt -update
 
-check: build vet race oracle-short cover conform-short audit-short
+check: build vet race oracle-short cover conform-short audit-short bench-pipeline-short
 
-check-long: build vet race-long oracle-short cover conform audit
+check-long: build vet race-long oracle-short cover conform audit bench-pipeline
 
 # Wall-clock throughput of the sharded lock runtime vs the pre-sharding
 # baseline, gated against the committed BENCH_PR2.json (fails on >20%
@@ -84,6 +84,17 @@ bench:
 # Paper-reproduction tables on the machine simulator (the pre-PR `bench`).
 bench-paper:
 	$(GO) test -bench 'Table|Figure' -benchtime 1x -run XXX .
+
+# Serial-vs-parallel inference wall time over the conform sweep, the corpus
+# and a sections-heavy generated suite, at 1/2/4/8 workers. The committed
+# BENCH_PR5.json is the evidence artifact (its notes explain hosts or
+# suites where parallel speedup is unobtainable); the short variant is the
+# CI smoke and writes only the ignored .latest file.
+bench-pipeline:
+	$(GO) run ./cmd/lockbench -pipeline -json BENCH_PR5.json
+
+bench-pipeline-short:
+	$(GO) run ./cmd/lockbench -pipeline-short -json BENCH_PR5.latest.json
 
 # Native fuzzers: parser round-trip, lock-plan invariants, and the audit
 # no-false-positives property, 30s each. FuzzParse is seeded with the

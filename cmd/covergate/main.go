@@ -22,6 +22,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+
+	"lockinfer/internal/pipeline"
 )
 
 func main() {
@@ -30,14 +33,21 @@ func main() {
 		baseline  = flag.String("baseline", "coverage_baseline.txt", "committed per-package baseline")
 		tolerance = flag.Float64("tolerance", 2.0, "allowed drop in percentage points")
 		update    = flag.Bool("update", false, "rewrite the baseline from the profile and exit")
+		trace     = flag.String("trace", "", "dump the per-pass trace to stderr: json or table")
 	)
 	flag.Parse()
 
+	start := time.Now()
 	got, err := packageCoverage(*profile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "covergate:", err)
 		os.Exit(2)
 	}
+	// The gate records its phases into the same trace the compiler passes
+	// use, so -trace works uniformly across the cmd tools.
+	pipeline.Shared().Record(pipeline.Sample{
+		Pass: "coverprofile", Wall: time.Since(start), Facts: int64(len(got)),
+	})
 	if *update {
 		if err := writeBaseline(*baseline, got); err != nil {
 			fmt.Fprintln(os.Stderr, "covergate:", err)
@@ -53,6 +63,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "covergate:", err)
 		os.Exit(2)
 	}
+	start = time.Now()
 	failed := false
 	for _, pkg := range sortedKeys(want) {
 		base := want[pkg]
@@ -71,6 +82,10 @@ func main() {
 			fmt.Printf("covergate: ok   %s: %.1f%% (baseline %.1f%%)\n", pkg, cur, base)
 		}
 	}
+	pipeline.Shared().Record(pipeline.Sample{
+		Pass: "gate", Wall: time.Since(start), Facts: int64(len(want)),
+	})
+	pipeline.DumpShared(os.Stderr, *trace)
 	if failed {
 		fmt.Println("covergate: coverage ratchet failed; if the drop is intentional, rerun with -update and commit the baseline")
 		os.Exit(1)

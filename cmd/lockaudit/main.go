@@ -30,6 +30,7 @@ import (
 
 	"lockinfer/internal/audit"
 	"lockinfer/internal/oracle"
+	"lockinfer/internal/pipeline"
 	"lockinfer/internal/progs"
 )
 
@@ -44,8 +45,11 @@ func main() {
 		short     = flag.Bool("short", false, "reduced budget: 10 seeds")
 		jsonOut   = flag.String("json", "", "write the precision report to this file")
 		verbose   = flag.Bool("v", false, "log per-program results")
+		workers   = flag.Int("workers", pipeline.AutoWorkers, "inference workers per program (-1 for GOMAXPROCS; plans are identical at any count)")
+		trace     = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
 	flag.Parse()
+	pipeline.SetDefaultWorkers(*workers)
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "lockaudit:", err)
@@ -87,7 +91,9 @@ func main() {
 	checkedMutants, flaggedMutants := 0, 0
 	var precisions []audit.Precision
 	for _, tg := range targets {
-		rep := audit.Run(tg.Prog, tg.Pts, nil, tg.Plan, audit.Options{})
+		// The pipeline computes (and caches, and traces) the Andersen
+		// refinement once per program; the auditor reuses it.
+		rep := audit.Run(tg.Prog, tg.Pts, tg.C.Andersen(), tg.Plan, audit.Options{})
 		precisions = append(precisions, rep.Precision(tg.Name))
 		if err := rep.Err(); err != nil {
 			failures++
@@ -100,7 +106,7 @@ func main() {
 		if !*mutants {
 			continue
 		}
-		err := audit.CheckMutants(tg.Name, tg.Prog, tg.Pts, nil, tg.Plan, nil)
+		err := audit.CheckMutants(tg.Name, tg.Prog, tg.Pts, tg.C.Andersen(), tg.Plan, nil)
 		checkedMutants++
 		if err != nil {
 			failures++
@@ -129,6 +135,7 @@ func main() {
 		fmt.Printf("; %d/%d mutation checks passed", flaggedMutants, checkedMutants)
 	}
 	fmt.Println()
+	pipeline.DumpShared(os.Stderr, *trace)
 	if failures > 0 {
 		fmt.Printf("lockaudit: %d FAILURES\n", failures)
 		os.Exit(1)

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"lockinfer/internal/bench"
+	"lockinfer/internal/pipeline"
 )
 
 func main() {
@@ -47,8 +48,22 @@ func main() {
 		jsonPath = flag.String("json", "", "write the -throughput report to this JSON file")
 		basePath = flag.String("baseline", "", "gate -throughput against this committed report")
 		gateTol  = flag.Float64("gate-tol", bench.DefaultGateTolerance, "allowed fractional regression for -baseline")
+
+		pipe      = flag.Bool("pipeline", false, "serial-vs-parallel inference wall-time sweep")
+		pipeShort = flag.Bool("pipeline-short", false, "reduced -pipeline budget for CI")
+		pipeWkrs  = flag.String("pipe-workers", "1,2,4,8", "comma-separated worker counts for -pipeline")
+
+		trace = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
 	flag.Parse()
+	defer pipeline.DumpShared(os.Stderr, *trace)
+	if *pipe || *pipeShort {
+		if err := runPipelineBench(*pipeWkrs, *pipeShort, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *tput {
 		if err := runThroughput(*gorList, *tputOps, *seed, *jsonPath, *basePath, *gateTol); err != nil {
 			fmt.Fprintln(os.Stderr, "lockbench:", err)
@@ -116,20 +131,50 @@ func main() {
 	}
 }
 
-// runThroughput drives the wall-clock throughput sweep: print the table,
-// optionally persist JSON, optionally gate against a baseline.
-func runThroughput(gorList string, opsPerG int, seed int64, jsonPath, basePath string, tol float64) error {
-	var gors []int
-	for _, part := range strings.Split(gorList, ",") {
+// runPipelineBench drives the serial-vs-parallel inference sweep: print the
+// table, optionally persist the BENCH_PR5.json report.
+func runPipelineBench(workerList string, short bool, jsonPath string) error {
+	workers, err := parseCounts(workerList)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.PipelineBench(bench.PipelineBenchOptions{Workers: workers, Short: short})
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Pipeline: inference wall time, serial vs parallel workers ===")
+	fmt.Print(bench.FormatPipelineBench(rep))
+	if jsonPath != "" {
+		if err := bench.WritePipelineBench(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func parseCounts(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 {
-			return fmt.Errorf("bad -goroutines entry %q", part)
+			return nil, fmt.Errorf("bad count %q", part)
 		}
-		gors = append(gors, n)
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runThroughput drives the wall-clock throughput sweep: print the table,
+// optionally persist JSON, optionally gate against a baseline.
+func runThroughput(gorList string, opsPerG int, seed int64, jsonPath, basePath string, tol float64) error {
+	gors, err := parseCounts(gorList)
+	if err != nil {
+		return fmt.Errorf("bad -goroutines list: %w", err)
 	}
 	rep, err := bench.Throughput(bench.ThroughputOptions{
 		Goroutines: gors,

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	lockc [-k N] [-mode source|locks|ir] file.minic
+//	lockc [-k N] [-mode source|locks|ir] [-workers N] [-trace json|table] file.minic
 //
-// With no file, lockc reads standard input.
+// With no file, lockc reads standard input. -trace dumps the per-pass
+// pipeline trace (wall time, iterations, facts, cache hits) to stderr.
 package main
 
 import (
@@ -17,11 +18,14 @@ import (
 	"os"
 
 	"lockinfer"
+	"lockinfer/internal/pipeline"
 )
 
 func main() {
 	k := flag.Int("k", 3, "expression-lock length bound (0..9)")
 	mode := flag.String("mode", "source", "output: source (transformed program), locks (lock report), ir (lowered program)")
+	workers := flag.Int("workers", 1, "inference workers (-1 for GOMAXPROCS; plans are identical at any count)")
+	trace := flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	flag.Parse()
 
 	var src []byte
@@ -40,7 +44,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	c, err := lockinfer.Compile(string(src), lockinfer.WithK(*k))
+	c, err := lockinfer.Compile(string(src), lockinfer.WithK(*k), lockinfer.WithWorkers(*workers))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockc:", err)
 		os.Exit(1)
@@ -58,4 +62,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lockc: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+	pipeline.DumpShared(os.Stderr, *trace)
 }

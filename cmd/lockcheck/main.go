@@ -27,6 +27,7 @@ import (
 	"lockinfer/internal/interp"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/oracle"
+	"lockinfer/internal/pipeline"
 	"lockinfer/internal/progs"
 )
 
@@ -43,8 +44,11 @@ func main() {
 		checked   = flag.Bool("checked", true, "also run the §4.2 lock-coverage checker")
 		drop      = flag.String("drop", "", "mutation: drop inferred locks whose name contains this")
 		reorder   = flag.Bool("reorder", false, "mutation: odd sessions acquire in reverse order")
+		workers   = flag.Int("workers", 1, "inference workers (-1 for GOMAXPROCS; plans are identical at any count)")
+		trace     = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
 	flag.Parse()
+	pipeline.SetDefaultWorkers(*workers)
 
 	if *list {
 		for _, p := range progs.All() {
@@ -104,6 +108,7 @@ func main() {
 	for _, e := range res.Errs {
 		fmt.Println("  ERROR:", e)
 	}
+	pipeline.DumpShared(os.Stderr, *trace)
 	if err := res.Err(); err != nil {
 		fmt.Println("oracle FIRED")
 		os.Exit(1)

@@ -27,6 +27,7 @@ import (
 
 	"lockinfer/internal/conform"
 	"lockinfer/internal/oracle"
+	"lockinfer/internal/pipeline"
 	"lockinfer/internal/progs"
 )
 
@@ -44,8 +45,11 @@ func main() {
 		mutants   = flag.Bool("mutants", true, "also run negative conformance (fault injection)")
 		short     = flag.Bool("short", false, "reduced budget: 10 seeds, 1 repeat, 48 serializations")
 		verbose   = flag.Bool("v", false, "log per-program progress")
+		workers   = flag.Int("workers", pipeline.AutoWorkers, "inference workers per program (-1 for GOMAXPROCS; plans are identical at any count)")
+		trace     = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
 	flag.Parse()
+	pipeline.SetDefaultWorkers(*workers)
 
 	engs, err := conform.ParseEngines(*engines)
 	if err != nil {
@@ -137,6 +141,7 @@ func main() {
 		fmt.Printf("; %d/%d mutants flagged", flagged, mutantRuns)
 	}
 	fmt.Println()
+	pipeline.DumpShared(os.Stderr, *trace)
 	if failures > 0 {
 		fmt.Printf("lockconform: %d FAILURES\n", failures)
 		os.Exit(1)

@@ -54,6 +54,7 @@ type Analysis struct {
 	reach  [][2]int // spec Writes: every loc reachable from root may point at arg's targets
 
 	collapsed int // locations merged by cycle collapsing
+	rounds    int // solver waves run to reach the fixpoint
 
 	// Interned composite sets (ids nloc, nloc+1, ...).
 	setIDs map[string]NodeID
@@ -278,6 +279,7 @@ func (a *Analysis) constrainSpec(call *ir.Stmt, spec steens.ExternSpec) {
 // constraint evaluation) until nothing changes.
 func (a *Analysis) solve() {
 	for {
+		a.rounds++
 		a.collapseCycles()
 		a.propagate()
 		if !a.applyComplex() {
@@ -285,6 +287,9 @@ func (a *Analysis) solve() {
 		}
 	}
 }
+
+// Rounds returns the number of solver waves run to reach the fixpoint.
+func (a *Analysis) Rounds() int { return a.rounds }
 
 // collapseCycles merges every copy-edge strongly-connected component into a
 // single constraint node (iterative Tarjan over representatives).

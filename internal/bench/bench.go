@@ -22,13 +22,10 @@ import (
 	"strings"
 	"time"
 
-	"lockinfer/internal/infer"
-	"lockinfer/internal/ir"
-	"lockinfer/internal/lang"
+	"lockinfer/internal/pipeline"
 	"lockinfer/internal/progen"
 	"lockinfer/internal/progs"
 	"lockinfer/internal/sim"
-	"lockinfer/internal/steens"
 	"lockinfer/internal/workload"
 )
 
@@ -61,17 +58,10 @@ func Table1(opt Table1Options) ([]Table1Row, error) {
 		for _, spec := range progen.SPECPrograms() {
 			spec.KLoC *= scale
 			src := progen.Generate(spec)
-			prog, err := compileSrc(src)
+			row, err := table1Row(spec.Name, src, float64(progen.Lines(src))/1000)
 			if err != nil {
-				return nil, fmt.Errorf("bench: %s: %w", spec.Name, err)
+				return nil, err
 			}
-			row := Table1Row{
-				Program:  spec.Name,
-				KLoC:     float64(progen.Lines(src)) / 1000,
-				Sections: len(prog.Sections),
-			}
-			row.TimeK0 = timeAnalysis(prog, 0)
-			row.TimeK9 = timeAnalysis(prog, 9)
 			rows = append(rows, row)
 		}
 	}
@@ -79,41 +69,43 @@ func Table1(opt Table1Options) ([]Table1Row, error) {
 		if p.Name == "move" || p.Name == "fig2" {
 			continue
 		}
-		ast, err := lang.Parse(p.Source())
+		row, err := table1Row(p.Name, p.Source(), float64(p.Lines())/1000)
 		if err != nil {
 			return nil, err
 		}
-		prog, err := ir.Lower(ast)
-		if err != nil {
-			return nil, err
-		}
-		row := Table1Row{
-			Program:  p.Name,
-			KLoC:     float64(p.Lines()) / 1000,
-			Sections: len(prog.Sections),
-		}
-		row.TimeK0 = timeAnalysis(prog, 0)
-		row.TimeK9 = timeAnalysis(prog, 9)
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-func compileSrc(src string) (*ir.Program, error) {
-	ast, err := lang.Parse(src)
+func table1Row(name, src string, kloc float64) (Table1Row, error) {
+	c, t0, err := timeAnalysis(name, src, 0)
 	if err != nil {
-		return nil, err
+		return Table1Row{}, err
 	}
-	return ir.Lower(ast)
+	_, t9, err := timeAnalysis(name, src, 9)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	return Table1Row{
+		Program:  name,
+		KLoC:     kloc,
+		Sections: len(c.Program.Sections),
+		TimeK0:   t0,
+		TimeK9:   t9,
+	}, nil
 }
 
-// timeAnalysis runs the points-to analysis plus the lock inference, the two
-// phases the paper's Table 1 column covers.
-func timeAnalysis(prog *ir.Program, k int) time.Duration {
-	start := time.Now()
-	pts := steens.Run(prog)
-	infer.New(prog, pts, infer.Options{K: k}).AnalyzeAll()
-	return time.Since(start)
+// timeAnalysis compiles src uncached and reports the points-to plus lock
+// inference wall time — the two phases the paper's Table 1 column covers —
+// as measured by the pipeline's own trace.
+func timeAnalysis(name, src string, k int) (*pipeline.Compilation, time.Duration, error) {
+	tr := pipeline.NewTrace()
+	c, err := pipeline.Compile(src, pipeline.Options{Name: name, NoCache: true, Trace: tr}.WithK(k))
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: %w", err)
+	}
+	return c, tr.WallOf("pointsto") + tr.WallOf("infer"), nil
 }
 
 // FormatTable1 renders the rows like the paper's Table 1.

@@ -103,7 +103,32 @@ type Engine struct {
 	externs   map[string]*externInfo
 	queue     []task
 	queued    map[task]bool
+	stats     Stats
 }
+
+// Stats counts the work an engine (and, for the parallel driver, its
+// per-section children) performed. The pipeline surfaces these as the
+// infer pass's observability record.
+type Stats struct {
+	// Sections is the number of atomic sections analyzed.
+	Sections int
+	// Tasks is the number of worklist tasks processed (the backward
+	// dataflow's iteration count).
+	Tasks int64
+	// Facts is the cumulative number of dataflow items written at
+	// statement before-points (each fixpoint refinement rewrites a
+	// statement's whole fact, so this counts item-writes, not the final
+	// fact sizes).
+	Facts int64
+	// Summaries is the number of function summaries instantiated.
+	Summaries int
+	// Workers records the driver used for the last Analyze drive: 1 for
+	// the serial engine, >1 for AnalyzeAllParallel.
+	Workers int
+}
+
+// Stats returns the work counters accumulated so far.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // externInfo is an ExternSpec resolved against the points-to analysis.
 type externInfo struct {
@@ -167,6 +192,7 @@ func (e *Engine) resolveSpec(spec steens.ExternSpec) *externInfo {
 
 // AnalyzeAll analyzes every atomic section of the program, in order.
 func (e *Engine) AnalyzeAll() []*Result {
+	e.stats.Workers = 1
 	out := make([]*Result, 0, len(e.prog.Sections))
 	for _, sec := range e.prog.Sections {
 		out = append(out, e.AnalyzeSection(sec))
@@ -177,6 +203,7 @@ func (e *Engine) AnalyzeAll() []*Result {
 // AnalyzeSection analyzes one atomic section and returns the locks to be
 // acquired at its entry.
 func (e *Engine) AnalyzeSection(sec *ir.Section) *Result {
+	e.stats.Sections++
 	inst := newInstance(e, sec.Fn, sec.Begin, sec.End, nil)
 	// Seed: every statement of the body contributes its G set; enqueue the
 	// whole range in reverse for a good initial order.
@@ -208,6 +235,7 @@ func (e *Engine) run() {
 		t := e.queue[len(e.queue)-1]
 		e.queue = e.queue[:len(e.queue)-1]
 		delete(e.queued, t)
+		e.stats.Tasks++
 		t.inst.process(t.stmt)
 	}
 }
@@ -287,6 +315,7 @@ func (in *instance) process(i int) {
 	if !factChanged(in.fact[i], nf) {
 		return
 	}
+	in.eng.stats.Facts += int64(len(nf))
 	in.fact[i] = nf
 	for _, p := range s.Preds {
 		in.eng.enqueue(task{in, p})

@@ -1,0 +1,104 @@
+package infer
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/progen"
+	"lockinfer/internal/steens"
+)
+
+func compileRaw(t *testing.T, src string) (*ir.Program, *steens.Analysis) {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog, steens.Run(prog)
+}
+
+// renderResults renders every section's minimized locks over a shared
+// program, for byte-wise serial/parallel comparison.
+func renderResults(prog *ir.Program, results []*Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "#%d: %s\n", r.Section.ID, strings.Join(lockNames(prog, r), " "))
+	}
+	return b.String()
+}
+
+// TestAnalyzeAllParallelMatchesSerial pins the parallel driver's contract
+// at the engine level: for any worker count, section results are identical
+// to the serial engine's over the same program and points-to analysis.
+// (The pipeline package re-checks this as a corpus-wide property through
+// Plan/GlobalPlan/CoarsePlan.)
+func TestAnalyzeAllParallelMatchesSerial(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src := progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed})
+		prog, pts := compileRaw(t, src)
+		serial := renderResults(prog, New(prog, pts, Options{K: 2}).AnalyzeAll())
+		for _, workers := range []int{0, 2, 8} {
+			eng := New(prog, pts, Options{K: 2})
+			got := renderResults(prog, eng.AnalyzeAllParallel(workers))
+			if got != serial {
+				t.Errorf("seed %d workers %d: results differ from serial\nserial:\n%s\nparallel:\n%s",
+					seed, workers, serial, got)
+			}
+			if len(prog.Sections) >= 2 && workers >= 2 && eng.Stats().Workers < 2 {
+				t.Errorf("seed %d workers %d: engine reports serial drive (%+v)", seed, workers, eng.Stats())
+			}
+		}
+	}
+}
+
+// TestAnalyzeAllParallelFallbacks covers the serial fallbacks: one worker,
+// fewer than two sections, and a non-Steensgaard alias oracle (whose state
+// cannot be cloned per worker).
+func TestAnalyzeAllParallelFallbacks(t *testing.T) {
+	prog, pts := compileRaw(t, `
+int g;
+void bump() { atomic { g = g + 1; } }
+`)
+	eng := New(prog, pts, Options{K: 2})
+	res := eng.AnalyzeAllParallel(8) // single section: serial path
+	if len(res) != 1 || eng.Stats().Workers != 1 {
+		t.Errorf("single-section program drove %d workers over %d results",
+			eng.Stats().Workers, len(res))
+	}
+
+	multi := progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: 4})
+	mprog, mpts := compileRaw(t, multi)
+	eng = New(mprog, mpts, Options{K: 2})
+	if eng.AnalyzeAllParallel(1); eng.Stats().Workers != 1 {
+		t.Errorf("workers=1 reported %d workers", eng.Stats().Workers)
+	}
+
+	custom := New(mprog, mpts, Options{K: 2, Aliases: fullOracle{mpts}})
+	serial := renderResults(mprog, New(mprog, mpts, Options{K: 2}).AnalyzeAll())
+	got := renderResults(mprog, custom.AnalyzeAllParallel(4))
+	if custom.Stats().Workers != 1 {
+		t.Errorf("custom alias oracle drove %d workers, want serial fallback", custom.Stats().Workers)
+	}
+	if got != serial {
+		t.Errorf("custom-oracle fallback diverged from serial:\n%s\nvs\n%s", got, serial)
+	}
+}
+
+// fullOracle wraps the Steensgaard analysis behind a distinct type so the
+// parallel driver cannot recognize (and clone) it.
+type fullOracle struct{ a *steens.Analysis }
+
+func (o fullOracle) VarCell(v *ir.Var) steens.NodeID       { return o.a.VarCell(v) }
+func (o fullOracle) Pointee(n steens.NodeID) steens.NodeID { return o.a.Pointee(n) }
+func (o fullOracle) MayAlias(x, y steens.NodeID) bool      { return o.a.MayAlias(x, y) }

@@ -35,6 +35,7 @@ func (e *Engine) summaryFor(fn *ir.Func) *summary {
 		dependents: map[task]bool{},
 	}
 	e.summaries[fn] = s
+	e.stats.Summaries++
 	inst := newInstance(e, fn, 0, len(fn.Stmts)-1, s)
 	s.inst = inst
 	e.instances[fn] = inst

@@ -3,12 +3,11 @@ package oracle
 import (
 	"fmt"
 
-	"lockinfer/internal/infer"
 	"lockinfer/internal/interp"
 	"lockinfer/internal/ir"
-	"lockinfer/internal/lang"
 	"lockinfer/internal/locks"
 	"lockinfer/internal/mgl"
+	"lockinfer/internal/pipeline"
 	"lockinfer/internal/progen"
 	"lockinfer/internal/progs"
 	"lockinfer/internal/steens"
@@ -32,34 +31,34 @@ type Target struct {
 	// StepLimit overrides the interpreter's per-thread step budget.
 	StepLimit int64
 
+	// C is the pipeline compilation the target came from, when it was built
+	// by FromSource/FromCorpus/FromProgen (nil for hand-assembled targets).
+	// Consumers use it for derived passes — e.g. the audit harness feeds
+	// C.Andersen() to its refinement oracle.
+	C *pipeline.Compilation
+
 	// PlanMutator, when set, rewrites each session's acquisition plan —
 	// the fault-injection hook for mutation testing (e.g. reordering
 	// acquires to break the canonical order).
 	PlanMutator func(session int64, steps []mgl.PlanStep) []mgl.PlanStep
 }
 
-// FromSource compiles mini-C source through the full pipeline (parse,
-// lower, points-to, inference at k) and returns a target running threads
-// copies of worker fn with the given args.
+// FromSource compiles mini-C source through the pipeline (parse, lower,
+// points-to, inference at k) and returns a target running threads copies of
+// worker fn with the given args.
 func FromSource(name, src string, k int, workers []interp.ThreadSpec, setup *interp.ThreadSpec) (*Target, error) {
-	ast, err := lang.Parse(src)
+	c, err := pipeline.Compile(src, pipeline.Options{Name: name}.WithK(k))
 	if err != nil {
-		return nil, fmt.Errorf("oracle: parse %s: %w", name, err)
+		return nil, fmt.Errorf("oracle: %w", err)
 	}
-	lowered, err := ir.Lower(ast)
-	if err != nil {
-		return nil, fmt.Errorf("oracle: lower %s: %w", name, err)
-	}
-	pts := steens.Run(lowered)
-	eng := infer.New(lowered, pts, infer.Options{K: k})
-	plan := transform.SectionLocks(eng.AnalyzeAll())
 	return &Target{
 		Name:    name,
-		Prog:    lowered,
-		Pts:     pts,
-		Plan:    plan,
+		Prog:    c.Program,
+		Pts:     c.Points,
+		Plan:    c.Plan(),
 		Setup:   setup,
 		Threads: workers,
+		C:       c,
 	}, nil
 }
 
@@ -74,7 +73,8 @@ func FromCorpus(p progs.Prog, k, threads, ops int) (*Target, error) {
 		Name: fmt.Sprintf("%s/k=%d", p.Name, k),
 		Prog: c.IR,
 		Pts:  c.Pts,
-		Plan: transform.SectionLocks(c.Results),
+		Plan: c.C.Plan(),
+		C:    c.C,
 	}
 	if p.Setup != "" {
 		args := make([]interp.Value, len(p.SetupArgs))

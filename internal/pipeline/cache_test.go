@@ -1,0 +1,132 @@
+package pipeline_test
+
+import (
+	"errors"
+	"testing"
+
+	"lockinfer/internal/lang"
+	"lockinfer/internal/pipeline"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/steens"
+)
+
+func mustGet(t *testing.T, name string) progs.Prog {
+	t.Helper()
+	p, err := progs.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCacheHitsAndMisses pins the memoization contract: identical inputs
+// hit every pass; a different k re-runs only the inference; different
+// specs or index bounds re-run the passes that depend on them.
+func TestCacheHitsAndMisses(t *testing.T) {
+	src := mustGet(t, "counter").Source()
+	cache := pipeline.NewCache(0)
+	opts := pipeline.Options{Cache: cache, Trace: pipeline.NewTrace()}.WithK(2)
+
+	c1, err := pipeline.Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cache.Stats(); hits != 0 {
+		t.Fatalf("cold compile recorded %d hits", hits)
+	}
+
+	// Identical inputs: everything hits, artifacts are shared.
+	c2, err := pipeline.Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Program != c1.Program || c2.Points != c1.Points {
+		t.Error("identical inputs did not share front/points-to artifacts")
+	}
+	if len(c1.Results) > 0 && c2.Results[0] != c1.Results[0] {
+		t.Error("identical inputs did not share the inference artifact")
+	}
+	hits, _ := cache.Stats()
+	if hits != 3 { // front, steens, infer
+		t.Errorf("identical recompile: %d hits, want 3", hits)
+	}
+
+	// Different k: front and points-to hit, inference misses.
+	c3, err := pipeline.Compile(src, pipeline.Options{Cache: cache, Trace: pipeline.NewTrace()}.WithK(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Program != c1.Program {
+		t.Error("k change invalidated the front end")
+	}
+	if len(c3.Results) > 0 && len(c1.Results) > 0 && c3.Results[0] == c1.Results[0] {
+		t.Error("k change reused the k=2 inference artifact")
+	}
+
+	// Different IndexMax: inference misses.
+	c4, err := pipeline.Compile(src, pipeline.Options{Cache: cache, Trace: pipeline.NewTrace(), IndexMax: 2}.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c4.Results) > 0 && len(c1.Results) > 0 && c4.Results[0] == c1.Results[0] {
+		t.Error("IndexMax change reused the default-index inference artifact")
+	}
+
+	// Different specs: points-to and inference miss (front still hits).
+	specs := map[string]steens.ExternSpec{"ext": {Reads: []string{"g"}}}
+	c5, err := pipeline.Compile(src, pipeline.Options{Cache: cache, Trace: pipeline.NewTrace(), Specs: specs}.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c5.Points == c1.Points {
+		t.Error("specs change reused the spec-free points-to artifact")
+	}
+	if c5.Program != c1.Program {
+		t.Error("specs change invalidated the front end")
+	}
+}
+
+// TestCacheDisabled checks NoCache compilations neither read nor write the
+// shared artifacts.
+func TestCacheDisabled(t *testing.T) {
+	src := mustGet(t, "counter").Source()
+	cache := pipeline.NewCache(0)
+	base := pipeline.Options{Cache: cache, Trace: pipeline.NewTrace()}.WithK(2)
+	c1, err := pipeline.Compile(src, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := base
+	nc.NoCache = true
+	c2, err := pipeline.Compile(src, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Program == c1.Program || c2.Points == c1.Points {
+		t.Error("NoCache compilation shared cached artifacts")
+	}
+	if hits, _ := cache.Stats(); hits != 0 {
+		t.Errorf("NoCache compilation hit the cache %d times", hits)
+	}
+}
+
+// TestPipelineError checks the structured error contract: one error type,
+// attributed to its pass, unwrapping to the front end's positioned
+// diagnostic.
+func TestPipelineError(t *testing.T) {
+	_, err := pipeline.Compile("int x = ;", pipeline.Options{Name: "bad", NoCache: true, Trace: pipeline.NewTrace()})
+	if err == nil {
+		t.Fatal("malformed program compiled")
+	}
+	var pe *pipeline.PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *pipeline.PipelineError", err)
+	}
+	if pe.Pass != "parse" || pe.Name != "bad" {
+		t.Errorf("error attributed to pass %q name %q, want parse/bad", pe.Pass, pe.Name)
+	}
+	var le *lang.Error
+	if !errors.As(err, &le) {
+		t.Errorf("PipelineError does not unwrap to *lang.Error (got %v)", err)
+	}
+}

@@ -1,0 +1,152 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/pipeline"
+	"lockinfer/internal/progen"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// renderPlan canonically renders a plan for byte-wise comparison.
+func renderPlan(plan map[int]locks.Set) string {
+	ids := make([]int, 0, len(plan))
+	for id := range plan {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "section %d:\n", id)
+		for _, l := range plan[id].Sorted() {
+			fmt.Fprintf(&b, "  %s\n", l.Key())
+		}
+	}
+	return b.String()
+}
+
+// checkPlansEqual compiles src through the front end and points-to passes
+// once, then drives a serial and a parallel inference engine over the same
+// artifacts and asserts Plan, GlobalPlan and CoarsePlan are byte-equal.
+// (Lock keys embed *ir.Var identities, so byte-identity is only meaningful
+// over a shared program — which is exactly how the pipeline drives the
+// engine.)
+func checkPlansEqual(t *testing.T, name, src string, k, workers int) {
+	t.Helper()
+	c, err := pipeline.Compile(src, pipeline.Options{Name: name, NoCache: true, Trace: pipeline.NewTrace(), Workers: 1}.WithK(k))
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	serial := c.Results
+	par := infer.New(c.Program, c.Points, infer.Options{K: k}).AnalyzeAllParallel(workers)
+	for _, cmp := range []struct {
+		kind string
+		s, p map[int]locks.Set
+	}{
+		{"Plan", transform.SectionLocks(serial), transform.SectionLocks(par)},
+		{"GlobalPlan", transform.GlobalLockPlan(c.Program), transform.GlobalLockPlan(c.Program)},
+		{"CoarsePlan", transform.Coarsen(transform.SectionLocks(serial)), transform.Coarsen(transform.SectionLocks(par))},
+	} {
+		sr, pr := renderPlan(cmp.s), renderPlan(cmp.p)
+		if sr != pr {
+			t.Errorf("%s: %s differs between serial and parallel inference\nserial:\n%s\nparallel:\n%s",
+				name, cmp.kind, sr, pr)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the determinism property: over the generated
+// concurrent corpus, parallel inference (at several worker counts) produces
+// byte-identical Plan/GlobalPlan/CoarsePlan output to the serial engine.
+// make check runs the package under -race, so this also exercises the
+// parallel driver's memory safety.
+func TestParallelMatchesSerial(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, k := range []int{1, 2, 3} {
+			workers := []int{2, 8}[int(seed)%2]
+			name := fmt.Sprintf("progen/seed=%d/k=%d/w=%d", seed, k, workers)
+			checkPlansEqual(t, name, progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed}), k, workers)
+		}
+	}
+}
+
+// TestParallelMatchesSerialCorpus runs the same property over the
+// hand-written corpus at the k values the harnesses use.
+func TestParallelMatchesSerialCorpus(t *testing.T) {
+	ks := []int{0, 2, 9}
+	if testing.Short() {
+		ks = []int{2}
+	}
+	for _, p := range progs.All() {
+		for _, k := range ks {
+			checkPlansEqual(t, fmt.Sprintf("%s/k=%d", p.Name, k), p.Source(), k, 4)
+		}
+	}
+}
+
+// TestInferenceDoesNotGrowPointsTo pins the invariant the parallel driver's
+// determinism argument leans on: analyzing sections never materializes new
+// points-to classes (every deref chain a lock path mentions was already
+// built by steens.Run), so per-section clones stay in the same NodeID space
+// as the serial engine's shared structure.
+func TestInferenceDoesNotGrowPointsTo(t *testing.T) {
+	check := func(name, src string, k int) {
+		t.Helper()
+		c, err := pipeline.Compile(src, pipeline.Options{Name: name, NoCache: true, Trace: pipeline.NewTrace()}.WithK(k))
+		if err != nil {
+			t.Fatalf("compile %s: %v", name, err)
+		}
+		before := c.Points.NumNodes()
+		infer.New(c.Program, c.Points, infer.Options{K: k}).AnalyzeAll()
+		if after := c.Points.NumNodes(); after != before {
+			t.Errorf("%s: inference grew the points-to graph from %d to %d nodes", name, before, after)
+		}
+	}
+	for _, p := range progs.All() {
+		check(p.Name, p.Source(), 9)
+	}
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		check(fmt.Sprintf("progen/seed=%d", seed),
+			progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed}), 3)
+	}
+}
+
+// TestParallelStats sanity-checks the engine counters the trace reports.
+func TestParallelStats(t *testing.T) {
+	src := progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: 3})
+	c, err := pipeline.Compile(src, pipeline.Options{NoCache: true, Trace: pipeline.NewTrace()}.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := steens.Run(c.Program)
+	eng := infer.New(c.Program, pts, infer.Options{K: 2})
+	res := eng.AnalyzeAllParallel(4)
+	st := eng.Stats()
+	if len(res) != len(c.Program.Sections) {
+		t.Fatalf("got %d results for %d sections", len(res), len(c.Program.Sections))
+	}
+	if st.Sections != len(res) {
+		t.Errorf("stats.Sections = %d, want %d", st.Sections, len(res))
+	}
+	if st.Tasks == 0 || st.Facts == 0 {
+		t.Errorf("stats report no work: %+v", st)
+	}
+	if st.Workers < 2 {
+		t.Errorf("stats.Workers = %d, want >= 2 for a parallel drive", st.Workers)
+	}
+}

@@ -1,0 +1,37 @@
+package pipeline
+
+import "fmt"
+
+// PipelineError wraps the failure of one pipeline pass, so every driver —
+// the public facade, the corpus loader, the harnesses, the CLIs — reports
+// front-end and analysis failures the same way instead of each formatting
+// parse errors its own way. Err keeps the pass's own diagnostic (for parse
+// failures a *lang.Error with its source position) reachable via Unwrap.
+type PipelineError struct {
+	// Pass is the canonical pass name: "parse", "lower", "pointsto",
+	// "andersen", "infer", "plan" or "transform".
+	Pass string
+	// Name labels the compilation when the driver supplied one (a corpus
+	// program, a progen seed); empty for anonymous sources.
+	Name string
+	// Err is the underlying diagnostic.
+	Err error
+}
+
+func (e *PipelineError) Error() string {
+	if e.Name != "" {
+		return fmt.Sprintf("%s: %s: %v", e.Name, e.Pass, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Pass, e.Err)
+}
+
+func (e *PipelineError) Unwrap() error { return e.Err }
+
+// failed wraps err as a PipelineError for one pass, keeping an existing
+// PipelineError intact (a nested pipeline call already attributed it).
+func failed(pass, name string, err error) error {
+	if pe, ok := err.(*PipelineError); ok {
+		return pe
+	}
+	return &PipelineError{Pass: pass, Name: name, Err: err}
+}

@@ -1,0 +1,48 @@
+package pipeline
+
+import (
+	"testing"
+
+	"lockinfer/internal/steens"
+)
+
+// TestCacheEviction checks the FIFO bound.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("c", 3)
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, cap 2", c.Len())
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if v, ok := c.get("c"); !ok || v.(int) != 3 {
+		t.Error("newest entry missing")
+	}
+}
+
+// TestSpecsKeyCanonical checks the cache key for extern specs is
+// order-independent and distinguishes read from write effects.
+func TestSpecsKeyCanonical(t *testing.T) {
+	a := map[string]steens.ExternSpec{
+		"f": {Reads: []string{"x", "y"}},
+		"g": {Writes: []string{"z"}},
+	}
+	b := map[string]steens.ExternSpec{
+		"g": {Writes: []string{"z"}},
+		"f": {Reads: []string{"y", "x"}},
+	}
+	if specsKey(a) != specsKey(b) {
+		t.Errorf("specsKey is order-dependent: %q vs %q", specsKey(a), specsKey(b))
+	}
+	w := map[string]steens.ExternSpec{"f": {Writes: []string{"x", "y"}}}
+	r := map[string]steens.ExternSpec{"f": {Reads: []string{"x", "y"}}}
+	if specsKey(w) == specsKey(r) {
+		t.Error("specsKey conflates read and write effects")
+	}
+	if specsKey(nil) != "-" {
+		t.Errorf("specsKey(nil) = %q, want \"-\"", specsKey(nil))
+	}
+}

@@ -1,0 +1,330 @@
+// Package pipeline is the single staged driver of the lock-inference
+// compiler: Parse → Lower → PointsTo (Steensgaard, optionally refined by
+// the inclusion-based Andersen analysis) → Infer → Plan → Transform. Every
+// consumer — the public lockinfer facade, the corpus loader, the
+// concurrency-oracle, conformance, audit and bench harnesses, and the CLIs
+// — compiles through Compile instead of hand-wiring lang.Parse, ir.Lower,
+// steens.Run and infer.New, so the staging exists exactly once.
+//
+// The pipeline adds two properties the bespoke wirings lacked:
+//
+//   - Memoization: each pass's artifact is cached keyed by source hash plus
+//     the options that pass depends on, so sweeps that recompile the same
+//     corpus under several configurations stop re-parsing and re-running
+//     the points-to analysis per configuration (see Cache).
+//
+//   - Observability: each pass records wall time, iteration counts, fact
+//     counts and cache hits into a Trace that every cmd tool can dump
+//     (-trace json|table).
+//
+// Inference can be driven in parallel: Options.Workers > 1 analyzes atomic
+// sections on that many goroutines over an immutable snapshot of the
+// engine's read-only state, with a deterministic merge that makes plans
+// byte-identical to the serial engine (see infer.AnalyzeAllParallel and
+// DESIGN.md §7.9).
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// Options configures one compilation.
+type Options struct {
+	// Name labels the compilation in errors and diagnostics (a corpus
+	// program name, "progen/seed=7", ...). Empty for anonymous sources.
+	Name string
+	// K bounds the length of fine-grain lock expressions (default 3, the
+	// paper's Figure 1 scheme; the facade and the sweeps override it).
+	K int
+	// KIsSet distinguishes an explicit K=0 (the paper's coarse-only
+	// scheme) from an unset K that should default to 3.
+	KIsSet bool
+	// IndexMax bounds symbolic array-index expressions (0 = default 8).
+	IndexMax int
+	// Specs supplies external-function specifications (§4.3), consumed by
+	// both the points-to pass and the inference.
+	Specs map[string]steens.ExternSpec
+	// Workers drives the inference: <= 1 uses the serial engine, larger
+	// values analyze atomic sections on that many goroutines
+	// (deterministically — plans are byte-identical to serial). Zero
+	// consults DefaultWorkers, so CLIs can turn a whole sweep parallel
+	// without threading a knob through every harness.
+	Workers int
+	// NoCache disables artifact memoization for this compilation (timing
+	// harnesses measure real pass work; tests isolate cache behavior).
+	NoCache bool
+	// Cache overrides the artifact cache (nil = the process-wide
+	// SharedCache, unless NoCache).
+	Cache *Cache
+	// Trace overrides the observability sink (nil = the process-wide
+	// Shared trace).
+	Trace *Trace
+}
+
+// DefaultK is the expression-lock length bound used when K is unset.
+const DefaultK = 3
+
+func (o Options) resolved() Options {
+	if o.K == 0 && !o.KIsSet {
+		o.K = DefaultK
+	}
+	if o.Trace == nil {
+		o.Trace = Shared()
+	}
+	if o.Cache == nil && !o.NoCache {
+		o.Cache = SharedCache()
+	}
+	if o.NoCache {
+		o.Cache = nil
+	}
+	if o.Workers == 0 {
+		o.Workers = DefaultWorkers()
+	}
+	if o.Workers < 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// WithK returns o with the bound set explicitly (K=0 stays 0).
+func (o Options) WithK(k int) Options {
+	o.K = k
+	o.KIsSet = true
+	return o
+}
+
+// Compilation is the result of one pipeline run: every pass artifact, plus
+// derived-pass entry points (Plan, TransformedSource) that record into the
+// same trace.
+type Compilation struct {
+	// Name echoes Options.Name.
+	Name string
+	// Source is the program text.
+	Source string
+	// AST is the parsed surface program.
+	AST *lang.Program
+	// Program is the lowered IR.
+	Program *ir.Program
+	// Points is the Steensgaard points-to analysis (the Σ≡ partition).
+	Points *steens.Analysis
+	// Results holds the inferred locks, one entry per atomic section.
+	Results []*infer.Result
+	// K is the expression length bound used.
+	K int
+
+	opts Options
+	hash string
+	and  *andersen.Analysis
+}
+
+// frontArtifacts bundles the parse and lower outputs (cached jointly: both
+// depend only on the source).
+type frontArtifacts struct {
+	ast  *lang.Program
+	prog *ir.Program
+}
+
+// inferArtifacts bundles the inference outputs with the engine counters
+// that produced them (replayed into the trace on cache hits).
+type inferArtifacts struct {
+	results []*infer.Result
+	stats   infer.Stats
+}
+
+// Compile runs the pipeline on src.
+func Compile(src string, opts Options) (*Compilation, error) {
+	o := opts.resolved()
+	c := &Compilation{Name: o.Name, Source: src, K: o.K, opts: o, hash: srcHash(src)}
+
+	if err := c.front(); err != nil {
+		return nil, err
+	}
+	c.pointsTo()
+	if err := c.infer(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// front runs (or recalls) the parse and lower passes.
+func (c *Compilation) front() error {
+	key := "front|" + c.hash
+	if v, ok := cacheGet(c.opts.Cache, key); ok {
+		fa := v.(*frontArtifacts)
+		c.AST, c.Program = fa.ast, fa.prog
+		c.opts.Trace.Record(Sample{Pass: "parse", CacheHit: true})
+		c.opts.Trace.Record(Sample{Pass: "lower", CacheHit: true})
+		return nil
+	}
+	start := time.Now()
+	ast, err := lang.Parse(c.Source)
+	if err != nil {
+		return failed("parse", c.Name, err)
+	}
+	c.opts.Trace.Record(Sample{
+		Pass: "parse", Wall: time.Since(start), Facts: int64(len(ast.Funcs)),
+	})
+	start = time.Now()
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		return failed("lower", c.Name, err)
+	}
+	var stmts int64
+	for _, f := range prog.Funcs {
+		stmts += int64(len(f.Stmts))
+	}
+	c.opts.Trace.Record(Sample{Pass: "lower", Wall: time.Since(start), Facts: stmts})
+	c.AST, c.Program = ast, prog
+	cachePut(c.opts.Cache, key, &frontArtifacts{ast: ast, prog: prog})
+	return nil
+}
+
+// pointsTo runs (or recalls) the Steensgaard pass.
+func (c *Compilation) pointsTo() {
+	key := "steens|" + c.hash + "|" + specsKey(c.opts.Specs)
+	if v, ok := cacheGet(c.opts.Cache, key); ok {
+		c.Points = v.(*steens.Analysis)
+		c.opts.Trace.Record(Sample{Pass: "pointsto", CacheHit: true})
+		return
+	}
+	start := time.Now()
+	pts := steens.RunWithSpecs(c.Program, c.opts.Specs)
+	c.opts.Trace.Record(Sample{
+		Pass: "pointsto", Wall: time.Since(start), Facts: int64(pts.NumNodes()),
+	})
+	c.Points = pts
+	cachePut(c.opts.Cache, key, pts)
+}
+
+// infer runs (or recalls) the lock-inference pass, serial or parallel per
+// Options.Workers. Workers is deliberately not part of the cache key: the
+// parallel driver is plan-deterministic (byte-identical to serial), so the
+// artifact is the same either way.
+func (c *Compilation) infer() error {
+	key := fmt.Sprintf("infer|%s|%s|k=%d|ix=%d", c.hash, specsKey(c.opts.Specs), c.opts.K, c.opts.IndexMax)
+	if v, ok := cacheGet(c.opts.Cache, key); ok {
+		ia := v.(*inferArtifacts)
+		c.Results = ia.results
+		c.opts.Trace.Record(Sample{
+			Pass: "infer", CacheHit: true, Workers: ia.stats.Workers,
+		})
+		return nil
+	}
+	start := time.Now()
+	eng := infer.New(c.Program, c.Points, infer.Options{
+		K: c.opts.K, IndexMax: c.opts.IndexMax, Specs: c.opts.Specs,
+	})
+	var results []*infer.Result
+	if c.opts.Workers > 1 {
+		results = eng.AnalyzeAllParallel(c.opts.Workers)
+	} else {
+		results = eng.AnalyzeAll()
+	}
+	st := eng.Stats()
+	c.opts.Trace.Record(Sample{
+		Pass: "infer", Wall: time.Since(start),
+		Iterations: st.Tasks, Facts: st.Facts, Workers: st.Workers,
+	})
+	c.Results = results
+	cachePut(c.opts.Cache, key, &inferArtifacts{results: results, stats: st})
+	return nil
+}
+
+// Andersen returns (running or recalling on first use) the inclusion-based
+// points-to analysis over the same program and specs — the audit pass's
+// refinement oracle.
+func (c *Compilation) Andersen() *andersen.Analysis {
+	if c.and != nil {
+		return c.and
+	}
+	key := "andersen|" + c.hash + "|" + specsKey(c.opts.Specs)
+	if v, ok := cacheGet(c.opts.Cache, key); ok {
+		c.and = v.(*andersen.Analysis)
+		c.opts.Trace.Record(Sample{Pass: "andersen", CacheHit: true})
+		return c.and
+	}
+	start := time.Now()
+	a := andersen.RunWithSpecs(c.Program, c.opts.Specs)
+	c.opts.Trace.Record(Sample{
+		Pass: "andersen", Wall: time.Since(start),
+		Iterations: int64(a.Rounds()), Facts: int64(a.NumLocations()),
+	})
+	c.and = a
+	cachePut(c.opts.Cache, key, a)
+	return a
+}
+
+// Plan returns the per-section lock sets, keyed by section id (the
+// structured transform output the runtimes consume).
+func (c *Compilation) Plan() map[int]locks.Set {
+	start := time.Now()
+	plan := transform.SectionLocks(c.Results)
+	c.opts.Trace.Record(Sample{
+		Pass: "plan", Wall: time.Since(start), Facts: planLocks(plan),
+	})
+	return plan
+}
+
+// GlobalPlan returns the single-global-lock baseline plan.
+func (c *Compilation) GlobalPlan() map[int]locks.Set {
+	start := time.Now()
+	plan := transform.GlobalLockPlan(c.Program)
+	c.opts.Trace.Record(Sample{
+		Pass: "plan", Wall: time.Since(start), Facts: planLocks(plan),
+	})
+	return plan
+}
+
+// CoarsePlan returns the plan with every fine lock coarsened to its
+// partition (the k=0 shape).
+func (c *Compilation) CoarsePlan() map[int]locks.Set {
+	start := time.Now()
+	plan := transform.Coarsen(transform.SectionLocks(c.Results))
+	c.opts.Trace.Record(Sample{
+		Pass: "plan", Wall: time.Since(start), Facts: planLocks(plan),
+	})
+	return plan
+}
+
+// TransformedSource renders the program with every atomic section rewritten
+// to the to_acquire/acquire_all/release_all form of Figure 1(c).
+func (c *Compilation) TransformedSource() string {
+	start := time.Now()
+	src := transform.Source(c.Program, c.Results)
+	c.opts.Trace.Record(Sample{
+		Pass: "transform", Wall: time.Since(start),
+		Facts: int64(len(c.Program.Sections)),
+	})
+	return src
+}
+
+func planLocks(plan map[int]locks.Set) int64 {
+	var n int64
+	for _, s := range plan {
+		n += int64(len(s))
+	}
+	return n
+}
+
+func cacheGet(c *Cache, key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.get(key)
+}
+
+func cachePut(c *Cache, key string, v any) {
+	if c != nil {
+		c.put(key, v)
+	}
+}

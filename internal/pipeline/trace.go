@@ -1,0 +1,190 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample is one pass execution, as recorded by the pipeline (or by a tool
+// instrumenting its own phases, the way cmd/covergate does).
+type Sample struct {
+	// Pass is the pass name ("parse", "infer", ...).
+	Pass string
+	// Wall is the pass's wall-clock time.
+	Wall time.Duration
+	// Iterations is the pass's own notion of work: worklist tasks for the
+	// backward inference, solver waves for the inclusion-based points-to.
+	Iterations int64
+	// Facts is the pass's output volume: statements lowered, abstract
+	// cells, dataflow items, locks planned.
+	Facts int64
+	// CacheHit marks a run satisfied from the artifact cache.
+	CacheHit bool
+	// Workers records a parallel drive's worker count (0 when not
+	// applicable).
+	Workers int
+}
+
+// PassStat aggregates every recorded Sample of one pass.
+type PassStat struct {
+	Pass       string `json:"pass"`
+	Runs       int64  `json:"runs"`
+	CacheHits  int64  `json:"cache_hits"`
+	WallNS     int64  `json:"wall_ns"`
+	Iterations int64  `json:"iterations"`
+	Facts      int64  `json:"facts"`
+	// Workers is the largest worker count observed (1 = serial; 0 for
+	// passes with no parallel drive).
+	Workers int `json:"workers"`
+}
+
+// Trace accumulates per-pass observability across any number of
+// compilations. It is safe for concurrent use; the zero value is not ready
+// — use NewTrace (or Shared for the process-wide instance every compile
+// records into by default).
+type Trace struct {
+	mu     sync.Mutex
+	passes map[string]*PassStat
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{passes: map[string]*PassStat{}}
+}
+
+var shared = NewTrace()
+
+// Shared returns the process-wide trace. Compilations with Options.Trace
+// nil record here, so a CLI can run an arbitrary sweep and dump one
+// aggregate at exit (the -trace flag of the cmd tools).
+func Shared() *Trace { return shared }
+
+// Record folds one pass execution into the aggregate.
+func (t *Trace) Record(s Sample) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ps := t.passes[s.Pass]
+	if ps == nil {
+		ps = &PassStat{Pass: s.Pass}
+		t.passes[s.Pass] = ps
+	}
+	ps.Runs++
+	if s.CacheHit {
+		ps.CacheHits++
+	}
+	ps.WallNS += s.Wall.Nanoseconds()
+	ps.Iterations += s.Iterations
+	ps.Facts += s.Facts
+	if s.Workers > ps.Workers {
+		ps.Workers = s.Workers
+	}
+}
+
+// canonicalOrder fixes the display order of the compiler's own passes;
+// foreign passes sort alphabetically after them.
+var canonicalOrder = map[string]int{
+	"parse": 0, "lower": 1, "pointsto": 2, "andersen": 3,
+	"infer": 4, "plan": 5, "transform": 6,
+}
+
+// Passes returns the aggregated stats in canonical pass order.
+func (t *Trace) Passes() []PassStat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PassStat, 0, len(t.passes))
+	for _, ps := range t.passes {
+		out = append(out, *ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oi, iok := canonicalOrder[out[i].Pass]
+		oj, jok := canonicalOrder[out[j].Pass]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok != jok:
+			return iok
+		default:
+			return out[i].Pass < out[j].Pass
+		}
+	})
+	return out
+}
+
+// traceJSON is the serialized shape (kept stable; trace_test.go pins it).
+type traceJSON struct {
+	Passes []PassStat `json:"passes"`
+}
+
+// JSON renders the trace as indented JSON.
+func (t *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(traceJSON{Passes: t.Passes()}, "", "  ")
+}
+
+// Table renders the trace as a human-readable table.
+func (t *Trace) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %6s %12s %12s %12s %8s\n",
+		"pass", "runs", "hits", "wall", "iterations", "facts", "workers")
+	for _, ps := range t.Passes() {
+		workers := "-"
+		if ps.Workers > 0 {
+			workers = fmt.Sprintf("%d", ps.Workers)
+		}
+		fmt.Fprintf(&b, "%-10s %6d %6d %12s %12d %12d %8s\n",
+			ps.Pass, ps.Runs, ps.CacheHits,
+			time.Duration(ps.WallNS).Round(time.Microsecond),
+			ps.Iterations, ps.Facts, workers)
+	}
+	return b.String()
+}
+
+// Dump writes the trace to w in the requested format: "json" or "table".
+func (t *Trace) Dump(w io.Writer, format string) error {
+	switch format {
+	case "json":
+		data, err := t.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	case "table", "":
+		_, err := io.WriteString(w, t.Table())
+		return err
+	default:
+		return fmt.Errorf("pipeline: unknown trace format %q (have json, table)", format)
+	}
+}
+
+// DumpShared writes the process-wide trace to w when format is non-empty —
+// the exit hook behind every cmd tool's -trace flag. A bad format is
+// reported on w rather than returned; by the time a tool dumps its trace
+// the run's real exit status is already decided.
+func DumpShared(w io.Writer, format string) {
+	if format == "" {
+		return
+	}
+	if err := Shared().Dump(w, format); err != nil {
+		fmt.Fprintln(w, "trace:", err)
+	}
+}
+
+// WallOf returns the accumulated wall time of one pass (zero when the pass
+// never ran), so measurement harnesses can report per-stage times without
+// re-instrumenting.
+func (t *Trace) WallOf(pass string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ps := t.passes[pass]; ps != nil {
+		return time.Duration(ps.WallNS)
+	}
+	return 0
+}

@@ -1,0 +1,156 @@
+package pipeline_test
+
+import (
+	"lockinfer/internal/pipeline"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wallRe normalizes the only nondeterministic field in the JSON dump.
+var wallRe = regexp.MustCompile(`"wall_ns": \d+`)
+
+// TestTraceJSONGolden pins the -trace json shape: field names, pass
+// ordering, and aggregate semantics. Wall times are normalized; every other
+// field is deterministic for a fixed compile sequence.
+func TestTraceJSONGolden(t *testing.T) {
+	src := mustGet(t, "counter").Source()
+	tr := pipeline.NewTrace()
+	cache := pipeline.NewCache(0)
+	opts := pipeline.Options{Cache: cache, Trace: tr}.WithK(2)
+	c, err := pipeline.Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Plan()
+	c.TransformedSource()
+	if _, err := pipeline.Compile(src, opts); err != nil { // all passes hit
+		t.Fatal(err)
+	}
+
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := wallRe.ReplaceAllString(string(data), `"wall_ns": 0`)
+
+	want := strings.TrimSpace(`
+{
+  "passes": [
+    {
+      "pass": "parse",
+      "runs": 2,
+      "cache_hits": 1,
+      "wall_ns": 0,
+      "iterations": 0,
+      "facts": ` + itoa(factsOf(tr, "parse")) + `,
+      "workers": 0
+    },
+    {
+      "pass": "lower",
+      "runs": 2,
+      "cache_hits": 1,
+      "wall_ns": 0,
+      "iterations": 0,
+      "facts": ` + itoa(factsOf(tr, "lower")) + `,
+      "workers": 0
+    },
+    {
+      "pass": "pointsto",
+      "runs": 2,
+      "cache_hits": 1,
+      "wall_ns": 0,
+      "iterations": 0,
+      "facts": ` + itoa(factsOf(tr, "pointsto")) + `,
+      "workers": 0
+    },
+    {
+      "pass": "infer",
+      "runs": 2,
+      "cache_hits": 1,
+      "wall_ns": 0,
+      "iterations": ` + itoa(iterationsOf(tr, "infer")) + `,
+      "facts": ` + itoa(factsOf(tr, "infer")) + `,
+      "workers": 1
+    },
+    {
+      "pass": "plan",
+      "runs": 1,
+      "cache_hits": 0,
+      "wall_ns": 0,
+      "iterations": 0,
+      "facts": ` + itoa(factsOf(tr, "plan")) + `,
+      "workers": 0
+    },
+    {
+      "pass": "transform",
+      "runs": 1,
+      "cache_hits": 0,
+      "wall_ns": 0,
+      "iterations": 0,
+      "facts": ` + itoa(factsOf(tr, "transform")) + `,
+      "workers": 0
+    }
+  ]
+}`)
+	if got != want {
+		t.Errorf("-trace json shape drifted\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func itoa(n int64) string { return strconv.FormatInt(n, 10) }
+
+func factsOf(t *pipeline.Trace, pass string) int64 {
+	for _, ps := range t.Passes() {
+		if ps.Pass == pass {
+			return ps.Facts
+		}
+	}
+	return -1
+}
+
+func iterationsOf(t *pipeline.Trace, pass string) int64 {
+	for _, ps := range t.Passes() {
+		if ps.Pass == pass {
+			return ps.Iterations
+		}
+	}
+	return -1
+}
+
+// TestTraceTable sanity-checks the human rendering: a header plus one row
+// per pass, in canonical order.
+func TestTraceTable(t *testing.T) {
+	tr := pipeline.NewTrace()
+	tr.Record(pipeline.Sample{Pass: "zzz-custom", Wall: time.Millisecond})
+	tr.Record(pipeline.Sample{Pass: "infer", Iterations: 7, Facts: 9, Workers: 4})
+	tr.Record(pipeline.Sample{Pass: "parse", Wall: time.Microsecond})
+	lines := strings.Split(strings.TrimRight(tr.Table(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want header + 3 rows:\n%s", len(lines), tr.Table())
+	}
+	for i, pass := range []string{"pass", "parse", "infer", "zzz-custom"} {
+		if !strings.HasPrefix(lines[i], pass) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], pass)
+		}
+	}
+}
+
+// TestTraceDumpFormats checks the format dispatch.
+func TestTraceDumpFormats(t *testing.T) {
+	tr := pipeline.NewTrace()
+	tr.Record(pipeline.Sample{Pass: "parse"})
+	var b strings.Builder
+	if err := tr.Dump(&b, "json"); err != nil || !strings.Contains(b.String(), `"passes"`) {
+		t.Errorf("json dump: err=%v out=%q", err, b.String())
+	}
+	b.Reset()
+	if err := tr.Dump(&b, ""); err != nil || !strings.HasPrefix(b.String(), "pass") {
+		t.Errorf("default table dump: err=%v out=%q", err, b.String())
+	}
+	if err := tr.Dump(&b, "xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// AutoWorkers, given as a worker count, selects GOMAXPROCS workers.
+const AutoWorkers = -1
+
+// defaultWorkers is the process-wide inference drive for compilations that
+// leave Options.Workers zero: 1 (serial) unless a CLI opts its sweep into
+// parallelism via SetDefaultWorkers. Plans do not depend on the setting
+// (the parallel driver is byte-identical to serial), only wall time does.
+var defaultWorkers atomic.Int32
+
+// DefaultWorkers returns the resolved process-wide worker default.
+func DefaultWorkers() int {
+	n := int(defaultWorkers.Load())
+	switch {
+	case n == 0:
+		return 1
+	case n < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return n
+	}
+}
+
+// SetDefaultWorkers sets the process-wide worker default: n > 1 for a fixed
+// worker count, AutoWorkers for GOMAXPROCS, 0 or 1 for serial.
+func SetDefaultWorkers(n int) {
+	defaultWorkers.Store(int32(n))
+}

@@ -13,7 +13,7 @@ import (
 
 	"lockinfer/internal/infer"
 	"lockinfer/internal/ir"
-	"lockinfer/internal/lang"
+	"lockinfer/internal/pipeline"
 	"lockinfer/internal/steens"
 )
 
@@ -127,21 +127,17 @@ type Compiled struct {
 	IR      *ir.Program
 	Pts     *steens.Analysis
 	Results []*infer.Result
+	// C is the underlying pipeline compilation (derived passes, traces).
+	C *pipeline.Compilation
 }
 
-// Compile parses, lowers and analyzes the program at the given k.
+// Compile runs the pipeline on the program at the given k.
 func Compile(p Prog, k int) (*Compiled, error) {
-	ast, err := lang.Parse(p.Source())
+	c, err := pipeline.Compile(p.Source(), pipeline.Options{Name: p.Name}.WithK(k))
 	if err != nil {
-		return nil, fmt.Errorf("progs: parse %s: %w", p.Name, err)
+		return nil, err
 	}
-	lowered, err := ir.Lower(ast)
-	if err != nil {
-		return nil, fmt.Errorf("progs: lower %s: %w", p.Name, err)
-	}
-	pts := steens.Run(lowered)
-	eng := infer.New(lowered, pts, infer.Options{K: k})
-	return &Compiled{Prog: p, IR: lowered, Pts: pts, Results: eng.AnalyzeAll()}, nil
+	return &Compiled{Prog: p, IR: c.Program, Pts: c.Points, Results: c.Results, C: c}, nil
 }
 
 // Lines returns the program's line count (the corpus "KLoC" column of our

@@ -276,6 +276,25 @@ func (a *Analysis) StoreSummary() map[*ir.Func]map[NodeID]bool {
 	return direct
 }
 
+// NumNodes returns the size of the abstract-cell graph, including classes
+// materialized by Pointee after construction. The parallel inference driver
+// uses it to assert that analyzing a section never grows the graph (so
+// per-section clones stay in the same NodeID space as the shared original).
+func (a *Analysis) NumNodes() int { return len(a.parent) }
+
+// Clone returns a copy of the analysis whose union-find and pointee tables
+// are private, so a Pointee call that materializes a class in the clone
+// cannot race with (or become visible to) readers of the original. The
+// immutable post-construction state — the program, the variable and
+// allocation-site tables, the class-member indexes — is shared.
+func (a *Analysis) Clone() *Analysis {
+	cp := *a
+	cp.parent = append([]NodeID(nil), a.parent...)
+	cp.rank = append([]int(nil), a.rank...)
+	cp.pointee = append([]NodeID(nil), a.pointee...)
+	return &cp
+}
+
 // Classes returns the sorted list of representative ids that have at least
 // one member (a variable cell or an allocation site).
 func (a *Analysis) Classes() []NodeID {

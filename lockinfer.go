@@ -31,8 +31,8 @@ import (
 	"lockinfer/internal/ir"
 	"lockinfer/internal/lang"
 	"lockinfer/internal/locks"
+	"lockinfer/internal/pipeline"
 	"lockinfer/internal/steens"
-	"lockinfer/internal/transform"
 )
 
 // Re-exported types, so callers can hold and pass the pipeline's artifacts.
@@ -54,15 +54,23 @@ type (
 	// ExternFunc is a host implementation of an external function for the
 	// interpreter.
 	ExternFunc = interp.ExternFunc
+	// Trace aggregates per-pass observability (wall time, iteration and
+	// fact counts, cache hits) across compilations; see internal/pipeline.
+	Trace = pipeline.Trace
 )
+
+// NewTrace returns an empty per-pass trace for WithTrace.
+func NewTrace() *Trace { return pipeline.NewTrace() }
+
+// SharedTrace returns the process-wide trace that compilations record into
+// by default (what the cmd tools dump under -trace).
+func SharedTrace() *Trace { return pipeline.Shared() }
 
 // IntV builds an integer Value for thread arguments.
 func IntV(i int64) Value { return interp.IntV(i) }
 
 type config struct {
-	k        int
-	indexMax int
-	specs    map[string]steens.ExternSpec
+	pipeline.Options
 }
 
 // Option configures Compile.
@@ -70,17 +78,36 @@ type Option func(*config)
 
 // WithK sets the expression-lock length bound (the paper sweeps 0..9;
 // default 3, the Σ3 scheme of the Figure 1 example).
-func WithK(k int) Option { return func(c *config) { c.k = k } }
+func WithK(k int) Option {
+	return func(c *config) { c.Options = c.Options.WithK(k) }
+}
 
 // WithIndexMax bounds symbolic array-index expressions (default 8).
-func WithIndexMax(n int) Option { return func(c *config) { c.indexMax = n } }
+func WithIndexMax(n int) Option { return func(c *config) { c.IndexMax = n } }
 
 // WithSpecs supplies function specifications for external (pre-compiled)
 // functions declared as prototypes. Externs without a spec are covered by
 // the global lock.
 func WithSpecs(specs map[string]ExternSpec) Option {
-	return func(c *config) { c.specs = specs }
+	return func(c *config) { c.Specs = specs }
 }
+
+// WithName labels the compilation in errors and traces.
+func WithName(name string) Option { return func(c *config) { c.Name = name } }
+
+// WithWorkers analyzes atomic sections on n goroutines (n <= 1 serial,
+// AutoWorkers for GOMAXPROCS). Plans are byte-identical to serial.
+func WithWorkers(n int) Option { return func(c *config) { c.Workers = n } }
+
+// AutoWorkers, passed to WithWorkers, selects GOMAXPROCS workers.
+const AutoWorkers = pipeline.AutoWorkers
+
+// WithTrace records this compilation's passes into t instead of the shared
+// process-wide trace.
+func WithTrace(t *Trace) Option { return func(c *config) { c.Trace = t } }
+
+// WithoutCache disables artifact memoization for this compilation.
+func WithoutCache() Option { return func(c *config) { c.NoCache = true } }
 
 // Compilation is the result of compiling a program with atomic sections.
 type Compilation struct {
@@ -94,55 +121,46 @@ type Compilation struct {
 	Results []*InferResult
 	// K is the expression length bound used.
 	K int
+
+	pc *pipeline.Compilation
 }
 
-// Compile runs the full pipeline: parse, lower, points-to analysis, lock
-// inference.
+// Compile runs the compilation pipeline (see internal/pipeline): parse,
+// lower, points-to analysis, lock inference. Pass artifacts are memoized
+// process-wide (WithoutCache opts out) and every pass records into the
+// trace (WithTrace overrides the shared one).
 func Compile(src string, opts ...Option) (*Compilation, error) {
-	cfg := config{k: 3}
+	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ast, err := lang.Parse(src)
+	pc, err := pipeline.Compile(src, cfg.Options)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := ir.Lower(ast)
-	if err != nil {
-		return nil, err
-	}
-	pts := steens.RunWithSpecs(prog, cfg.specs)
-	eng := infer.New(prog, pts, infer.Options{K: cfg.k, IndexMax: cfg.indexMax, Specs: cfg.specs})
 	return &Compilation{
-		AST:     ast,
-		Program: prog,
-		Points:  pts,
-		Results: eng.AnalyzeAll(),
-		K:       cfg.k,
+		AST:     pc.AST,
+		Program: pc.Program,
+		Points:  pc.Points,
+		Results: pc.Results,
+		K:       pc.K,
+		pc:      pc,
 	}, nil
 }
 
 // Plan returns the per-section lock sets, keyed by section id.
-func (c *Compilation) Plan() map[int]LockSet {
-	return transform.SectionLocks(c.Results)
-}
+func (c *Compilation) Plan() map[int]LockSet { return c.pc.Plan() }
 
 // GlobalPlan returns the single-global-lock baseline plan.
-func (c *Compilation) GlobalPlan() map[int]LockSet {
-	return transform.GlobalLockPlan(c.Program)
-}
+func (c *Compilation) GlobalPlan() map[int]LockSet { return c.pc.GlobalPlan() }
 
 // CoarsePlan returns the plan with every fine lock coarsened to its
 // partition (the k=0 shape).
-func (c *Compilation) CoarsePlan() map[int]LockSet {
-	return transform.Coarsen(c.Plan())
-}
+func (c *Compilation) CoarsePlan() map[int]LockSet { return c.pc.CoarsePlan() }
 
 // TransformedSource renders the program with every atomic section rewritten
 // to the to_acquire/acquire_all/release_all form of Figure 1(c).
-func (c *Compilation) TransformedSource() string {
-	return transform.Source(c.Program, c.Results)
-}
+func (c *Compilation) TransformedSource() string { return c.pc.TransformedSource() }
 
 // LockReport renders the inferred locks per atomic section.
 func (c *Compilation) LockReport() string {
