@@ -9,7 +9,8 @@ GO ?= go
 
 .PHONY: check check-long build test test-long vet race race-long oracle-short \
 	conform conform-short audit audit-short cover cover-update bench \
-	bench-paper bench-pipeline bench-pipeline-short fuzz
+	bench-paper bench-pipeline bench-pipeline-short bench-codegen \
+	bench-codegen-short fuzz
 
 build:
 	$(GO) build ./...
@@ -34,11 +35,13 @@ race-long:
 oracle-short:
 	$(GO) test -short ./internal/oracle/ ./internal/mgl/
 
-# Cross-engine conformance: every program runs under all four execution
-# backends (sharded mgl, reference mgl, global lock, TL2 STM) and each
-# final state is checked against the serialization oracle; injected faults
-# (dropped locks, permuted plans) must be flagged. The full sweep is the
-# PR-gate acceptance run; conform-short is the CI smoke.
+# Cross-engine conformance: every program runs under all five execution
+# backends (sharded mgl, reference mgl, global lock, TL2 STM, and the
+# natively compiled codegen binary) and each final state is checked against
+# the serialization oracle; injected faults (dropped locks, permuted plans)
+# must be flagged — through the codegen path too. Native builds are cached
+# under .lockgen/ by source hash, so repeat sweeps pay no compiles. The
+# full sweep is the PR-gate acceptance run; conform-short is the CI smoke.
 conform:
 	$(GO) run ./cmd/lockconform -seeds 50
 
@@ -62,11 +65,11 @@ audit-short:
 # baseline. After intentional changes run `make cover-update` and commit
 # coverage_baseline.txt.
 cover:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt
 
 cover-update:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt -update
 
 check: build vet race oracle-short cover conform-short audit-short bench-pipeline-short
@@ -96,13 +99,26 @@ bench-pipeline:
 bench-pipeline-short:
 	$(GO) run ./cmd/lockbench -pipeline-short -json BENCH_PR5.latest.json
 
-# Native fuzzers: parser round-trip, lock-plan invariants, and the audit
-# no-false-positives property, 30s each. FuzzParse is seeded with the
-# corpus, the examples' embedded sources, and generated programs
-# (progen.Generate / GenerateConcurrent), so parser fuzzing covers the
-# exact syntax the conformance workloads exercise. FuzzAudit asserts that
-# for any accepted program, the inferred plan audits clean.
+# Interpreter vs native execution over the PR 2 workload shapes (corpus
+# programs, both engines unchecked, identical lock plans). The committed
+# BENCH_PR6.json is the evidence artifact; the short variant is the CI
+# smoke and writes only the ignored .latest file.
+bench-codegen:
+	$(GO) run ./cmd/lockbench -codegen -json BENCH_PR6.json
+
+bench-codegen-short:
+	$(GO) run ./cmd/lockbench -codegen-short -json BENCH_PR6.latest.json
+
+# Native fuzzers: parser round-trip, lock-plan invariants, the audit
+# no-false-positives property, and codegen well-formedness, 30s each.
+# FuzzParse is seeded with the corpus, the examples' embedded sources, and
+# generated programs (progen.Generate / GenerateConcurrent), so parser
+# fuzzing covers the exact syntax the conformance workloads exercise.
+# FuzzAudit asserts that for any accepted program, the inferred plan audits
+# clean; FuzzCodegen that the emitted Go source always parses and
+# type-checks.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/lang
 	$(GO) test -run '^$$' -fuzz FuzzBuildPlan -fuzztime 30s ./internal/mgl
 	$(GO) test -run '^$$' -fuzz FuzzAudit -fuzztime 30s ./internal/audit
+	$(GO) test -run '^$$' -fuzz FuzzCodegen -fuzztime 30s ./internal/codegen

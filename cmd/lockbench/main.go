@@ -53,12 +53,23 @@ func main() {
 		pipeShort = flag.Bool("pipeline-short", false, "reduced -pipeline budget for CI")
 		pipeWkrs  = flag.String("pipe-workers", "1,2,4,8", "comma-separated worker counts for -pipeline")
 
+		cg      = flag.Bool("codegen", false, "interpreter-vs-native execution sweep (BENCH_PR6)")
+		cgShort = flag.Bool("codegen-short", false, "reduced -codegen budget for CI")
+		cgOps   = flag.Int("cg-ops", 2000, "operations per worker for -codegen")
+
 		trace = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
 	flag.Parse()
 	defer pipeline.DumpShared(os.Stderr, *trace)
 	if *pipe || *pipeShort {
 		if err := runPipelineBench(*pipeWkrs, *pipeShort, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cg || *cgShort {
+		if err := runCodegenBench(*gorList, *cgOps, *cgShort, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lockbench:", err)
 			os.Exit(1)
 		}
@@ -146,6 +157,32 @@ func runPipelineBench(workerList string, short bool, jsonPath string) error {
 	fmt.Print(bench.FormatPipelineBench(rep))
 	if jsonPath != "" {
 		if err := bench.WritePipelineBench(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runCodegenBench drives the interpreter-vs-native sweep: print the table,
+// optionally persist the BENCH_PR6.json report.
+func runCodegenBench(gorList string, opsPerG int, short bool, jsonPath string) error {
+	gors, err := parseCounts(gorList)
+	if err != nil {
+		return fmt.Errorf("bad -goroutines list: %w", err)
+	}
+	rep, err := bench.CodegenBench(bench.CodegenBenchOptions{
+		Goroutines: gors,
+		OpsPerG:    opsPerG,
+		Short:      short,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Codegen: interpreter vs native execution, wall-clock ops/sec ===")
+	fmt.Print(bench.FormatCodegenBench(rep))
+	if jsonPath != "" {
+		if err := bench.WriteCodegenBench(jsonPath, rep); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", jsonPath)

@@ -2,7 +2,8 @@
 // selected program is compiled through the full pipeline, executed
 // concurrently under every execution backend (inferred locks on the sharded
 // manager, inferred locks on the frozen reference manager, the global-lock
-// plan, and the TL2 STM runtime), and every outcome's final shared state is
+// plan, the TL2 STM runtime, and the natively compiled binary emitted by
+// the codegen backend), and every outcome's final shared state is
 // checked against the set of states reachable by some serialization of its
 // atomic sections. With -mutants (the default), every program is also
 // re-run with injected faults — all locks dropped, acquisition plans
@@ -38,7 +39,7 @@ func main() {
 		k         = flag.Int("k", 2, "backward-trace depth bound for inference")
 		threads   = flag.Int("threads", 2, "worker threads per program")
 		ops       = flag.Int("ops", 2, "operations per worker")
-		engines   = flag.String("engines", "all", "comma-separated engines: mgl,mgl-ref,global,stm")
+		engines   = flag.String("engines", "all", "comma-separated engines: mgl,mgl-ref,global,stm,native")
 		repeat    = flag.Int("repeat", 2, "concurrent executions per engine")
 		maxSer    = flag.Int("max-ser", 96, "serialization enumeration budget per program")
 		corpus    = flag.Bool("corpus", true, "also check the hand-written corpus programs")

@@ -1,0 +1,210 @@
+// Command lockgen drives the native backend end to end: it compiles a
+// mini-C program with atomic sections through the pipeline, emits a real Go
+// program implementing it under the inferred lock plan (internal/codegen),
+// builds the result with the host toolchain, runs it, and prints the
+// canonical final-state fingerprint — the same fingerprint the interpreter
+// and the conformance harness use.
+//
+// Usage:
+//
+//	lockgen -prog move -threads 2 -ops 8            (corpus program, native run)
+//	lockgen -emit file.minic                        (print the generated Go source)
+//	lockgen -thread 'worker:8,3' file.minic         (explicit thread specs)
+//	lockgen -prog counter -plan drop-all            (run the baked mutant plan)
+//	lockgen -prog move -mutate permute              (reverse acquisition plans)
+//
+// With neither -prog nor a file argument, lockgen reads standard input.
+// Exit status 1 when the native run reports flags (soundness violations,
+// deadlocks, order violations, runtime errors), 2 on usage or pipeline
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lockinfer/internal/codegen"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/pipeline"
+	"lockinfer/internal/progs"
+)
+
+type specList []codegen.Spec
+
+func (s *specList) String() string { return fmt.Sprint(*s) }
+
+func (s *specList) Set(v string) error {
+	sp, err := parseSpec(v)
+	if err != nil {
+		return err
+	}
+	*s = append(*s, sp)
+	return nil
+}
+
+func parseSpec(v string) (codegen.Spec, error) {
+	fn, rest, has := strings.Cut(v, ":")
+	sp := codegen.Spec{Fn: fn}
+	if fn == "" {
+		return sp, fmt.Errorf("empty function name in spec %q", v)
+	}
+	if !has || rest == "" {
+		return sp, nil
+	}
+	for _, part := range strings.Split(rest, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return sp, fmt.Errorf("bad argument %q in spec %q", part, v)
+		}
+		sp.Args = append(sp.Args, n)
+	}
+	return sp, nil
+}
+
+func fail(code int, args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"lockgen:"}, args...)...)
+	os.Exit(code)
+}
+
+func main() {
+	var threadSpecs specList
+	var (
+		prog      = flag.String("prog", "", "run a corpus program by name instead of a source file")
+		k         = flag.Int("k", 2, "expression-lock length bound")
+		threads   = flag.Int("threads", 2, "worker threads (with -prog)")
+		ops       = flag.Int("ops", 8, "operations per worker (with -prog)")
+		setupFlag = flag.String("setup", "", "setup spec fn[:a,b,...] run before the threads (source mode)")
+		emit      = flag.Bool("emit", false, "print the generated Go source and exit")
+		plan      = flag.String("plan", codegen.VariantInferred, "baked plan variant to run: inferred or drop-all")
+		mutate    = flag.String("mutate", "", "runtime plan mutation: permute (reverse acquisition plans)")
+		unchecked = flag.Bool("unchecked", false, "disable the lock-coverage checker (benchmark mode)")
+		nowatch   = flag.Bool("nowatch", false, "disable the lock-order watcher (benchmark mode)")
+		nopwork   = flag.Int("nopwork", 0, "spin iterations per guarded access (benchmark mode)")
+		workers   = flag.Int("workers", 1, "inference workers (-1 for GOMAXPROCS)")
+		trace     = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
+	)
+	flag.Var(&threadSpecs, "thread", "thread spec fn[:a,b,...] (repeatable, source mode)")
+	flag.Parse()
+	pipeline.SetDefaultWorkers(*workers)
+
+	var tg *oracle.Target
+	var err error
+	if *prog != "" {
+		p, perr := progs.Get(*prog)
+		if perr != nil {
+			fail(2, perr)
+		}
+		tg, err = oracle.FromCorpus(p, *k, *threads, *ops)
+	} else {
+		var src []byte
+		switch flag.NArg() {
+		case 0:
+			src, err = io.ReadAll(os.Stdin)
+		case 1:
+			src, err = os.ReadFile(flag.Arg(0))
+		default:
+			fail(2, "at most one source file")
+		}
+		if err != nil {
+			fail(2, err)
+		}
+		var ws []interp.ThreadSpec
+		for _, sp := range threadSpecs {
+			ws = append(ws, toInterp(sp))
+		}
+		var setup *interp.ThreadSpec
+		if *setupFlag != "" {
+			sp, serr := parseSpec(*setupFlag)
+			if serr != nil {
+				fail(2, serr)
+			}
+			s := toInterp(sp)
+			setup = &s
+		}
+		name := "stdin"
+		if flag.NArg() == 1 {
+			name = flag.Arg(0)
+		}
+		tg, err = oracle.FromSource(name, string(src), *k, ws, setup)
+	}
+	if err != nil {
+		fail(2, err)
+	}
+
+	src, err := tg.C.GoSource()
+	if err != nil {
+		fail(2, err)
+	}
+	if *emit {
+		fmt.Print(src)
+		pipeline.DumpShared(os.Stderr, *trace)
+		return
+	}
+
+	bin, err := codegen.Build(src)
+	if err != nil {
+		fail(2, err)
+	}
+	opts := codegen.RunOptions{
+		Plan:      *plan,
+		Mutate:    *mutate,
+		Unchecked: *unchecked,
+		NoWatch:   *nowatch,
+		NopWork:   *nopwork,
+	}
+	if tg.Setup != nil {
+		s, serr := fromInterp(*tg.Setup)
+		if serr != nil {
+			fail(2, serr)
+		}
+		opts.Setup = &s
+	}
+	for _, th := range tg.Threads {
+		s, serr := fromInterp(th)
+		if serr != nil {
+			fail(2, serr)
+		}
+		opts.Threads = append(opts.Threads, s)
+	}
+	res, err := codegen.Run(bin, opts)
+	if err != nil {
+		fail(2, err)
+	}
+
+	fmt.Printf("state %s\n", res.State)
+	if *mutate != "" {
+		fmt.Printf("permuted %d\n", res.Permuted)
+	}
+	fmt.Printf("elapsed %s\n", res.Elapsed)
+	pipeline.DumpShared(os.Stderr, *trace)
+	if len(res.Flags) > 0 {
+		for _, f := range res.Flags {
+			fmt.Printf("FLAG %s\n", f)
+		}
+		os.Exit(1)
+	}
+}
+
+func toInterp(sp codegen.Spec) interp.ThreadSpec {
+	ts := interp.ThreadSpec{Fn: sp.Fn}
+	for _, a := range sp.Args {
+		ts.Args = append(ts.Args, interp.IntV(a))
+	}
+	return ts
+}
+
+func fromInterp(ts interp.ThreadSpec) (codegen.Spec, error) {
+	sp := codegen.Spec{Fn: ts.Fn}
+	for _, a := range ts.Args {
+		if a.Kind != interp.VInt {
+			return sp, fmt.Errorf("non-integer thread arg %s", a)
+		}
+		sp.Args = append(sp.Args, a.Int)
+	}
+	return sp, nil
+}

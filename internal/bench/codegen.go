@@ -1,0 +1,304 @@
+// Interpreter-vs-native execution benchmark: the same mini-C workloads
+// (the PR 2 throughput sweep's corpus programs) run once on the
+// tree-walking interpreter and once as the codegen backend's compiled
+// binary, both with the dynamic oracles off, and the report records the
+// wall-clock ratio. This is ROADMAP item 1's measurement: how much speed
+// the interpreter leaves on the table.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"lockinfer/internal/codegen"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/progs"
+)
+
+// CodegenSchema versions the BENCH_PR6.json layout.
+const CodegenSchema = "lockinfer/codegen-bench/v1"
+
+// Engine identifiers in codegen-bench reports.
+const (
+	CodegenEngineInterp = "interp"
+	CodegenEngineNative = "native"
+)
+
+// CodegenBenchOptions parameterizes the interpreter-vs-native sweep.
+type CodegenBenchOptions struct {
+	// Goroutines lists the concurrency levels to sweep (default 1,2,4,8).
+	Goroutines []int
+	// OpsPerG is the operation count per worker (default 2000 — the
+	// interpreter rows dominate wall time, so the budget is far below the
+	// in-process throughput sweep's).
+	OpsPerG int
+	// Reps measures each cell this many times and keeps the fastest
+	// (default 3).
+	Reps int
+	// K is the inference bound (default 2, matching the conform sweep).
+	K int
+	// Short reduces the budget for CI smoke runs.
+	Short bool
+}
+
+func (o CodegenBenchOptions) withDefaults() CodegenBenchOptions {
+	if len(o.Goroutines) == 0 {
+		o.Goroutines = []int{1, 2, 4, 8}
+	}
+	if o.OpsPerG == 0 {
+		o.OpsPerG = 2000
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	if o.K == 0 {
+		o.K = 2
+	}
+	if o.Short {
+		o.Goroutines = []int{1, 2}
+		o.OpsPerG = 200
+		o.Reps = 1
+	}
+	return o
+}
+
+// codegenWorkloads is the swept corpus subset — the same four shapes the
+// PR 2 throughput sweep measures (mixed coarse+fine accounts, fine-grain
+// hashtable, coarse list and rbtree).
+func codegenWorkloads() []string {
+	return []string{"accounts", "hashtable", "list", "rbtree"}
+}
+
+// CodegenResult is one measured cell.
+type CodegenResult struct {
+	Workload   string  `json:"workload"`
+	Engine     string  `json:"engine"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int64   `json:"ops"`
+	ElapsedNS  int64   `json:"elapsed_ns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// CodegenReport is the BENCH_PR6.json payload.
+type CodegenReport struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Goroutines []int  `json:"goroutines"`
+	OpsPerG    int    `json:"ops_per_goroutine"`
+	Reps       int    `json:"reps"`
+	// Speedup maps workload → native/interpreter ops-per-second ratio at
+	// the highest swept concurrency level.
+	Speedup map[string]float64 `json:"speedup"`
+	// Notes explains cells or hosts where the numbers need context (e.g.
+	// single-CPU machines where concurrency levels cannot scale).
+	Notes   []string        `json:"notes,omitempty"`
+	Results []CodegenResult `json:"results"`
+}
+
+// CodegenBench sweeps workloads × engines × goroutine counts. Both engines
+// run unchecked (no §4.2 checker, no race detector, no watcher): the
+// comparison is execution machinery only, with identical lock plans held
+// by both sides. Native timing is the binary's self-reported concurrent
+// phase, excluding process startup and the one-time go build (which the
+// build cache amortizes away across runs anyway).
+func CodegenBench(opt CodegenBenchOptions) (*CodegenReport, error) {
+	opt = opt.withDefaults()
+	rep := &CodegenReport{
+		Schema:     CodegenSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Goroutines: opt.Goroutines,
+		OpsPerG:    opt.OpsPerG,
+		Reps:       opt.Reps,
+		Speedup:    map[string]float64{},
+	}
+	for _, name := range codegenWorkloads() {
+		p, err := progs.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		// One emitted binary per workload: thread count and ops are process
+		// arguments, so every concurrency level reuses the same build.
+		base, err := oracle.FromCorpus(p, opt.K, 1, opt.OpsPerG)
+		if err != nil {
+			return nil, err
+		}
+		bin, err := codegen.BuildProgram(codegen.Program{
+			Name:     base.Name,
+			Prog:     base.Prog,
+			Pts:      base.Pts,
+			Variants: codegen.DefaultVariants(base.Plan),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: build %s: %w", name, err)
+		}
+		for _, g := range opt.Goroutines {
+			tg, err := oracle.FromCorpus(p, opt.K, g, opt.OpsPerG)
+			if err != nil {
+				return nil, err
+			}
+			interpNS, err := benchInterp(tg, opt.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("bench: interp %s g=%d: %w", name, g, err)
+			}
+			rep.Results = append(rep.Results, codegenCell(name, CodegenEngineInterp, g, opt.OpsPerG, interpNS))
+			nativeNS, err := benchNative(bin, tg, opt.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("bench: native %s g=%d: %w", name, g, err)
+			}
+			rep.Results = append(rep.Results, codegenCell(name, CodegenEngineNative, g, opt.OpsPerG, nativeNS))
+		}
+	}
+	maxG := opt.Goroutines[len(opt.Goroutines)-1]
+	for _, name := range codegenWorkloads() {
+		in := rep.find(name, CodegenEngineInterp, maxG)
+		nat := rep.find(name, CodegenEngineNative, maxG)
+		if in != nil && nat != nil && in.OpsPerSec > 0 {
+			rep.Speedup[name] = nat.OpsPerSec / in.OpsPerSec
+		}
+	}
+	if rep.GOMAXPROCS == 1 {
+		rep.Notes = append(rep.Notes,
+			"host has GOMAXPROCS=1: goroutine counts >1 cannot scale on either engine; the interp-vs-native ratio is still meaningful (same scheduler for both)")
+	}
+	rep.Notes = append(rep.Notes,
+		"native elapsed is the binary's self-reported concurrent phase; process startup and the cached go build are excluded")
+	return rep, nil
+}
+
+func codegenCell(workload, engine string, g, opsPerG int, elapsedNS int64) CodegenResult {
+	ops := int64(g) * int64(opsPerG)
+	return CodegenResult{
+		Workload:   workload,
+		Engine:     engine,
+		Goroutines: g,
+		Ops:        ops,
+		ElapsedNS:  elapsedNS,
+		OpsPerSec:  float64(ops) / (float64(elapsedNS) / 1e9),
+	}
+}
+
+// benchInterp times the interpreter's concurrent phase (threads only;
+// globals and setup run untimed, mirroring the native binary's protocol).
+func benchInterp(tg *oracle.Target, reps int) (int64, error) {
+	best := int64(0)
+	for rep := 0; rep < reps; rep++ {
+		m := interp.NewMachine(tg.Prog, tg.Pts, tg.Plan)
+		m.Checked = false
+		if err := m.Init(); err != nil {
+			return 0, err
+		}
+		if tg.Setup != nil {
+			if _, err := m.Call(0, tg.Setup.Fn, tg.Setup.Args); err != nil {
+				return 0, err
+			}
+		}
+		runtime.GC()
+		start := time.Now()
+		if err := m.Run(tg.Threads); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start).Nanoseconds()
+		if rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+// benchNative times the compiled binary's concurrent phase via its
+// elapsed_ns protocol line.
+func benchNative(bin string, tg *oracle.Target, reps int) (int64, error) {
+	opts := codegen.RunOptions{Unchecked: true, NoWatch: true}
+	if tg.Setup != nil {
+		s, err := benchSpec(*tg.Setup)
+		if err != nil {
+			return 0, err
+		}
+		opts.Setup = &s
+	}
+	for _, th := range tg.Threads {
+		s, err := benchSpec(th)
+		if err != nil {
+			return 0, err
+		}
+		opts.Threads = append(opts.Threads, s)
+	}
+	best := int64(0)
+	for rep := 0; rep < reps; rep++ {
+		res, err := codegen.Run(bin, opts)
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Flags) > 0 {
+			return 0, fmt.Errorf("native run flagged: %s", res.Flags[0])
+		}
+		elapsed := res.Elapsed.Nanoseconds()
+		if rep == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+func benchSpec(ts interp.ThreadSpec) (codegen.Spec, error) {
+	s := codegen.Spec{Fn: ts.Fn}
+	for _, a := range ts.Args {
+		if a.Kind != interp.VInt {
+			return s, fmt.Errorf("non-integer thread arg %s", a)
+		}
+		s.Args = append(s.Args, a.Int)
+	}
+	return s, nil
+}
+
+// find returns the matching result cell, or nil.
+func (r *CodegenReport) find(workload, engine string, goroutines int) *CodegenResult {
+	for i := range r.Results {
+		c := &r.Results[i]
+		if c.Workload == workload && c.Engine == engine && c.Goroutines == goroutines {
+			return c
+		}
+	}
+	return nil
+}
+
+// FormatCodegenBench renders the report as an aligned text table.
+func FormatCodegenBench(rep *CodegenReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-8s %5s %12s %12s\n", "workload", "engine", "gor", "ops/sec", "elapsed")
+	for _, res := range rep.Results {
+		fmt.Fprintf(&b, "%-10s %-8s %5d %12.0f %12s\n",
+			res.Workload, res.Engine, res.Goroutines, res.OpsPerSec,
+			time.Duration(res.ElapsedNS).Round(time.Microsecond))
+	}
+	names := make([]string, 0, len(rep.Speedup))
+	for name := range rep.Speedup {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "native vs interpreter (%s, %d goroutines): %.1fx\n",
+			name, rep.Goroutines[len(rep.Goroutines)-1], rep.Speedup[name])
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// WriteCodegenBench persists the report (the BENCH_PR6.json artifact).
+func WriteCodegenBench(path string, rep *CodegenReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

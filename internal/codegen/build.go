@@ -1,0 +1,186 @@
+package codegen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The build cache. Emitted programs compile into <module>/.lockgen/<hash>/
+// — a dot-directory, so `go build ./...` and `go test ./...` never see the
+// generated packages, while explicit builds from inside it still resolve
+// the lockinfer/internal/mgl import (the directory lives under the module
+// root). The hash covers the emitted source, the mgl package sources and
+// the toolchain version, so a binary is reused across runs, tests and
+// processes until any input changes — this is the cached-build budget that
+// keeps the conformance sweep fast.
+
+// cacheDirName is the on-disk build cache, relative to the module root.
+const cacheDirName = ".lockgen"
+
+// cacheCap bounds the number of cached build directories; the oldest (by
+// modification time) are pruned when a new build would exceed it.
+const cacheCap = 192
+
+var (
+	buildMu  sync.Mutex
+	buildInF = map[string]*sync.Once{}
+
+	// Builds counts actual `go build` invocations (cache misses), for
+	// tests asserting cache behavior.
+	builds atomic.Int64
+)
+
+// Builds reports the number of compiler invocations this process made.
+func Builds() int64 { return builds.Load() }
+
+// moduleRoot locates the enclosing module by walking up from the working
+// directory to the first go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", fmt.Errorf("codegen: getwd: %w", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("codegen: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// mglFingerprint hashes the non-test sources of internal/mgl: the emitted
+// binary links them in, so a manager change must invalidate cached builds.
+func mglFingerprint(root string) (string, error) {
+	dir := filepath.Join(root, "internal", "mgl")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("codegen: read %s: %w", dir, err)
+	}
+	var names []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", fmt.Errorf("codegen: read %s: %w", name, err)
+		}
+		fmt.Fprintf(h, "%s %d\n", name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Build compiles emitted source into a cached binary and returns its path.
+// Identical source (plus identical mgl and toolchain) returns the cached
+// binary without invoking the compiler; concurrent callers of the same
+// source share one build.
+func Build(src string) (string, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return "", err
+	}
+	mglFP, err := mglFingerprint(root)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(runtime.Version() + "\x00" + mglFP + "\x00" + src))
+	key := hex.EncodeToString(sum[:])[:20]
+	dir := filepath.Join(root, cacheDirName, "b"+key)
+	bin := filepath.Join(dir, "prog")
+
+	buildMu.Lock()
+	once := buildInF[key]
+	if once == nil {
+		once = &sync.Once{}
+		buildInF[key] = once
+	}
+	buildMu.Unlock()
+
+	var buildErr error
+	once.Do(func() {
+		if _, err := os.Stat(bin); err == nil {
+			return // built by a previous process
+		}
+		buildErr = compile(root, dir, bin, src)
+	})
+	if buildErr != nil {
+		// Let a later call retry rather than pinning the failure.
+		buildMu.Lock()
+		delete(buildInF, key)
+		buildMu.Unlock()
+		return "", buildErr
+	}
+	if _, err := os.Stat(bin); err != nil {
+		return "", fmt.Errorf("codegen: cached binary vanished: %w", err)
+	}
+	return bin, nil
+}
+
+func compile(root, dir, bin, src string) error {
+	prune(filepath.Join(root, cacheDirName))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("codegen: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		return fmt.Errorf("codegen: %w", err)
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		return fmt.Errorf("codegen: go toolchain not found: %w", err)
+	}
+	cmd := exec.Command(goTool, "build", "-o", bin, ".")
+	cmd.Dir = dir
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("codegen: go build: %v\n%s", err, out)
+	}
+	builds.Add(1)
+	return nil
+}
+
+// prune deletes the oldest cache entries when the cache is over capacity.
+func prune(cacheDir string) {
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) < cacheCap {
+		return
+	}
+	type aged struct {
+		name string
+		mod  int64
+	}
+	var dirs []aged
+	for _, ent := range entries {
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), "b") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		dirs = append(dirs, aged{ent.Name(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].mod < dirs[j].mod })
+	for i := 0; i <= len(dirs)-cacheCap; i++ {
+		os.RemoveAll(filepath.Join(cacheDir, dirs[i].name))
+	}
+}

@@ -1,0 +1,125 @@
+// Package codegen is the native backend: it emits a real Go program from
+// the lowered IR plus the inferred lock plan, compiles it with the host
+// toolchain, and runs the binary as a fifth conformance engine.
+//
+// The emitted program is one self-contained main package that imports only
+// the standard library and lockinfer/internal/mgl — the same sharded
+// multi-granularity lock manager the interpreter uses. Every atomic section
+// compiles to the paper's §4.1 form: evaluate the section's lock
+// descriptors, session.ToAcquire each, session.AcquireAll(), re-validate,
+// run the body, session.ReleaseAll(). Thread specs become real goroutines.
+// Shared state lives in a generated typed State struct backed by the
+// canonical globals object, and the binary prints the interpreter's exact
+// StateDump fingerprint, so the conformance harness can compare a native
+// run against the serialization oracle byte for byte.
+//
+// Translation is deliberately semantics-preserving down to failure modes:
+// the emitted runtime mirrors internal/interp cell for cell (value model,
+// §4.2 coverage checker, allocation-epoch exemption, null/bounds/zero
+// errors, the evaluate-acquire-revalidate retry loop), which is what makes
+// "native run conforms" a meaningful statement about the backend rather
+// than about a looser re-implementation.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// Variant is one named lock plan baked into the emitted binary. Emitting
+// the mutant plans alongside the inferred one (selected at run time with
+// -plan) means one compiled binary serves the positive conformance run and
+// every negative-conformance rerun.
+type Variant struct {
+	Name string
+	Plan map[int]locks.Set
+}
+
+// Canonical variant names.
+const (
+	VariantInferred = "inferred"
+	VariantDropAll  = "drop-all"
+)
+
+// DefaultVariants pairs the inferred plan with its drop-all-locks mutant
+// (transform.DropLock with the match-everything name).
+func DefaultVariants(plan map[int]locks.Set) []Variant {
+	return []Variant{
+		{Name: VariantInferred, Plan: plan},
+		{Name: VariantDropAll, Plan: transform.DropLock(plan, "")},
+	}
+}
+
+// Program is the emitter input: a lowered program, its points-to analysis
+// (classes are baked into the generated tables), and the plan variants.
+type Program struct {
+	// Name labels the program in the generated header ("counter",
+	// "progen/seed=7/k=2", ...).
+	Name string
+	Prog *ir.Program
+	Pts  *steens.Analysis
+	// Variants are the plans to bake in; empty means the set of sections
+	// with no locks at all (only meaningful for lock-free programs).
+	Variants []Variant
+}
+
+// Unsupported reports why a program is outside the backend's IR subset,
+// nil when it can be emitted. The only exclusion is external functions:
+// their host implementations live in the driving Go process and cannot be
+// carried into a standalone binary.
+func Unsupported(prog *ir.Program) error {
+	for _, f := range prog.Funcs {
+		if f.External {
+			return fmt.Errorf("codegen: external function %q has no native implementation", f.Name)
+		}
+	}
+	return nil
+}
+
+// Emit renders p as one Go source file (package main). The output is
+// deterministic: the same IR, points-to partition and plans yield
+// byte-identical source.
+func Emit(p Program) (string, error) {
+	if p.Prog == nil || p.Pts == nil {
+		return "", fmt.Errorf("codegen: nil program or points-to analysis")
+	}
+	if err := Unsupported(p.Prog); err != nil {
+		return "", err
+	}
+	for i, sec := range p.Prog.Sections {
+		if sec.ID != i {
+			return "", fmt.Errorf("codegen: non-sequential section id %d at index %d", sec.ID, i)
+		}
+	}
+	if len(p.Variants) == 0 {
+		p.Variants = []Variant{{Name: VariantInferred, Plan: map[int]locks.Set{}}}
+	}
+	seen := map[string]bool{}
+	for _, v := range p.Variants {
+		if v.Name == "" || seen[v.Name] {
+			return "", fmt.Errorf("codegen: duplicate or empty variant name %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	e := &emitter{p: p}
+	return e.emit()
+}
+
+// sortedStructs returns the program's struct layouts in name order.
+func sortedStructs(prog *ir.Program) []*ir.StructInfo {
+	names := make([]string, 0, len(prog.Structs))
+	for name := range prog.Structs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*ir.StructInfo, len(names))
+	for i, name := range names {
+		out[i] = prog.Structs[name]
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package codegen_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/codegen"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/progs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fromTarget adapts an oracle target into the emitter input plus native
+// run specs. Oracle targets carry interp.Value args; the native binary
+// takes raw integers.
+func fromTarget(t *testing.T, tg *oracle.Target) (codegen.Program, codegen.RunOptions) {
+	t.Helper()
+	p := codegen.Program{
+		Name:     tg.Name,
+		Prog:     tg.Prog,
+		Pts:      tg.Pts,
+		Variants: codegen.DefaultVariants(tg.Plan),
+	}
+	opts := codegen.RunOptions{}
+	if tg.Setup != nil {
+		s := toSpec(t, *tg.Setup)
+		opts.Setup = &s
+	}
+	for _, th := range tg.Threads {
+		opts.Threads = append(opts.Threads, toSpec(t, th))
+	}
+	return p, opts
+}
+
+func toSpec(t *testing.T, ts interp.ThreadSpec) codegen.Spec {
+	t.Helper()
+	s := codegen.Spec{Fn: ts.Fn}
+	for _, a := range ts.Args {
+		if a.Kind != interp.VInt {
+			t.Fatalf("non-int arg %v in thread spec", a)
+		}
+		s.Args = append(s.Args, a.Int)
+	}
+	return s
+}
+
+// interpDump runs the target on the checking interpreter and returns the
+// canonical state fingerprint.
+func interpDump(t *testing.T, tg *oracle.Target) string {
+	t.Helper()
+	m := interp.NewMachine(tg.Prog, tg.Pts, tg.Plan)
+	m.Checked = true
+	if err := m.Init(); err != nil {
+		t.Fatalf("interp init: %v", err)
+	}
+	if tg.Setup != nil {
+		if _, err := m.Call(0, tg.Setup.Fn, tg.Setup.Args); err != nil {
+			t.Fatalf("interp setup: %v", err)
+		}
+	}
+	if err := m.Run(tg.Threads); err != nil {
+		t.Fatalf("interp run: %v", err)
+	}
+	return m.StateDump()
+}
+
+// goldenTargets is the fixed program set for golden and determinism tests:
+// the smallest corpus program plus one generated program.
+func goldenTargets(t *testing.T) map[string]*oracle.Target {
+	t.Helper()
+	out := map[string]*oracle.Target{}
+	mv, err := progs.Get("move")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := oracle.FromCorpus(mv, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["move"] = tgt
+	pg, err := oracle.FromProgen(7, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["progen7"] = pg
+	return out
+}
+
+// TestGolden pins the emitted source for the fixed program set. Regenerate
+// with `go test ./internal/codegen -run TestGolden -update` after an
+// intentional emitter change.
+func TestGolden(t *testing.T) {
+	for name, tg := range goldenTargets(t) {
+		t.Run(name, func(t *testing.T) {
+			p, _ := fromTarget(t, tg)
+			src, err := codegen.Emit(p)
+			if err != nil {
+				t.Fatalf("emit: %v", err)
+			}
+			path := filepath.Join("testdata", name+".go.golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if src != string(want) {
+				t.Errorf("emitted source differs from %s; run with -update if intentional\nfirst divergence: %s",
+					path, firstDiff(src, string(want)))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: got %q, want %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length: got %d lines, want %d", len(al), len(bl))
+}
+
+// TestEmitDeterminism: the same IR + plan emits byte-identical source
+// across repeated calls (map iteration must never leak into the output).
+func TestEmitDeterminism(t *testing.T) {
+	for name, tg := range goldenTargets(t) {
+		p, _ := fromTarget(t, tg)
+		first, err := codegen.Emit(p)
+		if err != nil {
+			t.Fatalf("%s: emit: %v", name, err)
+		}
+		for i := 0; i < 5; i++ {
+			again, err := codegen.Emit(p)
+			if err != nil {
+				t.Fatalf("%s: emit #%d: %v", name, i, err)
+			}
+			if again != first {
+				t.Fatalf("%s: emission #%d differs from first: %s", name, i, firstDiff(again, first))
+			}
+		}
+	}
+}
+
+// TestNativeMatchesInterp is the backend's core correctness claim on
+// deterministic schedules: with a single worker thread, the native
+// binary's state fingerprint equals interp.StateDump byte for byte.
+func TestNativeMatchesInterp(t *testing.T) {
+	cases := []*oracle.Target{}
+	for _, name := range []string{"move", "counter", "list"} {
+		p, err := progs.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg, err := oracle.FromCorpus(p, 2, 1, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, tg)
+	}
+	for _, seed := range []int64{1, 7, 13} {
+		tg, err := oracle.FromProgen(seed, 2, 1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, tg)
+	}
+	for _, tg := range cases {
+		t.Run(tg.Name, func(t *testing.T) {
+			want := interpDump(t, tg)
+			p, opts := fromTarget(t, tg)
+			res, err := codegen.Native(p, opts)
+			if err != nil {
+				t.Fatalf("native: %v", err)
+			}
+			if len(res.Flags) > 0 {
+				t.Fatalf("native run flagged: %v", res.Flags)
+			}
+			if res.State != want {
+				t.Errorf("state mismatch\nnative: %s\ninterp: %s", res.State, want)
+			}
+		})
+	}
+}
+
+// TestNativeDropAllFlagged: running the baked drop-all variant under the
+// checker must surface a soundness violation for a program whose plan has
+// locks to drop.
+func TestNativeDropAllFlagged(t *testing.T) {
+	mv, err := progs.Get("move")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := oracle.FromCorpus(mv, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n := tg.DropLock(""); n == 0 {
+		t.Skip("plan has no locks to drop")
+	}
+	p, opts := fromTarget(t, tg)
+	opts.Plan = codegen.VariantDropAll
+	res, err := codegen.Native(p, opts)
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	if len(res.Flags) == 0 {
+		t.Fatal("drop-all variant ran clean; checker should have flagged uncovered accesses")
+	}
+	found := false
+	for _, f := range res.Flags {
+		if strings.Contains(f, "soundness violation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected a soundness violation flag, got %v", res.Flags)
+	}
+}
+
+// TestNativePermuteMutant: -mutate permute must report how many
+// multi-step plans it reversed, so the harness can tell an effective
+// mutation from a vacuous one.
+func TestNativePermuteMutant(t *testing.T) {
+	mv, err := progs.Get("move")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := oracle.FromCorpus(mv, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, opts := fromTarget(t, tg)
+	opts.Mutate = "permute"
+	res, err := codegen.Native(p, opts)
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	// move's transfer section acquires two account locks, so the mutation
+	// must have had something to reverse; whether the watcher catches an
+	// order violation depends on the schedule, but the count is reliable.
+	if res.Permuted == 0 {
+		t.Error("permute mutation reversed no plans; expected multi-step acquisitions")
+	}
+}
+
+// TestBuildCache: rebuilding identical source must reuse the cached
+// binary instead of invoking the compiler again.
+func TestBuildCache(t *testing.T) {
+	tg, err := oracle.FromProgen(3, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := fromTarget(t, tg)
+	src, err := codegen.Emit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin1, err := codegen.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := codegen.Builds()
+	bin2, err := codegen.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin1 != bin2 {
+		t.Errorf("cache returned different paths: %s vs %s", bin1, bin2)
+	}
+	if codegen.Builds() != before {
+		t.Errorf("second codegen.Build recompiled; want cache hit")
+	}
+}
+
+// TestUnsupportedExterns: programs with external functions are rejected
+// with a useful error instead of emitting an uncompilable binary.
+func TestUnsupportedExterns(t *testing.T) {
+	tg, err := oracle.FromSource("ext", `
+void log_it(int x);
+int g;
+void work() { atomic { g = g + 1; log_it(g); } }
+`, 2, []interp.ThreadSpec{{Fn: "work"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := fromTarget(t, tg)
+	if _, err := codegen.Emit(p); err == nil {
+		t.Fatal("expected codegen.Emit to reject external function")
+	} else if !strings.Contains(err.Error(), "log_it") {
+		t.Errorf("error should name the extern: %v", err)
+	}
+}

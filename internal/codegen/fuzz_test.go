@@ -1,0 +1,119 @@
+package codegen_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"lockinfer/internal/codegen"
+
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/progen"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// FuzzCodegen is the well-formedness property as a fuzz target: for any
+// program the front end accepts, the emitted Go source must parse and
+// type-check. Running the binary is the conformance harness's job; this
+// target's value is sweeping the emitter's structural corners (label
+// placement, shadowing, unused temps, struct table shapes) far past the
+// fixed test set, without paying a compile-execute cycle per input.
+func FuzzCodegen(f *testing.F) {
+	for _, p := range append(progs.All(), progs.Examples()...) {
+		f.Add(p.Source())
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		f.Add(progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed}))
+	}
+	f.Add("int g; void f() { atomic { g = g + 1; } }")
+	f.Add("struct n { int v; n *next; } n* h; void w(int k) { atomic { h->v = k; } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<15 {
+			t.Skip("oversized input")
+		}
+		ast_, err := lang.Parse(src)
+		if err != nil {
+			return
+		}
+		prog, err := ir.Lower(ast_)
+		if err != nil {
+			return
+		}
+		if codegen.Unsupported(prog) != nil {
+			return
+		}
+		st := steens.Run(prog)
+		eng := infer.New(prog, st, infer.Options{K: 2})
+		plan := transform.SectionLocks(eng.AnalyzeAll())
+		out, err := codegen.Emit(codegen.Program{
+			Name:     "fuzz",
+			Prog:     prog,
+			Pts:      st,
+			Variants: codegen.DefaultVariants(plan),
+		})
+		if err != nil {
+			t.Fatalf("emit failed on accepted program: %v\n--- program ---\n%s", err, src)
+		}
+		checkWellFormed(t, out, src)
+	})
+}
+
+// checkWellFormed asserts the emitted source passes go/parser and
+// go/types. The type check resolves imports from source (the emitted
+// program imports lockinfer/internal/mgl, which has no export data on a
+// clean checkout), so every standard-library and in-repo dependency is
+// type-checked transitively.
+func checkWellFormed(t *testing.T, out, minic string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "lockgen_main.go", out, parser.AllErrors)
+	if err != nil {
+		t.Fatalf("emitted source does not parse: %v\n--- mini-C ---\n%s\n--- emitted ---\n%s", err, minic, out)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("main", fset, []*ast.File{file}, nil); err != nil {
+		t.Fatalf("emitted source does not type-check: %v\n--- mini-C ---\n%s\n--- emitted ---\n%s", err, minic, out)
+	}
+}
+
+// TestEmittedSourceTypeChecks runs the fuzz property once over the whole
+// corpus and a progen sample, so `go test` (not just `go test -fuzz`)
+// guards well-formedness.
+func TestEmittedSourceTypeChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("source-importer type check is slow")
+	}
+	srcs := []string{}
+	for _, p := range progs.All() {
+		srcs = append(srcs, p.Source())
+	}
+	srcs = append(srcs, progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: 11}))
+	for i, src := range srcs {
+		ast_, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		prog, err := ir.Lower(ast_)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if codegen.Unsupported(prog) != nil {
+			continue
+		}
+		st := steens.Run(prog)
+		eng := infer.New(prog, st, infer.Options{K: 2})
+		plan := transform.SectionLocks(eng.AnalyzeAll())
+		out, err := codegen.Emit(codegen.Program{Name: "wf", Prog: prog, Pts: st, Variants: codegen.DefaultVariants(plan)})
+		if err != nil {
+			t.Fatalf("case %d: emit: %v", i, err)
+		}
+		checkWellFormed(t, out, src)
+	}
+}

@@ -1,0 +1,624 @@
+package codegen
+
+// prelude is the static tail of every emitted program: the runtime that
+// mirrors internal/interp's semantics — value and object model, the §4.2
+// coverage checker with the allocation-epoch exemption, the
+// evaluate-acquire-revalidate section entry, the canonical state dump —
+// plus the process driver (flag parsing, thread spawning, output protocol).
+// It references generated identifiers by well-known names: ctGlobals,
+// glIntSlots, gNames, evalVariants, funcs, State.
+//
+// Output protocol (one line each, in order):
+//
+//	state <StateDump fingerprint>
+//	flag <finding>          (zero or more: violations, runtime errors,
+//	                         watcher order violations/cycles/deadlocks)
+//	permuted <n>            (only with -mutate permute: effective permutations)
+//	elapsed_ns <n>          (wall time of the concurrent phase only)
+const prelude = `
+// ---- native runtime prelude (static; mirrors internal/interp) ----
+
+// V is a runtime value: null (K=0), integer (K=1), or location (K=2, a
+// slot of an object).
+type V struct {
+	O   *Obj
+	I   int64
+	Off int32
+	K   uint8
+}
+
+func iv(i int64) V           { return V{K: 1, I: i} }
+func lv(o *Obj, off int32) V { return V{K: 2, O: o, Off: off} }
+
+func bv(b bool) V {
+	if b {
+		return iv(1)
+	}
+	return iv(0)
+}
+
+func truthy(v V) bool { return v.K == 2 || v.K == 1 && v.I != 0 }
+
+func eqV(a, b V) bool {
+	if a.K != b.K {
+		return false
+	}
+	switch a.K {
+	case 0:
+		return true
+	case 1:
+		return a.I == b.I
+	default:
+		return a.O == b.O && a.Off == b.Off
+	}
+}
+
+func vstr(v V) string {
+	switch v.K {
+	case 0:
+		return "null"
+	case 1:
+		return strconv.FormatInt(v.I, 10)
+	default:
+		return fmt.Sprintf("loc(+%d)", v.Off)
+	}
+}
+
+// SType is a lowered struct layout: slot count, field-id → slot offset,
+// and the integer-typed slots (initialized to zero on allocation).
+type SType struct {
+	name string
+	n    int32
+	off  map[int32]int32
+	ints []int32
+}
+
+func (s *SType) offOf(f int32) int32 {
+	if o, ok := s.off[f]; ok {
+		return o
+	}
+	return -1
+}
+
+// Obj is a block of slots: a heap allocation, the globals block, or a
+// function frame (so &local and &global work uniformly). base is a
+// program-unique address; slot i has address base+i.
+type Obj struct {
+	C    []V
+	st   *SType
+	ct   []int64 // per-slot class table (globals, frames); nil for heap
+	cls  int64   // per-object class (heap objects: the site's class)
+	base uint64
+	// allocT/allocE identify the atomic section (thread, epoch) that
+	// allocated this object; the checker exempts accesses from that same
+	// section (the paper's Lemma 2 reachability proviso).
+	allocT int32
+	allocE int64
+}
+
+var objBase atomic.Uint64
+
+func newObj(n int) *Obj {
+	return &Obj{C: make([]V, n), base: objBase.Add(uint64(n)) - uint64(n)}
+}
+
+func newFrame(ct []int64, n int) *Obj {
+	o := newObj(n)
+	o.ct = ct
+	return o
+}
+
+func (o *Obj) clsOf(off int32) int64 {
+	if o.ct != nil {
+		return o.ct[off]
+	}
+	return o.cls
+}
+
+// gl is the globals block (integer slots start at zero, pointers null).
+var gl = func() *Obj {
+	o := newFrame(ctGlobals, len(ctGlobals))
+	for _, i := range glIntSlots {
+		o.C[i] = iv(0)
+	}
+	return o
+}()
+
+// held is one acquired lock descriptor, kept for coverage checking.
+// Class -1 records a fine path that did not evaluate (covers nothing, but
+// makes evaluability changes visible to the revalidation).
+type held struct {
+	a       uint64
+	c       int64
+	g, f, w bool
+}
+
+func heldEq(a, b []held) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalFn evaluates one section's lock descriptors against the current
+// state; with rq it also files them with the session (to-acquire).
+type evalFn func(t *T, fr *Obj, rq bool) []held
+
+// RT is the per-process runtime: the lock manager, the selected plan
+// variant's evaluators, and the run configuration.
+type RT struct {
+	man     *mgl.Manager
+	eval    []evalFn
+	checked bool
+	nop     int
+
+	mu    sync.Mutex
+	flags []string
+
+	permuted atomic.Int64
+}
+
+func (rt *RT) flag(msg string) {
+	rt.mu.Lock()
+	rt.flags = append(rt.flags, msg)
+	rt.mu.Unlock()
+}
+
+// T is one executing thread.
+type T struct {
+	rt      *RT
+	sess    *mgl.Session
+	held    []held
+	epoch   int64
+	id      int32
+	checked bool
+	nop     int
+}
+
+func (rt *RT) newT(id int32) *T {
+	return &T{rt: rt, sess: rt.man.NewSession(), id: id, checked: rt.checked, nop: rt.nop}
+}
+
+// progErr is a recoverable execution failure (soundness violation or
+// runtime error), reported as a flag by the thread driver.
+type progErr struct{ msg string }
+
+func (t *T) failf(format string, args ...any) {
+	panic(progErr{msg: fmt.Sprintf("thread %d: ", t.id) + fmt.Sprintf(format, args...)})
+}
+
+// ck enforces the §4.2 coverage check: inside an atomic section every
+// shared access must be covered by a held lock.
+func (t *T) ck(o *Obj, off int32, w bool, what string) {
+	if t.sess.Nesting() == 0 {
+		return
+	}
+	if o.allocT == t.id && o.allocE == t.epoch {
+		return // allocated by this thread inside this section
+	}
+	cls := o.clsOf(off)
+	addr := o.base + uint64(off)
+	for _, h := range t.held {
+		if w && !h.w {
+			continue
+		}
+		switch {
+		case h.g:
+			return
+		case h.f:
+			if h.a == addr {
+				return
+			}
+		default:
+			if h.c == cls {
+				return
+			}
+		}
+	}
+	eff := "ro"
+	if w {
+		eff = "rw"
+	}
+	panic(progErr{msg: fmt.Sprintf(
+		"soundness violation: thread %d accesses %s for %s with no covering lock", t.id, what, eff)})
+}
+
+func (t *T) rd(o *Obj, off int32, what string) V {
+	if t.checked {
+		t.ck(o, off, false, what)
+	}
+	return o.C[off]
+}
+
+func (t *T) wr(o *Obj, off int32, v V, what string) {
+	if t.checked {
+		t.ck(o, off, true, what)
+	}
+	o.C[off] = v
+}
+
+func (t *T) ld(a V, what string) V {
+	if a.K != 2 {
+		t.failf("dereference of %s", vstr(a))
+	}
+	if t.checked {
+		t.ck(a.O, a.Off, false, what)
+	}
+	return a.O.C[a.Off]
+}
+
+func (t *T) stv(a V, v V, what string) {
+	if a.K != 2 {
+		t.failf("store through %s", vstr(a))
+	}
+	if t.checked {
+		t.ck(a.O, a.Off, true, what)
+	}
+	a.O.C[a.Off] = v
+}
+
+func (t *T) n(v V) int64 {
+	if v.K != 1 {
+		t.failf("arithmetic on %s", vstr(v))
+	}
+	return v.I
+}
+
+func (t *T) neg(v V) int64 {
+	if v.K != 1 {
+		t.failf("negation of %s", vstr(v))
+	}
+	return -v.I
+}
+
+func (t *T) div(l, r V) V {
+	a, b := t.n(l), t.n(r)
+	if b == 0 {
+		t.failf("division by zero")
+	}
+	return iv(a / b)
+}
+
+func (t *T) mod(l, r V) V {
+	a, b := t.n(l), t.n(r)
+	if b == 0 {
+		t.failf("modulo by zero")
+	}
+	m := a % b
+	if m < 0 {
+		m += b
+	}
+	return iv(m)
+}
+
+func (t *T) fieldLoc(b V, f int32, name string) V {
+	if b.K != 2 {
+		t.failf("field access on %s", vstr(b))
+	}
+	if b.O.st == nil {
+		t.failf("field access on non-struct object")
+	}
+	fo := b.O.st.offOf(f)
+	if fo < 0 {
+		t.failf("object has no field %s", name)
+	}
+	return lv(b.O, b.Off+fo)
+}
+
+func (t *T) indexLoc(b, ix V) V {
+	if b.K != 2 {
+		t.failf("index of %s", vstr(b))
+	}
+	if ix.K != 1 {
+		t.failf("non-int index %s", vstr(ix))
+	}
+	j := int(b.Off) + int(ix.I)
+	if j < 0 || j >= len(b.O.C) {
+		t.failf("index %d out of bounds [0,%d)", ix.I, len(b.O.C))
+	}
+	return lv(b.O, int32(j))
+}
+
+// mark records the allocating section for the checker exemption.
+func (t *T) mark(o *Obj) {
+	if t.sess.Nesting() > 0 {
+		o.allocT = t.id
+		o.allocE = t.epoch
+	}
+}
+
+// alloc allocates a struct object (integer fields zeroed).
+func (t *T) alloc(site int, cls int64, st *SType) V {
+	o := newObj(int(st.n))
+	o.st = st
+	o.cls = cls
+	for _, i := range st.ints {
+		o.C[i] = iv(0)
+	}
+	t.mark(o)
+	return lv(o, 0)
+}
+
+// allocN allocates n scalar cells (ints zeroed when ints; else null).
+func (t *T) allocN(site int, cls int64, n V, ints bool) V {
+	if n.K != 1 || n.I < 0 {
+		t.failf("bad array length %s", vstr(n))
+	}
+	o := newObj(int(n.I))
+	o.cls = cls
+	if ints {
+		for i := range o.C {
+			o.C[i] = iv(0)
+		}
+	}
+	t.mark(o)
+	return lv(o, 0)
+}
+
+// enter implements the evaluate-acquire-revalidate entry protocol of the
+// operational semantics: evaluate the section's descriptors, acquire in
+// canonical order, re-evaluate under the locks, retry on any difference.
+// Nested sections just bump the session (the outer locks cover them).
+func (t *T) enter(fr *Obj, sec int) {
+	if t.sess.Nesting() > 0 {
+		t.sess.AcquireAll()
+		return
+	}
+	t.epoch++
+	ev := t.rt.eval[sec]
+	for {
+		hs := ev(t, fr, true)
+		t.sess.AcquireAll()
+		if heldEq(hs, ev(t, fr, false)) {
+			t.held = hs
+			return
+		}
+		t.sess.ReleaseAll()
+	}
+}
+
+func (t *T) exit() {
+	t.sess.ReleaseAll()
+	if t.sess.Nesting() == 0 {
+		t.held = nil
+	}
+}
+
+func spinN(n int) {
+	x := 1
+	for i := 0; i < n; i++ {
+		x = x*1103515245 + 12345
+	}
+	_ = x
+}
+
+// runThread runs one entry function to completion, converting panics
+// (violations, runtime errors, the watcher's deadlock aborts) into flags
+// and draining the session so no lock is stranded.
+func runThread(t *T, fn string, args []V) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case progErr:
+				t.rt.flag(e.msg)
+			case error:
+				t.rt.flag(e.Error())
+			default:
+				t.rt.flag(fmt.Sprintf("thread %d panic: %v", t.id, r))
+			}
+		}
+		for t.sess.Nesting() > 0 {
+			t.sess.ReleaseAll()
+		}
+	}()
+	f, ok := funcs[fn]
+	if !ok {
+		t.rt.flag(fmt.Sprintf("no function %q", fn))
+		return
+	}
+	f(t, args)
+}
+
+// dump renders the canonical fingerprint, byte-identical to the
+// interpreter's StateDump: globals in declaration order, then reachable
+// objects in first-visit order with pointers as visit ids.
+func (s State) dump() string {
+	var b strings.Builder
+	ids := map[*Obj]int{}
+	var queue []*Obj
+	render := func(v V) string {
+		switch v.K {
+		case 0:
+			return "_"
+		case 1:
+			return strconv.FormatInt(v.I, 10)
+		default:
+			id, ok := ids[v.O]
+			if !ok {
+				id = len(ids) + 1
+				ids[v.O] = id
+				queue = append(queue, v.O)
+			}
+			if v.Off != 0 {
+				return fmt.Sprintf("o%d+%d", id, v.Off)
+			}
+			return fmt.Sprintf("o%d", id)
+		}
+	}
+	for i, name := range gNames {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", name, render(s.o.C[i]))
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		o := queue[qi]
+		fmt.Fprintf(&b, " | o%d:[", ids[o])
+		for off := range o.C {
+			if off > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(render(o.C[off]))
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// ---- process driver ----
+
+type threadSpec struct {
+	fn   string
+	args []V
+}
+
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "error:", msg)
+	fmt.Fprintln(os.Stderr, "usage: prog [-plan name] [-mutate permute] [-unchecked] [-nowatch]")
+	fmt.Fprintln(os.Stderr, "            [-nopwork n] [-setup fn:a,b] [-thread fn:a,b]...")
+	os.Exit(2)
+}
+
+// parseSpec parses "fn" or "fn:1,2,3".
+func parseSpec(s string) (string, []V) {
+	fn, rest, ok := strings.Cut(s, ":")
+	if fn == "" {
+		usage("empty function name in spec " + strconv.Quote(s))
+	}
+	if !ok || rest == "" {
+		return fn, nil
+	}
+	var args []V
+	for _, a := range strings.Split(rest, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+		if err != nil {
+			usage("bad argument in spec " + strconv.Quote(s))
+		}
+		args = append(args, iv(n))
+	}
+	return fn, args
+}
+
+func oneLine(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, "\n", "; "), "\r", "")
+}
+
+func main() {
+	var (
+		plan    = "inferred"
+		mutate  = ""
+		checked = true
+		watch   = true
+		nop     = 0
+		setup   *threadSpec
+		threads []threadSpec
+	)
+	args := os.Args[1:]
+	next := func(i *int, flag string) string {
+		*i++
+		if *i >= len(args) {
+			usage("missing value for " + flag)
+		}
+		return args[*i]
+	}
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; a {
+		case "-plan":
+			plan = next(&i, a)
+		case "-mutate":
+			mutate = next(&i, a)
+		case "-unchecked":
+			checked = false
+		case "-nowatch":
+			watch = false
+		case "-nopwork":
+			n, err := strconv.Atoi(next(&i, a))
+			if err != nil || n < 0 {
+				usage("bad -nopwork value")
+			}
+			nop = n
+		case "-setup":
+			fn, av := parseSpec(next(&i, a))
+			setup = &threadSpec{fn: fn, args: av}
+		case "-thread":
+			fn, av := parseSpec(next(&i, a))
+			threads = append(threads, threadSpec{fn: fn, args: av})
+		default:
+			usage("unknown flag " + strconv.Quote(a))
+		}
+	}
+	ev, ok := evalVariants[plan]
+	if !ok {
+		usage("unknown plan variant " + strconv.Quote(plan))
+	}
+	man := mgl.NewManager()
+	var w *mgl.Watcher
+	if watch {
+		w = mgl.NewWatcher()
+		man.SetWatcher(w)
+	}
+	rt := &RT{man: man, eval: ev, checked: checked, nop: nop}
+	switch mutate {
+	case "":
+	case "permute":
+		// Reverse every acquisition plan (counting only the effective,
+		// multi-step reversals) — the negative-conformance fault.
+		man.PermutePlan = func(_ int64, steps []mgl.PlanStep) []mgl.PlanStep {
+			if len(steps) > 1 {
+				rt.permuted.Add(1)
+			}
+			out := make([]mgl.PlanStep, len(steps))
+			for i, st := range steps {
+				out[len(steps)-1-i] = st
+			}
+			return out
+		}
+	default:
+		usage("unknown mutation " + strconv.Quote(mutate))
+	}
+	t0 := rt.newT(0)
+	runThread(t0, "$init", nil)
+	if setup != nil {
+		runThread(t0, setup.fn, setup.args)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, sp := range threads {
+		i, sp := i, sp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runThread(rt.newT(int32(i+1)), sp.fn, sp.args)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if w != nil {
+		for _, v := range w.OrderViolations() {
+			rt.flag(v.String())
+		}
+		for _, c := range w.LockOrderCycles() {
+			rt.flag(c.String())
+		}
+		for _, d := range w.Deadlocks() {
+			d := d
+			rt.flag(d.Error())
+		}
+	}
+	out := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(out, "state %s\n", State{o: gl}.dump())
+	for _, f := range rt.flags {
+		fmt.Fprintf(out, "flag %s\n", oneLine(f))
+	}
+	if mutate != "" {
+		fmt.Fprintf(out, "permuted %d\n", rt.permuted.Load())
+	}
+	fmt.Fprintf(out, "elapsed_ns %d\n", elapsed.Nanoseconds())
+	out.Flush()
+}
+`

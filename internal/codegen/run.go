@@ -1,0 +1,166 @@
+package codegen
+
+import (
+	"context"
+	"fmt"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec names an entry function and its integer arguments, mirroring
+// interp.ThreadSpec for the native binary's -setup/-thread flags.
+type Spec struct {
+	Fn   string
+	Args []int64
+}
+
+func (s Spec) flagValue() string {
+	if len(s.Args) == 0 {
+		return s.Fn
+	}
+	parts := make([]string, len(s.Args))
+	for i, a := range s.Args {
+		parts[i] = strconv.FormatInt(a, 10)
+	}
+	return s.Fn + ":" + strings.Join(parts, ",")
+}
+
+// RunOptions configures one execution of an emitted binary.
+type RunOptions struct {
+	// Plan selects a baked-in variant; empty means VariantInferred.
+	Plan string
+	// Mutate enables a runtime plan mutation ("permute" reverses every
+	// multi-step acquisition plan); empty runs the plan as compiled.
+	Mutate string
+	// Unchecked disables the §4.2 coverage checker (benchmark mode).
+	Unchecked bool
+	// NoWatch disables the lock-order watcher (benchmark mode).
+	NoWatch bool
+	// NopWork spins this many iterations per guarded access, modeling
+	// critical-section work in throughput benchmarks.
+	NopWork int
+	// Setup, if non-nil, runs on the main goroutine after $init and
+	// before the threads start.
+	Setup *Spec
+	// Threads run concurrently, one goroutine each, in order of thread id.
+	Threads []Spec
+	// Timeout bounds the process; zero means 30s.
+	Timeout time.Duration
+}
+
+// RunResult is the parsed output of one native execution.
+type RunResult struct {
+	// State is the canonical fingerprint, byte-compatible with
+	// interp.StateDump of the equivalent interpreted run.
+	State string
+	// Flags are the runtime errors and violations the binary reported:
+	// soundness violations, program errors, deadlocks, watcher findings.
+	Flags []string
+	// Permuted counts acquisition plans the permute mutation actually
+	// changed (plans of length <= 1 are permutation-invariant); only
+	// meaningful when RunOptions.Mutate was set.
+	Permuted int64
+	// Elapsed is the binary's self-reported wall time for the concurrent
+	// phase, excluding process startup and state dumping.
+	Elapsed time.Duration
+}
+
+// Run executes a built binary with the given options and parses its
+// state/flag/permuted/elapsed_ns output protocol.
+func Run(bin string, opts RunOptions) (*RunResult, error) {
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	args := []string{}
+	if opts.Plan != "" {
+		args = append(args, "-plan", opts.Plan)
+	}
+	if opts.Mutate != "" {
+		args = append(args, "-mutate", opts.Mutate)
+	}
+	if opts.Unchecked {
+		args = append(args, "-unchecked")
+	}
+	if opts.NoWatch {
+		args = append(args, "-nowatch")
+	}
+	if opts.NopWork > 0 {
+		args = append(args, "-nopwork", strconv.Itoa(opts.NopWork))
+	}
+	if opts.Setup != nil {
+		args = append(args, "-setup", opts.Setup.flagValue())
+	}
+	for _, th := range opts.Threads {
+		args = append(args, "-thread", th.flagValue())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, bin, args...).CombinedOutput()
+	if ctx.Err() == context.DeadlineExceeded {
+		return nil, fmt.Errorf("codegen: native run timed out after %s", timeout)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("codegen: native run failed: %v\n%s", err, out)
+	}
+	return parseOutput(string(out))
+}
+
+func parseOutput(out string) (*RunResult, error) {
+	res := &RunResult{}
+	sawState := false
+	for _, ln := range strings.Split(out, "\n") {
+		ln = strings.TrimRight(ln, "\r")
+		if ln == "" {
+			continue
+		}
+		key, rest, _ := strings.Cut(ln, " ")
+		switch key {
+		case "state":
+			res.State = rest
+			sawState = true
+		case "flag":
+			res.Flags = append(res.Flags, rest)
+		case "permuted":
+			n, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("codegen: bad permuted line %q", ln)
+			}
+			res.Permuted = n
+		case "elapsed_ns":
+			n, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("codegen: bad elapsed_ns line %q", ln)
+			}
+			res.Elapsed = time.Duration(n)
+		default:
+			return nil, fmt.Errorf("codegen: unexpected output line %q", ln)
+		}
+	}
+	if !sawState {
+		return nil, fmt.Errorf("codegen: native run produced no state line:\n%s", out)
+	}
+	return res, nil
+}
+
+// Native emits, builds and runs a program in one call — the convenience
+// path used by cmd/lockgen and the conformance engine.
+func Native(p Program, opts RunOptions) (*RunResult, error) {
+	bin, err := BuildProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	return Run(bin, opts)
+}
+
+// BuildProgram emits p and compiles it, returning the cached binary path.
+func BuildProgram(p Program) (string, error) {
+	src, err := Emit(p)
+	if err != nil {
+		return "", err
+	}
+	return Build(src)
+}

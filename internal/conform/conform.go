@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"lockinfer/internal/codegen"
 	"lockinfer/internal/interp"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/oracle"
@@ -36,6 +37,11 @@ const (
 	// EngineSTM runs atomic sections as TL2 transactions; its only oracle
 	// is the final-state serializability check.
 	EngineSTM
+	// EngineNative compiles the program to a real Go binary via
+	// internal/codegen (inferred locks on the sharded Manager, the §4.2
+	// checker and the Watcher linked in) and runs it out of process; the
+	// printed state fingerprint is checked like any other engine's.
+	EngineNative
 )
 
 func (e Engine) String() string {
@@ -48,12 +54,16 @@ func (e Engine) String() string {
 		return "global"
 	case EngineSTM:
 		return "stm"
+	case EngineNative:
+		return "native"
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
 }
 
 // AllEngines lists every backend in canonical order.
-func AllEngines() []Engine { return []Engine{EngineMGL, EngineRef, EngineGlobal, EngineSTM} }
+func AllEngines() []Engine {
+	return []Engine{EngineMGL, EngineRef, EngineGlobal, EngineSTM, EngineNative}
+}
 
 // ParseEngines parses a comma-separated engine list ("mgl,stm"); "all" or
 // the empty string selects every backend.
@@ -73,7 +83,7 @@ func ParseEngines(s string) ([]Engine, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("conform: unknown engine %q (have mgl, mgl-ref, global, stm)", name)
+			return nil, fmt.Errorf("conform: unknown engine %q (have mgl, mgl-ref, global, stm, native)", name)
 		}
 	}
 	return out, nil
@@ -205,6 +215,9 @@ func Check(tg *oracle.Target, opts Options) (*Result, error) {
 // runEngine executes the target once, concurrently, under one backend, with
 // that backend's full set of dynamic oracles attached.
 func runEngine(tg *oracle.Target, e Engine) (*EngineRun, error) {
+	if e == EngineNative {
+		return runNative(tg, codegen.VariantInferred, "")
+	}
 	plan := tg.Plan
 	if e == EngineGlobal {
 		plan = transform.GlobalLockPlan(tg.Prog)

@@ -3,6 +3,7 @@ package conform
 import (
 	"testing"
 
+	"lockinfer/internal/interp"
 	"lockinfer/internal/oracle"
 	"lockinfer/internal/progs"
 )
@@ -118,14 +119,51 @@ func TestSTMEngineCommits(t *testing.T) {
 	}
 }
 
+// The native engine alone: the compiled binary's state fingerprint must
+// land in the serialization oracle's state set, and a clean program must
+// produce no flags out of process.
+func TestNativeEngineConforms(t *testing.T) {
+	tg, err := oracle.FromProgen(5, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(tg, Options{Engines: []Engine{EngineNative}, Repeat: 2, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Runs {
+		if res.Runs[i].Engine != EngineNative {
+			t.Fatalf("run %d on engine %s, want native", i, res.Runs[i].Engine)
+		}
+	}
+}
+
+// Targets outside the backend subset (registered externs) must fail the
+// native engine with a diagnostic, not a miscompiled binary.
+func TestNativeEngineRejectsExterns(t *testing.T) {
+	tg, err := oracle.FromProgen(2, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg.Externs = map[string]interp.ExternFunc{
+		"host_only": func(args []interp.Value) (interp.Value, error) { return interp.Null(), nil },
+	}
+	if _, err := Check(tg, Options{Engines: []Engine{EngineNative}, Repeat: 1}); err == nil {
+		t.Fatal("native engine accepted a target with externs")
+	}
+}
+
 func TestParseEngines(t *testing.T) {
 	all, err := ParseEngines("all")
-	if err != nil || len(all) != 4 {
+	if err != nil || len(all) != 5 {
 		t.Fatalf("ParseEngines(all) = %v, %v", all, err)
 	}
-	two, err := ParseEngines("mgl, stm")
-	if err != nil || len(two) != 2 || two[0] != EngineMGL || two[1] != EngineSTM {
-		t.Fatalf("ParseEngines(mgl, stm) = %v, %v", two, err)
+	two, err := ParseEngines("mgl, native")
+	if err != nil || len(two) != 2 || two[0] != EngineMGL || two[1] != EngineNative {
+		t.Fatalf("ParseEngines(mgl, native) = %v, %v", two, err)
 	}
 	if _, err := ParseEngines("bogus"); err == nil {
 		t.Fatal("ParseEngines(bogus) succeeded")

@@ -88,6 +88,20 @@ func CheckMutants(tg *oracle.Target, opts Options) ([]MutantRun, error) {
 	} else {
 		opts.Log("conform: %s: no multi-step plan acquired; permute mutant skipped", tg.Name)
 	}
+
+	// The same two faults again, through the codegen path: the compiled
+	// binary must flag its baked drop-all variant and its runtime permute
+	// mutation. Targets outside the backend's subset (externs, non-integer
+	// args) skip with a note rather than failing the in-process protocol.
+	if _, _, err := nativeTarget(tg); err != nil {
+		opts.Log("conform: %s: native mutants skipped: %v", tg.Name, err)
+	} else {
+		nruns, err := runNativeMutants(tg, ndropped, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nruns...)
+	}
 	return out, nil
 }
 

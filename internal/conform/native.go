@@ -1,0 +1,126 @@
+package conform
+
+import (
+	"fmt"
+
+	"lockinfer/internal/codegen"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/oracle"
+)
+
+// The native engine row. A conformance target is compiled to a standalone
+// Go binary (internal/codegen) and executed out of process with the same
+// dynamic oracle stack the in-process MGL engine uses — the emitted runtime
+// links the real mgl.Manager, the §4.2 coverage checker and the Watcher —
+// and its printed state fingerprint feeds the same serializability check.
+// Builds are cached by source hash (codegen.Build), so a sweep pays one
+// compile per distinct program, not per run.
+
+// nativeTarget converts an oracle target into the emitter input plus run
+// specs, or explains why the target cannot run natively (externs live in
+// the driving process; thread args must be integers to cross the process
+// boundary).
+func nativeTarget(tg *oracle.Target) (codegen.Program, codegen.RunOptions, error) {
+	var opts codegen.RunOptions
+	p := codegen.Program{
+		Name:     tg.Name,
+		Prog:     tg.Prog,
+		Pts:      tg.Pts,
+		Variants: codegen.DefaultVariants(tg.Plan),
+	}
+	if len(tg.Externs) > 0 {
+		return p, opts, fmt.Errorf("target registers %d extern(s)", len(tg.Externs))
+	}
+	if err := codegen.Unsupported(tg.Prog); err != nil {
+		return p, opts, err
+	}
+	if tg.Setup != nil {
+		s, err := nativeSpec(*tg.Setup)
+		if err != nil {
+			return p, opts, err
+		}
+		opts.Setup = &s
+	}
+	for _, th := range tg.Threads {
+		s, err := nativeSpec(th)
+		if err != nil {
+			return p, opts, err
+		}
+		opts.Threads = append(opts.Threads, s)
+	}
+	return p, opts, nil
+}
+
+func nativeSpec(ts interp.ThreadSpec) (codegen.Spec, error) {
+	s := codegen.Spec{Fn: ts.Fn}
+	for _, a := range ts.Args {
+		if a.Kind != interp.VInt {
+			return s, fmt.Errorf("non-integer arg %s for %s cannot cross the process boundary", a, ts.Fn)
+		}
+		s.Args = append(s.Args, a.Int)
+	}
+	return s, nil
+}
+
+// runNative executes the target's compiled binary once under the given
+// plan variant and optional runtime mutation, mapping the process output
+// onto the harness's EngineRun shape.
+func runNative(tg *oracle.Target, plan, mutate string) (*EngineRun, error) {
+	p, opts, err := nativeTarget(tg)
+	if err != nil {
+		return nil, fmt.Errorf("native engine: %w", err)
+	}
+	opts.Plan = plan
+	opts.Mutate = mutate
+	res, err := codegen.Native(p, opts)
+	if err != nil {
+		return nil, fmt.Errorf("native engine: %w", err)
+	}
+	return &EngineRun{Engine: EngineNative, State: res.State, Flags: res.Flags}, nil
+}
+
+// runNativeMutants runs the negative-conformance protocol through the
+// codegen path: the compiled binary's baked drop-all variant and its
+// runtime permute-plan mutation. Mirrors CheckMutants' skip rules — the
+// drop-all row only counts when the inferred plan had locks to drop, the
+// permute row only when the binary reports it actually reversed a
+// multi-step acquisition plan.
+func runNativeMutants(tg *oracle.Target, ndropped int, opts Options) ([]MutantRun, error) {
+	var out []MutantRun
+	if ndropped > 0 {
+		run, err := runNative(tg, codegen.VariantDropAll, "")
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: native drop-all mutant: %w", tg.Name, err)
+		}
+		out = append(out, MutantRun{
+			Target:  tg.Name + "/native-drop-all",
+			Kind:    "drop-all-locks-native",
+			Flagged: run.Flagged(),
+			Flags:   run.Flags,
+		})
+	} else {
+		opts.Log("conform: %s: no locks inferred; native drop-all mutant skipped", tg.Name)
+	}
+
+	p, ropts, err := nativeTarget(tg)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %s: native permute mutant: %w", tg.Name, err)
+	}
+	ropts.Plan = codegen.VariantInferred
+	ropts.Mutate = "permute"
+	res, err := codegen.Native(p, ropts)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %s: native permute mutant: %w", tg.Name, err)
+	}
+	if res.Permuted > 0 {
+		out = append(out, MutantRun{
+			Target:  tg.Name + "/native-permute",
+			Kind:    "permute-plan-native",
+			Flagged: len(res.Flags) > 0,
+			Flags:   res.Flags,
+		})
+	} else {
+		opts.Log("conform: %s: no multi-step plan acquired; native permute mutant skipped", tg.Name)
+	}
+	return out, nil
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"lockinfer/internal/andersen"
+	"lockinfer/internal/codegen"
 	"lockinfer/internal/infer"
 	"lockinfer/internal/ir"
 	"lockinfer/internal/lang"
@@ -306,6 +307,28 @@ func (c *Compilation) TransformedSource() string {
 		Facts: int64(len(c.Program.Sections)),
 	})
 	return src
+}
+
+// GoSource runs the native backend pass: it emits one self-contained Go
+// main package implementing the program under the inferred plan plus its
+// drop-all mutant variant (see internal/codegen). The emission is recorded
+// as the "codegen" pass in the trace.
+func (c *Compilation) GoSource() (string, error) {
+	start := time.Now()
+	src, err := codegen.Emit(codegen.Program{
+		Name:     c.Name,
+		Prog:     c.Program,
+		Pts:      c.Points,
+		Variants: codegen.DefaultVariants(transform.SectionLocks(c.Results)),
+	})
+	if err != nil {
+		return "", failed("codegen", c.Name, err)
+	}
+	c.opts.Trace.Record(Sample{
+		Pass: "codegen", Wall: time.Since(start),
+		Facts: int64(len(c.Program.Sections)),
+	})
+	return src, nil
 }
 
 func planLocks(plan map[int]locks.Set) int64 {

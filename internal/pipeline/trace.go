@@ -92,7 +92,7 @@ func (t *Trace) Record(s Sample) {
 // foreign passes sort alphabetically after them.
 var canonicalOrder = map[string]int{
 	"parse": 0, "lower": 1, "pointsto": 2, "andersen": 3,
-	"infer": 4, "plan": 5, "transform": 6,
+	"infer": 4, "plan": 5, "transform": 6, "codegen": 7,
 }
 
 // Passes returns the aggregated stats in canonical pass order.

@@ -26,6 +26,9 @@ func TestTraceJSONGolden(t *testing.T) {
 	}
 	c.Plan()
 	c.TransformedSource()
+	if _, err := c.GoSource(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := pipeline.Compile(src, opts); err != nil { // all passes hit
 		t.Fatal(err)
 	}
@@ -91,6 +94,15 @@ func TestTraceJSONGolden(t *testing.T) {
       "wall_ns": 0,
       "iterations": 0,
       "facts": ` + itoa(factsOf(tr, "transform")) + `,
+      "workers": 0
+    },
+    {
+      "pass": "codegen",
+      "runs": 1,
+      "cache_hits": 0,
+      "wall_ns": 0,
+      "iterations": 0,
+      "facts": ` + itoa(factsOf(tr, "codegen")) + `,
       "workers": 0
     }
   ]
