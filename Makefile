@@ -10,7 +10,7 @@ GO ?= go
 .PHONY: check check-long build test test-long vet race race-long oracle-short \
 	conform conform-short audit audit-short cover cover-update bench \
 	bench-paper bench-pipeline bench-pipeline-short bench-codegen \
-	bench-codegen-short fuzz
+	bench-codegen-short bench-hybrid bench-hybrid-short fuzz
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,10 @@ race-long:
 oracle-short:
 	$(GO) test -short ./internal/oracle/ ./internal/mgl/
 
-# Cross-engine conformance: every program runs under all five execution
-# backends (sharded mgl, reference mgl, global lock, TL2 STM, and the
-# natively compiled codegen binary) and each final state is checked against
+# Cross-engine conformance: every program runs under all six execution
+# backends (sharded mgl, reference mgl, global lock, TL2 STM, the natively
+# compiled codegen binary, and the adaptive optimistic-first hybrid) and
+# each final state is checked against
 # the serialization oracle; injected faults (dropped locks, permuted plans)
 # must be flagged — through the codegen path too. Native builds are cached
 # under .lockgen/ by source hash, so repeat sweeps pay no compiles. The
@@ -65,14 +66,14 @@ audit-short:
 # baseline. After intentional changes run `make cover-update` and commit
 # coverage_baseline.txt.
 cover:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt
 
 cover-update:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt -update
 
-check: build vet race oracle-short cover conform-short audit-short bench-pipeline-short
+check: build vet race oracle-short cover conform-short audit-short bench-pipeline-short bench-hybrid-short
 
 check-long: build vet race-long oracle-short cover conform audit bench-pipeline
 
@@ -108,6 +109,18 @@ bench-codegen:
 
 bench-codegen-short:
 	$(GO) run ./cmd/lockbench -codegen-short -json BENCH_PR6.latest.json
+
+# Hybrid-runtime contention sweep: the adaptive optimistic-first engine vs
+# the pure pessimistic (mgl) and optimistic (stm) runtimes at the
+# read-heavy and write-heavy mix extremes. The committed BENCH_PR7.json is
+# the evidence artifact (its notes explain hosts where the fallback signal
+# cannot materialize); the short variant is the CI smoke and writes only
+# the ignored .latest file.
+bench-hybrid:
+	$(GO) run ./cmd/lockbench -hybrid -json BENCH_PR7.json
+
+bench-hybrid-short:
+	$(GO) run ./cmd/lockbench -hybrid-short -json BENCH_PR7.latest.json
 
 # Native fuzzers: parser round-trip, lock-plan invariants, the audit
 # no-false-positives property, and codegen well-formedness, 30s each.

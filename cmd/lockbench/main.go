@@ -15,6 +15,13 @@
 //
 //	lockbench -throughput [-goroutines 1,2,4,8] [-tput-ops N] [-seed N]
 //	          [-json BENCH_PR2.json] [-baseline BENCH_PR2.json] [-gate-tol 0.20]
+//
+// And a hybrid-runtime contention sweep comparing the adaptive engine
+// against the pure pessimistic and optimistic runtimes at both mix
+// extremes:
+//
+//	lockbench -hybrid [-goroutines 1,2,4,8] [-hyb-ops N] [-seed N]
+//	          [-json BENCH_PR7.json]
 package main
 
 import (
@@ -57,6 +64,10 @@ func main() {
 		cgShort = flag.Bool("codegen-short", false, "reduced -codegen budget for CI")
 		cgOps   = flag.Int("cg-ops", 2000, "operations per worker for -codegen")
 
+		hyb      = flag.Bool("hybrid", false, "hybrid-vs-pure-runtime contention sweep (BENCH_PR7)")
+		hybShort = flag.Bool("hybrid-short", false, "reduced -hybrid budget for CI")
+		hybOps   = flag.Int("hyb-ops", 20000, "operations per goroutine for -hybrid")
+
 		trace = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
 	flag.Parse()
@@ -70,6 +81,13 @@ func main() {
 	}
 	if *cg || *cgShort {
 		if err := runCodegenBench(*gorList, *cgOps, *cgShort, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *hyb || *hybShort {
+		if err := runHybridBench(*gorList, *hybOps, *seed, *hybShort, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lockbench:", err)
 			os.Exit(1)
 		}
@@ -183,6 +201,35 @@ func runCodegenBench(gorList string, opsPerG int, short bool, jsonPath string) e
 	fmt.Print(bench.FormatCodegenBench(rep))
 	if jsonPath != "" {
 		if err := bench.WriteCodegenBench(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runHybridBench drives the hybrid-vs-pure contention sweep: print the
+// table, optionally persist the BENCH_PR7.json report. Short mode shrinks
+// the sweep to a smoke test (2 levels, few ops, 2 reps).
+func runHybridBench(gorList string, opsPerG int, seed int64, short bool, jsonPath string) error {
+	gors, err := parseCounts(gorList)
+	if err != nil {
+		return fmt.Errorf("bad -goroutines list: %w", err)
+	}
+	opt := bench.HybridOptions{Goroutines: gors, OpsPerG: opsPerG, Seed: seed}
+	if short {
+		opt.Goroutines = []int{1, 4}
+		opt.OpsPerG = 2000
+		opt.Reps = 2
+	}
+	rep, err := bench.HybridSweep(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Hybrid: adaptive vs pure runtimes, read-heavy and write-heavy ===")
+	fmt.Print(bench.FormatHybrid(rep))
+	if jsonPath != "" {
+		if err := bench.WriteHybrid(jsonPath, rep); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", jsonPath)

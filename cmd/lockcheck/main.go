@@ -15,6 +15,18 @@
 //	lockcheck path/to/prog.minic        (needs init()/worker(ops, seed))
 //	lockcheck -prog move -drop 'pts#'   (mutation: drop matching locks)
 //	lockcheck -prog move -reorder       (mutation: reverse odd sessions)
+//	lockcheck -prog move -engine hybrid (free-running conformance check
+//	                                     under one execution engine)
+//
+// -engine replaces the systematic exploration with the conformance
+// protocol: the program runs concurrently under the named backend (mgl,
+// mgl-ref, global, stm, native, or the adaptive hybrid) with that engine's
+// dynamic oracles attached, and the final state must match a serialization
+// of its atomic sections. Mutations compose with it, so
+// `-engine mgl -drop pts#` demonstrates a weakened plan being caught.
+// (Under -engine hybrid the optimistic path masks dropped locks until a
+// section actually falls back; the conformance suite's hybrid mutants pin
+// the policy at forced fallback to exercise that path deterministically.)
 //
 // Exit status 1 when the oracle fires, 2 on usage or pipeline errors.
 package main
@@ -24,6 +36,7 @@ import (
 	"fmt"
 	"os"
 
+	"lockinfer/internal/conform"
 	"lockinfer/internal/interp"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/oracle"
@@ -44,6 +57,8 @@ func main() {
 		checked   = flag.Bool("checked", true, "also run the §4.2 lock-coverage checker")
 		drop      = flag.String("drop", "", "mutation: drop inferred locks whose name contains this")
 		reorder   = flag.Bool("reorder", false, "mutation: odd sessions acquire in reverse order")
+		engine    = flag.String("engine", "", "free-running conformance check under this engine instead of exploration: mgl, mgl-ref, global, stm, native, hybrid")
+		repeat    = flag.Int("repeat", 2, "concurrent executions for -engine")
 		workers   = flag.Int("workers", 1, "inference workers (-1 for GOMAXPROCS; plans are identical at any count)")
 		trace     = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
@@ -81,6 +96,10 @@ func main() {
 		}
 	}
 
+	if *engine != "" {
+		os.Exit(runEngineCheck(tg, *engine, *repeat, *schedules, *trace))
+	}
+
 	res, err := tg.Explore(oracle.ExploreOptions{
 		Preemptions:  *preempt,
 		MaxSchedules: *schedules,
@@ -114,6 +133,49 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("oracle clean: no races, no deadlocks, no order violations")
+}
+
+// runEngineCheck runs the conformance protocol for one or more named
+// engines on the (possibly mutated) target and returns the process exit
+// code: 0 clean, 1 when an oracle fired or a final state was
+// non-serializable.
+func runEngineCheck(tg *oracle.Target, engines string, repeat, maxSer int, trace string) int {
+	engs, err := conform.ParseEngines(engines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockcheck:", err)
+		return 2
+	}
+	res, err := conform.Check(tg, conform.Options{
+		Engines:           engs,
+		Repeat:            repeat,
+		MaxSerializations: maxSer,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockcheck:", err)
+		return 2
+	}
+	fmt.Printf("%s: %d serialization(s), %d reachable state(s), truncated=%v\n",
+		tg.Name, res.Serializations, len(res.States), res.Truncated)
+	for i := range res.Runs {
+		run := &res.Runs[i]
+		verdict := "serializable"
+		switch {
+		case run.Flagged():
+			verdict = "FLAGGED " + run.Flags[0]
+		case run.Unknown:
+			verdict = "inconclusive (oracle truncated)"
+		case !run.Serializable:
+			verdict = "NON-SERIALIZABLE state " + run.State
+		}
+		fmt.Printf("  [%s] %s\n", run.Engine, verdict)
+	}
+	pipeline.DumpShared(os.Stderr, trace)
+	if err := res.Err(); err != nil {
+		fmt.Println("oracle FIRED:", err)
+		return 1
+	}
+	fmt.Println("oracle clean: every engine run conforms")
+	return 0
 }
 
 func buildTarget(prog string, gen int64, file string, k, threads, ops int) (*oracle.Target, error) {

@@ -2,12 +2,14 @@
 // selected program is compiled through the full pipeline, executed
 // concurrently under every execution backend (inferred locks on the sharded
 // manager, inferred locks on the frozen reference manager, the global-lock
-// plan, the TL2 STM runtime, and the natively compiled binary emitted by
-// the codegen backend), and every outcome's final shared state is
-// checked against the set of states reachable by some serialization of its
-// atomic sections. With -mutants (the default), every program is also
-// re-run with injected faults — all locks dropped, acquisition plans
-// reversed — and the harness must flag each one.
+// plan, the TL2 STM runtime, the natively compiled binary emitted by the
+// codegen backend, and the adaptive hybrid engine that starts optimistic
+// and falls back to the inferred locks), and every outcome's final shared
+// state is checked against the set of states reachable by some
+// serialization of its atomic sections. With -mutants (the default), every
+// program is also re-run with injected faults — all locks dropped,
+// acquisition plans reversed, the hybrid fallback uncovered or misordered,
+// the STM validation disabled — and the harness must flag each one.
 //
 // Usage:
 //
@@ -39,7 +41,7 @@ func main() {
 		k         = flag.Int("k", 2, "backward-trace depth bound for inference")
 		threads   = flag.Int("threads", 2, "worker threads per program")
 		ops       = flag.Int("ops", 2, "operations per worker")
-		engines   = flag.String("engines", "all", "comma-separated engines: mgl,mgl-ref,global,stm,native")
+		engines   = flag.String("engines", "all", "comma-separated engines: mgl,mgl-ref,global,stm,native,hybrid")
 		repeat    = flag.Int("repeat", 2, "concurrent executions per engine")
 		maxSer    = flag.Int("max-ser", 96, "serialization enumeration budget per program")
 		corpus    = flag.Bool("corpus", true, "also check the hand-written corpus programs")
@@ -116,7 +118,11 @@ func main() {
 		if !*mutants {
 			continue
 		}
-		mruns, err := conform.CheckMutants(tg, opts)
+		// Reuse the serialization oracle's state set so the skip-validation
+		// mutant doesn't re-enumerate it.
+		mopts := opts
+		mopts.States, mopts.StatesTruncated = res.States, res.Truncated
+		mruns, err := conform.CheckMutants(tg, mopts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lockconform:", err)
 			os.Exit(2)

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHybridSweepSmoke runs a miniature contention sweep and checks the
+// report shape: one cell per workload × runtime × level, policy counters on
+// the hybrid cells, both ratio maps populated, and a lossless JSON
+// round-trip.
+func TestHybridSweepSmoke(t *testing.T) {
+	opt := HybridOptions{Goroutines: []int{1, 2}, OpsPerG: 300, Reps: 1, Seed: 5}
+	rep, err := HybridSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := 2 * 3 * len(opt.Goroutines)
+	if len(rep.Results) != wantCells {
+		t.Fatalf("%d result cells, want %d", len(rep.Results), wantCells)
+	}
+	for _, tc := range hybridCases() {
+		for _, g := range opt.Goroutines {
+			hyb := rep.find(tc.name, RuntimeHybrid, g)
+			if hyb == nil {
+				t.Fatalf("no hybrid cell for %s g=%d", tc.name, g)
+			}
+			if hyb.OpsPerSec <= 0 {
+				t.Errorf("%s g=%d: non-positive throughput", tc.name, g)
+			}
+			total := int64(g) * int64(opt.OpsPerG)
+			if hyb.OptRuns+hyb.PessRuns != total {
+				t.Errorf("%s g=%d: opt %d + pess %d != %d ops",
+					tc.name, g, hyb.OptRuns, hyb.PessRuns, total)
+			}
+		}
+		if rep.HybridVsBestPure[tc.name] <= 0 {
+			t.Errorf("missing hybrid-vs-best-pure ratio for %s", tc.name)
+		}
+		if rep.HybridVsSTM[tc.name] <= 0 {
+			t.Errorf("missing hybrid-vs-stm ratio for %s", tc.name)
+		}
+	}
+	if !strings.Contains(FormatHybrid(rep), "hybrid vs best pure runtime") {
+		t.Error("formatted table lacks the summary ratio lines")
+	}
+
+	path := filepath.Join(t.TempDir(), "hybrid.json")
+	if err := WriteHybrid(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadHybrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != HybridSchema || len(got.Results) != len(rep.Results) {
+		t.Errorf("round trip mismatch: schema %q, %d cells", got.Schema, len(got.Results))
+	}
+	for wl, ratio := range rep.HybridVsBestPure {
+		if got.HybridVsBestPure[wl] != ratio {
+			t.Errorf("round trip ratio mismatch for %s", wl)
+		}
+	}
+}
+
+// TestLoadHybridRejectsWrongSchema mirrors the throughput gate's schema
+// check.
+func TestLoadHybridRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	rep := &HybridReport{Schema: "something/else"}
+	if err := WriteHybrid(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHybrid(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

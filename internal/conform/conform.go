@@ -1,12 +1,13 @@
 // Package conform is the cross-engine conformance harness: it executes one
 // program concurrently under every execution backend — inferred locks on
 // the sharded mgl.Manager, inferred locks on the frozen mgl.RefManager, the
-// global-lock plan, and the TL2 stm.Runtime — and checks each outcome's
-// final shared state against the set of states reachable by some
-// serialization of the program's atomic sections (Theorem 1 as an
-// executable oracle). It also mutation-tests itself: re-running a target
-// with the fault hooks (transform.DropLock, Session.PermutePlan) must make
-// the harness flag the run.
+// global-lock plan, the TL2 stm.Runtime, the natively compiled codegen
+// binary, and the adaptive hybrid engine — and checks each outcome's final
+// shared state against the set of states reachable by some serialization
+// of the program's atomic sections (Theorem 1 as an executable oracle). It
+// also mutation-tests itself: re-running a target with the fault hooks
+// (transform.DropLock, Session.PermutePlan, the hybrid fallback faults,
+// stm.Runtime.SkipValidation) must make the harness flag the run.
 package conform
 
 import (
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"lockinfer/internal/codegen"
+	"lockinfer/internal/hybrid"
 	"lockinfer/internal/interp"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/oracle"
@@ -42,6 +44,11 @@ const (
 	// checker and the Watcher linked in) and runs it out of process; the
 	// printed state fingerprint is checked like any other engine's.
 	EngineNative
+	// EngineHybrid runs the adaptive engine: sections start as TL2
+	// transactions and fall back to their inferred lock plans under abort
+	// pressure. Pessimistic executions carry the §4.2 checker and the
+	// Watcher; optimistic ones are validated by the state check.
+	EngineHybrid
 )
 
 func (e Engine) String() string {
@@ -56,13 +63,15 @@ func (e Engine) String() string {
 		return "stm"
 	case EngineNative:
 		return "native"
+	case EngineHybrid:
+		return "hybrid"
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
 }
 
 // AllEngines lists every backend in canonical order.
 func AllEngines() []Engine {
-	return []Engine{EngineMGL, EngineRef, EngineGlobal, EngineSTM, EngineNative}
+	return []Engine{EngineMGL, EngineRef, EngineGlobal, EngineSTM, EngineNative, EngineHybrid}
 }
 
 // ParseEngines parses a comma-separated engine list ("mgl,stm"); "all" or
@@ -83,7 +92,7 @@ func ParseEngines(s string) ([]Engine, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("conform: unknown engine %q (have mgl, mgl-ref, global, stm, native)", name)
+			return nil, fmt.Errorf("conform: unknown engine %q (have mgl, mgl-ref, global, stm, native, hybrid)", name)
 		}
 	}
 	return out, nil
@@ -101,6 +110,11 @@ type Options struct {
 	// checked against the truncated set, with misses reported as unknown
 	// rather than violations.
 	MaxSerializations int
+	// States (with StatesTruncated) is the serializable-state set from a
+	// prior Check of the same target. CheckMutants' skip-validation mutant
+	// consults it to judge final states and recomputes it when empty.
+	States          []string
+	StatesTruncated bool
 	// Log, when set, receives progress and truncation notes.
 	Log func(format string, args ...any)
 }
@@ -218,6 +232,10 @@ func runEngine(tg *oracle.Target, e Engine) (*EngineRun, error) {
 	if e == EngineNative {
 		return runNative(tg, codegen.VariantInferred, "")
 	}
+	if e == EngineHybrid {
+		run, _, err := runHybrid(tg, conformHybridConfig, false)
+		return run, err
+	}
 	plan := tg.Plan
 	if e == EngineGlobal {
 		plan = transform.GlobalLockPlan(tg.Prog)
@@ -288,4 +306,61 @@ func runEngine(tg *oracle.Target, e Engine) (*EngineRun, error) {
 	}
 	run.State = m.StateDump()
 	return run, nil
+}
+
+// conformHybridConfig is the adaptive policy used for conformance runs: a
+// tight abort budget and short stickiness so the tiny conformance programs
+// exercise both the optimistic and the fallback path.
+var conformHybridConfig = hybrid.Config{AbortThreshold: 2, StickyRuns: 4}
+
+// runHybrid executes the target once under the hybrid engine with an
+// explicit policy, optionally with the STM runtime's validation disabled
+// (the skip-validation mutant). It returns the run, and the number of
+// conflicts the runtime detected but ignored (nonzero only under
+// skipValidation — the mutant's effectiveness signal). Pessimistic
+// executions carry the full pessimistic oracle stack (§4.2 checker,
+// Watcher, PlanMutator); the race detector stays detached because
+// optimistic commits contribute no happens-before edges it understands.
+func runHybrid(tg *oracle.Target, cfg hybrid.Config, skipValidation bool) (*EngineRun, int64, error) {
+	m := interp.NewMachine(tg.Prog, tg.Pts, tg.Plan)
+	if tg.StepLimit > 0 {
+		m.StepLimit = tg.StepLimit
+	}
+	for name, fn := range tg.Externs {
+		m.RegisterExtern(name, fn)
+	}
+	m.Checked = true
+	rt := stm.New()
+	rt.SkipValidation = skipValidation
+	m.UseHybrid(rt, hybrid.NewPolicy(cfg))
+	watch := mgl.NewWatcher()
+	m.Manager().SetWatcher(watch)
+	if tg.PlanMutator != nil {
+		m.Manager().PermutePlan = tg.PlanMutator
+	}
+	run := &EngineRun{Engine: EngineHybrid}
+	if err := m.Init(); err != nil {
+		return nil, 0, fmt.Errorf("init: %w", err)
+	}
+	if tg.Setup != nil {
+		if _, err := m.Call(0, tg.Setup.Fn, tg.Setup.Args); err != nil {
+			return nil, 0, fmt.Errorf("setup: %w", err)
+		}
+	}
+	if err := m.Run(tg.Threads); err != nil {
+		run.Flags = append(run.Flags, err.Error())
+	}
+	for _, v := range watch.OrderViolations() {
+		run.Flags = append(run.Flags, v.String())
+	}
+	for _, c := range watch.LockOrderCycles() {
+		run.Flags = append(run.Flags, c.String())
+	}
+	for _, d := range watch.Deadlocks() {
+		d := d
+		run.Flags = append(run.Flags, d.Error())
+	}
+	run.Commits, run.Aborts = rt.Commits(), rt.Aborts()
+	run.State = m.StateDump()
+	return run, rt.IgnoredConflicts(), nil
 }

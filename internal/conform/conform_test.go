@@ -119,6 +119,99 @@ func TestSTMEngineCommits(t *testing.T) {
 	}
 }
 
+// The hybrid engine alone: conformant final states, and the transaction
+// counters must show the optimistic path actually ran.
+func TestHybridEngineConforms(t *testing.T) {
+	tg, err := oracle.FromProgen(7, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(tg, Options{Engines: []Engine{EngineHybrid}, Repeat: 2, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Runs {
+		if res.Runs[i].Engine != EngineHybrid {
+			t.Fatalf("run %d on engine %s, want hybrid", i, res.Runs[i].Engine)
+		}
+		if res.Runs[i].Commits == 0 {
+			t.Fatalf("hybrid run %d committed no transactions: %+v", i, res.Runs[i])
+		}
+	}
+}
+
+// The three hybrid-specific faults must each be flagged on a target known
+// to exercise them (the shared-counter-heavy progen seed used by the other
+// single-engine tests has multi-lock sections and real write conflicts).
+func TestHybridMutantsFlagged(t *testing.T) {
+	tg, err := oracle.FromProgen(1, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := checkHybridMutants(tg, 1, Options{Log: t.Logf}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, r := range runs {
+		kinds[r.Kind] = true
+		if !r.Flagged {
+			t.Errorf("hybrid mutant %s (%s) not flagged", r.Target, r.Kind)
+		}
+	}
+	if !kinds["hybrid-drop-fallback-locks"] || !kinds["hybrid-permute-fallback-plan"] {
+		t.Fatalf("deterministic hybrid mutants missing from %v", kinds)
+	}
+}
+
+// contendedCounterSrc keeps each transaction open for several Go scheduler
+// time slices (the interpreter has no internal yield points, so on few
+// cores only preemption interleaves threads) — the schedule-dependent
+// skip-validation fault needs real read-write conflicts to ignore.
+const contendedCounterSrc = `
+int counter;
+void worker(int n) {
+  int i = 0;
+  while (i < n) {
+    atomic {
+      int v = counter;
+      int j = 0;
+      while (j < 500000) { j = j + 1; }
+      counter = v + 1;
+    }
+    i = i + 1;
+  }
+}
+`
+
+// The skip-validation mutant must be flagged on a target with real
+// conflicts: with TL2 validation ignored, overlapping increments lose
+// updates, and the final count falls outside the (single) serializable
+// state.
+func TestSkipValidationMutantFlagged(t *testing.T) {
+	workers := []interp.ThreadSpec{
+		{Fn: "worker", Args: []interp.Value{interp.IntV(1)}},
+		{Fn: "worker", Args: []interp.Value{interp.IntV(1)}},
+	}
+	tg, err := oracle.FromSource("contended-counter", contendedCounterSrc, 2, workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := checkSkipValidationMutant(tg, Options{Log: t.Logf}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run == nil {
+		t.Fatal("skip-validation mutant never manifested (no conflict ignored)")
+	}
+	if !run.Flagged {
+		t.Fatalf("skip-validation mutant not flagged: %+v", run)
+	}
+}
+
 // The native engine alone: the compiled binary's state fingerprint must
 // land in the serialization oracle's state set, and a clean program must
 // produce no flags out of process.
@@ -158,12 +251,12 @@ func TestNativeEngineRejectsExterns(t *testing.T) {
 
 func TestParseEngines(t *testing.T) {
 	all, err := ParseEngines("all")
-	if err != nil || len(all) != 5 {
+	if err != nil || len(all) != 6 {
 		t.Fatalf("ParseEngines(all) = %v, %v", all, err)
 	}
-	two, err := ParseEngines("mgl, native")
-	if err != nil || len(two) != 2 || two[0] != EngineMGL || two[1] != EngineNative {
-		t.Fatalf("ParseEngines(mgl, native) = %v, %v", two, err)
+	two, err := ParseEngines("mgl, hybrid")
+	if err != nil || len(two) != 2 || two[0] != EngineMGL || two[1] != EngineHybrid {
+		t.Fatalf("ParseEngines(mgl, hybrid) = %v, %v", two, err)
 	}
 	if _, err := ParseEngines("bogus"); err == nil {
 		t.Fatal("ParseEngines(bogus) succeeded")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"lockinfer/internal/hybrid"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/oracle"
 )
@@ -102,7 +103,140 @@ func CheckMutants(tg *oracle.Target, opts Options) ([]MutantRun, error) {
 		}
 		out = append(out, nruns...)
 	}
+
+	hruns, err := checkHybridMutants(tg, ndropped, opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, hruns...)
 	return out, nil
+}
+
+// checkHybridMutants injects three faults specific to the adaptive engine
+// and requires the harness to flag each:
+//
+//   - hybrid-drop-fallback-locks: every plan emptied, fallback forced — the
+//     pessimistic path runs uncovered, so the §4.2 checker must fire on the
+//     first shared access (before any cell is meta-locked, which keeps the
+//     mutant deterministic and deadlock-free).
+//   - hybrid-permute-fallback-plan: fallback forced with every acquisition
+//     plan reversed — the Watcher's canonical-order assertion must fire.
+//   - hybrid-skip-stm-validation: fallback disabled and the TL2 runtime's
+//     validation switched off — a detected-but-ignored conflict must
+//     surface as an oracle flag or a non-serializable final state. The
+//     fault is schedule-dependent, so the run repeats until the runtime
+//     reports it actually ignored a conflict and the harness caught it.
+func checkHybridMutants(tg *oracle.Target, ndropped int, opts Options) ([]MutantRun, error) {
+	var out []MutantRun
+
+	forced := hybrid.Config{AbortThreshold: hybrid.ForceFallback}
+	if ndropped > 0 {
+		dropped, _ := tg.DropLock("")
+		dropped.Name = tg.Name + "/hybrid-drop-fallback"
+		run, _, err := runHybrid(dropped, forced, false)
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: hybrid drop-fallback mutant: %w", tg.Name, err)
+		}
+		out = append(out, MutantRun{
+			Target:  dropped.Name,
+			Kind:    "hybrid-drop-fallback-locks",
+			Flagged: run.Flagged(),
+			Flags:   run.Flags,
+		})
+	} else {
+		opts.Log("conform: %s: no locks inferred; hybrid drop-fallback mutant skipped", tg.Name)
+	}
+
+	var effective atomic.Bool
+	permuted := *tg
+	permuted.Name = tg.Name + "/hybrid-permute-fallback"
+	permuted.PlanMutator = func(sid int64, steps []mgl.PlanStep) []mgl.PlanStep {
+		if len(steps) > 1 {
+			effective.Store(true)
+		}
+		return reversePlan(sid, steps)
+	}
+	run, _, err := runHybrid(&permuted, forced, false)
+	if err != nil {
+		return nil, fmt.Errorf("conform: %s: hybrid permute-fallback mutant: %w", tg.Name, err)
+	}
+	if effective.Load() {
+		out = append(out, MutantRun{
+			Target:  permuted.Name,
+			Kind:    "hybrid-permute-fallback-plan",
+			Flagged: run.Flagged(),
+			Flags:   run.Flags,
+		})
+	} else {
+		opts.Log("conform: %s: no multi-step plan acquired; hybrid permute-fallback mutant skipped", tg.Name)
+	}
+
+	skipRun, err := checkSkipValidationMutant(tg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if skipRun != nil {
+		out = append(out, *skipRun)
+	}
+	return out, nil
+}
+
+// checkSkipValidationMutant runs the never-fallback hybrid engine with TL2
+// validation disabled and judges each outcome against the serializable
+// states. It returns nil (with a log note) when the fault never manifested
+// — no conflict was ever ignored, or the truncated oracle made every
+// unmatched state inconclusive.
+func checkSkipValidationMutant(tg *oracle.Target, opts Options) (*MutantRun, error) {
+	states := map[string]bool{}
+	for _, s := range opts.States {
+		states[s] = true
+	}
+	truncated := opts.StatesTruncated
+	if len(states) == 0 {
+		ser, err := serialStates(tg, opts.MaxSerializations, opts.Log)
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: skip-validation mutant: serialization oracle: %w", tg.Name, err)
+		}
+		states, truncated = ser.states, ser.truncated
+	}
+	cfg := hybrid.Config{AbortThreshold: hybrid.NeverFallback}
+	name := tg.Name + "/hybrid-skip-validation"
+	anyIgnored := false
+	inconclusive := false
+	const attempts = 12
+	for i := 0; i < attempts; i++ {
+		run, ignored, err := runHybrid(tg, cfg, true)
+		if err != nil {
+			return nil, fmt.Errorf("conform: %s: hybrid skip-validation mutant: %w", tg.Name, err)
+		}
+		if ignored == 0 {
+			// No conflict arose on this schedule; the fault was inert.
+			continue
+		}
+		anyIgnored = true
+		if run.Flagged() {
+			return &MutantRun{Target: name, Kind: "hybrid-skip-stm-validation", Flagged: true, Flags: run.Flags}, nil
+		}
+		if !states[run.State] {
+			if truncated {
+				inconclusive = true
+				continue
+			}
+			return &MutantRun{
+				Target: name, Kind: "hybrid-skip-stm-validation", Flagged: true,
+				Flags: []string{fmt.Sprintf("non-serializable final state %q with %d ignored conflicts", run.State, ignored)},
+			}, nil
+		}
+	}
+	switch {
+	case !anyIgnored:
+		opts.Log("conform: %s: no conflict ignored in %d runs; hybrid skip-validation mutant skipped", tg.Name, attempts)
+		return nil, nil
+	case inconclusive:
+		opts.Log("conform: %s: skip-validation states unmatched but oracle truncated; mutant inconclusive, skipped", tg.Name)
+		return nil, nil
+	}
+	return &MutantRun{Target: name, Kind: "hybrid-skip-stm-validation", Flagged: false}, nil
 }
 
 // MutantsErr folds mutant runs into a verdict: nil iff every mutant was

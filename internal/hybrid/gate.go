@@ -1,0 +1,62 @@
+package hybrid
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Gate serializes optimistic write-commits against pessimistic sections.
+//
+// While no pessimistic section is active, optimistic transactions commit on
+// the pure TL2 path: EnterFree registers the in-flight commit and ExitFree
+// retires it — two atomic ops, no locks. The moment any thread goes
+// pessimistic (EnterPess), new write-commits are denied the free path and
+// must instead acquire the committing section's inferred lock plan, which
+// the lock hierarchy orders against the pessimistic holder. EnterPess spins
+// until the in-flight free commits drain, so a pessimistic section never
+// observes a half-applied optimistic commit and — because it drains before
+// the section acquires its locks — free committers can never mutate cells
+// between the section's plan evaluation and its body.
+//
+// The spin cannot deadlock: free commits are short, lock-free, and never
+// wait on the gate themselves.
+type Gate struct {
+	pess     atomic.Int32
+	inflight atomic.Int32
+}
+
+// EnterFree tries to register an optimistic write-commit on the lock-free
+// fast path; it reports false while any pessimistic section is active (the
+// commit must then take the locked path). On true, the caller must pair
+// with ExitFree.
+func (g *Gate) EnterFree() bool {
+	g.inflight.Add(1)
+	if g.pess.Load() != 0 {
+		g.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// ExitFree retires a free-path commit registered by EnterFree.
+func (g *Gate) ExitFree() {
+	g.inflight.Add(-1)
+}
+
+// EnterPess marks a pessimistic section active and waits for in-flight
+// free-path commits to drain. Pair with ExitPess.
+func (g *Gate) EnterPess() {
+	g.pess.Add(1)
+	for g.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+// ExitPess retires a pessimistic section.
+func (g *Gate) ExitPess() {
+	g.pess.Add(-1)
+}
+
+// PessActive reports whether any pessimistic section is active (exposed for
+// tests).
+func (g *Gate) PessActive() bool { return g.pess.Load() != 0 }

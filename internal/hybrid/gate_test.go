@@ -1,0 +1,85 @@
+package hybrid
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGateFastPath: with no pessimistic section active, free commits are
+// admitted and retire cleanly.
+func TestGateFastPath(t *testing.T) {
+	var g Gate
+	if !g.EnterFree() {
+		t.Fatal("EnterFree denied with no pessimistic section active")
+	}
+	g.ExitFree()
+	if g.PessActive() {
+		t.Fatal("PessActive true with no pessimistic section")
+	}
+}
+
+// TestGateDeniesWhilePess: free-path commits are denied for the whole span
+// of a pessimistic section and admitted again after it exits.
+func TestGateDeniesWhilePess(t *testing.T) {
+	var g Gate
+	g.EnterPess()
+	if g.EnterFree() {
+		t.Fatal("EnterFree admitted while a pessimistic section is active")
+	}
+	g.ExitPess()
+	if !g.EnterFree() {
+		t.Fatal("EnterFree denied after the pessimistic section exited")
+	}
+	g.ExitFree()
+}
+
+// TestGateNestedPess: overlapping pessimistic sections keep the gate closed
+// until the last one exits.
+func TestGateNestedPess(t *testing.T) {
+	var g Gate
+	g.EnterPess()
+	g.EnterPess()
+	g.ExitPess()
+	if g.EnterFree() {
+		t.Fatal("EnterFree admitted while one pessimistic section remains")
+	}
+	g.ExitPess()
+	if !g.EnterFree() {
+		t.Fatal("EnterFree denied after all pessimistic sections exited")
+	}
+	g.ExitFree()
+}
+
+// TestGateExclusion stress-checks the invariant the hybrid engine depends
+// on: a pessimistic section never runs while a free-path commit is in
+// flight. Free committers hold a counter high inside their critical span;
+// the pessimistic thread asserts it reads zero right after EnterPess.
+func TestGateExclusion(t *testing.T) {
+	var g Gate
+	var inCrit atomic.Int32
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if g.EnterFree() {
+					inCrit.Add(1)
+					inCrit.Add(-1)
+					g.ExitFree()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		g.EnterPess()
+		if n := inCrit.Load(); n != 0 {
+			t.Errorf("free commit in flight during pessimistic section: %d", n)
+		}
+		g.ExitPess()
+	}
+	stop.Store(true)
+	wg.Wait()
+}

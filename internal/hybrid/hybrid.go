@@ -1,0 +1,182 @@
+// Package hybrid is the adaptive policy behind the machine's hybrid
+// execution engine: every atomic section first runs optimistically as a TL2
+// transaction, and sections whose abort rate crosses a budget fall back to
+// their inferred lock plan, pessimistically. Fallback is sticky — a section
+// that fell back stays pessimistic for a run budget, refreshed while its
+// lock acquisitions keep blocking and decayed back toward optimism while
+// they don't. All state is per-section, so one hot section falling back
+// never pessimizes the rest of the program.
+package hybrid
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Mode is the policy's verdict for one execution of a section.
+type Mode uint8
+
+const (
+	// Opt: run the section as a (possibly attempt-bounded) transaction.
+	Opt Mode = iota
+	// Pess: run the section under its inferred lock plan.
+	Pess
+)
+
+func (m Mode) String() string {
+	if m == Pess {
+		return "pess"
+	}
+	return "opt"
+}
+
+// Sentinel thresholds: ForceFallback sends every section straight to its
+// lock plan (the property tests' "always pessimistic" extreme), and
+// NeverFallback grants unbounded optimistic retries (the "pure STM"
+// extreme).
+const (
+	ForceFallback = -1
+	NeverFallback = 1 << 30
+)
+
+// Defaults used for zero Config fields.
+const (
+	DefaultAbortThreshold = 3
+	DefaultStickyRuns     = 8
+)
+
+// Config tunes the policy. The zero value means the defaults, not zero
+// budgets; use the sentinels above for the degenerate policies.
+type Config struct {
+	// AbortThreshold is the per-execution abort budget of the optimistic
+	// attempt loop: after this many aborted attempts the section falls back
+	// to its lock plan. ForceFallback skips optimism entirely;
+	// NeverFallback (or anything ≥ it) retries forever.
+	AbortThreshold int
+	// StickyRuns is how many subsequent executions of a section stay
+	// pessimistic after a fallback. Uncontended pessimistic runs decay the
+	// budget; contended ones refresh it.
+	StickyRuns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.AbortThreshold == 0 {
+		c.AbortThreshold = DefaultAbortThreshold
+	}
+	if c.StickyRuns == 0 {
+		c.StickyRuns = DefaultStickyRuns
+	}
+	return c
+}
+
+// Policy holds the adaptive per-section state. All methods are safe for
+// concurrent use by the machine's threads.
+type Policy struct {
+	cfg  Config
+	secs sync.Map // section id (int) -> *secState
+
+	optRuns   atomic.Int64
+	optAborts atomic.Int64
+	pessRuns  atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// secState is one section's adaptive state: the remaining sticky-fallback
+// run budget (0 = optimistic).
+type secState struct {
+	sticky atomic.Int32
+}
+
+// NewPolicy returns a policy with cfg's zero fields defaulted.
+func NewPolicy(cfg Config) *Policy {
+	return &Policy{cfg: cfg.withDefaults()}
+}
+
+func (p *Policy) state(section int) *secState {
+	if s, ok := p.secs.Load(section); ok {
+		return s.(*secState)
+	}
+	s, _ := p.secs.LoadOrStore(section, &secState{})
+	return s.(*secState)
+}
+
+// Decide picks the mode for one execution of a section. For Opt it also
+// returns the attempt budget to pass to the transactional runtime
+// (0 = unbounded).
+func (p *Policy) Decide(section int) (Mode, int) {
+	if p.cfg.AbortThreshold < 0 {
+		return Pess, 0
+	}
+	if p.cfg.AbortThreshold >= NeverFallback {
+		return Opt, 0
+	}
+	if p.state(section).sticky.Load() > 0 {
+		return Pess, 0
+	}
+	return Opt, p.cfg.AbortThreshold
+}
+
+// RecordOptimistic accounts one optimistic execution that committed after
+// aborts failed attempts.
+func (p *Policy) RecordOptimistic(section int, aborts int) {
+	p.optRuns.Add(1)
+	p.optAborts.Add(int64(aborts))
+}
+
+// RecordFallback accounts one execution whose optimistic attempts exhausted
+// the abort budget; the section turns sticky-pessimistic.
+func (p *Policy) RecordFallback(section int, aborts int) {
+	p.optAborts.Add(int64(aborts))
+	p.fallbacks.Add(1)
+	p.state(section).sticky.Store(int32(p.cfg.StickyRuns))
+}
+
+// RecordPessimistic accounts one pessimistic execution. A contended run
+// (the section's lock acquisitions blocked) refreshes the sticky budget; an
+// uncontended one decays it, so quiescent sections drift back to optimism.
+func (p *Policy) RecordPessimistic(section int, contended bool) {
+	p.pessRuns.Add(1)
+	s := p.state(section)
+	if contended {
+		s.sticky.Store(int32(p.cfg.StickyRuns))
+		return
+	}
+	for {
+		v := s.sticky.Load()
+		if v <= 0 {
+			return
+		}
+		if s.sticky.CompareAndSwap(v, v-1) {
+			return
+		}
+	}
+}
+
+// Sticky returns a section's remaining sticky-pessimistic run budget
+// (exposed for tests and diagnostics).
+func (p *Policy) Sticky(section int) int {
+	return int(p.state(section).sticky.Load())
+}
+
+// Stats is a snapshot of the policy's counters.
+type Stats struct {
+	// OptRuns counts executions that committed optimistically; OptAborts
+	// the aborted attempts across all optimistic executions (including
+	// those that ended in fallback).
+	OptRuns   int64
+	OptAborts int64
+	// PessRuns counts executions under the lock plan (forced, sticky or
+	// fallback); Fallbacks the executions that exhausted the abort budget.
+	PessRuns  int64
+	Fallbacks int64
+}
+
+// Stats returns a snapshot of the policy counters.
+func (p *Policy) Stats() Stats {
+	return Stats{
+		OptRuns:   p.optRuns.Load(),
+		OptAborts: p.optAborts.Load(),
+		PessRuns:  p.pessRuns.Load(),
+		Fallbacks: p.fallbacks.Load(),
+	}
+}

@@ -1,0 +1,160 @@
+package hybrid
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDecide covers the threshold-crossing matrix: configuration × section
+// state → mode and attempt budget.
+func TestDecide(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfg        Config
+		setup      func(p *Policy) // mutate per-section state before Decide
+		section    int
+		wantMode   Mode
+		wantBudget int
+	}{
+		{
+			name:       "defaults start optimistic with default budget",
+			cfg:        Config{},
+			wantMode:   Opt,
+			wantBudget: DefaultAbortThreshold,
+		},
+		{
+			name:       "explicit threshold is the attempt budget",
+			cfg:        Config{AbortThreshold: 7},
+			wantMode:   Opt,
+			wantBudget: 7,
+		},
+		{
+			name:       "ForceFallback goes straight to locks",
+			cfg:        Config{AbortThreshold: ForceFallback},
+			wantMode:   Pess,
+			wantBudget: 0,
+		},
+		{
+			name:       "NeverFallback retries unbounded",
+			cfg:        Config{AbortThreshold: NeverFallback},
+			wantMode:   Opt,
+			wantBudget: 0,
+		},
+		{
+			name:     "section past the budget turns pessimistic",
+			cfg:      Config{AbortThreshold: 2, StickyRuns: 4},
+			setup:    func(p *Policy) { p.RecordFallback(5, 2) },
+			section:  5,
+			wantMode: Pess,
+		},
+		{
+			name:       "fallback of one section leaves others optimistic",
+			cfg:        Config{AbortThreshold: 2, StickyRuns: 4},
+			setup:      func(p *Policy) { p.RecordFallback(5, 2) },
+			section:    6,
+			wantMode:   Opt,
+			wantBudget: 2,
+		},
+		{
+			name: "decayed section returns to optimism",
+			cfg:  Config{AbortThreshold: 2, StickyRuns: 2},
+			setup: func(p *Policy) {
+				p.RecordFallback(1, 2)
+				p.RecordPessimistic(1, false)
+				p.RecordPessimistic(1, false)
+			},
+			section:    1,
+			wantMode:   Opt,
+			wantBudget: 2,
+		},
+		{
+			name: "contended pessimistic run refreshes stickiness",
+			cfg:  Config{AbortThreshold: 2, StickyRuns: 2},
+			setup: func(p *Policy) {
+				p.RecordFallback(1, 2)
+				p.RecordPessimistic(1, false)
+				p.RecordPessimistic(1, true) // refresh
+				p.RecordPessimistic(1, false)
+			},
+			section:  1,
+			wantMode: Pess,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPolicy(tc.cfg)
+			if tc.setup != nil {
+				tc.setup(p)
+			}
+			mode, budget := p.Decide(tc.section)
+			if mode != tc.wantMode {
+				t.Fatalf("mode = %v, want %v", mode, tc.wantMode)
+			}
+			if mode == Opt && budget != tc.wantBudget {
+				t.Fatalf("budget = %d, want %d", budget, tc.wantBudget)
+			}
+		})
+	}
+}
+
+// TestStickyDecay walks one section through a fallback and the full decay
+// back to optimism, checking the budget at each step.
+func TestStickyDecay(t *testing.T) {
+	p := NewPolicy(Config{AbortThreshold: 3, StickyRuns: 3})
+	if got := p.Sticky(0); got != 0 {
+		t.Fatalf("initial sticky = %d, want 0", got)
+	}
+	p.RecordFallback(0, 3)
+	for want := 3; want > 0; want-- {
+		if got := p.Sticky(0); got != want {
+			t.Fatalf("sticky = %d, want %d", got, want)
+		}
+		if mode, _ := p.Decide(0); mode != Pess {
+			t.Fatalf("mode at sticky=%d is %v, want Pess", want, mode)
+		}
+		p.RecordPessimistic(0, false)
+	}
+	if got := p.Sticky(0); got != 0 {
+		t.Fatalf("sticky after decay = %d, want 0", got)
+	}
+	if mode, _ := p.Decide(0); mode != Opt {
+		t.Fatalf("mode after decay = %v, want Opt", mode)
+	}
+	// Decaying an already-optimistic section must not underflow.
+	p.RecordPessimistic(0, false)
+	if got := p.Sticky(0); got != 0 {
+		t.Fatalf("sticky after extra decay = %d, want 0", got)
+	}
+}
+
+// TestPerSectionIsolation hammers two sections from concurrent goroutines
+// and checks their states never bleed into each other.
+func TestPerSectionIsolation(t *testing.T) {
+	p := NewPolicy(Config{AbortThreshold: 2, StickyRuns: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.RecordFallback(1, 2)
+				p.RecordOptimistic(2, 0)
+				p.RecordPessimistic(1, true)
+			}
+		}()
+	}
+	wg.Wait()
+	if mode, _ := p.Decide(1); mode != Pess {
+		t.Fatalf("section 1 mode = %v, want Pess", mode)
+	}
+	if mode, _ := p.Decide(2); mode != Opt {
+		t.Fatalf("section 2 mode = %v, want Opt", mode)
+	}
+	if got := p.Sticky(2); got != 0 {
+		t.Fatalf("section 2 sticky = %d, want 0", got)
+	}
+	st := p.Stats()
+	if st.Fallbacks != 800 || st.OptRuns != 800 || st.PessRuns != 800 {
+		t.Fatalf("stats = %+v, want 800 each of fallbacks/optRuns/pessRuns", st)
+	}
+}

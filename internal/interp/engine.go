@@ -1,0 +1,100 @@
+package interp
+
+import (
+	"lockinfer/internal/ir"
+)
+
+// Engine is one execution strategy for atomic sections. The machine owns
+// exactly one engine for its whole life: the pessimistic lock engine
+// (inferred locks on an mgl runtime — the default), the optimistic TL2
+// engine (UseSTM), or the adaptive hybrid (UseHybrid). The interpreter
+// core is engine-agnostic: every section boundary, every shared-slot
+// access and every atomicity-sensitive decision (coverage checking,
+// allocation epochs, scheduling points) dispatches through this interface,
+// so engines differ only in the eight methods below and never by
+// conditionals sprinkled through exec.
+//
+// All methods except peek run on the owning thread's goroutine; peek is
+// the quiescent-inspection path (Global, StateDump) and runs with no
+// threads executing.
+type Engine interface {
+	// begin handles an OpAtomicBegin at pc on thread t. next is the
+	// statement's successor; sub mirrors exec's sub flag (the bounded
+	// re-execution contract of transactional engines).
+	begin(t *thread, f *ir.Func, frame *Object, s *ir.Stmt, pc, next int, sub bool) (secAction, error)
+	// end handles an OpAtomicEnd.
+	end(t *thread, f *ir.Func, s *ir.Stmt, next int, sub bool) (secAction, error)
+	// load and store access one slot (frame, global or heap) on behalf of t.
+	load(t *thread, obj *Object, off int) Value
+	store(t *thread, obj *Object, off int, v Value)
+	// peek reads a slot for quiescent inspection.
+	peek(m *Machine, obj *Object, off int) Value
+	// checked reports whether the §4.2 lock-coverage check applies to t's
+	// current execution (engines whose isolation comes from the transaction
+	// protocol answer false there).
+	checked(t *thread) bool
+	// inAtomic reports whether t is inside an atomic section.
+	inAtomic(t *thread) bool
+	// cleanup releases whatever t still holds after an error unwound it
+	// (locks, meta-locked cells, gate registrations).
+	cleanup(t *thread)
+}
+
+// secAction is an engine's verdict on a section boundary: either continue
+// the enclosing exec loop at cont, or stop exec immediately and return
+// (ret, returned, cont) — the transactional engines use stop both to
+// propagate a return out of a section body and to bound one attempt.
+type secAction struct {
+	stop     bool
+	ret      Value
+	returned bool
+	cont     int
+}
+
+// lockEngine is the pessimistic default: sections acquire their inferred
+// lock plan with the §5.2 evaluate–acquire–revalidate protocol and shared
+// slots are plain direct memory, protected by lock coverage.
+type lockEngine struct{}
+
+func (lockEngine) begin(t *thread, f *ir.Func, frame *Object, s *ir.Stmt, pc, next int, sub bool) (secAction, error) {
+	outer := t.session.Nesting() == 0
+	if outer {
+		t.yield(YieldAtomicEnter)
+	}
+	t.enterAtomic(f, frame, s.Section)
+	if outer && t.m.Tracer != nil {
+		t.m.Tracer.SectionEnter(t.id, s.Section, t.session.HeldSteps())
+	}
+	return secAction{cont: next}, nil
+}
+
+func (lockEngine) end(t *thread, f *ir.Func, s *ir.Stmt, next int, sub bool) (secAction, error) {
+	if t.session.Nesting() == 1 && t.m.Tracer != nil {
+		t.m.Tracer.SectionExit(t.id, s.Section, t.session.HeldSteps())
+	}
+	t.session.ReleaseAll()
+	if t.session.Nesting() == 0 {
+		t.held = nil
+		t.yield(YieldAtomicExit)
+	}
+	return secAction{cont: next}, nil
+}
+
+func (lockEngine) load(t *thread, obj *Object, off int) Value { return obj.load(off) }
+
+func (lockEngine) store(t *thread, obj *Object, off int, v Value) { obj.store(off, v) }
+
+func (lockEngine) peek(m *Machine, obj *Object, off int) Value { return obj.load(off) }
+
+func (lockEngine) checked(t *thread) bool { return t.session.Nesting() > 0 }
+
+func (lockEngine) inAtomic(t *thread) bool { return t.session.Nesting() > 0 }
+
+// cleanup drains the session so a thread that failed inside an atomic
+// section does not strand its locks.
+func (lockEngine) cleanup(t *thread) {
+	for t.session.Nesting() > 0 {
+		t.session.ReleaseAll()
+	}
+	t.held = nil
+}

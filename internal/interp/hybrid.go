@@ -1,0 +1,248 @@
+package interp
+
+import (
+	"lockinfer/internal/hybrid"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/mem"
+	"lockinfer/internal/stm"
+)
+
+// Adaptive execution. The hybrid engine runs every outermost atomic
+// section optimistically first — a TL2 transaction with a per-section abort
+// budget — and re-executes it under its inferred lock plan when the budget
+// is exhausted; the hybrid.Policy keeps hot sections pessimistic (sticky
+// fallback) and lets quiescent ones drift back to optimism. Every shared
+// slot is cell-backed (the stm engine's cell table), which is what lets the
+// two modes coexist:
+//
+//   - Optimistic sections are ordinary TL2 transactions except for the
+//     commit hook: a writing commit first asks the engine's gate for the
+//     lock-free fast path, and while any pessimistic section is active it is
+//     denied and must instead acquire the committing section's inferred
+//     lock plan for the duration of the commit. The mgl hierarchy then
+//     orders the commit against every pessimistic holder it conflicts with.
+//   - Pessimistic sections acquire their plan with the §5.2
+//     evaluate–acquire–revalidate protocol (after closing the gate, so
+//     in-flight fast-path commits drain first and none can slip between
+//     plan evaluation and the section body), read cells directly, and
+//     meta-lock each cell they store to — holding the meta locks to section
+//     exit, where one clock bump publishes all written cells. To a
+//     concurrent transaction the whole section is one atomic commit:
+//     reads of its cells abort until publication, and the publication
+//     version invalidates conflicting snapshots.
+//
+// The commit hook evaluates lock descriptors outside the acquire-
+// revalidate loop (the commit's read set was already validated, and TL2
+// re-validates after the locks are held), so its coverage is approximate;
+// the transaction protocol, not the plan, is what guarantees the commit's
+// atomicity — the plan only orders it against pessimistic holders.
+type hybridEngine struct {
+	rt   *stm.Runtime
+	pol  *hybrid.Policy
+	gate hybrid.Gate
+}
+
+func (e *hybridEngine) begin(t *thread, f *ir.Func, frame *Object, s *ir.Stmt, pc, next int, sub bool) (secAction, error) {
+	if t.stmDepth > 0 {
+		t.stmDepth++ // flattened nesting: join the outer transaction
+		return secAction{cont: next}, nil
+	}
+	if t.session.Nesting() > 0 {
+		// Nested inside a pessimistic section: the outer plan covers it.
+		t.session.AcquireAll()
+		return secAction{cont: next}, nil
+	}
+	mode, budget := e.pol.Decide(s.Section)
+	var aborts int
+	if mode == hybrid.Opt {
+		ret, returned, cont, committed, n, err := t.hybridOptSection(e, f, frame, pc, s.Section, budget)
+		if err != nil {
+			return secAction{}, err
+		}
+		if committed {
+			e.pol.RecordOptimistic(s.Section, n)
+			if returned {
+				return secAction{stop: true, ret: ret, returned: true, cont: -1}, nil
+			}
+			return secAction{cont: cont}, nil
+		}
+		aborts = n
+		e.pol.RecordFallback(s.Section, aborts)
+	}
+	// Pessimistic entry. The gate closes before the locks are acquired so
+	// that once the plan's revalidation succeeds, no fast-path commit can
+	// mutate the cells it named; pessGated is set first so an abort inside
+	// AcquireAll (deadlock monitor) reopens the gate via cleanup.
+	t.yield(YieldAtomicEnter)
+	t.pessWait0 = t.session.WaitCount()
+	e.gate.EnterPess()
+	t.pessGated = true
+	t.enterAtomic(f, frame, s.Section)
+	if t.m.Tracer != nil {
+		t.m.Tracer.SectionEnter(t.id, s.Section, t.session.HeldSteps())
+	}
+	return secAction{cont: next}, nil
+}
+
+func (e *hybridEngine) end(t *thread, f *ir.Func, s *ir.Stmt, next int, sub bool) (secAction, error) {
+	if t.stmDepth > 0 {
+		t.stmDepth--
+		if t.stmDepth == 0 && sub {
+			// One transactional attempt of the outermost section is complete.
+			return secAction{stop: true, cont: next}, nil
+		}
+		return secAction{cont: next}, nil
+	}
+	if t.session.Nesting() == 1 {
+		if t.m.Tracer != nil {
+			t.m.Tracer.SectionExit(t.id, s.Section, t.session.HeldSteps())
+		}
+		// Publish before releasing the plan: a commit that was blocked on
+		// the plan must observe the published versions, not locked metas.
+		e.rt.PessPublish(t.pessCells)
+		t.pessCells = t.pessCells[:0]
+		contended := t.session.WaitCount() > t.pessWait0
+		t.session.ReleaseAll()
+		t.held = nil
+		if t.pessGated {
+			e.gate.ExitPess()
+			t.pessGated = false
+		}
+		e.pol.RecordPessimistic(s.Section, contended)
+		t.yield(YieldAtomicExit)
+		return secAction{cont: next}, nil
+	}
+	t.session.ReleaseAll()
+	return secAction{cont: next}, nil
+}
+
+func (e *hybridEngine) load(t *thread, obj *Object, off int) Value {
+	if obj.kind == objFrame {
+		return obj.load(off)
+	}
+	c := t.m.cellFor(obj, off)
+	if t.tx != nil {
+		return t.tx.Load(c).(Value)
+	}
+	// Pessimistic sections and non-atomic code read the cell directly: the
+	// lock plan (or the absence of concurrent atomicity obligations) is
+	// what isolates them.
+	return c.Load().(Value)
+}
+
+func (e *hybridEngine) store(t *thread, obj *Object, off int, v Value) {
+	if obj.kind == objFrame {
+		if t.stmDepth > 0 {
+			t.txUndo = append(t.txUndo, undoCell{obj, off, obj.load(off)})
+		}
+		obj.store(off, v)
+		return
+	}
+	c := t.m.cellFor(obj, off)
+	if t.tx != nil {
+		t.tx.Store(c, v)
+		return
+	}
+	if t.session.Nesting() > 0 {
+		// Pessimistic in-place store: meta-lock the cell on first write and
+		// hold it to section exit, so concurrent transactions cannot read
+		// the section's intermediate states.
+		if !t.holdsPessCell(c) {
+			stm.PessLock(c)
+			t.pessCells = append(t.pessCells, c)
+		}
+	}
+	c.Store(v)
+}
+
+func (t *thread) holdsPessCell(c *mem.Cell) bool {
+	for _, h := range t.pessCells {
+		if h == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *hybridEngine) peek(m *Machine, obj *Object, off int) Value { return m.peekCell(obj, off) }
+
+// checked: the §4.2 coverage check applies to pessimistic sections only;
+// optimistic attempts are isolated by the transaction protocol.
+func (e *hybridEngine) checked(t *thread) bool { return t.session.Nesting() > 0 }
+
+func (e *hybridEngine) inAtomic(t *thread) bool {
+	return t.stmDepth > 0 || t.session.Nesting() > 0
+}
+
+// cleanup releases everything an error unwound past: the transaction state,
+// meta-locked cells (published so spinning readers can proceed; the run is
+// failing anyway), the lock session and the gate.
+func (e *hybridEngine) cleanup(t *thread) {
+	t.tx = nil
+	t.stmDepth = 0
+	t.txUndo = t.txUndo[:0]
+	e.rt.PessPublish(t.pessCells)
+	t.pessCells = t.pessCells[:0]
+	for t.session.Nesting() > 0 {
+		t.session.ReleaseAll()
+	}
+	t.held = nil
+	if t.pessGated {
+		e.gate.ExitPess()
+		t.pessGated = false
+	}
+}
+
+// hybridOptSection executes one outermost atomic section optimistically:
+// up to budget transactional attempts (0 = unbounded) of the statements
+// from the section's entry to its matching OpAtomicEnd. On commit it
+// mirrors exec's contract like stmSection; on budget exhaustion it rolls
+// back the last attempt's frame effects so the caller can re-execute the
+// section pessimistically from the same local state.
+func (t *thread) hybridOptSection(e *hybridEngine, f *ir.Func, frame *Object, beginPC, section, budget int) (ret Value, returned bool, contPC int, committed bool, aborts int, err error) {
+	t.yield(YieldAtomicEnter)
+	t.epoch++
+	start := f.Stmts[beginPC].Succs[0]
+	defer func() {
+		t.stmDepth = 0
+		t.tx = nil
+		if committed {
+			t.txUndo = t.txUndo[:0]
+		} else {
+			t.rollbackUndo()
+		}
+		if r := recover(); r != nil {
+			if _, bail := r.(stmBail); !bail {
+				panic(r)
+			}
+		}
+	}()
+	hooks := &stm.Hooks{PreWriteCommit: func() func() {
+		if e.gate.EnterFree() {
+			return e.gate.ExitFree
+		}
+		// A pessimistic section is active: commit under the section's
+		// inferred plan so the lock hierarchy orders this commit against
+		// every pessimistic holder it conflicts with.
+		_, reqs := t.evalSection(frame, section)
+		for _, r := range reqs {
+			t.session.ToAcquire(r)
+		}
+		t.session.AcquireAll()
+		return t.session.ReleaseAll
+	}}
+	committed, aborts = e.rt.AtomicBounded(func(tx *stm.Tx) {
+		t.rollbackUndo()
+		t.tx = tx
+		t.stmDepth = 1
+		ret, returned, contPC, err = t.m.exec(t, f, frame, start, true)
+		t.tx = nil
+		if err != nil {
+			panic(stmBail{})
+		}
+	}, budget, hooks)
+	if committed {
+		t.yield(YieldAtomicExit)
+	}
+	return ret, returned, contPC, committed, aborts, err
+}

@@ -1,0 +1,118 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"lockinfer/internal/hybrid"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/progen"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/stm"
+)
+
+// runSerial executes a progen program thread-by-thread (init, then each
+// worker to completion) on a fresh machine and returns the canonical final
+// state. Serial execution makes the outcome deterministic for every engine,
+// so fingerprints are comparable byte-for-byte.
+func runSerial(t *testing.T, prog *ir.Program, pts *steens.Analysis, plan map[int]locks.Set, cfg *hybrid.Config, seed int64) string {
+	t.Helper()
+	m := NewMachine(prog, pts, plan)
+	m.Checked = true
+	if cfg != nil {
+		m.UseHybrid(stm.New(), hybrid.NewPolicy(*cfg))
+	}
+	if err := m.Init(); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	if _, err := m.Call(0, "init", nil); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		args := []Value{IntV(2), IntV(seed + int64(i)*31)}
+		if _, err := m.Call(i+1, "worker", args); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	return m.StateDump()
+}
+
+// TestHybridMatchesLocksOnProgen is the hybrid engine's determinism
+// property: over 20 generated programs at every inference granularity, the
+// final-state fingerprint under the hybrid engine is byte-identical to the
+// pure lock engine's — both at forced fallback (every section pessimistic)
+// and never-fallback (every section one unbounded transaction).
+func TestHybridMatchesLocksOnProgen(t *testing.T) {
+	extremes := []struct {
+		name string
+		cfg  hybrid.Config
+	}{
+		{"force-fallback", hybrid.Config{AbortThreshold: hybrid.ForceFallback}},
+		{"never-fallback", hybrid.Config{AbortThreshold: hybrid.NeverFallback}},
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		src := progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed})
+		for k := 1; k <= 3; k++ {
+			t.Run(fmt.Sprintf("seed=%d/k=%d", seed, k), func(t *testing.T) {
+				prog, pts, plan := compile(t, src, k)
+				want := runSerial(t, prog, pts, plan, nil, seed)
+				for _, ex := range extremes {
+					got := runSerial(t, prog, pts, plan, &ex.cfg, seed)
+					if got != want {
+						t.Errorf("%s: state diverged from pure-mgl\n got: %s\nwant: %s", ex.name, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// runHybridCounter runs the shared-counter program concurrently under the
+// hybrid engine and checks the exact final count — a real-concurrency smoke
+// test of the abort/fallback/gate machinery (meaningful under -race).
+func runHybridCounter(t *testing.T, cfg hybrid.Config, threads, n int) hybrid.Stats {
+	t.Helper()
+	prog, pts, plan := compile(t, counterSrc, 2)
+	m := NewMachine(prog, pts, plan)
+	m.Checked = true
+	pol := hybrid.NewPolicy(cfg)
+	m.UseHybrid(stm.New(), pol)
+	var specs []ThreadSpec
+	for i := 0; i < threads; i++ {
+		specs = append(specs, ThreadSpec{Fn: "worker", Args: []Value{IntV(int64(n))}})
+	}
+	if err := m.Run(specs); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got, err := m.Global("counter")
+	if err != nil {
+		t.Fatalf("counter: %v", err)
+	}
+	if want := int64(threads * n); got.Int != want {
+		t.Fatalf("counter = %d, want %d", got.Int, want)
+	}
+	return pol.Stats()
+}
+
+// TestHybridConcurrentCounter exercises every policy regime concurrently.
+func TestHybridConcurrentCounter(t *testing.T) {
+	t.Run("adaptive", func(t *testing.T) {
+		st := runHybridCounter(t, hybrid.Config{AbortThreshold: 2, StickyRuns: 4}, 4, 200)
+		if st.OptRuns+st.PessRuns != 4*200 {
+			t.Fatalf("runs = %+v, want %d total", st, 4*200)
+		}
+	})
+	t.Run("force-fallback", func(t *testing.T) {
+		st := runHybridCounter(t, hybrid.Config{AbortThreshold: hybrid.ForceFallback}, 4, 200)
+		if st.PessRuns != 4*200 || st.OptRuns != 0 {
+			t.Fatalf("stats = %+v, want all-pessimistic", st)
+		}
+	})
+	t.Run("never-fallback", func(t *testing.T) {
+		st := runHybridCounter(t, hybrid.Config{AbortThreshold: hybrid.NeverFallback}, 4, 200)
+		if st.OptRuns != 4*200 || st.PessRuns != 0 {
+			t.Fatalf("stats = %+v, want all-optimistic", st)
+		}
+	})
+}

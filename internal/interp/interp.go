@@ -5,9 +5,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lockinfer/internal/hybrid"
 	"lockinfer/internal/ir"
 	"lockinfer/internal/lang"
 	"lockinfer/internal/locks"
+	"lockinfer/internal/mem"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/steens"
 	"lockinfer/internal/stm"
@@ -68,10 +70,12 @@ type Machine struct {
 	// rt is the lock runtime backing atomic sections: the sharded Manager
 	// by default, or any other LockRuntime installed with UseRuntime.
 	rt mgl.LockRuntime
-	// stmRT, when set, switches the machine to the optimistic engine:
-	// atomic sections run as TL2 transactions instead of acquiring locks.
-	stmRT *stm.Runtime
-	// stmCells maps shared slots to their versioned cells (STM mode only).
+	// eng is the execution strategy for atomic sections and shared slots:
+	// the pessimistic lockEngine by default, the optimistic stmEngine
+	// (UseSTM), or the adaptive hybridEngine (UseHybrid).
+	eng Engine
+	// stmCells maps shared slots to their versioned cells (cell-backed
+	// engines only).
 	stmCells sync.Map
 
 	globals *Object
@@ -93,6 +97,7 @@ func NewMachine(prog *ir.Program, pts *steens.Analysis, sectionLocks map[int]loc
 		Pts:          pts,
 		SectionLocks: sectionLocks,
 		rt:           mgl.NewManager(),
+		eng:          lockEngine{},
 	}
 	m.globals = newObject(objGlobals, -1, len(prog.Globals))
 	m.externs = map[string]ExternFunc{}
@@ -118,7 +123,15 @@ func (m *Machine) UseRuntime(rt mgl.LockRuntime) { m.rt = rt }
 // versioned cells, instead of acquiring its inferred locks. It must be
 // called before Init, Call or Run. The §4.2 coverage checker and the lock
 // plan are inert under STM execution.
-func (m *Machine) UseSTM(rt *stm.Runtime) { m.stmRT = rt }
+func (m *Machine) UseSTM(rt *stm.Runtime) { m.eng = &stmEngine{rt: rt} }
+
+// UseHybrid switches the machine to the adaptive engine: atomic sections
+// first run as TL2 transactions on rt and fall back to their inferred lock
+// plans when pol says so. It must be called before Init, Call or Run. The
+// §4.2 coverage checker applies to pessimistic executions only.
+func (m *Machine) UseHybrid(rt *stm.Runtime, pol *hybrid.Policy) {
+	m.eng = &hybridEngine{rt: rt, pol: pol}
+}
 
 // heldLock is one acquired descriptor, kept for coverage checking.
 type heldLock struct {
@@ -147,6 +160,14 @@ type thread struct {
 	tx       *stm.Tx
 	stmDepth int
 	txUndo   []undoCell
+
+	// Hybrid-engine pessimistic state: the cells this thread meta-locked for
+	// in-place stores (published on section exit), the session wait count at
+	// section entry (contention signal), and whether the thread holds the
+	// engine's gate closed.
+	pessCells []*mem.Cell
+	pessWait0 int64
+	pessGated bool
 }
 
 // ThreadSpec names an entry function and its arguments for one thread.
@@ -172,13 +193,12 @@ func (m *Machine) Call(threadID int, fn string, args []Value) (Value, error) {
 		return Null(), fmt.Errorf("interp: no function %q", fn)
 	}
 	t := m.newThread(threadID)
-	v, err := m.call(t, f, args)
-	// A thread that fails inside an atomic section must not strand its
-	// locks: drain the session so other threads keep making progress.
-	for t.session.Nesting() > 0 {
-		t.session.ReleaseAll()
-	}
-	return v, err
+	// A thread that fails inside an atomic section — by error return or by
+	// a panic unwinding toward Run's recovery — must not strand what it
+	// holds (locks, meta-locked cells, gate registrations): the engine
+	// cleans up so other threads keep making progress.
+	defer m.eng.cleanup(t)
+	return m.call(t, f, args)
 }
 
 func (m *Machine) newThread(id int) *thread {
@@ -301,11 +321,12 @@ func (t *thread) covered(obj *Object, off int, write bool) bool {
 }
 
 // checkAccess enforces the §4.2 semantics: inside an atomic section, every
-// shared access must be covered. The check applies to the lock engines
-// only: under STM execution sections are isolated by the transaction
+// shared access must be covered. Whether the check applies is the engine's
+// call: lock-protected execution (including the hybrid's pessimistic
+// fallback) is checked; transactional execution is isolated by the
 // protocol, not by lock coverage.
 func (t *thread) checkAccess(f *ir.Func, s *ir.Stmt, obj *Object, off int, write bool, what string) error {
-	if !t.m.Checked || t.m.stmRT != nil || t.session.Nesting() == 0 {
+	if !t.m.Checked || !t.m.eng.checked(t) {
 		return nil
 	}
 	if obj.allocThread == t.id && obj.allocEpoch == t.epoch {
@@ -324,6 +345,11 @@ func (t *thread) checkAccess(f *ir.Func, s *ir.Stmt, obj *Object, off int, write
 // sharedVar mirrors the analysis rule for variable cells: only globals and
 // address-taken locals are shared.
 func sharedVar(v *ir.Var) bool { return v.Global || v.AddrTaken }
+
+// loadCell and storeCell access one slot through the machine's engine.
+func (t *thread) loadCell(obj *Object, off int) Value { return t.m.eng.load(t, obj, off) }
+
+func (t *thread) storeCell(obj *Object, off int, v Value) { t.m.eng.store(t, obj, off, v) }
 
 func (t *thread) rerr(f *ir.Func, s *ir.Stmt, format string, args ...any) error {
 	return &RuntimeError{Thread: t.id, Fn: f.Name, Pos: s.Pos, Msg: fmt.Sprintf(format, args...)}
@@ -388,7 +414,7 @@ func (m *Machine) exec(t *thread, f *ir.Func, frame *Object, pc int, sub bool) (
 		}
 		// Periodic scheduling point, taken only outside atomic sections so
 		// a descheduled thread never holds locks or an open transaction.
-		if t.m.Sched != nil && t.steps&63 == 0 && t.session.Nesting() == 0 && t.stmDepth == 0 {
+		if t.m.Sched != nil && t.steps&63 == 0 && !t.m.eng.inAtomic(t) {
 			t.yield(YieldStep)
 		}
 		s := f.Stmts[pc]
@@ -529,7 +555,7 @@ func (m *Machine) exec(t *thread, f *ir.Func, frame *Object, pc int, sub bool) (
 			// the coverage check for the rest of this section: they are
 			// unreachable by other threads until published through a
 			// protected cell (the paper's Lemma 2 reachability proviso).
-			if t.session.Nesting() > 0 || t.stmDepth > 0 {
+			if t.m.eng.inAtomic(t) {
 				obj.allocThread = t.id
 				obj.allocEpoch = t.epoch
 			}
@@ -592,47 +618,23 @@ func (m *Machine) exec(t *thread, f *ir.Func, frame *Object, pc int, sub bool) (
 				}
 			}
 		case ir.OpAtomicBegin:
-			if m.stmRT != nil {
-				if t.stmDepth > 0 {
-					t.stmDepth++ // flattened nesting: join the outer transaction
-				} else {
-					ret, returned, cont, serr := t.stmSection(f, frame, pc)
-					if serr != nil {
-						return Null(), false, -1, serr
-					}
-					if returned {
-						return ret, true, -1, nil
-					}
-					next = cont
-				}
-				break
+			act, aerr := m.eng.begin(t, f, frame, s, pc, next, sub)
+			if aerr != nil {
+				return Null(), false, -1, aerr
 			}
-			outer := t.session.Nesting() == 0
-			if outer {
-				t.yield(YieldAtomicEnter)
+			if act.stop {
+				return act.ret, act.returned, act.cont, nil
 			}
-			t.enterAtomic(f, frame, s.Section)
-			if outer && t.m.Tracer != nil {
-				t.m.Tracer.SectionEnter(t.id, s.Section, t.session.HeldSteps())
-			}
+			next = act.cont
 		case ir.OpAtomicEnd:
-			if m.stmRT != nil {
-				t.stmDepth--
-				if t.stmDepth == 0 && sub {
-					// One transactional attempt of the outermost section is
-					// complete; hand control back to stmSection for commit.
-					return Null(), false, next, nil
-				}
-				break
+			act, aerr := m.eng.end(t, f, s, next, sub)
+			if aerr != nil {
+				return Null(), false, -1, aerr
 			}
-			if t.session.Nesting() == 1 && t.m.Tracer != nil {
-				t.m.Tracer.SectionExit(t.id, s.Section, t.session.HeldSteps())
+			if act.stop {
+				return act.ret, act.returned, act.cont, nil
 			}
-			t.session.ReleaseAll()
-			if t.session.Nesting() == 0 {
-				t.held = nil
-				t.yield(YieldAtomicExit)
-			}
+			next = act.cont
 		default:
 			return Null(), false, -1, t.rerr(f, s, "unhandled op %s", s.Op)
 		}
@@ -814,7 +816,10 @@ func (t *thread) evalLock(frame *Object, l locks.Inferred) (heldLock, mgl.Req, b
 	for _, op := range l.Path.Ops {
 		switch op.Kind {
 		case locks.OpDeref:
-			v := obj.load(off)
+			// Path cells are read through the engine's inspection path so
+			// cell-backed engines (hybrid fallback) evaluate descriptors
+			// against the versioned state, not the stale direct slots.
+			v := t.m.cellValue(obj, off)
 			if v.Kind != VLoc {
 				return heldLock{}, mgl.Req{}, false
 			}
@@ -851,7 +856,7 @@ func (t *thread) evalIndex(frame *Object, e *locks.IExpr) (int64, bool) {
 		return e.Const, true
 	case locks.IVar:
 		obj, off := t.m.cellOf(frame, e.Var)
-		v := obj.load(off)
+		v := t.m.cellValue(obj, off)
 		if v.Kind != VInt {
 			return 0, false
 		}

@@ -6,14 +6,16 @@ import (
 	"lockinfer/internal/stm"
 )
 
-// STM execution mode. When a machine runs on a TL2 runtime (UseSTM), every
-// shared slot — globals and heap cells — is backed by a versioned mem.Cell,
-// and atomic sections execute as transactions: reads and writes inside a
-// section go through the transaction's read/write sets, the commit
-// validates the read set against the global version clock, and conflicting
-// sections retry. Frame slots stay direct (they are thread-private), but
-// direct frame stores made inside an attempt are undo-logged so a retried
-// attempt re-executes from the same local state.
+// Optimistic execution. When a machine runs on a TL2 runtime (UseSTM),
+// every shared slot — globals and heap cells — is backed by a versioned
+// mem.Cell, and atomic sections execute as transactions: reads and writes
+// inside a section go through the transaction's read/write sets, the
+// commit validates the read set against the global version clock, and
+// conflicting sections retry. Frame slots stay direct (they are
+// thread-private), but direct frame stores made inside an attempt are
+// undo-logged so a retried attempt re-executes from the same local state.
+// The hybrid engine (hybrid.go) reuses all of this cell machinery for its
+// optimistic path.
 
 // cellKey identifies one shared slot in the machine's cell table.
 type cellKey struct {
@@ -35,11 +37,11 @@ func (m *Machine) cellFor(obj *Object, off int) *mem.Cell {
 	return c.(*mem.Cell)
 }
 
-// cellValue reads a slot for inspection (Global, StateDump): through the
-// cell table when the machine runs the optimistic engine and the slot has
-// one, directly otherwise.
-func (m *Machine) cellValue(obj *Object, off int) Value {
-	if m.stmRT != nil && obj.kind != objFrame {
+// peekCell reads a slot for quiescent inspection through the cell table
+// when the slot has a cell, directly otherwise (shared by the cell-backed
+// engines' peek).
+func (m *Machine) peekCell(obj *Object, off int) Value {
+	if obj.kind != objFrame {
 		if c, ok := m.stmCells.Load(cellKey{obj, off}); ok {
 			return c.(*mem.Cell).Load().(Value)
 		}
@@ -47,40 +49,10 @@ func (m *Machine) cellValue(obj *Object, off int) Value {
 	return obj.load(off)
 }
 
-// loadCell reads one slot on behalf of t, routing shared slots through the
-// STM machinery when the optimistic engine is active.
-func (t *thread) loadCell(obj *Object, off int) Value {
-	if t.m.stmRT == nil || obj.kind == objFrame {
-		return obj.load(off)
-	}
-	c := t.m.cellFor(obj, off)
-	if t.tx != nil {
-		return t.tx.Load(c).(Value)
-	}
-	return c.Load().(Value)
-}
-
-// storeCell writes one slot on behalf of t, routing shared slots through
-// the STM machinery when the optimistic engine is active and undo-logging
-// direct frame stores made inside a transactional attempt.
-func (t *thread) storeCell(obj *Object, off int, v Value) {
-	if t.m.stmRT == nil {
-		obj.store(off, v)
-		return
-	}
-	if obj.kind == objFrame {
-		if t.stmDepth > 0 {
-			t.txUndo = append(t.txUndo, undoCell{obj, off, obj.load(off)})
-		}
-		obj.store(off, v)
-		return
-	}
-	c := t.m.cellFor(obj, off)
-	if t.tx != nil {
-		t.tx.Store(c, v)
-		return
-	}
-	c.Store(v)
+// cellValue reads a slot for inspection (Global, StateDump) through the
+// machine's engine.
+func (m *Machine) cellValue(obj *Object, off int) Value {
+	return m.eng.peek(m, obj, off)
 }
 
 // undoCell is one direct frame store performed inside a transactional
@@ -102,16 +74,85 @@ func (t *thread) rollbackUndo() {
 // stmBail unwinds a transactional attempt that failed with an interpreter
 // error: the attempt must not commit, and the runtime's retry loop must not
 // re-execute it. stm's attempt recovery re-panics anything that is not its
-// own abort signal, so the bail travels straight back to stmSection.
+// own abort signal, so the bail travels straight back to the section
+// driver.
 type stmBail struct{}
+
+// stmEngine is the pure optimistic engine: every outermost section is one
+// TL2 transaction, retried until it commits. The §4.2 coverage checker and
+// the lock plan are inert — isolation comes from the transaction protocol.
+type stmEngine struct {
+	rt *stm.Runtime
+}
+
+func (e *stmEngine) begin(t *thread, f *ir.Func, frame *Object, s *ir.Stmt, pc, next int, sub bool) (secAction, error) {
+	if t.stmDepth > 0 {
+		t.stmDepth++ // flattened nesting: join the outer transaction
+		return secAction{cont: next}, nil
+	}
+	ret, returned, cont, err := t.stmSection(e.rt, f, frame, pc)
+	if err != nil {
+		return secAction{}, err
+	}
+	if returned {
+		return secAction{stop: true, ret: ret, returned: true, cont: -1}, nil
+	}
+	return secAction{cont: cont}, nil
+}
+
+func (e *stmEngine) end(t *thread, f *ir.Func, s *ir.Stmt, next int, sub bool) (secAction, error) {
+	t.stmDepth--
+	if t.stmDepth == 0 && sub {
+		// One transactional attempt of the outermost section is complete;
+		// hand control back to the section driver for commit.
+		return secAction{stop: true, cont: next}, nil
+	}
+	return secAction{cont: next}, nil
+}
+
+func (e *stmEngine) load(t *thread, obj *Object, off int) Value {
+	if obj.kind == objFrame {
+		return obj.load(off)
+	}
+	c := t.m.cellFor(obj, off)
+	if t.tx != nil {
+		return t.tx.Load(c).(Value)
+	}
+	return c.Load().(Value)
+}
+
+func (e *stmEngine) store(t *thread, obj *Object, off int, v Value) {
+	if obj.kind == objFrame {
+		if t.stmDepth > 0 {
+			t.txUndo = append(t.txUndo, undoCell{obj, off, obj.load(off)})
+		}
+		obj.store(off, v)
+		return
+	}
+	c := t.m.cellFor(obj, off)
+	if t.tx != nil {
+		t.tx.Store(c, v)
+		return
+	}
+	c.Store(v)
+}
+
+func (e *stmEngine) peek(m *Machine, obj *Object, off int) Value { return m.peekCell(obj, off) }
+
+func (e *stmEngine) checked(t *thread) bool { return false }
+
+func (e *stmEngine) inAtomic(t *thread) bool { return t.stmDepth > 0 }
+
+// cleanup: stmSection's defer already resets all per-attempt state.
+func (e *stmEngine) cleanup(t *thread) {}
 
 // stmSection executes one outermost atomic section as a TL2 transaction:
 // the statements from the section's entry to its matching OpAtomicEnd run
 // inside rt.Atomic, with shared accesses going through the transaction
-// (loadCell/storeCell) and frame effects undone between attempts. It
+// (engine load/store) and frame effects undone between attempts. It
 // mirrors exec's contract: either the section returned out of the function
 // (ret, true), or execution continues at contPC after the section's end.
-func (t *thread) stmSection(f *ir.Func, frame *Object, beginPC int) (ret Value, returned bool, contPC int, err error) {
+func (t *thread) stmSection(rt *stm.Runtime, f *ir.Func, frame *Object, beginPC int) (ret Value, returned bool, contPC int, err error) {
 	t.epoch++
 	start := f.Stmts[beginPC].Succs[0]
 	defer func() {
@@ -124,7 +165,7 @@ func (t *thread) stmSection(f *ir.Func, frame *Object, beginPC int) (ret Value, 
 			}
 		}
 	}()
-	t.m.stmRT.Atomic(func(tx *stm.Tx) {
+	rt.Atomic(func(tx *stm.Tx) {
 		t.rollbackUndo()
 		t.tx = tx
 		t.stmDepth = 1

@@ -84,7 +84,7 @@ func (t *thread) traceAccess(f *ir.Func, s *ir.Stmt, obj *Object, off int, write
 		Addr:   obj.Addr(off),
 		Class:  t.m.classOfCell(obj, off),
 		Write:  write,
-		Atomic: t.session.Nesting() > 0 || t.stmDepth > 0,
+		Atomic: t.m.eng.inAtomic(t),
 		Fn:     f.Name,
 		Pos:    s.Pos,
 		What:   what,

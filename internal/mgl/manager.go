@@ -283,6 +283,10 @@ func (s *Session) Held() bool { return s.nlevel > 0 }
 // Nesting returns the current atomic nesting level.
 func (s *Session) Nesting() int { return s.nlevel }
 
+// WaitCount returns the number of this session's node acquisitions that had
+// to block — the hybrid policy's contention signal.
+func (s *Session) WaitCount() int64 { return s.statWait.Load() }
+
 // PlanStep is one node of an acquisition plan in the canonical global
 // order: the root first, then partition nodes by class id, then fine nodes
 // by (class, address). Kind is 0 for the root, 1 for a partition, 2 for a

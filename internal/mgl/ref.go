@@ -18,6 +18,9 @@ type LockSession interface {
 	ReleaseAll()
 	HeldSteps() []PlanStep
 	Nesting() int
+	// WaitCount returns how many of this session's node acquisitions had to
+	// block (the hybrid engine's contention signal).
+	WaitCount() int64
 }
 
 // LockRuntime is a lock-tree runtime: the sharded Manager or the retained
@@ -146,6 +149,7 @@ type RefSession struct {
 	held    []refPlanStep
 	steps   []PlanStep
 	nlevel  int
+	waits   int64
 }
 
 type refPlanStep struct {
@@ -184,6 +188,7 @@ func (s *RefSession) AcquireAll() {
 	for _, st := range plan {
 		if st.n.acquire(st.mode) {
 			s.m.waits.Add(1)
+			s.waits++
 		}
 		s.m.acquires.Add(1)
 	}
@@ -216,6 +221,10 @@ func (s *RefSession) HeldSteps() []PlanStep {
 
 // Nesting returns the current atomic nesting level.
 func (s *RefSession) Nesting() int { return s.nlevel }
+
+// WaitCount returns the number of this session's node acquisitions that had
+// to block.
+func (s *RefSession) WaitCount() int64 { return s.waits }
 
 // refNode is the pre-sharding node: a mode lock with a strict-FIFO wait
 // queue parking each waiter on its own channel.

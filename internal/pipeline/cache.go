@@ -14,7 +14,7 @@ import (
 // Cache memoizes pipeline artifacts across compilations. Each artifact is
 // keyed by the source hash plus exactly the options it depends on, so a
 // sweep that compiles the same corpus under several configurations (the
-// conformance harness's five engines, Figure 7's ten k values, the audit
+// conformance harness's six engines, Figure 7's ten k values, the audit
 // differential) re-parses and re-runs Steensgaard once per distinct input
 // instead of once per configuration. Cached artifacts are shared and must
 // be treated as immutable by every consumer — the pipeline's own passes

@@ -18,10 +18,18 @@ import (
 
 // Runtime is one STM instance: a global version clock plus statistics.
 type Runtime struct {
+	// SkipValidation disables both validation points — the read-time
+	// version/lock check and the commit-time read-set re-validation — while
+	// still computing them. It exists only for fault injection: the
+	// conformance harness proves it can catch an optimistic runtime that
+	// stops validating. Set before any transaction runs.
+	SkipValidation bool
+
 	clock atomic.Uint64
 
 	commits atomic.Int64
 	aborts  atomic.Int64
+	ignored atomic.Int64
 }
 
 // New returns a fresh STM runtime.
@@ -35,6 +43,11 @@ func (rt *Runtime) Commits() int64 { return rt.commits.Load() }
 // Aborts returns the number of aborted transaction attempts.
 func (rt *Runtime) Aborts() int64 { return rt.aborts.Load() }
 
+// IgnoredConflicts returns the number of conflicts validation detected but
+// ignored under SkipValidation; the mutation tests use it to prove the
+// injected fault actually fired.
+func (rt *Runtime) IgnoredConflicts() int64 { return rt.ignored.Load() }
+
 // abortSignal unwinds an attempt; it never escapes Atomic.
 type abortSignal struct{}
 
@@ -46,18 +59,41 @@ type Tx struct {
 	reads  []*mem.Cell
 	writes map[*mem.Cell]any
 	worder []*mem.Cell
+	hooks  *Hooks
+}
+
+// Hooks customize the commit protocol; the hybrid engine uses them to
+// serialize optimistic write-commits against active pessimistic sections.
+type Hooks struct {
+	// PreWriteCommit runs immediately before a writing commit's lock phase;
+	// the function it returns runs after the commit attempt finishes,
+	// whether it succeeded or aborted. Read-only commits — already
+	// linearized by read-time validation — never invoke it.
+	PreWriteCommit func() func()
 }
 
 // Atomic runs fn transactionally, retrying on conflict until it commits.
 // fn must confine its side effects to cell reads and writes through tx.
 func (rt *Runtime) Atomic(fn func(tx *Tx)) {
+	rt.AtomicBounded(fn, 0, nil)
+}
+
+// AtomicBounded runs fn transactionally for at most maxAttempts attempts
+// (0 means unbounded), with optional commit hooks. It reports whether an
+// attempt committed and how many attempts aborted — the hybrid engine's
+// per-section abort budget.
+func (rt *Runtime) AtomicBounded(fn func(tx *Tx), maxAttempts int, hooks *Hooks) (committed bool, aborts int) {
 	backoff := 0
 	for {
-		if rt.attempt(fn) {
+		if rt.attempt(fn, hooks) {
 			rt.commits.Add(1)
-			return
+			return true, aborts
 		}
 		rt.aborts.Add(1)
+		aborts++
+		if maxAttempts > 0 && aborts >= maxAttempts {
+			return false, aborts
+		}
 		// Bounded randomized exponential backoff.
 		if backoff < 10 {
 			backoff++
@@ -74,8 +110,8 @@ func (rt *Runtime) Atomic(fn func(tx *Tx)) {
 }
 
 // attempt runs one optimistic execution of fn; it reports commit success.
-func (rt *Runtime) attempt(fn func(tx *Tx)) (ok bool) {
-	tx := &Tx{rt: rt, rv: rt.clock.Load(), writes: map[*mem.Cell]any{}}
+func (rt *Runtime) attempt(fn func(tx *Tx), hooks *Hooks) (ok bool) {
+	tx := &Tx{rt: rt, rv: rt.clock.Load(), writes: map[*mem.Cell]any{}, hooks: hooks}
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isAbort := r.(abortSignal); !isAbort {
@@ -97,15 +133,25 @@ func (tx *Tx) Load(c *mem.Cell) any {
 	}
 	m1 := c.Meta()
 	if mem.MetaLocked(m1) {
-		tx.abort()
+		tx.conflict()
 	}
 	v := c.Load()
 	m2 := c.Meta()
 	if m1 != m2 || mem.MetaVersion(m1) > tx.rv {
-		tx.abort()
+		tx.conflict()
 	}
 	tx.reads = append(tx.reads, c)
 	return v
+}
+
+// conflict handles a detected read-time conflict: abort normally, count and
+// continue under SkipValidation.
+func (tx *Tx) conflict() {
+	if tx.rt.SkipValidation {
+		tx.rt.ignored.Add(1)
+		return
+	}
+	tx.abort()
 }
 
 // Store transactionally writes a cell (buffered until commit).
@@ -122,6 +168,12 @@ func (tx *Tx) commit() bool {
 		// Read-only transactions commit immediately: every read was
 		// validated against rv at read time.
 		return true
+	}
+	if tx.hooks != nil && tx.hooks.PreWriteCommit != nil {
+		post := tx.hooks.PreWriteCommit()
+		if post != nil {
+			defer post()
+		}
 	}
 	// Lock the write set in cell-id order with a bounded spin.
 	order := tx.worder
@@ -142,10 +194,18 @@ func (tx *Tx) commit() bool {
 		for _, c := range tx.reads {
 			m := c.Meta()
 			if _, mine := tx.writes[c]; mem.MetaLocked(m) && !mine {
+				if tx.rt.SkipValidation {
+					tx.rt.ignored.Add(1)
+					continue
+				}
 				tx.unlockAll(order)
 				return false
 			}
 			if mem.MetaVersion(m) > tx.rv {
+				if tx.rt.SkipValidation {
+					tx.rt.ignored.Add(1)
+					continue
+				}
 				tx.unlockAll(order)
 				return false
 			}
@@ -172,6 +232,28 @@ func spinLock(c *mem.Cell) bool {
 		runtime.Gosched()
 	}
 	return false
+}
+
+// PessLock meta-locks a cell on behalf of a pessimistic section, spinning
+// until it wins. The holder must eventually release it via PessPublish, so
+// optimistic transactions see the in-place writes as a version bump.
+func PessLock(c *mem.Cell) {
+	for !c.TryLockMeta() {
+		runtime.Gosched()
+	}
+}
+
+// PessPublish releases a pessimistic section's meta-locked cells under a
+// fresh clock value, making its in-place writes visible to the TL2 protocol
+// as one committed update.
+func (rt *Runtime) PessPublish(cells []*mem.Cell) {
+	if len(cells) == 0 {
+		return
+	}
+	wv := rt.clock.Add(1)
+	for _, c := range cells {
+		c.UnlockMeta(wv)
+	}
 }
 
 func insertionSortByID(cs []*mem.Cell) {

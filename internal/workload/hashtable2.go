@@ -139,7 +139,8 @@ func (h *Hashtable2) Op(r *rand.Rand) Op {
 				ok = h.remove(ctx, key)
 			}
 		},
-		Work: h.nopWork,
+		Work:    h.nopWork,
+		Section: kind,
 		After: func() {
 			if ok && kind == 1 {
 				h.puts.Add(1)

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+
+	"lockinfer/internal/hybrid"
+	"lockinfer/internal/mem"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/stm"
+)
+
+// HybridExec is the workload-level adaptive runtime, mirroring the
+// interpreter's hybrid engine: each operation first runs as a bounded TL2
+// transaction; when the per-section abort budget is exhausted it re-executes
+// under the operation's lock descriptors, meta-locking the cells it stores
+// to and publishing them as one version bump at section exit. The gate
+// forces optimistic write-commits onto the locked path while any
+// pessimistic section is active, so the two modes serialize against each
+// other through the lock hierarchy.
+type HybridExec struct {
+	rt   *stm.Runtime
+	lm   *mgl.Manager
+	pol  *hybrid.Policy
+	gate hybrid.Gate
+}
+
+// NewHybridExec returns the adaptive runtime with its own STM instance,
+// sharded lock tree and policy state.
+func NewHybridExec(cfg hybrid.Config) *HybridExec {
+	return &HybridExec{
+		rt:  stm.New(),
+		lm:  mgl.NewManager(),
+		pol: hybrid.NewPolicy(cfg),
+	}
+}
+
+// Name implements Exec.
+func (e *HybridExec) Name() string { return "hybrid" }
+
+// Stats implements Exec.
+func (e *HybridExec) Stats() string {
+	st := e.pol.Stats()
+	return fmt.Sprintf("commits=%d aborts=%d opt=%d pess=%d fallbacks=%d",
+		e.rt.Commits(), e.rt.Aborts(), st.OptRuns, st.PessRuns, st.Fallbacks)
+}
+
+// Policy exposes the adaptive policy (for benchmark reporting).
+func (e *HybridExec) Policy() *hybrid.Policy { return e.pol }
+
+// pessCtx executes a pessimistic section: loads are direct (the lock plan
+// isolates them) and each stored cell is meta-locked on first write so
+// concurrent transactions cannot observe the section's intermediate states.
+type pessCtx struct {
+	held []*mem.Cell
+}
+
+func (c *pessCtx) Load(cell *mem.Cell) any { return cell.Load() }
+
+func (c *pessCtx) Store(cell *mem.Cell, v any) {
+	for _, h := range c.held {
+		if h == cell {
+			cell.Store(v)
+			return
+		}
+	}
+	stm.PessLock(cell)
+	c.held = append(c.held, cell)
+	cell.Store(v)
+}
+
+// NewWorker implements Exec.
+func (e *HybridExec) NewWorker() func(Op) {
+	s := e.lm.NewSession()
+	add := s.ToAcquire
+	ctx := &pessCtx{}
+	hooks := &stm.Hooks{}
+	var op Op // current operation, visible to the commit hook
+	hooks.PreWriteCommit = func() func() {
+		if e.gate.EnterFree() {
+			return e.gate.ExitFree
+		}
+		if op.Locks != nil {
+			op.Locks(add)
+		}
+		s.AcquireAll()
+		return s.ReleaseAll
+	}
+	return func(o Op) {
+		op = o
+		mode, budget := e.pol.Decide(o.Section)
+		if mode == hybrid.Opt {
+			committed, aborts := e.rt.AtomicBounded(func(tx *stm.Tx) {
+				o.Body(txCtx{tx})
+				spinWork(o.Work)
+			}, budget, hooks)
+			if committed {
+				e.pol.RecordOptimistic(o.Section, aborts)
+				return
+			}
+			e.pol.RecordFallback(o.Section, aborts)
+		}
+		wait0 := s.WaitCount()
+		e.gate.EnterPess()
+		if o.Locks != nil {
+			o.Locks(add)
+		}
+		s.AcquireAll()
+		o.Body(ctx)
+		spinWork(o.Work)
+		e.rt.PessPublish(ctx.held)
+		ctx.held = ctx.held[:0]
+		s.ReleaseAll()
+		e.gate.ExitPess()
+		e.pol.RecordPessimistic(o.Section, s.WaitCount() > wait0)
+	}
+}

@@ -23,6 +23,14 @@ var (
 	HighMix = Mix{GetPct: 17, PutPct: 66}
 )
 
+// The contention extremes of the hybrid-runtime sweep: read-heavy keeps
+// sections read-only (optimistic execution shines), write-heavy makes most
+// sections mutate shared cells (lock fallback shines).
+var (
+	ReadHeavyMix  = Mix{GetPct: 90, PutPct: 6}
+	WriteHeavyMix = Mix{GetPct: 10, PutPct: 60}
+)
+
 // pick draws an operation kind from the mix: 0 get, 1 put, 2 remove.
 func (m Mix) pick(r *rand.Rand) int {
 	p := r.Intn(100)

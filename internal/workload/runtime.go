@@ -70,6 +70,10 @@ type Op struct {
 	// enclose), in spin units. Real runtimes burn it inside the section;
 	// the machine simulator charges it as simulated core time.
 	Work int
+	// Section identifies the static atomic section this operation executes
+	// (the key of the hybrid runtime's per-section adaptive state).
+	// Workloads that don't set it share section 0.
+	Section int
 }
 
 // Exec is a concurrency runtime executing atomic operations.

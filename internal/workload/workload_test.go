@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"lockinfer/internal/hybrid"
 	"lockinfer/internal/mem"
 )
 
@@ -35,6 +36,7 @@ func execs() []Exec {
 		NewGlobalExec(),
 		NewMGLExec("mgl"),
 		NewSTMExec(),
+		NewHybridExec(hybrid.Config{}),
 	}
 }
 
@@ -261,5 +263,53 @@ func TestStatsReporting(t *testing.T) {
 	}
 	if !strings.Contains(st.Stats(), "commits=") {
 		t.Errorf("unexpected stats %q", st.Stats())
+	}
+	hy := NewHybridExec(hybrid.Config{})
+	if _, err := Run(w, hy, RunConfig{Threads: 2, OpsPerThread: 50, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hy.Stats(), "fallbacks=") {
+		t.Errorf("unexpected stats %q", hy.Stats())
+	}
+}
+
+// TestHybridExecExtremes pins the adaptive runtime at its two degenerate
+// policies — every section pessimistic, every section optimistic — on both
+// contention mixes, and checks that the invariants hold and the policy
+// counters reflect the pinned mode.
+func TestHybridExecExtremes(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  hybrid.Config
+		pess bool
+	}{
+		{"force-fallback", hybrid.Config{AbortThreshold: hybrid.ForceFallback}, true},
+		{"never-fallback", hybrid.Config{AbortThreshold: hybrid.NeverFallback}, false},
+	}
+	for _, tc := range cases {
+		for _, mix := range []struct {
+			name string
+			mix  Mix
+		}{{"read-heavy", ReadHeavyMix}, {"write-heavy", WriteHeavyMix}} {
+			t.Run(tc.name+"/"+mix.name, func(t *testing.T) {
+				w := NewHashtable2("ht2", mix.mix, GrainFine)
+				ex := NewHybridExec(tc.cfg)
+				cfg := RunConfig{Threads: 4, OpsPerThread: 200, Seed: 9}
+				if _, err := Run(w, ex, cfg); err != nil {
+					t.Fatal(err)
+				}
+				st := ex.Policy().Stats()
+				total := int64(cfg.Threads * cfg.OpsPerThread)
+				if tc.pess {
+					if st.PessRuns != total || st.OptRuns != 0 {
+						t.Errorf("forced fallback: opt=%d pess=%d, want 0/%d",
+							st.OptRuns, st.PessRuns, total)
+					}
+				} else if st.OptRuns != total || st.PessRuns != 0 {
+					t.Errorf("never fallback: opt=%d pess=%d, want %d/0",
+						st.OptRuns, st.PessRuns, total)
+				}
+			})
+		}
 	}
 }
