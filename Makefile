@@ -10,7 +10,8 @@ GO ?= go
 .PHONY: check check-long build test test-long vet race race-long oracle-short \
 	conform conform-short audit audit-short cover cover-update bench \
 	bench-paper bench-pipeline bench-pipeline-short bench-codegen \
-	bench-codegen-short bench-hybrid bench-hybrid-short fuzz
+	bench-codegen-short bench-hybrid bench-hybrid-short bench-server \
+	bench-server-short soak soak-short fuzz
 
 build:
 	$(GO) build ./...
@@ -66,16 +67,27 @@ audit-short:
 # baseline. After intentional changes run `make cover-update` and commit
 # coverage_baseline.txt.
 cover:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt
 
 cover-update:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt -update
+
+# Soak: sustained mixed-tenant open-loop traffic against an in-process
+# lockinferd under the Go race detector, with the deadlock Watcher attached
+# and serial-replay conformance fingerprint checks at the end. soak-short is
+# the ~seconds CI smoke (also part of `make check` via the short-mode test
+# suite); `soak` runs the full >=60s acceptance soak.
+soak:
+	LOCKINFER_SOAK=60s $(GO) test -race -run TestSoak -v -timeout 20m ./internal/server/
+
+soak-short:
+	$(GO) test -short -race -run TestSoak ./internal/server/
 
 check: build vet race oracle-short cover conform-short audit-short bench-pipeline-short bench-hybrid-short
 
-check-long: build vet race-long oracle-short cover conform audit bench-pipeline
+check-long: build vet race-long oracle-short cover conform audit bench-pipeline soak
 
 # Wall-clock throughput of the sharded lock runtime vs the pre-sharding
 # baseline, gated against the committed BENCH_PR2.json (fails on >20%
@@ -121,6 +133,18 @@ bench-hybrid:
 
 bench-hybrid-short:
 	$(GO) run ./cmd/lockbench -hybrid-short -json BENCH_PR7.latest.json
+
+# lockinferd load sweep: an in-process daemon under rising open-loop RPS
+# with a mixed-tenant workload (counter on mgl/stm/hybrid, hashtable,
+# repeat submissions, metrics scrapes). The committed BENCH_PR8.json is the
+# evidence artifact — p50/p99/p999 latency per level, saturation
+# throughput, and the pipeline-cache hit rate; the short variant is the CI
+# smoke and writes only the ignored .latest file.
+bench-server:
+	$(GO) run ./cmd/lockbench -server -json BENCH_PR8.json
+
+bench-server-short:
+	$(GO) run ./cmd/lockbench -server-short -json BENCH_PR8.latest.json
 
 # Native fuzzers: parser round-trip, lock-plan invariants, the audit
 # no-false-positives property, and codegen well-formedness, 30s each.

@@ -22,6 +22,13 @@
 //
 //	lockbench -hybrid [-goroutines 1,2,4,8] [-hyb-ops N] [-seed N]
 //	          [-json BENCH_PR7.json]
+//
+// And a server load sweep that stands up an in-process lockinferd, drives
+// it open-loop through rising RPS levels with a mixed-tenant workload, and
+// reports tail latency, saturation throughput and cache hit rates:
+//
+//	lockbench -server [-rps 50,100,200,400,800] [-seed N]
+//	          [-json BENCH_PR8.json]
 package main
 
 import (
@@ -68,6 +75,10 @@ func main() {
 		hybShort = flag.Bool("hybrid-short", false, "reduced -hybrid budget for CI")
 		hybOps   = flag.Int("hyb-ops", 20000, "operations per goroutine for -hybrid")
 
+		svr      = flag.Bool("server", false, "lockinferd open-loop load sweep (BENCH_PR8)")
+		svrShort = flag.Bool("server-short", false, "reduced -server budget for CI")
+		svrRPS   = flag.String("rps", "", "comma-separated target RPS levels for -server")
+
 		trace = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
 	flag.Parse()
@@ -88,6 +99,13 @@ func main() {
 	}
 	if *hyb || *hybShort {
 		if err := runHybridBench(*gorList, *hybOps, *seed, *hybShort, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *svr || *svrShort {
+		if err := runServerBench(*svrRPS, *seed, *svrShort, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lockbench:", err)
 			os.Exit(1)
 		}
@@ -230,6 +248,34 @@ func runHybridBench(gorList string, opsPerG int, seed int64, short bool, jsonPat
 	fmt.Print(bench.FormatHybrid(rep))
 	if jsonPath != "" {
 		if err := bench.WriteHybrid(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// runServerBench drives the lockinferd load sweep: print the table,
+// optionally persist the BENCH_PR8.json report.
+func runServerBench(rpsList string, seed int64, short bool, jsonPath string) error {
+	opt := bench.ServerBenchOptions{Short: short, Seed: seed}
+	if rpsList != "" {
+		counts, err := parseCounts(rpsList)
+		if err != nil {
+			return fmt.Errorf("bad -rps list: %w", err)
+		}
+		for _, n := range counts {
+			opt.RPSLevels = append(opt.RPSLevels, float64(n))
+		}
+	}
+	rep, err := bench.ServerBench(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Server: lockinferd open-loop load sweep ===")
+	fmt.Print(bench.FormatServerBench(rep))
+	if jsonPath != "" {
+		if err := bench.WriteServerBench(jsonPath, rep); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", jsonPath)

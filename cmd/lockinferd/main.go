@@ -1,0 +1,79 @@
+// Command lockinferd runs the compile-and-execute daemon: an HTTP/JSON
+// service that compiles submitted mini-C programs through the shared
+// pipeline artifact cache and executes atomic sections from many
+// concurrent clients against long-lived worlds under a selectable engine
+// (mgl, stm, hybrid, native).
+//
+// Usage:
+//
+//	lockinferd [-addr :8745] [-max-inflight 32] [-queue 128]
+//	           [-timeout 30s] [-max-threads 64] [-trace json|table]
+//
+// Endpoints: POST /v1/programs, POST /v1/worlds, POST /v1/execute,
+// GET /v1/state?world=ID, GET /metrics, GET /healthz. See README for a
+// curl quickstart. SIGINT/SIGTERM drains gracefully: queued requests are
+// shed with 503, in-flight executions finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lockinfer/internal/pipeline"
+	"lockinfer/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8745", "listen address")
+		inflight = flag.Int("max-inflight", 32, "max concurrently executing requests")
+		queue    = flag.Int("queue", 128, "admission queue depth beyond -max-inflight")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request execution timeout")
+		threads  = flag.Int("max-threads", 64, "max thread specs per execute request")
+		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		trace    = flag.String("trace", "", "dump the per-pass pipeline trace on exit: json or table")
+	)
+	flag.Parse()
+	defer pipeline.DumpShared(os.Stderr, *trace)
+
+	logf := log.New(os.Stderr, "lockinferd: ", log.LstdFlags).Printf
+	srv := server.New(server.Config{
+		MaxInFlight:    *inflight,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MaxThreads:     *threads,
+		Log:            logf,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logf("listening on %s (max-inflight=%d queue=%d timeout=%s)", *addr, *inflight, *queue, *timeout)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("lockinferd: %v", err)
+		}
+	case <-ctx.Done():
+		logf("shutdown signal; draining (budget %s)", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Drain(dctx); err != nil {
+			logf("%v", err)
+		}
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			logf("http shutdown: %v", err)
+		}
+		logf("drained; bye")
+	}
+}

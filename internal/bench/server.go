@@ -1,0 +1,343 @@
+// Server load sweep: lockinferd under open-loop traffic (BENCH_PR8.json).
+// An in-process daemon serves a mixed-tenant workload — executes against
+// mgl/stm/hybrid worlds of the counter and hashtable programs, repeat
+// program submissions (exercising the shared artifact cache and the
+// compile singleflight), and metrics scrapes — while the load generator
+// steps through target RPS levels and records tail latency, shed load and
+// the achieved completion rate. Saturation throughput is the best achieved
+// rate over the sweep; the cache hit rate comes from the daemon's own
+// /metrics counters.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"lockinfer/internal/loadgen"
+	"lockinfer/internal/pipeline"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/server"
+)
+
+// ServerSchema versions the BENCH_PR8.json layout.
+const ServerSchema = "lockinfer/server-load/v1"
+
+// ServerBenchOptions parameterizes the sweep.
+type ServerBenchOptions struct {
+	// RPSLevels are the open-loop arrival rates to step through (default
+	// 50, 100, 200, 400, 800).
+	RPSLevels []float64
+	// LevelDuration is the arrival phase per level (default 4s).
+	LevelDuration time.Duration
+	// Short shrinks the sweep to a CI smoke (2 levels x 1.5s).
+	Short bool
+	// Seed fixes the traffic mix randomness.
+	Seed int64
+}
+
+func (o ServerBenchOptions) withDefaults() ServerBenchOptions {
+	if len(o.RPSLevels) == 0 {
+		o.RPSLevels = []float64{50, 100, 200, 400, 800}
+	}
+	if o.LevelDuration <= 0 {
+		o.LevelDuration = 4 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 11
+	}
+	if o.Short {
+		o.RPSLevels = []float64{50, 200}
+		o.LevelDuration = 1500 * time.Millisecond
+	}
+	return o
+}
+
+// ServerLevel is one measured RPS step.
+type ServerLevel struct {
+	TargetRPS   float64 `json:"target_rps"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50NS       int64   `json:"p50_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	P999NS      int64   `json:"p999_ns"`
+	MaxNS       int64   `json:"max_ns"`
+	Done        int64   `json:"done"`
+	Rejected    int64   `json:"rejected"`
+	Timeouts    int64   `json:"timeouts"`
+	Dropped     int64   `json:"dropped"`
+	Failed      int64   `json:"failed"`
+	ErrorRate   float64 `json:"error_rate"`
+}
+
+// ServerReport is the BENCH_PR8.json payload.
+type ServerReport struct {
+	Schema     string        `json:"schema"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	LevelDurNS int64         `json:"level_duration_ns"`
+	Seed       int64         `json:"seed"`
+	Levels     []ServerLevel `json:"levels"`
+	// SaturationRPS is the best achieved completion rate over the sweep —
+	// the daemon's capacity under this mix on this host.
+	SaturationRPS float64 `json:"saturation_rps"`
+	// Pipeline cache counters from the daemon's /metrics at sweep end: the
+	// hit rate is the shared-artifact story under multi-tenant traffic.
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	Compiles        int64   `json:"compiles"`
+	CompileDedups   int64   `json:"compile_dedups"`
+	EngineFallbacks int64   `json:"engine_fallbacks"`
+	Executes        int64   `json:"executes"`
+	ExecuteErrors   int64   `json:"execute_errors"`
+	Notes           string  `json:"notes,omitempty"`
+}
+
+// ServerBench stands up an in-process daemon, lays out the mixed-tenant
+// worlds, and sweeps the RPS levels.
+func ServerBench(opt ServerBenchOptions) (*ServerReport, error) {
+	opt = opt.withDefaults()
+	srv := server.New(server.Config{
+		Cache:          pipeline.NewCache(0),
+		RequestTimeout: 10 * time.Second,
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 512}}
+
+	mix, err := serverMix(client, ts.URL)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ServerReport{
+		Schema:     ServerSchema,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		LevelDurNS: opt.LevelDuration.Nanoseconds(),
+		Seed:       opt.Seed,
+	}
+	if rep.GOMAXPROCS < 2 {
+		rep.Notes = "GOMAXPROCS=1: the daemon, the interpreter threads and the load " +
+			"generator time-share one CPU, so tail latencies include generator-side " +
+			"scheduling delay and the saturation point is far below multi-core capacity."
+	}
+	for _, rps := range opt.RPSLevels {
+		res, err := loadgen.Drive(context.Background(), client, ts.URL, mix, loadgen.Config{
+			TargetRPS:      rps,
+			Duration:       opt.LevelDuration,
+			MaxOutstanding: 512,
+			Timeout:        10 * time.Second,
+			Seed:           opt.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: server sweep at %.0f rps: %w", rps, err)
+		}
+		lvl := ServerLevel{
+			TargetRPS:   rps,
+			OfferedRPS:  res.OfferedRPS,
+			AchievedRPS: res.AchievedRPS,
+			P50NS:       res.P50NS,
+			P99NS:       res.P99NS,
+			P999NS:      res.P999NS,
+			MaxNS:       res.MaxNS,
+			Done:        res.Done,
+			Rejected:    res.Rejected,
+			Timeouts:    res.Timeout,
+			Dropped:     res.Dropped,
+			Failed:      res.Failed,
+			ErrorRate:   res.ErrorRate(),
+		}
+		rep.Levels = append(rep.Levels, lvl)
+		if lvl.AchievedRPS > rep.SaturationRPS {
+			rep.SaturationRPS = lvl.AchievedRPS
+		}
+	}
+
+	var snap server.MetricsSnapshot
+	if err := getJSON(client, ts.URL+"/metrics", &snap); err != nil {
+		return nil, fmt.Errorf("bench: scrape /metrics: %w", err)
+	}
+	rep.CacheHits, rep.CacheMisses = snap.CacheHits, snap.CacheMisses
+	rep.CacheHitRate = snap.CacheHitRate
+	rep.Compiles, rep.CompileDedups = snap.Compiles, snap.CompileDedups
+	rep.EngineFallbacks = snap.EngineFallbacks
+	rep.Executes, rep.ExecuteErrors = snap.Executes, snap.ExecuteErrors
+	if rep.ExecuteErrors > 0 {
+		return nil, fmt.Errorf("bench: %d execute errors under load — the sweep is only valid clean", rep.ExecuteErrors)
+	}
+	return rep, nil
+}
+
+// serverMix registers the bench programs and worlds and returns the
+// weighted traffic mix: counter executes on all three in-process engines,
+// a heavier hashtable execute, periodic re-submissions of both programs
+// (cache + singleflight traffic) and a metrics scrape.
+func serverMix(client *http.Client, base string) ([]loadgen.Op, error) {
+	counter, err := progs.Get("counter")
+	if err != nil {
+		return nil, err
+	}
+	hashtable, err := progs.Get("hashtable")
+	if err != nil {
+		return nil, err
+	}
+	counterID, err := submit(client, base, "bench-counter", "counter", counter.Source())
+	if err != nil {
+		return nil, err
+	}
+	htID, err := submit(client, base, "bench-ht", "hashtable", hashtable.Source())
+	if err != nil {
+		return nil, err
+	}
+
+	type worldKey struct{ tenant, prog, engine string }
+	worlds := map[worldKey]string{}
+	for _, wk := range []worldKey{
+		{"bench-counter", counterID, server.EngineMGL},
+		{"bench-counter", counterID, server.EngineSTM},
+		{"bench-counter", counterID, server.EngineHybrid},
+		{"bench-ht", htID, server.EngineMGL},
+	} {
+		var setup *server.SpecJSON
+		if wk.prog == htID {
+			setup = &server.SpecJSON{Fn: "init"}
+		}
+		id, err := world(client, base, wk.tenant, wk.prog, wk.engine, setup)
+		if err != nil {
+			return nil, err
+		}
+		worlds[wk] = id
+	}
+
+	execBody := func(tenant, worldID string, threads []server.SpecJSON) []byte {
+		b, _ := json.Marshal(server.ExecuteRequest{Tenant: tenant, World: worldID, Threads: threads})
+		return b
+	}
+	bump := []server.SpecJSON{{Fn: "bump", Args: []int64{16}}, {Fn: "bump", Args: []int64{16}}}
+	htWork := []server.SpecJSON{{Fn: "worker", Args: []int64{8, 101, 66, 17}}, {Fn: "worker", Args: []int64{8, 202, 66, 17}}}
+	submitBody, _ := json.Marshal(server.SubmitRequest{Tenant: "bench-resub", Name: "counter", Source: counter.Source()})
+	// Same sources at a different k: distinct program ids, so these reach
+	// pipeline.Compile and hit the shared cache's k-independent artifacts
+	// (parse, points-to) from the k=default compiles above.
+	submitK2Counter, _ := json.Marshal(server.SubmitRequest{
+		Tenant: "bench-resub", Name: "counter-k2", Source: counter.Source(), K: 2, KSet: true})
+	submitK2HT, _ := json.Marshal(server.SubmitRequest{
+		Tenant: "bench-resub", Name: "ht-k2", Source: hashtable.Source(), K: 2, KSet: true})
+
+	return []loadgen.Op{
+		{Name: "exec-counter-mgl", Weight: 30, Method: "POST", Path: "/v1/execute",
+			Body: execBody("bench-counter", worlds[worldKey{"bench-counter", counterID, server.EngineMGL}], bump)},
+		{Name: "exec-counter-stm", Weight: 20, Method: "POST", Path: "/v1/execute",
+			Body: execBody("bench-counter", worlds[worldKey{"bench-counter", counterID, server.EngineSTM}], bump)},
+		{Name: "exec-counter-hybrid", Weight: 20, Method: "POST", Path: "/v1/execute",
+			Body: execBody("bench-counter", worlds[worldKey{"bench-counter", counterID, server.EngineHybrid}], bump)},
+		{Name: "exec-ht-mgl", Weight: 20, Method: "POST", Path: "/v1/execute",
+			Body: execBody("bench-ht", worlds[worldKey{"bench-ht", htID, server.EngineMGL}], htWork)},
+		{Name: "submit-counter", Weight: 3, Method: "POST", Path: "/v1/programs", Body: submitBody},
+		{Name: "submit-counter-k2", Weight: 1, Method: "POST", Path: "/v1/programs", Body: submitK2Counter},
+		{Name: "submit-ht-k2", Weight: 1, Method: "POST", Path: "/v1/programs", Body: submitK2HT},
+		{Name: "metrics", Weight: 5, Method: "GET", Path: "/metrics"},
+	}, nil
+}
+
+// submit registers a program and returns its id.
+func submit(client *http.Client, base, tenant, name, source string) (string, error) {
+	var resp server.SubmitResponse
+	if err := postJSON(client, base+"/v1/programs",
+		server.SubmitRequest{Tenant: tenant, Name: name, Source: source}, &resp); err != nil {
+		return "", fmt.Errorf("submit %s: %w", name, err)
+	}
+	return resp.ID, nil
+}
+
+// world creates a world and returns its id.
+func world(client *http.Client, base, tenant, prog, engine string, setup *server.SpecJSON) (string, error) {
+	var resp server.WorldResponse
+	if err := postJSON(client, base+"/v1/worlds",
+		server.WorldRequest{Tenant: tenant, Program: prog, Engine: engine, Setup: setup}, &resp); err != nil {
+		return "", fmt.Errorf("world %s/%s: %w", prog, engine, err)
+	}
+	return resp.ID, nil
+}
+
+func postJSON(client *http.Client, url string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var eb server.ErrorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("%s: %d %s", url, resp.StatusCode, eb.Error.Message)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("%s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// FormatServerBench renders the report as an aligned text table.
+func FormatServerBench(rep *ServerReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %9s %9s %10s %10s %10s %7s %7s %7s\n",
+		"target", "offered", "achieved", "p50", "p99", "p999", "done", "shed", "errs")
+	for _, l := range rep.Levels {
+		fmt.Fprintf(&b, "%8.0f %9.1f %9.1f %10s %10s %10s %7d %7d %7d\n",
+			l.TargetRPS, l.OfferedRPS, l.AchievedRPS,
+			time.Duration(l.P50NS).Round(10*time.Microsecond),
+			time.Duration(l.P99NS).Round(10*time.Microsecond),
+			time.Duration(l.P999NS).Round(10*time.Microsecond),
+			l.Done, l.Rejected+l.Dropped, l.Timeouts+l.Failed)
+	}
+	fmt.Fprintf(&b, "saturation: %.1f req/s; pipeline cache hit rate %.1f%% (%d/%d); compiles %d (+%d deduped)\n",
+		rep.SaturationRPS, rep.CacheHitRate*100, rep.CacheHits, rep.CacheHits+rep.CacheMisses,
+		rep.Compiles, rep.CompileDedups)
+	if rep.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", rep.Notes)
+	}
+	return b.String()
+}
+
+// WriteServerBench stores the report as indented JSON.
+func WriteServerBench(path string, rep *ServerReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadServerBench reads a stored server-load report.
+func LoadServerBench(path string) (*ServerReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ServerReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if rep.Schema != ServerSchema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, rep.Schema, ServerSchema)
+	}
+	return rep, nil
+}

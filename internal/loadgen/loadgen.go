@@ -1,0 +1,281 @@
+// Package loadgen drives a lockinferd instance with open-loop HTTP load:
+// requests fire on a fixed arrival schedule derived from the target RPS,
+// regardless of how fast the server answers, so saturation shows up as
+// rising latency and shed load instead of a politely self-throttling
+// closed loop. Outstanding requests are bounded — arrivals beyond the
+// bound are counted as dropped, which keeps a saturated run from
+// accumulating unbounded goroutines while preserving the open-loop
+// arrival process for the requests that do fire.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op is one weighted request template in the traffic mix.
+type Op struct {
+	// Name labels the op in per-op stats (and replay accounting).
+	Name string
+	// Weight is the op's relative share of arrivals (default 1).
+	Weight int
+	// Method and Path address the endpoint; Body is the JSON payload
+	// (GET ops leave it nil).
+	Method string
+	Path   string
+	Body   []byte
+}
+
+// Config parameterizes one run.
+type Config struct {
+	// TargetRPS is the open-loop arrival rate.
+	TargetRPS float64
+	// Duration bounds the arrival phase; completions are awaited after.
+	Duration time.Duration
+	// MaxOutstanding bounds concurrently outstanding requests (default
+	// 256); arrivals beyond it are dropped, not queued.
+	MaxOutstanding int
+	// Timeout is the per-request client timeout (default 10s).
+	Timeout time.Duration
+	// Seed fixes the op-selection randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 256
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	return c
+}
+
+// OpStats is the per-op outcome tally.
+type OpStats struct {
+	Sent int64 `json:"sent"`
+	// Done counts 2xx completions — for execute ops, runs the server
+	// finished and answered in time (the replay-conformance accounting
+	// uses this).
+	Done int64 `json:"done"`
+	// Rejected counts 503 load sheds, Timeout 504s and client-side
+	// deadline misses, Failed every other non-2xx or transport error.
+	Rejected int64 `json:"rejected"`
+	Timeout  int64 `json:"timeout"`
+	Failed   int64 `json:"failed"`
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Target and achieved arrival/completion rates.
+	TargetRPS   float64 `json:"target_rps"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Totals over every op.
+	Sent     int64 `json:"sent"`
+	Done     int64 `json:"done"`
+	Dropped  int64 `json:"dropped"`
+	Rejected int64 `json:"rejected"`
+	Timeout  int64 `json:"timeout"`
+	Failed   int64 `json:"failed"`
+	// Latency percentiles over completed (2xx) requests, nanoseconds.
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	// Elapsed covers arrivals plus the completion wait.
+	ElapsedNS int64               `json:"elapsed_ns"`
+	PerOp     map[string]*OpStats `json:"per_op"`
+}
+
+// ErrorRate is (rejected+timeout+failed+dropped)/sent-or-dropped.
+func (r *Result) ErrorRate() float64 {
+	total := r.Sent + r.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Rejected+r.Timeout+r.Failed+r.Dropped) / float64(total)
+}
+
+// Drive runs the open-loop arrival process against baseURL until
+// cfg.Duration elapses (or ctx cancels), waits for outstanding requests,
+// and reports the aggregate.
+func Drive(ctx context.Context, client *http.Client, baseURL string, mix []Op, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TargetRPS <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: TargetRPS and Duration are required")
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("loadgen: empty op mix")
+	}
+	if client == nil {
+		client = &http.Client{}
+	}
+
+	res := &Result{TargetRPS: cfg.TargetRPS, PerOp: map[string]*OpStats{}}
+	var mu sync.Mutex // guards latencies and PerOp
+	var latencies []int64
+	for _, op := range mix {
+		res.PerOp[op.Name] = &OpStats{}
+	}
+	pick := picker(mix, cfg.Seed)
+
+	var outstanding atomic.Int64
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / cfg.TargetRPS)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	start := time.Now()
+	end := start.Add(cfg.Duration)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+
+arrivals:
+	for now := start; now.Before(end); {
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case now = <-tick.C:
+		}
+		op := pick()
+		if outstanding.Load() >= int64(cfg.MaxOutstanding) {
+			res.Dropped++
+			continue
+		}
+		outstanding.Add(1)
+		res.Sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer outstanding.Add(-1)
+			lat, class := fire(client, baseURL, op, cfg.Timeout)
+			mu.Lock()
+			st := res.PerOp[op.Name]
+			st.Sent++
+			switch class {
+			case classDone:
+				st.Done++
+				latencies = append(latencies, lat.Nanoseconds())
+			case classRejected:
+				st.Rejected++
+			case classTimeout:
+				st.Timeout++
+			default:
+				st.Failed++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	res.ElapsedNS = time.Since(start).Nanoseconds()
+
+	for _, st := range res.PerOp {
+		res.Done += st.Done
+		res.Rejected += st.Rejected
+		res.Timeout += st.Timeout
+		res.Failed += st.Failed
+	}
+	elapsedSec := float64(res.ElapsedNS) / float64(time.Second)
+	if elapsedSec > 0 {
+		res.OfferedRPS = float64(res.Sent+res.Dropped) / elapsedSec
+		res.AchievedRPS = float64(res.Done) / elapsedSec
+	}
+	res.P50NS, res.P99NS, res.P999NS, res.MaxNS = percentiles(latencies)
+	return res, nil
+}
+
+// request outcome classes.
+const (
+	classDone = iota
+	classRejected
+	classTimeout
+	classFailed
+)
+
+// fire issues one request and classifies the outcome.
+func fire(client *http.Client, baseURL string, op Op, timeout time.Duration) (time.Duration, int) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var body io.Reader
+	if op.Body != nil {
+		body = bytes.NewReader(op.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, op.Method, baseURL+op.Path, body)
+	if err != nil {
+		return 0, classFailed
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	lat := time.Since(start)
+	if err != nil {
+		if ctx.Err() != nil {
+			return lat, classTimeout
+		}
+		return lat, classFailed
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	switch {
+	case resp.StatusCode < 300:
+		return lat, classDone
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return lat, classRejected
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return lat, classTimeout
+	default:
+		return lat, classFailed
+	}
+}
+
+// picker returns a deterministic weighted op selector.
+func picker(mix []Op, seed int64) func() Op {
+	total := 0
+	for _, op := range mix {
+		w := op.Weight
+		if w <= 0 {
+			w = 1
+		}
+		total += w
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	return func() Op {
+		mu.Lock()
+		n := rng.Intn(total)
+		mu.Unlock()
+		for _, op := range mix {
+			w := op.Weight
+			if w <= 0 {
+				w = 1
+			}
+			if n < w {
+				return op
+			}
+			n -= w
+		}
+		return mix[len(mix)-1]
+	}
+}
+
+// percentiles reports p50/p99/p999/max over the samples (zeros when empty).
+func percentiles(ns []int64) (p50, p99, p999, max int64) {
+	if len(ns) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(ns)-1))
+		return ns[i]
+	}
+	return at(0.50), at(0.99), at(0.999), ns[len(ns)-1]
+}

@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestDriveClassifiesOutcomes runs the generator against a server with one
+// fast endpoint, one that always sheds load, and one that always overruns
+// the client deadline, then checks every outcome lands in its class.
+func TestDriveClassifiesOutcomes(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("/busy", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(2 * time.Second):
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	mix := []Op{
+		{Name: "ok", Weight: 6, Method: "GET", Path: "/ok"},
+		{Name: "busy", Weight: 3, Method: "GET", Path: "/busy"},
+		{Name: "slow", Weight: 1, Method: "GET", Path: "/slow"},
+	}
+	res, err := Drive(context.Background(), ts.Client(), ts.URL, mix, Config{
+		TargetRPS: 200,
+		Duration:  500 * time.Millisecond,
+		Timeout:   100 * time.Millisecond,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+	if res.Sent == 0 {
+		t.Fatalf("no arrivals fired: %+v", res)
+	}
+	if res.Done == 0 || res.Rejected == 0 || res.Timeout == 0 {
+		t.Fatalf("outcome classes missing: %+v", res)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("unexpected failures: %+v", res)
+	}
+	var sum int64
+	for name, st := range res.PerOp {
+		if got := st.Done + st.Rejected + st.Timeout + st.Failed; got != st.Sent {
+			t.Fatalf("op %s outcomes don't add up: %+v", name, st)
+		}
+		sum += st.Sent
+	}
+	if sum != res.Sent {
+		t.Fatalf("per-op sent %d != total %d", sum, res.Sent)
+	}
+	if res.PerOp["busy"].Done != 0 || res.PerOp["busy"].Rejected == 0 {
+		t.Fatalf("busy endpoint misclassified: %+v", res.PerOp["busy"])
+	}
+	if res.PerOp["slow"].Timeout == 0 {
+		t.Fatalf("slow endpoint never timed out: %+v", res.PerOp["slow"])
+	}
+	if res.P50NS <= 0 || res.P50NS > res.P99NS || res.P99NS > res.P999NS || res.P999NS > res.MaxNS {
+		t.Fatalf("percentiles out of order: p50=%d p99=%d p999=%d max=%d",
+			res.P50NS, res.P99NS, res.P999NS, res.MaxNS)
+	}
+	if res.ErrorRate() <= 0 || res.ErrorRate() >= 1 {
+		t.Fatalf("error rate %v with mixed outcomes", res.ErrorRate())
+	}
+}
+
+// TestDriveBoundsOutstanding saturates a stalled server and checks the
+// generator sheds arrivals beyond MaxOutstanding instead of hoarding
+// goroutines — and that the drop count reconciles.
+func TestDriveBoundsOutstanding(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	res, err := Drive(context.Background(), ts.Client(), ts.URL, []Op{{Name: "stall", Method: "GET", Path: "/"}},
+		Config{
+			TargetRPS:      500,
+			Duration:       300 * time.Millisecond,
+			MaxOutstanding: 8,
+			Timeout:        50 * time.Millisecond,
+			Seed:           1,
+		})
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("stalled server produced no drops: %+v", res)
+	}
+	if res.Sent+res.Dropped < 50 {
+		t.Fatalf("arrival process stalled: sent %d dropped %d", res.Sent, res.Dropped)
+	}
+}
+
+// TestPickerDeterministic fixes the seed and demands identical op
+// sequences — the soak's replay accounting depends on reproducible mixes.
+func TestPickerDeterministic(t *testing.T) {
+	mix := []Op{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}, {Name: "c"}}
+	p1, p2 := picker(mix, 7), picker(mix, 7)
+	counts := map[string]int{}
+	for i := 0; i < 500; i++ {
+		a, b := p1(), p2()
+		if a.Name != b.Name {
+			t.Fatalf("draw %d diverged: %s vs %s", i, a.Name, b.Name)
+		}
+		counts[a.Name]++
+	}
+	for _, op := range mix {
+		if counts[op.Name] == 0 {
+			t.Fatalf("op %s never drawn: %v", op.Name, counts)
+		}
+	}
+	if counts["a"] <= counts["b"] {
+		t.Fatalf("weights ignored: %v", counts)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var ns []int64
+	for i := int64(1); i <= 1000; i++ {
+		ns = append(ns, i)
+	}
+	p50, p99, p999, max := percentiles(ns)
+	if p50 != 500 || p99 != 990 || p999 != 999 || max != 1000 {
+		t.Fatalf("percentiles over 1..1000: p50=%d p99=%d p999=%d max=%d", p50, p99, p999, max)
+	}
+	if a, b, c, d := percentiles(nil); a != 0 || b != 0 || c != 0 || d != 0 {
+		t.Fatalf("empty percentiles: %d %d %d %d", a, b, c, d)
+	}
+}
+
+// TestDriveValidation rejects a zero config and an empty mix.
+func TestDriveValidation(t *testing.T) {
+	if _, err := Drive(context.Background(), nil, "http://x", []Op{{Name: "a"}}, Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := Drive(context.Background(), nil, "http://x", nil, Config{TargetRPS: 1, Duration: time.Second}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}

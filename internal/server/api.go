@@ -1,0 +1,142 @@
+// The wire types of the lockinferd HTTP/JSON protocol. They live in their
+// own file so the daemon's clients — the load generator, the bench
+// harness, the CI smoke script and the tests — marshal exactly the shapes
+// the handlers unmarshal.
+package server
+
+// SubmitRequest registers a program source with the daemon. Identical
+// sources (same source text and k) are deduplicated across tenants: the
+// compile runs once, through the shared pipeline artifact cache, and every
+// tenant's submission resolves to the same program id.
+type SubmitRequest struct {
+	// Tenant namespaces the submission for accounting; it does not shard
+	// the artifact cache (sharing it across tenants is the point).
+	Tenant string `json:"tenant"`
+	// Name labels the program in diagnostics (a corpus name, a client id).
+	Name string `json:"name,omitempty"`
+	// Source is the mini-C program text.
+	Source string `json:"source"`
+	// K bounds fine-grain lock expression length (0 with KSet false means
+	// the pipeline default of 3).
+	K    int  `json:"k,omitempty"`
+	KSet bool `json:"k_set,omitempty"`
+}
+
+// SubmitResponse describes the registered program.
+type SubmitResponse struct {
+	// ID is the content-addressed program id ("p-<hash12>-k<k>").
+	ID string `json:"id"`
+	// Sections is the number of atomic sections the compile found.
+	Sections int `json:"sections"`
+	// Locks is the total lock count over all section plans.
+	Locks int `json:"locks"`
+	// Deduped reports that an identical program was already registered and
+	// no new compile ran (or this call joined one in flight).
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// WorldRequest creates a long-lived execution world: one program instance
+// (globals initialized, setup run once) that subsequent execute requests
+// mutate concurrently under the selected engine.
+type WorldRequest struct {
+	Tenant  string `json:"tenant"`
+	Program string `json:"program"`
+	// Engine is one of "mgl" (default), "stm", "hybrid", "native". Native
+	// worlds compile the program to a real binary; each execute is a full
+	// out-of-process run, so their state is per-request, not long-lived.
+	Engine string `json:"engine,omitempty"`
+	// Setup optionally names a function run single-threaded at creation.
+	Setup *SpecJSON `json:"setup,omitempty"`
+}
+
+// SpecJSON is one thread entry point: a function name and integer args.
+type SpecJSON struct {
+	Fn   string  `json:"fn"`
+	Args []int64 `json:"args,omitempty"`
+}
+
+// WorldResponse describes the created world.
+type WorldResponse struct {
+	ID      string `json:"id"`
+	Program string `json:"program"`
+	Engine  string `json:"engine"`
+}
+
+// ExecuteRequest runs thread specs against a world's shared state.
+type ExecuteRequest struct {
+	Tenant string `json:"tenant"`
+	World  string `json:"world"`
+	// Threads run concurrently, one goroutine each, against the world's
+	// live state.
+	Threads []SpecJSON `json:"threads"`
+	// TimeoutMS overrides the server's per-request execution timeout
+	// (bounded by it, never extended).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Mutate injects a fault for this request only: "drop-locks" empties
+	// every section plan, "permute-plan" reverses every acquisition plan.
+	// The mutated run executes on an ephemeral copy of the world's program
+	// (fresh state, full oracle stack) so a flagged mutant never corrupts
+	// the live world. Empty means a normal execution.
+	Mutate string `json:"mutate,omitempty"`
+}
+
+// ExecuteResponse reports one completed execution.
+type ExecuteResponse struct {
+	World     string `json:"world"`
+	Engine    string `json:"engine"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+	// Flags are the dynamic-oracle findings of this run: soundness
+	// violations, deadlocks, runtime errors — and, for mutant runs, the
+	// Watcher findings of the ephemeral machine.
+	Flags []string `json:"flags,omitempty"`
+	// State is the final fingerprint, returned only by runs that end
+	// quiescent by construction (native one-shot executions, mutant runs).
+	State string `json:"state,omitempty"`
+	// Mutate echoes the injected fault of a mutant run.
+	Mutate string `json:"mutate,omitempty"`
+}
+
+// StateResponse is the quiesced fingerprint of a world.
+type StateResponse struct {
+	World string `json:"world"`
+	// Fingerprint is interp.StateDump over the world's shared state; the
+	// serial-replay conformance check compares against it.
+	Fingerprint string `json:"fingerprint"`
+	// Executes counts completed execute requests; Detached is the number
+	// still running after their requests timed out (must be zero for the
+	// fingerprint to be meaningful).
+	Executes int64 `json:"executes"`
+	Detached int64 `json:"detached"`
+	// WatcherFlags are the world's accumulated deadlock-monitor findings
+	// (lock-order cycles, canonical-order violations, deadlocks).
+	WatcherFlags []string `json:"watcher_flags,omitempty"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	OK       bool  `json:"ok"`
+	UptimeMS int64 `json:"uptime_ms"`
+	InFlight int64 `json:"in_flight"`
+	Programs int64 `json:"programs"`
+	Worlds   int64 `json:"worlds"`
+	Draining bool  `json:"draining"`
+}
+
+// ErrorBody is the uniform error envelope.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a machine-readable error classification. Compile
+// failures surface the pipeline's own structured attribution: Kind
+// "pipeline" with Pass naming the failing pass.
+type ErrorDetail struct {
+	// Kind is "bad-request", "pipeline", "codegen", "not-found",
+	// "forbidden", "overloaded", "draining", "timeout" or "internal".
+	Kind string `json:"kind"`
+	// Pass is the failing pipeline pass for Kind "pipeline".
+	Pass string `json:"pass,omitempty"`
+	// Name is the compilation label for Kind "pipeline".
+	Name    string `json:"name,omitempty"`
+	Message string `json:"message"`
+}

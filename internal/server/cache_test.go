@@ -1,0 +1,154 @@
+// Multi-tenant compile-path concurrency: parallel identical submissions
+// collapse onto one compile (singleflight), the shared pipeline artifact
+// cache is hit across configurations, and the hit-rate counters surface it
+// all through /metrics.
+package server_test
+
+import (
+	"sync"
+	"testing"
+
+	"lockinfer/internal/server"
+)
+
+// TestParallelSubmitsSingleflight fires N tenants at the same source
+// concurrently and asserts exactly one pipeline compile ran, every
+// submission resolved to the same content-addressed id, and all but one
+// were accounted as dedups.
+func TestParallelSubmitsSingleflight(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	src := source(t, "counter")
+	const n = 12
+
+	ids := make([]string, n)
+	deduped := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp server.SubmitResponse
+			d.call("POST", "/v1/programs", server.SubmitRequest{
+				Tenant: "tenant-" + string(rune('a'+i)), Name: "counter", Source: src,
+			}, &resp)
+			ids[i] = resp.ID
+			deduped[i] = resp.Deduped
+		}()
+	}
+	wg.Wait()
+
+	freshCompiles := 0
+	for i := 1; i < n; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("submission %d resolved to %s, want %s", i, ids[i], ids[0])
+		}
+	}
+	for _, dd := range deduped {
+		if !dd {
+			freshCompiles++
+		}
+	}
+	if freshCompiles != 1 {
+		t.Fatalf("%d submissions claimed the fresh compile, want exactly 1", freshCompiles)
+	}
+	snap := d.metricsSnapshot()
+	if snap.Compiles != 1 {
+		t.Fatalf("compiles = %d after %d identical parallel submits, want 1", snap.Compiles, n)
+	}
+	if snap.CompileDedups != n-1 {
+		t.Fatalf("compile dedups = %d, want %d", snap.CompileDedups, n-1)
+	}
+	if snap.Programs != 1 {
+		t.Fatalf("programs = %d, want 1", snap.Programs)
+	}
+}
+
+// TestDistinctSourcesCompileSeparately checks the dedup key: different
+// sources, and the same source under a different k bound, are distinct
+// programs — but the second k shares the k-independent pipeline artifacts
+// (parse, points-to) through the cache, which the hit counters expose.
+func TestDistinctSourcesCompileSeparately(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	counterSrc := source(t, "counter")
+	accountsSrc := source(t, "accounts")
+
+	a := d.submit("acme", "counter", counterSrc)
+	b := d.submit("acme", "accounts", accountsSrc)
+	if a.ID == b.ID {
+		t.Fatalf("distinct sources share id %s", a.ID)
+	}
+	snap := d.metricsSnapshot()
+	if snap.Compiles != 2 {
+		t.Fatalf("compiles = %d after 2 distinct sources, want 2", snap.Compiles)
+	}
+	hitsBefore := snap.CacheHits
+
+	// Same source, different k: a new program id, a real compile, but the
+	// parse and points-to artifacts come from the shared cache.
+	var k2 server.SubmitResponse
+	d.call("POST", "/v1/programs", server.SubmitRequest{
+		Tenant: "globex", Name: "counter-k2", Source: counterSrc, K: 2, KSet: true,
+	}, &k2)
+	if k2.ID == a.ID {
+		t.Fatalf("k=2 submission shares id with the k-default program")
+	}
+	if k2.Deduped {
+		t.Fatalf("k=2 submission reported deduped; it is a distinct configuration")
+	}
+	snap = d.metricsSnapshot()
+	if snap.Compiles != 3 {
+		t.Fatalf("compiles = %d, want 3", snap.Compiles)
+	}
+	if snap.CacheHits <= hitsBefore {
+		t.Fatalf("cache hits did not grow across k configurations: %d -> %d",
+			hitsBefore, snap.CacheHits)
+	}
+	if snap.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate = %v, want > 0", snap.CacheHitRate)
+	}
+
+	// Re-submitting a registered program from yet another tenant is a pure
+	// registry hit: no compile, deduped.
+	again := d.submit("initech", "counter", counterSrc)
+	if !again.Deduped || again.ID != a.ID {
+		t.Fatalf("re-submission: %+v, want dedup onto %s", again, a.ID)
+	}
+	if snap = d.metricsSnapshot(); snap.Compiles != 3 {
+		t.Fatalf("re-submission recompiled: compiles = %d", snap.Compiles)
+	}
+}
+
+// TestParallelMixedSubmits interleaves identical and distinct submissions
+// under contention: the compile count must equal the number of distinct
+// (source, k) configurations, never more.
+func TestParallelMixedSubmits(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	sources := []string{source(t, "counter"), source(t, "accounts"), source(t, "list")}
+	const perSource = 6
+
+	var wg sync.WaitGroup
+	for _, src := range sources {
+		for i := 0; i < perSource; i++ {
+			src := src
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var resp server.SubmitResponse
+				d.call("POST", "/v1/programs", server.SubmitRequest{
+					Tenant: "mixed", Source: src,
+				}, &resp)
+			}()
+		}
+	}
+	wg.Wait()
+
+	snap := d.metricsSnapshot()
+	if want := int64(len(sources)); snap.Compiles != want {
+		t.Fatalf("compiles = %d over %d distinct sources x %d submitters, want %d",
+			snap.Compiles, len(sources), perSource, want)
+	}
+	if want := int64(len(sources) * (perSource - 1)); snap.CompileDedups != want {
+		t.Fatalf("dedups = %d, want %d", snap.CompileDedups, want)
+	}
+}

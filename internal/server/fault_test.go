@@ -1,0 +1,94 @@
+// Fault injection across the network boundary: an execute request may ask
+// for a dropped-locks or permuted-plan mutant, which runs on an ephemeral
+// machine under the full oracle stack. The oracle must flag both faults
+// end-to-end — and the live world the request was addressed to must come
+// through untouched.
+package server_test
+
+import (
+	"testing"
+
+	"lockinfer/internal/server"
+)
+
+// TestDropLocksMutantFlagged strips every inferred lock from the counter's
+// sections for one request: the §4.2 checker trips on the first unprotected
+// shared access, and the response carries the flags.
+func TestDropLocksMutantFlagged(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	counter := d.submit("acme", "counter", source(t, "counter"))
+	w := d.world("acme", counter.ID, server.EngineMGL, nil)
+	before := d.state(w.ID).Fingerprint
+
+	resp := d.execute(server.ExecuteRequest{
+		Tenant: "acme", World: w.ID,
+		Threads: bumpThreads(50, 2),
+		Mutate:  server.MutateDropLocks,
+	})
+	if len(resp.Flags) == 0 {
+		t.Fatalf("drop-locks mutant ran unflagged: the oracle has a gap")
+	}
+	if resp.Mutate != server.MutateDropLocks {
+		t.Fatalf("response did not echo the mutation: %+v", resp)
+	}
+
+	// The mutant executed on an ephemeral machine: the live world's state
+	// and its Watcher are unchanged.
+	st := d.state(w.ID)
+	if st.Fingerprint != before {
+		t.Fatalf("mutant corrupted the live world:\nbefore %q\nafter  %q", before, st.Fingerprint)
+	}
+	if len(st.WatcherFlags) != 0 {
+		t.Fatalf("mutant findings leaked into the live world's watcher: %v", st.WatcherFlags)
+	}
+
+	snap := d.metricsSnapshot()
+	if snap.MutantRuns != 1 || snap.MutantFlagged != 1 {
+		t.Fatalf("mutant accounting: %+v", snap)
+	}
+	if snap.ExecuteErrors != 0 {
+		t.Fatalf("mutant run miscounted as an execute error: %+v", snap)
+	}
+}
+
+// TestPermutePlanMutantFlagged reverses every acquisition plan for one
+// request against the accounts program, whose transfer section takes two
+// locks: the Watcher's canonical-order assertion fires on the out-of-order
+// grant.
+func TestPermutePlanMutantFlagged(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	accounts := d.submit("globex", "accounts", source(t, "accounts"))
+	w := d.world("globex", accounts.ID, server.EngineMGL, &server.SpecJSON{Fn: "init"})
+
+	resp := d.execute(server.ExecuteRequest{
+		Tenant: "globex", World: w.ID,
+		Threads: []server.SpecJSON{
+			{Fn: "worker", Args: []int64{10}},
+			{Fn: "worker", Args: []int64{10}},
+		},
+		Mutate: server.MutatePermutePlan,
+	})
+	if len(resp.Flags) == 0 {
+		t.Fatalf("permute-plan mutant ran unflagged: the oracle has a gap")
+	}
+
+	// Same request without the fault: clean.
+	clean := d.execute(server.ExecuteRequest{
+		Tenant: "globex", World: w.ID,
+		Threads: []server.SpecJSON{
+			{Fn: "worker", Args: []int64{10}},
+			{Fn: "worker", Args: []int64{10}},
+		},
+	})
+	if len(clean.Flags) != 0 {
+		t.Fatalf("clean run flagged: %v", clean.Flags)
+	}
+	if st := d.state(w.ID); len(st.WatcherFlags) != 0 {
+		t.Fatalf("clean world accumulated watcher flags: %v", st.WatcherFlags)
+	}
+
+	snap := d.metricsSnapshot()
+	if snap.MutantRuns != 1 || snap.MutantFlagged != 1 {
+		t.Fatalf("mutant accounting: %+v", snap)
+	}
+}

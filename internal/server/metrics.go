@@ -1,0 +1,102 @@
+package server
+
+import "sync/atomic"
+
+// Metrics is the daemon's counter set, written lock-free on the request
+// paths and snapshotted by /metrics. Gauges (InFlight, Queued) track the
+// admission controller's live occupancy; everything else is monotonic.
+type Metrics struct {
+	// Requests counts every HTTP request routed to a handler.
+	Requests atomic.Int64
+	// Programs counts distinct registered programs; Compiles counts actual
+	// pipeline compiles (submissions collapsed by the singleflight or
+	// resolved from the registry never recompile); CompileDedups counts
+	// submissions that joined an identical in-flight or completed compile.
+	Programs      atomic.Int64
+	Compiles      atomic.Int64
+	CompileDedups atomic.Int64
+	// Worlds counts created worlds.
+	Worlds atomic.Int64
+	// Executes counts completed execute requests; ExecuteErrors those whose
+	// run returned oracle flags or failed; MutantRuns / MutantFlagged the
+	// fault-injected executions and how many the oracle caught.
+	Executes      atomic.Int64
+	ExecuteErrors atomic.Int64
+	MutantRuns    atomic.Int64
+	MutantFlagged atomic.Int64
+	// Rejected counts requests turned away by backpressure (queue full or
+	// draining); Timeouts requests that hit their deadline while executing;
+	// Detached executions still running after their request timed out.
+	Rejected atomic.Int64
+	Timeouts atomic.Int64
+	Detached atomic.Int64
+	// InFlight / Queued are the admission controller's gauges.
+	InFlight atomic.Int64
+	Queued   atomic.Int64
+}
+
+// MetricsSnapshot is the /metrics payload: the counter values plus the
+// shared pipeline cache and hybrid-policy statistics gathered at snapshot
+// time.
+type MetricsSnapshot struct {
+	Requests      int64 `json:"requests"`
+	Programs      int64 `json:"programs"`
+	Compiles      int64 `json:"compiles"`
+	CompileDedups int64 `json:"compile_dedups"`
+	Worlds        int64 `json:"worlds"`
+	Executes      int64 `json:"executes"`
+	ExecuteErrors int64 `json:"execute_errors"`
+	MutantRuns    int64 `json:"mutant_runs"`
+	MutantFlagged int64 `json:"mutant_flagged"`
+	Rejected      int64 `json:"rejected"`
+	Timeouts      int64 `json:"timeouts"`
+	Detached      int64 `json:"detached"`
+	InFlight      int64 `json:"in_flight"`
+	Queued        int64 `json:"queued"`
+	// CacheHits/CacheMisses are the shared pipeline artifact cache's
+	// counters; CacheHitRate is hits/(hits+misses), 0 when idle.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// EngineFallbacks sums the hybrid worlds' lock-plan fallbacks;
+	// OptimisticRuns/PessimisticRuns the adaptive policies' mode counters.
+	EngineFallbacks int64 `json:"engine_fallbacks"`
+	OptimisticRuns  int64 `json:"optimistic_runs"`
+	PessimisticRuns int64 `json:"pessimistic_runs"`
+}
+
+// snapshot folds the live counters and the registry's cache/policy state
+// into one payload.
+func (s *Server) snapshotMetrics() MetricsSnapshot {
+	m := &s.metrics
+	snap := MetricsSnapshot{
+		Requests:      m.Requests.Load(),
+		Programs:      m.Programs.Load(),
+		Compiles:      m.Compiles.Load(),
+		CompileDedups: m.CompileDedups.Load(),
+		Worlds:        m.Worlds.Load(),
+		Executes:      m.Executes.Load(),
+		ExecuteErrors: m.ExecuteErrors.Load(),
+		MutantRuns:    m.MutantRuns.Load(),
+		MutantFlagged: m.MutantFlagged.Load(),
+		Rejected:      m.Rejected.Load(),
+		Timeouts:      m.Timeouts.Load(),
+		Detached:      m.Detached.Load(),
+		InFlight:      m.InFlight.Load(),
+		Queued:        m.Queued.Load(),
+	}
+	snap.CacheHits, snap.CacheMisses = s.cache.Stats()
+	if total := snap.CacheHits + snap.CacheMisses; total > 0 {
+		snap.CacheHitRate = float64(snap.CacheHits) / float64(total)
+	}
+	for _, w := range s.registry.allWorlds() {
+		if w.policy == nil {
+			continue
+		}
+		st := w.policy.Stats()
+		snap.EngineFallbacks += st.Fallbacks
+		snap.OptimisticRuns += st.OptRuns
+		snap.PessimisticRuns += st.PessRuns
+	}
+	return snap
+}

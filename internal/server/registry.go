@@ -1,0 +1,156 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"lockinfer/internal/locks"
+	"lockinfer/internal/pipeline"
+)
+
+// Program is one registered compilation, shared by every tenant that
+// submitted the same source at the same k.
+type Program struct {
+	ID   string
+	Name string
+	K    int
+	C    *pipeline.Compilation
+	// Plan is the inferred per-section lock plan, computed once at
+	// registration and treated as immutable (mutant runs copy it).
+	Plan map[int]locks.Set
+}
+
+// Locks is the total lock count over the program's section plans.
+func (p *Program) Locks() int {
+	n := 0
+	for _, s := range p.Plan {
+		n += len(s)
+	}
+	return n
+}
+
+// registry holds the daemon's programs and worlds. Programs are
+// content-addressed (source hash + k) so identical submissions from
+// different tenants resolve to one entry; concurrent submissions of a not-
+// yet-registered program collapse onto a single compile via the inflight
+// map (singleflight).
+type registry struct {
+	mu       sync.Mutex
+	programs map[string]*Program  // by program id
+	inflight map[string]*compcall // by program id, while compiling
+	worlds   map[string]*World    // by world id
+	worldSeq int64
+}
+
+// compcall is one in-flight compile that concurrent identical submissions
+// wait on.
+type compcall struct {
+	done chan struct{}
+	prog *Program
+	err  error
+}
+
+func newRegistry() *registry {
+	return &registry{
+		programs: map[string]*Program{},
+		inflight: map[string]*compcall{},
+		worlds:   map[string]*World{},
+	}
+}
+
+// programID content-addresses a submission.
+func programID(source string, k int) string {
+	sum := sha256.Sum256([]byte(source))
+	return fmt.Sprintf("p-%s-k%d", hex.EncodeToString(sum[:6]), k)
+}
+
+// resolve returns the registered program, compiling it exactly once per id
+// even under concurrent identical submissions. The boolean reports whether
+// this call reused an existing registration or joined an in-flight compile
+// (deduped) rather than running the compile itself.
+func (r *registry) resolve(s *Server, req SubmitRequest) (*Program, bool, error) {
+	opts := pipeline.Options{Name: req.Name, Cache: s.cache, K: req.K, KIsSet: req.KSet}
+	// The id uses the effective k, so "k unset" and an explicit k=3
+	// submission of the same source share one program.
+	k := req.K
+	if k == 0 && !req.KSet {
+		k = pipeline.DefaultK
+	}
+	id := programID(req.Source, k)
+
+	r.mu.Lock()
+	if p, ok := r.programs[id]; ok {
+		r.mu.Unlock()
+		return p, true, nil
+	}
+	if c, ok := r.inflight[id]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.prog, true, c.err
+	}
+	call := &compcall{done: make(chan struct{})}
+	r.inflight[id] = call
+	r.mu.Unlock()
+
+	s.metrics.Compiles.Add(1)
+	c, err := pipeline.Compile(req.Source, opts)
+	var prog *Program
+	if err == nil {
+		prog = &Program{ID: id, Name: req.Name, K: c.K, C: c, Plan: c.Plan()}
+	}
+	call.prog, call.err = prog, err
+
+	r.mu.Lock()
+	if err == nil {
+		r.programs[id] = prog
+		s.metrics.Programs.Add(1)
+	}
+	delete(r.inflight, id)
+	r.mu.Unlock()
+	close(call.done)
+	return prog, false, err
+}
+
+// program looks up a registered program.
+func (r *registry) program(id string) *Program {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.programs[id]
+}
+
+// addWorld registers a world under a fresh id.
+func (r *registry) addWorld(w *World) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.worldSeq++
+	w.ID = fmt.Sprintf("w-%d", r.worldSeq)
+	r.worlds[w.ID] = w
+	return w.ID
+}
+
+// world looks up a world.
+func (r *registry) world(id string) *World {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.worlds[id]
+}
+
+// allWorlds snapshots the world list (metrics aggregation).
+func (r *registry) allWorlds() []*World {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*World, 0, len(r.worlds))
+	for _, w := range r.worlds {
+		out = append(out, w)
+	}
+	return out
+}
+
+// counts reports the registry's sizes for /healthz.
+func (r *registry) counts() (programs, worlds int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int64(len(r.programs)), int64(len(r.worlds))
+}

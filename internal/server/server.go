@@ -1,0 +1,475 @@
+// Package server implements lockinferd: a long-running compile-and-execute
+// service over the lock-inference pipeline. Clients submit mini-C programs
+// (POST /v1/programs — compiled once per distinct source through the shared
+// pipeline artifact cache, concurrent identical submissions collapsed onto
+// one compile), instantiate long-lived worlds under a selectable execution
+// engine (POST /v1/worlds — mgl, stm, hybrid or native), and execute atomic
+// sections against a world's shared state from many concurrent clients
+// (POST /v1/execute). Observability is JSON counters (GET /metrics) and a
+// liveness probe (GET /healthz); per-world fingerprints for conformance
+// checking come from GET /v1/state.
+//
+// The request path is production-shaped: a bounded admission queue with
+// load-shedding 503s beyond capacity, per-request execution timeouts that
+// detach (never abandon mid-flight) the running work, and a graceful drain
+// for shutdown. Fault injection rides the same path — an execute request
+// may ask for a dropped-locks or permuted-plan mutant, which runs on an
+// ephemeral machine under the full oracle stack so tests can assert the
+// conformance guarantee survives the network boundary.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/pipeline"
+)
+
+// Config tunes one daemon instance. The zero value is serviceable: shared
+// pipeline cache, 32 concurrent executions, a 128-deep admission queue and
+// a 30s execution timeout.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests; QueueDepth bounds
+	// how many more may wait for a slot before the server sheds load.
+	MaxInFlight int
+	QueueDepth  int
+	// RequestTimeout bounds one execution; a request's timeout_ms may
+	// shorten it but never extend it.
+	RequestTimeout time.Duration
+	// MaxThreads bounds the thread specs of one execute request.
+	MaxThreads int
+	// MaxSourceBytes bounds a submitted program's source text.
+	MaxSourceBytes int64
+	// Cache is the pipeline artifact cache shared across tenants (nil =
+	// the process-wide pipeline.SharedCache).
+	Cache *pipeline.Cache
+	// Log, when set, receives request-path notes.
+	Log func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 32
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 64
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	if c.Cache == nil {
+		c.Cache = pipeline.SharedCache()
+	}
+	if c.Log == nil {
+		c.Log = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the daemon: registry, admission controller and HTTP handlers.
+type Server struct {
+	cfg      Config
+	cache    *pipeline.Cache
+	registry *registry
+	metrics  Metrics
+	mux      *http.ServeMux
+	start    time.Time
+
+	// slots is the execution-concurrency semaphore; drainCh closes when a
+	// drain begins, kicking queued waiters out with a 503.
+	slots    chan struct{}
+	drainCh  chan struct{}
+	draining bool
+	drainMu  sync.Mutex
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    cfg.Cache,
+		registry: newRegistry(),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		drainCh:  make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/programs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/worlds", s.handleWorld)
+	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	s.mux.HandleFunc("GET /v1/state", s.handleState)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the live counters (tests and embedders).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Drain stops admitting execute requests, kicks queued waiters, and waits
+// until every in-flight execution — detached ones included — completes, or
+// ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	s.drainMu.Unlock()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.metrics.InFlight.Load() == 0 && s.metrics.Queued.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain expired with %d in flight", s.metrics.InFlight.Load())
+		case <-tick.C:
+		}
+	}
+}
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Tenant == "" || req.Source == "" {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request", Message: "tenant and source are required"})
+		return
+	}
+	if int64(len(req.Source)) > s.cfg.MaxSourceBytes {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request",
+			Message: fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes)})
+		return
+	}
+	p, deduped, err := s.registry.resolve(s, req)
+	if err != nil {
+		var pe *pipeline.PipelineError
+		if errors.As(err, &pe) {
+			s.fail(w, http.StatusUnprocessableEntity, ErrorDetail{
+				Kind: "pipeline", Pass: pe.Pass, Name: pe.Name, Message: pe.Error(),
+			})
+			return
+		}
+		s.fail(w, http.StatusUnprocessableEntity, ErrorDetail{Kind: "internal", Message: err.Error()})
+		return
+	}
+	if deduped {
+		s.metrics.CompileDedups.Add(1)
+	}
+	s.ok(w, SubmitResponse{
+		ID:       p.ID,
+		Sections: len(p.C.Program.Sections),
+		Locks:    p.Locks(),
+		Deduped:  deduped,
+	})
+}
+
+func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
+	var req WorldRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Tenant == "" || req.Program == "" {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request", Message: "tenant and program are required"})
+		return
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = EngineMGL
+	}
+	if !validEngine(engine) {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request",
+			Message: fmt.Sprintf("unknown engine %q (have mgl, stm, hybrid, native)", engine)})
+		return
+	}
+	p := s.registry.program(req.Program)
+	if p == nil {
+		s.fail(w, http.StatusNotFound, ErrorDetail{Kind: "not-found",
+			Message: fmt.Sprintf("no program %q", req.Program)})
+		return
+	}
+	var setup *interp.ThreadSpec
+	if req.Setup != nil {
+		ts, det := s.spec(p, *req.Setup)
+		if det != nil {
+			s.fail(w, http.StatusBadRequest, *det)
+			return
+		}
+		setup = &ts
+	}
+	world, err := newWorld(req.Tenant, p, engine, setup)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, ErrorDetail{Kind: "execution", Message: err.Error()})
+		return
+	}
+	id := s.registry.addWorld(world)
+	s.metrics.Worlds.Add(1)
+	s.ok(w, WorldResponse{ID: id, Program: p.ID, Engine: engine})
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req ExecuteRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	world := s.registry.world(req.World)
+	if world == nil {
+		s.fail(w, http.StatusNotFound, ErrorDetail{Kind: "not-found",
+			Message: fmt.Sprintf("no world %q", req.World)})
+		return
+	}
+	if req.Tenant != world.Tenant {
+		s.fail(w, http.StatusForbidden, ErrorDetail{Kind: "forbidden",
+			Message: fmt.Sprintf("world %s belongs to another tenant", world.ID)})
+		return
+	}
+	if len(req.Threads) == 0 {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request", Message: "threads are required"})
+		return
+	}
+	if len(req.Threads) > s.cfg.MaxThreads {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request",
+			Message: fmt.Sprintf("request exceeds %d threads", s.cfg.MaxThreads)})
+		return
+	}
+	if req.Mutate != "" && req.Mutate != MutateDropLocks && req.Mutate != MutatePermutePlan {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request",
+			Message: fmt.Sprintf("unknown mutation %q (have %s, %s)", req.Mutate, MutateDropLocks, MutatePermutePlan)})
+		return
+	}
+	specs := make([]interp.ThreadSpec, 0, len(req.Threads))
+	for _, sj := range req.Threads {
+		ts, det := s.spec(world.Program, sj)
+		if det != nil {
+			s.fail(w, http.StatusBadRequest, *det)
+			return
+		}
+		specs = append(specs, ts)
+	}
+
+	// Admission: shed load beyond the bounded queue, kick waiters on drain,
+	// respect the request deadline even while queued.
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	if s.Draining() {
+		s.metrics.Rejected.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, ErrorDetail{Kind: "draining", Message: "server is draining"})
+		return
+	}
+	if queued := s.metrics.Queued.Add(1); queued > int64(s.cfg.QueueDepth) {
+		s.metrics.Queued.Add(-1)
+		s.metrics.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, ErrorDetail{Kind: "overloaded",
+			Message: fmt.Sprintf("admission queue full (%d waiting)", queued-1)})
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.metrics.Queued.Add(-1)
+		s.metrics.InFlight.Add(1)
+	case <-s.drainCh:
+		s.metrics.Queued.Add(-1)
+		s.metrics.Rejected.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, ErrorDetail{Kind: "draining", Message: "server is draining"})
+		return
+	case <-deadline.C:
+		s.metrics.Queued.Add(-1)
+		s.metrics.Timeouts.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, ErrorDetail{Kind: "timeout", Message: "timed out waiting for an execution slot"})
+		return
+	case <-r.Context().Done():
+		s.metrics.Queued.Add(-1)
+		s.fail(w, http.StatusServiceUnavailable, ErrorDetail{Kind: "bad-request", Message: "client went away"})
+		return
+	}
+
+	// The worker owns the slot for the execution's whole life: a request
+	// that times out detaches (the response returns 504) but the work keeps
+	// counting against MaxInFlight until it finishes, so timeouts cannot
+	// blow the concurrency bound.
+	type outcome struct {
+		res *execResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			s.metrics.InFlight.Add(-1)
+			<-s.slots
+		}()
+		var out outcome
+		if req.Mutate != "" {
+			out.res, out.err = world.runMutant(req.Mutate, specs)
+			s.metrics.MutantRuns.Add(1)
+			if out.err == nil && len(out.res.flags) > 0 {
+				s.metrics.MutantFlagged.Add(1)
+			}
+		} else {
+			out.res, out.err = world.execute(specs)
+			s.metrics.Executes.Add(1)
+			if out.err != nil || len(out.res.flags) > 0 {
+				s.metrics.ExecuteErrors.Add(1)
+			}
+		}
+		done <- out
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, ErrorDetail{Kind: "execution", Message: out.err.Error()})
+			return
+		}
+		s.ok(w, ExecuteResponse{
+			World:     world.ID,
+			Engine:    world.Engine,
+			ElapsedNS: out.res.elapsed.Nanoseconds(),
+			Flags:     out.res.flags,
+			State:     out.res.state,
+			Mutate:    req.Mutate,
+		})
+	case <-deadline.C:
+		s.metrics.Timeouts.Add(1)
+		s.metrics.Detached.Add(1)
+		world.detached.Add(1)
+		s.cfg.Log("execute on %s detached after %s", world.ID, timeout)
+		s.fail(w, http.StatusGatewayTimeout, ErrorDetail{Kind: "timeout",
+			Message: fmt.Sprintf("execution exceeded %s; it continues detached", timeout)})
+	}
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	world := s.registry.world(r.URL.Query().Get("world"))
+	if world == nil {
+		s.fail(w, http.StatusNotFound, ErrorDetail{Kind: "not-found",
+			Message: fmt.Sprintf("no world %q", r.URL.Query().Get("world"))})
+		return
+	}
+	fp, err := world.fingerprint()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request", Message: err.Error()})
+		return
+	}
+	s.ok(w, StateResponse{
+		World:        world.ID,
+		Fingerprint:  fp,
+		Executes:     world.executes.Load(),
+		Detached:     world.detached.Load(),
+		WatcherFlags: world.watcherFlags(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.ok(w, s.snapshotMetrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	programs, worlds := s.registry.counts()
+	s.ok(w, HealthResponse{
+		OK:       true,
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		InFlight: s.metrics.InFlight.Load(),
+		Programs: programs,
+		Worlds:   worlds,
+		Draining: s.Draining(),
+	})
+}
+
+// --- helpers ---
+
+func validEngine(e string) bool {
+	for _, have := range Engines() {
+		if e == have {
+			return true
+		}
+	}
+	return false
+}
+
+// spec validates a wire spec against the program and converts it.
+func (s *Server) spec(p *Program, sj SpecJSON) (interp.ThreadSpec, *ErrorDetail) {
+	if sj.Fn == "" {
+		return interp.ThreadSpec{}, &ErrorDetail{Kind: "bad-request", Message: "thread fn is required"}
+	}
+	if p.C.Program.Func(sj.Fn) == nil {
+		return interp.ThreadSpec{}, &ErrorDetail{Kind: "bad-request",
+			Message: fmt.Sprintf("program %s has no function %q", p.ID, sj.Fn)}
+	}
+	ts := interp.ThreadSpec{Fn: sj.Fn}
+	for _, a := range sj.Args {
+		ts.Args = append(ts.Args, interp.IntV(a))
+	}
+	return ts, nil
+}
+
+// decode unmarshals a JSON body, answering 400 on malformed input.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSourceBytes+4096))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request", Message: "unreadable body"})
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request",
+			Message: fmt.Sprintf("malformed JSON: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (s *Server) ok(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, det ErrorDetail) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorBody{Error: det})
+	if code >= 500 || code == http.StatusUnprocessableEntity {
+		s.cfg.Log("request failed (%d %s): %s", code, det.Kind, det.Message)
+	}
+}

@@ -1,0 +1,438 @@
+// Request-lifecycle tests for lockinferd, driven through the HTTP surface
+// exactly like a client: structured errors for malformed and unprocessable
+// requests, the happy path across every engine, per-request timeouts that
+// detach work without losing it, admission-queue load shedding, and the
+// graceful-shutdown drain.
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lockinfer/internal/pipeline"
+	"lockinfer/internal/progs"
+	"lockinfer/internal/server"
+)
+
+// daemon is an in-process lockinferd plus client plumbing.
+type daemon struct {
+	t   *testing.T
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func newDaemon(t *testing.T, cfg server.Config) *daemon {
+	t.Helper()
+	if cfg.Cache == nil {
+		// A private cache per daemon keeps hit/miss assertions independent
+		// of whatever else the test binary compiled.
+		cfg.Cache = pipeline.NewCache(0)
+	}
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return &daemon{t: t, srv: srv, ts: ts}
+}
+
+// do issues one request and returns the status code and raw body.
+func (d *daemon) do(method, path string, body []byte) (int, []byte) {
+	d.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, d.ts.URL+path, rd)
+	if err != nil {
+		d.t.Fatalf("build %s %s: %v", method, path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.ts.Client().Do(req)
+	if err != nil {
+		d.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		d.t.Fatalf("%s %s: read body: %v", method, path, err)
+	}
+	return resp.StatusCode, data
+}
+
+// call issues a request with a JSON body and decodes a 2xx response into
+// out; non-2xx responses fail the test with the server's error detail.
+func (d *daemon) call(method, path string, body, out any) {
+	d.t.Helper()
+	var data []byte
+	if body != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			d.t.Fatalf("marshal %T: %v", body, err)
+		}
+	}
+	code, raw := d.do(method, path, data)
+	if code >= 300 {
+		d.t.Fatalf("%s %s: %d: %s", method, path, code, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			d.t.Fatalf("%s %s: decode %T: %v", method, path, out, err)
+		}
+	}
+}
+
+// wantError issues a request and asserts the status code and error kind.
+func (d *daemon) wantError(method, path string, body []byte, code int, kind string) server.ErrorDetail {
+	d.t.Helper()
+	got, raw := d.do(method, path, body)
+	if got != code {
+		d.t.Fatalf("%s %s: code %d, want %d (%s)", method, path, got, code, raw)
+	}
+	var eb server.ErrorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		d.t.Fatalf("%s %s: error body is not the envelope: %v (%s)", method, path, err, raw)
+	}
+	if eb.Error.Kind != kind {
+		d.t.Fatalf("%s %s: error kind %q, want %q (message %q)", method, path, eb.Error.Kind, kind, eb.Error.Message)
+	}
+	return eb.Error
+}
+
+func (d *daemon) submit(tenant, name, source string) server.SubmitResponse {
+	d.t.Helper()
+	var resp server.SubmitResponse
+	d.call("POST", "/v1/programs", server.SubmitRequest{Tenant: tenant, Name: name, Source: source}, &resp)
+	return resp
+}
+
+func (d *daemon) world(tenant, program, engine string, setup *server.SpecJSON) server.WorldResponse {
+	d.t.Helper()
+	var resp server.WorldResponse
+	d.call("POST", "/v1/worlds", server.WorldRequest{Tenant: tenant, Program: program, Engine: engine, Setup: setup}, &resp)
+	return resp
+}
+
+func (d *daemon) execute(req server.ExecuteRequest) server.ExecuteResponse {
+	d.t.Helper()
+	var resp server.ExecuteResponse
+	d.call("POST", "/v1/execute", req, &resp)
+	return resp
+}
+
+func (d *daemon) state(world string) server.StateResponse {
+	d.t.Helper()
+	var resp server.StateResponse
+	d.call("GET", "/v1/state?world="+world, nil, &resp)
+	return resp
+}
+
+func (d *daemon) metricsSnapshot() server.MetricsSnapshot {
+	d.t.Helper()
+	var snap server.MetricsSnapshot
+	d.call("GET", "/metrics", nil, &snap)
+	return snap
+}
+
+func source(t *testing.T, name string) string {
+	t.Helper()
+	p, err := progs.Get(name)
+	if err != nil {
+		t.Fatalf("corpus program %s: %v", name, err)
+	}
+	return p.Source()
+}
+
+func bumpThreads(n int64, threads int) []server.SpecJSON {
+	out := make([]server.SpecJSON, threads)
+	for i := range out {
+		out[i] = server.SpecJSON{Fn: "bump", Args: []int64{n}}
+	}
+	return out
+}
+
+// TestRequestLifecycleErrors walks the malformed and unprocessable corners
+// of every endpoint: each answers the documented status code with the
+// structured error envelope, and compile failures carry the pipeline's own
+// pass attribution.
+func TestRequestLifecycleErrors(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	counter := d.submit("acme", "counter", source(t, "counter"))
+	w := d.world("acme", counter.ID, server.EngineMGL, nil)
+
+	exec := func(req server.ExecuteRequest) []byte {
+		b, _ := json.Marshal(req)
+		return b
+	}
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   []byte
+		code   int
+		kind   string
+	}{
+		{"malformed JSON", "POST", "/v1/programs", []byte(`{"tenant":`), http.StatusBadRequest, "bad-request"},
+		{"submit missing source", "POST", "/v1/programs", []byte(`{"tenant":"t"}`), http.StatusBadRequest, "bad-request"},
+		{"submit missing tenant", "POST", "/v1/programs", []byte(`{"source":"int x;"}`), http.StatusBadRequest, "bad-request"},
+		{"compile error", "POST", "/v1/programs",
+			[]byte(`{"tenant":"t","source":"void broken( {"}`), http.StatusUnprocessableEntity, "pipeline"},
+		{"world malformed JSON", "POST", "/v1/worlds", []byte(`[`), http.StatusBadRequest, "bad-request"},
+		{"world unknown engine", "POST", "/v1/worlds",
+			[]byte(`{"tenant":"t","program":"` + counter.ID + `","engine":"tm"}`), http.StatusBadRequest, "bad-request"},
+		{"world unknown program", "POST", "/v1/worlds",
+			[]byte(`{"tenant":"t","program":"p-nope-k3"}`), http.StatusNotFound, "not-found"},
+		{"world unknown setup fn", "POST", "/v1/worlds",
+			[]byte(`{"tenant":"t","program":"` + counter.ID + `","setup":{"fn":"nope"}}`), http.StatusBadRequest, "bad-request"},
+		{"execute malformed JSON", "POST", "/v1/execute", []byte(`{`), http.StatusBadRequest, "bad-request"},
+		{"execute unknown world", "POST", "/v1/execute",
+			exec(server.ExecuteRequest{Tenant: "acme", World: "w-999", Threads: bumpThreads(1, 1)}),
+			http.StatusNotFound, "not-found"},
+		{"execute tenant mismatch", "POST", "/v1/execute",
+			exec(server.ExecuteRequest{Tenant: "evil", World: w.ID, Threads: bumpThreads(1, 1)}),
+			http.StatusForbidden, "forbidden"},
+		{"execute no threads", "POST", "/v1/execute",
+			exec(server.ExecuteRequest{Tenant: "acme", World: w.ID}), http.StatusBadRequest, "bad-request"},
+		{"execute unknown fn", "POST", "/v1/execute",
+			exec(server.ExecuteRequest{Tenant: "acme", World: w.ID, Threads: []server.SpecJSON{{Fn: "nope"}}}),
+			http.StatusBadRequest, "bad-request"},
+		{"execute unknown mutation", "POST", "/v1/execute",
+			exec(server.ExecuteRequest{Tenant: "acme", World: w.ID, Threads: bumpThreads(1, 1), Mutate: "scramble"}),
+			http.StatusBadRequest, "bad-request"},
+		{"state unknown world", "GET", "/v1/state?world=w-999", nil, http.StatusNotFound, "not-found"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			det := d.wantError(tc.method, tc.path, tc.body, tc.code, tc.kind)
+			if tc.kind == "pipeline" && det.Pass == "" {
+				t.Fatalf("pipeline error lost its pass attribution: %+v", det)
+			}
+		})
+	}
+
+	t.Run("thread cap", func(t *testing.T) {
+		capped := newDaemon(t, server.Config{MaxThreads: 2})
+		p := capped.submit("t", "counter", source(t, "counter"))
+		cw := capped.world("t", p.ID, server.EngineMGL, nil)
+		body, _ := json.Marshal(server.ExecuteRequest{Tenant: "t", World: cw.ID, Threads: bumpThreads(1, 3)})
+		capped.wantError("POST", "/v1/execute", body, http.StatusBadRequest, "bad-request")
+	})
+	t.Run("source cap", func(t *testing.T) {
+		capped := newDaemon(t, server.Config{MaxSourceBytes: 16})
+		body, _ := json.Marshal(server.SubmitRequest{Tenant: "t", Source: strings.Repeat("int x;\n", 10)})
+		capped.wantError("POST", "/v1/programs", body, http.StatusBadRequest, "bad-request")
+	})
+}
+
+// TestHappyPathAcrossEngines drives the full lifecycle — submit, world,
+// execute, state — under every engine and cross-checks the counters.
+func TestHappyPathAcrossEngines(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	counter := d.submit("acme", "counter", source(t, "counter"))
+	if counter.Sections == 0 || counter.Locks == 0 {
+		t.Fatalf("counter compiled to no sections/locks: %+v", counter)
+	}
+	if counter.Deduped {
+		t.Fatalf("first submission reported deduped")
+	}
+
+	for _, engine := range server.Engines() {
+		engine := engine
+		t.Run(engine, func(t *testing.T) {
+			w := d.world("acme", counter.ID, engine, nil)
+			if w.Engine != engine || w.Program != counter.ID {
+				t.Fatalf("world response %+v", w)
+			}
+			resp := d.execute(server.ExecuteRequest{
+				Tenant: "acme", World: w.ID, Threads: bumpThreads(10, 2),
+			})
+			if len(resp.Flags) != 0 {
+				t.Fatalf("clean run flagged: %v", resp.Flags)
+			}
+			if engine == server.EngineNative {
+				// Native worlds are per-request: the fingerprint comes back
+				// with the response and /v1/state refuses.
+				if !strings.Contains(resp.State, "counter=20") {
+					t.Fatalf("native run state: %q", resp.State)
+				}
+				d.wantError("GET", "/v1/state?world="+w.ID, nil, http.StatusBadRequest, "bad-request")
+				return
+			}
+			st := d.state(w.ID)
+			if !strings.Contains(st.Fingerprint, "counter=20") {
+				t.Fatalf("%s world fingerprint after 2x bump(10): %q", engine, st.Fingerprint)
+			}
+			if st.Executes != 1 || st.Detached != 0 {
+				t.Fatalf("world accounting: %+v", st)
+			}
+			if len(st.WatcherFlags) != 0 {
+				t.Fatalf("watcher flags on a clean world: %v", st.WatcherFlags)
+			}
+			// State accumulates across requests: a second execute moves the
+			// same world, not a fresh copy.
+			d.execute(server.ExecuteRequest{Tenant: "acme", World: w.ID, Threads: bumpThreads(5, 1)})
+			if st = d.state(w.ID); !strings.Contains(st.Fingerprint, "counter=25") {
+				t.Fatalf("%s world fingerprint after +5: %q", engine, st.Fingerprint)
+			}
+		})
+	}
+
+	var health server.HealthResponse
+	d.call("GET", "/healthz", nil, &health)
+	if !health.OK || health.Programs != 1 || health.Worlds != int64(len(server.Engines())) {
+		t.Fatalf("health: %+v", health)
+	}
+	snap := d.metricsSnapshot()
+	if snap.Compiles != 1 {
+		t.Fatalf("compiles = %d, want 1", snap.Compiles)
+	}
+	if snap.Executes == 0 || snap.ExecuteErrors != 0 || snap.InFlight != 0 {
+		t.Fatalf("metrics: %+v", snap)
+	}
+}
+
+// TestRequestTimeoutDetaches proves the timeout path: a request whose
+// execution overruns its budget answers 504 while the work continues
+// detached — and the fingerprint endpoint still quiesces against it.
+func TestRequestTimeoutDetaches(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	counter := d.submit("acme", "counter", source(t, "counter"))
+	w := d.world("acme", counter.ID, server.EngineMGL, nil)
+
+	body, _ := json.Marshal(server.ExecuteRequest{
+		Tenant: "acme", World: w.ID,
+		Threads:   bumpThreads(400_000, 1),
+		TimeoutMS: 1,
+	})
+	d.wantError("POST", "/v1/execute", body, http.StatusGatewayTimeout, "timeout")
+
+	snap := d.metricsSnapshot()
+	if snap.Timeouts != 1 || snap.Detached != 1 {
+		t.Fatalf("timeout accounting: %+v", snap)
+	}
+	// The fingerprint write-lock waits out the detached run, so the dump is
+	// the run's completed effect, not a torn intermediate.
+	st := d.state(w.ID)
+	if !strings.Contains(st.Fingerprint, "counter=400000") {
+		t.Fatalf("fingerprint after detached run: %q", st.Fingerprint)
+	}
+	if st.Detached != 1 {
+		t.Fatalf("world detached count: %+v", st)
+	}
+	if snap = d.metricsSnapshot(); snap.InFlight != 0 {
+		t.Fatalf("in-flight after quiescence: %+v", snap)
+	}
+}
+
+// TestAdmissionQueueShedsLoad fills the one execution slot and the
+// one-deep queue, then asserts the next request is shed with 503 and a
+// Retry-After hint instead of queuing without bound.
+func TestAdmissionQueueShedsLoad(t *testing.T) {
+	// A generous per-request budget keeps the slow slot-holders from
+	// tripping the timeout path on a contended CI box — this test is
+	// about the queue, not the deadline.
+	d := newDaemon(t, server.Config{
+		MaxInFlight: 1, QueueDepth: 1, RequestTimeout: 5 * time.Minute,
+	})
+	counter := d.submit("acme", "counter", source(t, "counter"))
+	w := d.world("acme", counter.ID, server.EngineMGL, nil)
+
+	slow, _ := json.Marshal(server.ExecuteRequest{
+		Tenant: "acme", World: w.ID, Threads: bumpThreads(600_000, 1),
+	})
+	fast, _ := json.Marshal(server.ExecuteRequest{
+		Tenant: "acme", World: w.ID, Threads: bumpThreads(1, 1),
+	})
+
+	// Occupy the slot, then the queue.
+	release := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			code, raw := d.do("POST", "/v1/execute", slow)
+			if code != http.StatusOK {
+				t.Errorf("queued execute: %d: %s", code, raw)
+			}
+			release <- struct{}{}
+		}()
+	}
+	waitFor(t, func() bool {
+		snap := d.metricsSnapshot()
+		return snap.InFlight == 1 && snap.Queued == 1
+	}, "one in flight, one queued")
+
+	got, raw := d.do("POST", "/v1/execute", fast)
+	if got != http.StatusServiceUnavailable {
+		t.Fatalf("over-queue execute: %d: %s", got, raw)
+	}
+	var eb server.ErrorBody
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error.Kind != "overloaded" {
+		t.Fatalf("over-queue error: %v %s", err, raw)
+	}
+
+	<-release
+	<-release
+	if snap := d.metricsSnapshot(); snap.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", snap.Rejected)
+	}
+}
+
+// TestDrainCompletesInFlight proves graceful shutdown: a drain lets the
+// running execution finish (its client gets a real 200), sheds new work
+// with 503s, and Drain only returns once the server is quiet.
+func TestDrainCompletesInFlight(t *testing.T) {
+	d := newDaemon(t, server.Config{RequestTimeout: 5 * time.Minute})
+	counter := d.submit("acme", "counter", source(t, "counter"))
+	w := d.world("acme", counter.ID, server.EngineMGL, nil)
+
+	slow, _ := json.Marshal(server.ExecuteRequest{
+		Tenant: "acme", World: w.ID, Threads: bumpThreads(600_000, 1),
+	})
+	slowDone := make(chan int, 1)
+	go func() {
+		code, _ := d.do("POST", "/v1/execute", slow)
+		slowDone <- code
+	}()
+	waitFor(t, func() bool { return d.metricsSnapshot().InFlight == 1 }, "execution in flight")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- d.srv.Drain(ctx) }()
+	waitFor(t, func() bool { return d.srv.Draining() }, "drain begun")
+
+	fast, _ := json.Marshal(server.ExecuteRequest{
+		Tenant: "acme", World: w.ID, Threads: bumpThreads(1, 1),
+	})
+	d.wantError("POST", "/v1/execute", fast, http.StatusServiceUnavailable, "draining")
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if code := <-slowDone; code != http.StatusOK {
+		t.Fatalf("in-flight execution during drain answered %d", code)
+	}
+	var health server.HealthResponse
+	d.call("GET", "/healthz", nil, &health)
+	if !health.Draining || health.InFlight != 0 {
+		t.Fatalf("post-drain health: %+v", health)
+	}
+}
+
+// waitFor polls cond for a few seconds; the interesting states here are
+// transient windows opened by background goroutines.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,247 @@
+// The PR's headline artifact: a soak of lockinferd under sustained
+// mixed-tenant open-loop traffic with the full observation stack attached —
+// the Go race detector over the whole daemon (via `make soak` / the -race
+// CI lane), the mgl deadlock Watcher on every in-process mgl/hybrid world,
+// and an end-of-run conformance check that serially replays each counter
+// world's completed operations on a fresh machine and demands fingerprint
+// equality. Short mode (`go test -short`, part of `make check`) runs a
+// seconds-long slice of the same soak; `make soak` sets LOCKINFER_SOAK=60s
+// for the full acceptance run.
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"lockinfer/internal/interp"
+	"lockinfer/internal/loadgen"
+	"lockinfer/internal/pipeline"
+	"lockinfer/internal/server"
+)
+
+// soakDuration picks the arrival-phase length: the LOCKINFER_SOAK
+// environment variable wins, then -short selects the CI slice.
+func soakDuration(t *testing.T) time.Duration {
+	if v := os.Getenv("LOCKINFER_SOAK"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("LOCKINFER_SOAK=%q: %v", v, err)
+		}
+		return d
+	}
+	if testing.Short() {
+		return 2 * time.Second
+	}
+	return 5 * time.Second
+}
+
+func TestSoak(t *testing.T) {
+	dur := soakDuration(t)
+	rps := 80.0
+	if testing.Short() {
+		rps = 50.0
+	}
+	d := newDaemon(t, server.Config{
+		// Generous execution budget: the soak's conformance accounting
+		// requires zero timeouts (a detached run mutates state its request
+		// never reported completing).
+		RequestTimeout: 2 * time.Minute,
+		MaxInFlight:    16,
+		QueueDepth:     1024,
+		Cache:          pipeline.NewCache(0),
+	})
+
+	counterSrc := source(t, "counter")
+	accountsSrc := source(t, "accounts")
+	counter := d.submit("acme", "counter", counterSrc)
+	accounts := d.submit("globex", "accounts", accountsSrc)
+	// Seed a second configuration so pipeline-cache hits are deterministic,
+	// not left to the weighted mix.
+	d.call("POST", "/v1/programs", server.SubmitRequest{
+		Tenant: "acme", Name: "counter-k2", Source: counterSrc, K: 2, KSet: true,
+	}, nil)
+
+	counterWorlds := map[string]server.WorldResponse{
+		server.EngineMGL:    d.world("acme", counter.ID, server.EngineMGL, nil),
+		server.EngineSTM:    d.world("acme", counter.ID, server.EngineSTM, nil),
+		server.EngineHybrid: d.world("acme", counter.ID, server.EngineHybrid, nil),
+	}
+	accountsWorld := d.world("globex", accounts.ID, server.EngineMGL, &server.SpecJSON{Fn: "init"})
+
+	// One execute op per world. Counter requests are two concurrent bump(8)
+	// threads — commutative increments, so any serialization of any
+	// interleaving lands on the same final state, which is what makes the
+	// serial replay below a sound oracle. Accounts requests are two
+	// concurrent worker(4) threads (net-zero transfer pairs). The state
+	// scrape quiesces the busiest world mid-soak, exercising the
+	// read-write ordering under load; resubmissions keep the singleflight
+	// and dedup paths hot.
+	bump := bumpThreads(8, 2)
+	execBody := func(tenant, world string, threads []server.SpecJSON) []byte {
+		b, err := json.Marshal(server.ExecuteRequest{Tenant: tenant, World: world, Threads: threads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	resubmit, _ := json.Marshal(server.SubmitRequest{Tenant: "soak-resub", Source: counterSrc})
+	resubmitK2, _ := json.Marshal(server.SubmitRequest{Tenant: "soak-resub", Source: counterSrc, K: 2, KSet: true})
+	mix := []loadgen.Op{
+		{Name: "exec-counter-mgl", Weight: 25, Method: "POST", Path: "/v1/execute",
+			Body: execBody("acme", counterWorlds[server.EngineMGL].ID, bump)},
+		{Name: "exec-counter-stm", Weight: 20, Method: "POST", Path: "/v1/execute",
+			Body: execBody("acme", counterWorlds[server.EngineSTM].ID, bump)},
+		{Name: "exec-counter-hybrid", Weight: 20, Method: "POST", Path: "/v1/execute",
+			Body: execBody("acme", counterWorlds[server.EngineHybrid].ID, bump)},
+		{Name: "exec-accounts", Weight: 15, Method: "POST", Path: "/v1/execute",
+			Body: execBody("globex", accountsWorld.ID, []server.SpecJSON{
+				{Fn: "worker", Args: []int64{4}}, {Fn: "worker", Args: []int64{4}},
+			})},
+		{Name: "resubmit", Weight: 5, Method: "POST", Path: "/v1/programs", Body: resubmit},
+		{Name: "resubmit-k2", Weight: 2, Method: "POST", Path: "/v1/programs", Body: resubmitK2},
+		{Name: "metrics", Weight: 3, Method: "GET", Path: "/metrics"},
+		{Name: "state-scrape", Weight: 2, Method: "GET",
+			Path: "/v1/state?world=" + counterWorlds[server.EngineMGL].ID},
+	}
+
+	t.Logf("soaking %s at %.0f req/s", dur, rps)
+	res, err := loadgen.Drive(context.Background(), d.ts.Client(), d.ts.URL, mix, loadgen.Config{
+		TargetRPS:      rps,
+		Duration:       dur,
+		MaxOutstanding: 64,
+		Timeout:        90 * time.Second,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatalf("drive: %v", err)
+	}
+	t.Logf("sent %d done %d dropped %d p50 %s p99 %s",
+		res.Sent, res.Done, res.Dropped,
+		time.Duration(res.P50NS), time.Duration(res.P99NS))
+
+	// Outcome hygiene: every fired request completed (drops from the
+	// outstanding bound are fine — they never reached the server — but
+	// failures, timeouts and shed load under this gentle a mix are not).
+	if res.Failed != 0 || res.Timeout != 0 || res.Rejected != 0 {
+		t.Fatalf("soak outcomes: %d failed, %d timed out, %d rejected: %+v",
+			res.Failed, res.Timeout, res.Rejected, res.PerOp)
+	}
+	for _, op := range mix {
+		if st := res.PerOp[op.Name]; st.Sent > 0 && st.Done != st.Sent {
+			t.Fatalf("op %s: %d sent, %d done", op.Name, st.Sent, st.Done)
+		}
+	}
+	for _, name := range []string{"exec-counter-mgl", "exec-counter-stm", "exec-counter-hybrid", "exec-accounts"} {
+		if res.PerOp[name].Done == 0 {
+			t.Fatalf("op %s never completed; the soak did not exercise its world", name)
+		}
+	}
+
+	snap := d.metricsSnapshot()
+	if snap.ExecuteErrors != 0 {
+		t.Fatalf("execute errors under soak: %+v", snap)
+	}
+	if snap.Timeouts != 0 || snap.Detached != 0 {
+		t.Fatalf("timeouts/detached under soak: %+v", snap)
+	}
+	if snap.CacheHits == 0 {
+		t.Fatalf("pipeline cache never hit: %+v", snap)
+	}
+	if snap.CompileDedups == 0 {
+		t.Fatalf("resubmissions never deduped: %+v", snap)
+	}
+
+	// Conformance: serially replay each counter world's completed requests
+	// on a fresh machine. bump is commutative, so the serial state is the
+	// unique correct final state for any schedule of those requests; a
+	// fingerprint mismatch means the engine lost or tore an update.
+	replayOps := map[string]string{
+		server.EngineMGL:    "exec-counter-mgl",
+		server.EngineSTM:    "exec-counter-stm",
+		server.EngineHybrid: "exec-counter-hybrid",
+	}
+	for engine, w := range counterWorlds {
+		st := d.state(w.ID)
+		if st.Detached != 0 {
+			t.Fatalf("%s world has detached runs; fingerprint accounting is void", engine)
+		}
+		if len(st.WatcherFlags) != 0 {
+			t.Fatalf("%s world watcher flags: %v", engine, st.WatcherFlags)
+		}
+		done := res.PerOp[replayOps[engine]].Done
+		if st.Executes != done {
+			t.Fatalf("%s world executed %d requests, loadgen completed %d", engine, st.Executes, done)
+		}
+		want := replayCounter(t, counterSrc, done)
+		if st.Fingerprint != want {
+			t.Fatalf("%s world non-conformant after %d requests:\n  live   %q\n  replay %q",
+				engine, done, st.Fingerprint, want)
+		}
+	}
+	// Accounts: each worker(4) pairs every transfer with its reverse, so
+	// the serial replay (equivalently, the initial state) is the unique
+	// conformant outcome.
+	st := d.state(accountsWorld.ID)
+	want := replayAccounts(t, accountsSrc, res.PerOp["exec-accounts"].Done)
+	if st.Fingerprint != want {
+		t.Fatalf("accounts world non-conformant:\n  live   %q\n  replay %q", st.Fingerprint, want)
+	}
+
+	// Graceful shutdown closes the soak: drain, verify in-flight work is
+	// gone and new work is shed.
+	dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := d.srv.Drain(dctx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+	d.wantError("POST", "/v1/execute",
+		execBody("acme", counterWorlds[server.EngineMGL].ID, bump),
+		http.StatusServiceUnavailable, "draining")
+}
+
+// replayCounter compiles the counter program exactly as the server did and
+// serially applies done requests' worth of bumps (two bump(8) threads per
+// request) on a fresh machine.
+func replayCounter(t *testing.T, src string, done int64) string {
+	t.Helper()
+	m := replayMachine(t, src, "counter-replay")
+	for i := int64(0); i < 2*done; i++ {
+		if _, err := m.Call(1, "bump", []interp.Value{interp.IntV(8)}); err != nil {
+			t.Fatalf("replay bump: %v", err)
+		}
+	}
+	return m.StateDump()
+}
+
+// replayAccounts runs init then serially applies done requests' worth of
+// workers (two worker(4) threads per request).
+func replayAccounts(t *testing.T, src string, done int64) string {
+	t.Helper()
+	m := replayMachine(t, src, "accounts-replay")
+	if _, err := m.Call(1, "init", nil); err != nil {
+		t.Fatalf("replay init: %v", err)
+	}
+	for i := int64(0); i < 2*done; i++ {
+		if _, err := m.Call(1, "worker", []interp.Value{interp.IntV(4)}); err != nil {
+			t.Fatalf("replay worker: %v", err)
+		}
+	}
+	return m.StateDump()
+}
+
+func replayMachine(t *testing.T, src, name string) *interp.Machine {
+	t.Helper()
+	c, err := pipeline.Compile(src, pipeline.Options{Name: name, Cache: pipeline.NewCache(0)})
+	if err != nil {
+		t.Fatalf("replay compile: %v", err)
+	}
+	m := interp.NewMachine(c.Program, c.Points, c.Plan())
+	if err := m.Init(); err != nil {
+		t.Fatalf("replay init: %v", err)
+	}
+	return m
+}

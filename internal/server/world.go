@@ -1,0 +1,311 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lockinfer/internal/codegen"
+	"lockinfer/internal/hybrid"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/mgl"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/stm"
+	"lockinfer/internal/transform"
+)
+
+// Engine names accepted by WorldRequest.Engine.
+const (
+	EngineMGL    = "mgl"
+	EngineSTM    = "stm"
+	EngineHybrid = "hybrid"
+	EngineNative = "native"
+)
+
+// Engines lists the selectable execution engines.
+func Engines() []string { return []string{EngineMGL, EngineSTM, EngineHybrid, EngineNative} }
+
+// World is one long-lived program instance: globals initialized and setup
+// run once, then mutated by every execute request routed to it. Concurrent
+// requests run concurrently — their threads interleave inside the one
+// machine exactly like the threads of a single run — while fingerprinting
+// takes the write side of the lock and only proceeds quiescent.
+//
+// Native worlds are the exception: the compiled binary runs out of
+// process, so each execute replays setup into a fresh state and returns
+// its own fingerprint. They exist to serve the native engine through the
+// same API (and to share the content-addressed build cache), not to hold
+// long-lived state.
+type World struct {
+	ID      string
+	Tenant  string
+	Engine  string
+	Program *Program
+
+	m      *interp.Machine
+	watch  *mgl.Watcher
+	rt     *stm.Runtime
+	policy *hybrid.Policy
+
+	native codegen.Program
+	setup  *interp.ThreadSpec
+
+	// mu orders executions (read side) against fingerprinting (write
+	// side). Execution goroutines hold the read lock for their full run —
+	// even after their request timed out and detached — so the write side
+	// always observes a quiescent machine.
+	mu sync.RWMutex
+	// nextTID hands out machine thread ids. Ids are never reused: the
+	// checker's allocated-in-this-section exemption keys on (thread id,
+	// epoch), so recycling ids across requests could alias a dead thread's
+	// allocations onto a live one.
+	nextTID  atomic.Int64
+	executes atomic.Int64
+	detached atomic.Int64
+}
+
+// execResult is one completed execution.
+type execResult struct {
+	elapsed time.Duration
+	flags   []string
+	state   string // native runs only
+}
+
+// newWorld builds a world over a registered program. Setup (and for
+// in-process engines the global initializer) runs to completion before the
+// world is visible.
+func newWorld(tenant string, p *Program, engine string, setup *interp.ThreadSpec) (*World, error) {
+	w := &World{Tenant: tenant, Engine: engine, Program: p, setup: setup}
+	switch engine {
+	case EngineNative:
+		if err := codegen.Unsupported(p.C.Program); err != nil {
+			return nil, fmt.Errorf("program %s cannot run natively: %w", p.ID, err)
+		}
+		if setup != nil {
+			if _, err := nativeSpec(*setup); err != nil {
+				return nil, err
+			}
+		}
+		w.native = codegen.Program{
+			Name:     p.Name,
+			Prog:     p.C.Program,
+			Pts:      p.C.Points,
+			Variants: codegen.DefaultVariants(p.Plan),
+		}
+		return w, nil
+	case EngineMGL, EngineSTM, EngineHybrid:
+	default:
+		return nil, fmt.Errorf("unknown engine %q (have mgl, stm, hybrid, native)", engine)
+	}
+
+	m := interp.NewMachine(p.C.Program, p.C.Points, p.Plan)
+	switch engine {
+	case EngineMGL:
+		m.Checked = true
+		w.watch = mgl.NewWatcher()
+		m.Manager().SetWatcher(w.watch)
+	case EngineSTM:
+		w.rt = stm.New()
+		m.UseSTM(w.rt)
+	case EngineHybrid:
+		m.Checked = true
+		w.rt = stm.New()
+		w.policy = hybrid.NewPolicy(hybrid.Config{})
+		m.UseHybrid(w.rt, w.policy)
+		w.watch = mgl.NewWatcher()
+		m.Manager().SetWatcher(w.watch)
+	}
+	if err := m.Init(); err != nil {
+		return nil, fmt.Errorf("init: %w", err)
+	}
+	if setup != nil {
+		if _, err := m.Call(0, setup.Fn, setup.Args); err != nil {
+			return nil, fmt.Errorf("setup: %w", err)
+		}
+	}
+	w.m = m
+	return w, nil
+}
+
+// execute runs the request's threads against the world's live state and
+// returns the run outcome. It blocks until every thread finishes; request
+// timeouts are the caller's concern (the handler detaches, the execution
+// keeps its read lock until done).
+func (w *World) execute(specs []interp.ThreadSpec) (*execResult, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	start := time.Now()
+	res := &execResult{}
+	if w.Engine == EngineNative {
+		opts := codegen.RunOptions{Threads: make([]codegen.Spec, 0, len(specs))}
+		if w.setup != nil {
+			s, _ := nativeSpec(*w.setup)
+			opts.Setup = &s
+		}
+		for _, ts := range specs {
+			s, err := nativeSpec(ts)
+			if err != nil {
+				return nil, err
+			}
+			opts.Threads = append(opts.Threads, s)
+		}
+		run, err := codegen.Native(w.native, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.flags = run.Flags
+		res.state = run.State
+	} else {
+		res.flags = w.runThreads(specs)
+	}
+	res.elapsed = time.Since(start)
+	w.executes.Add(1)
+	return res, nil
+}
+
+// runThreads executes the specs concurrently on the live machine, one
+// goroutine per spec with a globally fresh thread id, and collects every
+// thread's error (soundness violations, deadlock aborts, runtime errors)
+// as flags — the same recovery discipline as interp.Machine.Run, minus its
+// request-local thread numbering.
+func (w *World) runThreads(specs []interp.ThreadSpec) []string {
+	var mu sync.Mutex
+	var flags []string
+	report := func(err error) {
+		mu.Lock()
+		flags = append(flags, err.Error())
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for _, spec := range specs {
+		spec := spec
+		tid := int(w.nextTID.Add(1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// A deadlock abort unwinds as a panic (the Watcher's
+			// *DeadlockError from AcquireAll, locks already released);
+			// report it as this thread's flag instead of crashing the
+			// daemon.
+			defer func() {
+				if r := recover(); r != nil {
+					err, ok := r.(error)
+					if !ok {
+						err = fmt.Errorf("thread %d panic: %v", tid, r)
+					}
+					report(err)
+				}
+			}()
+			if _, err := w.m.Call(tid, spec.Fn, spec.Args); err != nil {
+				report(err)
+			}
+		}()
+	}
+	wg.Wait()
+	return flags
+}
+
+// fingerprint quiesces the world (waits out every in-flight and detached
+// execution) and returns the canonical state dump.
+func (w *World) fingerprint() (string, error) {
+	if w.Engine == EngineNative {
+		return "", fmt.Errorf("native worlds hold no long-lived state; each execute returns its own fingerprint")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.m.StateDump(), nil
+}
+
+// watcherFlags drains the deadlock monitor's accumulated findings.
+func (w *World) watcherFlags() []string {
+	if w.watch == nil {
+		return nil
+	}
+	var out []string
+	for _, v := range w.watch.OrderViolations() {
+		out = append(out, v.String())
+	}
+	for _, c := range w.watch.LockOrderCycles() {
+		out = append(out, c.String())
+	}
+	for _, d := range w.watch.Deadlocks() {
+		d := d
+		out = append(out, d.Error())
+	}
+	return out
+}
+
+// nativeSpec converts a thread spec for the process boundary (integer args
+// only).
+func nativeSpec(ts interp.ThreadSpec) (codegen.Spec, error) {
+	s := codegen.Spec{Fn: ts.Fn}
+	for _, a := range ts.Args {
+		if a.Kind != interp.VInt {
+			return s, fmt.Errorf("non-integer arg %s for %s cannot cross the process boundary", a, ts.Fn)
+		}
+		s.Args = append(s.Args, a.Int)
+	}
+	return s, nil
+}
+
+// Mutant kinds accepted by ExecuteRequest.Mutate.
+const (
+	MutateDropLocks   = "drop-locks"
+	MutatePermutePlan = "permute-plan"
+)
+
+// runMutant executes the request's threads with an injected fault on an
+// ephemeral machine — fresh state, the full mgl oracle stack (§4.2
+// checker, happens-before race detector, Watcher) — so the conformance
+// guarantee can be probed across the network boundary without corrupting
+// the live world. The returned flags must be non-empty for an effective
+// mutant: an unflagged mutant is an oracle gap.
+func (w *World) runMutant(kind string, specs []interp.ThreadSpec) (*execResult, error) {
+	p := w.Program
+	tg := &oracle.Target{
+		Name:    p.ID + "/" + kind,
+		Prog:    p.C.Program,
+		Pts:     p.C.Points,
+		Plan:    p.Plan,
+		Setup:   w.setup,
+		Threads: specs,
+	}
+	switch kind {
+	case MutateDropLocks:
+		tg.Plan = transform.DropLock(p.Plan, "")
+	case MutatePermutePlan:
+		tg.PlanMutator = func(_ int64, steps []mgl.PlanStep) []mgl.PlanStep {
+			out := make([]mgl.PlanStep, len(steps))
+			for i, st := range steps {
+				out[len(steps)-1-i] = st
+			}
+			return out
+		}
+	default:
+		return nil, fmt.Errorf("unknown mutation %q (have %s, %s)", kind, MutateDropLocks, MutatePermutePlan)
+	}
+	start := time.Now()
+	rep, err := tg.RunOnce(true)
+	if err != nil {
+		return nil, err
+	}
+	res := &execResult{elapsed: time.Since(start)}
+	for _, r := range rep.Races {
+		res.flags = append(res.flags, r.String())
+	}
+	for _, v := range rep.OrderViolations {
+		res.flags = append(res.flags, v.String())
+	}
+	for _, c := range rep.LockOrderCycles {
+		res.flags = append(res.flags, c.String())
+	}
+	for _, d := range rep.Deadlocks {
+		d := d
+		res.flags = append(res.flags, d.Error())
+	}
+	if rep.RunErr != nil {
+		res.flags = append(res.flags, rep.RunErr.Error())
+	}
+	return res, nil
+}
