@@ -7,8 +7,8 @@
 
 GO ?= go
 
-.PHONY: check check-long build test test-long vet race race-long oracle-short \
-	conform conform-short audit audit-short cover cover-update bench \
+.PHONY: check check-long build test test-long vet vet-go race race-long \
+	oracle-short conform conform-short audit audit-short cover cover-update bench \
 	bench-paper bench-pipeline bench-pipeline-short bench-codegen \
 	bench-codegen-short bench-hybrid bench-hybrid-short bench-server \
 	bench-server-short soak soak-short fuzz
@@ -18,6 +18,24 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Lock-consistency vetting of the real-Go corpus: lockvet (the gofront
+# frontend + internal/vet diagnostics) runs over every buggy/clean pair
+# under testdata/goprogs and its output must match the committed goldens —
+# every seeded bug flagged, every clean variant silent. Regenerate the
+# goldens with `go test ./internal/vet -run Goldens -update`.
+vet-go:
+	@status=0; for f in testdata/goprogs/*.go; do \
+		base=$$(basename $$f .go); \
+		$(GO) run ./cmd/lockvet $$f > /tmp/lockvet.$$base.out 2>/dev/null; \
+		if ! cmp -s /tmp/lockvet.$$base.out testdata/goprogs/golden/$$base.txt; then \
+			echo "lockvet output differs from golden for $$f:"; \
+			diff testdata/goprogs/golden/$$base.txt /tmp/lockvet.$$base.out; \
+			status=1; \
+		fi; \
+	done; \
+	if [ $$status -eq 0 ]; then echo "vet-go: all corpus goldens match"; fi; \
+	exit $$status
 
 test:
 	$(GO) test ./...
@@ -67,11 +85,11 @@ audit-short:
 # baseline. After intentional changes run `make cover-update` and commit
 # coverage_baseline.txt.
 cover:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/ ./internal/gofront/ ./internal/vet/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt
 
 cover-update:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/ ./internal/gofront/ ./internal/vet/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt -update
 
 # Soak: sustained mixed-tenant open-loop traffic against an in-process
@@ -85,9 +103,9 @@ soak:
 soak-short:
 	$(GO) test -short -race -run TestSoak ./internal/server/
 
-check: build vet race oracle-short cover conform-short audit-short bench-pipeline-short bench-hybrid-short
+check: build vet vet-go race oracle-short cover conform-short audit-short bench-pipeline-short bench-hybrid-short
 
-check-long: build vet race-long oracle-short cover conform audit bench-pipeline soak
+check-long: build vet vet-go race-long oracle-short cover conform audit bench-pipeline soak
 
 # Wall-clock throughput of the sharded lock runtime vs the pre-sharding
 # baseline, gated against the committed BENCH_PR2.json (fails on >20%
@@ -153,9 +171,12 @@ bench-server-short:
 # fuzzing covers the exact syntax the conformance workloads exercise.
 # FuzzAudit asserts that for any accepted program, the inferred plan audits
 # clean; FuzzCodegen that the emitted Go source always parses and
-# type-checks.
+# type-checks; FuzzGoFront (seeded with the real-Go corpus) that the Go
+# frontend never panics and that everything it lowers compiles through the
+# full pipeline.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 30s ./internal/lang
 	$(GO) test -run '^$$' -fuzz FuzzBuildPlan -fuzztime 30s ./internal/mgl
 	$(GO) test -run '^$$' -fuzz FuzzAudit -fuzztime 30s ./internal/audit
 	$(GO) test -run '^$$' -fuzz FuzzCodegen -fuzztime 30s ./internal/codegen
+	$(GO) test -run '^$$' -fuzz FuzzGoFront -fuzztime 30s ./internal/gofront

@@ -1,0 +1,49 @@
+package audit
+
+// Exported entry points for external diagnostic tools (cmd/lockvet): the
+// footprint analyzer and the lock-order cycle detector, usable without
+// running a full Run() audit.
+
+import (
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/steens"
+)
+
+// Footprinter exposes the auditor's forward effect analysis: the set of
+// abstract cells each atomic section may touch, independent of the lock
+// inference. Construct once per program; Section queries are then cheap.
+type Footprinter struct {
+	z *analyzer
+}
+
+// NewFootprinter solves the interprocedural effect summaries for prog.
+// specs may be nil (externals then produce ⊤ accesses).
+func NewFootprinter(prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, specs map[string]steens.ExternSpec) *Footprinter {
+	return &Footprinter{z: newAnalyzer(prog, st, and, specs)}
+}
+
+// Section returns the deduplicated read/write footprint of sec. Each Access
+// carries the function name and statement index of one representative
+// occurrence, which callers can map back to source positions through the
+// IR's statement table.
+func (fp *Footprinter) Section(sec *ir.Section) []Access {
+	return fp.z.sectionFootprint(sec)
+}
+
+// FindCycles returns the non-trivial strongly connected components of a
+// lock-acquisition-order graph: edges[a][b] means some section acquires a
+// before b. Each component is sorted for determinism, and components are
+// returned in discovery order of Tarjan's algorithm over the sorted node
+// list. The input graph is not modified.
+func FindCycles(edges map[string]map[string]bool) [][]string {
+	cp := make(map[string]map[string]bool, len(edges))
+	for n, succ := range edges {
+		inner := make(map[string]bool, len(succ))
+		for s, v := range succ {
+			inner[s] = v
+		}
+		cp[n] = inner
+	}
+	return findCycles(cp)
+}

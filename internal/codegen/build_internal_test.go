@@ -1,0 +1,150 @@
+package codegen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cacheDirFor mirrors Build's key derivation so tests against the real
+// module cache can clean up their entries afterwards.
+func cacheDirFor(t *testing.T, src string) string {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mglFP, err := mglFingerprint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(runtime.Version() + "\x00" + mglFP + "\x00" + src))
+	return filepath.Join(root, cacheDirName, "b"+hex.EncodeToString(sum[:])[:20])
+}
+
+// TestPrune fills a cache past capacity with staggered modification times:
+// exactly the oldest entries must go, and non-cache entries (plain files,
+// differently named directories) must survive.
+func TestPrune(t *testing.T) {
+	cacheDir := t.TempDir()
+	base := time.Now().Add(-2 * time.Hour)
+	n := cacheCap + 5
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(cacheDir, "b"+strconv.Itoa(1000+i))
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		mt := base.Add(time.Duration(i) * time.Second)
+		if err := os.Chtimes(dir, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(cacheDir, "other"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, "bnotes"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	prune(cacheDir)
+
+	// prune removes enough of the oldest entries to bring the count
+	// strictly under capacity for the build about to land.
+	removed := n - cacheCap + 1
+	for i := 0; i < n; i++ {
+		_, err := os.Stat(filepath.Join(cacheDir, "b"+strconv.Itoa(1000+i)))
+		if i < removed && err == nil {
+			t.Errorf("old entry %d survived pruning", i)
+		}
+		if i >= removed && err != nil {
+			t.Errorf("young entry %d was pruned: %v", i, err)
+		}
+	}
+	for _, keep := range []string{"other", "bnotes"} {
+		if _, err := os.Stat(filepath.Join(cacheDir, keep)); err != nil {
+			t.Errorf("non-cache entry %s was pruned: %v", keep, err)
+		}
+	}
+}
+
+// TestPruneUnderCapacity: a missing or under-capacity cache is a no-op.
+func TestPruneUnderCapacity(t *testing.T) {
+	prune(filepath.Join(t.TempDir(), "missing"))
+	cacheDir := t.TempDir()
+	dir := filepath.Join(cacheDir, "bkeep")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	prune(cacheDir)
+	if _, err := os.Stat(dir); err != nil {
+		t.Errorf("under-capacity entry was pruned: %v", err)
+	}
+}
+
+// TestCompile drives the compile step against a scratch module: a valid
+// program produces a binary and counts as a compiler invocation, an invalid
+// one surfaces the go build diagnostics.
+func TestCompile(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module scratch\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(root, cacheDirName, "bgood")
+	bin := filepath.Join(dir, "prog")
+	before := Builds()
+	if err := compile(root, dir, bin, "package main\n\nfunc main() {}\n"); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := os.Stat(bin); err != nil {
+		t.Fatalf("no binary produced: %v", err)
+	}
+	if got := Builds(); got != before+1 {
+		t.Errorf("Builds() = %d, want %d", got, before+1)
+	}
+
+	dir = filepath.Join(root, cacheDirName, "bbad")
+	err := compile(root, dir, filepath.Join(dir, "prog"), "package main\n\nfunc main() { undefined() }\n")
+	if err == nil || !strings.Contains(err.Error(), "go build") {
+		t.Fatalf("compile of broken source: %v, want go build error", err)
+	}
+}
+
+// TestBuildBadSourceRetries: a failed build must not be pinned — the
+// in-flight marker is cleared so a later call re-attempts (and re-reports)
+// the compile instead of returning a stale success.
+func TestBuildBadSourceRetries(t *testing.T) {
+	src := "package main\n\nfunc main() { this is not Go }\n"
+	defer os.RemoveAll(cacheDirFor(t, src))
+	if _, err := Build(src); err == nil {
+		t.Fatal("Build of broken source succeeded")
+	}
+	if _, err := Build(src); err == nil {
+		t.Fatal("Build retry of broken source succeeded")
+	}
+}
+
+// TestBuildVanishedBinary: if a cached binary disappears after its build
+// completed in this process, Build reports it rather than handing back a
+// path that no longer resolves.
+func TestBuildVanishedBinary(t *testing.T) {
+	src := "package main\n\nfunc main() {}\n\n// codegen cache-eviction probe\n"
+	dir := cacheDirFor(t, src)
+	defer os.RemoveAll(dir)
+	bin, err := Build(src)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := os.Remove(bin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(src); err == nil || !strings.Contains(err.Error(), "vanished") {
+		t.Fatalf("Build after eviction: %v, want vanished-binary error", err)
+	}
+}

@@ -71,12 +71,25 @@ type Program struct {
 // Unsupported reports why a program is outside the backend's IR subset,
 // nil when it can be emitted. The only exclusion is external functions:
 // their host implementations live in the driving Go process and cannot be
-// carried into a standalone binary.
+// carried into a standalone binary. The error names the extern and, when
+// something in the program calls it, the first call site.
 func Unsupported(prog *ir.Program) error {
 	for _, f := range prog.Funcs {
-		if f.External {
-			return fmt.Errorf("codegen: external function %q has no native implementation", f.Name)
+		if !f.External {
+			continue
 		}
+		for _, caller := range prog.Funcs {
+			if caller.External {
+				continue
+			}
+			for _, s := range caller.Stmts {
+				if s.Op == ir.OpCall && s.Callee == f.Name {
+					return fmt.Errorf("codegen: external function %q has no native implementation (called from %s at line %d)",
+						f.Name, caller.Name, s.Pos.Line)
+				}
+			}
+		}
+		return fmt.Errorf("codegen: external function %q has no native implementation", f.Name)
 	}
 	return nil
 }

@@ -286,7 +286,8 @@ func TestBuildCache(t *testing.T) {
 }
 
 // TestUnsupportedExterns: programs with external functions are rejected
-// with a useful error instead of emitting an uncompilable binary.
+// with a useful error — naming both the extern and the call site — instead
+// of emitting an uncompilable binary.
 func TestUnsupportedExterns(t *testing.T) {
 	tg, err := oracle.FromSource("ext", `
 void log_it(int x);
@@ -301,5 +302,28 @@ void work() { atomic { g = g + 1; log_it(g); } }
 		t.Fatal("expected codegen.Emit to reject external function")
 	} else if !strings.Contains(err.Error(), "log_it") {
 		t.Errorf("error should name the extern: %v", err)
+	} else if !strings.Contains(err.Error(), "called from work at line 4") {
+		t.Errorf("error should name the call site: %v", err)
+	}
+}
+
+// TestUnsupportedExternUncalled: an extern nobody calls is still rejected,
+// without a call-site clause.
+func TestUnsupportedExternUncalled(t *testing.T) {
+	tg, err := oracle.FromSource("extdead", `
+void log_it(int x);
+int g;
+void work() { atomic { g = g + 1; } }
+`, 2, []interp.ThreadSpec{{Fn: "work"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := fromTarget(t, tg)
+	_, err = codegen.Emit(p)
+	if err == nil {
+		t.Fatal("expected codegen.Emit to reject external function")
+	}
+	if !strings.Contains(err.Error(), "log_it") || strings.Contains(err.Error(), "called from") {
+		t.Errorf("uncalled extern should be named without a call site: %v", err)
 	}
 }

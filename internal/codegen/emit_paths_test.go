@@ -1,0 +1,193 @@
+package codegen_test
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/codegen"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/oracle"
+)
+
+// finePathSrc has an array, a struct and a spare function, so tests can
+// assemble fine-grain lock descriptors over every path and index-expression
+// shape the emitter supports.
+const finePathSrc = `
+struct Node { int val; Node* next; }
+
+int* a;
+int g;
+Node* head;
+
+void init() {
+  a = new int[8];
+  g = 1;
+  head = new Node;
+}
+
+void worker(int i) {
+  atomic {
+    a[i] = a[i] + 1;
+    head->val = head->val + 1;
+  }
+}
+
+void other(int j) {
+  g = j;
+}
+`
+
+func finePathTarget(t *testing.T) *oracle.Target {
+	t.Helper()
+	tg, err := oracle.FromSource("finepaths", finePathSrc, 3,
+		[]interp.ThreadSpec{{Fn: "worker", Args: []interp.Value{interp.IntV(1)}}},
+		&interp.ThreadSpec{Fn: "init"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+// TestEmitFineIndexPaths hand-builds a plan whose fine locks walk every
+// path operation (deref, field, array element) and every index-expression
+// node (constant, local and global variable, each arithmetic operator, the
+// non-arithmetic bail-out, both unaries), and checks the emitted evaluators
+// still form a parseable program.
+func TestEmitFineIndexPaths(t *testing.T) {
+	tg := finePathTarget(t)
+	prog := tg.Prog
+	sec := prog.Sections[0]
+	fn := sec.Fn
+	aV, gV, hV := prog.Global("a"), prog.Global("g"), prog.Global("head")
+	if aV == nil || gV == nil || hV == nil {
+		t.Fatal("missing globals in the lowered program")
+	}
+	if len(fn.Params) == 0 {
+		t.Fatalf("section function %s has no params", fn.Name)
+	}
+	iV := fn.Params[0]
+	valField := prog.InternField("val")
+
+	deref := locks.PathOp{Kind: locks.OpDeref}
+	elem := func(e *locks.IExpr, eff locks.Eff) locks.Inferred {
+		return locks.FineLock(locks.Path{Base: aV, Ops: []locks.PathOp{deref, {Kind: locks.OpIndex, Index: e}}}, 0, eff)
+	}
+	set := locks.NewSet(
+		elem(locks.IConstExpr(3), locks.RW),
+		elem(locks.IVarExpr(iV), locks.RW),
+		elem(locks.IVarExpr(gV), locks.RO),
+		elem(locks.IBinExpr(lang.BAdd, locks.IVarExpr(iV), locks.IConstExpr(1)), locks.RW),
+		elem(locks.IBinExpr(lang.BSub, locks.IVarExpr(iV), locks.IConstExpr(1)), locks.RW),
+		elem(locks.IBinExpr(lang.BMul, locks.IVarExpr(iV), locks.IConstExpr(2)), locks.RW),
+		elem(locks.IBinExpr(lang.BDiv, locks.IVarExpr(iV), locks.IConstExpr(2)), locks.RW),
+		elem(locks.IBinExpr(lang.BMod, locks.IVarExpr(iV), locks.IConstExpr(4)), locks.RW),
+		elem(locks.IBinExpr(lang.BLt, locks.IVarExpr(iV), locks.IConstExpr(4)), locks.RW),
+		elem(locks.IUnExpr(lang.UNeg, locks.IConstExpr(1)), locks.RW),
+		elem(locks.IUnExpr(lang.UNot, locks.IVarExpr(iV)), locks.RW),
+		locks.FineLock(locks.Path{Base: hV, Ops: []locks.PathOp{deref, {Kind: locks.OpField, Field: valField}}}, 1, locks.RW),
+		locks.FineLock(locks.Path{Base: hV, Ops: []locks.PathOp{deref, {Kind: locks.OpField, Field: -1}}}, 1, locks.RO),
+	)
+
+	p := codegen.Program{
+		Name: "finepaths", Prog: prog, Pts: tg.Pts,
+		Variants: []codegen.Variant{{Name: codegen.VariantInferred, Plan: map[int]locks.Set{sec.ID: set}}},
+	}
+	src, err := codegen.Emit(p)
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "lockgen_main.go", src, parser.AllErrors); err != nil {
+		t.Fatalf("emitted source does not parse: %v\n--- emitted ---\n%s", err, src)
+	}
+	for _, want := range []string{
+		"pa_v0_s0_0",           // fine-path helpers were generated
+		"&(a[(i + 1)])/rw",     // lockComment renders index arithmetic
+		"&(head->val)/rw",      // ... and field paths
+		"return nil, 0, false", // bail-outs present (bad index, non-arith op)
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted source is missing %q", want)
+		}
+	}
+}
+
+// TestEmitForeignPathOwners: a descriptor rooted at (or indexing through) a
+// local of some other function can never be evaluated at this section's
+// entry; Emit must reject both shapes.
+func TestEmitForeignPathOwners(t *testing.T) {
+	tg := finePathTarget(t)
+	prog := tg.Prog
+	sec := prog.Sections[0]
+	other := prog.Func("other")
+	if other == nil || len(other.Params) == 0 {
+		t.Fatal("missing helper function in the lowered program")
+	}
+	foreign := other.Params[0]
+	aV := prog.Global("a")
+
+	emit := func(set locks.Set) error {
+		_, err := codegen.Emit(codegen.Program{
+			Name: "foreign", Prog: prog, Pts: tg.Pts,
+			Variants: []codegen.Variant{{Name: codegen.VariantInferred, Plan: map[int]locks.Set{sec.ID: set}}},
+		})
+		return err
+	}
+
+	err := emit(locks.NewSet(locks.FineLock(locks.VarPath(foreign), 0, locks.RW)))
+	if err == nil || !strings.Contains(err.Error(), "belongs to") {
+		t.Errorf("foreign path base: %v, want ownership error", err)
+	}
+	err = emit(locks.NewSet(locks.FineLock(locks.Path{
+		Base: aV,
+		Ops:  []locks.PathOp{{Kind: locks.OpDeref}, {Kind: locks.OpIndex, Index: locks.IVarExpr(foreign)}},
+	}, 0, locks.RW)))
+	if err == nil || !strings.Contains(err.Error(), "index var") {
+		t.Errorf("foreign index var: %v, want ownership error", err)
+	}
+}
+
+// TestEmitErrors covers the emitter's input validation: missing analyses,
+// out-of-order section ids, bad variant tables, and the default plan when
+// no variants are supplied.
+func TestEmitErrors(t *testing.T) {
+	tg := finePathTarget(t)
+
+	if _, err := codegen.Emit(codegen.Program{Name: "x", Prog: tg.Prog}); err == nil ||
+		!strings.Contains(err.Error(), "nil program or points-to") {
+		t.Errorf("nil points-to: %v, want validation error", err)
+	}
+
+	p, _ := fromTarget(t, tg)
+	old := p.Prog.Sections[0].ID
+	p.Prog.Sections[0].ID = old + 7
+	_, err := codegen.Emit(p)
+	p.Prog.Sections[0].ID = old
+	if err == nil || !strings.Contains(err.Error(), "non-sequential section id") {
+		t.Errorf("shuffled section ids: %v, want validation error", err)
+	}
+
+	p, _ = fromTarget(t, tg)
+	p.Variants = []codegen.Variant{{Name: "x"}, {Name: "x"}}
+	if _, err := codegen.Emit(p); err == nil || !strings.Contains(err.Error(), "duplicate or empty variant") {
+		t.Errorf("duplicate variant names: %v, want validation error", err)
+	}
+	p.Variants = []codegen.Variant{{Name: ""}}
+	if _, err := codegen.Emit(p); err == nil || !strings.Contains(err.Error(), "duplicate or empty variant") {
+		t.Errorf("empty variant name: %v, want validation error", err)
+	}
+
+	p, _ = fromTarget(t, tg)
+	p.Variants = nil
+	src, err := codegen.Emit(p)
+	if err != nil {
+		t.Fatalf("emit with default variants: %v", err)
+	}
+	if !strings.Contains(src, "(no locks)") {
+		t.Error("default variant should carry the empty plan")
+	}
+}

@@ -1,0 +1,54 @@
+package gofront
+
+// The minic emitter: line-oriented so every emitted line can carry the Go
+// source position that produced it. Function bodies are lowered into
+// sub-emitters and spliced into the main stream only when the whole
+// declaration lowered successfully, which is what makes per-declaration
+// rejection (and the extern-prototype fallback) clean.
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+type emitter struct {
+	lines  []string
+	posOf  []token.Pos
+	indent int
+}
+
+// emit appends one line at the current indent, tagged with pos (NoPos for
+// structural lines), and returns its 1-based line number.
+func (e *emitter) emit(pos token.Pos, s string) int {
+	e.lines = append(e.lines, strings.Repeat("  ", e.indent)+s)
+	e.posOf = append(e.posOf, pos)
+	return len(e.lines)
+}
+
+func (e *emitter) emitf(pos token.Pos, format string, args ...any) int {
+	return e.emit(pos, fmt.Sprintf(format, args...))
+}
+
+// splice appends all of sub's lines, re-indented under e's current indent,
+// and returns the line offset to add to sub-relative line numbers.
+func (e *emitter) splice(sub *emitter) int {
+	offset := len(e.lines)
+	prefix := strings.Repeat("  ", e.indent)
+	for i, ln := range sub.lines {
+		e.lines = append(e.lines, prefix+ln)
+		e.posOf = append(e.posOf, sub.posOf[i])
+	}
+	return offset
+}
+
+// source renders the emitted program and its 1-based line map.
+func (e *emitter) source() (string, map[int]token.Pos) {
+	m := make(map[int]token.Pos, len(e.posOf))
+	for i, p := range e.posOf {
+		if p.IsValid() {
+			m[i+1] = p
+		}
+	}
+	return strings.Join(e.lines, "\n") + "\n", m
+}

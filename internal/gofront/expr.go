@@ -1,0 +1,523 @@
+package gofront
+
+// Expression lowering into minic text. Calls and composite literals are
+// hoisted into fresh temporaries (minic keeps calls at statement level and
+// has no literal aggregates), so every returned text is a side-effect-free
+// minic expression. Shared-slot reads and writes are recorded into the
+// sidecar as they lower.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var binOps = map[token.Token]string{
+	token.ADD: "+", token.SUB: "-", token.MUL: "*", token.QUO: "/", token.REM: "%",
+	token.EQL: "==", token.NEQ: "!=", token.LSS: "<", token.LEQ: "<=",
+	token.GTR: ">", token.GEQ: ">=", token.LAND: "&&", token.LOR: "||",
+}
+
+// isIdentText reports whether s is a bare identifier (no wrapping needed
+// before -> or [ postfix operators).
+func isIdentText(s string) bool {
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func postfixBase(s string) string {
+	if isIdentText(s) {
+		return s
+	}
+	return "(" + s + ")"
+}
+
+func (f *fnLowerer) rvalue(e ast.Expr) (string, error) {
+	if txt, ok := f.l.constText(e); ok {
+		return txt, nil
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return f.rvalue(x.X)
+	case *ast.Ident:
+		return f.identText(x, false)
+	case *ast.SelectorExpr:
+		return f.selectorText(x, false)
+	case *ast.StarExpr:
+		if t := f.l.info.Types[x].Type; t != nil {
+			if _, isStruct := f.l.structValue(t); isStruct {
+				// *p where p points to a struct: the pointer itself is our
+				// representation of the value (only legal as a select base).
+				return f.rvalue(x.X)
+			}
+		}
+		inner, err := f.rvalue(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "*(" + inner + ")", nil
+	case *ast.UnaryExpr:
+		return f.unaryText(x)
+	case *ast.BinaryExpr:
+		op, ok := binOps[x.Op]
+		if !ok {
+			return "", errAt(x.OpPos, "operator %s is outside the subset", x.Op)
+		}
+		lt, err := f.rvalue(x.X)
+		if err != nil {
+			return "", err
+		}
+		rt, err := f.rvalue(x.Y)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %s %s)", lt, op, rt), nil
+	case *ast.CallExpr:
+		return f.callRvalue(x)
+	case *ast.CompositeLit:
+		return f.compositeText(x)
+	case *ast.IndexExpr:
+		base, err := f.rvalue(x.X)
+		if err != nil {
+			return "", err
+		}
+		idx, err := f.rvalue(x.Index)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s[%s]", postfixBase(base), idx), nil
+	case *ast.FuncLit:
+		return "", errAt(x.Pos(), "function literals are only supported directly under a go statement")
+	case *ast.TypeAssertExpr:
+		return "", errAt(x.Pos(), "type assertions (interfaces) are outside the subset")
+	case *ast.SliceExpr:
+		return "", errAt(x.Pos(), "slicing is outside the subset")
+	}
+	return "", errAt(e.Pos(), "expression form %T is outside the subset", e)
+}
+
+func (f *fnLowerer) unaryText(x *ast.UnaryExpr) (string, error) {
+	switch x.Op {
+	case token.NOT:
+		inner, err := f.rvalue(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "!(" + inner + ")", nil
+	case token.SUB:
+		inner, err := f.rvalue(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "-(" + inner + ")", nil
+	case token.AND:
+		switch target := ast.Unparen(x.X).(type) {
+		case *ast.Ident:
+			obj := f.l.info.Uses[target]
+			if g := f.l.globalOf[obj]; g != nil {
+				if g.kind != gSlot {
+					return "", errAt(x.Pos(), "cannot take the address of a sync object")
+				}
+				if g.pointerized {
+					return g.minicName, nil // the pointer IS the value's address
+				}
+				return "&" + g.minicName, nil
+			}
+			if obj != nil {
+				if f.pointerized[obj] {
+					return f.rename[obj], nil
+				}
+				if n, ok := f.rename[obj]; ok {
+					return "&" + n, nil
+				}
+			}
+			return "", errAt(x.Pos(), "cannot take the address of %s", target.Name)
+		case *ast.CompositeLit:
+			return f.compositeText(target)
+		}
+		return "", errAt(x.Pos(), "& is only supported on variables and composite literals")
+	}
+	return "", errAt(x.Pos(), "operator %s is outside the subset", x.Op)
+}
+
+func (f *fnLowerer) identText(id *ast.Ident, write bool) (string, error) {
+	obj := f.l.info.Uses[id]
+	switch o := obj.(type) {
+	case *types.Nil:
+		return "null", nil
+	case *types.Var:
+		if g := f.l.globalOf[obj]; g != nil {
+			switch g.kind {
+			case gSlot:
+				f.record(obj.Name(), write, id.Pos())
+				return g.minicName, nil
+			case gRejected:
+				return "", errAt(id.Pos(), "uses rejected package variable %s", id.Name)
+			default:
+				return "", errAt(id.Pos(), "sync object %s cannot be used as a value", id.Name)
+			}
+		}
+		if f.wgLocals[obj] {
+			return "", errAt(id.Pos(), "WaitGroup %s cannot be used as a value", id.Name)
+		}
+		if n, ok := f.rename[obj]; ok {
+			return n, nil
+		}
+		return "", errAt(id.Pos(), "identifier %s did not lower (captured or out-of-subset binding)", id.Name)
+	case *types.Func:
+		return "", errAt(id.Pos(), "function values are outside the subset")
+	case *types.Const:
+		return "", errAt(id.Pos(), "constant %s is not an integer constant", id.Name)
+	case *types.Builtin, *types.TypeName, *types.PkgName:
+		return "", errAt(id.Pos(), "%s cannot be used as a value", id.Name)
+	case nil:
+		return "", errAt(id.Pos(), "identifier %s did not resolve", id.Name)
+	default:
+		_ = o
+		return "", errAt(id.Pos(), "identifier %s is outside the subset", id.Name)
+	}
+}
+
+func (f *fnLowerer) selectorText(x *ast.SelectorExpr, write bool) (string, error) {
+	selection := f.l.info.Selections[x]
+	if selection == nil {
+		return "", errAt(x.Pos(), "qualified identifier %s is outside the subset", x.Sel.Name)
+	}
+	if selection.Kind() != types.FieldVal {
+		return "", errAt(x.Pos(), "method values are outside the subset")
+	}
+	if len(selection.Index()) > 1 {
+		return "", errAt(x.Pos(), "promoted fields are outside the subset")
+	}
+	sName, _, ok := goStructName(selection.Recv())
+	if !ok {
+		return "", errAt(x.Pos(), "field select on a non-struct value")
+	}
+	vobj, _ := selection.Obj().(*types.Var)
+	if vobj == nil {
+		return "", errAt(x.Pos(), "field did not resolve")
+	}
+	if isMutexType(vobj.Type()) || isWaitGroupType(vobj.Type()) {
+		return "", errAt(x.Pos(), "sync field %s cannot be used as a value", vobj.Name())
+	}
+	var srec *structRec
+	for _, sr := range f.l.structs {
+		if sr.obj.Name() == sName {
+			srec = sr
+			break
+		}
+	}
+	if srec == nil || !srec.ok {
+		return "", errAt(x.Pos(), "field select on rejected or foreign struct %s", sName)
+	}
+	fr := srec.fieldByGo(vobj.Name())
+	if fr == nil {
+		return "", errAt(x.Pos(), "field %s.%s did not lower", sName, vobj.Name())
+	}
+	base, err := f.rvalue(x.X)
+	if err != nil {
+		return "", err
+	}
+	f.record(sName+"."+vobj.Name(), write, x.Sel.Pos())
+	return postfixBase(base) + "->" + fr.minicName, nil
+}
+
+// slotOf resolves e to a sidecar slot identity when it denotes one directly.
+func (f *fnLowerer) slotOf(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := f.l.info.Uses[x]
+		if g := f.l.globalOf[obj]; g != nil && g.kind == gSlot {
+			return obj.Name()
+		}
+	case *ast.SelectorExpr:
+		selection := f.l.info.Selections[x]
+		if selection != nil && selection.Kind() == types.FieldVal {
+			if sName, _, ok := goStructName(selection.Recv()); ok {
+				return sName + "." + x.Sel.Name
+			}
+		}
+	case *ast.IndexExpr:
+		return f.slotOf(x.X)
+	}
+	return ""
+}
+
+func (f *fnLowerer) lvalue(e ast.Expr) (string, error) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return f.lvalue(x.X)
+	case *ast.Ident:
+		return f.identText(x, true)
+	case *ast.SelectorExpr:
+		return f.selectorText(x, true)
+	case *ast.StarExpr:
+		if t := f.l.info.Types[x].Type; t != nil {
+			if _, isStruct := f.l.structValue(t); isStruct {
+				return "", errAt(x.Pos(), "struct-value assignment is outside the subset")
+			}
+		}
+		inner, err := f.rvalue(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "*(" + inner + ")", nil
+	case *ast.IndexExpr:
+		base, err := f.rvalue(x.X)
+		if err != nil {
+			return "", err
+		}
+		if slot := f.slotOf(x.X); slot != "" {
+			// Element writes count as writes to the owning slot.
+			f.record(slot, true, x.Pos())
+		}
+		idx, err := f.rvalue(x.Index)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s[%s]", postfixBase(base), idx), nil
+	}
+	return "", errAt(e.Pos(), "assignment target form %T is outside the subset", e)
+}
+
+// compositeText lowers a composite literal by allocating and filling a fresh
+// object, returning the temp holding the pointer (structs) or the array
+// base. Writes into the fresh object are thread-local and not recorded.
+func (f *fnLowerer) compositeText(cl *ast.CompositeLit) (string, error) {
+	t := f.l.info.Types[cl].Type
+	if t == nil {
+		return "", errAt(cl.Pos(), "composite literal type did not resolve")
+	}
+	if srec, isStruct := f.l.structValue(t); isStruct {
+		if srec == nil || !srec.ok {
+			return "", errAt(cl.Pos(), "composite literal of a rejected or foreign struct type")
+		}
+		tmp := f.tmp()
+		f.e.emitf(cl.Pos(), "%s* %s = new %s;", srec.minicName, tmp, srec.minicName)
+		for i, elt := range cl.Elts {
+			goField, val, err := f.compositeField(srec, i, elt)
+			if err != nil {
+				return "", err
+			}
+			fr := srec.fieldByGo(goField)
+			rv, err := f.rvalue(val)
+			if err != nil {
+				return "", err
+			}
+			f.e.emitf(val.Pos(), "%s->%s = %s;", tmp, fr.minicName, rv)
+		}
+		return tmp, nil
+	}
+	if sl, ok := types.Unalias(t).(*types.Slice); ok {
+		elemMt, err := f.l.mtypeOf(sl.Elem())
+		if err != nil {
+			return "", errAt(cl.Pos(), "slice literal: %v", err)
+		}
+		for _, elt := range cl.Elts {
+			if _, isKV := elt.(*ast.KeyValueExpr); isKV {
+				return "", errAt(elt.Pos(), "keyed slice literals are outside the subset")
+			}
+		}
+		tmp := f.tmp()
+		f.e.emitf(cl.Pos(), "%s* %s = new %s[%d];", elemMt, tmp, elemMt, len(cl.Elts))
+		for i, elt := range cl.Elts {
+			rv, err := f.rvalue(elt)
+			if err != nil {
+				return "", err
+			}
+			f.e.emitf(elt.Pos(), "%s[%d] = %s;", tmp, i, rv)
+		}
+		return tmp, nil
+	}
+	return "", errAt(cl.Pos(), "composite literal type is outside the subset")
+}
+
+// compositeField resolves element i of a struct composite literal to the
+// Go field name and value expression.
+func (f *fnLowerer) compositeField(srec *structRec, i int, elt ast.Expr) (string, ast.Expr, error) {
+	if kv, ok := elt.(*ast.KeyValueExpr); ok {
+		key, isIdent := kv.Key.(*ast.Ident)
+		if !isIdent {
+			return "", nil, errAt(kv.Pos(), "non-identifier composite keys are outside the subset")
+		}
+		if srec.mutexes[key.Name] || srec.wgFields[key.Name] {
+			return "", nil, errAt(kv.Pos(), "sync fields cannot be initialized in a composite literal")
+		}
+		if srec.fieldByGo(key.Name) == nil {
+			return "", nil, errAt(kv.Pos(), "unknown field %s in composite literal", key.Name)
+		}
+		return key.Name, kv.Value, nil
+	}
+	if len(srec.mutexes) > 0 || len(srec.wgFields) > 0 || i >= len(srec.fields) {
+		return "", nil, errAt(elt.Pos(), "positional composite literals are only supported for structs without sync fields")
+	}
+	return srec.fields[i].goName, elt, nil
+}
+
+// callRvalue lowers a call in expression position: conversions are no-ops,
+// make/new allocate, and real calls hoist into a temp.
+func (f *fnLowerer) callRvalue(call *ast.CallExpr) (string, error) {
+	if tv, ok := f.l.info.Types[call.Fun]; ok && tv.IsType() {
+		mt, err := f.l.mtypeOf(tv.Type)
+		if err != nil {
+			return "", errAt(call.Pos(), "conversion: %v", err)
+		}
+		_ = mt // all subset conversions are representation no-ops
+		return f.rvalue(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := f.l.info.Uses[id].(*types.Builtin); isBuiltin {
+			return f.builtinRvalue(b.Name(), call)
+		}
+	}
+	text, isVoid, retMt, err := f.callExprRet(call, false)
+	if err != nil {
+		return "", err
+	}
+	if isVoid {
+		return "", errAt(call.Pos(), "void call used as a value")
+	}
+	tmp := f.tmp()
+	f.e.emitf(call.Pos(), "%s %s = %s;", retMt, tmp, text)
+	return tmp, nil
+}
+
+func (f *fnLowerer) builtinRvalue(name string, call *ast.CallExpr) (string, error) {
+	switch name {
+	case "make":
+		t := f.l.info.Types[call].Type
+		sl, ok := types.Unalias(t).(*types.Slice)
+		if !ok {
+			return "", errAt(call.Pos(), "make is only supported for slices")
+		}
+		elemMt, err := f.l.mtypeOf(sl.Elem())
+		if err != nil {
+			return "", errAt(call.Pos(), "make: %v", err)
+		}
+		if len(call.Args) < 2 {
+			return "", errAt(call.Pos(), "make needs an explicit length")
+		}
+		n, err := f.rvalue(call.Args[1])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("new %s[%s]", elemMt, n), nil
+	case "new":
+		t := f.l.info.Types[call.Args[0]].Type
+		if srec, isStruct := f.l.structValue(t); isStruct && srec != nil && srec.ok {
+			return "new " + srec.minicName, nil
+		}
+		mt, err := f.l.mtypeOf(t)
+		if err != nil {
+			return "", errAt(call.Pos(), "new: %v", err)
+		}
+		return "new " + mt.String(), nil
+	case "len", "cap":
+		return "", errAt(call.Pos(), "%s is outside the subset (track lengths in explicit variables)", name)
+	}
+	return "", errAt(call.Pos(), "builtin %s is outside the subset", name)
+}
+
+// callExpr lowers a call to a package function or method, recording the
+// call edge. Used both for statements and (via callRvalue) expressions.
+func (f *fnLowerer) callExpr(call *ast.CallExpr, spawn bool) (string, bool, error) {
+	text, isVoid, _, err := f.callExprRet(call, spawn)
+	return text, isVoid, err
+}
+
+func (f *fnLowerer) callExprRet(call *ast.CallExpr, spawn bool) (string, bool, mtype, error) {
+	var rec *funcRec
+	recvText := ""
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj := f.l.info.Uses[fun]
+		fobj, isFunc := obj.(*types.Func)
+		if !isFunc {
+			return "", false, mtype{}, errAt(call.Pos(), "call target %s is outside the subset", fun.Name)
+		}
+		rec = f.l.funcOf[fobj]
+		if rec == nil {
+			return "", false, mtype{}, errAt(call.Pos(), "call to %s is outside the subset", fun.Name)
+		}
+	case *ast.SelectorExpr:
+		selection := f.l.info.Selections[fun]
+		if selection == nil || selection.Kind() != types.MethodVal {
+			return "", false, mtype{}, errAt(call.Pos(), "call form is outside the subset")
+		}
+		rec = f.l.funcOf[selection.Obj()]
+		if rec == nil {
+			return "", false, mtype{}, errAt(call.Pos(), "method %s is outside the subset", fun.Sel.Name)
+		}
+		rt, err := f.rvalue(fun.X)
+		if err != nil {
+			return "", false, mtype{}, err
+		}
+		recvText = rt
+	default:
+		return "", false, mtype{}, errAt(call.Pos(), "call form %T is outside the subset", call.Fun)
+	}
+	if rec.state == fnAbsent {
+		return "", false, mtype{}, errAt(call.Pos(), "calls rejected function %s (%s)", rec.goName, rec.rejectMsg)
+	}
+	var args []string
+	if rec.hasRecv {
+		if recvText == "" {
+			return "", false, mtype{}, errAt(call.Pos(), "method called without a receiver")
+		}
+		args = append(args, recvText)
+	}
+	rest, err := f.callArgsAfterRecv(rec, call.Args)
+	if err != nil {
+		return "", false, mtype{}, err
+	}
+	args = append(args, rest...)
+	f.recordCall(rec.minicName, spawn, call.Pos())
+	ret := mtype{base: "void"}
+	if rec.ret != nil {
+		ret = *rec.ret
+	}
+	return fmt.Sprintf("%s(%s)", rec.minicName, strings.Join(args, ", ")), rec.ret == nil, ret, nil
+}
+
+// callArgs lowers a full argument list against rec's parameters (no
+// receiver), skipping dropped WaitGroup parameters.
+func (f *fnLowerer) callArgs(rec *funcRec, args []ast.Expr) ([]string, error) {
+	return f.callArgsAfterRecv(rec, args)
+}
+
+func (f *fnLowerer) callArgsAfterRecv(rec *funcRec, args []ast.Expr) ([]string, error) {
+	params := rec.params
+	if rec.hasRecv {
+		params = params[1:]
+	}
+	if len(args) != len(params) {
+		return nil, errAt(argPos(args), "argument count mismatch calling %s", rec.goName)
+	}
+	var out []string
+	for i, arg := range args {
+		if params[i].wg {
+			continue // WaitGroup plumbing is dropped; spawns are tracked directly
+		}
+		rv, err := f.rvalue(arg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rv)
+	}
+	return out, nil
+}
+
+func argPos(args []ast.Expr) token.Pos {
+	if len(args) > 0 {
+		return args[0].Pos()
+	}
+	return token.NoPos
+}

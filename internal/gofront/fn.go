@@ -1,0 +1,1020 @@
+package gofront
+
+// Function-body lowering: Go statements and expressions into minic text,
+// with lock-span recovery (mu.Lock()…mu.Unlock() becomes an atomic block
+// whose declared guard is recorded in the sidecar), //lockinfer:atomic
+// directive sections, goroutine-literal lifting, and WaitGroup dropping.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+type mutexOp struct {
+	guard  string
+	method string // Lock, Unlock, RLock, RUnlock
+	pos    token.Pos
+}
+
+func (op *mutexOp) isLock() bool { return op.method == "Lock" || op.method == "RLock" }
+func (op *mutexOp) ro() bool     { return op.method == "RLock" || op.method == "RUnlock" }
+func (op *mutexOp) unlockMethod() string {
+	if op.method == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+type fnLowerer struct {
+	l    *lowerer
+	rec  *funcRec
+	e    *emitter
+	meta *fnMeta
+	out  *declOut
+
+	body          *ast.BlockStmt
+	declPos       token.Pos
+	funcDirective bool
+
+	used        map[string]bool
+	rename      map[types.Object]string
+	pointerized map[types.Object]bool
+	hoisted     map[types.Object]bool // span locals pre-declared outside atomic
+	wgLocals    map[types.Object]bool // shared with lifted goroutine literals
+
+	held []string
+	secs []int
+
+	tmpN *int
+	goN  *int
+}
+
+func newFnLowerer(l *lowerer, rec *funcRec, out *declOut, wgShared map[types.Object]bool, tmpN, goN *int) *fnLowerer {
+	if wgShared == nil {
+		wgShared = map[types.Object]bool{}
+	}
+	return &fnLowerer{
+		l: l, rec: rec, e: &emitter{}, meta: &fnMeta{}, out: out,
+		used:        map[string]bool{},
+		rename:      map[types.Object]string{},
+		pointerized: map[types.Object]bool{},
+		hoisted:     map[types.Object]bool{},
+		wgLocals:    wgShared,
+		tmpN:        tmpN, goN: goN,
+	}
+}
+
+func (f *fnLowerer) tmp() string {
+	*f.tmpN++
+	return fmt.Sprintf("%s%d", f.l.tmpPre, *f.tmpN)
+}
+
+func (f *fnLowerer) localFor(obj types.Object, goName string) string {
+	if obj != nil {
+		if n, ok := f.rename[obj]; ok {
+			return n
+		}
+	}
+	base := sanitize(goName)
+	if minicKeywords[base] {
+		base += "_"
+	}
+	cand := base
+	for i := 1; f.used[cand] || f.l.topNames[cand]; i++ {
+		cand = fmt.Sprintf("%s_%d", base, i)
+	}
+	f.used[cand] = true
+	if obj != nil {
+		f.rename[obj] = cand
+	}
+	return cand
+}
+
+func (f *fnLowerer) record(slot string, write bool, pos token.Pos) {
+	sec := -1
+	if len(f.secs) > 0 {
+		sec = f.secs[len(f.secs)-1]
+	}
+	f.meta.accesses = append(f.meta.accesses, Access{
+		Slot: slot, Write: write, Fn: f.rec.minicName,
+		Held: append([]string{}, f.held...), Section: sec, Pos: pos,
+	})
+}
+
+func (f *fnLowerer) recordCall(callee string, spawn bool, pos token.Pos) {
+	f.meta.calls = append(f.meta.calls, Call{
+		Caller: f.rec.minicName, Callee: callee,
+		Held: append([]string{}, f.held...), Go: spawn, Pos: pos,
+	})
+}
+
+func docHasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == DirectiveAtomic {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *fnLowerer) lowerBody() error {
+	ret := "void"
+	if f.rec.ret != nil {
+		ret = f.rec.ret.String()
+	}
+	var parts []string
+	for _, pr := range f.rec.params {
+		if pr.wg {
+			if pr.obj != nil {
+				f.wgLocals[pr.obj] = true
+			}
+			continue
+		}
+		nm := f.localFor(pr.obj, pr.name)
+		parts = append(parts, pr.mt.String()+" "+nm)
+	}
+	f.e.emitf(f.declPos, "%s %s(%s) {", ret, f.rec.minicName, strings.Join(parts, ", "))
+	f.e.indent++
+	var err error
+	if f.funcDirective {
+		err = f.lowerSpanToEnd("", false, f.body.List, f.declPos)
+	} else {
+		err = f.blockStmts(f.body.List, true)
+	}
+	if err != nil {
+		return err
+	}
+	f.e.indent--
+	f.e.emit(token.NoPos, "}")
+	f.meta.info = &FuncInfo{MinicName: f.rec.minicName, GoName: f.rec.goName, Pos: f.declPos}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Sections
+
+func (f *fnLowerer) openSection(guard string, ro bool, pos token.Pos) {
+	sec := &SectionInfo{
+		Fn: f.rec.minicName, GoFunc: f.rec.goName,
+		Guard: guard, RO: ro,
+		Held: append([]string{}, f.held...), Pos: pos,
+	}
+	sec.MinicLine = f.e.emit(pos, "atomic {")
+	f.e.indent++
+	f.meta.sections = append(f.meta.sections, sec)
+	f.secs = append(f.secs, len(f.meta.sections)-1)
+	g := guard
+	if g == "" {
+		g = AtomicGuard
+	}
+	f.held = append(f.held, g)
+}
+
+func (f *fnLowerer) closeSection() {
+	f.e.indent--
+	f.e.emit(token.NoPos, "}")
+	f.held = f.held[:len(f.held)-1]
+	f.secs = f.secs[:len(f.secs)-1]
+}
+
+// lowerSpanToEnd lowers stmts as one atomic section reaching the end of the
+// function: the Lock-then-defer-Unlock idiom, and whole-function directive
+// sections. A trailing `return expr` is split out of the section through a
+// temporary (minic forbids return inside atomic).
+func (f *fnLowerer) lowerSpanToEnd(guard string, ro bool, stmts []ast.Stmt, pos token.Pos) error {
+	var tail *ast.ReturnStmt
+	body := stmts
+	if len(stmts) > 0 {
+		if r, ok := stmts[len(stmts)-1].(*ast.ReturnStmt); ok {
+			tail = r
+			body = stmts[:len(stmts)-1]
+		}
+	}
+	var retTmp string
+	if tail != nil && len(tail.Results) > 1 {
+		return errAt(tail.Pos(), "multiple results are outside the subset")
+	}
+	if tail != nil && len(tail.Results) == 1 {
+		if f.rec.ret == nil {
+			return errAt(tail.Pos(), "return value in a void function")
+		}
+		retTmp = f.tmp()
+		f.e.emitf(tail.Pos(), "%s %s;", f.rec.ret, retTmp)
+	}
+	f.openSection(guard, ro, pos)
+	if err := f.blockStmts(body, false); err != nil {
+		return err
+	}
+	if retTmp != "" {
+		rv, err := f.rvalue(tail.Results[0])
+		if err != nil {
+			return err
+		}
+		f.e.emitf(tail.Pos(), "%s = %s;", retTmp, rv)
+	}
+	f.closeSection()
+	if tail != nil {
+		if retTmp != "" {
+			f.e.emitf(tail.Pos(), "return %s;", retTmp)
+		} else {
+			f.e.emit(tail.Pos(), "return;")
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / WaitGroup call classification
+
+// syncMethod returns the (method, receiver-selector) when call is a method
+// call on a synthesized sync type of the given name.
+func (f *fnLowerer) syncMethod(call *ast.CallExpr, typeName ...string) (string, *ast.SelectorExpr, *types.Selection) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, nil
+	}
+	selection := f.l.info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", nil, nil
+	}
+	obj := selection.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", nil, nil
+	}
+	// Classify by the method's own receiver (selection.Recv() would be the
+	// outer struct for promoted embedded-mutex calls like s.Lock()).
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", nil, nil
+	}
+	for _, tn := range typeName {
+		if isSyncType(sig.Recv().Type(), tn) {
+			return obj.Name(), sel, selection
+		}
+	}
+	return "", nil, nil
+}
+
+// mutexCall classifies call as a mutex operation. ok=false when it is not a
+// mutex method call; err when it is one the subset cannot handle.
+func (f *fnLowerer) mutexCall(call *ast.CallExpr) (*mutexOp, bool, error) {
+	method, sel, selection := f.syncMethod(call, "Mutex", "RWMutex")
+	if method == "" {
+		return nil, false, nil
+	}
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	case "TryLock", "TryRLock":
+		return nil, true, errAt(call.Pos(), "%s is outside the subset (conditional acquisition has no atomic-section equivalent)", method)
+	default:
+		return nil, true, errAt(call.Pos(), "sync method %s is outside the subset", method)
+	}
+	guard, err := f.mutexGuard(sel, selection)
+	if err != nil {
+		return nil, true, err
+	}
+	return &mutexOp{guard: guard, method: method, pos: call.Pos()}, true, nil
+}
+
+// goStructName resolves t (possibly behind pointers) to the Go name of a
+// named struct type.
+func goStructName(t types.Type) (string, *types.Struct, bool) {
+	for {
+		p, ok := types.Unalias(t).(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", nil, false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", nil, false
+	}
+	return named.Obj().Name(), st, true
+}
+
+// mutexGuard resolves the declared-guard identity of a mutex method call:
+// "mu" for a package-level mutex, "S.mu" for a struct field (instance
+// insensitive), "S.Mutex" for a promoted embedded mutex.
+func (f *fnLowerer) mutexGuard(sel *ast.SelectorExpr, selection *types.Selection) (string, error) {
+	idx := selection.Index()
+	if len(idx) >= 2 {
+		// Promoted through an embedded mutex: s.Lock().
+		sName, st, ok := goStructName(selection.Recv())
+		if !ok || idx[0] >= st.NumFields() {
+			return "", errAt(sel.Pos(), "cannot resolve the embedded mutex behind this call")
+		}
+		return sName + "." + st.Field(idx[0]).Name(), nil
+	}
+	return f.mutexExprGuard(sel.X)
+}
+
+func (f *fnLowerer) mutexExprGuard(e ast.Expr) (string, error) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return f.mutexExprGuard(x.X)
+	case *ast.Ident:
+		obj := f.l.info.Uses[x]
+		if g := f.l.globalOf[obj]; g != nil && g.kind == gMutex {
+			return obj.Name(), nil
+		}
+		return "", errAt(x.Pos(), "mutex %s is not a package-level mutex or struct field (local mutexes are outside the subset)", x.Name)
+	case *ast.SelectorExpr:
+		selection := f.l.info.Selections[x]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return "", errAt(x.Pos(), "cannot resolve this mutex to a declared guard")
+		}
+		sName, _, ok := goStructName(selection.Recv())
+		if !ok {
+			return "", errAt(x.Pos(), "mutex field receiver is not a named struct")
+		}
+		return sName + "." + x.Sel.Name, nil
+	}
+	return "", errAt(e.Pos(), "cannot resolve this mutex expression to a declared guard")
+}
+
+// wgCall reports the method name when call is a WaitGroup method call.
+func (f *fnLowerer) wgCall(call *ast.CallExpr) (string, bool) {
+	method, _, _ := f.syncMethod(call, "WaitGroup")
+	return method, method != ""
+}
+
+// ---------------------------------------------------------------------------
+// Block scanning: directives and lock-span recovery
+
+func (f *fnLowerer) isDeferUnlock(s ast.Stmt, op *mutexOp) bool {
+	ds, ok := s.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	mo, isMutex, err := f.mutexCall(ds.Call)
+	return err == nil && isMutex && mo.guard == op.guard && mo.method == op.unlockMethod()
+}
+
+func (f *fnLowerer) findUnlock(stmts []ast.Stmt, from int, op *mutexOp) (int, error) {
+	want := op.unlockMethod()
+	for j := from; j < len(stmts); j++ {
+		es, ok := stmts[j].(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		mo, isMutex, err := f.mutexCall(call)
+		if err != nil || !isMutex || mo.guard != op.guard {
+			continue
+		}
+		if mo.method == want {
+			return j, nil
+		}
+		if mo.method == op.method {
+			return 0, errAt(mo.pos, "mutex %s locked again before being unlocked", op.guard)
+		}
+		if !mo.isLock() {
+			return 0, errAt(mo.pos, "%s() does not match the span opened by %s()", mo.method, op.method)
+		}
+	}
+	return 0, errAt(op.pos, "%s.%s() has no matching %s() in the same block (conditional or cross-block unlocks are outside the subset)", op.guard, op.method, want)
+}
+
+func (f *fnLowerer) blockStmts(stmts []ast.Stmt, funcTop bool) error {
+	i := 0
+	for i < len(stmts) {
+		s := stmts[i]
+		if f.l.hasDirective(s.Pos()) {
+			if err := f.lowerDirectiveStmt(s); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				op, isMutex, err := f.mutexCall(call)
+				if err != nil {
+					return err
+				}
+				if isMutex {
+					if !op.isLock() {
+						return errAt(op.pos, "%s.%s() without a preceding %s() in this block", op.guard, op.method, "Lock")
+					}
+					if i+1 < len(stmts) && f.isDeferUnlock(stmts[i+1], op) {
+						if !funcTop {
+							return errAt(op.pos, "the Lock/defer Unlock idiom is only supported at function top level")
+						}
+						return f.lowerSpanToEnd(op.guard, op.ro(), stmts[i+2:], op.pos)
+					}
+					j, err := f.findUnlock(stmts, i+1, op)
+					if err != nil {
+						return err
+					}
+					// In Go the span shares the enclosing block's scope, but
+					// the lowered atomic block opens a new one: pre-declare
+					// span locals outside it so later statements can see them.
+					if err := f.hoistSpanDecls(stmts[i+1 : j]); err != nil {
+						return err
+					}
+					f.openSection(op.guard, op.ro(), op.pos)
+					if err := f.blockStmts(stmts[i+1:j], false); err != nil {
+						return err
+					}
+					f.closeSection()
+					i = j + 1
+					continue
+				}
+			}
+		}
+		if err := f.stmt(s); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+// hoistSpanDecls pre-declares the variables defined at the top level of a
+// recovered lock span, so the declarations survive the atomic block the span
+// is lowered into. The in-span definition then becomes a plain assignment.
+func (f *fnLowerer) hoistSpanDecls(stmts []ast.Stmt) error {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE {
+				continue
+			}
+			for _, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if err := f.hoistLocal(id); err != nil {
+					return err
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, nm := range vs.Names {
+					if err := f.hoistLocal(nm); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (f *fnLowerer) hoistLocal(nm *ast.Ident) error {
+	if nm.Name == "_" {
+		return nil
+	}
+	obj := f.l.info.Defs[nm]
+	if obj == nil {
+		return nil // `:=` reusing an outer binding, or unresolved (reported later)
+	}
+	t := obj.Type()
+	if isWaitGroupType(t) || isMutexType(t) {
+		return nil // defineLocal classifies (and rejects) these itself
+	}
+	if srec, isStruct := f.l.structValue(t); isStruct {
+		if srec == nil || !srec.ok {
+			return nil
+		}
+		f.pointerized[obj] = true
+		name := f.localFor(obj, nm.Name)
+		f.e.emitf(nm.Pos(), "%s* %s;", srec.minicName, name)
+		f.hoisted[obj] = true
+		return nil
+	}
+	mt, err := f.l.mtypeOf(t)
+	if err != nil {
+		return nil // defineLocal reports the unsupported type with context
+	}
+	name := f.localFor(obj, nm.Name)
+	f.e.emitf(nm.Pos(), "%s %s;", mt, name)
+	f.hoisted[obj] = true
+	return nil
+}
+
+func (f *fnLowerer) lowerDirectiveStmt(s ast.Stmt) error {
+	f.openSection("", false, s.Pos())
+	var err error
+	if bs, ok := s.(*ast.BlockStmt); ok {
+		err = f.blockStmts(bs.List, false)
+	} else {
+		err = f.stmt(s)
+	}
+	if err != nil {
+		return err
+	}
+	f.closeSection()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (f *fnLowerer) stmt(s ast.Stmt) error {
+	switch x := s.(type) {
+	case *ast.EmptyStmt:
+		return nil
+	case *ast.BlockStmt:
+		f.e.emit(x.Pos(), "{")
+		f.e.indent++
+		if err := f.blockStmts(x.List, false); err != nil {
+			return err
+		}
+		f.e.indent--
+		f.e.emit(token.NoPos, "}")
+		return nil
+	case *ast.DeclStmt:
+		return f.declStmt(x)
+	case *ast.AssignStmt:
+		return f.assignStmt(x)
+	case *ast.IncDecStmt:
+		op := "+"
+		if x.Tok == token.DEC {
+			op = "-"
+		}
+		return f.compound(x.X, op, "1", x.Pos())
+	case *ast.ExprStmt:
+		return f.exprStmt(x)
+	case *ast.IfStmt:
+		return f.ifStmt(x)
+	case *ast.ForStmt:
+		return f.forStmt(x)
+	case *ast.RangeStmt:
+		return errAt(x.Pos(), "range loops are outside the subset (use an index loop)")
+	case *ast.ReturnStmt:
+		return f.returnStmt(x)
+	case *ast.GoStmt:
+		return f.goStmt(x)
+	case *ast.DeferStmt:
+		return f.deferStmt(x)
+	case *ast.BranchStmt:
+		return errAt(x.Pos(), "%s is outside the subset", x.Tok)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return errAt(s.Pos(), "switch is outside the subset (use if/else)")
+	case *ast.SelectStmt:
+		return errAt(s.Pos(), "select (channels) is outside the subset")
+	case *ast.SendStmt:
+		return errAt(s.Pos(), "channel send is outside the subset")
+	case *ast.LabeledStmt:
+		return errAt(s.Pos(), "labels are outside the subset")
+	}
+	return errAt(s.Pos(), "statement form %T is outside the subset", s)
+}
+
+func (f *fnLowerer) declStmt(ds *ast.DeclStmt) error {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok {
+		return errAt(ds.Pos(), "declaration form is outside the subset")
+	}
+	switch gd.Tok {
+	case token.CONST:
+		return nil // uses constant-fold
+	case token.TYPE:
+		return errAt(gd.Pos(), "local type declarations are outside the subset")
+	case token.VAR:
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if len(vs.Values) != 0 && len(vs.Values) != len(vs.Names) {
+				return errAt(vs.Pos(), "multi-value initialization is outside the subset")
+			}
+			for i, nm := range vs.Names {
+				var init ast.Expr
+				if len(vs.Values) > 0 {
+					init = vs.Values[i]
+				}
+				if err := f.defineLocal(nm, init); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return errAt(gd.Pos(), "declaration form is outside the subset")
+}
+
+func (f *fnLowerer) defineLocal(nm *ast.Ident, init ast.Expr) error {
+	if nm.Name == "_" {
+		if init != nil {
+			_, err := f.rvalue(init)
+			return err
+		}
+		return nil
+	}
+	obj := f.l.info.Defs[nm]
+	if obj == nil {
+		return errAt(nm.Pos(), "declaration of %s did not resolve", nm.Name)
+	}
+	t := obj.Type()
+	switch {
+	case isWaitGroupType(t):
+		if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+			return errAt(nm.Pos(), "local *sync.WaitGroup variables are outside the subset")
+		}
+		f.wgLocals[obj] = true
+		if init != nil {
+			if _, ok := f.l.zeroComposite(init); !ok {
+				return errAt(init.Pos(), "WaitGroup initializers are outside the subset")
+			}
+		}
+		return nil
+	case isMutexType(t):
+		return errAt(nm.Pos(), "local mutexes are outside the subset (declare the mutex next to the data it guards)")
+	}
+	if srec, isStruct := f.l.structValue(t); isStruct {
+		if srec == nil || !srec.ok {
+			return errAt(nm.Pos(), "variable of a rejected or foreign struct type")
+		}
+		f.pointerized[obj] = true
+		name := f.localFor(obj, nm.Name)
+		if cl, ok := init.(*ast.CompositeLit); ok {
+			tmp, err := f.compositeText(cl)
+			if err != nil {
+				return err
+			}
+			if f.hoisted[obj] {
+				f.e.emitf(nm.Pos(), "%s = %s;", name, tmp)
+			} else {
+				f.e.emitf(nm.Pos(), "%s* %s = %s;", srec.minicName, name, tmp)
+			}
+			return nil
+		}
+		if init != nil {
+			return errAt(init.Pos(), "struct-value assignment is outside the subset (use pointers or per-field assignment)")
+		}
+		if f.hoisted[obj] {
+			f.e.emitf(nm.Pos(), "%s = new %s;", name, srec.minicName)
+		} else {
+			f.e.emitf(nm.Pos(), "%s* %s = new %s;", srec.minicName, name, srec.minicName)
+		}
+		return nil
+	}
+	mt, err := f.l.mtypeOf(t)
+	if err != nil {
+		return errAt(nm.Pos(), "%s: %v", nm.Name, err)
+	}
+	if init == nil || isNilIdent(f.l.info, init) {
+		if f.hoisted[obj] {
+			return nil // the hoisted declaration already zero-initializes
+		}
+		name := f.localFor(obj, nm.Name)
+		f.e.emitf(nm.Pos(), "%s %s;", mt, name)
+		return nil
+	}
+	rv, err := f.rvalue(init)
+	if err != nil {
+		return err
+	}
+	// Claim the name only after lowering the initializer: Go scoping says
+	// the initializer sees the outer binding of a shadowed name. (A hoisted
+	// span local claimed its name early; localFor is idempotent for it, and
+	// the object-keyed rename map keeps shadowed references correct.)
+	name := f.localFor(obj, nm.Name)
+	if f.hoisted[obj] {
+		f.e.emitf(nm.Pos(), "%s = %s;", name, rv)
+	} else {
+		f.e.emitf(nm.Pos(), "%s %s = %s;", mt, name, rv)
+	}
+	return nil
+}
+
+func (f *fnLowerer) assignStmt(as *ast.AssignStmt) error {
+	switch as.Tok {
+	case token.DEFINE:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return errAt(as.Pos(), "multi-assignment is outside the subset")
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return errAt(as.Lhs[0].Pos(), ":= target must be an identifier")
+		}
+		return f.defineLocal(id, as.Rhs[0])
+	case token.ASSIGN:
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return errAt(as.Pos(), "multi-assignment is outside the subset")
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+			_, err := f.rvalue(as.Rhs[0])
+			return err
+		}
+		return f.assignTo(as.Lhs[0], as.Rhs[0], as.Pos())
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+		ops := map[token.Token]string{
+			token.ADD_ASSIGN: "+", token.SUB_ASSIGN: "-", token.MUL_ASSIGN: "*",
+			token.QUO_ASSIGN: "/", token.REM_ASSIGN: "%",
+		}
+		rv, err := f.rvalue(as.Rhs[0])
+		if err != nil {
+			return err
+		}
+		return f.compound(as.Lhs[0], ops[as.Tok], rv, as.Pos())
+	}
+	return errAt(as.Pos(), "assignment operator %s is outside the subset", as.Tok)
+}
+
+func (f *fnLowerer) assignTo(lhs, rhs ast.Expr, pos token.Pos) error {
+	if lt := f.l.info.Types[lhs].Type; lt != nil {
+		if _, isStruct := f.l.structValue(lt); isStruct {
+			return errAt(pos, "struct-value assignment is outside the subset (use pointers or per-field assignment)")
+		}
+	}
+	rv, err := f.rvalue(rhs)
+	if err != nil {
+		return err
+	}
+	lt, err := f.lvalue(lhs)
+	if err != nil {
+		return err
+	}
+	f.e.emitf(pos, "%s = %s;", lt, rv)
+	return nil
+}
+
+// compound emits lhs = (lhs op rv), recording both the read and the write.
+func (f *fnLowerer) compound(lhs ast.Expr, op, rv string, pos token.Pos) error {
+	lt, err := f.lvalue(lhs)
+	if err != nil {
+		return err
+	}
+	if slot := f.slotOf(lhs); slot != "" {
+		f.record(slot, false, lhs.Pos())
+	}
+	f.e.emitf(pos, "%s = (%s %s %s);", lt, lt, op, rv)
+	return nil
+}
+
+func (f *fnLowerer) exprStmt(es *ast.ExprStmt) error {
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return errAt(es.Pos(), "expression statements must be calls")
+	}
+	if op, isMutex, err := f.mutexCall(call); err != nil {
+		return err
+	} else if isMutex {
+		return errAt(op.pos, "%s.%s() here does not form a recoverable lock span", op.guard, op.method)
+	}
+	if method, isWG := f.wgCall(call); isWG {
+		switch method {
+		case "Add", "Done":
+			return nil // no counterpart: spawns are tracked directly
+		case "Wait":
+			f.meta.barriers = append(f.meta.barriers, Event{Fn: f.rec.minicName, Pos: call.Pos()})
+			return nil
+		}
+		return errAt(call.Pos(), "WaitGroup method %s is outside the subset", method)
+	}
+	text, _, err := f.callExpr(call, false)
+	if err != nil {
+		return err
+	}
+	f.e.emitf(es.Pos(), "%s;", text)
+	return nil
+}
+
+func (f *fnLowerer) ifStmt(s *ast.IfStmt) error {
+	if s.Init != nil {
+		f.e.emit(s.Pos(), "{")
+		f.e.indent++
+		if err := f.stmt(s.Init); err != nil {
+			return err
+		}
+		err := f.ifNoInit(s)
+		f.e.indent--
+		f.e.emit(token.NoPos, "}")
+		return err
+	}
+	return f.ifNoInit(s)
+}
+
+func (f *fnLowerer) ifNoInit(s *ast.IfStmt) error {
+	cond, err := f.rvalue(s.Cond)
+	if err != nil {
+		return err
+	}
+	f.e.emitf(s.Pos(), "if (%s) {", cond)
+	f.e.indent++
+	if err := f.blockStmts(s.Body.List, false); err != nil {
+		return err
+	}
+	f.e.indent--
+	switch el := s.Else.(type) {
+	case nil:
+		f.e.emit(token.NoPos, "}")
+	case *ast.BlockStmt:
+		f.e.emit(token.NoPos, "} else {")
+		f.e.indent++
+		if err := f.blockStmts(el.List, false); err != nil {
+			return err
+		}
+		f.e.indent--
+		f.e.emit(token.NoPos, "}")
+	case *ast.IfStmt:
+		f.e.emit(token.NoPos, "} else {")
+		f.e.indent++
+		if err := f.ifStmt(el); err != nil {
+			return err
+		}
+		f.e.indent--
+		f.e.emit(token.NoPos, "}")
+	default:
+		return errAt(s.Pos(), "else form is outside the subset")
+	}
+	return nil
+}
+
+func (f *fnLowerer) forStmt(s *ast.ForStmt) error {
+	f.e.emit(s.Pos(), "{")
+	f.e.indent++
+	defer func() {
+		f.e.indent--
+		f.e.emit(token.NoPos, "}")
+	}()
+	if s.Init != nil {
+		if err := f.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	bodyAndPost := func() error {
+		if err := f.blockStmts(s.Body.List, false); err != nil {
+			return err
+		}
+		if s.Post != nil {
+			return f.stmt(s.Post)
+		}
+		return nil
+	}
+	if s.Cond == nil {
+		f.e.emit(s.Pos(), "while (1) {")
+		f.e.indent++
+		if err := bodyAndPost(); err != nil {
+			return err
+		}
+		f.e.indent--
+		f.e.emit(token.NoPos, "}")
+		return nil
+	}
+	mark := len(f.e.lines)
+	cond, err := f.rvalue(s.Cond)
+	if err != nil {
+		return err
+	}
+	if len(f.e.lines) == mark {
+		// Pure condition: inline re-evaluation is sound.
+		f.e.emitf(s.Pos(), "while (%s) {", cond)
+		f.e.indent++
+		if err := bodyAndPost(); err != nil {
+			return err
+		}
+		f.e.indent--
+		f.e.emit(token.NoPos, "}")
+		return nil
+	}
+	// Impure condition (hoisted calls/composites): evaluate into a flag
+	// before the loop and again at the end of each iteration.
+	cv := f.tmp()
+	f.e.emitf(s.Pos(), "int %s = %s;", cv, cond)
+	f.e.emitf(s.Pos(), "while (%s) {", cv)
+	f.e.indent++
+	if err := bodyAndPost(); err != nil {
+		return err
+	}
+	cond2, err := f.rvalue(s.Cond)
+	if err != nil {
+		return err
+	}
+	f.e.emitf(s.Pos(), "%s = %s;", cv, cond2)
+	f.e.indent--
+	f.e.emit(token.NoPos, "}")
+	return nil
+}
+
+func (f *fnLowerer) returnStmt(s *ast.ReturnStmt) error {
+	if len(f.secs) > 0 {
+		return errAt(s.Pos(), "return inside a lock span or atomic section is outside the subset (restructure, or use Lock with defer Unlock at function top level)")
+	}
+	switch len(s.Results) {
+	case 0:
+		f.e.emit(s.Pos(), "return;")
+		return nil
+	case 1:
+		rv, err := f.rvalue(s.Results[0])
+		if err != nil {
+			return err
+		}
+		f.e.emitf(s.Pos(), "return %s;", rv)
+		return nil
+	}
+	return errAt(s.Pos(), "multiple results are outside the subset")
+}
+
+func (f *fnLowerer) deferStmt(s *ast.DeferStmt) error {
+	if mo, isMutex, err := f.mutexCall(s.Call); err != nil {
+		return err
+	} else if isMutex {
+		return errAt(s.Pos(), "defer %s.%s() must immediately follow the matching Lock at function top level", mo.guard, mo.method)
+	}
+	if method, isWG := f.wgCall(s.Call); isWG {
+		switch method {
+		case "Add", "Done":
+			return nil
+		case "Wait":
+			f.meta.barriers = append(f.meta.barriers, Event{Fn: f.rec.minicName, Pos: s.Pos()})
+			return nil
+		}
+	}
+	return errAt(s.Pos(), "defer is outside the subset (only mutex Unlock and WaitGroup methods)")
+}
+
+func (f *fnLowerer) goStmt(s *ast.GoStmt) error {
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		return f.liftGoLit(lit, s.Call, s.Pos())
+	}
+	text, _, err := f.callExpr(s.Call, true)
+	if err != nil {
+		return err
+	}
+	f.e.emitf(s.Pos(), "%s;", text)
+	return nil
+}
+
+// liftGoLit lifts a capture-free goroutine function literal to a top-level
+// function and lowers the spawn as a call to it.
+func (f *fnLowerer) liftGoLit(lit *ast.FuncLit, call *ast.CallExpr, pos token.Pos) error {
+	if err := f.checkCaptures(lit); err != nil {
+		return err
+	}
+	*f.goN++
+	rec := &funcRec{
+		goName:    fmt.Sprintf("%s.func%d", f.rec.goName, *f.goN),
+		minicName: f.l.freshTop(fmt.Sprintf("%s_go%d", f.rec.minicName, *f.goN)),
+	}
+	if err := f.l.analyzeSignature(lit.Type, rec); err != nil {
+		return err
+	}
+	sub := newFnLowerer(f.l, rec, f.out, f.wgLocals, f.tmpN, f.goN)
+	sub.body = lit.Body
+	sub.declPos = lit.Pos()
+	if err := sub.lowerBody(); err != nil {
+		return err
+	}
+	f.out.lifted = append(f.out.lifted, &loweredFn{rec: rec, e: sub.e, meta: sub.meta})
+	args, err := f.callArgs(rec, call.Args)
+	if err != nil {
+		return err
+	}
+	f.recordCall(rec.minicName, true, pos)
+	f.e.emitf(pos, "%s(%s);", rec.minicName, strings.Join(args, ", "))
+	return nil
+}
+
+// checkCaptures rejects goroutine literals that capture enclosing locals
+// (other than WaitGroups, which are dropped anyway).
+func (f *fnLowerer) checkCaptures(lit *ast.FuncLit) error {
+	var capErr error
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if capErr != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := f.l.info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		if f.l.globalOf[obj] != nil || f.wgLocals[obj] {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // the literal's own locals and parameters
+		}
+		capErr = errAt(id.Pos(), "goroutine literal captures local %s (pass it as an argument)", id.Name)
+		return false
+	})
+	return capErr
+}

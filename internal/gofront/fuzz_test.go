@@ -1,0 +1,58 @@
+package gofront_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lockinfer/internal/gofront"
+	"lockinfer/internal/pipeline"
+)
+
+// fuzzSeeds loads the real-Go corpus (every buggy/clean pair under
+// testdata/goprogs) plus a few handwritten seeds covering the frontend's
+// trickier paths: recovered spans with hoisted locals, directives, lifted
+// goroutine literals, WaitGroups, and out-of-subset constructs.
+func fuzzSeeds(f *testing.F) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "testdata", "goprogs", "*.go"))
+	if err != nil {
+		f.Fatalf("globbing corpus: %v", err)
+	}
+	if len(matches) == 0 {
+		f.Fatal("no corpus seeds found")
+	}
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatalf("reading %s: %v", path, err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("package p\n\nvar x int\n\nfunc f() { x = 1 }\n")
+	f.Add("package p\n\nimport \"sync\"\n\nvar mu sync.Mutex\nvar g int\n\nfunc f() int {\n\tmu.Lock()\n\tv := g\n\tmu.Unlock()\n\treturn v\n}\n")
+	f.Add("package p\n\nimport \"sync\"\n\nfunc f() {\n\tvar wg sync.WaitGroup\n\twg.Add(1)\n\tgo func() {\n\t\twg.Done()\n\t}()\n\twg.Wait()\n}\n")
+	f.Add("package p\n\nvar g int\n\nfunc f() {\n\t//lockinfer:atomic\n\t{\n\t\tg++\n\t}\n}\n")
+	f.Add("package p\n\nfunc f(ch chan int) { <-ch }\n")
+	f.Add("package p\n\ntype T struct{ n int }\n\nfunc f() int {\n\tt := &T{n: 3}\n\tfor i := 0; i < 4; i++ {\n\t\tt.n += i\n\t}\n\treturn t.n\n}\n")
+}
+
+// FuzzGoFront hammers the real-Go frontend: any input may be rejected (as a
+// whole, or declaration by declaration) but must never panic, and whenever
+// a package lowers, the minic program it emits must compile through the full
+// pipeline — gofront only ever hands the rest of the compiler well-formed
+// programs, even under partial lowering.
+func FuzzGoFront(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		pkg, err := gofront.LowerSource("fuzz.go", src)
+		if err != nil {
+			return
+		}
+		if _, err := pipeline.Compile(pkg.Minic, pipeline.Options{Trace: pipeline.NewTrace()}); err != nil {
+			t.Fatalf("lowered package does not compile: %v\n--- minic ---\n%s", err, pkg.Minic)
+		}
+	})
+}

@@ -1,0 +1,280 @@
+// Package gofront is the real-Go frontend: it lowers a practical subset of
+// actual Go packages into the toy-language IR the rest of the system
+// analyzes, using only the standard library (go/parser + go/types; the
+// module stays dependency-free).
+//
+// The lowering is a source-to-source transpilation into the minic surface
+// language consumed by internal/lang, paired with a metadata sidecar that
+// preserves what the translation cannot carry: real token.Pos positions (a
+// line map from emitted minic lines back to Go source), the identity of
+// every declared guard (which sync.Mutex/RWMutex a critical section was
+// written under), the shared-slot accesses with the guards lexically held
+// at each, the call graph with spawn (`go`) edges, and WaitGroup barriers.
+// The diagnostic pass (internal/vet, cmd/lockvet) consumes the sidecar; the
+// inference pipeline consumes the minic.
+//
+// Subset and translation rules:
+//
+//   - Package-level vars and struct fields become shared slots: integer
+//     kinds and bool lower to int, pointers to named structs keep their
+//     shape, []int and []*T lower to the toy array forms, and struct-valued
+//     vars are pointerized (var c Counter ⇒ Counter* c = new Counter).
+//   - Functions and pointer-receiver methods become IR functions (methods
+//     are name-mangled Type_Method with the receiver as first parameter).
+//   - `go f(x)` / `go obj.M(x)` / `go func(){...}()` become spawn records;
+//     the body is lowered as a synchronous call at the spawn site (the
+//     standard conservative over-approximation for points-to and effects),
+//     and capture-free function literals are lifted to top level.
+//   - Atomic sections come from two sources: a `//lockinfer:atomic`
+//     directive on a statement or function, or recovery of existing
+//     mu.Lock()…mu.Unlock() spans (including the Lock-then-defer-Unlock
+//     idiom at function top level). The span becomes an `atomic` block and
+//     the mutex identity is recorded as the *declared* guard.
+//   - sync.Mutex / sync.RWMutex values may appear as package vars or
+//     struct fields (including embedded); sync.WaitGroup calls are
+//     dropped, with Wait() recorded as a barrier event.
+//
+// Everything else — channels, interfaces, maps, strings, floats, closures
+// capturing locals, early returns inside lock spans, unsupported stdlib —
+// is out of subset and rejected with a positioned, per-declaration error.
+// Rejection is partial: the offending declaration is replaced by an extern
+// prototype (when its signature is representable) or dropped, and the rest
+// of the package still lowers, so diagnostics run on real files.
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DirectiveAtomic is the comment directive that marks the next statement
+// (or the whole function, when it precedes a declaration) as an atomic
+// section to infer locks for.
+const DirectiveAtomic = "//lockinfer:atomic"
+
+// AtomicGuard is the pseudo-guard identity recorded for accesses inside a
+// directive-marked atomic section: the section is protected by whatever
+// the inference assigns it, which is the same identity for every directive
+// section and distinct from every declared mutex.
+const AtomicGuard = "<atomic>"
+
+// Package is the result of lowering one Go package.
+type Package struct {
+	// Name is the Go package name.
+	Name string
+	// Fset resolves the token.Pos fields below.
+	Fset *token.FileSet
+	// Minic is the lowered toy-language source, ready for pipeline.Compile.
+	Minic string
+	// LineMap maps a 1-based line of Minic back to the Go source position
+	// that produced it (absent for purely structural lines).
+	LineMap map[int]token.Pos
+	// Funcs lists the successfully lowered functions.
+	Funcs []*FuncInfo
+	// Sections are the atomic sections, in emission order.
+	Sections []*SectionInfo
+	// Accesses are the shared-slot accesses of lowered code.
+	Accesses []Access
+	// Calls are the intra-package call sites (spawns included).
+	Calls []Call
+	// Barriers are sync.WaitGroup Wait() sites.
+	Barriers []Event
+	// Guards are the declared mutex identities, sorted.
+	Guards []string
+	// InitFn is the minic name of the synthesized function holding complex
+	// package-level initializers ("" when every initializer was inline).
+	// Its accesses happen before any goroutine exists.
+	InitFn string
+	// Errors are the per-declaration subset rejections (positioned).
+	Errors []*DeclError
+}
+
+// FuncInfo describes one lowered function.
+type FuncInfo struct {
+	// MinicName is the name in the emitted toy source ("Counter_Add").
+	MinicName string
+	// GoName is the Go-facing description ("(*Counter).Add", "Run").
+	GoName string
+	Pos    token.Pos
+}
+
+// SectionInfo describes one atomic section.
+type SectionInfo struct {
+	// ID is the section's index in Package.Sections; because sections are
+	// matched back to ir.Program.Sections by source line, use MinicLine
+	// (not ID) to correlate with the compiled program.
+	ID int
+	// Fn is the owning minic function name.
+	Fn string
+	// GoFunc is the owning function's Go name.
+	GoFunc string
+	// Guard is the declared mutex identity ("mu", "Counter.mu"), or "" for
+	// a //lockinfer:atomic directive section.
+	Guard string
+	// RO marks a sync.RWMutex RLock span.
+	RO bool
+	// Held are the guard identities lexically held when the section opens.
+	Held []string
+	// Pos is the Go position of the Lock call or directive statement.
+	Pos token.Pos
+	// MinicLine is the 1-based Minic line of the emitted `atomic {`.
+	MinicLine int
+}
+
+// Access is one shared-slot access: a package-level var or a struct field.
+type Access struct {
+	// Slot is the canonical slot identity: the package var name, or
+	// "Struct.field" (instance-insensitive, like golintmu).
+	Slot string
+	// Write marks writes (compound assignments and ++/-- count as writes).
+	Write bool
+	// Fn is the minic name of the accessing function.
+	Fn string
+	// Held are the guard identities lexically held at the access
+	// (AtomicGuard for directive sections).
+	Held []string
+	// Section is the index into Package.Sections of the innermost
+	// enclosing atomic section, or -1.
+	Section int
+	Pos     token.Pos
+}
+
+// Call is one call site between package functions.
+type Call struct {
+	Caller, Callee string
+	// Held are the guards lexically held at the call.
+	Held []string
+	// Go marks a spawn (`go` statement).
+	Go  bool
+	Pos token.Pos
+}
+
+// Event is a positioned per-function event (a WaitGroup barrier).
+type Event struct {
+	Fn  string
+	Pos token.Pos
+}
+
+// DeclError is a positioned subset rejection of one declaration.
+type DeclError struct {
+	// Decl names the rejected declaration ("func Run", "var table",
+	// "type Conn").
+	Decl string
+	Pos  token.Position
+	Msg  string
+}
+
+func (e *DeclError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.Pos, e.Decl, e.Msg)
+}
+
+// Position resolves a token.Pos through the package's file set.
+func (p *Package) Position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}
+
+// GoPos maps a minic line back to its Go source position (zero Position
+// when the line is structural).
+func (p *Package) GoPos(minicLine int) token.Position {
+	if pos, ok := p.LineMap[minicLine]; ok {
+		return p.Fset.Position(pos)
+	}
+	return token.Position{}
+}
+
+// IsGoSource reports whether src looks like Go rather than toy-language
+// source: its first non-blank, non-comment line is a package clause. The
+// toy language has no `package` keyword, so the test is unambiguous.
+func IsGoSource(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		if strings.HasPrefix(t, "/*") {
+			// Skip a (possibly multi-line) leading block comment crudely:
+			// treat the rest of the scan as continuing after "*/".
+			rest := src[strings.Index(src, "/*")+2:]
+			if i := strings.Index(rest, "*/"); i >= 0 {
+				return IsGoSource(rest[i+2:])
+			}
+			return false
+		}
+		return strings.HasPrefix(t, "package ") || t == "package"
+	}
+	return false
+}
+
+// LowerSource lowers a single Go file given as a string. name labels the
+// file in positions ("input.go" when empty).
+func LowerSource(name, src string) (*Package, error) {
+	if name == "" {
+		name = "input.go"
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("gofront: %w", err)
+	}
+	return LowerFiles(fset, []*ast.File{file})
+}
+
+// LowerDir lowers every non-test .go file of one directory as a package.
+func LowerDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("gofront: %w", err)
+	}
+	var names []string
+	for _, ent := range entries {
+		n := ent.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !ent.IsDir() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("gofront: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, n := range names {
+		path := filepath.Join(dir, n)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("gofront: %w", err)
+		}
+		files = append(files, file)
+	}
+	return LowerFiles(fset, files)
+}
+
+// LowerFiles lowers an already-parsed package. Syntax must be valid; subset
+// violations surface as per-declaration entries in Package.Errors, not as a
+// returned error. The frontend never panics on accepted input: internal
+// panics (including any from go/types on pathological sources) are
+// converted into an error.
+func LowerFiles(fset *token.FileSet, files []*ast.File) (pkg *Package, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pkg, err = nil, fmt.Errorf("gofront: internal error: %v", r)
+		}
+	}()
+	if len(files) == 0 {
+		return nil, fmt.Errorf("gofront: no files")
+	}
+	name := files[0].Name.Name
+	for _, f := range files[1:] {
+		if f.Name.Name != name {
+			return nil, fmt.Errorf("gofront: mixed package names %q and %q", name, f.Name.Name)
+		}
+	}
+	l := newLowerer(fset, files, name)
+	return l.lower()
+}

@@ -1,0 +1,507 @@
+package gofront
+
+import (
+	"strings"
+	"testing"
+)
+
+func lowerOK(t *testing.T, src string) *Package {
+	t.Helper()
+	pkg, err := LowerSource("test.go", src)
+	if err != nil {
+		t.Fatalf("LowerSource: %v", err)
+	}
+	for _, e := range pkg.Errors {
+		t.Errorf("unexpected decl error: %v", e)
+	}
+	return pkg
+}
+
+func TestIsGoSource(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package main\n", true},
+		{"// a comment\npackage p\n", true},
+		{"/* block\ncomment */\npackage p\n", true},
+		{"int x;\nvoid main() { }\n", false},
+		{"// toy program\nint x;\n", false},
+		{"", false},
+		{"atomic { x = 1; }", false},
+	}
+	for _, c := range cases {
+		if got := IsGoSource(c.src); got != c.want {
+			t.Errorf("IsGoSource(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestLockSpanRecovery(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+import "sync"
+
+var mu sync.Mutex
+var x int
+
+func set(v int) {
+	mu.Lock()
+	x = v
+	mu.Unlock()
+}
+`)
+	if len(pkg.Sections) != 1 {
+		t.Fatalf("sections = %d, want 1", len(pkg.Sections))
+	}
+	sec := pkg.Sections[0]
+	if sec.Guard != "mu" || sec.RO || sec.Fn != "set" {
+		t.Errorf("section = %+v", sec)
+	}
+	if got := pkg.Position(sec.Pos).Line; got != 9 {
+		t.Errorf("section Go line = %d, want 9 (the Lock call)", got)
+	}
+	if !strings.Contains(pkg.Minic, "atomic {") {
+		t.Errorf("no atomic block emitted:\n%s", pkg.Minic)
+	}
+	// The access to x inside the span must record the declared guard.
+	var found bool
+	for _, a := range pkg.Accesses {
+		if a.Slot == "x" && a.Write {
+			found = true
+			if len(a.Held) != 1 || a.Held[0] != "mu" {
+				t.Errorf("write to x held=%v, want [mu]", a.Held)
+			}
+			if a.Section != 0 {
+				t.Errorf("write to x section=%d, want 0", a.Section)
+			}
+		}
+	}
+	if !found {
+		t.Error("write access to x not recorded")
+	}
+	if len(pkg.Guards) != 1 || pkg.Guards[0] != "mu" {
+		t.Errorf("guards = %v", pkg.Guards)
+	}
+}
+
+func TestDeferUnlockIdiom(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *Box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+`)
+	if len(pkg.Sections) != 1 || pkg.Sections[0].Guard != "Box.mu" {
+		t.Fatalf("sections = %+v", pkg.Sections)
+	}
+	// The trailing return must be split out of the atomic block.
+	if !strings.Contains(pkg.Minic, "return ") {
+		t.Errorf("no return emitted:\n%s", pkg.Minic)
+	}
+	ai := strings.Index(pkg.Minic, "atomic {")
+	ri := strings.Index(pkg.Minic, "return ")
+	if ai < 0 || ri < ai {
+		t.Errorf("return not after atomic:\n%s", pkg.Minic)
+	}
+}
+
+func TestRWMutexReadSection(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+import "sync"
+
+type Cache struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (c *Cache) Read() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *Cache) Write(v int) {
+	c.mu.Lock()
+	c.n = v
+	c.mu.Unlock()
+}
+`)
+	if len(pkg.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(pkg.Sections))
+	}
+	if !pkg.Sections[0].RO {
+		t.Error("RLock section not marked RO")
+	}
+	if pkg.Sections[1].RO {
+		t.Error("Lock section wrongly marked RO")
+	}
+	if pkg.Sections[0].Guard != "Cache.mu" || pkg.Sections[1].Guard != "Cache.mu" {
+		t.Errorf("guards: %q %q", pkg.Sections[0].Guard, pkg.Sections[1].Guard)
+	}
+}
+
+func TestEmbeddedMutex(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+import "sync"
+
+type Reg struct {
+	sync.Mutex
+	n int
+}
+
+func (r *Reg) Bump() {
+	r.Lock()
+	r.n++
+	r.Unlock()
+}
+`)
+	if len(pkg.Sections) != 1 || pkg.Sections[0].Guard != "Reg.Mutex" {
+		t.Fatalf("sections = %+v", pkg.Sections)
+	}
+}
+
+func TestDirectiveSections(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+var a int
+var b int
+
+//lockinfer:atomic
+func swap() {
+	t := a
+	a = b
+	b = t
+}
+
+func bump() {
+	//lockinfer:atomic
+	{
+		a++
+		b++
+	}
+}
+`)
+	if len(pkg.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(pkg.Sections))
+	}
+	for _, sec := range pkg.Sections {
+		if sec.Guard != "" {
+			t.Errorf("directive section has declared guard %q", sec.Guard)
+		}
+	}
+	for _, a := range pkg.Accesses {
+		if len(a.Held) != 1 || a.Held[0] != AtomicGuard {
+			t.Errorf("access %s held=%v, want [%s]", a.Slot, a.Held, AtomicGuard)
+		}
+	}
+}
+
+func TestNestedSpansRecordHeld(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+import "sync"
+
+var mu1 sync.Mutex
+var mu2 sync.Mutex
+var x int
+
+func f() {
+	mu1.Lock()
+	mu2.Lock()
+	x = 1
+	mu2.Unlock()
+	mu1.Unlock()
+}
+`)
+	if len(pkg.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(pkg.Sections))
+	}
+	inner := pkg.Sections[1]
+	if inner.Guard != "mu2" || len(inner.Held) != 1 || inner.Held[0] != "mu1" {
+		t.Errorf("inner section = %+v", inner)
+	}
+	for _, a := range pkg.Accesses {
+		if a.Slot == "x" && (len(a.Held) != 2 || a.Held[0] != "mu1" || a.Held[1] != "mu2") {
+			t.Errorf("x held=%v, want [mu1 mu2]", a.Held)
+		}
+	}
+}
+
+func TestSpawnsAndBarriers(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+import "sync"
+
+var n int
+
+func worker(k int) {
+	n = k
+}
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(1)
+	go func(v int) {
+		n = v
+		wg.Done()
+	}(2)
+	wg.Wait()
+}
+`)
+	var spawns int
+	for _, c := range pkg.Calls {
+		if c.Go {
+			spawns++
+		}
+	}
+	if spawns != 2 {
+		t.Errorf("spawn calls = %d, want 2", spawns)
+	}
+	if len(pkg.Barriers) != 1 || pkg.Barriers[0].Fn != "main" {
+		t.Errorf("barriers = %+v", pkg.Barriers)
+	}
+	// The lifted literal must be a real function.
+	var lifted bool
+	for _, fn := range pkg.Funcs {
+		if strings.Contains(fn.MinicName, "_go") {
+			lifted = true
+		}
+	}
+	if !lifted {
+		t.Errorf("goroutine literal not lifted: %+v", pkg.Funcs)
+	}
+}
+
+func TestPartialLowering(t *testing.T) {
+	pkg, err := LowerSource("test.go", `package p
+
+var x int
+
+func good() {
+	x = 1
+}
+
+func bad(ch chan int) {
+	ch <- x
+}
+
+func alsoGood() int {
+	return x
+}
+`)
+	if err != nil {
+		t.Fatalf("LowerSource: %v", err)
+	}
+	if len(pkg.Errors) == 0 {
+		t.Fatal("expected a decl error for the channel function")
+	}
+	for _, e := range pkg.Errors {
+		if !strings.Contains(e.Decl, "bad") {
+			t.Errorf("error charged to %q, want func bad: %v", e.Decl, e)
+		}
+		if e.Pos.Line == 0 {
+			t.Errorf("error has no position: %v", e)
+		}
+	}
+	// good and alsoGood still lower.
+	var names []string
+	for _, fn := range pkg.Funcs {
+		names = append(names, fn.MinicName)
+	}
+	if len(names) != 2 {
+		t.Errorf("lowered funcs = %v, want [good alsoGood]", names)
+	}
+}
+
+func TestRejectedBodyBecomesExtern(t *testing.T) {
+	pkg, err := LowerSource("test.go", `package p
+
+var x int
+
+func helper() int {
+	m := map[string]int{}
+	return m["a"]
+}
+
+func caller() {
+	x = helper()
+}
+`)
+	if err != nil {
+		t.Fatalf("LowerSource: %v", err)
+	}
+	if len(pkg.Errors) == 0 {
+		t.Fatal("expected a decl error for the map function")
+	}
+	// helper degrades to an extern prototype; caller still lowers and calls it.
+	if !strings.Contains(pkg.Minic, "int helper();") {
+		t.Errorf("no extern prototype for helper:\n%s", pkg.Minic)
+	}
+	if !strings.Contains(pkg.Minic, "helper()") {
+		t.Errorf("caller dropped:\n%s", pkg.Minic)
+	}
+}
+
+func TestLineMapRoundTrip(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+var x int
+
+func set(v int) {
+	x = v
+}
+`)
+	// Find the minic line of the assignment and map it back.
+	lines := strings.Split(pkg.Minic, "\n")
+	var minicLine int
+	for i, ln := range lines {
+		if strings.Contains(ln, "x = v;") {
+			minicLine = i + 1
+		}
+	}
+	if minicLine == 0 {
+		t.Fatalf("assignment not found:\n%s", pkg.Minic)
+	}
+	gp := pkg.GoPos(minicLine)
+	if gp.Line != 6 {
+		t.Errorf("GoPos(%d).Line = %d, want 6", minicLine, gp.Line)
+	}
+}
+
+func TestKeywordAndCollisionRenames(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+var while int
+
+func atomic(nop int) int {
+	new := nop + while
+	return new
+}
+`)
+	if strings.Contains(pkg.Minic, "int while;") || !strings.Contains(pkg.Minic, "int while_;") {
+		t.Errorf("keyword global not renamed:\n%s", pkg.Minic)
+	}
+	// Slot identity stays the Go name.
+	var ok bool
+	for _, a := range pkg.Accesses {
+		if a.Slot == "while" {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("slot identity lost: %+v", pkg.Accesses)
+	}
+}
+
+func TestComplexGlobalInitGoesToInitFn(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+type Node struct{ v int }
+
+var head = &Node{v: 41}
+var size = 2 * 21
+var table = make([]int, 8)
+`)
+	if pkg.InitFn == "" {
+		t.Fatalf("no init function synthesized:\n%s", pkg.Minic)
+	}
+	if !strings.Contains(pkg.Minic, pkg.InitFn+"() {") {
+		t.Errorf("init function body missing:\n%s", pkg.Minic)
+	}
+	// size is a constant expression: folded inline, not in the init fn.
+	if !strings.Contains(pkg.Minic, "int size = 42;") {
+		t.Errorf("constant init not folded:\n%s", pkg.Minic)
+	}
+}
+
+func TestEarlyReturnInsideSpanRejected(t *testing.T) {
+	pkg, err := LowerSource("test.go", `package p
+
+import "sync"
+
+var mu sync.Mutex
+var x int
+
+func f(c int) int {
+	mu.Lock()
+	if c > 0 {
+		mu.Unlock()
+		return 0
+	}
+	x = c
+	mu.Unlock()
+	return 1
+}
+`)
+	if err != nil {
+		t.Fatalf("LowerSource: %v", err)
+	}
+	if len(pkg.Errors) == 0 {
+		t.Fatal("conditional unlock should be rejected")
+	}
+}
+
+func TestTypeErrorChargedToDecl(t *testing.T) {
+	pkg, err := LowerSource("test.go", `package p
+
+var x int
+
+func broken() {
+	x = undefinedName
+}
+
+func fine() {
+	x = 1
+}
+`)
+	if err != nil {
+		t.Fatalf("LowerSource: %v", err)
+	}
+	if len(pkg.Errors) == 0 {
+		t.Fatal("expected type error")
+	}
+	if !strings.Contains(pkg.Errors[0].Msg, "type error") {
+		t.Errorf("error = %v", pkg.Errors[0])
+	}
+	var fineLowered bool
+	for _, fn := range pkg.Funcs {
+		if fn.MinicName == "fine" {
+			fineLowered = true
+		}
+	}
+	if !fineLowered {
+		t.Error("fine() should still lower")
+	}
+}
+
+func TestLowerFilesNeverPanics(t *testing.T) {
+	// Pathological but syntactically valid sources must come back as errors
+	// or rejections, never a panic.
+	srcs := []string{
+		"package p\nfunc f() { f() }\n",
+		"package p\nimport \"fmt\"\nfunc f() { fmt.Println() }\n",
+		"package p\ntype T struct{ t *T }\nfunc f(t *T) *T { return t.t }\n",
+		"package p\nvar x = x\n",
+		"package p\nfunc f() (int, int) { return 1, 2 }\n",
+	}
+	for _, src := range srcs {
+		if _, err := LowerSource("t.go", src); err != nil {
+			// An error return is acceptable; a panic is not (it would fail
+			// the test via the recover-free test harness).
+			t.Logf("lowering returned error (ok): %v", err)
+		}
+	}
+}

@@ -1,0 +1,1079 @@
+package gofront
+
+// The lowering proper: a source-to-source translation from the Go subset
+// into minic, plus the sidecar metadata (positions, guards, accesses,
+// calls, spawns, barriers). Declarations lower independently; a rejected
+// function degrades to an extern prototype so the rest of the package
+// still reaches the pipeline.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// minicKeywords are reserved words of the toy language; Go identifiers that
+// collide are renamed.
+var minicKeywords = map[string]bool{
+	"struct": true, "int": true, "void": true, "if": true, "else": true,
+	"while": true, "atomic": true, "return": true, "new": true,
+	"null": true, "nop": true,
+}
+
+// mtype is a minic type: a base ("int" or a struct name) plus pointer depth.
+type mtype struct {
+	base string
+	ptr  int
+}
+
+func (t mtype) String() string { return t.base + strings.Repeat("*", t.ptr) }
+
+// posErr is a subset-violation error carrying the offending Go position.
+type posErr struct {
+	pos token.Pos
+	msg string
+}
+
+func (e *posErr) Error() string { return e.msg }
+
+func errAt(pos token.Pos, format string, args ...any) error {
+	return &posErr{pos: pos, msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------------------
+// Declaration records
+
+type fieldRec struct {
+	goName, minicName string
+	pos               token.Pos
+}
+
+type structRec struct {
+	obj       *types.TypeName
+	spec      *ast.TypeSpec
+	st        *ast.StructType
+	minicName string
+	ok        bool
+	badMsg    string
+	badPos    token.Pos
+	// fields are the lowered (slot) fields in declaration order; types are
+	// resolved during the support fixpoint.
+	fields    []*fieldRec
+	fieldType map[string]ast.Expr // go field name -> type expr
+	fieldMt   map[string]mtype    // resolved during fixpoint
+	mutexes   map[string]bool     // go field names that are mutexes (incl. embedded name)
+	wgFields  map[string]bool
+}
+
+const (
+	gSlot = iota
+	gMutex
+	gWG
+	gRejected
+)
+
+type globalRec struct {
+	obj         types.Object
+	spec        *ast.ValueSpec
+	init        ast.Expr // nil when none
+	minicName   string
+	kind        int
+	mt          mtype
+	pointerized bool // struct-valued var represented as a pointer
+}
+
+const (
+	fnOK = iota
+	fnExtern
+	fnAbsent
+)
+
+type paramRec struct {
+	obj  types.Object // nil for synthetic names
+	name string
+	mt   mtype
+	wg   bool // *sync.WaitGroup parameter: dropped at decl and call sites
+}
+
+type funcRec struct {
+	obj       types.Object
+	decl      *ast.FuncDecl
+	minicName string
+	goName    string
+	hasRecv   bool
+	params    []*paramRec // receiver first when hasRecv
+	ret       *mtype      // nil = void
+	state     int
+	rejectMsg string
+	rejectPos token.Pos
+}
+
+// fnMeta buffers per-declaration sidecar records so a failed lowering can
+// discard them wholesale.
+type fnMeta struct {
+	sections []*SectionInfo // MinicLine relative to the sub-emitter
+	accesses []Access
+	calls    []Call
+	barriers []Event
+	info     *FuncInfo
+}
+
+type loweredFn struct {
+	rec  *funcRec
+	e    *emitter
+	meta *fnMeta
+}
+
+// declOut collects the lowered artifacts of one top-level declaration: the
+// function itself plus any lifted goroutine literals.
+type declOut struct {
+	lifted []*loweredFn
+}
+
+// ---------------------------------------------------------------------------
+// Package lowerer
+
+type lowerer struct {
+	fset  *token.FileSet
+	files []*ast.File
+	name  string
+
+	info *types.Info
+	tpkg *types.Package
+
+	declErr   map[ast.Decl]string     // decl -> first hard type error message
+	declErrAt map[ast.Decl]token.Pos  // position of that error
+	directive map[string]map[int]bool // filename -> line carrying the directive
+	idents    map[string]bool         // every identifier spelled in the package
+
+	structs  []*structRec
+	structOf map[*types.TypeName]*structRec
+	globals  []*globalRec
+	globalOf map[types.Object]*globalRec
+	funcs    []*funcRec
+	funcOf   map[types.Object]*funcRec
+
+	topNames map[string]bool
+	tmpPre   string
+
+	pkg     *Package
+	pending []pendingInit
+}
+
+type pendingInit struct {
+	target string // minic lvalue text
+	slot   string // sidecar slot identity ("" = none)
+	expr   ast.Expr
+	pos    token.Pos
+}
+
+func newLowerer(fset *token.FileSet, files []*ast.File, name string) *lowerer {
+	return &lowerer{
+		fset:      fset,
+		files:     files,
+		name:      name,
+		declErr:   map[ast.Decl]string{},
+		declErrAt: map[ast.Decl]token.Pos{},
+		directive: map[string]map[int]bool{},
+		idents:    map[string]bool{},
+		structOf:  map[*types.TypeName]*structRec{},
+		globalOf:  map[types.Object]*globalRec{},
+		funcOf:    map[types.Object]*funcRec{},
+		topNames:  map[string]bool{},
+		pkg:       &Package{Name: name, Fset: fset},
+	}
+}
+
+func (l *lowerer) addErr(decl string, pos token.Pos, msg string) {
+	l.pkg.Errors = append(l.pkg.Errors, &DeclError{
+		Decl: decl, Pos: l.fset.Position(pos), Msg: msg,
+	})
+}
+
+func (l *lowerer) lower() (*Package, error) {
+	l.scanComments()
+	l.pickTmpPrefix()
+	var hard []types.Error
+	l.info, l.tpkg, hard = typecheck(l.fset, l.files, l.name)
+	l.chargeTypeErrors(hard)
+	l.collectStructs()
+	l.collectGlobals()
+	l.collectFuncs()
+
+	main := &emitter{}
+	main.emitf(token.NoPos, "// lowered from Go package %q by gofront", l.name)
+	l.emitStructs(main)
+	l.emitGlobals(main)
+	for _, rec := range l.funcs {
+		l.lowerFuncDecl(main, rec)
+	}
+	l.lowerPkgInit(main)
+	l.pkg.Minic, l.pkg.LineMap = main.source()
+	sort.Strings(l.pkg.Guards)
+	return l.pkg, nil
+}
+
+// scanComments records directive lines and the set of spelled identifiers
+// (used to pick a collision-free temp prefix).
+func (l *lowerer) scanComments() {
+	for _, f := range l.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == DirectiveAtomic {
+					p := l.fset.Position(c.Pos())
+					m := l.directive[p.Filename]
+					if m == nil {
+						m = map[int]bool{}
+						l.directive[p.Filename] = m
+					}
+					m[p.Line] = true
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				l.idents[id.Name] = true
+			}
+			return true
+		})
+	}
+}
+
+// hasDirective reports whether the line immediately above pos (or pos's own
+// line, for a doc comment attached to the node) carries the atomic directive.
+func (l *lowerer) hasDirective(pos token.Pos) bool {
+	p := l.fset.Position(pos)
+	m := l.directive[p.Filename]
+	return m != nil && m[p.Line-1]
+}
+
+func sanitize(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_x"
+	}
+	return b.String()
+}
+
+// freshTop claims a top-level minic name derived from name.
+func (l *lowerer) freshTop(name string) string {
+	n := sanitize(name)
+	if minicKeywords[n] {
+		n += "_"
+	}
+	cand := n
+	for i := 1; l.topNames[cand]; i++ {
+		cand = fmt.Sprintf("%s_%d", n, i)
+	}
+	l.topNames[cand] = true
+	return cand
+}
+
+// pickTmpPrefix picks a temp-name prefix no package identifier starts with.
+func (l *lowerer) pickTmpPrefix() {
+	for _, pre := range []string{"_t", "_zt", "_zzt", "_zzzt"} {
+		clash := false
+		for id := range l.idents {
+			if strings.HasPrefix(id, pre) {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			l.tmpPre = pre
+			return
+		}
+	}
+	l.tmpPre = "_zzzzt" // astronomically unlikely to clash four levels deep
+}
+
+// chargeTypeErrors maps each hard type error to its enclosing top-level
+// declaration so the rest of the package still lowers.
+func (l *lowerer) chargeTypeErrors(hard []types.Error) {
+	for _, te := range hard {
+		var owner ast.Decl
+		for _, f := range l.files {
+			for _, d := range f.Decls {
+				if d.Pos() <= te.Pos && te.Pos <= d.End() {
+					owner = d
+					break
+				}
+			}
+			if owner != nil {
+				break
+			}
+		}
+		if owner == nil {
+			l.addErr("package", te.Pos, "type error: "+te.Msg)
+			continue
+		}
+		if _, seen := l.declErr[owner]; !seen {
+			l.declErr[owner] = "type error: " + te.Msg
+			l.declErrAt[owner] = te.Pos
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Type mapping
+
+func (l *lowerer) structValue(t types.Type) (*structRec, bool) {
+	t = types.Unalias(t)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil, false
+	}
+	return l.structOf[named.Obj()], true
+}
+
+func intKind(b *types.Basic) bool {
+	switch b.Kind() {
+	case types.Bool, types.Int, types.Int8, types.Int16, types.Int32, types.Int64,
+		types.Uint, types.Uint8, types.Uint16, types.Uint32, types.Uint64,
+		types.Uintptr, types.UntypedBool, types.UntypedInt, types.UntypedRune:
+		return true
+	}
+	return false
+}
+
+// mtypeOf maps a Go type into the minic type system.
+func (l *lowerer) mtypeOf(t types.Type) (mtype, error) {
+	t = types.Unalias(t)
+	switch u := t.(type) {
+	case *types.Basic:
+		if intKind(u) {
+			return mtype{base: "int"}, nil
+		}
+		return mtype{}, fmt.Errorf("type %s is outside the subset (only integer kinds and bool lower)", u)
+	case *types.Named:
+		if isMutexType(u) || isWaitGroupType(u) {
+			return mtype{}, fmt.Errorf("sync.%s is not a data type in the subset", u.Obj().Name())
+		}
+		switch un := u.Underlying().(type) {
+		case *types.Basic:
+			if intKind(un) {
+				return mtype{base: "int"}, nil
+			}
+			return mtype{}, fmt.Errorf("type %s is outside the subset", u)
+		case *types.Struct:
+			rec := l.structOf[u.Obj()]
+			if rec == nil {
+				return mtype{}, fmt.Errorf("struct type %s is not declared in this package", u.Obj().Name())
+			}
+			if !rec.ok {
+				return mtype{}, fmt.Errorf("struct type %s was rejected (%s)", u.Obj().Name(), rec.badMsg)
+			}
+			return mtype{base: rec.minicName}, nil
+		default:
+			return mtype{}, fmt.Errorf("type %s is outside the subset", u)
+		}
+	case *types.Pointer:
+		inner, err := l.mtypeOf(u.Elem())
+		if err != nil {
+			return mtype{}, err
+		}
+		return mtype{base: inner.base, ptr: inner.ptr + 1}, nil
+	case *types.Slice:
+		if _, isStruct := l.structValue(u.Elem()); isStruct {
+			return mtype{}, fmt.Errorf("slice of struct values is outside the subset (use a slice of pointers)")
+		}
+		inner, err := l.mtypeOf(u.Elem())
+		if err != nil {
+			return mtype{}, err
+		}
+		return mtype{base: inner.base, ptr: inner.ptr + 1}, nil
+	case *types.Array:
+		return mtype{}, fmt.Errorf("fixed-size arrays are outside the subset (use a slice)")
+	case *types.Chan:
+		return mtype{}, fmt.Errorf("channels are outside the subset")
+	case *types.Map:
+		return mtype{}, fmt.Errorf("maps are outside the subset")
+	case *types.Interface:
+		return mtype{}, fmt.Errorf("interfaces are outside the subset")
+	case *types.Signature:
+		return mtype{}, fmt.Errorf("function values are outside the subset")
+	}
+	return mtype{}, fmt.Errorf("type %s is outside the subset", t)
+}
+
+// ---------------------------------------------------------------------------
+// Declaration collection
+
+func (l *lowerer) collectStructs() {
+	for _, f := range l.files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				obj, _ := l.info.Defs[ts.Name].(*types.TypeName)
+				st, isStruct := ts.Type.(*ast.StructType)
+				if !isStruct {
+					// Named integer kinds are fine (they lower to int);
+					// anything else is out of subset.
+					if obj != nil {
+						if b, ok := types.Unalias(obj.Type()).Underlying().(*types.Basic); ok && intKind(b) {
+							continue
+						}
+					}
+					l.addErr("type "+ts.Name.Name, ts.Pos(), "only struct types and integer-kind named types are in the subset")
+					continue
+				}
+				if obj == nil {
+					l.addErr("type "+ts.Name.Name, ts.Pos(), "type did not resolve")
+					continue
+				}
+				rec := &structRec{
+					obj: obj, spec: ts, st: st,
+					minicName: l.freshTop(ts.Name.Name),
+					ok:        true,
+					fieldType: map[string]ast.Expr{},
+					fieldMt:   map[string]mtype{},
+					mutexes:   map[string]bool{},
+					wgFields:  map[string]bool{},
+				}
+				if msg, at := l.declErr[d], l.declErrAt[d]; msg != "" {
+					rec.ok, rec.badMsg, rec.badPos = false, msg, at
+				}
+				l.structs = append(l.structs, rec)
+				l.structOf[obj] = rec
+			}
+		}
+	}
+	// First pass over fields: classify mutexes/waitgroups/slots.
+	for _, rec := range l.structs {
+		if !rec.ok {
+			continue
+		}
+		usedField := map[string]bool{}
+		for _, fld := range rec.st.Fields.List {
+			ft := l.info.Types[fld.Type].Type
+			if len(fld.Names) == 0 { // embedded
+				if ft != nil && isMutexType(ft) {
+					name := "Mutex"
+					if isSyncType(ft, "RWMutex") {
+						name = "RWMutex"
+					}
+					rec.mutexes[name] = true
+					continue
+				}
+				rec.ok = false
+				rec.badMsg = "embedded fields other than sync.Mutex/RWMutex are outside the subset"
+				rec.badPos = fld.Pos()
+				break
+			}
+			for _, nm := range fld.Names {
+				switch {
+				case ft != nil && isMutexType(ft):
+					rec.mutexes[nm.Name] = true
+				case ft != nil && isWaitGroupType(ft):
+					rec.wgFields[nm.Name] = true
+				default:
+					mn := sanitize(nm.Name)
+					if minicKeywords[mn] {
+						mn += "_"
+					}
+					for i := 1; usedField[mn]; i++ {
+						mn = fmt.Sprintf("%s_%d", sanitize(nm.Name), i)
+					}
+					usedField[mn] = true
+					rec.fields = append(rec.fields, &fieldRec{goName: nm.Name, minicName: mn, pos: nm.Pos()})
+					rec.fieldType[nm.Name] = fld.Type
+				}
+			}
+			if !rec.ok {
+				break
+			}
+		}
+	}
+	// Fixpoint: resolve slot field types; a field of a rejected struct type
+	// rejects its owner, which can cascade.
+	for changed := true; changed; {
+		changed = false
+		for _, rec := range l.structs {
+			if !rec.ok {
+				continue
+			}
+			for _, fr := range rec.fields {
+				te := rec.fieldType[fr.goName]
+				ft := l.info.Types[te].Type
+				if ft == nil {
+					rec.ok, rec.badMsg, rec.badPos = false, "field type did not resolve", fr.pos
+					changed = true
+					break
+				}
+				if _, isStruct := l.structValue(ft); isStruct {
+					rec.ok, rec.badMsg, rec.badPos = false,
+						fmt.Sprintf("struct-valued field %s is outside the subset (use a pointer)", fr.goName), fr.pos
+					changed = true
+					break
+				}
+				mt, err := l.mtypeOf(ft)
+				if err != nil {
+					rec.ok, rec.badMsg, rec.badPos = false, fmt.Sprintf("field %s: %v", fr.goName, err), fr.pos
+					changed = true
+					break
+				}
+				rec.fieldMt[fr.goName] = mt
+			}
+		}
+	}
+	for _, rec := range l.structs {
+		if !rec.ok {
+			l.addErr("type "+rec.obj.Name(), rec.badPos, rec.badMsg)
+			continue
+		}
+		for m := range rec.mutexes {
+			l.addGuard(rec.obj.Name() + "." + m)
+		}
+	}
+}
+
+func (l *lowerer) addGuard(id string) {
+	for _, g := range l.pkg.Guards {
+		if g == id {
+			return
+		}
+	}
+	l.pkg.Guards = append(l.pkg.Guards, id)
+}
+
+func (l *lowerer) collectGlobals() {
+	for _, f := range l.files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			declMsg, declAt := l.declErr[d], l.declErrAt[d]
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				if len(vs.Values) != 0 && len(vs.Values) != len(vs.Names) {
+					for _, nm := range vs.Names {
+						l.rejectGlobal(nm, vs, "multi-value initialization is outside the subset")
+					}
+					continue
+				}
+				for i, nm := range vs.Names {
+					var init ast.Expr
+					if len(vs.Values) > 0 {
+						init = vs.Values[i]
+					}
+					if declMsg != "" {
+						l.rejectGlobalAt(nm, vs, declMsg, declAt)
+						continue
+					}
+					l.collectGlobal(nm, vs, init)
+				}
+			}
+		}
+	}
+}
+
+func (l *lowerer) rejectGlobal(nm *ast.Ident, vs *ast.ValueSpec, msg string) {
+	l.rejectGlobalAt(nm, vs, msg, nm.Pos())
+}
+
+func (l *lowerer) rejectGlobalAt(nm *ast.Ident, vs *ast.ValueSpec, msg string, at token.Pos) {
+	l.addErr("var "+nm.Name, at, msg)
+	if obj := l.info.Defs[nm]; obj != nil {
+		rec := &globalRec{obj: obj, spec: vs, kind: gRejected}
+		l.globals = append(l.globals, rec)
+		l.globalOf[obj] = rec
+	}
+}
+
+func (l *lowerer) collectGlobal(nm *ast.Ident, vs *ast.ValueSpec, init ast.Expr) {
+	obj := l.info.Defs[nm]
+	if obj == nil {
+		l.rejectGlobal(nm, vs, "declaration did not resolve")
+		return
+	}
+	t := obj.Type()
+	rec := &globalRec{obj: obj, spec: vs, init: init}
+	switch {
+	case isMutexType(t):
+		rec.kind = gMutex
+		l.addGuard(nm.Name)
+	case isWaitGroupType(t):
+		rec.kind = gWG
+	default:
+		if srec, isStruct := l.structValue(t); isStruct {
+			if srec == nil || !srec.ok {
+				l.rejectGlobal(nm, vs, "variable of a rejected or foreign struct type")
+				return
+			}
+			rec.kind = gSlot
+			rec.pointerized = true
+			rec.mt = mtype{base: srec.minicName, ptr: 1}
+			rec.minicName = l.freshTop(nm.Name)
+			break
+		}
+		mt, err := l.mtypeOf(t)
+		if err != nil {
+			l.rejectGlobal(nm, vs, err.Error())
+			return
+		}
+		rec.kind = gSlot
+		rec.mt = mt
+		rec.minicName = l.freshTop(nm.Name)
+	}
+	l.globals = append(l.globals, rec)
+	l.globalOf[obj] = rec
+}
+
+func (l *lowerer) collectFuncs() {
+	for _, f := range l.files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			rec := l.analyzeFunc(fd)
+			l.funcs = append(l.funcs, rec)
+			if rec.obj != nil {
+				l.funcOf[rec.obj] = rec
+			}
+		}
+	}
+}
+
+func (l *lowerer) analyzeFunc(fd *ast.FuncDecl) *funcRec {
+	rec := &funcRec{decl: fd, goName: fd.Name.Name}
+	rec.obj = l.info.Defs[fd.Name]
+	absent := func(pos token.Pos, format string, args ...any) *funcRec {
+		rec.state = fnAbsent
+		rec.rejectMsg = fmt.Sprintf(format, args...)
+		rec.rejectPos = pos
+		return rec
+	}
+	if rec.obj == nil {
+		return absent(fd.Pos(), "declaration did not resolve")
+	}
+	// Receiver.
+	if fd.Recv != nil {
+		fld := fd.Recv.List[0]
+		rt := l.info.Types[fld.Type].Type
+		ptr, isPtr := types.Unalias(rt).(*types.Pointer)
+		if !isPtr {
+			return absent(fld.Pos(), "value receivers are outside the subset (use a pointer receiver)")
+		}
+		srec, isStruct := l.structValue(ptr.Elem())
+		if !isStruct || srec == nil || !srec.ok {
+			return absent(fld.Pos(), "methods are only supported on pointers to accepted struct types")
+		}
+		rec.goName = fmt.Sprintf("(*%s).%s", srec.obj.Name(), fd.Name.Name)
+		rec.hasRecv = true
+		name := "self"
+		var robj types.Object
+		if len(fld.Names) == 1 && fld.Names[0].Name != "_" {
+			name = fld.Names[0].Name
+			robj = l.info.Defs[fld.Names[0]]
+		}
+		rec.params = append(rec.params, &paramRec{obj: robj, name: name, mt: mtype{base: srec.minicName, ptr: 1}})
+		rec.minicName = l.freshTop(srec.obj.Name() + "_" + fd.Name.Name)
+	} else {
+		rec.minicName = l.freshTop(fd.Name.Name)
+	}
+	if err := l.analyzeSignature(fd.Type, rec); err != nil {
+		pos := fd.Pos()
+		if pe, ok := err.(*posErr); ok {
+			pos = pe.pos
+		}
+		return absent(pos, "%s", err.Error())
+	}
+	if fd.Body == nil {
+		rec.state = fnExtern
+		rec.rejectMsg = "function has no body"
+		rec.rejectPos = fd.Pos()
+	}
+	return rec
+}
+
+// analyzeSignature checks parameters and results of a function type against
+// the subset, appending parameter records to rec (after any receiver).
+func (l *lowerer) analyzeSignature(ft *ast.FuncType, rec *funcRec) error {
+	for _, fld := range ft.Params.List {
+		pt := l.info.Types[fld.Type].Type
+		names := fld.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{nil}
+		}
+		for _, nm := range names {
+			pr := &paramRec{name: "_arg"}
+			if nm != nil && nm.Name != "_" {
+				pr.name = nm.Name
+				pr.obj = l.info.Defs[nm]
+			}
+			switch {
+			case pt == nil:
+				return errAt(fld.Pos(), "parameter type did not resolve")
+			case isWaitGroupType(pt):
+				if _, isPtr := types.Unalias(pt).(*types.Pointer); !isPtr {
+					return errAt(fld.Pos(), "sync.WaitGroup must be passed by pointer")
+				}
+				pr.wg = true
+			case isMutexType(pt):
+				return errAt(fld.Pos(), "mutex parameters are outside the subset (declare the mutex where the data lives)")
+			default:
+				if _, isEllipsis := fld.Type.(*ast.Ellipsis); isEllipsis {
+					return errAt(fld.Pos(), "variadic functions are outside the subset")
+				}
+				if _, isStruct := l.structValue(pt); isStruct {
+					return errAt(fld.Pos(), "struct-valued parameters are outside the subset (pass a pointer)")
+				}
+				mt, err := l.mtypeOf(pt)
+				if err != nil {
+					return errAt(fld.Pos(), "parameter %s: %v", pr.name, err)
+				}
+				pr.mt = mt
+			}
+			rec.params = append(rec.params, pr)
+		}
+	}
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		if len(ft.Results.List) > 1 || len(ft.Results.List[0].Names) > 1 {
+			return errAt(ft.Results.Pos(), "multiple results are outside the subset")
+		}
+		if len(ft.Results.List[0].Names) == 1 {
+			return errAt(ft.Results.Pos(), "named results are outside the subset")
+		}
+		rt := l.info.Types[ft.Results.List[0].Type].Type
+		if rt == nil {
+			return errAt(ft.Results.Pos(), "result type did not resolve")
+		}
+		if _, isStruct := l.structValue(rt); isStruct {
+			return errAt(ft.Results.Pos(), "struct-valued results are outside the subset (return a pointer)")
+		}
+		mt, err := l.mtypeOf(rt)
+		if err != nil {
+			return errAt(ft.Results.Pos(), "result: %v", err)
+		}
+		rec.ret = &mt
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Function emission
+
+func (l *lowerer) emitExtern(main *emitter, rec *funcRec) {
+	ret := "void"
+	if rec.ret != nil {
+		ret = rec.ret.String()
+	}
+	var parts []string
+	n := 0
+	for _, pr := range rec.params {
+		if pr.wg {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s a%d", pr.mt, n))
+		n++
+	}
+	pos := token.NoPos
+	if rec.decl != nil {
+		pos = rec.decl.Pos()
+	}
+	main.emitf(pos, "%s %s(%s);", ret, rec.minicName, strings.Join(parts, ", "))
+}
+
+func (l *lowerer) lowerFuncDecl(main *emitter, rec *funcRec) {
+	if rec.state == fnAbsent {
+		l.addErr("func "+rec.goName, rec.rejectPos, rec.rejectMsg)
+		return
+	}
+	if msg, charged := l.declErr[ast.Decl(rec.decl)]; charged {
+		l.addErr("func "+rec.goName, l.declErrAt[rec.decl], msg)
+		rec.state = fnExtern
+		l.emitExtern(main, rec)
+		return
+	}
+	if rec.state == fnExtern { // bodyless declaration
+		l.emitExtern(main, rec)
+		return
+	}
+	out := &declOut{}
+	tmpN, goN := 0, 0
+	fl := newFnLowerer(l, rec, out, nil, &tmpN, &goN)
+	fl.body = rec.decl.Body
+	fl.declPos = rec.decl.Pos()
+	fl.funcDirective = l.hasDirective(rec.decl.Pos()) || docHasDirective(rec.decl.Doc)
+	if err := fl.lowerBody(); err != nil {
+		pos := rec.decl.Pos()
+		if pe, ok := err.(*posErr); ok {
+			pos = pe.pos
+		}
+		l.addErr("func "+rec.goName, pos, err.Error())
+		rec.state = fnExtern
+		rec.rejectMsg = err.Error()
+		rec.rejectPos = pos
+		l.emitExtern(main, rec)
+		return
+	}
+	l.registerLowered(main, &loweredFn{rec: rec, e: fl.e, meta: fl.meta})
+	for _, lf := range out.lifted {
+		l.registerLowered(main, lf)
+	}
+}
+
+// registerLowered splices one lowered function into the main emitter and
+// rebases its sidecar records (section lines and ids) into the package.
+func (l *lowerer) registerLowered(main *emitter, lf *loweredFn) {
+	offset := main.splice(lf.e)
+	base := len(l.pkg.Sections)
+	for _, sec := range lf.meta.sections {
+		sec.MinicLine += offset
+		sec.ID = len(l.pkg.Sections)
+		l.pkg.Sections = append(l.pkg.Sections, sec)
+	}
+	for i := range lf.meta.accesses {
+		if lf.meta.accesses[i].Section >= 0 {
+			lf.meta.accesses[i].Section += base
+		}
+	}
+	l.pkg.Accesses = append(l.pkg.Accesses, lf.meta.accesses...)
+	l.pkg.Calls = append(l.pkg.Calls, lf.meta.calls...)
+	l.pkg.Barriers = append(l.pkg.Barriers, lf.meta.barriers...)
+	if lf.meta.info != nil {
+		l.pkg.Funcs = append(l.pkg.Funcs, lf.meta.info)
+	}
+}
+
+// lowerPkgInit emits the synthesized function holding the package-level
+// initializers that could not be expressed inline. It is never called from
+// lowered code: its accesses happen before any goroutine exists, and the
+// diagnostic pass exempts them via Package.InitFn.
+func (l *lowerer) lowerPkgInit(main *emitter) {
+	if len(l.pending) == 0 {
+		return
+	}
+	name := l.freshTop("lockinfer_pkginit")
+	rec := &funcRec{minicName: name, goName: "package initializer"}
+	tmpN, goN := 0, 0
+	fl := newFnLowerer(l, rec, &declOut{}, nil, &tmpN, &goN)
+	fl.e.emitf(l.pending[0].pos, "void %s() {", name)
+	fl.e.indent++
+	for _, pi := range l.pending {
+		rv, err := fl.rvalue(pi.expr)
+		if err != nil {
+			pos := pi.pos
+			if pe, ok := err.(*posErr); ok {
+				pos = pe.pos
+			}
+			l.addErr("var "+pi.slot, pos, "initializer: "+err.Error())
+			continue
+		}
+		fl.e.emitf(pi.pos, "%s = %s;", pi.target, rv)
+		if pi.slot != "" {
+			fl.record(pi.slot, true, pi.pos)
+		}
+	}
+	fl.e.indent--
+	fl.e.emit(token.NoPos, "}")
+	fl.meta.info = &FuncInfo{MinicName: name, GoName: "package initializer", Pos: l.pending[0].pos}
+	l.registerLowered(main, &loweredFn{rec: rec, e: fl.e, meta: fl.meta})
+	l.pkg.InitFn = name
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+
+func (l *lowerer) emitStructs(e *emitter) {
+	for _, rec := range l.structs {
+		if !rec.ok {
+			continue
+		}
+		e.emitf(rec.spec.Pos(), "struct %s {", rec.minicName)
+		e.indent++
+		for _, fr := range rec.fields {
+			e.emitf(fr.pos, "%s %s;", rec.fieldMt[fr.goName], fr.minicName)
+		}
+		e.indent--
+		e.emit(token.NoPos, "}")
+	}
+}
+
+// constText renders a constant-folded expression, when it is one.
+func (l *lowerer) constText(e ast.Expr) (string, bool) {
+	tv, ok := l.info.Types[e]
+	if !ok || tv.Value == nil {
+		return "", false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int:
+		v, exact := constant.Int64Val(tv.Value)
+		if !exact {
+			return "", false
+		}
+		if v < 0 {
+			return fmt.Sprintf("(0 - %d)", -v), true
+		}
+		return fmt.Sprintf("%d", v), true
+	case constant.Bool:
+		if constant.BoolVal(tv.Value) {
+			return "1", true
+		}
+		return "0", true
+	}
+	return "", false
+}
+
+// zeroComposite reports whether e is an empty composite literal (S{}, &S{})
+// or new(S) of a supported struct, returning the struct rec.
+func (l *lowerer) zeroComposite(e ast.Expr) (*structRec, bool) {
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return l.zeroComposite(x.X)
+		}
+	case *ast.CompositeLit:
+		if len(x.Elts) != 0 {
+			return nil, false
+		}
+		if rec, ok := l.structValue(l.info.Types[x].Type); ok && rec != nil && rec.ok {
+			return rec, true
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := l.info.Uses[id].(*types.Builtin); isBuiltin && len(x.Args) == 1 {
+				if rec, ok := l.structValue(l.info.Types[x.Args[0]].Type); ok && rec != nil && rec.ok {
+					return rec, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+func (l *lowerer) emitGlobals(e *emitter) {
+	for _, rec := range l.globals {
+		if rec.kind != gSlot {
+			continue
+		}
+		nm := rec.obj.Name()
+		pos := rec.obj.Pos()
+		if rec.pointerized {
+			// var c Counter  =>  Counter* c = new Counter;
+			e.emitf(pos, "%s %s = new %s;", rec.mt, rec.minicName, rec.mt.base)
+			if cl, ok := rec.init.(*ast.CompositeLit); ok {
+				if err := l.queueCompositeInit(rec, cl); err != nil {
+					l.demoteGlobal(rec, err)
+				}
+			} else if rec.init != nil {
+				l.demoteGlobal(rec, errAt(rec.init.Pos(), "struct-valued initializer must be a composite literal"))
+			}
+			continue
+		}
+		switch {
+		case rec.init == nil:
+			e.emitf(pos, "%s %s;", rec.mt, rec.minicName)
+		default:
+			if txt, ok := l.constText(rec.init); ok {
+				e.emitf(pos, "%s %s = %s;", rec.mt, rec.minicName, txt)
+				continue
+			}
+			if srec, ok := l.zeroComposite(rec.init); ok && rec.mt.ptr == 1 && rec.mt.base == srec.minicName {
+				e.emitf(pos, "%s %s = new %s;", rec.mt, rec.minicName, srec.minicName)
+				continue
+			}
+			if isNilIdent(l.info, rec.init) {
+				e.emitf(pos, "%s %s;", rec.mt, rec.minicName)
+				continue
+			}
+			// Composite literal with elements, make(), arithmetic over other
+			// globals, calls: defer to the synthesized init function.
+			e.emitf(pos, "%s %s;", rec.mt, rec.minicName)
+			l.pending = append(l.pending, pendingInit{
+				target: rec.minicName, slot: nm, expr: rec.init, pos: rec.init.Pos(),
+			})
+		}
+	}
+}
+
+// queueCompositeInit schedules `g = S{f: v, ...}` field writes for the
+// synthesized init function.
+func (l *lowerer) queueCompositeInit(rec *globalRec, cl *ast.CompositeLit) error {
+	srec, _ := l.structValue(l.info.Types[cl].Type)
+	if srec == nil {
+		return errAt(cl.Pos(), "composite literal type is outside the subset")
+	}
+	for i, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		var goField string
+		var val ast.Expr
+		if ok {
+			key, isIdent := kv.Key.(*ast.Ident)
+			if !isIdent {
+				return errAt(kv.Pos(), "non-identifier composite keys are outside the subset")
+			}
+			goField, val = key.Name, kv.Value
+		} else {
+			// Positional: map to the i-th declared Go field (mutex/wg fields
+			// make positions ambiguous; require keys then).
+			if len(srec.mutexes) > 0 || len(srec.wgFields) > 0 || i >= len(srec.fields) {
+				return errAt(elt.Pos(), "positional composite literals are only supported for structs without sync fields")
+			}
+			goField, val = srec.fields[i].goName, elt
+		}
+		if srec.mutexes[goField] || srec.wgFields[goField] {
+			return errAt(elt.Pos(), "sync fields cannot be initialized in a composite literal")
+		}
+		fr := srec.fieldByGo(goField)
+		if fr == nil {
+			return errAt(elt.Pos(), "unknown field %s in composite literal", goField)
+		}
+		l.pending = append(l.pending, pendingInit{
+			target: fmt.Sprintf("%s->%s", rec.minicName, fr.minicName),
+			slot:   srec.obj.Name() + "." + goField,
+			expr:   val, pos: val.Pos(),
+		})
+	}
+	return nil
+}
+
+func (r *structRec) fieldByGo(name string) *fieldRec {
+	for _, fr := range r.fields {
+		if fr.goName == name {
+			return fr
+		}
+	}
+	return nil
+}
+
+// demoteGlobal marks a global as rejected after its decl line was already
+// emitted (the decl stays; only the unsupported initializer is dropped).
+func (l *lowerer) demoteGlobal(rec *globalRec, err error) {
+	pos := rec.obj.Pos()
+	if pe, ok := err.(*posErr); ok {
+		pos = pe.pos
+	}
+	l.addErr("var "+rec.obj.Name(), pos, err.Error())
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

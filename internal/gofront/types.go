@@ -1,0 +1,108 @@
+package gofront
+
+// Type checking. The frontend runs the real go/types checker over the
+// package, but hermetically: the only importable package is a synthesized
+// "sync" (Mutex, RWMutex, WaitGroup with their locking/waiting methods),
+// so lowering needs no compiled standard library, no module cache and no
+// network. Type errors do not abort the lowering — they are collected and
+// charged to the declaration they occur in, which is what makes partial
+// lowering of real files work.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// syncPackage synthesizes the subset of package sync the frontend models.
+func syncPackage() *types.Package {
+	pkg := types.NewPackage("sync", "sync")
+	mkType := func(name string, methods []string) *types.Named {
+		tn := types.NewTypeName(token.NoPos, pkg, name, nil)
+		named := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+		for _, m := range methods {
+			recv := types.NewVar(token.NoPos, pkg, "x", types.NewPointer(named))
+			sig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+			named.AddMethod(types.NewFunc(token.NoPos, pkg, m, sig))
+		}
+		pkg.Scope().Insert(tn)
+		return named
+	}
+	mkType("Mutex", []string{"Lock", "Unlock", "TryLock"})
+	mkType("RWMutex", []string{"Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock"})
+	// WaitGroup.Add takes an int; model the signature faithfully so calls
+	// type-check.
+	wg := mkType("WaitGroup", []string{"Done", "Wait"})
+	recv := types.NewVar(token.NoPos, pkg, "x", types.NewPointer(wg))
+	delta := types.NewVar(token.NoPos, pkg, "delta", types.Typ[types.Int])
+	sig := types.NewSignatureType(recv, nil, nil, types.NewTuple(delta), nil, false)
+	wg.AddMethod(types.NewFunc(token.NoPos, pkg, "Add", sig))
+	pkg.MarkComplete()
+	return pkg
+}
+
+// syncImporter resolves "sync" to the synthesized package and refuses
+// everything else (the resulting type errors become per-declaration
+// rejections).
+type syncImporter struct{ sync *types.Package }
+
+func (im *syncImporter) Import(path string) (*types.Package, error) {
+	if path == "sync" {
+		if im.sync == nil {
+			im.sync = syncPackage()
+		}
+		return im.sync, nil
+	}
+	return nil, fmt.Errorf("import %q is outside the lowering subset (only \"sync\" is modeled)", path)
+}
+
+// typeErrors runs the checker, returning the populated info plus the
+// collected hard errors (soft errors — unused variables and imports — do
+// not affect lowering soundness and are dropped).
+func typecheck(fset *token.FileSet, files []*ast.File, name string) (*types.Info, *types.Package, []types.Error) {
+	var hard []types.Error
+	conf := types.Config{
+		Importer: &syncImporter{},
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok && !te.Soft {
+				hard = append(hard, te)
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	// Check returns the first error; everything is in `hard` already.
+	tpkg, _ := conf.Check(name, fset, files, info)
+	return info, tpkg, hard
+}
+
+// isSyncType reports whether t (possibly behind pointers) is the named
+// sync type with the given name.
+func isSyncType(t types.Type, name string) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+func isMutexType(t types.Type) bool {
+	return isSyncType(t, "Mutex") || isSyncType(t, "RWMutex")
+}
+
+func isWaitGroupType(t types.Type) bool { return isSyncType(t, "WaitGroup") }

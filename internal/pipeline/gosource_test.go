@@ -1,0 +1,114 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"lockinfer/internal/pipeline"
+)
+
+const goCounterSrc = `package counter
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n = c.n + 1
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func run() {
+	c := &Counter{}
+	go c.Inc()
+	c.Inc()
+}
+`
+
+// TestCompileGoSource pins the second parse pass: a real Go package is
+// detected by its package clause, lowered by gofront, and flows through
+// the whole pipeline to an inferred plan for every recovered section.
+func TestCompileGoSource(t *testing.T) {
+	cache := pipeline.NewCache(0)
+	opts := pipeline.Options{Cache: cache, Trace: pipeline.NewTrace(), Name: "counter.go"}
+	c, err := pipeline.Compile(goCounterSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GoPackage == nil {
+		t.Fatal("Go source compiled without a GoPackage artifact")
+	}
+	if got, want := len(c.GoPackage.Sections), 2; got != want {
+		t.Fatalf("recovered %d sections, want %d", got, want)
+	}
+	if got, want := len(c.Program.Sections), 2; got != want {
+		t.Fatalf("IR has %d sections, want %d", got, want)
+	}
+	// The i-th gofront section corresponds to the i-th IR section: the
+	// lowered atomic keyword sits on the minic line gofront recorded.
+	for i, sec := range c.GoPackage.Sections {
+		if c.Program.Sections[i].Pos.Line != sec.MinicLine {
+			t.Errorf("section %d: IR line %d, gofront MinicLine %d",
+				i, c.Program.Sections[i].Pos.Line, sec.MinicLine)
+		}
+	}
+	plan := c.Plan()
+	for i := range c.Program.Sections {
+		if len(plan[i]) == 0 {
+			t.Errorf("section %d inferred an empty lock set", i)
+		}
+	}
+
+	// Recompiling identical Go source hits the front cache and restores
+	// the GoPackage artifact.
+	tr := pipeline.NewTrace()
+	c2, err := pipeline.Compile(goCounterSrc, pipeline.Options{Cache: cache, Trace: tr, Name: "counter.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.GoPackage != c.GoPackage {
+		t.Error("cache hit did not share the GoPackage artifact")
+	}
+	hit := false
+	for _, ps := range tr.Passes() {
+		if ps.Pass == "gofront" && ps.CacheHits > 0 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Error("recompile did not replay a gofront cache-hit sample")
+	}
+
+	// Toy-language sources keep GoPackage nil.
+	toy, err := pipeline.Compile("int g;\nvoid main() { atomic { g = 1; } }\n",
+		pipeline.Options{Trace: pipeline.NewTrace()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toy.GoPackage != nil {
+		t.Error("toy source unexpectedly produced a GoPackage")
+	}
+}
+
+// TestCompileGoSourceFrontError pins the error surface: a Go package whose
+// lowering fails entirely still reports a positioned gofront failure.
+func TestCompileGoSourceFrontError(t *testing.T) {
+	src := "package broken\n\nfunc f() { undefined() }\n"
+	c, err := pipeline.Compile(src, pipeline.Options{Trace: pipeline.NewTrace(), Name: "broken.go"})
+	if err != nil {
+		t.Fatalf("partial lowering should still compile: %v", err)
+	}
+	if c.GoPackage == nil || len(c.GoPackage.Errors) == 0 {
+		t.Fatal("expected per-declaration errors on the GoPackage")
+	}
+}

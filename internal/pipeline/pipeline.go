@@ -31,6 +31,7 @@ import (
 
 	"lockinfer/internal/andersen"
 	"lockinfer/internal/codegen"
+	"lockinfer/internal/gofront"
 	"lockinfer/internal/infer"
 	"lockinfer/internal/ir"
 	"lockinfer/internal/lang"
@@ -122,17 +123,22 @@ type Compilation struct {
 	Results []*infer.Result
 	// K is the expression length bound used.
 	K int
+	// GoPackage is the real-Go frontend artifact when Source was a Go file
+	// (detected by its package clause); nil for toy-language sources. Its
+	// Minic text is what the rest of the pipeline compiled.
+	GoPackage *gofront.Package
 
 	opts Options
 	hash string
 	and  *andersen.Analysis
 }
 
-// frontArtifacts bundles the parse and lower outputs (cached jointly: both
-// depend only on the source).
+// frontArtifacts bundles the parse and lower outputs (cached jointly: all
+// depend only on the source), plus the Go frontend artifact for Go sources.
 type frontArtifacts struct {
-	ast  *lang.Program
-	prog *ir.Program
+	ast   *lang.Program
+	prog  *ir.Program
+	gopkg *gofront.Package
 }
 
 // inferArtifacts bundles the inference outputs with the engine counters
@@ -157,18 +163,36 @@ func Compile(src string, opts Options) (*Compilation, error) {
 	return c, nil
 }
 
-// front runs (or recalls) the parse and lower passes.
+// front runs (or recalls) the parse and lower passes. Go sources (detected
+// by their package clause) first pass through the gofront lowering; the
+// toy-language text it emits is what parse and lower then consume.
 func (c *Compilation) front() error {
 	key := "front|" + c.hash
 	if v, ok := cacheGet(c.opts.Cache, key); ok {
 		fa := v.(*frontArtifacts)
-		c.AST, c.Program = fa.ast, fa.prog
+		c.AST, c.Program, c.GoPackage = fa.ast, fa.prog, fa.gopkg
+		if fa.gopkg != nil {
+			c.opts.Trace.Record(Sample{Pass: "gofront", CacheHit: true})
+		}
 		c.opts.Trace.Record(Sample{Pass: "parse", CacheHit: true})
 		c.opts.Trace.Record(Sample{Pass: "lower", CacheHit: true})
 		return nil
 	}
+	parseSrc := c.Source
+	if gofront.IsGoSource(c.Source) {
+		start := time.Now()
+		pkg, err := gofront.LowerSource(c.Name, c.Source)
+		if err != nil {
+			return failed("gofront", c.Name, err)
+		}
+		c.opts.Trace.Record(Sample{
+			Pass: "gofront", Wall: time.Since(start), Facts: int64(len(pkg.Funcs)),
+		})
+		c.GoPackage = pkg
+		parseSrc = pkg.Minic
+	}
 	start := time.Now()
-	ast, err := lang.Parse(c.Source)
+	ast, err := lang.Parse(parseSrc)
 	if err != nil {
 		return failed("parse", c.Name, err)
 	}
@@ -186,7 +210,7 @@ func (c *Compilation) front() error {
 	}
 	c.opts.Trace.Record(Sample{Pass: "lower", Wall: time.Since(start), Facts: stmts})
 	c.AST, c.Program = ast, prog
-	cachePut(c.opts.Cache, key, &frontArtifacts{ast: ast, prog: prog})
+	cachePut(c.opts.Cache, key, &frontArtifacts{ast: ast, prog: prog, gopkg: c.GoPackage})
 	return nil
 }
 

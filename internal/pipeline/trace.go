@@ -91,7 +91,8 @@ func (t *Trace) Record(s Sample) {
 // canonicalOrder fixes the display order of the compiler's own passes;
 // foreign passes sort alphabetically after them.
 var canonicalOrder = map[string]int{
-	"parse": 0, "lower": 1, "pointsto": 2, "andersen": 3,
+	"gofront": -1,
+	"parse":   0, "lower": 1, "pointsto": 2, "andersen": 3,
 	"infer": 4, "plan": 5, "transform": 6, "codegen": 7,
 }
 

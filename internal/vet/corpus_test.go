@@ -1,0 +1,167 @@
+package vet_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/audit"
+	"lockinfer/internal/gofront"
+	"lockinfer/internal/pipeline"
+	"lockinfer/internal/vet"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden lockvet outputs")
+
+const corpusDir = "../../testdata/goprogs"
+
+// corpusFiles returns the corpus sources, with repo-relative names so the
+// goldens match what `lockvet testdata/goprogs/x.go` prints from the root.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	ents, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) < 16 {
+		t.Fatalf("corpus has %d files, want at least 16 (8 buggy/clean pairs)", len(names))
+	}
+	return names
+}
+
+func renderReport(rep *vet.Report) string {
+	var b strings.Builder
+	for _, d := range rep.Diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	for _, d := range rep.Subset {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCorpusGoldens runs the full lockvet analysis over every corpus package
+// and compares against the golden outputs. Buggy packages must be flagged,
+// clean variants must be silent, and nothing may fall out of the gofront
+// subset. Regenerate with `go test ./internal/vet -run Goldens -update`.
+func TestCorpusGoldens(t *testing.T) {
+	for _, name := range corpusFiles(t) {
+		t.Run(strings.TrimSuffix(name, ".go"), func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(corpusDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := gofront.LowerSource("testdata/goprogs/"+name, string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pkg.Errors) > 0 {
+				t.Errorf("corpus package is not fully in the subset: %v", pkg.Errors[0])
+			}
+			rep := vet.Analyze(pkg, vet.Options{})
+			got := renderReport(rep)
+
+			clean := strings.HasSuffix(name, "_clean.go")
+			if clean && rep.Failed() {
+				t.Errorf("clean variant flagged:\n%s", got)
+			}
+			if !clean && !rep.Failed() {
+				t.Error("buggy package produced no diagnostics")
+			}
+
+			goldenPath := filepath.Join(corpusDir, "golden", strings.TrimSuffix(name, ".go")+".txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output differs from golden %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestCorpusBugClasses pins that each seeded defect class is reported with
+// the right diagnostic kind at least once across the corpus.
+func TestCorpusBugClasses(t *testing.T) {
+	wantKinds := map[string]string{
+		"account_two_mutexes.go":  "inconsistent",
+		"cache_rwmutex.go":        "unguarded",
+		"counter_inconsistent.go": "unguarded",
+		"double_guard.go":         "inconsistent",
+		"order_inversion.go":      "lock-order",
+		"publish_unguarded.go":    "unguarded",
+		"register_directive.go":   "unguarded",
+		"stats_mixed.go":          "unguarded",
+	}
+	for name, kind := range wantKinds {
+		src, err := os.ReadFile(filepath.Join(corpusDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := gofront.LowerSource("testdata/goprogs/"+name, string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := vet.Analyze(pkg, vet.Options{NoSuggest: true})
+		found := false
+		for _, d := range rep.Diags {
+			if d.Kind == kind {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no %q diagnostic; got %v", name, kind, rep.Diags)
+		}
+	}
+}
+
+// TestShowcaseEndToEnd drives one corpus package through the whole paper
+// pipeline: Go source → gofront → IR → inferred plan → audit, which must
+// come back sound, with a non-empty plan for every directive section.
+func TestShowcaseEndToEnd(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(corpusDir, "register_directive_clean.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pipeline.Compile(string(src), pipeline.Options{
+		Name: "register_directive_clean.go", Trace: pipeline.NewTrace(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GoPackage == nil {
+		t.Fatal("pipeline did not detect Go source")
+	}
+	if got := len(c.Program.Sections); got != 3 {
+		t.Fatalf("lowered %d sections, want 3", got)
+	}
+	plan := c.Plan()
+	for i := range c.Program.Sections {
+		if len(plan[i]) == 0 {
+			t.Errorf("directive section %d inferred an empty plan", i)
+		}
+	}
+	rep := audit.Run(c.Program, c.Points, c.Andersen(), plan, audit.Options{})
+	if !rep.Sound() {
+		t.Errorf("audit of the inferred plan is unsound: %v", rep.Err())
+	}
+}

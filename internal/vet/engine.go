@@ -1,0 +1,448 @@
+package vet
+
+// The structural half of the analysis: interprocedural fixpoints over the
+// gofront metadata (effective guards, thread contexts, concurrency windows)
+// and the slot-consistency and lock-order checks built on them.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"lockinfer/internal/audit"
+	"lockinfer/internal/gofront"
+)
+
+type engine struct {
+	pkg   *gofront.Package
+	known map[string]bool // in-package function minic names
+
+	// eff[fn] is the set of guards held on *every* path that reaches fn:
+	// the intersection over call sites of (held at the call ∪ eff[caller]).
+	// Spawned callees start a fresh goroutine, so a go call contributes the
+	// empty set regardless of what the spawner held.
+	eff map[string]map[string]bool
+
+	// ctxs[fn] is the set of thread contexts fn may execute in: "main" for
+	// call-graph roots and their callees, one "go <file:line>" context per
+	// spawn site reaching fn.
+	ctxs map[string]map[string]bool
+
+	roots      map[string]bool
+	transSpawn map[string]bool      // fn spawns, directly or transitively
+	firstConc  map[string]token.Pos // first spawn-reaching statement in fn
+	joinPos    map[string]token.Pos // earliest barrier after fn's last spawn
+
+	// singleDriver is the unique spawning root, when there is exactly one —
+	// the case where pre-spawn and post-join accesses in it are provably
+	// single-threaded.
+	singleDriver string
+}
+
+func newEngine(pkg *gofront.Package) *engine {
+	e := &engine{
+		pkg:        pkg,
+		known:      map[string]bool{},
+		eff:        map[string]map[string]bool{},
+		ctxs:       map[string]map[string]bool{},
+		roots:      map[string]bool{},
+		transSpawn: map[string]bool{},
+		firstConc:  map[string]token.Pos{},
+		joinPos:    map[string]token.Pos{},
+	}
+	for _, fi := range pkg.Funcs {
+		e.known[fi.MinicName] = true
+	}
+	if pkg.InitFn != "" {
+		e.known[pkg.InitFn] = true
+	}
+	return e
+}
+
+func (e *engine) fnNames() []string {
+	out := make([]string, 0, len(e.known))
+	for fn := range e.known {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func setOf(items []string) map[string]bool {
+	m := make(map[string]bool, len(items))
+	for _, s := range items {
+		m[s] = true
+	}
+	return m
+}
+
+func intersectInto(dst map[string]bool, src map[string]bool) bool {
+	changed := false
+	for g := range dst {
+		if !src[g] {
+			delete(dst, g)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// solveEffectiveGuards runs the decreasing fixpoint for eff. Functions with
+// no in-package callers are entry points and hold nothing on entry.
+func (e *engine) solveEffectiveGuards() {
+	all := map[string]bool{gofront.AtomicGuard: true}
+	for _, g := range e.pkg.Guards {
+		all[g] = true
+	}
+	hasCaller := map[string]bool{}
+	for _, c := range e.pkg.Calls {
+		if e.known[c.Callee] {
+			hasCaller[c.Callee] = true
+		}
+	}
+	for _, fn := range e.fnNames() {
+		if hasCaller[fn] && fn != e.pkg.InitFn {
+			cp := make(map[string]bool, len(all))
+			for g := range all {
+				cp[g] = true
+			}
+			e.eff[fn] = cp
+		} else {
+			e.eff[fn] = map[string]bool{}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range e.pkg.Calls {
+			if !e.known[c.Callee] || c.Callee == e.pkg.InitFn {
+				continue
+			}
+			avail := map[string]bool{}
+			if !c.Go {
+				avail = setOf(c.Held)
+				for g := range e.eff[c.Caller] {
+					avail[g] = true
+				}
+			}
+			if intersectInto(e.eff[c.Callee], avail) {
+				changed = true
+			}
+		}
+	}
+}
+
+// solveContexts propagates thread contexts over the call graph.
+func (e *engine) solveContexts() {
+	called := map[string]bool{}
+	for _, c := range e.pkg.Calls {
+		if e.known[c.Callee] {
+			called[c.Callee] = true
+		}
+	}
+	for _, fn := range e.fnNames() {
+		e.ctxs[fn] = map[string]bool{}
+		if !called[fn] {
+			e.roots[fn] = true
+			e.ctxs[fn]["main"] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, c := range e.pkg.Calls {
+			if !e.known[c.Callee] {
+				continue
+			}
+			dst := e.ctxs[c.Callee]
+			if c.Go {
+				p := e.pkg.Position(c.Pos)
+				ctx := fmt.Sprintf("go %s:%d", p.Filename, p.Line)
+				if !dst[ctx] {
+					dst[ctx] = true
+					changed = true
+				}
+				continue
+			}
+			for ctx := range e.ctxs[c.Caller] {
+				if !dst[ctx] {
+					dst[ctx] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// solveConcurrencyWindows computes, per function, where concurrency begins
+// (the first spawn-reaching statement) and where it provably ends (the
+// earliest wg.Wait barrier after the last spawn), then identifies the
+// single-driver shape where those windows make accesses exempt.
+func (e *engine) solveConcurrencyWindows() {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range e.pkg.Calls {
+			if e.transSpawn[c.Caller] {
+				continue
+			}
+			if c.Go || (e.known[c.Callee] && e.transSpawn[c.Callee]) {
+				e.transSpawn[c.Caller] = true
+				changed = true
+			}
+		}
+	}
+	for _, c := range e.pkg.Calls {
+		conc := c.Go || (e.known[c.Callee] && e.transSpawn[c.Callee])
+		if !conc {
+			continue
+		}
+		if cur, ok := e.firstConc[c.Caller]; !ok || c.Pos < cur {
+			e.firstConc[c.Caller] = c.Pos
+		}
+	}
+	lastSpawn := map[string]token.Pos{}
+	for _, c := range e.pkg.Calls {
+		if c.Go && c.Pos > lastSpawn[c.Caller] {
+			lastSpawn[c.Caller] = c.Pos
+		}
+	}
+	for _, b := range e.pkg.Barriers {
+		if b.Pos <= lastSpawn[b.Fn] {
+			continue // a later spawn races past this Wait
+		}
+		if cur, ok := e.joinPos[b.Fn]; !ok || b.Pos < cur {
+			e.joinPos[b.Fn] = b.Pos
+		}
+	}
+	var spawningRoots []string
+	for fn := range e.roots {
+		if e.transSpawn[fn] {
+			spawningRoots = append(spawningRoots, fn)
+		}
+	}
+	if len(spawningRoots) == 1 {
+		e.singleDriver = spawningRoots[0]
+	}
+}
+
+// mainOnly reports that fn executes in the main context exclusively.
+func (e *engine) mainOnly(fn string) bool {
+	c := e.ctxs[fn]
+	return len(c) == 1 && c["main"]
+}
+
+// exempt reports that the access happens while the program is provably
+// single-threaded: package initialization, the single driver before its
+// first spawn-reaching statement, or the single driver after all spawned
+// work has been joined.
+func (e *engine) exempt(a gofront.Access) bool {
+	if e.pkg.InitFn != "" && a.Fn == e.pkg.InitFn {
+		return true
+	}
+	if a.Fn != e.singleDriver || !e.mainOnly(a.Fn) {
+		return false
+	}
+	if fc, ok := e.firstConc[a.Fn]; ok && a.Pos < fc {
+		return true
+	}
+	if jp, ok := e.joinPos[a.Fn]; ok && a.Pos > jp {
+		return true
+	}
+	return false
+}
+
+// heldAt is the guard set in force at an access: the locks lexically held
+// plus the guards every caller chain is known to hold.
+func (e *engine) heldAt(a gofront.Access) map[string]bool {
+	gs := setOf(a.Held)
+	for g := range e.eff[a.Fn] {
+		gs[g] = true
+	}
+	return gs
+}
+
+// checkSlots runs the per-slot consistency check and returns the set of
+// section indices implicated by the diagnostics (for the suggestion pass).
+func (e *engine) checkSlots(rep *Report) map[int]bool {
+	bySlot := map[string][]int{}
+	for i, a := range e.pkg.Accesses {
+		bySlot[a.Slot] = append(bySlot[a.Slot], i)
+	}
+	slots := make([]string, 0, len(bySlot))
+	for s := range bySlot {
+		slots = append(slots, s)
+	}
+	sort.Strings(slots)
+
+	implicated := map[int]bool{}
+	seen := map[string]bool{}
+	for _, slot := range slots {
+		var live []int
+		writes := 0
+		ctxSet := map[string]bool{}
+		for _, i := range bySlot[slot] {
+			a := e.pkg.Accesses[i]
+			if e.exempt(a) {
+				continue
+			}
+			live = append(live, i)
+			if a.Write {
+				writes++
+			}
+			for ctx := range e.ctxs[a.Fn] {
+				ctxSet[ctx] = true
+			}
+		}
+		// Only slots reachable from two thread contexts with at least one
+		// write can race; everything else is vacuously consistent.
+		if len(ctxSet) < 2 || writes == 0 {
+			continue
+		}
+		held := make([]map[string]bool, len(live))
+		common := map[string]bool{}
+		count := map[string]int{}
+		for k, i := range live {
+			held[k] = e.heldAt(e.pkg.Accesses[i])
+			for g := range held[k] {
+				count[g]++
+				if k == 0 {
+					common[g] = true
+				}
+			}
+			if k > 0 {
+				intersectInto(common, held[k])
+			}
+		}
+		if len(common) > 0 {
+			continue // one lock covers every access: consistent
+		}
+		// The dominant guard: the lock most sites agree on.
+		dominant, dn := "", 0
+		for _, g := range sortedKeysByCount(count) {
+			if count[g] > dn {
+				dominant, dn = g, count[g]
+			}
+		}
+		for k, i := range live {
+			a := e.pkg.Accesses[i]
+			if dominant != "" && held[k][dominant] {
+				continue
+			}
+			verb := "read"
+			if a.Write {
+				verb = "write"
+			}
+			var d Diagnostic
+			d.Pos = e.pkg.Position(a.Pos)
+			if len(held[k]) == 0 {
+				d.Kind = "unguarded"
+				if dominant == "" {
+					d.Msg = fmt.Sprintf("unguarded %s of %s: accessed from %d goroutine contexts with no lock held anywhere",
+						verb, slot, len(ctxSet))
+				} else {
+					d.Msg = fmt.Sprintf("unguarded %s of %s: no lock is held on this path, but %s is guarded by %s at %d of %d access sites",
+						verb, slot, slot, dominant, dn, len(live))
+				}
+			} else {
+				d.Kind = "inconsistent"
+				d.Msg = fmt.Sprintf("inconsistent guard for %s: %s held at this %s, but %s is guarded by %s at %d of %d access sites",
+					slot, joinGuards(held[k]), verb, slot, dominant, dn, len(live))
+			}
+			key := d.Kind + "|" + slot + "|" + d.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rep.Diags = append(rep.Diags, d)
+			for _, j := range bySlot[slot] {
+				if sec := e.pkg.Accesses[j].Section; sec >= 0 {
+					implicated[sec] = true
+				}
+			}
+		}
+	}
+	return implicated
+}
+
+// sortedKeysByCount returns guards sorted by descending count then name, so
+// the dominant-guard choice is deterministic.
+func sortedKeysByCount(count map[string]int) []string {
+	out := make([]string, 0, len(count))
+	for g := range count {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if count[out[i]] != count[out[j]] {
+			return count[out[i]] > count[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// checkLockOrder builds the acquisition-order graph (held set → newly
+// acquired guard, per recovered section) and reports its cycles through the
+// auditor's SCC detector.
+func (e *engine) checkLockOrder(rep *Report, implicated map[int]bool) {
+	edges := map[string]map[string]bool{}
+	type edge struct{ from, to string }
+	edgePos := map[edge]token.Pos{}
+	edgeSec := map[edge]int{}
+	for idx, sec := range e.pkg.Sections {
+		g := sec.Guard
+		if g == "" {
+			g = gofront.AtomicGuard
+		}
+		outer := setOf(sec.Held)
+		for h := range e.eff[sec.Fn] {
+			outer[h] = true
+		}
+		for h := range outer {
+			if h == g {
+				continue
+			}
+			if edges[h] == nil {
+				edges[h] = map[string]bool{}
+			}
+			edges[h][g] = true
+			ed := edge{h, g}
+			if cur, ok := edgePos[ed]; !ok || sec.Pos < cur {
+				edgePos[ed] = sec.Pos
+				edgeSec[ed] = idx
+			}
+		}
+	}
+	for _, comp := range audit.FindCycles(edges) {
+		inComp := setOf(comp)
+		var cycleEdges []edge
+		for _, a := range comp {
+			for b := range edges[a] {
+				if inComp[b] {
+					cycleEdges = append(cycleEdges, edge{a, b})
+				}
+			}
+		}
+		sort.Slice(cycleEdges, func(i, j int) bool {
+			return edgePos[cycleEdges[i]] < edgePos[cycleEdges[j]]
+		})
+		if len(cycleEdges) == 0 {
+			continue
+		}
+		first := cycleEdges[0]
+		var parts []string
+		for _, ed := range cycleEdges[1:] {
+			p := e.pkg.Position(edgePos[ed])
+			parts = append(parts, fmt.Sprintf("%s before %s at %s:%d:%d", ed.from, ed.to, p.Filename, p.Line, p.Column))
+		}
+		msg := fmt.Sprintf("lock-order cycle among %s: %s is acquired before %s here",
+			joinGuards(inComp), first.from, first.to)
+		if len(parts) > 0 {
+			msg += ", but " + strings.Join(parts, ", and ")
+		}
+		rep.Diags = append(rep.Diags, Diagnostic{
+			Pos: e.pkg.Position(edgePos[first]), Kind: "lock-order", Msg: msg,
+		})
+		for _, ed := range cycleEdges {
+			implicated[edgeSec[ed]] = true
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package vet
+
+// The suggestion pass: for every atomic section implicated by a diagnostic,
+// run the paper's pipeline over the lowered minic program and attach a note
+// with the lock plan the inference derives for that section, plus the
+// auditor's footprint — concrete guidance on what the locking should be.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lockinfer/internal/audit"
+	"lockinfer/internal/gofront"
+	"lockinfer/internal/pipeline"
+)
+
+func suggest(pkg *gofront.Package, implicated map[int]bool, rep *Report) {
+	if len(implicated) == 0 {
+		return
+	}
+	c, err := pipeline.Compile(pkg.Minic, pipeline.Options{Name: pkg.Name, Trace: pipeline.NewTrace()})
+	if err != nil {
+		// Partial lowerings can leave the minic uncompilable in principle;
+		// the structural diagnostics stand on their own.
+		return
+	}
+	plan := c.Plan()
+	fp := audit.NewFootprinter(c.Program, c.Points, c.Andersen(), nil)
+
+	secs := make([]int, 0, len(implicated))
+	for i := range implicated {
+		if i >= 0 && i < len(pkg.Sections) && i < len(c.Program.Sections) {
+			secs = append(secs, i)
+		}
+	}
+	sort.Ints(secs)
+	for _, i := range secs {
+		gsec := pkg.Sections[i]
+		irSec := c.Program.Sections[i]
+		set := plan[irSec.ID]
+		planTxt := "the empty plan (it touches only section-local data)"
+		if names := set.Strings(c.Program); len(names) > 0 {
+			planTxt = "plan [" + strings.Join(names, " ") + "]"
+		}
+		foot := fp.Section(irSec)
+		exempt := 0
+		for _, ac := range foot {
+			if ac.Exempt() {
+				exempt++
+			}
+		}
+		cells := fmt.Sprintf("%d cells", len(foot))
+		if len(foot) == 1 {
+			cells = "1 cell"
+		}
+		rep.Diags = append(rep.Diags, Diagnostic{
+			Pos:  pkg.Position(gsec.Pos),
+			Kind: "note",
+			Msg: fmt.Sprintf("the inference derives %s for the atomic section in %s (footprint: %s, %d exempt)",
+				planTxt, gsec.GoFunc, cells, exempt),
+		})
+	}
+}

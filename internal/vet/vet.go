@@ -1,0 +1,129 @@
+// Package vet implements lockvet, a lock-consistency diagnostic pass over
+// real Go packages lowered by internal/gofront. It reports four classes of
+// defects:
+//
+//   - inconsistent: a shared slot is guarded by some mutex at most sites but
+//     accessed under a different (non-empty) lock set elsewhere;
+//   - unguarded: a slot shared between goroutine contexts (with at least one
+//     write) is accessed with no lock held on some path;
+//   - lock-order: the whole-program acquisition-order graph, built from the
+//     recovered sections' held-set chains, has a cycle;
+//   - note: for every section implicated by a diagnostic, the lock plan the
+//     paper's inference would derive for it, plus its audit footprint — what
+//     the tool suggests instead of the inconsistent hand-written locking.
+//
+// The analysis is deliberately a *vet*: a fast, mostly-syntactic pass over
+// the gofront metadata (guard identities, held sets, spawn and barrier
+// events), sharpened by an interprocedural effective-guard fixpoint and a
+// thread-context reachability pass. The expensive semantic machinery —
+// points-to, backward inference, forward footprints — is only consulted to
+// phrase the suggestions.
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"lockinfer/internal/gofront"
+)
+
+// Diagnostic is one finding, positioned in the original Go source.
+type Diagnostic struct {
+	Pos  token.Position
+	Kind string // "inconsistent", "unguarded", "lock-order", "note", "subset"
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Kind, d.Msg)
+}
+
+// Report is the outcome of one package analysis.
+type Report struct {
+	// Diags are the findings, sorted by position (notes follow the
+	// diagnostic that implicated their section).
+	Diags []Diagnostic
+	// Subset records the declarations gofront could not lower — the parts
+	// of the package the analysis did not see. They are warnings, not
+	// defects, and do not affect Failed().
+	Subset []Diagnostic
+}
+
+// Failed reports whether the package has at least one defect (notes alone
+// do not fail a package; they never appear without a parent diagnostic).
+func (r *Report) Failed() bool {
+	for _, d := range r.Diags {
+		if d.Kind != "note" {
+			return true
+		}
+	}
+	return false
+}
+
+// Options configures Analyze.
+type Options struct {
+	// NoSuggest disables the inferred-plan notes (skips the pipeline run).
+	NoSuggest bool
+}
+
+// Analyze runs the lock-consistency pass over a lowered package.
+func Analyze(pkg *gofront.Package, opts Options) *Report {
+	e := newEngine(pkg)
+	e.solveEffectiveGuards()
+	e.solveContexts()
+	e.solveConcurrencyWindows()
+
+	rep := &Report{}
+	implicated := e.checkSlots(rep)
+	e.checkLockOrder(rep, implicated)
+	sortDiags(rep.Diags)
+	if !opts.NoSuggest {
+		n := len(rep.Diags)
+		suggest(pkg, implicated, rep)
+		sortDiags(rep.Diags[n:])
+	}
+	for _, de := range pkg.Errors {
+		rep.Subset = append(rep.Subset, Diagnostic{
+			Pos: de.Pos, Kind: "subset",
+			Msg: fmt.Sprintf("%s not analyzed: %s", de.Decl, de.Msg),
+		})
+	}
+	sortDiags(rep.Subset)
+	return rep
+}
+
+// sortDiags orders by file, line, column, kind, message — the stable output
+// contract the golden corpus pins.
+func sortDiags(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// joinGuards renders a guard set for messages.
+func joinGuards(gs map[string]bool) string {
+	if len(gs) == 0 {
+		return "no lock"
+	}
+	out := make([]string, 0, len(gs))
+	for g := range gs {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return strings.Join(out, "+")
+}

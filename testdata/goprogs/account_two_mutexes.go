@@ -1,0 +1,30 @@
+// Seeded bug: two different mutexes guard the same field. Deposit protects
+// Account.bal with mu1 while Withdraw uses mu2, so the two sections do not
+// exclude each other.
+package account
+
+import "sync"
+
+type Account struct {
+	mu1 sync.Mutex
+	mu2 sync.Mutex
+	bal int
+}
+
+func (a *Account) Deposit(v int) {
+	a.mu1.Lock()
+	a.bal += v
+	a.mu1.Unlock()
+}
+
+func (a *Account) Withdraw(v int) {
+	a.mu2.Lock()
+	a.bal -= v
+	a.mu2.Unlock()
+}
+
+func run() {
+	a := &Account{}
+	go a.Deposit(10)
+	a.Withdraw(5)
+}

@@ -1,0 +1,28 @@
+// Clean variant of account_two_mutexes: a single mutex serializes both
+// operations on Account.bal.
+package account
+
+import "sync"
+
+type Account struct {
+	mu  sync.Mutex
+	bal int
+}
+
+func (a *Account) Deposit(v int) {
+	a.mu.Lock()
+	a.bal += v
+	a.mu.Unlock()
+}
+
+func (a *Account) Withdraw(v int) {
+	a.mu.Lock()
+	a.bal -= v
+	a.mu.Unlock()
+}
+
+func run() {
+	a := &Account{}
+	go a.Deposit(10)
+	a.Withdraw(5)
+}

@@ -1,0 +1,35 @@
+// Seeded bug: a reader that skips the read lock. Put writes Cache.val under
+// the write lock and GetSlow reads it under RLock, but GetFast reads it with
+// nothing held.
+package cache
+
+import "sync"
+
+type Cache struct {
+	mu  sync.RWMutex
+	val int
+}
+
+func (c *Cache) Put(v int) {
+	c.mu.Lock()
+	c.val = v
+	c.mu.Unlock()
+}
+
+func (c *Cache) GetSlow() int {
+	c.mu.RLock()
+	v := c.val
+	c.mu.RUnlock()
+	return v
+}
+
+// GetFast trades correctness for speed.
+func (c *Cache) GetFast() int {
+	return c.val
+}
+
+func run() int {
+	c := &Cache{}
+	go c.Put(1)
+	return c.GetSlow() + c.GetFast()
+}

@@ -1,0 +1,35 @@
+// Clean variant of cache_rwmutex: every reader takes the read lock.
+package cache
+
+import "sync"
+
+type Cache struct {
+	mu  sync.RWMutex
+	val int
+}
+
+func (c *Cache) Put(v int) {
+	c.mu.Lock()
+	c.val = v
+	c.mu.Unlock()
+}
+
+func (c *Cache) GetSlow() int {
+	c.mu.RLock()
+	v := c.val
+	c.mu.RUnlock()
+	return v
+}
+
+func (c *Cache) GetFast() int {
+	c.mu.RLock()
+	v := c.val
+	c.mu.RUnlock()
+	return v
+}
+
+func run() int {
+	c := &Cache{}
+	go c.Put(1)
+	return c.GetSlow() + c.GetFast()
+}

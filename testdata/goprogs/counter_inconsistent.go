@@ -1,0 +1,37 @@
+// Seeded bug: inconsistent field guard. Counter.n is guarded by Counter.mu
+// in Inc and Get, but Reset writes it with no lock held while increments
+// run in spawned goroutines.
+package counter
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// Reset forgets the lock.
+func (c *Counter) Reset() {
+	c.n = 0
+}
+
+func run() int {
+	c := &Counter{}
+	go c.Inc()
+	go c.Inc()
+	c.Reset()
+	return c.Get()
+}

@@ -1,0 +1,37 @@
+// Clean variant of counter_inconsistent: every access to Counter.n holds
+// Counter.mu.
+package counter
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+}
+
+func run() int {
+	c := &Counter{}
+	go c.Inc()
+	go c.Inc()
+	c.Reset()
+	return c.Get()
+}

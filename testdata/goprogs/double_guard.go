@@ -1,0 +1,41 @@
+// Seeded bug: double-guarded field with a divergent reader. Writers protect
+// Pair.f with both mu1 and mu2 (SetBoth) or just mu1 (Bump), but Peek reads
+// it under mu2 alone — no single lock covers every access.
+package pair
+
+import "sync"
+
+type Pair struct {
+	mu1 sync.Mutex
+	mu2 sync.Mutex
+	f   int
+}
+
+func (p *Pair) SetBoth(v int) {
+	p.mu1.Lock()
+	p.mu2.Lock()
+	p.f = v
+	p.mu2.Unlock()
+	p.mu1.Unlock()
+}
+
+func (p *Pair) Bump() {
+	p.mu1.Lock()
+	p.f++
+	p.mu1.Unlock()
+}
+
+// Peek holds the wrong half of the pair.
+func (p *Pair) Peek() int {
+	p.mu2.Lock()
+	v := p.f
+	p.mu2.Unlock()
+	return v
+}
+
+func run() int {
+	p := &Pair{}
+	go p.SetBoth(1)
+	go p.Bump()
+	return p.Peek()
+}

@@ -1,0 +1,36 @@
+// Clean variant of double_guard: mu1 alone guards Pair.f everywhere; mu2
+// still exists for unrelated state but never guards f.
+package pair
+
+import "sync"
+
+type Pair struct {
+	mu1 sync.Mutex
+	f   int
+}
+
+func (p *Pair) SetBoth(v int) {
+	p.mu1.Lock()
+	p.f = v
+	p.mu1.Unlock()
+}
+
+func (p *Pair) Bump() {
+	p.mu1.Lock()
+	p.f++
+	p.mu1.Unlock()
+}
+
+func (p *Pair) Peek() int {
+	p.mu1.Lock()
+	v := p.f
+	p.mu1.Unlock()
+	return v
+}
+
+func run() int {
+	p := &Pair{}
+	go p.SetBoth(1)
+	go p.Bump()
+	return p.Peek()
+}

@@ -1,0 +1,33 @@
+// Seeded bug: lock-order inversion. moveXY nests mu2 inside mu1 while
+// moveYX nests mu1 inside mu2; run them concurrently and they can deadlock.
+package order
+
+import "sync"
+
+var mu1 sync.Mutex
+var mu2 sync.Mutex
+var x int
+var y int
+
+func moveXY(v int) {
+	mu1.Lock()
+	mu2.Lock()
+	x = x - v
+	y = y + v
+	mu2.Unlock()
+	mu1.Unlock()
+}
+
+func moveYX(v int) {
+	mu2.Lock()
+	mu1.Lock()
+	y = y - v
+	x = x + v
+	mu1.Unlock()
+	mu2.Unlock()
+}
+
+func run() {
+	go moveXY(1)
+	moveYX(1)
+}

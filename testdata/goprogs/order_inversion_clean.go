@@ -1,0 +1,32 @@
+// Clean variant of order_inversion: both paths acquire mu1 before mu2.
+package order
+
+import "sync"
+
+var mu1 sync.Mutex
+var mu2 sync.Mutex
+var x int
+var y int
+
+func moveXY(v int) {
+	mu1.Lock()
+	mu2.Lock()
+	x = x - v
+	y = y + v
+	mu2.Unlock()
+	mu1.Unlock()
+}
+
+func moveYX(v int) {
+	mu1.Lock()
+	mu2.Lock()
+	y = y - v
+	x = x + v
+	mu2.Unlock()
+	mu1.Unlock()
+}
+
+func run() {
+	go moveXY(1)
+	moveYX(1)
+}

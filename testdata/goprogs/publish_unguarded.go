@@ -1,0 +1,31 @@
+// Seeded bug: unguarded publish from a goroutine. The producer goroutine
+// writes data and ready with no lock while the main thread reads them under
+// mu — the classic broken publication pattern.
+package publish
+
+import "sync"
+
+var mu sync.Mutex
+var ready int
+var data int
+
+func produce() {
+	data = 42
+	ready = 1
+}
+
+func consume() int {
+	mu.Lock()
+	r := ready
+	d := data
+	mu.Unlock()
+	if r == 1 {
+		return d
+	}
+	return 0
+}
+
+func run() int {
+	go produce()
+	return consume()
+}

@@ -1,0 +1,32 @@
+// Clean variant of publish_unguarded: the producer takes the same lock the
+// consumer reads under.
+package publish
+
+import "sync"
+
+var mu sync.Mutex
+var ready int
+var data int
+
+func produce() {
+	mu.Lock()
+	data = 42
+	ready = 1
+	mu.Unlock()
+}
+
+func consume() int {
+	mu.Lock()
+	r := ready
+	d := data
+	mu.Unlock()
+	if r == 1 {
+		return d
+	}
+	return 0
+}
+
+func run() int {
+	go produce()
+	return consume()
+}

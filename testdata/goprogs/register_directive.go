@@ -1,0 +1,48 @@
+// Seeded bug: an access outside any atomic section in a directive-annotated
+// package. record and snapshot run their bodies in //lockinfer:atomic
+// sections (locks chosen by the inference), but drain mutates the registers
+// bare.
+package register
+
+import "sync"
+
+var regCount int
+var regTotal int
+
+func record(v int) {
+	//lockinfer:atomic
+	{
+		regCount++
+		regTotal += v
+	}
+}
+
+func snapshot() int {
+	var v int
+	//lockinfer:atomic
+	{
+		v = regCount + regTotal
+	}
+	return v
+}
+
+// drain skips the directive.
+func drain() {
+	regCount = 0
+	regTotal = 0
+}
+
+func spin(wg *sync.WaitGroup) {
+	record(3)
+	record(4)
+	wg.Done()
+}
+
+func run() int {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go spin(&wg)
+	drain()
+	wg.Wait()
+	return snapshot()
+}

@@ -1,0 +1,49 @@
+// Clean variant of register_directive, and the end-to-end showcase: every
+// register access sits in a //lockinfer:atomic section, so the pipeline
+// infers a lock plan for each section and the audit comes back clean.
+package register
+
+import "sync"
+
+var regCount int
+var regTotal int
+
+func record(v int) {
+	//lockinfer:atomic
+	{
+		regCount++
+		regTotal += v
+	}
+}
+
+func snapshot() int {
+	var v int
+	//lockinfer:atomic
+	{
+		v = regCount + regTotal
+	}
+	return v
+}
+
+func drain() {
+	//lockinfer:atomic
+	{
+		regCount = 0
+		regTotal = 0
+	}
+}
+
+func spin(wg *sync.WaitGroup) {
+	record(3)
+	record(4)
+	wg.Done()
+}
+
+func run() int {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go spin(&wg)
+	drain()
+	wg.Wait()
+	return snapshot()
+}

@@ -1,0 +1,26 @@
+// Seeded bug: a racy snapshot read between spawn and join. Workers update
+// total under mu; run reads it with no lock while they are still running.
+// The read after wg.Wait is single-threaded again and is not a defect.
+package stats
+
+import "sync"
+
+var mu sync.Mutex
+var total int
+
+func worker(n int, wg *sync.WaitGroup) {
+	mu.Lock()
+	total += n
+	mu.Unlock()
+	wg.Done()
+}
+
+func run() int {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go worker(1, &wg)
+	go worker(2, &wg)
+	snapshot := total
+	wg.Wait()
+	return total + snapshot
+}

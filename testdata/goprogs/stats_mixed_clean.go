@@ -1,0 +1,28 @@
+// Clean variant of stats_mixed: the mid-flight snapshot takes the lock (and
+// the declaration is hoisted out of the recovered span so the final read
+// still sees it); the read after wg.Wait needs no lock.
+package stats
+
+import "sync"
+
+var mu sync.Mutex
+var total int
+
+func worker(n int, wg *sync.WaitGroup) {
+	mu.Lock()
+	total += n
+	mu.Unlock()
+	wg.Done()
+}
+
+func run() int {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go worker(1, &wg)
+	go worker(2, &wg)
+	mu.Lock()
+	snapshot := total
+	mu.Unlock()
+	wg.Wait()
+	return total + snapshot
+}
