@@ -11,7 +11,8 @@ GO ?= go
 	oracle-short conform conform-short audit audit-short cover cover-update bench \
 	bench-paper bench-pipeline bench-pipeline-short bench-codegen \
 	bench-codegen-short bench-hybrid bench-hybrid-short bench-server \
-	bench-server-short soak soak-short fuzz
+	bench-server-short bench-tune bench-tune-short tune-short \
+	tune-short-update soak soak-short fuzz
 
 build:
 	$(GO) build ./...
@@ -85,12 +86,24 @@ audit-short:
 # baseline. After intentional changes run `make cover-update` and commit
 # coverage_baseline.txt.
 cover:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/ ./internal/gofront/ ./internal/vet/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/ ./internal/gofront/ ./internal/vet/ ./internal/refine/ ./internal/locks/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt
 
 cover-update:
-	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/ ./internal/gofront/ ./internal/vet/
+	$(GO) test -short -coverprofile=cover.out ./internal/mgl/ ./internal/infer/ ./internal/andersen/ ./internal/audit/ ./internal/pipeline/ ./internal/codegen/ ./internal/hybrid/ ./internal/server/ ./internal/gofront/ ./internal/vet/ ./internal/refine/ ./internal/locks/
 	$(GO) run ./cmd/covergate -profile cover.out -baseline coverage_baseline.txt -update
+
+# Profile-guided tuning gate: the refinement decision log over the 20-seed
+# progen sweep must match the committed golden byte for byte (the refine
+# pass is plan-deterministic, and the calibration profile it consumes is
+# single-threaded, so the decisions are reproducible on any host). After an
+# intentional refinement-policy change run `make tune-short-update` and
+# commit internal/bench/testdata/tune_decisions.golden.
+tune-short:
+	$(GO) test -short -run 'TestTune' ./internal/bench/
+
+tune-short-update:
+	$(GO) test -short -run TestTuneDecisionsGolden -update ./internal/bench/
 
 # Soak: sustained mixed-tenant open-loop traffic against an in-process
 # lockinferd under the Go race detector, with the deadlock Watcher attached
@@ -103,9 +116,9 @@ soak:
 soak-short:
 	$(GO) test -short -race -run TestSoak ./internal/server/
 
-check: build vet vet-go race oracle-short cover conform-short audit-short bench-pipeline-short bench-hybrid-short
+check: build vet vet-go race oracle-short cover conform-short audit-short tune-short bench-pipeline-short bench-hybrid-short
 
-check-long: build vet vet-go race-long oracle-short cover conform audit bench-pipeline soak
+check-long: build vet vet-go race-long oracle-short cover conform audit tune-short bench-pipeline soak
 
 # Wall-clock throughput of the sharded lock runtime vs the pre-sharding
 # baseline, gated against the committed BENCH_PR2.json (fails on >20%
@@ -163,6 +176,19 @@ bench-server:
 
 bench-server-short:
 	$(GO) run ./cmd/lockbench -server-short -json BENCH_PR8.latest.json
+
+# Profile-guided tune loop: infer -> profile (single-worker calibration) ->
+# refine -> re-run over the 20-seed progen sweep. The committed
+# BENCH_PR10.json is the evidence artifact — total lock acquires before and
+# after refinement (the >=20% reduction gate; acquire counts are
+# schedule-independent and reproduce on any host) plus the host-dependent
+# wall-clock ratio. The short variant is the CI smoke and writes only the
+# ignored .latest file.
+bench-tune:
+	$(GO) run ./cmd/lockbench -tune -json BENCH_PR10.json
+
+bench-tune-short:
+	$(GO) run ./cmd/lockbench -tune-short -json BENCH_PR10.latest.json
 
 # Native fuzzers: parser round-trip, lock-plan invariants, the audit
 # no-false-positives property, and codegen well-formedness, 30s each.

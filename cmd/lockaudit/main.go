@@ -29,9 +29,11 @@ import (
 	"os"
 
 	"lockinfer/internal/audit"
+	"lockinfer/internal/locks"
 	"lockinfer/internal/oracle"
 	"lockinfer/internal/pipeline"
 	"lockinfer/internal/progs"
+	"lockinfer/internal/refine"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 		examples  = flag.Bool("examples", true, "also audit the documentation example programs")
 		mutants   = flag.Bool("mutants", true, "also run static mutation checks (fault injection)")
 		short     = flag.Bool("short", false, "reduced budget: 10 seeds")
+		profile   = flag.String("profile", "", "runtime lock profile (JSON): also audit each profile-refined plan")
 		jsonOut   = flag.String("json", "", "write the precision report to this file")
 		verbose   = flag.Bool("v", false, "log per-program results")
 		workers   = flag.Int("workers", pipeline.AutoWorkers, "inference workers per program (-1 for GOMAXPROCS; plans are identical at any count)")
@@ -54,6 +57,17 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "lockaudit:", err)
 		os.Exit(2)
+	}
+
+	var prof *locks.Profile
+	if *profile != "" {
+		data, err := os.ReadFile(*profile)
+		if err != nil {
+			fail(err)
+		}
+		if prof, err = locks.ParseProfile(data); err != nil {
+			fail(err)
+		}
 	}
 
 	var targets []*oracle.Target
@@ -102,6 +116,18 @@ func main() {
 			p := precisions[len(precisions)-1]
 			fmt.Printf("ok   %-24s %d sections, %d/%d classes refined, %d top\n",
 				tg.Name, len(p.Sections), p.RefinedClasses, p.SteensClasses, p.TopSections)
+		}
+		if prof != nil {
+			// The profile-refined plan must re-audit sound: the split side
+			// conditions (shard.go) are re-derived from scratch here.
+			res := refine.Refine(tg.Prog, tg.Pts, tg.C.Andersen(), tg.Plan, prof, refine.Options{})
+			rrep := audit.Run(tg.Prog, tg.Pts, tg.C.Andersen(), res.Plan, audit.Options{})
+			if err := rrep.Err(); err != nil {
+				failures++
+				fmt.Printf("FAIL %s/refined: %v\n", tg.Name, err)
+			} else if *verbose && res.Changed() {
+				fmt.Printf("ok   %-24s refined sound (%d decisions)\n", tg.Name, len(res.Decisions))
+			}
 		}
 		if !*mutants {
 			continue

@@ -29,6 +29,15 @@
 //
 //	lockbench -server [-rps 50,100,200,400,800] [-seed N]
 //	          [-json BENCH_PR8.json]
+//
+// And a profile-guided tuning sweep that closes the runtime→inference
+// feedback loop: each generated program is profiled on a calibration run,
+// its plan is rewritten by the refinement pass, and both plans re-run the
+// same workload. The report's headline number is the dynamic lock-acquire
+// reduction, gated at 20%:
+//
+//	lockbench -tune [-tune-seeds N] [-json BENCH_PR10.json]
+//	lockbench -tune-short            (reduced CI budget)
 package main
 
 import (
@@ -79,6 +88,10 @@ func main() {
 		svrShort = flag.Bool("server-short", false, "reduced -server budget for CI")
 		svrRPS   = flag.String("rps", "", "comma-separated target RPS levels for -server")
 
+		tune      = flag.Bool("tune", false, "profile-guided tuning sweep: profile, refine, re-run (BENCH_PR10)")
+		tuneShort = flag.Bool("tune-short", false, "reduced -tune budget for CI")
+		tuneSeeds = flag.Int64("tune-seeds", 0, "progen seed count for -tune (0 for the default 20)")
+
 		trace = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
 	flag.Parse()
@@ -99,6 +112,13 @@ func main() {
 	}
 	if *hyb || *hybShort {
 		if err := runHybridBench(*gorList, *hybOps, *seed, *hybShort, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tune || *tuneShort {
+		if err := runTuneBench(*tuneSeeds, *tuneShort, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lockbench:", err)
 			os.Exit(1)
 		}
@@ -252,6 +272,31 @@ func runHybridBench(gorList string, opsPerG int, seed int64, short bool, jsonPat
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
 	}
+	return nil
+}
+
+// runTuneBench drives the profile-guided tuning sweep (the
+// runtime→inference feedback loop): print the table, optionally persist the
+// BENCH_PR10.json report, and gate the sweep's headline claim — the refined
+// plans must cut dynamic lock-tree grants by at least 20%.
+func runTuneBench(seeds int64, short bool, jsonPath string) error {
+	opt := bench.TuneOptions{Seeds: seeds, Short: short}
+	rep, err := bench.TuneBench(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== Tune: profile-guided refinement, baseline vs refined plans ===")
+	fmt.Print(bench.FormatTune(rep))
+	if jsonPath != "" {
+		if err := bench.WriteTune(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if rep.AcquireReduction < 0.20 {
+		return fmt.Errorf("tune gate: acquire reduction %.1f%% below the 20%% bar", 100*rep.AcquireReduction)
+	}
+	fmt.Printf("tune gate: %.1f%% acquire reduction (>= 20%% bar)\n", 100*rep.AcquireReduction)
 	return nil
 }
 

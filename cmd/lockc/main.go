@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	lockc [-k N] [-mode source|locks|ir] [-workers N] [-trace json|table] file.minic
+//	lockc [-k N] [-mode source|locks|ir] [-workers N] [-profile p.json] [-trace json|table] file.minic
 //
 // With no file, lockc reads standard input. -trace dumps the per-pass
 // pipeline trace (wall time, iterations, facts, cache hits) to stderr.
+// -profile loads a runtime lock profile (the JSON the engines export and
+// lockinferd serves under /metrics) and runs the profile-guided refinement
+// pass: -mode locks then reports the refined plan, with the refinement
+// decision log (demotions and splits) on stderr.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"lockinfer"
 	"lockinfer/internal/pipeline"
@@ -25,6 +30,7 @@ func main() {
 	k := flag.Int("k", 3, "expression-lock length bound (0..9)")
 	mode := flag.String("mode", "source", "output: source (transformed program), locks (lock report), ir (lowered program)")
 	workers := flag.Int("workers", 1, "inference workers (-1 for GOMAXPROCS; plans are identical at any count)")
+	profile := flag.String("profile", "", "runtime lock profile (JSON) for the refinement pass")
 	trace := flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	flag.Parse()
 
@@ -44,7 +50,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	c, err := lockinfer.Compile(string(src), lockinfer.WithK(*k), lockinfer.WithWorkers(*workers))
+	copts := []lockinfer.Option{lockinfer.WithK(*k), lockinfer.WithWorkers(*workers)}
+	var prof *lockinfer.Profile
+	if *profile != "" {
+		data, err := os.ReadFile(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockc:", err)
+			os.Exit(1)
+		}
+		if prof, err = lockinfer.ParseProfile(data); err != nil {
+			fmt.Fprintln(os.Stderr, "lockc:", err)
+			os.Exit(1)
+		}
+		copts = append(copts, lockinfer.WithProfile(prof))
+	}
+	c, err := lockinfer.Compile(string(src), copts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockc:", err)
 		os.Exit(1)
@@ -53,6 +73,14 @@ func main() {
 	case "source":
 		fmt.Print(c.TransformedSource())
 	case "locks":
+		if prof != nil {
+			plan, decisions := c.RefinedPlan()
+			fmt.Print(refinedReport(c, plan))
+			for _, d := range decisions {
+				fmt.Fprintln(os.Stderr, "refine:", d)
+			}
+			break
+		}
 		fmt.Print(c.LockReport())
 	case "ir":
 		for _, f := range c.Program.Funcs {
@@ -63,4 +91,22 @@ func main() {
 		os.Exit(2)
 	}
 	pipeline.DumpShared(os.Stderr, *trace)
+}
+
+// refinedReport renders the refined per-section plan in LockReport's shape.
+func refinedReport(c *lockinfer.Compilation, plan map[int]lockinfer.LockSet) string {
+	var b strings.Builder
+	for _, sec := range c.Program.Sections {
+		fmt.Fprintf(&b, "section #%d in %s (line %d), k=%d (refined):\n",
+			sec.ID, sec.Fn.Name, sec.Pos.Line, c.K)
+		ls := plan[sec.ID].Strings(c.Program)
+		if len(ls) == 0 {
+			b.WriteString("  (no locks: the section touches only thread-local state)\n")
+			continue
+		}
+		for _, l := range ls {
+			fmt.Fprintf(&b, "  acquire %s\n", l)
+		}
+	}
+	return b.String()
 }

@@ -17,6 +17,8 @@
 //	lockcheck -prog move -reorder       (mutation: reverse odd sessions)
 //	lockcheck -prog move -engine hybrid (free-running conformance check
 //	                                     under one execution engine)
+//	lockcheck -prog move -profile p.json (refine the plan under a runtime
+//	                                     profile before checking)
 //
 // -engine replaces the systematic exploration with the conformance
 // protocol: the program runs concurrently under the named backend (mgl,
@@ -38,10 +40,12 @@ import (
 
 	"lockinfer/internal/conform"
 	"lockinfer/internal/interp"
+	"lockinfer/internal/locks"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/oracle"
 	"lockinfer/internal/pipeline"
 	"lockinfer/internal/progs"
+	"lockinfer/internal/refine"
 )
 
 func main() {
@@ -59,6 +63,7 @@ func main() {
 		reorder   = flag.Bool("reorder", false, "mutation: odd sessions acquire in reverse order")
 		engine    = flag.String("engine", "", "free-running conformance check under this engine instead of exploration: mgl, mgl-ref, global, stm, native, hybrid")
 		repeat    = flag.Int("repeat", 2, "concurrent executions for -engine")
+		profile   = flag.String("profile", "", "runtime lock profile (JSON): refine the plan before checking")
 		workers   = flag.Int("workers", 1, "inference workers (-1 for GOMAXPROCS; plans are identical at any count)")
 		trace     = flag.String("trace", "", "dump the per-pass pipeline trace to stderr: json or table")
 	)
@@ -76,6 +81,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockcheck:", err)
 		os.Exit(2)
+	}
+	if *profile != "" {
+		data, err := os.ReadFile(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockcheck:", err)
+			os.Exit(2)
+		}
+		prof, err := locks.ParseProfile(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockcheck:", err)
+			os.Exit(2)
+		}
+		refined, res := conform.RefineTarget(tg, prof, refine.Options{})
+		for _, line := range res.Lines() {
+			fmt.Println("refine:", line)
+		}
+		tg = refined
 	}
 	if *drop != "" {
 		mut, dropped := tg.DropLock(*drop)

@@ -6,10 +6,15 @@
 // codegen backend, and the adaptive hybrid engine that starts optimistic
 // and falls back to the inferred locks), and every outcome's final shared
 // state is checked against the set of states reachable by some
-// serialization of its atomic sections. With -mutants (the default), every
-// program is also re-run with injected faults — all locks dropped,
-// acquisition plans reversed, the hybrid fallback uncovered or misordered,
-// the STM validation disabled — and the harness must flag each one.
+// serialization of its atomic sections. With -refined (the default), the
+// runtime→inference feedback loop is closed per program: a runtime lock
+// profile is collected, the plan is rewritten by the profile-guided
+// refinement pass, and the refined plan is checked on every engine to the
+// same bar. With -mutants (the default), every program is also re-run with
+// injected faults — all locks dropped, acquisition plans reversed, the
+// hybrid fallback uncovered or misordered, the STM validation disabled, a
+// hot lock demoted, a class split without its disjointness proof — and the
+// harness must flag each one.
 //
 // Usage:
 //
@@ -45,6 +50,7 @@ func main() {
 		repeat    = flag.Int("repeat", 2, "concurrent executions per engine")
 		maxSer    = flag.Int("max-ser", 96, "serialization enumeration budget per program")
 		corpus    = flag.Bool("corpus", true, "also check the hand-written corpus programs")
+		refined   = flag.Bool("refined", true, "also close the feedback loop: profile each program, refine its plan, and check the refined plan on every engine")
 		mutants   = flag.Bool("mutants", true, "also run negative conformance (fault injection)")
 		short     = flag.Bool("short", false, "reduced budget: 10 seeds, 1 repeat, 48 serializations")
 		verbose   = flag.Bool("v", false, "log per-program progress")
@@ -101,6 +107,7 @@ func main() {
 
 	failures := 0
 	runs, flagged, mutantRuns := 0, 0, 0
+	refinedRuns, refinedChanged := 0, 0
 	for _, tg := range targets {
 		res, err := conform.Check(tg, opts)
 		if err != nil {
@@ -114,6 +121,24 @@ func main() {
 		} else if *verbose {
 			fmt.Printf("ok   %-24s %d serializations, %d states, %d runs\n",
 				tg.Name, res.Serializations, len(res.States), len(res.Runs))
+		}
+		if *refined {
+			rres, dec, err := conform.CheckRefined(tg, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lockconform:", err)
+				os.Exit(2)
+			}
+			refinedRuns += len(rres.Runs)
+			if dec.Changed() {
+				refinedChanged++
+			}
+			if err := rres.Err(); err != nil {
+				failures++
+				fmt.Printf("FAIL %s\n", err)
+			} else if *verbose {
+				fmt.Printf("ok   %-24s refined (%d decisions), %d runs\n",
+					tg.Name+"/refined", len(dec.Decisions), len(rres.Runs))
+			}
 		}
 		if !*mutants {
 			continue
@@ -144,6 +169,9 @@ func main() {
 	}
 	fmt.Printf("lockconform: %d programs x %d engines: %d runs %s",
 		len(targets), len(engs), runs, verdict)
+	if *refined {
+		fmt.Printf("; %d refined runs (%d plans rewritten)", refinedRuns, refinedChanged)
+	}
 	if *mutants {
 		fmt.Printf("; %d/%d mutants flagged", flagged, mutantRuns)
 	}

@@ -73,6 +73,9 @@ type Report struct {
 	// (nodes are lock identities, edges are consecutive acquisitions): the
 	// static Goodlock condition for deadlock freedom.
 	OrderCycles [][]string
+	// ShardViolations are failed split-lock side conditions (see shard.go):
+	// a shard whose footprint-disjointness proof does not re-derive.
+	ShardViolations []ShardViolation
 
 	prog *ir.Program
 	st   *steens.Analysis
@@ -86,15 +89,16 @@ func Run(prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, plan map
 	if and == nil {
 		and = andersen.RunWithSpecs(prog, opts.Specs)
 	}
-	z := newAnalyzer(prog, st, and, opts.Specs)
+	fp := NewFootprinter(prog, st, and, opts.Specs)
 	rep := &Report{prog: prog, st: st, and: and}
 	for _, sec := range prog.Sections {
 		set := plan[sec.ID]
 		sa := &SectionAudit{Section: sec, Plan: set}
-		sa.Footprint = z.sectionFootprint(sec)
+		sa.Footprint = fp.Footprint(sec)
 		auditCoverage(st, set, sa)
 		rep.Sections = append(rep.Sections, sa)
 	}
+	rep.checkShards(fp, plan)
 	rep.lintOrder(plan, opts.Mutator)
 	return rep
 }
@@ -292,7 +296,7 @@ func (r *Report) Sound() bool {
 			return false
 		}
 	}
-	return len(r.OrderViolations) == 0 && len(r.OrderCycles) == 0
+	return len(r.OrderViolations) == 0 && len(r.OrderCycles) == 0 && len(r.ShardViolations) == 0
 }
 
 // Violations flattens every section's uncovered accesses.
@@ -317,6 +321,9 @@ func (r *Report) Err() error {
 	}
 	for _, v := range r.OrderViolations {
 		fmt.Fprintf(&b, "%s\n", v)
+	}
+	for _, v := range r.ShardViolations {
+		fmt.Fprintf(&b, "shard violation: %s\n", v)
 	}
 	for _, c := range r.OrderCycles {
 		fmt.Fprintf(&b, "static lock-order cycle: %s\n", strings.Join(c, " -> "))

@@ -1,4 +1,4 @@
-package audit
+package audit_test
 
 import (
 	"flag"
@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"lockinfer/internal/andersen"
+	"lockinfer/internal/audit"
 	"lockinfer/internal/ir"
 	"lockinfer/internal/lang"
 	"lockinfer/internal/oracle"
@@ -112,11 +113,11 @@ func TestStaticMatchesDynamicOrderCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srep := Run(tg.Prog, tg.Pts, nil, tg.Plan, Options{Mutator: ReversePlan})
+	srep := audit.Run(tg.Prog, tg.Pts, nil, tg.Plan, audit.Options{Mutator: audit.ReversePlan})
 	if len(srep.OrderViolations) == 0 {
 		t.Fatal("static lint did not flag the reversed plans")
 	}
-	tg.PlanMutator = ReversePlan
+	tg.PlanMutator = audit.ReversePlan
 	drep, err := tg.RunOnce(true)
 	if err != nil {
 		t.Fatal(err)

@@ -1,10 +1,15 @@
 package audit
 
-// Exported entry points for external diagnostic tools (cmd/lockvet): the
-// footprint analyzer and the lock-order cycle detector, usable without
-// running a full Run() audit.
+// Exported entry points for external diagnostic tools (cmd/lockvet) and the
+// profile-guided refinement pass (internal/refine): the footprint analyzer
+// and the lock-order cycle detector, usable without running a full Run()
+// audit. Refine bases its split-soundness proofs on the same footprints the
+// auditor later re-checks (shard.go), so a refined plan is audited by the
+// very analysis that justified it.
 
 import (
+	"sort"
+
 	"lockinfer/internal/andersen"
 	"lockinfer/internal/ir"
 	"lockinfer/internal/steens"
@@ -12,15 +17,26 @@ import (
 
 // Footprinter exposes the auditor's forward effect analysis: the set of
 // abstract cells each atomic section may touch, independent of the lock
-// inference. Construct once per program; Section queries are then cheap.
+// inference. Construct once per program; Section queries are then cheap
+// (computed on first use and cached).
 type Footprinter struct {
-	z *analyzer
+	st  *steens.Analysis
+	z   *analyzer
+	fps map[int][]Access
 }
 
 // NewFootprinter solves the interprocedural effect summaries for prog.
-// specs may be nil (externals then produce ⊤ accesses).
+// specs may be nil (externals then produce ⊤ accesses); and may be nil, in
+// which case a fresh Andersen analysis is computed with specs.
 func NewFootprinter(prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, specs map[string]steens.ExternSpec) *Footprinter {
-	return &Footprinter{z: newAnalyzer(prog, st, and, specs)}
+	if and == nil {
+		and = andersen.RunWithSpecs(prog, specs)
+	}
+	return &Footprinter{
+		st:  st,
+		z:   newAnalyzer(prog, st, and, specs),
+		fps: map[int][]Access{},
+	}
 }
 
 // Section returns the deduplicated read/write footprint of sec. Each Access
@@ -28,7 +44,84 @@ func NewFootprinter(prog *ir.Program, st *steens.Analysis, and *andersen.Analysi
 // occurrence, which callers can map back to source positions through the
 // IR's statement table.
 func (fp *Footprinter) Section(sec *ir.Section) []Access {
-	return fp.z.sectionFootprint(sec)
+	acc, ok := fp.fps[sec.ID]
+	if !ok {
+		acc = fp.z.sectionFootprint(sec)
+		fp.fps[sec.ID] = acc
+	}
+	return acc
+}
+
+// Footprint is Section under the name the refinement pass reads naturally.
+func (fp *Footprinter) Footprint(sec *ir.Section) []Access { return fp.Section(sec) }
+
+// Touches reports whether the section's non-exempt footprint reaches the
+// class (Σ≡-rep normalized).
+func (fp *Footprinter) Touches(sec *ir.Section, cls steens.NodeID) bool {
+	rep := fp.st.Rep(cls)
+	for _, a := range fp.Section(sec) {
+		if a.Exempt() {
+			continue
+		}
+		if a.Class >= 0 && fp.st.Rep(a.Class) == rep {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassLocs restricts the section's non-exempt footprint to one class and
+// returns the union of the matching accesses' Andersen location sets,
+// sorted. ok is false when any matching access is unresolvable (an empty
+// location set, or a ⊤ access that could reach the class): such a section
+// has no provable slice of the partition, which disqualifies the class
+// from splitting.
+func (fp *Footprinter) ClassLocs(sec *ir.Section, cls steens.NodeID) (locs []int, ok bool) {
+	rep := fp.st.Rep(cls)
+	set := map[int]bool{}
+	ok = true
+	for _, a := range fp.Section(sec) {
+		if a.Exempt() {
+			continue
+		}
+		if a.Class < 0 {
+			// A ⊤ access may touch any class, this one included.
+			ok = false
+			continue
+		}
+		if fp.st.Rep(a.Class) != rep {
+			continue
+		}
+		if len(a.AndLocs) == 0 {
+			ok = false
+			continue
+		}
+		for _, l := range a.AndLocs {
+			set[l] = true
+		}
+	}
+	locs = make([]int, 0, len(set))
+	for l := range set {
+		locs = append(locs, l)
+	}
+	sort.Ints(locs)
+	return locs, ok
+}
+
+// LocsOverlap reports whether two sorted location sets intersect.
+func LocsOverlap(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
 }
 
 // FindCycles returns the non-trivial strongly connected components of a

@@ -1,0 +1,155 @@
+package audit
+
+// In-package coverage of the exported analysis surface (export.go): the
+// standalone Footprinter, the disjointness primitives the refinement pass
+// builds its split proofs on, and the cycle detector — plus the report and
+// violation stringers the cmd tools print.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+const disjointSrc = `
+int x;
+int y;
+void fx() { atomic { x = x + 1; } }
+void fy() { atomic { y = y + 1; } }
+`
+
+func TestFootprinterDisjointness(t *testing.T) {
+	prog, st, _ := compile(t, disjointSrc, 3, nil)
+	// nil Andersen: the footprinter computes its own.
+	fp := NewFootprinter(prog, st, nil, nil)
+	if len(prog.Sections) != 2 {
+		t.Fatalf("sections = %d, want 2", len(prog.Sections))
+	}
+	secX, secY := prog.Sections[0], prog.Sections[1]
+
+	accX := fp.Section(secX)
+	if len(accX) == 0 {
+		t.Fatal("empty footprint for fx's section")
+	}
+	if got := fp.Footprint(secX); !reflect.DeepEqual(got, accX) {
+		t.Error("Footprint and Section disagree")
+	}
+	clsX := accX[0].Class
+	if clsX < 0 {
+		t.Fatalf("fx's access did not resolve to a class: %v", accX[0])
+	}
+	if !fp.Touches(secX, clsX) {
+		t.Errorf("fx's section does not touch its own class pts#%d", clsX)
+	}
+	if fp.Touches(secY, clsX) {
+		t.Errorf("fy's section touches fx's class pts#%d", clsX)
+	}
+
+	locsX, ok := fp.ClassLocs(secX, clsX)
+	if !ok || len(locsX) == 0 {
+		t.Fatalf("ClassLocs(fx, pts#%d) = %v, %v; want resolvable and non-empty", clsX, locsX, ok)
+	}
+	clsY := fp.Section(secY)[0].Class
+	locsY, ok := fp.ClassLocs(secY, clsY)
+	if !ok || len(locsY) == 0 {
+		t.Fatalf("ClassLocs(fy, pts#%d) = %v, %v; want resolvable and non-empty", clsY, locsY, ok)
+	}
+	if LocsOverlap(locsX, locsY) {
+		t.Errorf("disjoint sections' location sets overlap: %v vs %v", locsX, locsY)
+	}
+	if !LocsOverlap(locsX, locsX) {
+		t.Error("a location set does not overlap itself")
+	}
+	if LocsOverlap(nil, locsY) {
+		t.Error("empty set overlaps")
+	}
+}
+
+// TestFootprinterTopDisqualifies: a section with an unknown extern call has
+// a ⊤ access, so no class slice of it is provable.
+func TestFootprinterTopDisqualifies(t *testing.T) {
+	src := `
+int x;
+void mystery();
+void f() { atomic { mystery(); x = 1; } }
+`
+	prog, st, _ := compile(t, src, 3, nil)
+	fp := NewFootprinter(prog, st, andersen.Run(prog), nil)
+	sec := prog.Sections[0]
+	cls := steens.NodeID(-1)
+	for _, a := range fp.Section(sec) {
+		if a.Class >= 0 {
+			cls = a.Class
+		}
+	}
+	if cls < 0 {
+		t.Fatalf("no classed access in footprint %v", fp.Section(sec))
+	}
+	if _, ok := fp.ClassLocs(sec, cls); ok {
+		t.Error("ClassLocs proved a slice of a section with a ⊤ access")
+	}
+}
+
+func TestFindCycles(t *testing.T) {
+	edges := map[string]map[string]bool{
+		"a": {"b": true},
+		"b": {"a": true},
+		"c": {"d": true},
+	}
+	cycles := FindCycles(edges)
+	if len(cycles) != 1 || !reflect.DeepEqual(cycles[0], []string{"a", "b"}) {
+		t.Errorf("FindCycles = %v, want [[a b]]", cycles)
+	}
+	// The input graph is untouched (FindCycles copies before Tarjan).
+	if !reflect.DeepEqual(edges["a"], map[string]bool{"b": true}) || len(edges["c"]) != 1 {
+		t.Errorf("FindCycles mutated its input: %v", edges)
+	}
+	if got := FindCycles(nil); len(got) != 0 {
+		t.Errorf("FindCycles(nil) = %v", got)
+	}
+}
+
+// TestReportErrNamesDefects: an unsound report's Err names every defect
+// class with the stringers the cmd tools print.
+func TestReportErrNamesDefects(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	rep := Run(prog, st, nil, plan, Options{})
+	if err := rep.Err(); err != nil {
+		t.Fatalf("clean plan audits unsound: %v", err)
+	}
+	dropped := transform.DropLock(plan, "")
+	rep = Run(prog, st, nil, dropped, Options{})
+	err := rep.Err()
+	if err == nil {
+		t.Fatal("dropped-locks plan audits sound")
+	}
+	if !strings.Contains(err.Error(), "unprotected access") {
+		t.Errorf("Err does not name the unprotected accesses: %v", err)
+	}
+	if !strings.Contains(err.Error(), "pts#") && !strings.Contains(err.Error(), "⊤") {
+		t.Errorf("Err does not render the access class: %v", err)
+	}
+}
+
+func TestViolationStringers(t *testing.T) {
+	ov := OrderViolation{Section: 3}
+	if s := ov.String(); !strings.Contains(s, "section 3") || !strings.Contains(s, "non-canonical") {
+		t.Errorf("OrderViolation.String() = %q", s)
+	}
+	sv := ShardViolation{Class: 7, Section: 1, Other: -1, Reason: "unprovable"}
+	if s := sv.String(); !strings.Contains(s, "section 1") || !strings.Contains(s, "pts#7") {
+		t.Errorf("single-section ShardViolation.String() = %q", s)
+	}
+	sv.Other = 2
+	if s := sv.String(); !strings.Contains(s, "sections 1 and 2") {
+		t.Errorf("pairwise ShardViolation.String() = %q", s)
+	}
+	me := &MutantsErr{Name: "prog", Missed: []string{"drop-all"}}
+	if s := me.Error(); !strings.Contains(s, "prog") || !strings.Contains(s, "drop-all") {
+		t.Errorf("MutantsErr.Error() = %q", s)
+	}
+}

@@ -1,8 +1,9 @@
-package audit
+package audit_test
 
 import (
 	"testing"
 
+	"lockinfer/internal/audit"
 	"lockinfer/internal/infer"
 	"lockinfer/internal/ir"
 	"lockinfer/internal/lang"
@@ -46,7 +47,7 @@ func FuzzAudit(f *testing.F) {
 		st := steens.Run(prog)
 		eng := infer.New(prog, st, infer.Options{K: 2})
 		plan := transform.SectionLocks(eng.AnalyzeAll())
-		rep := Run(prog, st, nil, plan, Options{})
+		rep := audit.Run(prog, st, nil, plan, audit.Options{})
 		if err := rep.Err(); err != nil {
 			t.Fatalf("inferred plan failed audit:\n%v\n--- program ---\n%s", err, src)
 		}

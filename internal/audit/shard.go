@@ -1,0 +1,144 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+)
+
+// Shard re-proof. A split-lock shard (locks.ShardLock) is a fine leaf in
+// the runtime tree whose coverage nevertheless extends to its whole class:
+// two sections holding different shards of one class run concurrently. That
+// is sound only under the refinement pass's side conditions, which the
+// auditor re-derives from its own footprints instead of trusting the
+// refiner:
+//
+//  1. a section holds at most one shard of a class (two shards of the same
+//     class in one plan protect nothing extra and signal a confused
+//     rewrite);
+//  2. no section holds a fine path lock on a split class — a path leaf and
+//     a shard leaf are compatible under the class's IX, so the path lock
+//     would not exclude the shard holders it may alias;
+//  3. sections holding different shards of a class have disjoint,
+//     fully-resolvable Andersen footprints within that class — the actual
+//     disjointness proof.
+//
+// A plan that fails any condition gets ShardViolations and the report is
+// unsound — this is exactly how the split-without-disjointness-proof
+// mutant is flagged.
+
+// ShardViolation is one failed shard side condition.
+type ShardViolation struct {
+	// Class is the split class (Σ≡-rep normalized).
+	Class steens.NodeID
+	// Section and Other are the offending section ids; Other is -1 for
+	// single-section defects.
+	Section, Other int
+	Reason         string
+}
+
+func (v ShardViolation) String() string {
+	if v.Other < 0 {
+		return fmt.Sprintf("section %d: shard of pts#%d: %s", v.Section, v.Class, v.Reason)
+	}
+	return fmt.Sprintf("sections %d and %d: shards of pts#%d: %s", v.Section, v.Other, v.Class, v.Reason)
+}
+
+// checkShards re-proves every shard in the plan, appending violations to
+// the report. fp shares the analyzer that computed the section footprints.
+func (r *Report) checkShards(fp *Footprinter, plan map[int]locks.Set) {
+	shardUses := map[steens.NodeID][]shardUse{}
+	for _, sec := range r.prog.Sections {
+		held := map[steens.NodeID]int{}
+		for _, l := range plan[sec.ID].Sorted() {
+			if !l.IsShard() {
+				continue
+			}
+			rep := r.st.Rep(l.Class)
+			if prev, ok := held[rep]; ok && prev != l.Shard {
+				r.ShardViolations = append(r.ShardViolations, ShardViolation{
+					Class: rep, Section: sec.ID, Other: -1,
+					Reason: fmt.Sprintf("holds shards s%d and s%d of one class", prev, l.Shard),
+				})
+				continue
+			}
+			if _, ok := held[rep]; !ok {
+				held[rep] = l.Shard
+				shardUses[rep] = append(shardUses[rep], shardUse{sec: sec.ID, shard: l.Shard})
+			}
+		}
+	}
+	if len(shardUses) == 0 {
+		return
+	}
+	// Condition 2: no path-fine locks on a split class, anywhere.
+	for _, sec := range r.prog.Sections {
+		for _, l := range plan[sec.ID].Sorted() {
+			if !l.Fine {
+				continue
+			}
+			rep := r.st.Rep(l.Class)
+			if _, split := shardUses[rep]; split {
+				r.ShardViolations = append(r.ShardViolations, ShardViolation{
+					Class: rep, Section: sec.ID, Other: -1,
+					Reason: fmt.Sprintf("path lock %s on a split class", l),
+				})
+			}
+		}
+	}
+	// Condition 3: pairwise disjoint, resolvable footprints across shards.
+	classes := make([]steens.NodeID, 0, len(shardUses))
+	for cls := range shardUses {
+		classes = append(classes, cls)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	secByID := map[int]*ir.Section{}
+	for _, sec := range r.prog.Sections {
+		secByID[sec.ID] = sec
+	}
+	for _, cls := range classes {
+		uses := shardUses[cls]
+		type secLocs struct {
+			use  shardUse
+			locs []int
+			ok   bool
+		}
+		sls := make([]secLocs, len(uses))
+		for i, u := range uses {
+			locs, ok := fp.ClassLocs(secByID[u.sec], cls)
+			sls[i] = secLocs{use: u, locs: locs, ok: ok}
+			if !ok {
+				r.ShardViolations = append(r.ShardViolations, ShardViolation{
+					Class: cls, Section: u.sec, Other: -1,
+					Reason: "footprint in the split class is not fully resolvable",
+				})
+			}
+		}
+		for i := 0; i < len(sls); i++ {
+			for j := i + 1; j < len(sls); j++ {
+				a, b := sls[i], sls[j]
+				if a.use.shard == b.use.shard {
+					continue // same shard: mutually exclusive at runtime
+				}
+				if !a.ok || !b.ok {
+					continue // already reported above
+				}
+				if LocsOverlap(a.locs, b.locs) {
+					r.ShardViolations = append(r.ShardViolations, ShardViolation{
+						Class: cls, Section: a.use.sec, Other: b.use.sec,
+						Reason: fmt.Sprintf("overlapping footprints under different shards s%d/s%d", a.use.shard, b.use.shard),
+					})
+				}
+			}
+		}
+	}
+}
+
+// shardUse records one section holding one shard of a class.
+type shardUse struct {
+	sec   int
+	shard int
+}

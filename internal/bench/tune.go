@@ -1,0 +1,289 @@
+// Profile-guided tuning sweep: the runtime→inference feedback loop measured
+// end to end (BENCH_PR10.json). Each program is profiled on an uncontended
+// calibration run, its plan is rewritten by the refinement pass
+// (internal/refine), the refined plan is re-audited for soundness, and both
+// plans then execute the same concurrent workload — the report records the
+// dynamic lock-acquire reduction (the deterministic, host-independent win:
+// a demoted section acquires two tree nodes instead of three) and the
+// wall-clock throughput on both sides (host-dependent; see Notes).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"lockinfer/internal/audit"
+	"lockinfer/internal/conform"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/refine"
+)
+
+// TuneSchema versions the BENCH_PR10.json layout.
+const TuneSchema = "lockinfer/tune-sweep/v1"
+
+// TuneOptions parameterizes the profile-guided tuning sweep.
+type TuneOptions struct {
+	// SeedStart is the first progen seed (default 1).
+	SeedStart int64
+	// Seeds is how many progen programs to sweep (default 20).
+	Seeds int64
+	// K is the inference bound (default 2, matching the conform sweep).
+	K int
+	// Threads is the concurrency of the timed runs (default 2).
+	Threads int
+	// Ops is the operation count per worker for the timed runs
+	// (default 200).
+	Ops int
+	// Reps measures each timed cell this many times and keeps the fastest
+	// (default 3).
+	Reps int
+	// Short reduces the budget for CI smoke runs (5 seeds, 1 rep).
+	Short bool
+}
+
+func (o TuneOptions) withDefaults() TuneOptions {
+	if o.SeedStart == 0 {
+		o.SeedStart = 1
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 20
+	}
+	if o.K == 0 {
+		o.K = 2
+	}
+	if o.Threads == 0 {
+		o.Threads = 2
+	}
+	if o.Ops == 0 {
+		o.Ops = 200
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	if o.Short {
+		o.Seeds = 5
+		o.Ops = 50
+		o.Reps = 1
+	}
+	return o
+}
+
+// TuneProgram is one program's before/after measurement.
+type TuneProgram struct {
+	Name string `json:"name"`
+	// Decisions is the refinement decision log (demotions and splits).
+	Decisions []string `json:"decisions"`
+	// AcquiresBefore/After count dynamic lock-tree grants over the timed
+	// workload shape (schedule-independent: every section body acquires a
+	// fixed node set per execution).
+	AcquiresBefore int64 `json:"acquires_before"`
+	AcquiresAfter  int64 `json:"acquires_after"`
+	// OpsPerSec on the concurrent interpreter runs, both plans
+	// (host-dependent).
+	OpsPerSecBefore float64 `json:"ops_per_sec_before"`
+	OpsPerSecAfter  float64 `json:"ops_per_sec_after"`
+}
+
+// TuneReport is the BENCH_PR10.json payload.
+type TuneReport struct {
+	Schema     string        `json:"schema"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	SeedStart  int64         `json:"seed_start"`
+	Seeds      int64         `json:"seeds"`
+	K          int           `json:"k"`
+	Threads    int           `json:"threads"`
+	Ops        int           `json:"ops_per_worker"`
+	Reps       int           `json:"reps"`
+	Programs   []TuneProgram `json:"programs"`
+	// TotalAcquiresBefore/After aggregate the per-program acquire counts.
+	TotalAcquiresBefore int64 `json:"total_acquires_before"`
+	TotalAcquiresAfter  int64 `json:"total_acquires_after"`
+	// AcquireReduction is 1 - after/before: the sweep's headline number.
+	AcquireReduction float64 `json:"acquire_reduction"`
+	// ThroughputRatio is aggregate refined/baseline ops-per-second
+	// (host-dependent; >1 means the refined plans ran faster).
+	ThroughputRatio float64 `json:"throughput_ratio"`
+	// Rewritten counts programs whose plan the refiner changed.
+	Rewritten int      `json:"rewritten"`
+	Notes     []string `json:"notes,omitempty"`
+}
+
+// calibrationTarget returns the target restricted to one worker: the
+// uncontended calibration run whose profile is deterministic (fixed acquire
+// counts, zero waits), so the refinement decisions — and the tune goldens —
+// are reproducible on any host.
+func calibrationTarget(tg *oracle.Target) *oracle.Target {
+	calib := *tg
+	if len(calib.Threads) > 1 {
+		calib.Threads = calib.Threads[:1]
+	}
+	return &calib
+}
+
+// tuneProgram closes the loop for one target: calibrate, refine, re-audit,
+// and return the refined target plus the decision log.
+func tuneProgram(tg *oracle.Target) (*oracle.Target, *refine.Result, error) {
+	prof, err := conform.CollectProfile(calibrationTarget(tg))
+	if err != nil {
+		return nil, nil, err
+	}
+	rtg, res := conform.RefineTarget(tg, prof, refine.Options{})
+	// A refined plan that fails the static auditor must never be measured,
+	// let alone shipped: re-derive the soundness proof from scratch.
+	rep := audit.Run(tg.Prog, tg.Pts, tg.C.Andersen(), rtg.Plan, audit.Options{})
+	if err := rep.Err(); err != nil {
+		return nil, nil, fmt.Errorf("bench: refined plan for %s fails audit: %w", tg.Name, err)
+	}
+	return rtg, res, nil
+}
+
+// acquireCount profiles one concurrent execution and returns the total
+// lock-tree grant count, which is schedule-independent.
+func acquireCount(tg *oracle.Target) (int64, error) {
+	prof, err := conform.CollectProfile(tg)
+	if err != nil {
+		return 0, err
+	}
+	return prof.TotalAcquires(), nil
+}
+
+// TuneBench runs the profile→refine→re-run loop over a cold-heavy progen
+// sweep (generated programs under an uncontended workload, where fine locks
+// are pure overhead) and reports the acquire-count and wall-clock deltas.
+func TuneBench(opt TuneOptions) (*TuneReport, error) {
+	opt = opt.withDefaults()
+	rep := &TuneReport{
+		Schema:     TuneSchema,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SeedStart:  opt.SeedStart,
+		Seeds:      opt.Seeds,
+		K:          opt.K,
+		Threads:    opt.Threads,
+		Ops:        opt.Ops,
+		Reps:       opt.Reps,
+	}
+	var tputBefore, tputAfter float64
+	for seed := opt.SeedStart; seed < opt.SeedStart+opt.Seeds; seed++ {
+		tg, err := oracle.FromProgen(seed, opt.K, opt.Threads, opt.Ops)
+		if err != nil {
+			return nil, err
+		}
+		rtg, res, err := tuneProgram(tg)
+		if err != nil {
+			return nil, err
+		}
+		p := TuneProgram{Name: tg.Name, Decisions: res.Lines()}
+		if p.AcquiresBefore, err = acquireCount(tg); err != nil {
+			return nil, err
+		}
+		if p.AcquiresAfter, err = acquireCount(rtg); err != nil {
+			return nil, err
+		}
+		beforeNS, err := benchInterp(tg, opt.Reps)
+		if err != nil {
+			return nil, fmt.Errorf("bench: tune baseline %s: %w", tg.Name, err)
+		}
+		afterNS, err := benchInterp(rtg, opt.Reps)
+		if err != nil {
+			return nil, fmt.Errorf("bench: tune refined %s: %w", tg.Name, err)
+		}
+		ops := float64(opt.Threads) * float64(opt.Ops)
+		p.OpsPerSecBefore = ops / (float64(beforeNS) / 1e9)
+		p.OpsPerSecAfter = ops / (float64(afterNS) / 1e9)
+		tputBefore += p.OpsPerSecBefore
+		tputAfter += p.OpsPerSecAfter
+		rep.TotalAcquiresBefore += p.AcquiresBefore
+		rep.TotalAcquiresAfter += p.AcquiresAfter
+		if res.Changed() {
+			rep.Rewritten++
+		}
+		rep.Programs = append(rep.Programs, p)
+	}
+	if rep.TotalAcquiresBefore > 0 {
+		rep.AcquireReduction = 1 - float64(rep.TotalAcquiresAfter)/float64(rep.TotalAcquiresBefore)
+	}
+	if tputBefore > 0 {
+		rep.ThroughputRatio = tputAfter / tputBefore
+	}
+	rep.Notes = append(rep.Notes,
+		"acquire counts are dynamic lock-tree grants over the timed workload shape; they are schedule-independent and reproduce exactly on any host",
+		"throughput_ratio is wall-clock and host-dependent: on lightly loaded multi-core hosts the demoted plans win by skipping one tree node per section entry, but the interpreter's dispatch cost dominates and the ratio is noisy",
+		"profiles come from a single-worker calibration run, so the refinement decisions are deterministic; contended refinement paths (splits) are exercised by the refine and conform suites")
+	return rep, nil
+}
+
+// TuneDecisions renders the refinement decision log of the sweep as a
+// stable text artifact — the tune golden `make tune-short` checks. Only the
+// deterministic calibration profile feeds the refiner, so the output is
+// byte-reproducible on any host.
+func TuneDecisions(opt TuneOptions) (string, error) {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	for seed := opt.SeedStart; seed < opt.SeedStart+opt.Seeds; seed++ {
+		tg, err := oracle.FromProgen(seed, opt.K, opt.Threads, opt.Ops)
+		if err != nil {
+			return "", err
+		}
+		_, res, err := tuneProgram(tg)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%s:\n", tg.Name)
+		for _, line := range res.Lines() {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String(), nil
+}
+
+// FormatTune renders the report as an aligned text table.
+func FormatTune(rep *TuneReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %10s %8s %12s %12s\n",
+		"program", "acq-before", "acq-after", "delta", "ops/s-before", "ops/s-after")
+	for _, p := range rep.Programs {
+		delta := "-"
+		if p.AcquiresBefore > 0 {
+			delta = fmt.Sprintf("%.0f%%", 100*(1-float64(p.AcquiresAfter)/float64(p.AcquiresBefore)))
+		}
+		fmt.Fprintf(&b, "%-18s %10d %10d %8s %12.0f %12.0f\n",
+			p.Name, p.AcquiresBefore, p.AcquiresAfter, delta,
+			p.OpsPerSecBefore, p.OpsPerSecAfter)
+	}
+	fmt.Fprintf(&b, "plans rewritten: %d/%d\n", rep.Rewritten, len(rep.Programs))
+	fmt.Fprintf(&b, "total acquires: %d -> %d (%.1f%% reduction)\n",
+		rep.TotalAcquiresBefore, rep.TotalAcquiresAfter, 100*rep.AcquireReduction)
+	fmt.Fprintf(&b, "aggregate throughput ratio (refined/baseline): %.2fx\n", rep.ThroughputRatio)
+	for _, n := range rep.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// WriteTune persists the report (the BENCH_PR10.json artifact).
+func WriteTune(path string, rep *TuneReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadTune reads a stored tune-sweep report.
+func LoadTune(path string) (*TuneReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &TuneReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if rep.Schema != TuneSchema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, rep.Schema, TuneSchema)
+	}
+	return rep, nil
+}

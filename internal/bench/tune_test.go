@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateTune = flag.Bool("update", false, "rewrite the tune decision golden")
+
+// TestTuneDecisionsGolden pins the refinement decisions of the 20-seed tune
+// sweep against testdata/tune_decisions.golden — the `make tune-short`
+// gate. The decisions come from a deterministic single-worker calibration
+// profile, so the artifact is byte-reproducible on any host. Regenerate
+// with `go test ./internal/bench -run TestTuneDecisionsGolden -update`
+// after an intentional refiner change.
+func TestTuneDecisionsGolden(t *testing.T) {
+	opt := TuneOptions{Seeds: 20, Ops: 4}
+	got, err := TuneDecisions(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tune_decisions.golden")
+	if *updateTune {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("tune decisions differ from %s; run with -update if intentional\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestTuneBenchReducesAcquires is the PR's headline acceptance property on
+// a reduced budget: the profile→refine→re-run loop must cut dynamic
+// lock-tree grants by at least 20% on the cold-heavy sweep.
+func TestTuneBenchReducesAcquires(t *testing.T) {
+	opt := TuneOptions{Short: true}
+	if testing.Short() {
+		opt = TuneOptions{Seeds: 2, Ops: 4, Reps: 1}
+	}
+	rep, err := TuneBench(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rewritten == 0 {
+		t.Error("tune sweep rewrote no plans")
+	}
+	if rep.TotalAcquiresBefore <= rep.TotalAcquiresAfter {
+		t.Errorf("acquires did not drop: %d -> %d", rep.TotalAcquiresBefore, rep.TotalAcquiresAfter)
+	}
+	if rep.AcquireReduction < 0.20 {
+		t.Errorf("acquire reduction %.1f%% below the 20%% bar\n%s",
+			100*rep.AcquireReduction, FormatTune(rep))
+	}
+	for _, p := range rep.Programs {
+		if p.OpsPerSecBefore <= 0 || p.OpsPerSecAfter <= 0 {
+			t.Errorf("%s: non-positive throughput %v/%v", p.Name, p.OpsPerSecBefore, p.OpsPerSecAfter)
+		}
+	}
+	t.Logf("acquires %d -> %d (%.1f%% reduction), throughput ratio %.2f",
+		rep.TotalAcquiresBefore, rep.TotalAcquiresAfter, 100*rep.AcquireReduction, rep.ThroughputRatio)
+}
+
+// TestTuneReportRoundTrip checks WriteTune/LoadTune and the schema gate.
+func TestTuneReportRoundTrip(t *testing.T) {
+	rep, err := TuneBench(TuneOptions{Seeds: 1, Ops: 2, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tune.json")
+	if err := WriteTune(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTune(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalAcquiresBefore != rep.TotalAcquiresBefore || len(got.Programs) != len(rep.Programs) {
+		t.Errorf("round-trip mismatch: %+v vs %+v", got, rep)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTune(bad); err == nil {
+		t.Error("LoadTune accepted a wrong schema")
+	}
+}

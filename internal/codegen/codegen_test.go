@@ -11,8 +11,11 @@ import (
 	"lockinfer/internal/codegen"
 
 	"lockinfer/internal/interp"
+	"lockinfer/internal/locks"
 	"lockinfer/internal/oracle"
 	"lockinfer/internal/progs"
+	"lockinfer/internal/refine"
+	"lockinfer/internal/steens"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -253,6 +256,79 @@ func TestNativePermuteMutant(t *testing.T) {
 	// order violation depends on the schedule, but the count is reliable.
 	if res.Permuted == 0 {
 		t.Error("permute mutation reversed no plans; expected multi-step acquisitions")
+	}
+}
+
+// TestNativeShardedPlan: a refined plan with shard locks compiles, runs
+// clean under the coverage checker, and matches the interpreter's state
+// fingerprint — the native backend's slice of the split-lock story.
+func TestNativeShardedPlan(t *testing.T) {
+	const src = `
+struct counter { int n; }
+counter* c1;
+counter* c2;
+void init() {
+  c1 = new counter;
+  c2 = new counter;
+}
+counter* pick(int which) {
+  if (which) { return c1; }
+  return c2;
+}
+void bump1() {
+  atomic { c1->n = c1->n + 1; }
+}
+void bump2() {
+  atomic { c2->n = c2->n + 1; }
+}
+`
+	setup := interp.ThreadSpec{Fn: "init"}
+	tg, err := oracle.FromSource("shards", src, 0,
+		[]interp.ThreadSpec{{Fn: "bump1"}, {Fn: "bump2"}}, &setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the class both bump sections coarse-hold and mark it hot.
+	held := map[steens.NodeID]int{}
+	for _, set := range tg.Plan {
+		for _, l := range set.Sorted() {
+			if !l.Fine && !l.IsGlobal() && l.Eff == locks.RW {
+				held[tg.Pts.Rep(l.Class)]++
+			}
+		}
+	}
+	prof := locks.NewProfile("shards", "test")
+	for c, n := range held {
+		if n >= 2 {
+			lp := prof.Lock(locks.ClassKey(int64(c)))
+			lp.Acquires = 100
+			lp.Waits = 40
+		}
+	}
+	res := refine.Refine(tg.Prog, tg.Pts, tg.C.Andersen(), tg.Plan, prof, refine.Options{})
+	shards := 0
+	for _, set := range res.Plan {
+		for _, l := range set.Sorted() {
+			if l.IsShard() {
+				shards++
+			}
+		}
+	}
+	if shards < 2 {
+		t.Fatalf("precondition: refinement produced %d shard locks, want >= 2: %v", shards, res.Lines())
+	}
+	tg.Plan = res.Plan
+	want := interpDump(t, tg)
+	p, opts := fromTarget(t, tg)
+	nres, err := codegen.Native(p, opts)
+	if err != nil {
+		t.Fatalf("native: %v", err)
+	}
+	if len(nres.Flags) > 0 {
+		t.Fatalf("sharded plan flagged: %v", nres.Flags)
+	}
+	if nres.State != want {
+		t.Errorf("state mismatch\nnative: %s\ninterp: %s", nres.State, want)
 	}
 }
 

@@ -126,11 +126,13 @@ var gl = func() *Obj {
 
 // held is one acquired lock descriptor, kept for coverage checking.
 // Class -1 records a fine path that did not evaluate (covers nothing, but
-// makes evaluability changes visible to the revalidation).
+// makes evaluability changes visible to the revalidation). A shard (s) is a
+// synthetic fine leaf that covers its whole class: the static disjointness
+// proof the auditor re-derives is what makes that sound.
 type held struct {
-	a       uint64
-	c       int64
-	g, f, w bool
+	a          uint64
+	c          int64
+	g, f, s, w bool
 }
 
 func heldEq(a, b []held) bool {
@@ -215,6 +217,7 @@ func (t *T) ck(o *Obj, off int32, w bool, what string) {
 				return
 			}
 		default:
+			// Coarse locks and shards both cover their whole class.
 			if h.c == cls {
 				return
 			}

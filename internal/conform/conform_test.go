@@ -100,6 +100,78 @@ func TestMutantsFlagged(t *testing.T) {
 	}
 }
 
+// The closed feedback loop: profile → refine → full conformance on the
+// refined plan. Every refined plan must conform exactly like the original,
+// whether or not the profile triggered a rewrite.
+func TestRefinedPlansConform(t *testing.T) {
+	seeds := []int64{1, 3, 5, 7, 9}
+	if testing.Short() {
+		seeds = []int64{1, 7}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			tg, err := oracle.FromProgen(seed, 2, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, dec, err := CheckRefined(tg, Options{Log: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("refinement: %v", dec.Lines())
+			if err := res.Err(); err != nil {
+				t.Fatalf("refined conformance failure: %v", err)
+			}
+		})
+	}
+}
+
+// CollectProfile must observe real lock traffic on a locked program.
+func TestCollectProfileObservesAcquires(t *testing.T) {
+	tg, err := oracle.FromProgen(1, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := CollectProfile(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalAcquires() == 0 {
+		t.Fatalf("profile recorded no acquires: %+v", prof)
+	}
+	if len(prof.Sections) == 0 {
+		t.Fatal("profile recorded no section runs")
+	}
+}
+
+// The refinement-checker mutants must be flagged on targets where they
+// apply: demote-hot on a fine-locked plan, split-no-proof on a plan with a
+// coarse-shared class.
+func TestRefineMutantsFlagged(t *testing.T) {
+	kinds := map[string]bool{}
+	for seed := int64(1); seed <= 10; seed++ {
+		tg, err := oracle.FromProgen(seed, 2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs := checkRefineMutants(tg, Options{Log: t.Logf}.withDefaults())
+		for _, r := range runs {
+			kinds[r.Kind] = true
+			if !r.Flagged {
+				t.Errorf("refine mutant %s (%s) not flagged", r.Target, r.Kind)
+			}
+		}
+	}
+	if !kinds["refine-demote-hot"] {
+		t.Error("no seed exercised the demote-hot mutant")
+	}
+	if !kinds["refine-split-no-proof"] {
+		t.Error("no seed exercised the split-no-proof mutant")
+	}
+}
+
 // The STM engine must agree with the lock engines on final state, and its
 // counters must show real transactional activity.
 func TestSTMEngineCommits(t *testing.T) {

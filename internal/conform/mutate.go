@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/audit"
 	"lockinfer/internal/hybrid"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/oracle"
+	"lockinfer/internal/refine"
 )
 
 // Negative conformance: the harness itself is mutation-tested. Each target
@@ -109,7 +112,56 @@ func CheckMutants(tg *oracle.Target, opts Options) ([]MutantRun, error) {
 		return nil, err
 	}
 	out = append(out, hruns...)
+
+	out = append(out, checkRefineMutants(tg, opts)...)
 	return out, nil
+}
+
+// checkRefineMutants mutation-tests the profile-guided refinement checkers:
+//
+//   - refine-demote-hot: the plan a buggy refiner would emit if it demoted
+//     a class whose profile shows contention. refine.Verify's
+//     recompute-and-compare must reject it.
+//   - refine-split-no-proof: a split whose footprint-disjointness proof
+//     does not hold. The static auditor's shard re-proof must flag it.
+//
+// Both checks are deterministic (static recomputation, no schedules), so an
+// unflagged mutant is always a checker bug, never a scheduling miss.
+func checkRefineMutants(tg *oracle.Target, opts Options) []MutantRun {
+	var out []MutantRun
+	var and *andersen.Analysis
+	if tg.C != nil {
+		and = tg.C.Andersen()
+	}
+	if mut, hot, ok := refine.MutantDemoteHot(tg.Plan, nil); ok {
+		verr := refine.Verify(tg.Prog, tg.Pts, and, tg.Plan, mut, hot, refine.Options{})
+		mr := MutantRun{
+			Target:  tg.Name + "/refine-demote-hot",
+			Kind:    "refine-demote-hot",
+			Flagged: verr != nil,
+		}
+		if verr != nil {
+			mr.Flags = []string{verr.Error()}
+		}
+		out = append(out, mr)
+	} else {
+		opts.Log("conform: %s: no fine locks inferred; refine demote-hot mutant skipped", tg.Name)
+	}
+	if mut, ok := refine.MutantSplitNoProof(tg.Prog, tg.Pts, and, tg.Plan, nil); ok {
+		rep := audit.Run(tg.Prog, tg.Pts, and, mut, audit.Options{})
+		mr := MutantRun{
+			Target:  tg.Name + "/refine-split-no-proof",
+			Kind:    "refine-split-no-proof",
+			Flagged: len(rep.ShardViolations) > 0,
+		}
+		for _, v := range rep.ShardViolations {
+			mr.Flags = append(mr.Flags, v.String())
+		}
+		out = append(out, mr)
+	} else {
+		opts.Log("conform: %s: no coarse-shared class; refine split-no-proof mutant skipped", tg.Name)
+	}
+	return out
 }
 
 // checkHybridMutants injects three faults specific to the adaptive engine

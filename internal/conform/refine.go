@@ -1,0 +1,72 @@
+package conform
+
+// The runtime→inference feedback loop, closed through the conformance
+// harness: CollectProfile runs a target under the profiling interpreter,
+// RefineTarget rewrites its plan through the profile-guided refinement
+// pass, and CheckRefined validates the refined plan under every engine —
+// so a refined plan is held to exactly the bar the unrefined plan passed.
+
+import (
+	"fmt"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/interp"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/oracle"
+	"lockinfer/internal/refine"
+)
+
+// CollectProfile executes the target once, concurrently, on the sharded
+// mgl.Manager with runtime profiling enabled and returns the merged lock
+// profile (per-lock acquire/wait counters plus per-section contention).
+func CollectProfile(tg *oracle.Target) (*locks.Profile, error) {
+	m := interp.NewMachine(tg.Prog, tg.Pts, tg.Plan)
+	if tg.StepLimit > 0 {
+		m.StepLimit = tg.StepLimit
+	}
+	for name, fn := range tg.Externs {
+		m.RegisterExtern(name, fn)
+	}
+	m.EnableProfiling()
+	if err := m.Init(); err != nil {
+		return nil, fmt.Errorf("conform: %s: profile init: %w", tg.Name, err)
+	}
+	if tg.Setup != nil {
+		if _, err := m.Call(0, tg.Setup.Fn, tg.Setup.Args); err != nil {
+			return nil, fmt.Errorf("conform: %s: profile setup: %w", tg.Name, err)
+		}
+	}
+	if err := m.Run(tg.Threads); err != nil {
+		return nil, fmt.Errorf("conform: %s: profile run: %w", tg.Name, err)
+	}
+	return m.Profile(tg.Name, "mgl"), nil
+}
+
+// RefineTarget applies the profile-guided refinement to the target's plan
+// and returns the refined target (name suffixed "/refined") plus the
+// decision log. The input target is not modified; an empty profile yields
+// an unchanged plan.
+func RefineTarget(tg *oracle.Target, prof *locks.Profile, opts refine.Options) (*oracle.Target, *refine.Result) {
+	var and *andersen.Analysis
+	if tg.C != nil {
+		and = tg.C.Andersen()
+	}
+	res := refine.Refine(tg.Prog, tg.Pts, and, tg.Plan, prof, opts)
+	out := *tg
+	out.Name = tg.Name + "/refined"
+	out.Plan = res.Plan
+	return &out, res
+}
+
+// CheckRefined closes the feedback loop on one target: collect a runtime
+// profile, refine the plan, and run the full conformance protocol on the
+// refined target. The refine.Result reports what (if anything) changed.
+func CheckRefined(tg *oracle.Target, opts Options) (*Result, *refine.Result, error) {
+	prof, err := CollectProfile(tg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rtg, res := RefineTarget(tg, prof, refine.Options{})
+	r, err := Check(rtg, opts)
+	return r, res, err
+}

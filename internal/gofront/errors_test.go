@@ -1,0 +1,368 @@
+package gofront
+
+// Error-path coverage: the frontend's contract is that subset violations
+// surface as positioned per-declaration errors while the rest of the
+// package still lowers. These tests pin the rejection messages and the
+// multi-file entry points (LowerDir, LowerFiles).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lowerErrs lowers a source expected to produce decl errors and returns
+// them joined, failing the test on a hard (package-level) error.
+func lowerErrs(t *testing.T, src string) (*Package, string) {
+	t.Helper()
+	pkg, err := LowerSource("test.go", src)
+	if err != nil {
+		t.Fatalf("LowerSource: %v", err)
+	}
+	var msgs []string
+	for _, e := range pkg.Errors {
+		msgs = append(msgs, e.Error())
+	}
+	return pkg, strings.Join(msgs, "\n")
+}
+
+func TestDeclErrorString(t *testing.T) {
+	pkg, _ := lowerErrs(t, `package p
+
+func f() {
+	goto done
+done:
+}
+`)
+	if len(pkg.Errors) == 0 {
+		t.Fatal("expected a decl error for goto")
+	}
+	e := pkg.Errors[0]
+	s := e.Error()
+	if !strings.Contains(s, e.Decl) || !strings.Contains(s, e.Msg) {
+		t.Errorf("Error() = %q, want it to carry decl %q and msg %q", s, e.Decl, e.Msg)
+	}
+	if !strings.Contains(s, "test.go") {
+		t.Errorf("Error() = %q, want a test.go position prefix", s)
+	}
+}
+
+// TestStatementRejections sweeps the statement forms outside the subset:
+// each variant produces a positioned error mentioning the construct, and
+// the error is charged to the declaring function.
+func TestStatementRejections(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"range", `for range s { x++ }`, "range loops"},
+		{"break", `for { break }`, "break is outside"},
+		{"continue", `for { continue }`, "continue is outside"},
+		{"switch", `switch x { default: }`, "switch is outside"},
+		{"select", `select {}`, "select (channels)"},
+		{"label", `L: x = 1; _ = x`, "labels are outside"},
+		{"localType", `type T int; var v T; _ = v`, "local type declarations"},
+		{"returnInSpan", `mu.Lock(); if x > 0 { return }; mu.Unlock()`, "return inside a lock span"},
+		{"deferMisplaced", `x = 1; defer mu.Unlock()`, "must immediately follow the matching Lock"},
+		{"deferArbitrary", `defer g()`, "defer is outside the subset"},
+		{"bitwiseNot", `x = ^x`, "operator ^ is outside"},
+		{"addressOfSync", `_ = &mu`, "address of a sync object"},
+		{"slicing", `s = s[1:2]`, "slicing is outside"},
+		{"makeMap", `_ = make(map[int]int)`, "make is only supported for slices"},
+		{"builtinMin", `x = min(x, 1)`, "builtin min is outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := `package p
+
+import "sync"
+
+var mu sync.Mutex
+var x int
+var s []int
+
+func g() {}
+
+func f() {
+	` + tc.body + `
+}
+`
+			pkg, msgs := lowerErrs(t, src)
+			if len(pkg.Errors) == 0 {
+				t.Fatalf("no decl error; minic:\n%s", pkg.Minic)
+			}
+			if !strings.Contains(msgs, tc.want) {
+				t.Errorf("errors do not mention %q:\n%s", tc.want, msgs)
+			}
+			found := false
+			for _, e := range pkg.Errors {
+				if strings.Contains(e.Decl, "f") {
+					found = true
+					if e.Pos.Line == 0 {
+						t.Errorf("error has no position: %v", e)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no error charged to func f:\n%s", msgs)
+			}
+		})
+	}
+}
+
+// TestGlobalRejections covers the global-collection error paths: rejected
+// initializers and composite-literal restrictions around sync fields. The
+// surviving declarations still lower.
+func TestGlobalRejections(t *testing.T) {
+	cases := []struct {
+		name, decls, want string
+	}{
+		{"map", `var m map[string]int`, "var m"},
+		{"positionalSync", `var c = Counter{sync.Mutex{}, 5}`, "positional composite literals"},
+		{"syncFieldInit", `var c = Counter{mu: sync.Mutex{}}`, "sync fields cannot be initialized"},
+		{"nonCompositeStructInit", `var c = other
+var other Counter`, "must be a composite literal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := `package p
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+` + tc.decls + `
+
+var ok int
+
+func f() {
+	ok = 1
+}
+`
+			pkg, msgs := lowerErrs(t, src)
+			if len(pkg.Errors) == 0 {
+				t.Fatalf("no decl error; minic:\n%s", pkg.Minic)
+			}
+			if !strings.Contains(msgs, tc.want) {
+				t.Errorf("errors do not mention %q:\n%s", tc.want, msgs)
+			}
+			if len(pkg.Funcs) != 1 || pkg.Funcs[0].GoName != "f" {
+				t.Errorf("func f did not survive the rejected global: %v", pkg.Funcs)
+			}
+		})
+	}
+}
+
+// TestStructValueRejections covers lvalue/rvalue struct-value paths: the
+// subset passes structs by pointer only.
+func TestStructValueRejections(t *testing.T) {
+	_, msgs := lowerErrs(t, `package p
+
+type S struct{ n int }
+
+func f(p *S, q *S) {
+	*p = *q
+}
+`)
+	if !strings.Contains(msgs, "struct-value assignment") {
+		t.Errorf("errors do not mention struct-value assignment:\n%s", msgs)
+	}
+}
+
+func TestLowerDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package p\n\nvar x int\n")
+	write("b.go", "package p\n\nfunc f() { x = 1 }\n")
+	write("b_test.go", "package p\n\nfunc broken() { <-make(chan int) }\n")
+	write("notes.txt", "not go")
+
+	pkg, err := LowerDir(dir)
+	if err != nil {
+		t.Fatalf("LowerDir: %v", err)
+	}
+	if len(pkg.Errors) != 0 {
+		t.Errorf("unexpected errors (test file not skipped?): %v", pkg.Errors)
+	}
+	if len(pkg.Funcs) != 1 || pkg.Funcs[0].GoName != "f" {
+		t.Errorf("funcs = %v, want [f]", pkg.Funcs)
+	}
+	if !strings.Contains(pkg.Minic, "int x;") {
+		t.Errorf("global from a.go missing:\n%s", pkg.Minic)
+	}
+}
+
+func TestLowerDirErrors(t *testing.T) {
+	if _, err := LowerDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("LowerDir on a missing directory succeeded")
+	}
+	empty := t.TempDir()
+	if _, err := LowerDir(empty); err == nil || !strings.Contains(err.Error(), "no .go files") {
+		t.Errorf("LowerDir on an empty directory: err = %v, want no .go files", err)
+	}
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "a.go"), []byte("package p\nfunc {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LowerDir(bad); err == nil {
+		t.Error("LowerDir on a syntax error succeeded")
+	}
+}
+
+func TestLowerFilesErrors(t *testing.T) {
+	if _, err := LowerFiles(token.NewFileSet(), nil); err == nil || !strings.Contains(err.Error(), "no files") {
+		t.Errorf("LowerFiles with no files: err = %v", err)
+	}
+
+	fset := token.NewFileSet()
+	parse := func(name, src string) *ast.File {
+		t.Helper()
+		f, err := parser.ParseFile(fset, name, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a := parse("a.go", "package p\n")
+	b := parse("b.go", "package q\n")
+	if _, err := LowerFiles(fset, []*ast.File{a, b}); err == nil || !strings.Contains(err.Error(), "mixed package names") {
+		t.Errorf("LowerFiles with mixed packages: err = %v", err)
+	}
+}
+
+func TestLowerSourceSyntaxError(t *testing.T) {
+	if _, err := LowerSource("", "package p\nfunc {"); err == nil {
+		t.Error("LowerSource on a syntax error succeeded")
+	}
+}
+
+// TestLocalRejections covers defineLocal's refusal set: sync objects and
+// struct values must live where the subset can see them.
+func TestLocalRejections(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"localMutex", `var m sync.Mutex; m.Lock(); m.Unlock()`, "local mutexes are outside"},
+		{"wgPointer", `var w *sync.WaitGroup; _ = w`, "local *sync.WaitGroup"},
+		{"funcLit", `h := func() {}; h()`, "function values are outside"},
+		{"andNot", `x = x &^ 1`, "operator &^ is outside"},
+		{"structValueCopy", `var p Pair; var q Pair; q = p; _ = q`, "struct-value assignment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := `package p
+
+import "sync"
+
+type Pair struct{ a, b int }
+
+var x int
+
+var _ = sync.OnceFunc
+
+func f() {
+	` + tc.body + `
+}
+`
+			pkg, msgs := lowerErrs(t, src)
+			if len(pkg.Errors) == 0 {
+				t.Fatalf("no decl error; minic:\n%s", pkg.Minic)
+			}
+			if !strings.Contains(msgs, tc.want) {
+				t.Errorf("errors do not mention %q:\n%s", tc.want, msgs)
+			}
+		})
+	}
+}
+
+// TestLoweringKitchenSink drives the supported statement and expression
+// forms that the focused tests above skip: if with init and else-if
+// chains, impure loop conditions (hoisted calls re-evaluated per
+// iteration), local struct values behind pointers, element reads and
+// writes, and pointer dereference.
+func TestLoweringKitchenSink(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+var arr []int
+var total int
+
+func g(n int) int {
+	return n - 1
+}
+
+func f(n int) int {
+	q := Pair{a: 1, b: 2}
+	var r Pair
+	r.a = q.b
+	if m := n * 2; m > 0 {
+		r.b = m
+	} else if m < 0 {
+		r.b = -m
+	} else {
+		r.b = g(n)
+	}
+	for i := 0; i < n; i++ {
+		arr[i%4] = arr[i%4] + 1
+	}
+	for g(n) > 0 {
+		n = n - 1
+	}
+	pr := &q
+	pr.a = 3
+	var ip *int
+	ip = &total
+	*ip = *ip + r.a
+	return q.a + r.b + total
+}
+
+type Pair struct{ a, b int }
+
+func init() {
+	arr = make([]int, 4)
+}
+`)
+	for _, want := range []string{"while (", "new Pair", "arr[", "*("} {
+		if !strings.Contains(pkg.Minic, want) {
+			t.Errorf("lowered minic missing %q:\n%s", want, pkg.Minic)
+		}
+	}
+	if len(pkg.Funcs) < 2 {
+		t.Errorf("funcs = %v, want g and f", pkg.Funcs)
+	}
+}
+
+// TestDeferWaitGroupForms pins the tolerated defer forms: wg.Add/Done are
+// dropped, wg.Wait records a barrier.
+func TestDeferWaitGroupForms(t *testing.T) {
+	pkg := lowerOK(t, `package p
+
+import "sync"
+
+var wg sync.WaitGroup
+var x int
+
+func worker() {
+	x = x + 1
+}
+
+func f() {
+	defer wg.Wait()
+	wg.Add(1)
+	go worker()
+}
+`)
+	if len(pkg.Barriers) == 0 {
+		t.Errorf("defer wg.Wait() recorded no barrier")
+	}
+}

@@ -11,6 +11,8 @@ package hybrid
 import (
 	"sync"
 	"sync/atomic"
+
+	"lockinfer/internal/locks"
 )
 
 // Mode is the policy's verdict for one execution of a section.
@@ -57,7 +59,19 @@ type Config struct {
 	// pessimistic after a fallback. Uncontended pessimistic runs decay the
 	// budget; contended ones refresh it.
 	StickyRuns int
+	// Profile, when set, seeds the per-section state from a prior run's
+	// lock profile: a section whose profile shows sustained contention
+	// (Contended at ProfileRatio) starts sticky-pessimistic instead of
+	// rediscovering the contention through aborted attempts.
+	Profile *locks.Profile
+	// ProfileRatio is the Contended threshold for profile seeding
+	// (0 means DefaultProfileRatio).
+	ProfileRatio float64
 }
+
+// DefaultProfileRatio: a section blocking or falling back in a quarter of
+// its profiled runs counts as contended.
+const DefaultProfileRatio = 0.25
 
 func (c Config) withDefaults() Config {
 	if c.AbortThreshold == 0 {
@@ -65,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StickyRuns == 0 {
 		c.StickyRuns = DefaultStickyRuns
+	}
+	if c.ProfileRatio == 0 {
+		c.ProfileRatio = DefaultProfileRatio
 	}
 	return c
 }
@@ -96,7 +113,17 @@ func (p *Policy) state(section int) *secState {
 	if s, ok := p.secs.Load(section); ok {
 		return s.(*secState)
 	}
-	s, _ := p.secs.LoadOrStore(section, &secState{})
+	st := &secState{}
+	if prof := p.cfg.Profile; prof != nil {
+		// Proactive fallback: a section the profile shows under sustained
+		// contention starts with a full sticky budget, skipping the aborted
+		// optimistic attempts it would burn rediscovering that. Uncontended
+		// pessimistic runs still decay it back to optimism.
+		if prof.Sections[section].Contended(p.cfg.ProfileRatio) {
+			st.sticky.Store(int32(p.cfg.StickyRuns))
+		}
+	}
+	s, _ := p.secs.LoadOrStore(section, st)
 	return s.(*secState)
 }
 

@@ -3,6 +3,8 @@ package hybrid
 import (
 	"sync"
 	"testing"
+
+	"lockinfer/internal/locks"
 )
 
 // TestDecide covers the threshold-crossing matrix: configuration × section
@@ -156,5 +158,53 @@ func TestPerSectionIsolation(t *testing.T) {
 	st := p.Stats()
 	if st.Fallbacks != 800 || st.OptRuns != 800 || st.PessRuns != 800 {
 		t.Fatalf("stats = %+v, want 800 each of fallbacks/optRuns/pessRuns", st)
+	}
+}
+
+// TestProfileSeeding pins the proactive-fallback satellite at both
+// extremes: a section the profile shows under sustained contention starts
+// sticky-pessimistic, an uncontended one starts optimistic — and the seeded
+// budget still decays back to optimism through quiet pessimistic runs.
+func TestProfileSeeding(t *testing.T) {
+	prof := locks.NewProfile("p", "hybrid")
+	hot := prof.Section(1)
+	hot.Runs = 100
+	hot.Waits = 40
+	hot.Fallbacks = 20 // 60% contended: well past any sane ratio
+	cold := prof.Section(2)
+	cold.Runs = 100 // zero waits, zero fallbacks
+
+	p := NewPolicy(Config{Profile: prof})
+	if mode, _ := p.Decide(1); mode != Pess {
+		t.Errorf("hot section: Decide = %s, want pess", mode)
+	}
+	if got := p.Sticky(1); got != DefaultStickyRuns {
+		t.Errorf("hot section sticky = %d, want %d", got, DefaultStickyRuns)
+	}
+	if mode, budget := p.Decide(2); mode != Opt || budget != DefaultAbortThreshold {
+		t.Errorf("cold section: Decide = %s/%d, want opt/%d", mode, budget, DefaultAbortThreshold)
+	}
+	// Unprofiled sections behave like cold ones.
+	if mode, _ := p.Decide(99); mode != Opt {
+		t.Errorf("unprofiled section: Decide = %s, want opt", mode)
+	}
+	// The seed is a budget, not a sentence: quiet runs decay it away.
+	for i := 0; i < DefaultStickyRuns; i++ {
+		p.RecordPessimistic(1, false)
+	}
+	if mode, _ := p.Decide(1); mode != Opt {
+		t.Errorf("hot section after decay: Decide = %s, want opt", mode)
+	}
+
+	// No profile: everything starts optimistic regardless of ratio config.
+	p2 := NewPolicy(Config{ProfileRatio: 0.01})
+	if mode, _ := p2.Decide(1); mode != Opt {
+		t.Errorf("profile-less policy: Decide = %s, want opt", mode)
+	}
+
+	// Ratio is honored: at ratio 0.7 the 60%-contended section stays opt.
+	p3 := NewPolicy(Config{Profile: prof, ProfileRatio: 0.7})
+	if mode, _ := p3.Decide(1); mode != Opt {
+		t.Errorf("high-ratio policy: Decide = %s, want opt", mode)
 	}
 }

@@ -61,6 +61,7 @@ func (e *hybridEngine) begin(t *thread, f *ir.Func, frame *Object, s *ir.Stmt, p
 		}
 		if committed {
 			e.pol.RecordOptimistic(s.Section, n)
+			t.m.recordSectionOpt(s.Section, n)
 			if returned {
 				return secAction{stop: true, ret: ret, returned: true, cont: -1}, nil
 			}
@@ -68,6 +69,7 @@ func (e *hybridEngine) begin(t *thread, f *ir.Func, frame *Object, s *ir.Stmt, p
 		}
 		aborts = n
 		e.pol.RecordFallback(s.Section, aborts)
+		t.m.recordSectionFallback(s.Section, aborts)
 	}
 	// Pessimistic entry. The gate closes before the locks are acquired so
 	// that once the plan's revalidation succeeds, no fast-path commit can

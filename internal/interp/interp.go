@@ -78,6 +78,12 @@ type Machine struct {
 	// engines only).
 	stmCells sync.Map
 
+	// profiling enables runtime lock-profile collection (EnableProfiling);
+	// secMu/secProf hold the per-section counters behind Profile.
+	profiling bool
+	secMu     sync.Mutex
+	secProf   map[int]*secStat
+
 	globals *Object
 	externs map[string]ExternFunc
 	initOnc sync.Once
@@ -137,9 +143,14 @@ func (m *Machine) UseHybrid(rt *stm.Runtime, pol *hybrid.Policy) {
 type heldLock struct {
 	global bool
 	fine   bool
-	class  steens.NodeID
-	addr   uint64
-	write  bool
+	// shard marks a split-lock shard: a fine leaf in the runtime tree whose
+	// coverage nevertheless extends to the whole class, justified by the
+	// refinement pass's footprint-disjointness proof (re-checked by the
+	// static auditor, not per access here).
+	shard bool
+	class steens.NodeID
+	addr  uint64
+	write bool
 }
 
 // thread is one executing thread.
@@ -312,6 +323,7 @@ func (t *thread) covered(obj *Object, off int, write bool) bool {
 				return true
 			}
 		default:
+			// Coarse locks and shards both cover their whole class.
 			if h.class == cls {
 				return true
 			}
@@ -751,6 +763,7 @@ func (t *thread) enterAtomic(f *ir.Func, frame *Object, section int) {
 		return
 	}
 	t.epoch++
+	wait0 := t.session.WaitCount()
 	for {
 		held, reqs := t.evalSection(frame, section)
 		for _, r := range reqs {
@@ -760,6 +773,7 @@ func (t *thread) enterAtomic(f *ir.Func, frame *Object, section int) {
 		held2, _ := t.evalSection(frame, section)
 		if sameHeld(held, held2) {
 			t.held = held
+			t.m.recordSectionRun(section, t.session.WaitCount() > wait0)
 			return
 		}
 		t.session.ReleaseAll()
@@ -808,6 +822,14 @@ func (t *thread) evalLock(frame *Object, l locks.Inferred) (heldLock, mgl.Req, b
 		if l.IsGlobal() {
 			return heldLock{global: true, write: write},
 				mgl.Req{Global: true, Write: write}, true
+		}
+		if l.IsShard() {
+			// A shard maps to a synthetic fine leaf under its class: two
+			// sections holding different shards take IX on the class and run
+			// concurrently; same shard still excludes.
+			addr := mgl.ShardAddr(l.Shard)
+			return heldLock{shard: true, class: l.Class, addr: addr, write: write},
+				mgl.Req{Class: mgl.ClassID(l.Class), Fine: true, Addr: addr, Write: write}, true
 		}
 		return heldLock{class: l.Class, write: write},
 			mgl.Req{Class: mgl.ClassID(l.Class), Write: write}, true

@@ -1,0 +1,103 @@
+package interp
+
+import (
+	"sync/atomic"
+
+	"lockinfer/internal/locks"
+)
+
+// Runtime lock profiling: with EnableProfiling set, the machine's lock
+// runtime counts per-node acquires/waits (see mgl's profile support) and
+// the engines count per-section runs, waits, aborts and fallbacks; Profile
+// exports both as a locks.Profile — the feedback artifact the
+// profile-guided refinement pass (internal/refine) consumes.
+
+// secStat is the per-section counter set. Counters are atomic: sections are
+// entered concurrently by every thread of a run.
+type secStat struct {
+	runs      atomic.Int64
+	waits     atomic.Int64
+	aborts    atomic.Int64
+	fallbacks atomic.Int64
+}
+
+// EnableProfiling turns on lock-profile collection. It must be called
+// before Init, Call or Run, and cannot be turned off again.
+func (m *Machine) EnableProfiling() {
+	m.profiling = true
+	m.rt.EnableProfiling()
+}
+
+// Profiling reports whether profile collection is enabled.
+func (m *Machine) Profiling() bool { return m.profiling }
+
+// secStats returns (creating on first use) one section's counters.
+func (m *Machine) secStats(section int) *secStat {
+	m.secMu.Lock()
+	defer m.secMu.Unlock()
+	if m.secProf == nil {
+		m.secProf = map[int]*secStat{}
+	}
+	st := m.secProf[section]
+	if st == nil {
+		st = &secStat{}
+		m.secProf[section] = st
+	}
+	return st
+}
+
+// recordSectionRun counts one pessimistic (lock-plan) execution of a
+// section and whether its plan acquisition blocked.
+func (m *Machine) recordSectionRun(section int, waited bool) {
+	if !m.profiling {
+		return
+	}
+	st := m.secStats(section)
+	st.runs.Add(1)
+	if waited {
+		st.waits.Add(1)
+	}
+}
+
+// recordSectionOpt counts the aborted attempts of a committed optimistic
+// execution (hybrid engine).
+func (m *Machine) recordSectionOpt(section int, aborts int) {
+	if !m.profiling || aborts == 0 {
+		return
+	}
+	m.secStats(section).aborts.Add(int64(aborts))
+}
+
+// recordSectionFallback counts one exhausted abort budget (hybrid engine):
+// the attempts it burned plus the fallback itself.
+func (m *Machine) recordSectionFallback(section int, aborts int) {
+	if !m.profiling {
+		return
+	}
+	st := m.secStats(section)
+	st.aborts.Add(int64(aborts))
+	st.fallbacks.Add(1)
+}
+
+// Profile exports the run's lock profile: the runtime's per-lock counters
+// merged with the machine's per-section counters. Safe to call while
+// threads run (a live scrape observes a consistent prefix).
+func (m *Machine) Profile(source, engine string) *locks.Profile {
+	p := locks.NewProfile(source, engine)
+	m.rt.FillProfile(p)
+	m.secMu.Lock()
+	defer m.secMu.Unlock()
+	for id, st := range m.secProf {
+		sp := p.Section(id)
+		sp.Runs += st.runs.Load()
+		sp.Waits += st.waits.Load()
+		sp.Aborts += st.aborts.Load()
+		sp.Fallbacks += st.fallbacks.Load()
+	}
+	return p
+}
+
+// SetSectionLocks replaces the lock plan the machine executes under (the
+// lockinferd refine endpoint swaps in a refined plan). It must not be
+// called while threads are running.
+func (m *Machine) SetSectionLocks(plans map[int]locks.Set) { m.SectionLocks = plans }

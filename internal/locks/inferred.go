@@ -15,7 +15,13 @@ import (
 //   - fine-grain: (path, class, eff) — a k-limited expression lock paired
 //     with the points-to class its target belongs to, or
 //   - coarse-grain: (⊤, class, eff) — an entire points-to partition, or
-//   - global: (⊤, ⊤, rw) — the root lock (Class < 0).
+//   - global: (⊤, ⊤, rw) — the root lock (Class < 0), or
+//   - shard: (class.sN, eff) — a synthetic fine leaf under a split coarse
+//     lock, produced only by the profile-guided refinement pass (see
+//     internal/refine). A shard stands for "this section's slice of the
+//     partition": sections holding different shards of one class are
+//     allowed to run concurrently, justified by the refinement's static
+//     footprint-disjointness proof, which the auditor re-derives.
 type Inferred struct {
 	// Fine indicates an expression lock; Path is valid only when Fine.
 	Fine bool
@@ -24,6 +30,9 @@ type Inferred struct {
 	// the global ⊤ partition.
 	Class steens.NodeID
 	Eff   Eff
+	// Shard, when positive on a non-Fine lock, selects the split-lock
+	// shard of the class (a synthetic fine leaf in the runtime tree).
+	Shard int
 }
 
 // GlobalLock returns the root lock (⊤, ⊤, rw).
@@ -39,25 +48,39 @@ func FineLock(p Path, class steens.NodeID, eff Eff) Inferred {
 	return Inferred{Fine: true, Path: p, Class: class, Eff: eff}
 }
 
+// ShardLock returns shard n (n ≥ 1) of a split coarse lock.
+func ShardLock(class steens.NodeID, shard int, eff Eff) Inferred {
+	return Inferred{Class: class, Shard: shard, Eff: eff}
+}
+
 // IsGlobal reports whether the lock is the root ⊤ lock.
 func (l Inferred) IsGlobal() bool { return !l.Fine && l.Class < 0 }
+
+// IsShard reports whether the lock is a split-lock shard.
+func (l Inferred) IsShard() bool { return !l.Fine && l.Shard > 0 }
 
 // Key returns a canonical map key.
 func (l Inferred) Key() string {
 	if l.Fine {
 		return fmt.Sprintf("F:%s:%d:%s", l.Path.Key(), l.Class, l.Eff)
 	}
+	if l.Shard > 0 {
+		return fmt.Sprintf("S:%d.%d:%s", l.Class, l.Shard, l.Eff)
+	}
 	return fmt.Sprintf("C:%d:%s", l.Class, l.Eff)
 }
 
-// String renders the lock for reports, e.g. "&(to->head)/rw" or
-// "pts#3/ro".
+// String renders the lock for reports, e.g. "&(to->head)/rw",
+// "pts#3/ro" or "pts#3.s2/rw".
 func (l Inferred) String() string {
 	if l.Fine {
 		return l.Path.String() + "/" + l.Eff.String()
 	}
 	if l.Class < 0 {
 		return "⊤/rw"
+	}
+	if l.Shard > 0 {
+		return fmt.Sprintf("pts#%d.s%d/%s", l.Class, l.Shard, l.Eff)
 	}
 	return fmt.Sprintf("pts#%d/%s", l.Class, l.Eff)
 }
@@ -82,7 +105,12 @@ func (l Inferred) Less(o Inferred) bool {
 		// Same path, weaker effect.
 		return l.Path.Key() == o.Path.Key() && l.Eff.Leq(o.Eff)
 	}
-	// l fine (or weaker coarse) under coarse o of the same class.
+	if o.IsShard() {
+		// A shard is a leaf: only the same shard with weaker effect sits
+		// below it. Fine path locks and other shards are siblings.
+		return l.IsShard() && l.Shard == o.Shard && l.Eff.Leq(o.Eff)
+	}
+	// l fine, shard, or weaker coarse under coarse o of the same class.
 	return l.Eff.Leq(o.Eff)
 }
 
@@ -188,6 +216,9 @@ func (s Set) Sorted() []Inferred {
 			if pa, pb := a.Path.String(), b.Path.String(); pa != pb {
 				return pa < pb
 			}
+		} else if a.Shard != b.Shard {
+			// Coarse (Shard 0) before its shards, shards numerically.
+			return a.Shard < b.Shard
 		}
 		return a.Eff < b.Eff
 	})

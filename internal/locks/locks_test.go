@@ -267,11 +267,13 @@ func TestIExprOps(t *testing.T) {
 func TestInferredOrder(t *testing.T) {
 	gen := func(seed int64) Inferred {
 		r := rand.New(rand.NewSource(seed))
-		switch r.Intn(3) {
+		switch r.Intn(4) {
 		case 0:
 			return GlobalLock()
 		case 1:
 			return CoarseLock(steens.NodeID(r.Intn(3)), Eff(r.Intn(2)))
+		case 2:
+			return ShardLock(steens.NodeID(r.Intn(3)), 1+r.Intn(3), Eff(r.Intn(2)))
 		default:
 			return FineLock(Path{}, steens.NodeID(r.Intn(3)), Eff(r.Intn(2)))
 		}
@@ -294,17 +296,74 @@ func TestInferredOrder(t *testing.T) {
 	}
 }
 
+// TestShardLocks pins the split-lock shard kind: identity, rendering, and
+// its place in the tree order (a leaf below its class's coarse lock,
+// sibling to every other shard and to path locks).
+func TestShardLocks(t *testing.T) {
+	s1 := ShardLock(3, 1, RW)
+	s2 := ShardLock(3, 2, RW)
+	s1ro := ShardLock(3, 1, RO)
+	coarse := CoarseLock(3, RW)
+	fine := FineLock(Path{}, 3, RW)
+
+	if !s1.IsShard() || s1.IsGlobal() || coarse.IsShard() || fine.IsShard() {
+		t.Fatalf("IsShard misclassifies")
+	}
+	if s1.Key() == s2.Key() || s1.Key() == coarse.Key() || s1.Key() == s1ro.Key() {
+		t.Errorf("shard keys not distinct: %s %s %s %s", s1.Key(), s2.Key(), coarse.Key(), s1ro.Key())
+	}
+	if got := s2.String(); got != "pts#3.s2/rw" {
+		t.Errorf("String = %q, want pts#3.s2/rw", got)
+	}
+
+	if !s1.Less(coarse) || !s1.Less(GlobalLock()) {
+		t.Errorf("shard should sit below its coarse lock and the root")
+	}
+	if coarse.Less(s1) {
+		t.Errorf("coarse lock must not sit below a shard")
+	}
+	if s1.Less(s2) || s2.Less(s1) {
+		t.Errorf("sibling shards must be incomparable")
+	}
+	if fine.Less(s1) || s1.Less(fine) {
+		t.Errorf("path locks and shards must be incomparable")
+	}
+	if !s1ro.Less(s1) || s1.Less(s1ro) {
+		t.Errorf("same shard orders by effect")
+	}
+	if s1.Less(ShardLock(4, 1, RW)) {
+		t.Errorf("shards of different classes must be incomparable")
+	}
+
+	// Minimize drops shards when their coarse lock is also held.
+	m := NewSet(s1, s2, coarse).Minimize()
+	if len(m) != 1 || !m.Has(coarse) {
+		t.Errorf("Minimize(shards+coarse) = %v", m.Sorted())
+	}
+
+	// Sorted: coarse before its shards, shards numerically.
+	got := NewSet(s2, coarse, s1, CoarseLock(2, RW)).Sorted()
+	want := []string{"pts#2/rw", "pts#3/rw", "pts#3.s1/rw", "pts#3.s2/rw"}
+	for i, l := range got {
+		if l.String() != want[i] {
+			t.Fatalf("Sorted[%d] = %s, want %s (full: %v)", i, l, want[i], got)
+		}
+	}
+}
+
 // TestSetMinimize checks redundancy elimination over random sets.
 func TestSetMinimize(t *testing.T) {
 	f := func(seeds []int64) bool {
 		set := NewSet()
 		for _, s := range seeds {
 			r := rand.New(rand.NewSource(s))
-			switch r.Intn(3) {
+			switch r.Intn(4) {
 			case 0:
 				set.Add(GlobalLock())
 			case 1:
 				set.Add(CoarseLock(steens.NodeID(r.Intn(3)), Eff(r.Intn(2))))
+			case 2:
+				set.Add(ShardLock(steens.NodeID(r.Intn(3)), 1+r.Intn(3), Eff(r.Intn(2))))
 			default:
 				set.Add(FineLock(Path{}, steens.NodeID(r.Intn(3)), Eff(r.Intn(2))))
 			}

@@ -1,0 +1,281 @@
+package locks
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Profile is the runtime lock profile every execution engine can emit after
+// a run: per-lock acquire/wait counts with the per-mode histogram, and
+// per-section contention counters. It is the feedback artifact of the
+// profile-guided refinement pass (internal/refine) — the runtime's answer
+// to "which inferred locks are actually hot, and which are dead weight".
+//
+// Profiles are mergeable (Merge sums counter-wise, so per-session,
+// per-world or per-run profiles fold into one) and round-trip through JSON
+// (WriteJSON/ParseProfile), which is how the cmd tools' -profile flag and
+// lockinferd's /metrics carry them across process boundaries.
+type Profile struct {
+	// Schema versions the JSON layout.
+	Schema string `json:"schema"`
+	// Source labels the profiled program (a pipeline Options.Name, a
+	// content hash, ...). Informational; Merge keeps the first non-empty.
+	Source string `json:"source,omitempty"`
+	// Engine names the runtime that produced the profile ("mgl", "hybrid",
+	// "native", ...). Informational; Merge keeps the first non-empty.
+	Engine string `json:"engine,omitempty"`
+	// Locks maps canonical lock identities (see RootKey, ClassKey,
+	// FineKey) to their counters.
+	Locks map[string]*LockProfile `json:"locks,omitempty"`
+	// Sections maps atomic-section ids to their counters.
+	Sections map[int]*SectionProfile `json:"sections,omitempty"`
+}
+
+// ProfileSchema versions the Profile JSON layout.
+const ProfileSchema = "lockinfer/profile/v1"
+
+// LockProfile is the counter set of one lock-tree node.
+type LockProfile struct {
+	// Acquires counts grants of this node; Waits how many of them blocked.
+	Acquires int64 `json:"acquires"`
+	Waits    int64 `json:"waits"`
+	// Modes is the per-mode grant histogram indexed by the mgl mode
+	// numbering (none, IS, IX, S, SIX, X).
+	Modes [6]int64 `json:"modes"`
+}
+
+// SectionProfile is the counter set of one atomic section.
+type SectionProfile struct {
+	// Runs counts section entries under a lock plan (pessimistic
+	// executions); Waits how many of those entries blocked on at least one
+	// node acquisition.
+	Runs  int64 `json:"runs"`
+	Waits int64 `json:"waits"`
+	// Aborts counts aborted optimistic attempts and Fallbacks the
+	// executions that exhausted their abort budget (hybrid engine only).
+	Aborts    int64 `json:"aborts,omitempty"`
+	Fallbacks int64 `json:"fallbacks,omitempty"`
+}
+
+// Contended reports that the section blocked (or fell back) in a
+// nontrivial fraction of its runs: the refinement pass's and the hybrid
+// policy's shared notion of "hot".
+func (s *SectionProfile) Contended(ratio float64) bool {
+	if s == nil || s.Runs == 0 {
+		return false
+	}
+	return float64(s.Waits+s.Fallbacks) >= ratio*float64(s.Runs)
+}
+
+// Lock identity keys. The runtime lock tree has the root, one node per
+// points-to partition, and per-address fine leaves; the keys mirror that
+// shape so every engine emits the same identities.
+const (
+	// RootKeyName is the identity of the ⊤ root lock.
+	RootKeyName = "root"
+	classPrefix = "class#"
+	finePrefix  = "fine#"
+)
+
+// RootKey returns the root lock's identity.
+func RootKey() string { return RootKeyName }
+
+// ClassKey returns the identity of a partition (coarse) lock.
+func ClassKey(class int64) string { return classPrefix + strconv.FormatInt(class, 10) }
+
+// FineKey returns the identity of a per-address leaf below a partition.
+func FineKey(class int64, addr uint64) string {
+	return finePrefix + strconv.FormatInt(class, 10) + "@" + strconv.FormatUint(addr, 16)
+}
+
+// FineClass parses a fine-leaf key back to its class; ok is false for root
+// and class keys.
+func FineClass(key string) (int64, bool) {
+	rest, found := strings.CutPrefix(key, finePrefix)
+	if !found {
+		return 0, false
+	}
+	cls, _, found := strings.Cut(rest, "@")
+	if !found {
+		return 0, false
+	}
+	c, err := strconv.ParseInt(cls, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return c, true
+}
+
+// NewProfile returns an empty profile for one program/engine pair.
+func NewProfile(source, engine string) *Profile {
+	return &Profile{
+		Schema:   ProfileSchema,
+		Source:   source,
+		Engine:   engine,
+		Locks:    map[string]*LockProfile{},
+		Sections: map[int]*SectionProfile{},
+	}
+}
+
+// Lock returns (creating on first use) the counters of one lock identity.
+func (p *Profile) Lock(key string) *LockProfile {
+	if p.Locks == nil {
+		p.Locks = map[string]*LockProfile{}
+	}
+	lp := p.Locks[key]
+	if lp == nil {
+		lp = &LockProfile{}
+		p.Locks[key] = lp
+	}
+	return lp
+}
+
+// Section returns (creating on first use) the counters of one section.
+func (p *Profile) Section(id int) *SectionProfile {
+	if p.Sections == nil {
+		p.Sections = map[int]*SectionProfile{}
+	}
+	sp := p.Sections[id]
+	if sp == nil {
+		sp = &SectionProfile{}
+		p.Sections[id] = sp
+	}
+	return sp
+}
+
+// Merge folds o's counters into p (counter-wise sums). Nil o is a no-op.
+func (p *Profile) Merge(o *Profile) {
+	if o == nil {
+		return
+	}
+	if p.Source == "" {
+		p.Source = o.Source
+	}
+	if p.Engine == "" {
+		p.Engine = o.Engine
+	}
+	for key, lp := range o.Locks {
+		dst := p.Lock(key)
+		dst.Acquires += lp.Acquires
+		dst.Waits += lp.Waits
+		for i := range dst.Modes {
+			dst.Modes[i] += lp.Modes[i]
+		}
+	}
+	for id, sp := range o.Sections {
+		dst := p.Section(id)
+		dst.Runs += sp.Runs
+		dst.Waits += sp.Waits
+		dst.Aborts += sp.Aborts
+		dst.Fallbacks += sp.Fallbacks
+	}
+}
+
+// Empty reports a profile with no observations at all.
+func (p *Profile) Empty() bool {
+	if p == nil {
+		return true
+	}
+	for _, lp := range p.Locks {
+		if lp.Acquires != 0 || lp.Waits != 0 {
+			return false
+		}
+	}
+	for _, sp := range p.Sections {
+		if sp.Runs != 0 || sp.Aborts != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalAcquires sums node grants across all locks.
+func (p *Profile) TotalAcquires() int64 {
+	var t int64
+	for _, lp := range p.Locks {
+		t += lp.Acquires
+	}
+	return t
+}
+
+// TotalWaits sums blocked grants across all locks.
+func (p *Profile) TotalWaits() int64 {
+	var t int64
+	for _, lp := range p.Locks {
+		t += lp.Waits
+	}
+	return t
+}
+
+// ClassStats aggregates one partition's counters: the coarse node itself
+// plus every fine leaf below it.
+func (p *Profile) ClassStats(class int64) (coarse, fine LockProfile) {
+	for key, lp := range p.Locks {
+		if key == ClassKey(class) {
+			coarse.Acquires += lp.Acquires
+			coarse.Waits += lp.Waits
+		} else if c, ok := FineClass(key); ok && c == class {
+			fine.Acquires += lp.Acquires
+			fine.Waits += lp.Waits
+		}
+	}
+	return coarse, fine
+}
+
+// Hash returns a stable content hash of the profile's counters — the
+// refinement pass's cache-key component. Two profiles with the same
+// observations hash identically regardless of map order.
+func (p *Profile) Hash() string {
+	if p == nil {
+		return "none"
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s\n", p.Schema, p.Source, p.Engine)
+	lockKeys := make([]string, 0, len(p.Locks))
+	for k := range p.Locks {
+		lockKeys = append(lockKeys, k)
+	}
+	sort.Strings(lockKeys)
+	for _, k := range lockKeys {
+		lp := p.Locks[k]
+		fmt.Fprintf(h, "L %s %d %d %v\n", k, lp.Acquires, lp.Waits, lp.Modes)
+	}
+	secIDs := make([]int, 0, len(p.Sections))
+	for id := range p.Sections {
+		secIDs = append(secIDs, id)
+	}
+	sort.Ints(secIDs)
+	for _, id := range secIDs {
+		sp := p.Sections[id]
+		fmt.Fprintf(h, "S %d %d %d %d %d\n", id, sp.Runs, sp.Waits, sp.Aborts, sp.Fallbacks)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// WriteJSON renders the profile with deterministic key order (Go maps
+// marshal with sorted keys) and a trailing newline.
+func (p *Profile) WriteJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseProfile reads a profile back from its JSON form.
+func ParseProfile(data []byte) (*Profile, error) {
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("locks: parse profile: %w", err)
+	}
+	if p.Schema != "" && p.Schema != ProfileSchema {
+		return nil, fmt.Errorf("locks: parse profile: unknown schema %q (want %s)", p.Schema, ProfileSchema)
+	}
+	p.Schema = ProfileSchema
+	return &p, nil
+}

@@ -1,0 +1,185 @@
+package locks
+
+import (
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := NewProfile("prog.lk", "mgl")
+	lp := p.Lock(RootKey())
+	lp.Acquires = 10
+	lp.Waits = 2
+	lp.Modes[2] = 7 // IX
+	lp.Modes[5] = 3 // X
+	cp := p.Lock(ClassKey(3))
+	cp.Acquires = 8
+	fp := p.Lock(FineKey(3, 0x40))
+	fp.Acquires = 5
+	fp.Waits = 1
+	sp := p.Section(1)
+	sp.Runs = 12
+	sp.Waits = 4
+	sp.Aborts = 2
+	sp.Fallbacks = 1
+
+	data, err := p.WriteJSON()
+	if err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ParseProfile(data)
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if got.Hash() != p.Hash() {
+		t.Errorf("round trip changed hash: %s vs %s", got.Hash(), p.Hash())
+	}
+	if got.Source != "prog.lk" || got.Engine != "mgl" {
+		t.Errorf("round trip lost labels: %q %q", got.Source, got.Engine)
+	}
+	if got.Lock(RootKey()).Acquires != 10 || got.Lock(FineKey(3, 0x40)).Waits != 1 {
+		t.Errorf("round trip lost lock counters")
+	}
+	if got.Section(1).Fallbacks != 1 {
+		t.Errorf("round trip lost section counters")
+	}
+}
+
+func TestParseProfileRejectsUnknownSchema(t *testing.T) {
+	if _, err := ParseProfile([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatalf("want schema error")
+	}
+	if _, err := ParseProfile([]byte(`{`)); err == nil {
+		t.Fatalf("want syntax error")
+	}
+	// A schema-less profile (hand-written fixtures) is accepted and stamped.
+	p, err := ParseProfile([]byte(`{"locks":{"root":{"acquires":1,"waits":0,"modes":[0,0,0,0,0,1]}}}`))
+	if err != nil {
+		t.Fatalf("ParseProfile: %v", err)
+	}
+	if p.Schema != ProfileSchema {
+		t.Errorf("schema not stamped: %q", p.Schema)
+	}
+}
+
+func TestProfileMerge(t *testing.T) {
+	a := NewProfile("p", "mgl")
+	a.Lock(ClassKey(1)).Acquires = 3
+	a.Lock(ClassKey(1)).Waits = 1
+	a.Section(0).Runs = 2
+
+	b := NewProfile("", "hybrid")
+	b.Lock(ClassKey(1)).Acquires = 4
+	b.Lock(ClassKey(2)).Acquires = 6
+	b.Section(0).Runs = 5
+	b.Section(0).Fallbacks = 2
+	b.Section(3).Runs = 1
+
+	a.Merge(b)
+	a.Merge(nil)
+	if got := a.Lock(ClassKey(1)).Acquires; got != 7 {
+		t.Errorf("class#1 acquires = %d, want 7", got)
+	}
+	if got := a.Lock(ClassKey(2)).Acquires; got != 6 {
+		t.Errorf("class#2 acquires = %d, want 6", got)
+	}
+	if got := a.Section(0).Runs; got != 7 {
+		t.Errorf("section 0 runs = %d, want 7", got)
+	}
+	if got := a.Section(3).Runs; got != 1 {
+		t.Errorf("section 3 runs = %d, want 1", got)
+	}
+	if a.Engine != "mgl" {
+		t.Errorf("merge overwrote engine: %q", a.Engine)
+	}
+	// Merge into a label-less profile adopts the donor's labels.
+	c := &Profile{Schema: ProfileSchema}
+	c.Merge(a)
+	if c.Source != "p" || c.Engine != "mgl" {
+		t.Errorf("merge did not adopt labels: %q %q", c.Source, c.Engine)
+	}
+}
+
+func TestProfileHashStableAndSensitive(t *testing.T) {
+	build := func() *Profile {
+		p := NewProfile("p", "mgl")
+		p.Lock(ClassKey(2)).Acquires = 5
+		p.Lock(ClassKey(1)).Acquires = 9
+		p.Lock(FineKey(1, 0x10)).Acquires = 4
+		p.Section(2).Runs = 3
+		p.Section(1).Runs = 8
+		return p
+	}
+	a, b := build(), build()
+	if a.Hash() != b.Hash() {
+		t.Errorf("equal profiles hash differently")
+	}
+	b.Lock(ClassKey(1)).Waits++
+	if a.Hash() == b.Hash() {
+		t.Errorf("hash insensitive to counter change")
+	}
+	var nilProf *Profile
+	if nilProf.Hash() != "none" {
+		t.Errorf("nil hash = %q, want none", nilProf.Hash())
+	}
+}
+
+func TestProfileAggregates(t *testing.T) {
+	p := NewProfile("p", "mgl")
+	if !p.Empty() {
+		t.Errorf("fresh profile not empty")
+	}
+	p.Lock(RootKey()).Acquires = 2
+	p.Lock(ClassKey(7)).Acquires = 3
+	p.Lock(ClassKey(7)).Waits = 1
+	p.Lock(FineKey(7, 0x8)).Acquires = 4
+	p.Lock(FineKey(7, 0x10)).Acquires = 5
+	p.Lock(FineKey(7, 0x10)).Waits = 2
+	p.Lock(FineKey(9, 0x8)).Acquires = 11
+	if p.Empty() {
+		t.Errorf("populated profile reads empty")
+	}
+	if got := p.TotalAcquires(); got != 25 {
+		t.Errorf("TotalAcquires = %d, want 25", got)
+	}
+	if got := p.TotalWaits(); got != 3 {
+		t.Errorf("TotalWaits = %d, want 3", got)
+	}
+	coarse, fine := p.ClassStats(7)
+	if coarse.Acquires != 3 || coarse.Waits != 1 {
+		t.Errorf("coarse stats = %+v", coarse)
+	}
+	if fine.Acquires != 9 || fine.Waits != 2 {
+		t.Errorf("fine stats = %+v", fine)
+	}
+	if c, ok := FineClass(FineKey(7, 0x8)); !ok || c != 7 {
+		t.Errorf("FineClass = %d,%v", c, ok)
+	}
+	if _, ok := FineClass(ClassKey(7)); ok {
+		t.Errorf("FineClass accepted a class key")
+	}
+	if _, ok := FineClass("fine#x@y"); ok {
+		t.Errorf("FineClass accepted junk")
+	}
+	if _, ok := FineClass("fine#3"); ok {
+		t.Errorf("FineClass accepted key without addr")
+	}
+}
+
+func TestSectionContended(t *testing.T) {
+	var nilSec *SectionProfile
+	if nilSec.Contended(0.1) {
+		t.Errorf("nil section contended")
+	}
+	s := &SectionProfile{Runs: 100, Waits: 4}
+	if s.Contended(0.1) {
+		t.Errorf("4/100 waits contended at ratio 0.1")
+	}
+	s.Fallbacks = 6
+	if !s.Contended(0.1) {
+		t.Errorf("10/100 waits+fallbacks not contended at ratio 0.1")
+	}
+	empty := &SectionProfile{}
+	if empty.Contended(0) {
+		t.Errorf("zero-run section contended")
+	}
+}

@@ -94,6 +94,9 @@ type Manager struct {
 	sessMu    sync.Mutex
 	sessions  []*Session
 	nsessions atomic.Int64
+
+	// profiling gates the per-lock profile counters (see profile.go).
+	profiling atomic.Bool
 }
 
 // NewManager returns an empty lock tree.
@@ -244,6 +247,11 @@ type Session struct {
 	statWait atomic.Int64
 	statFast atomic.Int64
 	statMode [6]atomic.Int64
+
+	// prof holds the per-lock counters when the manager's profiling is
+	// enabled (see profile.go); waitScratch is its reusable flag buffer.
+	prof        sessProf
+	waitScratch []bool
 }
 
 // bump increments a single-writer counter without an atomic RMW.
@@ -476,6 +484,11 @@ func (s *Session) AcquireAll() {
 		return
 	}
 	plan := s.buildPlan()
+	profiling := s.m.profiling.Load()
+	var waitedFlags []bool
+	if profiling {
+		waitedFlags = s.waitScratch[:0]
+	}
 	for i, st := range plan {
 		if s.AcquireHook != nil {
 			s.AcquireHook(st.n.step(st.mode))
@@ -483,6 +496,9 @@ func (s *Session) AcquireAll() {
 		waited, err := st.n.acquire(s, st.mode)
 		if waited {
 			bump(&s.statWait)
+		}
+		if profiling {
+			waitedFlags = append(waitedFlags, waited)
 		}
 		bump(&s.statAcq)
 		bump(&s.statMode[st.mode])
@@ -494,6 +510,14 @@ func (s *Session) AcquireAll() {
 			s.pending = s.pending[:0]
 			panic(err)
 		}
+	}
+	if profiling {
+		s.waitScratch = waitedFlags
+		steps := make([]PlanStep, len(plan))
+		for i, st := range plan {
+			steps[i] = st.n.step(st.mode)
+		}
+		s.prof.record(steps, waitedFlags)
 	}
 	s.held = plan
 	s.pending = s.pending[:0]

@@ -1,0 +1,116 @@
+package mgl
+
+import (
+	"sync"
+
+	"lockinfer/internal/locks"
+)
+
+// Runtime lock profiling: when enabled, every session records per-node
+// acquire/wait counts and the per-mode grant histogram, and the manager
+// exports the merged counters as a locks.Profile — the feedback artifact
+// the profile-guided refinement pass (internal/refine) consumes. Profiling
+// is off by default: the recording path takes a per-session mutex once per
+// AcquireAll, which the throughput-benchmark fast paths must not pay.
+
+// profKey identifies one lock-tree node mode-independently.
+type profKey struct {
+	kind  int
+	class ClassID
+	addr  uint64
+}
+
+// profStat is the per-node counter set. Single-writer (the owning session's
+// goroutine) under the session's profMu; readers aggregate under the same
+// mutex, so plain fields suffice.
+type profStat struct {
+	acquires int64
+	waits    int64
+	modes    [6]int64
+}
+
+// sessProf is the per-session profiling state shared by Session and
+// RefSession.
+type sessProf struct {
+	mu    sync.Mutex
+	stats map[profKey]*profStat
+}
+
+// record folds one acquisition batch (the plan steps of one AcquireAll,
+// with per-step wait flags) into the session's counters.
+func (p *sessProf) record(steps []PlanStep, waited []bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stats == nil {
+		p.stats = map[profKey]*profStat{}
+	}
+	for i, st := range steps {
+		k := profKey{kind: st.Kind, class: st.Class, addr: st.Addr}
+		ps := p.stats[k]
+		if ps == nil {
+			ps = &profStat{}
+			p.stats[k] = ps
+		}
+		ps.acquires++
+		if waited[i] {
+			ps.waits++
+		}
+		ps.modes[st.Mode]++
+	}
+}
+
+// fill merges the session's counters into a profile.
+func (p *sessProf) fill(out *locks.Profile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, ps := range p.stats {
+		var key string
+		switch k.kind {
+		case 0:
+			key = locks.RootKey()
+		case 1:
+			key = locks.ClassKey(int64(k.class))
+		default:
+			key = locks.FineKey(int64(k.class), k.addr)
+		}
+		lp := out.Lock(key)
+		lp.Acquires += ps.acquires
+		lp.Waits += ps.waits
+		for i := range lp.Modes {
+			lp.Modes[i] += ps.modes[i]
+		}
+	}
+}
+
+// EnableProfiling turns on per-lock profiling for every session (existing
+// and future) of this manager. It cannot be turned off again; callers that
+// need an unprofiled run use a fresh manager.
+func (m *Manager) EnableProfiling() { m.profiling.Store(true) }
+
+// FillProfile merges every session's per-lock counters into out. Safe to
+// call while sessions run (a live scrape observes a consistent per-session
+// prefix of the counters).
+func (m *Manager) FillProfile(out *locks.Profile) {
+	m.eachSession(func(s *Session) { s.prof.fill(out) })
+}
+
+// EnableProfiling turns on per-lock profiling on the reference runtime.
+func (m *RefManager) EnableProfiling() { m.profiling.Store(true) }
+
+// FillProfile merges every reference session's counters into out.
+func (m *RefManager) FillProfile(out *locks.Profile) {
+	m.sessMu.Lock()
+	defer m.sessMu.Unlock()
+	for _, s := range m.sessions {
+		s.prof.fill(out)
+	}
+}
+
+// ShardAddr returns the synthetic fine-leaf address of a split-lock shard
+// (see locks.ShardLock): shard ids live in their own tagged address space
+// so they can never alias the runtime addresses of path-lock cells.
+func ShardAddr(shard int) uint64 { return shardAddrTag | uint64(shard) }
+
+// shardAddrTag is the high tag bit of the shard address space. Real cell
+// addresses are arena offsets that stay far below it.
+const shardAddrTag = uint64(1) << 62

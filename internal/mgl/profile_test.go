@@ -1,0 +1,139 @@
+package mgl
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lockinfer/internal/locks"
+)
+
+// TestProfileCollection drives both runtimes through the same request mix
+// and checks the exported locks.Profile: identical keys, identical acquire
+// counts, mode histograms that match the §5.1 protocol (intention modes on
+// ancestors, leaf modes at the requested node).
+func TestProfileCollection(t *testing.T) {
+	runtimes := map[string]LockRuntime{
+		"manager": NewManager(),
+		"ref":     NewRefManager(),
+	}
+	for name, rt := range runtimes {
+		t.Run(name, func(t *testing.T) {
+			rt.EnableProfiling()
+			s := rt.NewLockSession()
+			for i := 0; i < 3; i++ {
+				s.ToAcquire(Req{Class: 1, Fine: true, Addr: 0x10, Write: true})
+				s.ToAcquire(Req{Class: 2, Write: false})
+				s.AcquireAll()
+				s.ReleaseAll()
+			}
+			prof := locks.NewProfile("t", name)
+			rt.FillProfile(prof)
+
+			wantAcq := map[string]int64{
+				locks.RootKey():        3,
+				locks.ClassKey(1):      3,
+				locks.FineKey(1, 0x10): 3,
+				locks.ClassKey(2):      3,
+			}
+			for key, want := range wantAcq {
+				lp := prof.Locks[key]
+				if lp == nil {
+					t.Fatalf("missing profile entry %s (have %v)", key, profKeys(prof))
+				}
+				if lp.Acquires != want {
+					t.Errorf("%s acquires = %d, want %d", key, lp.Acquires, want)
+				}
+				if lp.Waits != 0 {
+					t.Errorf("%s waits = %d, want 0 (single session)", key, lp.Waits)
+				}
+			}
+			if got := prof.Locks[locks.RootKey()].Modes[IX]; got != 3 {
+				t.Errorf("root IX grants = %d, want 3", got)
+			}
+			if got := prof.Locks[locks.FineKey(1, 0x10)].Modes[X]; got != 3 {
+				t.Errorf("fine X grants = %d, want 3", got)
+			}
+			if got := prof.Locks[locks.ClassKey(2)].Modes[S]; got != 3 {
+				t.Errorf("class#2 S grants = %d, want 3", got)
+			}
+		})
+	}
+}
+
+func profKeys(p *locks.Profile) []string {
+	var ks []string
+	for k := range p.Locks {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// TestProfileDisabledStaysEmpty: without EnableProfiling the sessions must
+// record nothing (the benchmark fast path).
+func TestProfileDisabledStaysEmpty(t *testing.T) {
+	for name, rt := range map[string]LockRuntime{"manager": NewManager(), "ref": NewRefManager()} {
+		s := rt.NewLockSession()
+		s.ToAcquire(Req{Class: 1, Write: true})
+		s.AcquireAll()
+		s.ReleaseAll()
+		prof := locks.NewProfile("t", name)
+		rt.FillProfile(prof)
+		if !prof.Empty() {
+			t.Errorf("%s: profile populated while profiling disabled: %v", name, profKeys(prof))
+		}
+	}
+}
+
+// TestProfileWaitsUnderContention: a session acquiring a class held in X by
+// another session must record the blocked grant on that class's node. The
+// holder keeps the lock until the waiter has demonstrably parked (the
+// sharded manager spins briefly before parking), so the wait is guaranteed.
+func TestProfileWaitsUnderContention(t *testing.T) {
+	for name, rt := range map[string]LockRuntime{"manager": NewManager(), "ref": NewRefManager()} {
+		rt.EnableProfiling()
+		holder := rt.NewLockSession()
+		holder.ToAcquire(Req{Class: 7, Write: true})
+		holder.AcquireAll()
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := rt.NewLockSession()
+			s.ToAcquire(Req{Class: 7, Write: true})
+			s.AcquireAll()
+			s.ReleaseAll()
+		}()
+		// Outlast the waiter's bounded spin so it parks for real.
+		time.Sleep(20 * time.Millisecond)
+		holder.ReleaseAll()
+		wg.Wait()
+
+		prof := locks.NewProfile("t", name)
+		rt.FillProfile(prof)
+		lp := prof.Locks[locks.ClassKey(7)]
+		if lp == nil || lp.Acquires != 2 {
+			t.Fatalf("%s: class#7 profile = %+v, want 2 acquires", name, lp)
+		}
+		if lp.Waits != 1 {
+			t.Errorf("%s: class#7 waits = %d, want 1", name, lp.Waits)
+		}
+		if got := lp.Modes[X]; got != 2 {
+			t.Errorf("%s: class#7 X grants = %d, want 2", name, got)
+		}
+	}
+}
+
+// TestShardAddr pins the tagged shard address space.
+func TestShardAddr(t *testing.T) {
+	if ShardAddr(1) == ShardAddr(2) {
+		t.Errorf("shard addresses collide")
+	}
+	if ShardAddr(3)&shardAddrTag == 0 {
+		t.Errorf("shard address missing tag bit")
+	}
+	if ShardAddr(5) == 5 {
+		t.Errorf("shard address aliases a small cell address")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"lockinfer/internal/locks"
 )
 
 // LockSession is the per-goroutine view of a lock runtime: the §5.2
@@ -29,6 +31,10 @@ type LockRuntime interface {
 	NewLockSession() LockSession
 	Acquires() int64
 	Waits() int64
+	// EnableProfiling turns on per-lock profile counters (irreversibly);
+	// FillProfile merges them into a runtime lock profile (see profile.go).
+	EnableProfiling()
+	FillProfile(*locks.Profile)
 }
 
 // NewLockSession implements LockRuntime.
@@ -50,6 +56,12 @@ type RefManager struct {
 
 	acquires atomic.Int64
 	waits    atomic.Int64
+
+	// Session registry and gate for the per-lock profile counters (see
+	// profile.go).
+	sessMu    sync.Mutex
+	sessions  []*RefSession
+	profiling atomic.Bool
 }
 
 // NewRefManager returns an empty reference lock tree.
@@ -71,7 +83,13 @@ func (m *RefManager) Waits() int64 { return m.waits.Load() }
 func (m *RefManager) NewLockSession() LockSession { return m.NewSession() }
 
 // NewSession creates a session on the reference manager.
-func (m *RefManager) NewSession() *RefSession { return &RefSession{m: m} }
+func (m *RefManager) NewSession() *RefSession {
+	s := &RefSession{m: m}
+	m.sessMu.Lock()
+	m.sessions = append(m.sessions, s)
+	m.sessMu.Unlock()
+	return s
+}
 
 func (m *RefManager) classNode(c ClassID) *refNode {
 	m.mu.Lock()
@@ -150,6 +168,9 @@ type RefSession struct {
 	steps   []PlanStep
 	nlevel  int
 	waits   int64
+
+	prof        sessProf
+	waitScratch []bool
 }
 
 type refPlanStep struct {
@@ -185,12 +206,25 @@ func (s *RefSession) AcquireAll() {
 		}
 		plan[i] = refPlanStep{n: n, mode: st.Mode}
 	}
+	profiling := s.m.profiling.Load()
+	var waitedFlags []bool
+	if profiling {
+		waitedFlags = s.waitScratch[:0]
+	}
 	for _, st := range plan {
-		if st.n.acquire(st.mode) {
+		waited := st.n.acquire(st.mode)
+		if waited {
 			s.m.waits.Add(1)
 			s.waits++
 		}
+		if profiling {
+			waitedFlags = append(waitedFlags, waited)
+		}
 		s.m.acquires.Add(1)
+	}
+	if profiling {
+		s.waitScratch = waitedFlags
+		s.prof.record(steps, waitedFlags)
 	}
 	s.held = plan
 	s.steps = steps

@@ -36,6 +36,7 @@ import (
 	"lockinfer/internal/ir"
 	"lockinfer/internal/lang"
 	"lockinfer/internal/locks"
+	"lockinfer/internal/refine"
 	"lockinfer/internal/steens"
 	"lockinfer/internal/transform"
 )
@@ -62,6 +63,12 @@ type Options struct {
 	// consults DefaultWorkers, so CLIs can turn a whole sweep parallel
 	// without threading a knob through every harness.
 	Workers int
+	// Profile supplies a runtime lock profile for the profile-guided
+	// refinement pass (RefinedPlan). Nil means no profile: RefinedPlan then
+	// returns the unrefined plan (no evidence, no rewrite).
+	Profile *locks.Profile
+	// RefineOpts tunes the refinement thresholds (zero value = defaults).
+	RefineOpts refine.Options
 	// NoCache disables artifact memoization for this compilation (timing
 	// harnesses measure real pass work; tests isolate cache behavior).
 	NoCache bool
@@ -298,6 +305,40 @@ func (c *Compilation) Plan() map[int]locks.Set {
 		Pass: "plan", Wall: time.Since(start), Facts: planLocks(plan),
 	})
 	return plan
+}
+
+// refineArtifacts is the cached refinement output: the refined plan plus
+// its decision log (replayed into traces and goldens on cache hits).
+type refineArtifacts struct {
+	res *refine.Result
+}
+
+// RefinedPlan runs (or recalls) the profile-guided refinement pass over the
+// inferred plan and Options.Profile, returning the refined per-section lock
+// sets plus the decision log. With no profile the pass is a recorded no-op
+// returning the unrefined plan. The artifact is cached on the compilation
+// hash plus the profile hash — Workers is deliberately not in the key: the
+// refinement is plan-deterministic, so the artifact is identical either way.
+func (c *Compilation) RefinedPlan() (map[int]locks.Set, *refine.Result) {
+	plan := c.Plan()
+	key := fmt.Sprintf("refine|%s|%s|k=%d|ix=%d|%s",
+		c.hash, specsKey(c.opts.Specs), c.opts.K, c.opts.IndexMax, c.opts.Profile.Hash())
+	if v, ok := cacheGet(c.opts.Cache, key); ok {
+		ra := v.(*refineArtifacts)
+		c.opts.Trace.Record(Sample{Pass: "refine", CacheHit: true})
+		return ra.res.Plan, ra.res
+	}
+	start := time.Now()
+	opts := c.opts.RefineOpts
+	if opts.Specs == nil {
+		opts.Specs = c.opts.Specs
+	}
+	res := refine.Refine(c.Program, c.Points, c.Andersen(), plan, c.opts.Profile, opts)
+	c.opts.Trace.Record(Sample{
+		Pass: "refine", Wall: time.Since(start), Facts: int64(len(res.Decisions)),
+	})
+	cachePut(c.opts.Cache, key, &refineArtifacts{res: res})
+	return res.Plan, res
 }
 
 // GlobalPlan returns the single-global-lock baseline plan.

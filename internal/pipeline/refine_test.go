@@ -1,0 +1,180 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/pipeline"
+	"lockinfer/internal/progen"
+)
+
+// renderPlanNames renders a plan with source-level lock names (not Key(),
+// which embeds *ir.Var identities), so plans from independent compilations
+// of the same source can be compared byte-wise.
+func renderPlanNames(prog *ir.Program, plan map[int]locks.Set) string {
+	ids := make([]int, 0, len(plan))
+	for id := range plan {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "section %d:\n", id)
+		for _, s := range plan[id].Strings(prog) {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
+	}
+	return b.String()
+}
+
+// coldProfile marks every lock of the plan acquired and never contended —
+// the shape that triggers demotion wherever fine locks exist.
+func coldProfile(plan map[int]locks.Set) *locks.Profile {
+	p := locks.NewProfile("pipeline_test", "mgl")
+	for _, set := range plan {
+		for _, l := range set.Sorted() {
+			switch {
+			case l.Fine:
+				p.Lock(locks.FineKey(int64(l.Class), 1)).Acquires += 10
+			default:
+				p.Lock(locks.ClassKey(int64(l.Class))).Acquires += 10
+			}
+		}
+	}
+	return p
+}
+
+// TestRefinedPlanDeterministicAcrossWorkers is the acceptance property for
+// the refinement pass: under the same profile, the refined plan and the
+// decision log are byte-identical at any -workers count. (Workers is
+// deliberately absent from the refine cache key for the same reason.)
+func TestRefinedPlanDeterministicAcrossWorkers(t *testing.T) {
+	seeds := []int64{2, 4, 6, 11}
+	if testing.Short() {
+		seeds = []int64{2, 4}
+	}
+	for _, seed := range seeds {
+		src := progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: seed})
+		base, err := pipeline.Compile(src, pipeline.Options{NoCache: true, Trace: pipeline.NewTrace(), Workers: 1}.WithK(2))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prof := coldProfile(base.Plan())
+
+		var wantPlan, wantLog string
+		changed := false
+		for _, workers := range []int{1, 2, 8} {
+			c, err := pipeline.Compile(src, pipeline.Options{
+				NoCache: true,
+				Trace:   pipeline.NewTrace(),
+				Workers: workers,
+				Profile: prof,
+			}.WithK(2))
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			plan, res := c.RefinedPlan()
+			got := renderPlanNames(c.Program, plan)
+			log := strings.Join(res.Lines(), "\n")
+			if workers == 1 {
+				wantPlan, wantLog, changed = got, log, res.Changed()
+				continue
+			}
+			if got != wantPlan {
+				t.Errorf("seed %d: refined plan differs at workers=%d\nserial:\n%s\nparallel:\n%s",
+					seed, workers, wantPlan, got)
+			}
+			if log != wantLog {
+				t.Errorf("seed %d: decision log differs at workers=%d\nserial:\n%s\nparallel:\n%s",
+					seed, workers, wantLog, log)
+			}
+		}
+		if changed {
+			t.Logf("seed %d: refinement rewrote the plan:\n%s", seed, wantLog)
+		}
+	}
+}
+
+// TestRefinedPlanCached pins the memoization contract of the refine pass:
+// the artifact is keyed on the profile hash, so an identical recompile hits
+// and a different profile misses.
+func TestRefinedPlanCached(t *testing.T) {
+	src := progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: 4})
+	cache := pipeline.NewCache(0)
+	base, err := pipeline.Compile(src, pipeline.Options{Cache: cache, Trace: pipeline.NewTrace()}.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := coldProfile(base.Plan())
+
+	refineStats := func(tr *pipeline.Trace) (runs, hits int64) {
+		for _, ps := range tr.Passes() {
+			if ps.Pass == "refine" {
+				return ps.Runs, ps.CacheHits
+			}
+		}
+		return 0, 0
+	}
+
+	tr1 := pipeline.NewTrace()
+	c1, err := pipeline.Compile(src, pipeline.Options{Cache: cache, Trace: tr1, Profile: prof}.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan1, _ := c1.RefinedPlan()
+	if runs, hits := refineStats(tr1); runs != 1 || hits != 0 {
+		t.Errorf("cold refine: %d runs %d hits, want 1/0", runs, hits)
+	}
+
+	tr2 := pipeline.NewTrace()
+	c2, err := pipeline.Compile(src, pipeline.Options{Cache: cache, Trace: tr2, Profile: prof}.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, _ := c2.RefinedPlan()
+	if runs, hits := refineStats(tr2); runs != 1 || hits != 1 {
+		t.Errorf("identical recompile: %d refine runs %d hits, want 1/1", runs, hits)
+	}
+	if renderPlan(plan1) != renderPlan(plan2) {
+		t.Error("cache hit returned a different refined plan")
+	}
+
+	// A different profile (different hash) must miss.
+	hot := coldProfile(base.Plan())
+	for _, lp := range hot.Locks {
+		lp.Waits = lp.Acquires
+	}
+	tr3 := pipeline.NewTrace()
+	c3, err := pipeline.Compile(src, pipeline.Options{Cache: cache, Trace: tr3, Profile: hot}.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3.RefinedPlan()
+	if runs, hits := refineStats(tr3); runs != 1 || hits != 0 {
+		t.Errorf("different profile: %d refine runs %d hits, want 1/0", runs, hits)
+	}
+}
+
+// TestRefinedPlanWithoutProfile checks the no-profile path: the refined
+// plan is the inferred plan, and the decision log says so.
+func TestRefinedPlanWithoutProfile(t *testing.T) {
+	src := progen.GenerateConcurrent(progen.ConcurrentSpec{Seed: 3})
+	c, err := pipeline.Compile(src, pipeline.Options{NoCache: true, Trace: pipeline.NewTrace()}.WithK(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, res := c.RefinedPlan()
+	if res.Changed() {
+		t.Errorf("nil profile rewrote the plan: %v", res.Lines())
+	}
+	if got, want := renderPlan(plan), renderPlan(c.Plan()); got != want {
+		t.Errorf("nil profile: refined plan differs from inferred plan\nrefined:\n%s\ninferred:\n%s", got, want)
+	}
+	if lines := res.Lines(); len(lines) != 1 || lines[0] != "no change" {
+		t.Errorf("decision log = %q, want [\"no change\"]", lines)
+	}
+}

@@ -93,7 +93,7 @@ func (t *Trace) Record(s Sample) {
 var canonicalOrder = map[string]int{
 	"gofront": -1,
 	"parse":   0, "lower": 1, "pointsto": 2, "andersen": 3,
-	"infer": 4, "plan": 5, "transform": 6, "codegen": 7,
+	"infer": 4, "plan": 5, "refine": 6, "transform": 7, "codegen": 8,
 }
 
 // Passes returns the aggregated stats in canonical pass order.

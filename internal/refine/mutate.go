@@ -1,0 +1,144 @@
+package refine
+
+import (
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/audit"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+)
+
+// Mutation operators for the refinement checkers — each returns a plan (and
+// possibly a doctored profile) embodying one way a buggy refiner could go
+// wrong, which the conformance suite then expects the checkers to flag:
+//
+//   - MutantDemoteHot builds the plan a refiner would emit if it demoted a
+//     class whose profile shows contention — exactly the rewrite the demote
+//     policy must refuse. Verify flags it by recompute-and-compare.
+//   - MutantSplitNoProof builds a split whose disjointness proof does not
+//     hold. The static auditor flags it (shard re-proof violations), as
+//     does Verify.
+
+// MutantDemoteHot picks the first fine-locked class of the plan, demotes
+// it everywhere, and returns a profile doctored to show that class's fine
+// locks contended. ok is false when the plan has no fine locks to demote.
+func MutantDemoteHot(plan map[int]locks.Set, prof *locks.Profile) (mut map[int]locks.Set, hot *locks.Profile, ok bool) {
+	var class steens.NodeID
+	found := false
+	for _, id := range sortedSections(plan) {
+		for _, l := range plan[id].Sorted() {
+			if l.Fine {
+				class = l.Class
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		return nil, nil, false
+	}
+	mut = make(map[int]locks.Set, len(plan))
+	for id, set := range plan {
+		ns := set.Clone()
+		eff := locks.RO
+		changed := false
+		for _, l := range set.Sorted() {
+			if l.Fine && l.Class == class {
+				ns.Remove(l)
+				changed = true
+				if l.Eff == locks.RW {
+					eff = locks.RW
+				}
+			}
+		}
+		if changed {
+			ns.Add(locks.CoarseLock(class, eff))
+			ns = ns.Minimize()
+		}
+		mut[id] = ns
+	}
+	// Doctor the profile: the class's fine leaves were acquired often and
+	// blocked often — the signature of granularity that is earning its
+	// keep, which demotion would throw away.
+	hot = &locks.Profile{Schema: locks.ProfileSchema}
+	hot.Merge(prof)
+	lp := hot.Lock(locks.FineKey(int64(class), 1))
+	if lp.Acquires < 100 {
+		lp.Acquires += 100
+	}
+	lp.Waits += 50
+	return mut, hot, true
+}
+
+// MutantSplitNoProof shards a coarse-locked class without a disjointness
+// proof. It prefers an assignment the footprints genuinely refute (every
+// coarse-holding section gets its own shard even where footprints
+// overlap); when the sections happen to be disjoint — a legitimate split —
+// it degrades to giving one section two shards of the class, which breaks
+// the one-shard-per-section side condition instead. Either way the
+// auditor's shard re-proof must reject the plan. ok is false when no class
+// is coarse-held by at least two sections.
+func MutantSplitNoProof(prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, plan map[int]locks.Set, specs map[string]steens.ExternSpec) (map[int]locks.Set, bool) {
+	uses, classes := indexPlan(plan)
+	for _, c := range classes {
+		u := uses[c]
+		if len(u.coarseSecs) < 2 || len(u.shardSecs) > 0 {
+			continue
+		}
+		mut := shardEach(plan, c, u.coarseSecs)
+		rep := audit.Run(prog, st, and, mut, audit.Options{Specs: specs})
+		if len(rep.ShardViolations) > 0 {
+			return mut, true
+		}
+		// The distinct-shard assignment was actually sound: break the
+		// single-shard side condition instead.
+		return doubleShard(plan, c, u.coarseSecs[0]), true
+	}
+	return nil, false
+}
+
+// shardEach gives every listed section its own shard of class c.
+func shardEach(plan map[int]locks.Set, c steens.NodeID, secs []int) map[int]locks.Set {
+	out := make(map[int]locks.Set, len(plan))
+	for id, set := range plan {
+		out[id] = set
+	}
+	for i, id := range secs {
+		ns := out[id].Clone()
+		eff := removeCoarse(ns, out[id], c)
+		ns.Add(locks.ShardLock(c, i+1, eff))
+		out[id] = ns
+	}
+	return out
+}
+
+// doubleShard gives one section two distinct shards of class c.
+func doubleShard(plan map[int]locks.Set, c steens.NodeID, sec int) map[int]locks.Set {
+	out := make(map[int]locks.Set, len(plan))
+	for id, set := range plan {
+		out[id] = set
+	}
+	ns := out[sec].Clone()
+	eff := removeCoarse(ns, out[sec], c)
+	ns.Add(locks.ShardLock(c, 1, eff))
+	ns.Add(locks.ShardLock(c, 2, eff))
+	out[sec] = ns
+	return out
+}
+
+// removeCoarse drops class c's coarse lock from ns and returns its effect.
+func removeCoarse(ns locks.Set, orig locks.Set, c steens.NodeID) locks.Eff {
+	eff := locks.RO
+	for _, l := range orig.Sorted() {
+		if !l.Fine && !l.IsGlobal() && !l.IsShard() && l.Class == c {
+			ns.Remove(l)
+			if l.Eff == locks.RW {
+				eff = locks.RW
+			}
+		}
+	}
+	return eff
+}

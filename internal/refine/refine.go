@@ -1,0 +1,403 @@
+// Package refine is the profile-guided lock-granularity refinement pass:
+// the runtime→inference feedback loop closed. It consumes a runtime lock
+// profile (locks.Profile — per-lock acquire/wait counters plus per-section
+// contention, emitted by any of the execution engines) and rewrites the
+// inferred plan in two sound directions:
+//
+//   - Demote: fine-grain (Σk) locks of a class the profile shows observed
+//     but uncontended are replaced by their Σ≡ ancestor, the class's coarse
+//     lock. A fine acquisition costs three tree nodes (root IX, class IX,
+//     leaf X) where the coarse costs two (root IX, class X); on cold
+//     classes the extra granularity buys no concurrency, so demotion cuts
+//     the acquire count with no contention price. Demotion is sound by
+//     construction: the coarse lock strictly dominates every lock it
+//     replaces (locks.Inferred.Less), so everything the section's original
+//     plan covered remains covered.
+//
+//   - Split: a coarse lock the profile shows hot is split into shards
+//     (locks.ShardLock) — synthetic fine leaves under the class node —
+//     when a static proof exists that the sections contending for it have
+//     pairwise-disjoint footprints within the class. Sections in different
+//     shards then hold class-IX plus distinct leaves and run concurrently;
+//     sections whose footprints may overlap share a shard and stay
+//     mutually exclusive. The proof obligations (every touching section
+//     holds the coarse lock or ⊤, no path locks on the class, pairwise
+//     Andersen-disjoint resolvable footprints) are re-derived from the
+//     audit package's independent footprint analysis, and the auditor
+//     re-checks them on the refined plan (audit's shard re-proof), so a
+//     split is never taken on the refiner's say-so alone.
+//
+// The pass is deterministic: classes are visited in sorted order, sections
+// in sorted order, and the output plan and decision log depend only on the
+// (plan, profile, options) triple — never on map iteration or parallelism.
+package refine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lockinfer/internal/andersen"
+	"lockinfer/internal/audit"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+)
+
+// Options tunes the refinement policy. The zero value means the defaults.
+type Options struct {
+	// MinAcquires is the observation floor: the profile must show at least
+	// this many acquires on a class's locks before the pass will act on it
+	// (default 1 — any observation counts).
+	MinAcquires int64
+	// SplitWaitRatio is the heat threshold for splitting: a coarse lock is
+	// hot when waits ≥ ratio × acquires (default 0.05).
+	SplitWaitRatio float64
+	// Specs are the extern specifications for the footprint analysis —
+	// the same ones the plan was inferred and audited under.
+	Specs map[string]steens.ExternSpec
+}
+
+// Default thresholds for zero Options fields.
+const (
+	DefaultMinAcquires    = 1
+	DefaultSplitWaitRatio = 0.05
+)
+
+func (o Options) withDefaults() Options {
+	if o.MinAcquires == 0 {
+		o.MinAcquires = DefaultMinAcquires
+	}
+	if o.SplitWaitRatio == 0 {
+		o.SplitWaitRatio = DefaultSplitWaitRatio
+	}
+	return o
+}
+
+// Decision is the provenance record of one refinement: which class was
+// rewritten, in which sections, and why the profile and the static side
+// conditions justified it.
+type Decision struct {
+	// Kind is "demote" or "split".
+	Kind string `json:"kind"`
+	// Class is the rewritten Σ≡ class.
+	Class steens.NodeID `json:"class"`
+	// Sections lists the affected section ids, sorted.
+	Sections []int `json:"sections"`
+	// Shards maps section id → assigned shard (split only).
+	Shards map[int]int `json:"shards,omitempty"`
+	// Reason cites the profile evidence and, for splits, the proof shape.
+	Reason string `json:"reason"`
+}
+
+func (d Decision) String() string {
+	if d.Kind == "split" {
+		parts := make([]string, 0, len(d.Sections))
+		for _, s := range d.Sections {
+			parts = append(parts, fmt.Sprintf("%d→s%d", s, d.Shards[s]))
+		}
+		return fmt.Sprintf("split pts#%d [%s]: %s", d.Class, strings.Join(parts, " "), d.Reason)
+	}
+	return fmt.Sprintf("demote pts#%d sections %v: %s", d.Class, d.Sections, d.Reason)
+}
+
+// Result is a refined plan plus its decision log.
+type Result struct {
+	// Plan is the refined per-section lock plan. Sections the pass did not
+	// touch share their locks.Set with the input plan.
+	Plan map[int]locks.Set
+	// Decisions are the rewrites taken, in deterministic order (demotions
+	// by class, then splits by class).
+	Decisions []Decision
+}
+
+// Changed reports whether the pass rewrote anything.
+func (r *Result) Changed() bool { return len(r.Decisions) > 0 }
+
+// Lines renders the decision log one decision per line (the golden-test
+// and -trace format). A no-op refinement renders as a single "no change".
+func (r *Result) Lines() []string {
+	if !r.Changed() {
+		return []string{"no change"}
+	}
+	out := make([]string, len(r.Decisions))
+	for i, d := range r.Decisions {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// Refine applies the profile-guided rewrite to a plan. st must be the
+// analysis the plan's classes came from; and may be nil (a fresh Andersen
+// analysis is computed with opts.Specs). A nil or empty profile returns
+// the plan unchanged: no evidence, no rewrite.
+func Refine(prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, plan map[int]locks.Set, prof *locks.Profile, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{Plan: plan}
+	if prof.Empty() {
+		return res
+	}
+	out := make(map[int]locks.Set, len(plan))
+	for id, set := range plan {
+		out[id] = set
+	}
+	res.Plan = out
+
+	demote(prog, out, prof, opts, res)
+	split(prog, st, and, out, prof, opts, res)
+	return res
+}
+
+// classUse indexes one class's appearances across the plan.
+type classUse struct {
+	fineSecs   []int // sections holding path locks of the class
+	coarseSecs []int // sections holding the class's coarse lock
+	shardSecs  []int // sections already holding shards of the class
+}
+
+// indexPlan groups plan locks by class, visiting sections in sorted order
+// so every slice comes out sorted.
+func indexPlan(out map[int]locks.Set) (map[steens.NodeID]*classUse, []steens.NodeID) {
+	uses := map[steens.NodeID]*classUse{}
+	use := func(c steens.NodeID) *classUse {
+		u := uses[c]
+		if u == nil {
+			u = &classUse{}
+			uses[c] = u
+		}
+		return u
+	}
+	for _, id := range sortedSections(out) {
+		seenFine := map[steens.NodeID]bool{}
+		for _, l := range out[id].Sorted() {
+			switch {
+			case l.IsGlobal():
+			case l.Fine:
+				if !seenFine[l.Class] {
+					seenFine[l.Class] = true
+					u := use(l.Class)
+					u.fineSecs = append(u.fineSecs, id)
+				}
+			case l.IsShard():
+				u := use(l.Class)
+				u.shardSecs = append(u.shardSecs, id)
+			default:
+				u := use(l.Class)
+				u.coarseSecs = append(u.coarseSecs, id)
+			}
+		}
+	}
+	classes := make([]steens.NodeID, 0, len(uses))
+	for c := range uses {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	return uses, classes
+}
+
+func sortedSections(plan map[int]locks.Set) []int {
+	ids := make([]int, 0, len(plan))
+	for id := range plan {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// demote replaces the fine locks of observed-but-uncontended classes with
+// their coarse ancestor.
+func demote(prog *ir.Program, out map[int]locks.Set, prof *locks.Profile, opts Options, res *Result) {
+	uses, classes := indexPlan(out)
+	for _, c := range classes {
+		u := uses[c]
+		if len(u.fineSecs) == 0 {
+			continue
+		}
+		coarse, fine := prof.ClassStats(int64(c))
+		if fine.Acquires < opts.MinAcquires {
+			continue // unobserved: the profile has no opinion
+		}
+		if fine.Waits != 0 || coarse.Waits != 0 {
+			continue // contended: the granularity is earning its keep
+		}
+		for _, id := range u.fineSecs {
+			ns := out[id].Clone()
+			eff := locks.RO
+			for _, l := range out[id].Sorted() {
+				if l.Fine && l.Class == c {
+					ns.Remove(l)
+					if l.Eff == locks.RW {
+						eff = locks.RW
+					}
+				}
+			}
+			ns.Add(locks.CoarseLock(c, eff))
+			out[id] = ns.Minimize()
+		}
+		res.Decisions = append(res.Decisions, Decision{
+			Kind: "demote", Class: c, Sections: u.fineSecs,
+			Reason: fmt.Sprintf("%d fine acquires, 0 waits", fine.Acquires),
+		})
+	}
+}
+
+// split shards hot coarse locks whose contenders have provably disjoint
+// footprints within the class.
+func split(prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, out map[int]locks.Set, prof *locks.Profile, opts Options, res *Result) {
+	uses, classes := indexPlan(out)
+	var fp *audit.Footprinter // built lazily: only hot classes pay for it
+	secByID := map[int]*ir.Section{}
+	for _, sec := range prog.Sections {
+		secByID[sec.ID] = sec
+	}
+	for _, c := range classes {
+		u := uses[c]
+		if len(u.coarseSecs) < 2 || len(u.fineSecs) > 0 || len(u.shardSecs) > 0 {
+			continue // nothing to split, a path lock in the way, or already split
+		}
+		coarse, _ := prof.ClassStats(int64(c))
+		if coarse.Acquires < opts.MinAcquires || coarse.Waits == 0 {
+			continue
+		}
+		if float64(coarse.Waits) < opts.SplitWaitRatio*float64(coarse.Acquires) {
+			continue // warm, not hot
+		}
+		if fp == nil {
+			fp = audit.NewFootprinter(prog, st, and, opts.Specs)
+		}
+		// Side condition: every section whose non-exempt footprint touches
+		// the class must hold its coarse lock or ⊤ (⊤ holders exclude every
+		// shard via the root, so they need no shard of their own).
+		holder := map[int]bool{}
+		for _, id := range u.coarseSecs {
+			holder[id] = true
+		}
+		sound := true
+		for _, sec := range prog.Sections {
+			if holder[sec.ID] || !fp.Touches(sec, c) {
+				continue
+			}
+			if !out[sec.ID].Has(locks.GlobalLock()) {
+				sound = false // a toucher the shards would not exclude
+				break
+			}
+		}
+		if !sound {
+			continue
+		}
+		// The disjointness proof: per-section class-restricted Andersen
+		// location sets, fully resolvable, grouped by overlap (union-find).
+		locsets := make([][]int, len(u.coarseSecs))
+		proved := true
+		for i, id := range u.coarseSecs {
+			locs, ok := fp.ClassLocs(secByID[id], c)
+			if !ok {
+				proved = false
+				break
+			}
+			locsets[i] = locs
+		}
+		if !proved {
+			continue
+		}
+		parent := make([]int, len(u.coarseSecs))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for i := 0; i < len(locsets); i++ {
+			for j := i + 1; j < len(locsets); j++ {
+				if audit.LocsOverlap(locsets[i], locsets[j]) {
+					ri, rj := find(i), find(j)
+					if ri != rj {
+						if ri > rj {
+							ri, rj = rj, ri
+						}
+						parent[rj] = ri
+					}
+				}
+			}
+		}
+		// Number the overlap groups 1..G in first-section order.
+		shardOf := map[int]int{}
+		group := map[int]int{}
+		next := 1
+		for i, id := range u.coarseSecs {
+			r := find(i)
+			g, ok := group[r]
+			if !ok {
+				g = next
+				next++
+				group[r] = g
+			}
+			shardOf[id] = g
+		}
+		if next <= 2 {
+			continue // one group: everything may overlap, a split buys nothing
+		}
+		for _, id := range u.coarseSecs {
+			ns := out[id].Clone()
+			eff := locks.RO
+			for _, l := range out[id].Sorted() {
+				if !l.Fine && !l.IsGlobal() && !l.IsShard() && l.Class == c {
+					ns.Remove(l)
+					if l.Eff == locks.RW {
+						eff = locks.RW
+					}
+				}
+			}
+			ns.Add(locks.ShardLock(c, shardOf[id], eff))
+			out[id] = ns
+		}
+		res.Decisions = append(res.Decisions, Decision{
+			Kind: "split", Class: c, Sections: u.coarseSecs, Shards: shardOf,
+			Reason: fmt.Sprintf("%d/%d waits, %d disjoint groups", coarse.Waits, coarse.Acquires, next-1),
+		})
+	}
+}
+
+// Verify recomputes the refinement and rejects a claimed refined plan that
+// differs — the recompute-and-compare checker that flags a tampered
+// refinement (e.g. the demote-a-hot-lock mutant) deterministically.
+func Verify(prog *ir.Program, st *steens.Analysis, and *andersen.Analysis, plan map[int]locks.Set, refined map[int]locks.Set, prof *locks.Profile, opts Options) error {
+	want := Refine(prog, st, and, plan, prof, opts)
+	var diffs []string
+	for _, id := range sortedSections(plan) {
+		w, g := want.Plan[id], refined[id]
+		if !sameSet(w, g) {
+			diffs = append(diffs, fmt.Sprintf("section %d: got {%s}, want {%s}",
+				id, joinLocks(g), joinLocks(w)))
+		}
+	}
+	if len(diffs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("refine: plan does not match recomputed refinement:\n%s", strings.Join(diffs, "\n"))
+}
+
+func sameSet(a, b locks.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func joinLocks(s locks.Set) string {
+	var parts []string
+	for _, l := range s.Sorted() {
+		parts = append(parts, l.String())
+	}
+	return strings.Join(parts, ", ")
+}

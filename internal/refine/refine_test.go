@@ -1,0 +1,364 @@
+package refine
+
+import (
+	"strings"
+	"testing"
+
+	"lockinfer/internal/audit"
+	"lockinfer/internal/infer"
+	"lockinfer/internal/ir"
+	"lockinfer/internal/lang"
+	"lockinfer/internal/locks"
+	"lockinfer/internal/steens"
+	"lockinfer/internal/transform"
+)
+
+// compile runs the frontend+inference pipeline at k and returns everything
+// the refiner needs.
+func compile(t *testing.T, src string, k int, specs map[string]steens.ExternSpec) (*ir.Program, *steens.Analysis, map[int]locks.Set) {
+	t.Helper()
+	ast, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ir.Lower(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := steens.RunWithSpecs(prog, specs)
+	eng := infer.New(prog, st, infer.Options{K: k, Specs: specs})
+	return prog, st, transform.SectionLocks(eng.AnalyzeAll())
+}
+
+// accountsSrc infers fine path locks at k=3: the demotion target.
+const accountsSrc = `
+struct account { int balance; }
+account* a1;
+account* a2;
+void init() {
+  a1 = new account;
+  a2 = new account;
+}
+void transfer(int amount) {
+  atomic {
+    if (a1->balance >= amount) {
+      a1->balance = a1->balance - amount;
+      a2->balance = a2->balance + amount;
+    }
+  }
+}
+void total() {
+  int t;
+  atomic {
+    t = a1->balance + a2->balance;
+  }
+}
+`
+
+// countersSrc: pick() unifies the two counters in Σ≡ (one coarse lock for
+// both) while the inclusion-based analysis keeps the two sections'
+// footprints disjoint — the split target.
+const countersSrc = `
+struct counter { int n; }
+counter* c1;
+counter* c2;
+void init() {
+  c1 = new counter;
+  c2 = new counter;
+}
+counter* pick(int which) {
+  if (which) { return c1; }
+  return c2;
+}
+void bump1() {
+  atomic { c1->n = c1->n + 1; }
+}
+void bump2() {
+  atomic { c2->n = c2->n + 1; }
+}
+`
+
+// fineClasses returns the classes with fine path locks in the plan.
+func fineClasses(plan map[int]locks.Set) []steens.NodeID {
+	var out []steens.NodeID
+	seen := map[steens.NodeID]bool{}
+	for _, set := range plan {
+		for _, l := range set.Sorted() {
+			if l.Fine && !seen[l.Class] {
+				seen[l.Class] = true
+				out = append(out, l.Class)
+			}
+		}
+	}
+	return out
+}
+
+// coldProfile marks every fine leaf and class of the plan observed and
+// uncontended.
+func coldProfile(plan map[int]locks.Set) *locks.Profile {
+	p := locks.NewProfile("test", "mgl")
+	for _, set := range plan {
+		for _, l := range set.Sorted() {
+			switch {
+			case l.IsGlobal():
+				p.Lock(locks.RootKey()).Acquires += 10
+			case l.Fine:
+				p.Lock(locks.FineKey(int64(l.Class), 1)).Acquires += 10
+			default:
+				p.Lock(locks.ClassKey(int64(l.Class))).Acquires += 10
+			}
+		}
+	}
+	return p
+}
+
+func planAcquires(plan map[int]locks.Set) int {
+	total := 0
+	for _, set := range plan {
+		total += len(transform.StaticPlan(set))
+	}
+	return total
+}
+
+func TestDemoteColdFineLocks(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	if len(fineClasses(plan)) == 0 {
+		t.Fatalf("precondition: plan has no fine locks: %v", plan)
+	}
+	prof := coldProfile(plan)
+	res := Refine(prog, st, nil, plan, prof, Options{})
+	if !res.Changed() {
+		t.Fatalf("cold profile refined nothing; plan %v", plan)
+	}
+	for _, d := range res.Decisions {
+		if d.Kind != "demote" {
+			t.Errorf("unexpected decision %s", d)
+		}
+	}
+	if got := fineClasses(res.Plan); len(got) != 0 {
+		t.Errorf("fine locks survive demotion: %v", got)
+	}
+	before, after := planAcquires(plan), planAcquires(res.Plan)
+	if after >= before {
+		t.Errorf("demotion did not cut static acquires: %d -> %d", before, after)
+	}
+	// Sound by construction: the refined plan passes the independent audit.
+	if err := audit.Run(prog, st, nil, res.Plan, audit.Options{}).Err(); err != nil {
+		t.Errorf("refined plan fails audit: %v", err)
+	}
+	// And Verify accepts the honest refinement.
+	if err := Verify(prog, st, nil, plan, res.Plan, prof, Options{}); err != nil {
+		t.Errorf("Verify rejects honest refinement: %v", err)
+	}
+}
+
+func TestDemoteRespectsContention(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	prof := coldProfile(plan)
+	// Any wait on the class's fine leaves vetoes demotion.
+	for _, c := range fineClasses(plan) {
+		prof.Lock(locks.FineKey(int64(c), 1)).Waits = 5
+	}
+	res := Refine(prog, st, nil, plan, prof, Options{})
+	if res.Changed() {
+		t.Errorf("contended fine locks were demoted: %v", res.Lines())
+	}
+}
+
+func TestUnobservedClassLeftAlone(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	res := Refine(prog, st, nil, plan, locks.NewProfile("t", "mgl"), Options{})
+	if res.Changed() {
+		t.Errorf("empty profile refined the plan: %v", res.Lines())
+	}
+	if len(res.Lines()) != 1 || res.Lines()[0] != "no change" {
+		t.Errorf("no-op Lines = %v", res.Lines())
+	}
+	res = Refine(prog, st, nil, plan, nil, Options{})
+	if res.Changed() {
+		t.Errorf("nil profile refined the plan")
+	}
+}
+
+func splitSetup(t *testing.T) (*ir.Program, *steens.Analysis, map[int]locks.Set, steens.NodeID) {
+	t.Helper()
+	prog, st, plan := compile(t, countersSrc, 0, nil)
+	// Precondition: the two bump sections hold the same RW coarse lock.
+	held := map[steens.NodeID]map[int]bool{}
+	for id, set := range plan {
+		for _, l := range set.Sorted() {
+			if !l.Fine && !l.IsGlobal() && l.Eff == locks.RW {
+				rep := st.Rep(l.Class)
+				if held[rep] == nil {
+					held[rep] = map[int]bool{}
+				}
+				held[rep][id] = true
+			}
+		}
+	}
+	for class, secs := range held {
+		if len(secs) >= 2 {
+			return prog, st, plan, class
+		}
+	}
+	t.Fatalf("precondition: sections do not share a coarse class; plan %v", plan)
+	return nil, nil, nil, -1
+}
+
+func hotProfile(class steens.NodeID) *locks.Profile {
+	p := locks.NewProfile("test", "mgl")
+	lp := p.Lock(locks.ClassKey(int64(class)))
+	lp.Acquires = 100
+	lp.Waits = 40
+	return p
+}
+
+func TestSplitHotCoarseLock(t *testing.T) {
+	prog, st, plan, class := splitSetup(t)
+	res := Refine(prog, st, nil, plan, hotProfile(class), Options{})
+	if !res.Changed() {
+		t.Fatalf("hot disjoint coarse lock was not split; plan %v", plan)
+	}
+	var split *Decision
+	for i := range res.Decisions {
+		if res.Decisions[i].Kind == "split" {
+			split = &res.Decisions[i]
+		}
+	}
+	if split == nil {
+		t.Fatalf("no split decision: %v", res.Lines())
+	}
+	shards := map[int]bool{}
+	for _, s := range split.Shards {
+		shards[s] = true
+	}
+	if len(shards) < 2 {
+		t.Errorf("split produced %d shard groups, want >= 2: %s", len(shards), split)
+	}
+	// The refined plan's shards survive the auditor's independent re-proof.
+	rep := audit.Run(prog, st, nil, res.Plan, audit.Options{})
+	if err := rep.Err(); err != nil {
+		t.Errorf("refined plan fails audit: %v", err)
+	}
+	if err := Verify(prog, st, nil, plan, res.Plan, hotProfile(class), Options{}); err != nil {
+		t.Errorf("Verify rejects honest split: %v", err)
+	}
+}
+
+func TestColdCoarseLockNotSplit(t *testing.T) {
+	prog, st, plan, class := splitSetup(t)
+	p := locks.NewProfile("test", "mgl")
+	p.Lock(locks.ClassKey(int64(class))).Acquires = 100 // zero waits
+	res := Refine(prog, st, nil, plan, p, Options{})
+	for _, d := range res.Decisions {
+		if d.Kind == "split" {
+			t.Errorf("cold coarse lock was split: %s", d)
+		}
+	}
+}
+
+// TestSplitRefusedWithoutProof: when the two sections' footprints overlap
+// (both bump a shared counter), heat alone must not split the class.
+func TestSplitRefusedWithoutProof(t *testing.T) {
+	const overlapSrc = `
+struct counter { int n; }
+counter* c1;
+counter* c2;
+void init() {
+  c1 = new counter;
+  c2 = new counter;
+}
+counter* pick(int which) {
+  if (which) { return c1; }
+  return c2;
+}
+void bumpBoth() {
+  atomic { c1->n = c1->n + 1; c2->n = c2->n + 1; }
+}
+void bump2() {
+  atomic { c2->n = c2->n + 1; }
+}
+`
+	prog, st, plan := compile(t, overlapSrc, 0, nil)
+	var class steens.NodeID = -1
+	for _, set := range plan {
+		for _, l := range set.Sorted() {
+			if !l.Fine && !l.IsGlobal() {
+				class = st.Rep(l.Class)
+			}
+		}
+	}
+	if class < 0 {
+		t.Fatalf("precondition: no coarse lock in plan %v", plan)
+	}
+	res := Refine(prog, st, nil, plan, hotProfile(class), Options{})
+	for _, d := range res.Decisions {
+		if d.Kind == "split" && d.Class == class {
+			// Both sections touch c2's cell: they must share a shard group,
+			// so a split of this class can never separate them.
+			groups := map[int]bool{}
+			for _, s := range d.Shards {
+				groups[s] = true
+			}
+			if len(groups) > 1 {
+				t.Errorf("overlapping sections split apart: %s", d)
+			}
+		}
+	}
+}
+
+func TestVerifyFlagsDemoteHotMutant(t *testing.T) {
+	prog, st, plan := compile(t, accountsSrc, 3, nil)
+	prof := coldProfile(plan)
+	mut, hot, ok := MutantDemoteHot(plan, prof)
+	if !ok {
+		t.Fatalf("mutant not applicable to a fine-locked plan")
+	}
+	if err := Verify(prog, st, nil, plan, mut, hot, Options{}); err == nil {
+		t.Errorf("Verify accepted a demoted hot lock")
+	}
+}
+
+func TestAuditFlagsSplitNoProofMutant(t *testing.T) {
+	prog, st, plan := compile(t, countersSrc, 0, nil)
+	mut, ok := MutantSplitNoProof(prog, st, nil, plan, nil)
+	if !ok {
+		t.Fatalf("mutant not applicable to a coarse-shared plan")
+	}
+	rep := audit.Run(prog, st, nil, mut, audit.Options{})
+	if len(rep.ShardViolations) == 0 {
+		t.Errorf("audit accepted a proof-less split")
+	}
+	if rep.Err() == nil {
+		t.Errorf("audit report reads sound for a proof-less split")
+	}
+}
+
+// TestDeterminism: the decision log and the refined plan are byte-identical
+// across repeated runs (the pipeline caches refinement on plan+profile
+// hashes, and goldens diff the rendered log).
+func TestDeterminism(t *testing.T) {
+	progA, stA, planA := compile(t, accountsSrc, 3, nil)
+	prof := coldProfile(planA)
+	base := render(Refine(progA, stA, nil, planA, prof, Options{}))
+	for i := 0; i < 5; i++ {
+		prog, st, plan := compile(t, accountsSrc, 3, nil)
+		got := render(Refine(prog, st, nil, plan, coldProfile(plan), Options{}))
+		if got != base {
+			t.Fatalf("refinement not deterministic:\n--- run 0\n%s\n--- run %d\n%s", base, i+1, got)
+		}
+	}
+}
+
+func render(res *Result) string {
+	var b strings.Builder
+	for _, line := range res.Lines() {
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	for _, id := range sortedSections(res.Plan) {
+		b.WriteString(joinLocks(res.Plan[id]))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -78,6 +78,12 @@ type ExecuteRequest struct {
 	// (fresh state, full oracle stack) so a flagged mutant never corrupts
 	// the live world. Empty means a normal execution.
 	Mutate string `json:"mutate,omitempty"`
+	// Refine closes the runtime→inference feedback loop before this
+	// request's threads run: the world quiesces, its accumulated runtime
+	// lock profile feeds the profile-guided refinement pass, and the
+	// refined plan replaces the live one. Rejected for native worlds (their
+	// plan is compiled into the binary) and for mutant runs.
+	Refine bool `json:"refine,omitempty"`
 }
 
 // ExecuteResponse reports one completed execution.
@@ -94,6 +100,10 @@ type ExecuteResponse struct {
 	State string `json:"state,omitempty"`
 	// Mutate echoes the injected fault of a mutant run.
 	Mutate string `json:"mutate,omitempty"`
+	// Refined is the refinement decision log when the request asked for
+	// refine: one line per demotion or split, ["no change"] when the
+	// profile justified no rewrite.
+	Refined []string `json:"refined,omitempty"`
 }
 
 // StateResponse is the quiesced fingerprint of a world.

@@ -1,6 +1,10 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"lockinfer/internal/locks"
+)
 
 // Metrics is the daemon's counter set, written lock-free on the request
 // paths and snapshotted by /metrics. Gauges (InFlight, Queued) track the
@@ -24,6 +28,9 @@ type Metrics struct {
 	ExecuteErrors atomic.Int64
 	MutantRuns    atomic.Int64
 	MutantFlagged atomic.Int64
+	// Refines counts execute requests that rewrote a world's plan through
+	// the profile-guided refinement pass.
+	Refines atomic.Int64
 	// Rejected counts requests turned away by backpressure (queue full or
 	// draining); Timeouts requests that hit their deadline while executing;
 	// Detached executions still running after their request timed out.
@@ -48,6 +55,7 @@ type MetricsSnapshot struct {
 	ExecuteErrors int64 `json:"execute_errors"`
 	MutantRuns    int64 `json:"mutant_runs"`
 	MutantFlagged int64 `json:"mutant_flagged"`
+	Refines       int64 `json:"refines"`
 	Rejected      int64 `json:"rejected"`
 	Timeouts      int64 `json:"timeouts"`
 	Detached      int64 `json:"detached"`
@@ -63,6 +71,11 @@ type MetricsSnapshot struct {
 	EngineFallbacks int64 `json:"engine_fallbacks"`
 	OptimisticRuns  int64 `json:"optimistic_runs"`
 	PessimisticRuns int64 `json:"pessimistic_runs"`
+	// WorldProfiles maps world ids to their live runtime lock profiles
+	// (locks.Profile JSON: per-lock acquire/wait counters, per-section
+	// contention) — the feedback artifact the refinement pass consumes.
+	// Native worlds, whose executions happen out of process, are absent.
+	WorldProfiles map[string]*locks.Profile `json:"world_profiles,omitempty"`
 }
 
 // snapshot folds the live counters and the registry's cache/policy state
@@ -79,6 +92,7 @@ func (s *Server) snapshotMetrics() MetricsSnapshot {
 		ExecuteErrors: m.ExecuteErrors.Load(),
 		MutantRuns:    m.MutantRuns.Load(),
 		MutantFlagged: m.MutantFlagged.Load(),
+		Refines:       m.Refines.Load(),
 		Rejected:      m.Rejected.Load(),
 		Timeouts:      m.Timeouts.Load(),
 		Detached:      m.Detached.Load(),
@@ -90,6 +104,12 @@ func (s *Server) snapshotMetrics() MetricsSnapshot {
 		snap.CacheHitRate = float64(snap.CacheHits) / float64(total)
 	}
 	for _, w := range s.registry.allWorlds() {
+		if p := w.profile(); p != nil {
+			if snap.WorldProfiles == nil {
+				snap.WorldProfiles = map[string]*locks.Profile{}
+			}
+			snap.WorldProfiles[w.ID] = p
+		}
 		if w.policy == nil {
 			continue
 		}

@@ -1,0 +1,161 @@
+// The runtime→inference feedback loop over the HTTP surface: worlds
+// profile their lock runtime from birth, GET /metrics exports the per-world
+// locks.Profile, and an execute request with refine: true rewrites the live
+// world's plan through the profile-guided refinement pass.
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lockinfer/internal/server"
+)
+
+// TestMetricsExportWorldProfiles checks that every in-process world's
+// runtime lock profile appears under GET /metrics with real counters, and
+// that native worlds (out-of-process execution) are absent.
+func TestMetricsExportWorldProfiles(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	accounts := d.submit("acme", "accounts", source(t, "accounts"))
+	w := d.world("acme", accounts.ID, server.EngineMGL, &server.SpecJSON{Fn: "init"})
+	nat := d.world("acme", accounts.ID, server.EngineNative, &server.SpecJSON{Fn: "init"})
+
+	resp := d.execute(server.ExecuteRequest{
+		Tenant:  "acme",
+		World:   w.ID,
+		Threads: []server.SpecJSON{{Fn: "worker", Args: []int64{3}}, {Fn: "worker", Args: []int64{3}}},
+	})
+	if len(resp.Flags) != 0 {
+		t.Fatalf("execute flagged: %v", resp.Flags)
+	}
+
+	snap := d.metricsSnapshot()
+	prof := snap.WorldProfiles[w.ID]
+	if prof == nil {
+		t.Fatalf("no profile for world %s in /metrics (have %d profiles)", w.ID, len(snap.WorldProfiles))
+	}
+	if prof.TotalAcquires() == 0 {
+		t.Error("world profile reports zero lock acquires after an execute")
+	}
+	if len(prof.Sections) == 0 {
+		t.Error("world profile reports no section counters")
+	}
+	runs := int64(0)
+	for _, sp := range prof.Sections {
+		runs += sp.Runs
+	}
+	if runs == 0 {
+		t.Error("world profile reports zero section runs")
+	}
+	if _, ok := snap.WorldProfiles[nat.ID]; ok {
+		t.Errorf("native world %s exported a profile; its executions run out of process", nat.ID)
+	}
+}
+
+// TestExecuteRefine closes the loop over the wire: after uncontended
+// executions the fine account locks profile cold, refine: true demotes them
+// to their Σ≡ partition on the live world, a second refine is a no-op, and
+// the refined world keeps executing soundly.
+func TestExecuteRefine(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	accounts := d.submit("acme", "accounts", source(t, "accounts"))
+	w := d.world("acme", accounts.ID, server.EngineMGL, &server.SpecJSON{Fn: "init"})
+
+	// Build up an uncontended profile: fine acquires, no waits.
+	for i := 0; i < 3; i++ {
+		resp := d.execute(server.ExecuteRequest{
+			Tenant:  "acme",
+			World:   w.ID,
+			Threads: []server.SpecJSON{{Fn: "worker", Args: []int64{4}}},
+		})
+		if len(resp.Flags) != 0 {
+			t.Fatalf("warmup execute flagged: %v", resp.Flags)
+		}
+	}
+
+	refined := d.execute(server.ExecuteRequest{
+		Tenant:  "acme",
+		World:   w.ID,
+		Threads: []server.SpecJSON{{Fn: "worker", Args: []int64{4}}},
+		Refine:  true,
+	})
+	if len(refined.Flags) != 0 {
+		t.Fatalf("refined execute flagged: %v", refined.Flags)
+	}
+	if len(refined.Refined) == 0 {
+		t.Fatal("refine returned no decision log")
+	}
+	sawDemote := false
+	for _, line := range refined.Refined {
+		if strings.HasPrefix(line, "demote ") {
+			sawDemote = true
+		}
+	}
+	if !sawDemote {
+		t.Errorf("cold fine locks were not demoted; decisions: %v", refined.Refined)
+	}
+
+	// The rewrite converged: a second refine has nothing left to do.
+	again := d.execute(server.ExecuteRequest{
+		Tenant:  "acme",
+		World:   w.ID,
+		Threads: []server.SpecJSON{{Fn: "worker", Args: []int64{4}}},
+		Refine:  true,
+	})
+	if len(again.Refined) != 1 || again.Refined[0] != "no change" {
+		t.Errorf("second refine decisions = %v, want [no change]", again.Refined)
+	}
+
+	// The refined world still executes soundly under the checker, and its
+	// state survived the plan swap.
+	after := d.execute(server.ExecuteRequest{
+		Tenant:  "acme",
+		World:   w.ID,
+		Threads: []server.SpecJSON{{Fn: "worker", Args: []int64{4}}, {Fn: "worker", Args: []int64{4}}},
+	})
+	if len(after.Flags) != 0 {
+		t.Fatalf("post-refine execute flagged: %v", after.Flags)
+	}
+	if st := d.state(w.ID); st.Fingerprint == "" {
+		t.Error("refined world lost its fingerprint")
+	}
+
+	if snap := d.metricsSnapshot(); snap.Refines != 2 {
+		t.Errorf("metrics report %d refines, want 2", snap.Refines)
+	}
+}
+
+// TestRefineRejections pins the refine option's error contract: native
+// worlds (plan baked into the binary) and mutant combinations answer 400.
+func TestRefineRejections(t *testing.T) {
+	d := newDaemon(t, server.Config{})
+	accounts := d.submit("acme", "accounts", source(t, "accounts"))
+	mglWorld := d.world("acme", accounts.ID, server.EngineMGL, &server.SpecJSON{Fn: "init"})
+	nat := d.world("acme", accounts.ID, server.EngineNative, &server.SpecJSON{Fn: "init"})
+
+	body := func(req server.ExecuteRequest) []byte {
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	det := d.wantError("POST", "/v1/execute", body(server.ExecuteRequest{
+		Tenant:  "acme",
+		World:   nat.ID,
+		Threads: []server.SpecJSON{{Fn: "worker", Args: []int64{1}}},
+		Refine:  true,
+	}), http.StatusBadRequest, "bad-request")
+	if !strings.Contains(det.Message, "native") {
+		t.Errorf("native refine rejection message %q does not explain the engine", det.Message)
+	}
+	d.wantError("POST", "/v1/execute", body(server.ExecuteRequest{
+		Tenant:  "acme",
+		World:   mglWorld.ID,
+		Threads: []server.SpecJSON{{Fn: "worker", Args: []int64{1}}},
+		Mutate:  server.MutateDropLocks,
+		Refine:  true,
+	}), http.StatusBadRequest, "bad-request")
+}

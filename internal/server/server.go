@@ -5,9 +5,13 @@
 // one compile), instantiate long-lived worlds under a selectable execution
 // engine (POST /v1/worlds — mgl, stm, hybrid or native), and execute atomic
 // sections against a world's shared state from many concurrent clients
-// (POST /v1/execute). Observability is JSON counters (GET /metrics) and a
-// liveness probe (GET /healthz); per-world fingerprints for conformance
-// checking come from GET /v1/state.
+// (POST /v1/execute). Observability is JSON counters plus per-world runtime
+// lock profiles (GET /metrics) and a liveness probe (GET /healthz);
+// per-world fingerprints for conformance checking come from GET /v1/state.
+// An execute request may set refine: true to close the runtime→inference
+// feedback loop in place: the world quiesces, its accumulated lock profile
+// feeds the profile-guided refinement pass, and the refined plan replaces
+// the live one before the request's threads run.
 //
 // The request path is production-shaped: a bounded admission queue with
 // load-shedding 503s beyond capacity, per-request execution timeouts that
@@ -272,6 +276,18 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			Message: fmt.Sprintf("unknown mutation %q (have %s, %s)", req.Mutate, MutateDropLocks, MutatePermutePlan)})
 		return
 	}
+	if req.Refine {
+		if req.Mutate != "" {
+			s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request",
+				Message: "refine cannot combine with a mutant run (mutants execute ephemerally; refine rewrites the live world)"})
+			return
+		}
+		if world.Engine == EngineNative {
+			s.fail(w, http.StatusBadRequest, ErrorDetail{Kind: "bad-request",
+				Message: "native worlds cannot refine: the plan is compiled into the binary"})
+			return
+		}
+	}
 	specs := make([]interp.ThreadSpec, 0, len(req.Threads))
 	for _, sj := range req.Threads {
 		ts, det := s.spec(world.Program, sj)
@@ -330,8 +346,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	// counting against MaxInFlight until it finishes, so timeouts cannot
 	// blow the concurrency bound.
 	type outcome struct {
-		res *execResult
-		err error
+		res     *execResult
+		refined []string
+		err     error
 	}
 	done := make(chan outcome, 1)
 	go func() {
@@ -347,10 +364,18 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 				s.metrics.MutantFlagged.Add(1)
 			}
 		} else {
-			out.res, out.err = world.execute(specs)
-			s.metrics.Executes.Add(1)
-			if out.err != nil || len(out.res.flags) > 0 {
-				s.metrics.ExecuteErrors.Add(1)
+			if req.Refine {
+				// The refine quiesces the world before this request's
+				// threads run, so the request observes its own rewrite.
+				out.refined, out.err = world.refinePlan()
+				s.metrics.Refines.Add(1)
+			}
+			if out.err == nil {
+				out.res, out.err = world.execute(specs)
+				s.metrics.Executes.Add(1)
+				if out.err != nil || len(out.res.flags) > 0 {
+					s.metrics.ExecuteErrors.Add(1)
+				}
 			}
 		}
 		done <- out
@@ -368,6 +393,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			Flags:     out.res.flags,
 			State:     out.res.state,
 			Mutate:    req.Mutate,
+			Refined:   out.refined,
 		})
 	case <-deadline.C:
 		s.metrics.Timeouts.Add(1)

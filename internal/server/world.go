@@ -9,8 +9,10 @@ import (
 	"lockinfer/internal/codegen"
 	"lockinfer/internal/hybrid"
 	"lockinfer/internal/interp"
+	"lockinfer/internal/locks"
 	"lockinfer/internal/mgl"
 	"lockinfer/internal/oracle"
+	"lockinfer/internal/refine"
 	"lockinfer/internal/stm"
 	"lockinfer/internal/transform"
 )
@@ -63,6 +65,7 @@ type World struct {
 	nextTID  atomic.Int64
 	executes atomic.Int64
 	detached atomic.Int64
+	refines  atomic.Int64
 }
 
 // execResult is one completed execution.
@@ -100,6 +103,10 @@ func newWorld(tenant string, p *Program, engine string, setup *interp.ThreadSpec
 	}
 
 	m := interp.NewMachine(p.C.Program, p.C.Points, p.Plan)
+	// Every in-process world profiles its lock runtime from birth: the
+	// per-world locks.Profile under GET /metrics and the refine execute
+	// option both feed off these counters.
+	m.EnableProfiling()
 	switch engine {
 	case EngineMGL:
 		m.Checked = true
@@ -215,6 +222,36 @@ func (w *World) fingerprint() (string, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.m.StateDump(), nil
+}
+
+// profile snapshots the world's runtime lock profile (nil for native
+// worlds, whose executions happen out of process). Safe on a live world —
+// a scrape observes a consistent prefix of the counters.
+func (w *World) profile() *locks.Profile {
+	if w.m == nil {
+		return nil
+	}
+	return w.m.Profile(w.Program.ID, w.Engine)
+}
+
+// refinePlan closes the runtime→inference feedback loop on a live world:
+// it quiesces the machine (write lock — every in-flight execution drains
+// first), feeds the accumulated runtime profile through the profile-guided
+// refinement pass, and swaps the refined plan in, so subsequent executions
+// acquire under it. The decision log is returned to the client verbatim.
+// Native worlds are rejected: their plan is baked into the compiled binary.
+func (w *World) refinePlan() ([]string, error) {
+	if w.Engine == EngineNative {
+		return nil, fmt.Errorf("native worlds cannot refine: the plan is compiled into the binary; create a new world from a refined plan instead")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	prof := w.m.Profile(w.Program.ID, w.Engine)
+	p := w.Program
+	res := refine.Refine(p.C.Program, p.C.Points, p.C.Andersen(), w.m.SectionLocks, prof, refine.Options{})
+	w.m.SetSectionLocks(res.Plan)
+	w.refines.Add(1)
+	return res.Lines(), nil
 }
 
 // watcherFlags drains the deadlock monitor's accumulated findings.

@@ -89,6 +89,11 @@ func StaticReqs(set locks.Set) []mgl.Req {
 		switch {
 		case l.IsGlobal():
 			reqs = append(reqs, mgl.Req{Global: true, Write: true})
+		case l.IsShard():
+			// Shards already have canonical runtime addresses.
+			reqs = append(reqs, mgl.Req{
+				Class: mgl.ClassID(l.Class), Fine: true, Addr: mgl.ShardAddr(l.Shard), Write: l.Eff == locks.RW,
+			})
 		case !l.Fine:
 			reqs = append(reqs, mgl.Req{Class: mgl.ClassID(l.Class), Write: l.Eff == locks.RW})
 		default:
@@ -144,6 +149,8 @@ func descriptor(prog *ir.Program, l locks.Inferred) string {
 	switch {
 	case l.IsGlobal():
 		return "GLOBAL, rw"
+	case l.IsShard():
+		return fmt.Sprintf("pts#%d.s%d, %s", l.Class, l.Shard, l.Eff)
 	case l.Fine:
 		expr := l.Path.CellString(func(f ir.FieldID) string {
 			if f < 0 {

@@ -57,7 +57,15 @@ type (
 	// Trace aggregates per-pass observability (wall time, iteration and
 	// fact counts, cache hits) across compilations; see internal/pipeline.
 	Trace = pipeline.Trace
+	// Profile is a runtime lock profile: per-lock acquire/wait counters and
+	// per-section contention stats, emitted by the execution engines and
+	// consumed by the profile-guided refinement pass (see internal/locks).
+	Profile = locks.Profile
 )
+
+// ParseProfile decodes a lock profile from its JSON form (the format the
+// engines export and lockinferd serves under /metrics).
+func ParseProfile(data []byte) (*Profile, error) { return locks.ParseProfile(data) }
 
 // NewTrace returns an empty per-pass trace for WithTrace.
 func NewTrace() *Trace { return pipeline.NewTrace() }
@@ -108,6 +116,10 @@ func WithTrace(t *Trace) Option { return func(c *config) { c.Trace = t } }
 
 // WithoutCache disables artifact memoization for this compilation.
 func WithoutCache() Option { return func(c *config) { c.NoCache = true } }
+
+// WithProfile supplies a runtime lock profile for the profile-guided
+// refinement pass; RefinedPlan then rewrites the inferred plan under it.
+func WithProfile(p *Profile) Option { return func(c *config) { c.Profile = p } }
 
 // Compilation is the result of compiling a program with atomic sections.
 type Compilation struct {
@@ -161,6 +173,16 @@ func (c *Compilation) CoarsePlan() map[int]LockSet { return c.pc.CoarsePlan() }
 // TransformedSource renders the program with every atomic section rewritten
 // to the to_acquire/acquire_all/release_all form of Figure 1(c).
 func (c *Compilation) TransformedSource() string { return c.pc.TransformedSource() }
+
+// RefinedPlan runs the profile-guided refinement pass (see internal/refine)
+// over the inferred plan and the profile supplied via WithProfile, returning
+// the refined per-section lock sets plus the human-readable decision log
+// (one line per demotion or split; ["no change"] when nothing rewrote).
+// Without a profile the plan comes back unchanged.
+func (c *Compilation) RefinedPlan() (map[int]LockSet, []string) {
+	plan, res := c.pc.RefinedPlan()
+	return plan, res.Lines()
+}
 
 // LockReport renders the inferred locks per atomic section.
 func (c *Compilation) LockReport() string {
